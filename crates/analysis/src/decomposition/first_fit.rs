@@ -1,0 +1,301 @@
+//! The `P_i`/`Q_i` decomposition of First Fit bins — Figure 2 and the
+//! proof machinery of Theorem 3 (§4).
+//!
+//! Bins are indexed by opening time. With `t_i` the latest closing time
+//! of bins opened before bin `i`, the usage period `I_i = [I_i⁻, I_i⁺)`
+//! splits into
+//!
+//! * `P_i = [I_i⁻, min(I_i⁺, t_i))` — the prefix during which some older
+//!   bin is still alive, and
+//! * `Q_i = [min(I_i⁺, t_i), I_i⁺)` — the suffix during which bin `i`
+//!   outlives every predecessor.
+//!
+//! Claim 4 of the paper: the `Q_i` are disjoint and `Σ ℓ(Q_i) = span(R)`.
+//! The proof further covers each `P_i` by an inclusion-minimal set of
+//! items `R'_i ⊆ R_i` with strictly increasing arrivals *and* departures;
+//! [`minimal_cover`] computes that cover greedily and
+//! [`FirstFitDecomposition::verify`] checks all of it.
+
+use dvbp_core::{Instance, Packing};
+use dvbp_sim::{Cost, Interval, Time};
+
+/// Decomposition of one First Fit bin.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BinSplit {
+    /// The prefix `P_i` (possibly empty; always empty for bin 0).
+    pub p: Interval,
+    /// The suffix `Q_i` (possibly empty).
+    pub q: Interval,
+    /// The inclusion-minimal cover `R'_i` of `P_i` (item indices, sorted
+    /// by arrival). Empty iff `P_i` is empty.
+    pub cover: Vec<usize>,
+}
+
+/// The full First Fit decomposition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FirstFitDecomposition {
+    /// Per-bin splits, indexed by `BinId`.
+    pub bins: Vec<BinSplit>,
+}
+
+/// Greedy minimal interval cover of `[target.start, target.end)` by the
+/// items' active intervals; returns indices into `items` sorted by
+/// arrival. Standard sweep: among intervals starting at or before the
+/// current frontier, take the one reaching furthest.
+///
+/// # Panics
+///
+/// Panics if the items do not cover `target` (cannot happen for a bin's
+/// own items and `P_i ⊆ I_i`).
+#[must_use]
+pub fn minimal_cover(items: &[(usize, Interval)], target: Interval) -> Vec<usize> {
+    if target.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<&(usize, Interval)> = items.iter().collect();
+    sorted.sort_by_key(|(_, iv)| (iv.start, std::cmp::Reverse(iv.end)));
+    let mut cover = Vec::new();
+    let mut frontier = target.start;
+    let mut k = 0;
+    while frontier < target.end {
+        let mut best: Option<&(usize, Interval)> = None;
+        while k < sorted.len() && sorted[k].1.start <= frontier {
+            if best.is_none_or(|b| sorted[k].1.end > b.1.end) {
+                best = Some(sorted[k]);
+            }
+            k += 1;
+        }
+        let chosen = best.expect("items must cover the target interval");
+        assert!(
+            chosen.1.end > frontier,
+            "items must cover the target interval"
+        );
+        cover.push(chosen.0);
+        frontier = chosen.1.end;
+    }
+    cover
+}
+
+impl FirstFitDecomposition {
+    /// Computes the decomposition from a First Fit packing.
+    #[must_use]
+    pub fn from_packing(instance: &Instance, packing: &Packing) -> Self {
+        let mut latest_close: Time = 0;
+        let mut bins = Vec::with_capacity(packing.bins.len());
+        for (i, rec) in packing.bins.iter().enumerate() {
+            let t_i = if i == 0 {
+                rec.opened // P_0 = ∅ by convention (no earlier bins)
+            } else {
+                latest_close.max(rec.opened)
+            };
+            let mid = t_i.min(rec.closed);
+            let p = Interval::new(rec.opened, mid);
+            let q = Interval::new(mid, rec.closed);
+            let item_intervals: Vec<(usize, Interval)> = rec
+                .items
+                .iter()
+                .map(|&r| (r, instance.items[r].interval()))
+                .collect();
+            let cover = minimal_cover(&item_intervals, p);
+            bins.push(BinSplit { p, q, cover });
+            latest_close = latest_close.max(rec.closed);
+        }
+        FirstFitDecomposition { bins }
+    }
+
+    /// `Σ ℓ(Q_i)`.
+    #[must_use]
+    pub fn q_total(&self) -> Cost {
+        self.bins.iter().map(|b| Cost::from(b.q.len())).sum()
+    }
+
+    /// `Σ ℓ(P_i)`.
+    #[must_use]
+    pub fn p_total(&self) -> Cost {
+        self.bins.iter().map(|b| Cost::from(b.p.len())).sum()
+    }
+
+    /// Checks the structural claims of §4:
+    ///
+    /// 1. `P_i ∪ Q_i` tiles each bin's usage period, with `P_0 = ∅`;
+    /// 2. the `Q_i` are pairwise disjoint and `Σ ℓ(Q_i) = span(R)`
+    ///    (Claim 4);
+    /// 3. each cover `R'_i` covers `P_i`, is minimal (dropping any item
+    ///    leaves a hole), and has strictly increasing arrivals and
+    ///    departures.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated claim.
+    pub fn verify(&self, instance: &Instance, packing: &Packing) -> Result<(), String> {
+        // (1) Tiling.
+        for (i, (split, rec)) in self.bins.iter().zip(&packing.bins).enumerate() {
+            if split.p.start != rec.opened
+                || split.p.end != split.q.start
+                || split.q.end != rec.closed
+            {
+                return Err(format!("bin {i}: P/Q do not tile the usage period"));
+            }
+        }
+        if let Some(b0) = self.bins.first() {
+            if !b0.p.is_empty() {
+                return Err("bin 0 must have empty P".into());
+            }
+        }
+        // (2) Disjoint Q with total = span.
+        let mut qs: Vec<Interval> = self
+            .bins
+            .iter()
+            .map(|b| b.q)
+            .filter(|q| !q.is_empty())
+            .collect();
+        qs.sort();
+        for w in qs.windows(2) {
+            if w[0].overlaps(&w[1]) {
+                return Err(format!("Q intervals overlap: {} and {}", w[0], w[1]));
+            }
+        }
+        if self.q_total() != instance.span() {
+            return Err(format!(
+                "Σ ℓ(Q_i) = {} but span = {}",
+                self.q_total(),
+                instance.span()
+            ));
+        }
+        // (3) Cover properties.
+        for (i, split) in self.bins.iter().enumerate() {
+            let ivs: Vec<Interval> = split
+                .cover
+                .iter()
+                .map(|&r| instance.items[r].interval())
+                .collect();
+            let covered = |skip: Option<usize>| -> bool {
+                let mut frontier = split.p.start;
+                for (k, iv) in ivs.iter().enumerate() {
+                    if Some(k) == skip {
+                        continue;
+                    }
+                    if iv.start > frontier {
+                        return false;
+                    }
+                    frontier = frontier.max(iv.end);
+                    if frontier >= split.p.end {
+                        return true;
+                    }
+                }
+                frontier >= split.p.end
+            };
+            if !covered(None) {
+                return Err(format!("bin {i}: cover misses part of P"));
+            }
+            for k in 0..ivs.len() {
+                if covered(Some(k)) {
+                    return Err(format!("bin {i}: cover not minimal (item {k} redundant)"));
+                }
+            }
+            for w in ivs.windows(2) {
+                if w[1].start <= w[0].start || w[1].end <= w[0].end {
+                    return Err(format!("bin {i}: cover not sorted by arrival+departure"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvbp_core::{pack_with, Instance, Item, PolicyKind};
+    use dvbp_dimvec::DimVec;
+
+    fn item(size: &[u64], a: u64, e: u64) -> Item {
+        Item::new(DimVec::from_slice(size), a, e)
+    }
+
+    fn decompose(inst: &Instance) -> (Packing, FirstFitDecomposition) {
+        let p = pack_with(inst, &PolicyKind::FirstFit);
+        let d = FirstFitDecomposition::from_packing(inst, &p);
+        (p, d)
+    }
+
+    #[test]
+    fn single_bin_all_q() {
+        let inst = Instance::new(DimVec::scalar(10), vec![item(&[5], 0, 8)]).unwrap();
+        let (p, d) = decompose(&inst);
+        d.verify(&inst, &p).unwrap();
+        assert!(d.bins[0].p.is_empty());
+        assert_eq!(d.bins[0].q, Interval::new(0, 8));
+        assert_eq!(d.q_total(), 8);
+    }
+
+    #[test]
+    fn second_bin_splits_at_predecessor_close() {
+        // B0 alive [0,5); B1 alive [1,9): P_1 = [1,5), Q_1 = [5,9).
+        let inst =
+            Instance::new(DimVec::scalar(10), vec![item(&[6], 0, 5), item(&[6], 1, 9)]).unwrap();
+        let (p, d) = decompose(&inst);
+        d.verify(&inst, &p).unwrap();
+        assert_eq!(d.bins[1].p, Interval::new(1, 5));
+        assert_eq!(d.bins[1].q, Interval::new(5, 9));
+        assert_eq!(d.q_total(), inst.span());
+    }
+
+    #[test]
+    fn bin_fully_inside_predecessor_has_empty_q() {
+        // B1 alive [1,3) ⊂ B0's [0,9): Q_1 = ∅.
+        let inst =
+            Instance::new(DimVec::scalar(10), vec![item(&[6], 0, 9), item(&[6], 1, 3)]).unwrap();
+        let (p, d) = decompose(&inst);
+        d.verify(&inst, &p).unwrap();
+        assert_eq!(d.bins[1].p, Interval::new(1, 3));
+        assert!(d.bins[1].q.is_empty());
+    }
+
+    #[test]
+    fn minimal_cover_chains() {
+        // Items chaining [0,4), [2,7), [6,10); plus a redundant [1,3).
+        let items = vec![
+            (0, Interval::new(0, 4)),
+            (1, Interval::new(2, 7)),
+            (2, Interval::new(6, 10)),
+            (3, Interval::new(1, 3)),
+        ];
+        let cover = minimal_cover(&items, Interval::new(0, 10));
+        assert_eq!(cover, vec![0, 1, 2]);
+        assert_eq!(
+            minimal_cover(&items, Interval::empty_at(5)),
+            Vec::<usize>::new()
+        );
+        // Partial target needs fewer items.
+        assert_eq!(minimal_cover(&items, Interval::new(0, 3)), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover")]
+    fn minimal_cover_panics_on_gap() {
+        let items = vec![(0, Interval::new(0, 2)), (1, Interval::new(5, 8))];
+        let _ = minimal_cover(&items, Interval::new(0, 8));
+    }
+
+    #[test]
+    fn claims_hold_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let items: Vec<Item> = (0..60)
+                .map(|_| {
+                    let a = rng.random_range(0..40u64);
+                    let dur = rng.random_range(1..=12u64);
+                    let s = rng.random_range(1..=10u64);
+                    item(&[s], a, a + dur)
+                })
+                .collect();
+            let inst = Instance::new(DimVec::scalar(10), items).unwrap();
+            let (p, d) = decompose(&inst);
+            d.verify(&inst, &p)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

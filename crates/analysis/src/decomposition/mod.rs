@@ -1,0 +1,5 @@
+//! Usage-period decompositions underpinning the paper's proofs.
+
+pub mod first_fit;
+pub mod mtf;
+pub mod next_fit;

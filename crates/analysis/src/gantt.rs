@@ -1,0 +1,157 @@
+//! ASCII Gantt rendering of packings: one row per bin, item occupancy
+//! over time. Used by the `dvbp show` CLI subcommand and the examples to
+//! make packings inspectable without a plotting stack.
+
+use dvbp_core::{Instance, Packing};
+use dvbp_sim::Time;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Clone, Copy, Debug)]
+pub struct GanttOptions {
+    /// Maximum rendered width in characters (time axis is scaled down to
+    /// fit); minimum 10.
+    pub max_width: usize,
+    /// Render at most this many bins (the rest are summarized).
+    pub max_bins: usize,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions {
+            max_width: 100,
+            max_bins: 40,
+        }
+    }
+}
+
+/// Renders the packing as an ASCII Gantt chart.
+///
+/// Each bin row shows, per time cell, the number of items active in the
+/// bin (`1`–`9`, `+` for ≥ 10, `·` for an open-but-idle instant that can
+/// only appear from scaling). Rows are labelled with the bin id and its
+/// usage period.
+#[must_use]
+pub fn render(instance: &Instance, packing: &Packing, opts: &GanttOptions) -> String {
+    let mut out = String::new();
+    let end: Time = packing.bins.iter().map(|b| b.closed).max().unwrap_or(0);
+    if end == 0 {
+        return "(empty packing)\n".to_string();
+    }
+    let width = opts.max_width.max(10).min(end as usize).max(1);
+    let scale = |t: Time| -> usize { ((t as u128 * width as u128) / end as u128) as usize };
+
+    let shown = packing.bins.len().min(opts.max_bins);
+    for (b, rec) in packing.bins.iter().take(shown).enumerate() {
+        let mut cells = vec![0u32; width];
+        for &i in &rec.items {
+            let item = &instance.items[i];
+            let lo = scale(item.arrival);
+            let hi = scale(item.departure).max(lo + 1).min(width);
+            for cell in &mut cells[lo..hi] {
+                *cell += 1;
+            }
+        }
+        let _ = write!(out, "B{b:<4} ");
+        // Mark the usage period extent with cells.
+        let (ulo, uhi) = (scale(rec.opened), scale(rec.closed).min(width));
+        for (x, &c) in cells.iter().enumerate() {
+            out.push(match c {
+                0 if x >= ulo && x < uhi => '·',
+                0 => ' ',
+                1..=9 => char::from_digit(c, 10).expect("1..=9"),
+                _ => '+',
+            });
+        }
+        let _ = writeln!(out, "  [{}, {})", rec.opened, rec.closed);
+    }
+    if packing.bins.len() > shown {
+        let _ = writeln!(out, "… {} more bins not shown", packing.bins.len() - shown);
+    }
+    let _ = writeln!(out, "{:6}0{:>width$}", "", end, width = width);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvbp_core::{pack_with, Item, PolicyKind};
+    use dvbp_dimvec::DimVec;
+
+    fn item(size: u64, a: u64, e: u64) -> Item {
+        Item::new(DimVec::scalar(size), a, e)
+    }
+
+    fn packed(items: Vec<Item>) -> (Instance, Packing) {
+        let inst = Instance::new(DimVec::scalar(10), items).unwrap();
+        let p = pack_with(&inst, &PolicyKind::FirstFit);
+        (inst, p)
+    }
+
+    #[test]
+    fn renders_unscaled_timeline() {
+        let (inst, p) = packed(vec![item(5, 0, 4), item(5, 2, 6)]);
+        let s = render(
+            &inst,
+            &p,
+            &GanttOptions {
+                max_width: 100,
+                max_bins: 10,
+            },
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        // One bin, six time cells: 1 1 2 2 1 1.
+        assert!(lines[0].starts_with("B0    112211  [0, 6)"), "{s}");
+    }
+
+    #[test]
+    fn occupancy_digits_cap_at_plus() {
+        let items: Vec<Item> = (0..12).map(|_| item(1, 0, 3)).collect();
+        let inst = Instance::new(DimVec::scalar(100), items).unwrap();
+        let p = pack_with(&inst, &PolicyKind::FirstFit);
+        let s = render(&inst, &p, &GanttOptions::default());
+        assert!(s.contains('+'), "{s}");
+    }
+
+    #[test]
+    fn scales_long_timelines() {
+        let (inst, p) = packed(vec![item(5, 0, 1000)]);
+        let s = render(
+            &inst,
+            &p,
+            &GanttOptions {
+                max_width: 50,
+                max_bins: 10,
+            },
+        );
+        let first = s.lines().next().unwrap();
+        assert!(first.len() < 80, "row should be scaled: {first}");
+        assert!(first.contains("[0, 1000)"));
+    }
+
+    #[test]
+    fn truncates_bin_list() {
+        let items: Vec<Item> = (0..8).map(|k| item(10, k, k + 2)).collect();
+        let inst = Instance::new(DimVec::scalar(10), items).unwrap();
+        let p = pack_with(&inst, &PolicyKind::FirstFit);
+        let s = render(
+            &inst,
+            &p,
+            &GanttOptions {
+                max_width: 60,
+                max_bins: 3,
+            },
+        );
+        assert!(s.contains("more bins not shown"), "{s}");
+    }
+
+    #[test]
+    fn empty_packing() {
+        let inst = Instance::new(DimVec::scalar(10), vec![]).unwrap();
+        let p = pack_with(&inst, &PolicyKind::FirstFit);
+        assert_eq!(
+            render(&inst, &p, &GanttOptions::default()),
+            "(empty packing)\n"
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Analyses of packings: proof-structure decompositions (Figures 1–2 of
+//! the paper), summary statistics, and competitive-ratio estimation.
+//!
+//! The upper-bound proofs of §3–§5 rest on decompositions of each bin's
+//! usage period; this crate *computes those decompositions from real
+//! executions* and checks the structural claims the proofs rely on:
+//!
+//! * [`decomposition::mtf`] — leading/non-leading intervals of Move To
+//!   Front bins (Figure 1): leading intervals partition `[0, span)`
+//!   (Claim 1), non-leading intervals are at most `μ` long (Claim 2).
+//! * [`decomposition::first_fit`] — the `P_i`/`Q_i` split of First Fit
+//!   bins (Figure 2): `Σ ℓ(Q_i) = span(R)` (Claim 4), plus the minimal
+//!   item covers `R'_i` of each `P_i`.
+//! * [`decomposition::next_fit`] — current/released periods of Next Fit
+//!   bins: current periods partition the span (eq. 11), released periods
+//!   are at most `μ` long.
+//!
+//! [`stats`] provides the mean ± std-dev aggregation used by Figure 4 and
+//! [`report`] the fixed-width tables the experiment binaries print.
+
+#[cfg(test)]
+mod proptests;
+
+pub mod decomposition;
+pub mod gantt;
+pub mod metrics;
+pub mod report;
+pub mod stats;
+
+/// Cost ratio `cost / reference` as `f64` (`NaN`-free: a zero reference
+/// with zero cost is 1, with positive cost is `+∞`).
+#[must_use]
+pub fn ratio(cost: dvbp_sim::Cost, reference: dvbp_sim::Cost) -> f64 {
+    if reference == 0 {
+        if cost == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        cost as f64 / reference as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_basics() {
+        assert_eq!(ratio(10, 5), 2.0);
+        assert_eq!(ratio(0, 0), 1.0);
+        assert_eq!(ratio(3, 0), f64::INFINITY);
+        assert_eq!(ratio(5, 10), 0.5);
+    }
+}

@@ -1,0 +1,211 @@
+//! Packing-quality metrics: §7's "Packing and Alignment" discussion made
+//! quantitative.
+//!
+//! The paper explains the average-case ranking through two notions:
+//!
+//! * **Packing** — how tightly items share bins, i.e. how little rented
+//!   bin-volume goes unused. [`PackingMetrics::utilization`] is the exact
+//!   fraction of rented (time × capacity) volume occupied by items.
+//! * **Alignment** — how well co-located items' durations coincide, so
+//!   bins drain all at once instead of being held open by a straggler.
+//!   [`PackingMetrics::alignment`] is, per bin, the average fraction of
+//!   the bin's usage period covered by each of its items, weighted by
+//!   usage time; 1.0 means every item spans its bin's whole life.
+//!
+//! Together they decompose the cost ratio: Worst Fit loses on packing,
+//! Next Fit on alignment, and Move To Front does well on both — the
+//! numbers behind §7's qualitative story (see `xp_metrics`).
+
+use dvbp_core::{Instance, Packing};
+use dvbp_sim::StepCurve;
+use serde::{Deserialize, Serialize};
+
+/// Quality metrics of one packing.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PackingMetrics {
+    /// Usage-time objective (eq. 1), for reference.
+    pub cost: u128,
+    /// Bins ever opened.
+    pub bins: usize,
+    /// Peak simultaneously-open bins.
+    pub peak_open_bins: i64,
+    /// Time-averaged number of open bins over the active span.
+    pub avg_open_bins: f64,
+    /// Fraction of rented `time × L1-capacity` volume occupied by items,
+    /// in `(0, 1]`. Higher = tighter packing.
+    pub utilization: f64,
+    /// Usage-weighted mean over bins of (mean item duration / bin usage),
+    /// in `(0, 1]`. Higher = better-aligned departures.
+    pub alignment: f64,
+}
+
+/// Computes the metrics of `packing` on `instance`.
+///
+/// # Panics
+///
+/// Panics if the packing's bin records are inconsistent with the
+/// instance (use [`Packing::verify`] first when in doubt).
+#[must_use]
+pub fn packing_metrics(instance: &Instance, packing: &Packing) -> PackingMetrics {
+    let cost = packing.cost();
+    let usages: Vec<dvbp_sim::Interval> = packing.bins.iter().map(|b| b.usage()).collect();
+    let open_curve = StepCurve::count_of(&usages);
+    let span = instance.span();
+
+    // Utilization: Σ_r ‖s(r)‖₁ · ℓ(r)  /  Σ_bins usage · ‖cap‖₁.
+    let used: u128 = instance
+        .items
+        .iter()
+        .map(|r| r.size.sum() * u128::from(r.duration()))
+        .sum();
+    let rented = cost * instance.capacity.sum();
+    let utilization = if rented == 0 {
+        1.0
+    } else {
+        used as f64 / rented as f64
+    };
+
+    // Alignment: per bin, (Σ_r ℓ(r)) / (|bin| · usage), usage-weighted.
+    let mut weighted = 0.0f64;
+    let mut weight = 0.0f64;
+    for rec in &packing.bins {
+        let usage = rec.usage_len();
+        if usage == 0 || rec.items.is_empty() {
+            continue;
+        }
+        let total_dur: u128 = rec
+            .items
+            .iter()
+            .map(|&i| u128::from(instance.items[i].duration()))
+            .sum();
+        let per_item = total_dur as f64 / rec.items.len() as f64;
+        let score = (per_item / usage as f64).min(1.0);
+        weighted += score * usage as f64;
+        weight += usage as f64;
+    }
+    let alignment = if weight == 0.0 {
+        1.0
+    } else {
+        weighted / weight
+    };
+
+    PackingMetrics {
+        cost,
+        bins: packing.num_bins(),
+        peak_open_bins: open_curve.max(),
+        avg_open_bins: if span == 0 {
+            0.0
+        } else {
+            open_curve.integral() as f64 / span as f64
+        },
+        utilization,
+        alignment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvbp_core::{pack_with, Item, PolicyKind};
+    use dvbp_dimvec::DimVec;
+
+    fn item(size: &[u64], a: u64, e: u64) -> Item {
+        Item::new(DimVec::from_slice(size), a, e)
+    }
+
+    #[test]
+    fn perfectly_utilized_single_bin() {
+        // One item filling the bin for its whole life: both metrics = 1.
+        let inst = Instance::new(DimVec::scalar(10), vec![item(&[10], 0, 5)]).unwrap();
+        let p = pack_with(&inst, &PolicyKind::FirstFit);
+        let m = packing_metrics(&inst, &p);
+        assert_eq!(m.cost, 5);
+        assert_eq!(m.bins, 1);
+        assert_eq!(m.peak_open_bins, 1);
+        assert!((m.avg_open_bins - 1.0).abs() < 1e-12);
+        assert!((m.utilization - 1.0).abs() < 1e-12);
+        assert!((m.alignment - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_full_bin_has_half_utilization() {
+        let inst = Instance::new(DimVec::scalar(10), vec![item(&[5], 0, 4)]).unwrap();
+        let p = pack_with(&inst, &PolicyKind::FirstFit);
+        let m = packing_metrics(&inst, &p);
+        assert!((m.utilization - 0.5).abs() < 1e-12);
+        assert!((m.alignment - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn straggler_ruins_alignment() {
+        // A 1-tick item and a 10-tick item in one bin: usage 10, mean item
+        // duration 5.5 -> alignment 0.55.
+        let inst = Instance::new(
+            DimVec::scalar(10),
+            vec![item(&[5], 0, 10), item(&[5], 0, 1)],
+        )
+        .unwrap();
+        let p = pack_with(&inst, &PolicyKind::FirstFit);
+        assert_eq!(p.num_bins(), 1);
+        let m = packing_metrics(&inst, &p);
+        assert!((m.alignment - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_bounded_on_random_workloads() {
+        use dvbp_workloads::UniformParams;
+        let params = UniformParams {
+            dims: 2,
+            items: 200,
+            mu: 20,
+            span: 200,
+            bin_size: 100,
+        };
+        for seed in 0..5 {
+            let inst = params.generate(seed);
+            for kind in PolicyKind::paper_suite(seed) {
+                let p = pack_with(&inst, &kind);
+                let m = packing_metrics(&inst, &p);
+                assert!(
+                    m.utilization > 0.0 && m.utilization <= 1.0,
+                    "{}",
+                    kind.name()
+                );
+                assert!(m.alignment > 0.0 && m.alignment <= 1.0);
+                assert!(m.avg_open_bins <= m.peak_open_bins as f64 + 1e-12);
+                assert!(m.peak_open_bins as usize <= m.bins);
+            }
+        }
+    }
+
+    #[test]
+    fn worst_fit_packs_looser_than_best_fit() {
+        use dvbp_workloads::UniformParams;
+        let params = UniformParams {
+            dims: 1,
+            items: 500,
+            mu: 50,
+            span: 500,
+            bin_size: 100,
+        };
+        let mut wf_util = 0.0;
+        let mut bf_util = 0.0;
+        for seed in 0..5 {
+            let inst = params.generate(100 + seed);
+            wf_util += packing_metrics(
+                &inst,
+                &pack_with(&inst, &PolicyKind::WorstFit(dvbp_core::LoadMeasure::Linf)),
+            )
+            .utilization;
+            bf_util += packing_metrics(
+                &inst,
+                &pack_with(&inst, &PolicyKind::BestFit(dvbp_core::LoadMeasure::Linf)),
+            )
+            .utilization;
+        }
+        assert!(
+            bf_util > wf_util,
+            "Best Fit should utilize rented volume better: {bf_util} vs {wf_util}"
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests: decomposition invariants and metric bounds over
+//! random instances and every applicable policy.
+
+use crate::decomposition::{
+    first_fit::FirstFitDecomposition, mtf::MtfDecomposition, next_fit::NextFitDecomposition,
+};
+use crate::metrics::packing_metrics;
+use dvbp_core::{pack_with, Instance, Item, PolicyKind};
+use dvbp_dimvec::DimVec;
+use proptest::prelude::*;
+
+fn instances() -> impl Strategy<Value = Instance> {
+    (1usize..=3, 1usize..=50).prop_flat_map(|(d, n)| {
+        let cap = 12u64;
+        let item = (prop::collection::vec(1u64..=cap, d), 0u64..40, 1u64..=15)
+            .prop_map(move |(size, a, dur)| Item::new(DimVec::from_slice(&size), a, a + dur));
+        prop::collection::vec(item, n).prop_map(move |items| {
+            Instance::new(DimVec::splat(d, cap), items).expect("valid instance")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The MTF decomposition verifies on every generated instance.
+    #[test]
+    fn mtf_decomposition_always_verifies(inst in instances()) {
+        let p = pack_with(&inst, &PolicyKind::MoveToFront);
+        let d = MtfDecomposition::from_packing(&p);
+        prop_assert!(d.verify(&inst, &p).is_ok(), "{:?}", d.verify(&inst, &p));
+        // Cost identity: leading + non-leading totals equal the cost.
+        let lead: u128 = d
+            .leading_intervals()
+            .iter()
+            .map(|i| u128::from(i.len()))
+            .sum();
+        prop_assert_eq!(lead + d.non_leading_total(), p.cost());
+    }
+
+    /// The First Fit decomposition verifies, and P/Q totals sum to cost.
+    #[test]
+    fn ff_decomposition_always_verifies(inst in instances()) {
+        let p = pack_with(&inst, &PolicyKind::FirstFit);
+        let d = FirstFitDecomposition::from_packing(&inst, &p);
+        prop_assert!(d.verify(&inst, &p).is_ok());
+        prop_assert_eq!(d.p_total() + d.q_total(), p.cost());
+        prop_assert_eq!(d.q_total(), inst.span());
+    }
+
+    /// The Next Fit decomposition verifies, and P/Q totals sum to cost.
+    #[test]
+    fn nf_decomposition_always_verifies(inst in instances()) {
+        let p = pack_with(&inst, &PolicyKind::NextFit);
+        let d = NextFitDecomposition::from_packing(&p);
+        prop_assert!(d.verify(&inst, &p).is_ok());
+        prop_assert_eq!(d.p_total() + d.q_total(), p.cost());
+    }
+
+    /// Metrics are bounded and consistent for every paper policy.
+    #[test]
+    fn metrics_invariants(inst in instances()) {
+        for kind in PolicyKind::paper_suite(17) {
+            let p = pack_with(&inst, &kind);
+            let m = packing_metrics(&inst, &p);
+            prop_assert!(m.utilization > 0.0 && m.utilization <= 1.0 + 1e-12);
+            prop_assert!(m.alignment > 0.0 && m.alignment <= 1.0 + 1e-12);
+            prop_assert!(m.peak_open_bins >= 1);
+            prop_assert!(m.avg_open_bins >= 1.0 - 1e-12,
+                "avg open bins below 1 over the span: {}", m.avg_open_bins);
+            prop_assert!(m.avg_open_bins <= m.peak_open_bins as f64 + 1e-9);
+            prop_assert_eq!(m.cost, p.cost());
+        }
+    }
+}

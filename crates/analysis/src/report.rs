@@ -1,0 +1,163 @@
+//! Fixed-width text tables for the experiment binaries.
+//!
+//! The harness prints the same rows/series the paper reports; this module
+//! keeps that output aligned and dependency-free.
+
+use std::fmt;
+
+/// Horizontal alignment of a column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple fixed-width text table.
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers; the first column is
+    /// left-aligned, the rest right-aligned (override with
+    /// [`aligns`](Self::aligns)).
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        TextTable {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Overrides the column alignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count differs from the header count.
+    #[must_use]
+    pub fn aligns(mut self, aligns: Vec<Align>) -> Self {
+        assert_eq!(aligns.len(), self.headers.len());
+        self.aligns = aligns;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff no data rows have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                match self.aligns[i] {
+                    Align::Left => write!(f, "{cell:<width$}", width = widths[i])?,
+                    Align::Right => write!(f, "{cell:>width$}", width = widths[i])?,
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        write_row(f, &rule)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        let _ = cols;
+        Ok(())
+    }
+}
+
+/// Formats `mean ± std` with three decimals, Figure 4 style.
+#[must_use]
+pub fn mean_pm_std(mean: f64, std: f64) -> String {
+    format!("{mean:.3} ± {std:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(["alg", "ratio"]);
+        t.row(["MoveToFront", "1.23"]);
+        t.row(["FF", "1.5"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("alg"));
+        assert!(lines[1].starts_with("---"));
+        // Right alignment of the numeric column.
+        assert!(lines[2].ends_with("1.23"));
+        assert!(lines[3].ends_with(" 1.5"));
+        // Left alignment of the label column.
+        assert!(lines[3].starts_with("FF "));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn custom_alignment() {
+        let t = TextTable::new(["x", "y"]).aligns(vec![Align::Right, Align::Left]);
+        assert_eq!(t.aligns[0], Align::Right);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn mean_pm_std_format() {
+        assert_eq!(mean_pm_std(1.23456, 0.0789), "1.235 ± 0.079");
+    }
+}

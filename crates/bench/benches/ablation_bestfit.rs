@@ -1,0 +1,35 @@
+//! X1 ablation bench: Best Fit under the §2.2 load measures. `L∞` uses
+//! exact cross-multiplied comparisons; `L1`/`L2`/`Lp` go through
+//! floating-point norms — this bench quantifies the cost of each.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvbp_bench::bench_instance;
+use dvbp_core::{pack_with, LoadMeasure, PolicyKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bestfit_load_measures");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    let inst = bench_instance(5, 500, 50, 3);
+    for measure in [
+        LoadMeasure::Linf,
+        LoadMeasure::L1,
+        LoadMeasure::L2,
+        LoadMeasure::Lp(4),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(measure.to_string()),
+            &inst,
+            |b, inst| {
+                let kind = PolicyKind::BestFit(measure);
+                b.iter(|| black_box(pack_with(inst, &kind).cost()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for the Figure 4 harness: full evaluation of one
+//! grid point (generate + pack with all 7 algorithms + Lemma 1(i) LB)
+//! at reduced scale, across the paper's dimension sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvbp_core::{pack_with, PolicyKind};
+use dvbp_offline::lb_load;
+use dvbp_workloads::UniformParams;
+use std::hint::black_box;
+
+fn grid_point(d: usize, mu: u64, seed: u64) -> f64 {
+    let params = UniformParams {
+        dims: d,
+        items: 300,
+        mu,
+        span: 300,
+        bin_size: 100,
+    };
+    let inst = params.generate(seed);
+    let lb = lb_load(&inst) as f64;
+    PolicyKind::paper_suite(seed)
+        .iter()
+        .map(|k| pack_with(&inst, k).cost() as f64 / lb)
+        .sum()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_grid_point");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for &d in &dvbp_workloads::PAPER_DIMS {
+        for &mu in &[10u64, 100] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("d{d}"), mu),
+                &(d, mu),
+                |b, &(d, mu)| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        black_box(grid_point(d, mu, seed))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

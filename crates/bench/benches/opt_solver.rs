@@ -1,0 +1,52 @@
+//! Offline machinery benches: the exact branch-and-bound VBP solver vs
+//! FFD, and the OPT integral over a full instance — quantifying the
+//! design decision to sandwich large slices instead of solving exactly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvbp_bench::bench_instance;
+use dvbp_dimvec::DimVec;
+use dvbp_offline::{ffd_count, lb_load, opt_bounds, pack_count};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn random_sizes(n: usize, d: usize, seed: u64) -> Vec<DimVec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| DimVec::from_fn(d, |_| rng.random_range(1..=10)))
+        .collect()
+}
+
+fn bench_static(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_vbp");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    let cap = DimVec::splat(2, 10);
+    for &n in &[8usize, 14, 20] {
+        let sizes = random_sizes(n, 2, n as u64);
+        group.bench_with_input(BenchmarkId::new("exact", n), &sizes, |b, sizes| {
+            b.iter(|| black_box(pack_count(sizes, &cap, 28)))
+        });
+        group.bench_with_input(BenchmarkId::new("ffd", n), &sizes, |b, sizes| {
+            b.iter(|| black_box(ffd_count(sizes, &cap)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_instance_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_machinery");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    let inst = bench_instance(2, 300, 20, 5);
+    group.bench_function("lb_load", |b| b.iter(|| black_box(lb_load(&inst))));
+    group.bench_function("opt_bounds_limit12", |b| {
+        b.iter(|| black_box(opt_bounds(&inst, 12)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_static, bench_instance_level);
+criterion_main!(benches);

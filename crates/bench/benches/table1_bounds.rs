@@ -1,0 +1,54 @@
+//! Criterion bench for the Table 1 lower-bound machinery: constructing a
+//! §6 adversarial family, packing it with its target algorithm, and
+//! certifying the OPT witness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvbp_core::{pack_with, PolicyKind};
+use dvbp_offline::witness::assignment_cost;
+use dvbp_workloads::adversarial::{AnyFitLb, MtfLb, NextFitLb};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for &k in &[4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("thm5_full", k), &k, |b, &k| {
+            b.iter(|| {
+                let fam = AnyFitLb {
+                    k,
+                    d: 2,
+                    mu: 8,
+                    m: 32,
+                };
+                let inst = fam.instance();
+                let cost = pack_with(&inst, &PolicyKind::FirstFit).cost();
+                let opt = assignment_cost(&inst, &fam.witness()).unwrap();
+                black_box(cost as f64 / opt as f64)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("thm6_full", k), &k, |b, &k| {
+            b.iter(|| {
+                let fam = NextFitLb { k, d: 2, mu: 8 };
+                let inst = fam.instance();
+                let cost = pack_with(&inst, &PolicyKind::NextFit).cost();
+                let opt = assignment_cost(&inst, &fam.witness()).unwrap();
+                black_box(cost as f64 / opt as f64)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("thm8_full", k), &k, |b, &k| {
+            b.iter(|| {
+                let fam = MtfLb { n: k, mu: 8 };
+                let inst = fam.instance();
+                let cost = pack_with(&inst, &PolicyKind::MoveToFront).cost();
+                let opt = assignment_cost(&inst, &fam.witness()).unwrap();
+                black_box(cost as f64 / opt as f64)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each paper artifact has a bench target mirroring its experiment
+//! binary at reduced scale, plus throughput/ablation benches for the
+//! design choices called out in DESIGN.md:
+//!
+//! * `fig4_average_case` — grid-point evaluation cost (workload
+//!   generation + 7 packings + LB).
+//! * `table1_bounds` — adversarial construction, packing, and witness
+//!   certification.
+//! * `throughput` — packing throughput per policy across `n` and `d`.
+//! * `ablation_bestfit` — Best Fit under the §2.2 load measures.
+//! * `opt_solver` — exact branch-and-bound vs FFD on static VBP.
+
+use dvbp_core::Instance;
+use dvbp_workloads::UniformParams;
+
+/// A standard benchmark instance: Table 2 shape scaled to `n` items.
+#[must_use]
+pub fn bench_instance(d: usize, n: usize, mu: u64, seed: u64) -> Instance {
+    let span = (n as u64).max(mu + 1);
+    UniformParams {
+        dims: d,
+        items: n,
+        mu,
+        span,
+        bin_size: 100,
+    }
+    .generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_valid_and_sized() {
+        let inst = bench_instance(3, 250, 20, 9);
+        assert_eq!(inst.len(), 250);
+        assert_eq!(inst.dim(), 3);
+        inst.validate().unwrap();
+    }
+}

@@ -1,0 +1,64 @@
+//! Bin identifiers and per-bin usage records.
+
+use dvbp_sim::{Interval, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a bin, assigned in opening order: the `i`-th bin ever
+/// opened by the algorithm has id `i` (0-based). Because bins are never
+/// reopened (§2.1), ids are also sorted by opening time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BinId(pub usize);
+
+impl fmt::Display for BinId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// Usage record of one bin after a completed run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinUsage {
+    /// Tick at which the bin received its first item.
+    pub opened: Time,
+    /// Tick at which its last active item departed.
+    pub closed: Time,
+    /// Items packed into this bin, in packing order.
+    pub items: Vec<usize>,
+}
+
+impl BinUsage {
+    /// The bin's usage period `[opened, closed)` — a single interval,
+    /// because closed bins are never reopened.
+    #[must_use]
+    pub fn usage(&self) -> Interval {
+        Interval::new(self.opened, self.closed)
+    }
+
+    /// Usage time `span(R_i)` contributed to the objective (eq. 1).
+    #[must_use]
+    pub fn usage_len(&self) -> Time {
+        self.closed - self.opened
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(BinId(3).to_string(), "B3");
+    }
+
+    #[test]
+    fn usage_interval() {
+        let u = BinUsage {
+            opened: 2,
+            closed: 9,
+            items: vec![0, 4],
+        };
+        assert_eq!(u.usage(), Interval::new(2, 9));
+        assert_eq!(u.usage_len(), 7);
+    }
+}

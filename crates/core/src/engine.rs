@@ -1,0 +1,499 @@
+//! The online packing engine: Algorithm 1 of the paper, generalized over a
+//! pluggable bin-selection policy.
+//!
+//! The engine owns the ground truth (bins, loads, active items) and
+//! replays the instance's [`OnlineTimeline`] event by event:
+//!
+//! * on a **departure**, the item's load is subtracted from its bin; a bin
+//!   whose last active item departs is *closed* (§2.1) and can never
+//!   receive items again;
+//! * on an **arrival**, the policy is shown a read-only [`EngineView`] and
+//!   must either name an open bin that can hold the item or ask for a new
+//!   bin. The engine asserts feasibility of the choice — a policy bug
+//!   cannot silently overload a bin.
+//!
+//! The engine records a full decision [`trace`](Packing::trace) so that
+//! analyses (e.g. the Move To Front leading-interval decomposition of §3)
+//! can reconstruct any policy-internal state after the fact.
+
+use crate::bin::{BinId, BinUsage};
+use crate::item::{Instance, Item};
+use crate::policy::{Decision, Policy};
+use dvbp_dimvec::DimVec;
+use dvbp_sim::timeline::{Event, OnlineTimeline};
+use dvbp_sim::{sweep, Cost, Interval, Time};
+use serde::{Deserialize, Serialize};
+
+/// One recorded engine decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// `item` was packed into `bin` at `time`; `opened_new` is `true` iff
+    /// the bin was created for it.
+    Packed {
+        /// Tick of the arrival.
+        time: Time,
+        /// Item index.
+        item: usize,
+        /// Receiving bin.
+        bin: BinId,
+        /// Whether the bin was opened by this packing.
+        opened_new: bool,
+    },
+    /// `bin` became empty at `time` and closed.
+    Closed {
+        /// Tick of the closing departure.
+        time: Time,
+        /// Closing bin.
+        bin: BinId,
+    },
+}
+
+/// Internal mutable bin state during a run.
+struct BinState {
+    load: DimVec,
+    active: usize,
+    opened: Time,
+    closed: Option<Time>,
+    items: Vec<usize>,
+}
+
+/// Read-only view of the engine state, handed to policies at each arrival.
+pub struct EngineView<'a> {
+    capacity: &'a DimVec,
+    bins: &'a [BinState],
+    open: &'a [BinId],
+    now: Time,
+}
+
+impl EngineView<'_> {
+    /// Bin capacity vector.
+    #[must_use]
+    pub fn capacity(&self) -> &DimVec {
+        self.capacity
+    }
+
+    /// Currently open bins, sorted by opening time (= by id).
+    #[must_use]
+    pub fn open_bins(&self) -> &[BinId] {
+        self.open
+    }
+
+    /// Current load vector of an open (or closed) bin.
+    #[must_use]
+    pub fn load(&self, bin: BinId) -> &DimVec {
+        &self.bins[bin.0].load
+    }
+
+    /// Number of items currently active in `bin`.
+    #[must_use]
+    pub fn active_count(&self, bin: BinId) -> usize {
+        self.bins[bin.0].active
+    }
+
+    /// Tick at which `bin` was opened.
+    #[must_use]
+    pub fn opened_at(&self, bin: BinId) -> Time {
+        self.bins[bin.0].opened
+    }
+
+    /// The current tick (the arriving item's arrival time).
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// `true` iff `size` fits into `bin`'s residual capacity.
+    #[must_use]
+    pub fn fits(&self, bin: BinId, size: &DimVec) -> bool {
+        self.bins[bin.0].load.fits_with(size, self.capacity)
+    }
+}
+
+/// The completed packing produced by a run of the engine.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packing {
+    /// `assignment[i]` is the bin that received item `i`.
+    pub assignment: Vec<BinId>,
+    /// Per-bin usage records, indexed by `BinId`.
+    pub bins: Vec<BinUsage>,
+    /// Full decision trace in simulation order.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl Packing {
+    /// Total usage time of all bins — the MinUsageTime objective (eq. 1).
+    #[must_use]
+    pub fn cost(&self) -> Cost {
+        self.bins.iter().map(|b| Cost::from(b.usage_len())).sum()
+    }
+
+    /// Number of bins ever opened.
+    #[must_use]
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Maximum number of simultaneously open bins over the run.
+    #[must_use]
+    pub fn max_concurrent_bins(&self) -> usize {
+        let mut open = 0usize;
+        let mut max = 0usize;
+        for ev in &self.trace {
+            match ev {
+                TraceEvent::Packed {
+                    opened_new: true, ..
+                } => {
+                    open += 1;
+                    max = max.max(open);
+                }
+                TraceEvent::Closed { .. } => open -= 1,
+                TraceEvent::Packed { .. } => {}
+            }
+        }
+        max
+    }
+
+    /// Exhaustively re-checks the packing against the instance:
+    ///
+    /// 1. every item is assigned to exactly the bin whose record lists it;
+    /// 2. in every elementary time slice, every bin's total active load
+    ///    respects the capacity in every dimension;
+    /// 3. each bin's usage period is the single interval spanned by its
+    ///    items (bins are never idle-then-reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn verify(&self, instance: &Instance) -> Result<(), String> {
+        if self.assignment.len() != instance.len() {
+            return Err(format!(
+                "assignment covers {} items, instance has {}",
+                self.assignment.len(),
+                instance.len()
+            ));
+        }
+        for (i, &bin) in self.assignment.iter().enumerate() {
+            let rec = self
+                .bins
+                .get(bin.0)
+                .ok_or_else(|| format!("item {i} assigned to nonexistent {bin}"))?;
+            if !rec.items.contains(&i) {
+                return Err(format!("item {i} missing from {bin}'s record"));
+            }
+        }
+        for (b, rec) in self.bins.iter().enumerate() {
+            let bin = BinId(b);
+            if rec.items.is_empty() {
+                return Err(format!("{bin} was opened but holds no items"));
+            }
+            for &i in &rec.items {
+                if self.assignment.get(i) != Some(&bin) {
+                    return Err(format!("{bin} lists item {i} not assigned to it"));
+                }
+            }
+            let intervals: Vec<Interval> = rec
+                .items
+                .iter()
+                .map(|&i| instance.items[i].interval())
+                .collect();
+            // Capacity in every elementary slice of this bin.
+            let mut violation: Option<String> = None;
+            sweep::sweep(&intervals, |slice| {
+                if violation.is_some() {
+                    return;
+                }
+                let mut load = DimVec::zeros(instance.dim());
+                for &k in slice.active {
+                    load.add_assign(&instance.items[rec.items[k]].size);
+                }
+                if !load.fits_within(&instance.capacity) {
+                    violation = Some(format!(
+                        "{bin} overloaded during {}: load {load:?} > cap {:?}",
+                        slice.interval, instance.capacity
+                    ));
+                }
+            });
+            if let Some(v) = violation {
+                return Err(v);
+            }
+            // Single contiguous usage period equal to the items' span.
+            let set = dvbp_sim::IntervalSet::from_intervals(intervals);
+            if set.segment_count() != 1 {
+                return Err(format!("{bin} has a gap in its usage period"));
+            }
+            let seg = set.segments()[0];
+            if seg != rec.usage() {
+                return Err(format!(
+                    "{bin} usage {} disagrees with items' span {seg}",
+                    rec.usage()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the **Any Fit property** against the full set of open bins:
+    /// a new bin was only ever opened when the arriving item fit in *no*
+    /// open bin.
+    ///
+    /// This holds for Move To Front, First/Last Fit, Best/Worst Fit and
+    /// Random Fit, whose candidate list `L` is all open bins. It does
+    /// *not* hold for Next Fit, whose `L` contains only the current bin —
+    /// call this only for policies with full candidate lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    pub fn verify_any_fit(&self, instance: &Instance) -> Result<(), String> {
+        let timeline = OnlineTimeline::build(&instance.intervals());
+        let mut loads: Vec<DimVec> = vec![DimVec::zeros(instance.dim()); self.bins.len()];
+        let mut active: Vec<usize> = vec![0; self.bins.len()];
+        let mut open: Vec<BinId> = Vec::new();
+        // A bin is newly opened exactly when its record's first item arrives.
+        let first_item: Vec<usize> = self.bins.iter().map(|b| b.items[0]).collect();
+        for ev in timeline.events() {
+            match *ev {
+                Event::Departure { item, .. } => {
+                    let bin = self.assignment[item];
+                    loads[bin.0].sub_assign(&instance.items[item].size);
+                    active[bin.0] -= 1;
+                    if active[bin.0] == 0 {
+                        open.retain(|&b| b != bin);
+                    }
+                }
+                Event::Arrival { time, item } => {
+                    let size = &instance.items[item].size;
+                    let bin = self.assignment[item];
+                    if first_item[bin.0] == item {
+                        for &b in &open {
+                            if loads[b.0].fits_with(size, &instance.capacity) {
+                                return Err(format!(
+                                    "item {item} at t={time} opened {bin} although it fit in {b}"
+                                ));
+                            }
+                        }
+                        open.push(bin);
+                    }
+                    loads[bin.0].add_assign(size);
+                    active[bin.0] += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs `policy` over `instance` and returns the resulting packing.
+///
+/// The policy is `reset()` first, so a policy value can be reused across
+/// runs.
+///
+/// # Panics
+///
+/// Panics if the policy names a bin that is closed or cannot hold the item
+/// (a policy implementation bug), or if the instance fails validation.
+pub fn pack(instance: &Instance, policy: &mut dyn Policy) -> Packing {
+    instance.validate().expect("invalid instance");
+    policy.reset();
+
+    let timeline = OnlineTimeline::build(&instance.intervals());
+    let mut bins: Vec<BinState> = Vec::new();
+    let mut open: Vec<BinId> = Vec::new();
+    let mut assignment: Vec<Option<BinId>> = vec![None; instance.len()];
+    let mut trace: Vec<TraceEvent> = Vec::with_capacity(instance.len() * 2);
+
+    for ev in timeline.events() {
+        match *ev {
+            Event::Departure { time, item } => {
+                let bin = assignment[item].expect("departure before arrival");
+                let state = &mut bins[bin.0];
+                state.load.sub_assign(&instance.items[item].size);
+                state.active -= 1;
+                policy.on_departure(&instance.items[item], item, bin);
+                if state.active == 0 {
+                    state.closed = Some(time);
+                    let idx = open.binary_search(&bin).expect("closing a non-open bin");
+                    open.remove(idx);
+                    policy.on_close(bin);
+                    trace.push(TraceEvent::Closed { time, bin });
+                }
+            }
+            Event::Arrival { time, item } => {
+                let item_ref: &Item = &instance.items[item];
+                let view = EngineView {
+                    capacity: &instance.capacity,
+                    bins: &bins,
+                    open: &open,
+                    now: time,
+                };
+                let decision = policy.choose(&view, item_ref, item);
+                let (bin, opened_new) = match decision {
+                    Decision::Existing(bin) => {
+                        assert!(
+                            open.binary_search(&bin).is_ok(),
+                            "policy chose closed or unknown {bin}"
+                        );
+                        assert!(
+                            bins[bin.0]
+                                .load
+                                .fits_with(&item_ref.size, &instance.capacity),
+                            "policy chose {bin} which cannot hold item {item}"
+                        );
+                        (bin, false)
+                    }
+                    Decision::OpenNew => {
+                        let bin = BinId(bins.len());
+                        bins.push(BinState {
+                            load: DimVec::zeros(instance.dim()),
+                            active: 0,
+                            opened: time,
+                            closed: None,
+                            items: Vec::new(),
+                        });
+                        open.push(bin);
+                        (bin, true)
+                    }
+                };
+                let state = &mut bins[bin.0];
+                state.load.add_assign(&item_ref.size);
+                state.active += 1;
+                state.items.push(item);
+                assignment[item] = Some(bin);
+                trace.push(TraceEvent::Packed {
+                    time,
+                    item,
+                    bin,
+                    opened_new,
+                });
+                policy.after_pack(item_ref, item, bin, opened_new);
+            }
+        }
+    }
+
+    Packing {
+        assignment: assignment
+            .into_iter()
+            .map(|b| b.expect("item never arrived"))
+            .collect(),
+        bins: bins
+            .into_iter()
+            .map(|b| BinUsage {
+                opened: b.opened,
+                closed: b.closed.expect("bin never closed"),
+                items: b.items,
+            })
+            .collect(),
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::first_fit::FirstFit;
+    use dvbp_dimvec::DimVec;
+
+    fn item(size: &[u64], a: Time, e: Time) -> Item {
+        Item::new(DimVec::from_slice(size), a, e)
+    }
+
+    fn inst(cap: &[u64], items: Vec<Item>) -> Instance {
+        Instance::new(DimVec::from_slice(cap), items).unwrap()
+    }
+
+    #[test]
+    fn single_item_single_bin() {
+        let instance = inst(&[10], vec![item(&[5], 0, 4)]);
+        let p = pack(&instance, &mut FirstFit::new());
+        assert_eq!(p.num_bins(), 1);
+        assert_eq!(p.cost(), 4);
+        assert_eq!(p.assignment, vec![BinId(0)]);
+        p.verify(&instance).unwrap();
+        p.verify_any_fit(&instance).unwrap();
+    }
+
+    #[test]
+    fn departure_frees_capacity_for_same_tick_arrival() {
+        // Item 0 fills the bin over [0,5); item 1 (same size) arrives at 5.
+        // Half-open semantics: item 1 must reuse... the bin CLOSES at 5, so
+        // a new bin opens — but only one bin is ever open at a time.
+        let instance = inst(&[10], vec![item(&[10], 0, 5), item(&[10], 5, 9)]);
+        let p = pack(&instance, &mut FirstFit::new());
+        assert_eq!(p.num_bins(), 2, "closed bins are never reused");
+        assert_eq!(p.max_concurrent_bins(), 1);
+        assert_eq!(p.cost(), 5 + 4);
+        p.verify(&instance).unwrap();
+    }
+
+    #[test]
+    fn overlap_forces_second_bin() {
+        let instance = inst(&[10], vec![item(&[6], 0, 4), item(&[6], 1, 3)]);
+        let p = pack(&instance, &mut FirstFit::new());
+        assert_eq!(p.num_bins(), 2);
+        assert_eq!(p.max_concurrent_bins(), 2);
+        assert_eq!(p.cost(), 4 + 2);
+        p.verify(&instance).unwrap();
+        p.verify_any_fit(&instance).unwrap();
+    }
+
+    #[test]
+    fn trace_records_openings_and_closures() {
+        let instance = inst(&[10], vec![item(&[6], 0, 2), item(&[6], 3, 5)]);
+        let p = pack(&instance, &mut FirstFit::new());
+        assert_eq!(
+            p.trace,
+            vec![
+                TraceEvent::Packed {
+                    time: 0,
+                    item: 0,
+                    bin: BinId(0),
+                    opened_new: true
+                },
+                TraceEvent::Closed {
+                    time: 2,
+                    bin: BinId(0)
+                },
+                TraceEvent::Packed {
+                    time: 3,
+                    item: 1,
+                    bin: BinId(1),
+                    opened_new: true
+                },
+                TraceEvent::Closed {
+                    time: 5,
+                    bin: BinId(1)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn multidimensional_blocking() {
+        // Fits in dim 0 but not dim 1 — must open a second bin.
+        let instance = inst(&[10, 10], vec![item(&[1, 9], 0, 4), item(&[1, 2], 0, 4)]);
+        let p = pack(&instance, &mut FirstFit::new());
+        assert_eq!(p.num_bins(), 2);
+        p.verify(&instance).unwrap();
+        p.verify_any_fit(&instance).unwrap();
+    }
+
+    #[test]
+    fn verify_catches_tampered_assignment() {
+        let instance = inst(&[10], vec![item(&[5], 0, 4), item(&[5], 0, 4)]);
+        let mut p = pack(&instance, &mut FirstFit::new());
+        p.assignment[1] = BinId(5);
+        assert!(p.verify(&instance).is_err());
+    }
+
+    #[test]
+    fn cost_is_sum_of_usage_periods() {
+        let instance = inst(
+            &[10],
+            vec![item(&[7], 0, 10), item(&[7], 2, 5), item(&[3], 4, 6)],
+        );
+        let p = pack(&instance, &mut FirstFit::new());
+        let total: Cost = p.bins.iter().map(|b| Cost::from(b.usage_len())).sum();
+        assert_eq!(p.cost(), total);
+        p.verify(&instance).unwrap();
+    }
+}

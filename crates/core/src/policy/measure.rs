@@ -1,0 +1,134 @@
+//! Bin-load measures for Best/Worst Fit in `d ≥ 2` dimensions (§2.2).
+//!
+//! For `d = 1` the load of a bin is just its occupied fraction; for
+//! `d ≥ 2` the paper lists several reasonable scalarizations of the load
+//! vector. Best Fit packs into the bin *maximizing* the measure, Worst Fit
+//! into the bin *minimizing* it.
+
+use dvbp_dimvec::{lp_f64, ratio_linf, DimVec};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Scalarization of a normalized load vector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoadMeasure {
+    /// `‖s(R)‖∞` — max normalized component. The paper's experiments use
+    /// this measure for Best Fit. Compared exactly (no floating point).
+    Linf,
+    /// `‖s(R)‖₁` — sum of normalized components.
+    L1,
+    /// `‖s(R)‖₂` — Euclidean norm of the normalized load.
+    L2,
+    /// `‖s(R)‖_p` for integer `p ≥ 1`.
+    Lp(u32),
+}
+
+impl LoadMeasure {
+    /// Compares the measures of two load vectors under shared `cap`.
+    ///
+    /// `Linf` is compared exactly by cross-multiplication; the float-based
+    /// measures compare `f64` values (ties resolve `Equal`, and callers
+    /// break ties deterministically by bin id).
+    #[must_use]
+    pub fn cmp_loads(&self, a: &DimVec, b: &DimVec, cap: &DimVec) -> Ordering {
+        match self {
+            LoadMeasure::Linf => {
+                let (_, na, da) = ratio_linf(a, cap);
+                let (_, nb, db) = ratio_linf(b, cap);
+                // na/da vs nb/db  <=>  na*db vs nb*da
+                (u128::from(na) * u128::from(db)).cmp(&(u128::from(nb) * u128::from(da)))
+            }
+            LoadMeasure::L1 => Self::cmp_f64(lp_f64(a, cap, 1.0), lp_f64(b, cap, 1.0)),
+            LoadMeasure::L2 => Self::cmp_f64(lp_f64(a, cap, 2.0), lp_f64(b, cap, 2.0)),
+            LoadMeasure::Lp(p) => {
+                let p = f64::from(*p);
+                Self::cmp_f64(lp_f64(a, cap, p), lp_f64(b, cap, p))
+            }
+        }
+    }
+
+    fn cmp_f64(a: f64, b: f64) -> Ordering {
+        a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl fmt::Display for LoadMeasure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadMeasure::Linf => write!(f, "Linf"),
+            LoadMeasure::L1 => write!(f, "L1"),
+            LoadMeasure::L2 => write!(f, "L2"),
+            LoadMeasure::Lp(p) => write!(f, "L{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &[u64]) -> DimVec {
+        DimVec::from_slice(s)
+    }
+
+    #[test]
+    fn linf_exact_comparison() {
+        let cap = v(&[10, 10]);
+        // max(3,5)/10 = 0.5 vs max(6,1)/10 = 0.6
+        assert_eq!(
+            LoadMeasure::Linf.cmp_loads(&v(&[3, 5]), &v(&[6, 1]), &cap),
+            Ordering::Less
+        );
+        assert_eq!(
+            LoadMeasure::Linf.cmp_loads(&v(&[6, 0]), &v(&[0, 6]), &cap),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn linf_heterogeneous_capacity() {
+        let cap = v(&[10, 100]);
+        // 5/10 = 0.5 vs 60/100 = 0.6
+        assert_eq!(
+            LoadMeasure::Linf.cmp_loads(&v(&[5, 0]), &v(&[0, 60]), &cap),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn l1_sums_dimensions() {
+        let cap = v(&[10, 10]);
+        // L1: 0.8 vs 0.6 — but Linf: 0.4 vs 0.6.
+        let a = v(&[4, 4]);
+        let b = v(&[6, 0]);
+        assert_eq!(LoadMeasure::L1.cmp_loads(&a, &b, &cap), Ordering::Greater);
+        assert_eq!(LoadMeasure::Linf.cmp_loads(&a, &b, &cap), Ordering::Less);
+    }
+
+    #[test]
+    fn l2_between_l1_and_linf() {
+        let cap = v(&[10, 10]);
+        // a = (3,4): L2 = 0.5; b = (5,0): L2 = 0.5 — exact tie.
+        assert_eq!(
+            LoadMeasure::L2.cmp_loads(&v(&[3, 4]), &v(&[5, 0]), &cap),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn lp_general() {
+        let cap = v(&[10, 10]);
+        assert_eq!(
+            LoadMeasure::Lp(4).cmp_loads(&v(&[5, 5]), &v(&[6, 0]), &cap),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(LoadMeasure::Linf.to_string(), "Linf");
+        assert_eq!(LoadMeasure::L1.to_string(), "L1");
+        assert_eq!(LoadMeasure::Lp(4).to_string(), "L4");
+    }
+}

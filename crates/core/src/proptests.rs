@@ -1,0 +1,107 @@
+//! Property tests over randomly generated instances for every policy.
+
+use crate::{pack_with, Instance, Item, PolicyKind};
+use dvbp_dimvec::DimVec;
+use proptest::prelude::*;
+
+/// Strategy: a random valid instance with `d ∈ [1,4]`, up to 40 items,
+/// sizes in `[1, cap]`, arrivals in `[0, 50]`, durations in `[1, 20]`.
+fn instances() -> impl Strategy<Value = Instance> {
+    (1usize..=4, 1usize..=40).prop_flat_map(|(d, n)| {
+        let cap = 20u64;
+        let item = (prop::collection::vec(1u64..=cap, d), 0u64..50, 1u64..=20)
+            .prop_map(move |(size, a, dur)| Item::new(DimVec::from_slice(&size), a, a + dur));
+        prop::collection::vec(item, n).prop_map(move |items| {
+            Instance::new(DimVec::splat(d, cap), items).expect("generated instance valid")
+        })
+    })
+}
+
+fn all_kinds() -> Vec<PolicyKind> {
+    let mut kinds = PolicyKind::paper_suite(99);
+    kinds.push(PolicyKind::BestFit(crate::LoadMeasure::L1));
+    kinds.push(PolicyKind::BestFit(crate::LoadMeasure::L2));
+    kinds.push(PolicyKind::WorstFit(crate::LoadMeasure::L1));
+    kinds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every policy produces a feasible, internally consistent packing.
+    #[test]
+    fn packings_always_valid(inst in instances()) {
+        for kind in all_kinds() {
+            let p = pack_with(&inst, &kind);
+            prop_assert!(p.verify(&inst).is_ok(), "{}: {:?}", kind.name(), p.verify(&inst));
+        }
+    }
+
+    /// Full-candidate policies never open a bin while one fits.
+    #[test]
+    fn any_fit_property_holds(inst in instances()) {
+        for kind in all_kinds().into_iter().filter(PolicyKind::is_full_candidate_any_fit) {
+            let p = pack_with(&inst, &kind);
+            prop_assert!(p.verify_any_fit(&inst).is_ok(), "{}", kind.name());
+        }
+    }
+
+    /// cost ≥ span for every policy (Lemma 1(iii) applied to the
+    /// algorithm's own packing).
+    #[test]
+    fn cost_at_least_span(inst in instances()) {
+        let span = inst.span();
+        for kind in all_kinds() {
+            let p = pack_with(&inst, &kind);
+            prop_assert!(p.cost() >= span, "{}: {} < {span}", kind.name(), p.cost());
+        }
+    }
+
+    /// The number of bins any policy opens is at most the number of items,
+    /// and at least the number needed at the busiest instant.
+    #[test]
+    fn bin_count_sane(inst in instances()) {
+        for kind in all_kinds() {
+            let p = pack_with(&inst, &kind);
+            prop_assert!(p.num_bins() <= inst.len());
+            prop_assert!(p.num_bins() >= 1 || inst.is_empty());
+            prop_assert!(p.max_concurrent_bins() <= p.num_bins());
+        }
+    }
+
+    /// Every item is assigned to a bin whose usage period covers the
+    /// item's active interval.
+    #[test]
+    fn usage_covers_items(inst in instances()) {
+        let p = pack_with(&inst, &PolicyKind::MoveToFront);
+        for (i, item) in inst.items.iter().enumerate() {
+            let usage = p.bins[p.assignment[i].0].usage();
+            prop_assert!(usage.covers(&item.interval()));
+        }
+    }
+
+    /// Next Fit opens at least as many bins as First Fit... is NOT a
+    /// theorem — but Next Fit's cost is never lower than the span and the
+    /// single-current-bin invariant holds: bins receive disjoint,
+    /// consecutive runs of the item sequence **ordered by packing time**.
+    #[test]
+    fn next_fit_packs_consecutive_runs(inst in instances()) {
+        let p = pack_with(&inst, &PolicyKind::NextFit);
+        // Reconstruct packing order from the trace; each Packed event's bin
+        // must be the same as, or newer than, every later... i.e. the bin
+        // sequence of packing events never returns to an abandoned bin.
+        let mut seen_after: Option<usize> = None;
+        let mut current = usize::MAX;
+        for ev in &p.trace {
+            if let crate::TraceEvent::Packed { bin, .. } = ev {
+                if bin.0 != current {
+                    if let Some(prev_max) = seen_after {
+                        prop_assert!(bin.0 > prev_max, "Next Fit returned to an old bin");
+                    }
+                    seen_after = Some(seen_after.map_or(bin.0, |m| m.max(bin.0)));
+                    current = bin.0;
+                }
+            }
+        }
+    }
+}

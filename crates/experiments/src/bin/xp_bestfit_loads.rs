@@ -1,0 +1,85 @@
+//! **X1 — Best Fit load-measure ablation.** §2.2 lists several ways to
+//! scalarize a bin's load vector for `d ≥ 2` (max load `L∞`, sum of loads
+//! `L1`, general `Lp`); the paper's experiments fix `L∞`. This ablation
+//! sweeps the measure on the Table 2 grid.
+//!
+//! ```text
+//! cargo run --release -p dvbp-experiments --bin xp_bestfit_loads
+//!     [--trials 200] [--json PATH]
+//! ```
+
+use dvbp_analysis::report::{mean_pm_std, TextTable};
+use dvbp_analysis::stats::{Accumulator, Summary};
+use dvbp_core::{pack_with, LoadMeasure, PolicyKind};
+use dvbp_experiments::cli::Args;
+use dvbp_experiments::fig4::trial_seed;
+use dvbp_offline::lb_load;
+use dvbp_parallel::run_trials;
+use dvbp_workloads::UniformParams;
+use serde::Serialize;
+use std::path::Path;
+
+#[derive(Serialize)]
+struct Row {
+    d: usize,
+    mu: u64,
+    measure: String,
+    ratio: Summary,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let trials: usize = args.get("trials", 200);
+    let measures = [
+        LoadMeasure::Linf,
+        LoadMeasure::L1,
+        LoadMeasure::L2,
+        LoadMeasure::Lp(4),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for d in [2usize, 5] {
+        for mu in [10u64, 100] {
+            let params = UniformParams::table2(d, mu);
+            let per_trial = run_trials(trials, |t| {
+                let seed = trial_seed(0xAB1A, d, mu, t);
+                let inst = params.generate(seed);
+                let lb = lb_load(&inst);
+                measures
+                    .iter()
+                    .map(|&m| {
+                        dvbp_analysis::ratio(pack_with(&inst, &PolicyKind::BestFit(m)).cost(), lb)
+                    })
+                    .collect::<Vec<f64>>()
+            });
+            for (mi, &m) in measures.iter().enumerate() {
+                let mut acc = Accumulator::new();
+                for tr in &per_trial {
+                    acc.push(tr[mi]);
+                }
+                rows.push(Row {
+                    d,
+                    mu,
+                    measure: m.to_string(),
+                    ratio: Summary::from(&acc),
+                });
+            }
+        }
+    }
+
+    let mut t = TextTable::new(["d", "mu", "measure", "cost/LB (mean ± std)"]);
+    for r in &rows {
+        t.row([
+            r.d.to_string(),
+            r.mu.to_string(),
+            r.measure.clone(),
+            mean_pm_std(r.ratio.mean, r.ratio.std_dev),
+        ]);
+    }
+    println!("X1: Best Fit load-measure ablation ({trials} trials/point; paper uses Linf)\n\n{t}");
+
+    if let Some(path) = args.get_str("json") {
+        dvbp_experiments::write_json(Path::new(path), &rows).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,85 @@
+//! **X7 — billing granularity.** §1 motivates MinUsageTime via
+//! "pay-as-you-go" billing "in hourly or monthly basis"; the objective
+//! (eq. 1) is its per-tick idealization. This experiment re-scores the
+//! same packings under coarser billing periods (a bin open for `t` ticks
+//! is billed `⌈t/g⌉·g`) and reports how the algorithm ranking shifts:
+//! coarse billing punishes policies that open many short-lived bins.
+//!
+//! ```text
+//! cargo run --release -p dvbp-experiments --bin xp_billing
+//!     [--trials 200] [--json PATH]
+//! ```
+
+use dvbp_analysis::report::{mean_pm_std, TextTable};
+use dvbp_analysis::stats::{Accumulator, Summary};
+use dvbp_core::{billing::BillingModel, pack_with, PolicyKind};
+use dvbp_experiments::cli::Args;
+use dvbp_experiments::fig4::trial_seed;
+use dvbp_offline::lb_load;
+use dvbp_parallel::run_trials;
+use dvbp_workloads::UniformParams;
+use serde::Serialize;
+use std::path::Path;
+
+#[derive(Serialize)]
+struct Row {
+    granularity: u64,
+    algorithm: String,
+    /// billed cost / (per-tick LB), mean ± std.
+    ratio: Summary,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let trials: usize = args.get("trials", 200);
+    let granularities = [1u64, 10, 60, 240];
+    let params = UniformParams::table2(2, 100);
+    let suite = PolicyKind::paper_suite(0);
+
+    let per_trial = run_trials(trials, |t| {
+        let seed = trial_seed(0xB111, 2, 100, t);
+        let inst = params.generate(seed);
+        let lb = lb_load(&inst) as f64;
+        let mut out = Vec::with_capacity(suite.len() * granularities.len());
+        for kind in PolicyKind::paper_suite(seed ^ 0xD1CE) {
+            let packing = pack_with(&inst, &kind);
+            for &g in &granularities {
+                out.push(BillingModel::rounded(g).cost(&packing) as f64 / lb);
+            }
+        }
+        out
+    });
+
+    let mut rows = Vec::new();
+    for (ki, kind) in suite.iter().enumerate() {
+        for (gi, &g) in granularities.iter().enumerate() {
+            let mut acc = Accumulator::new();
+            for tr in &per_trial {
+                acc.push(tr[ki * granularities.len() + gi]);
+            }
+            rows.push(Row {
+                granularity: g,
+                algorithm: kind.name(),
+                ratio: Summary::from(&acc),
+            });
+        }
+    }
+
+    for &g in &granularities {
+        let mut t = TextTable::new(["algorithm", "billed/LB (mean ± std)"]);
+        let mut subset: Vec<&Row> = rows.iter().filter(|r| r.granularity == g).collect();
+        subset.sort_by(|a, b| a.ratio.mean.total_cmp(&b.ratio.mean));
+        for r in subset {
+            t.row([
+                r.algorithm.clone(),
+                mean_pm_std(r.ratio.mean, r.ratio.std_dev),
+            ]);
+        }
+        println!("\nBilling period g = {g} ticks (d=2, mu=100, {trials} trials)\n{t}");
+    }
+
+    if let Some(path) = args.get_str("json") {
+        dvbp_experiments::write_json(Path::new(path), &rows).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

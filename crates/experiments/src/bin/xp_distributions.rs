@@ -1,0 +1,114 @@
+//! **X4 — distribution sensitivity.** §7's "Theory vs Practice"
+//! discussion calls for average-case study under other input
+//! distributions. This experiment re-runs the algorithm suite under
+//! Zipf sizes, geometric durations, bursty arrivals and correlated
+//! dimensions, and reports whether the paper's ranking (MTF best, Worst
+//! Fit worst) survives each change.
+//!
+//! ```text
+//! cargo run --release -p dvbp-experiments --bin xp_distributions
+//!     [--trials 200] [--json PATH]
+//! ```
+
+use dvbp_analysis::report::{mean_pm_std, TextTable};
+use dvbp_analysis::stats::{Accumulator, Summary};
+use dvbp_core::{pack_with, PolicyKind};
+use dvbp_experiments::cli::Args;
+use dvbp_experiments::fig4::trial_seed;
+use dvbp_offline::lb_load;
+use dvbp_parallel::run_trials;
+use dvbp_workloads::extended::{ArrivalDist, DurationDist, ExtendedParams, SizeDist};
+use dvbp_workloads::UniformParams;
+use serde::Serialize;
+use std::path::Path;
+
+#[derive(Serialize)]
+struct Row {
+    scenario: String,
+    algorithm: String,
+    ratio: Summary,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let trials: usize = args.get("trials", 200);
+    let base = UniformParams::table2(2, 100);
+
+    let scenarios: Vec<(String, ExtendedParams)> = vec![
+        ("uniform (paper)".into(), ExtendedParams::paper(base)),
+        (
+            "zipf sizes (s=1.5)".into(),
+            ExtendedParams {
+                sizes: SizeDist::Zipf { exponent: 1.5 },
+                ..ExtendedParams::paper(base)
+            },
+        ),
+        (
+            "geometric durations (p=0.1)".into(),
+            ExtendedParams {
+                durations: DurationDist::Geometric { p: 0.1 },
+                ..ExtendedParams::paper(base)
+            },
+        ),
+        (
+            "bursty arrivals (5 waves)".into(),
+            ExtendedParams {
+                arrivals: ArrivalDist::Bursty {
+                    waves: 5,
+                    width: 40,
+                },
+                ..ExtendedParams::paper(base)
+            },
+        ),
+        (
+            "correlated dims (spread 10)".into(),
+            ExtendedParams {
+                sizes: SizeDist::Correlated { spread: 10 },
+                ..ExtendedParams::paper(base)
+            },
+        ),
+    ];
+
+    let suite = PolicyKind::paper_suite(0);
+    let mut rows = Vec::new();
+    for (si, (name, params)) in scenarios.iter().enumerate() {
+        let per_trial = run_trials(trials, |t| {
+            let seed = trial_seed(0xD157 + si as u64, 2, 100, t);
+            let inst = params.generate(seed);
+            let lb = lb_load(&inst);
+            PolicyKind::paper_suite(seed ^ 0xD1CE)
+                .iter()
+                .map(|k| dvbp_analysis::ratio(pack_with(&inst, k).cost(), lb))
+                .collect::<Vec<f64>>()
+        });
+        for (ki, kind) in suite.iter().enumerate() {
+            let mut acc = Accumulator::new();
+            for tr in &per_trial {
+                acc.push(tr[ki]);
+            }
+            rows.push(Row {
+                scenario: name.clone(),
+                algorithm: kind.name(),
+                ratio: Summary::from(&acc),
+            });
+        }
+    }
+
+    let mut t = TextTable::new(["scenario", "algorithm", "cost/LB (mean ± std)"]);
+    for r in &rows {
+        t.row([
+            r.scenario.clone(),
+            r.algorithm.clone(),
+            mean_pm_std(r.ratio.mean, r.ratio.std_dev),
+        ]);
+    }
+    println!(
+        "X4: distribution sensitivity of the Any Fit suite\n\
+         (base: d=2, mu=100, n=1000; {trials} trials/scenario)\n\n{t}"
+    );
+
+    if let Some(path) = args.get_str("json") {
+        dvbp_experiments::write_json(Path::new(path), &rows).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,104 @@
+//! **X3 — noisy-prediction robustness.** §8 suggests studying DVBP "given
+//! additional information about the input, perhaps obtained using machine
+//! learning". This experiment feeds duration-class First Fit predictions
+//! whose log₂-error grows from 0 (perfect clairvoyance) to ±6 (useless),
+//! and tracks when the non-clairvoyant Move To Front overtakes it.
+//!
+//! ```text
+//! cargo run --release -p dvbp-experiments --bin xp_predictions
+//!     [--trials 200] [--json PATH]
+//! ```
+
+use dvbp_analysis::report::{mean_pm_std, TextTable};
+use dvbp_analysis::stats::{Accumulator, Summary};
+use dvbp_core::{pack_with, PolicyKind};
+use dvbp_experiments::cli::Args;
+use dvbp_experiments::fig4::trial_seed;
+use dvbp_offline::lb_load;
+use dvbp_parallel::run_trials;
+use dvbp_workloads::predictions::announce_noisy;
+use dvbp_workloads::UniformParams;
+use serde::Serialize;
+use std::path::Path;
+
+#[derive(Serialize)]
+struct Row {
+    err_log2: f64,
+    algorithm: String,
+    ratio: Summary,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let trials: usize = args.get("trials", 200);
+    let errors = [0.0f64, 0.5, 1.0, 2.0, 4.0, 6.0];
+    let params = UniformParams::table2(2, 100);
+
+    let mut rows = Vec::new();
+    // Baseline: Move To Front needs no predictions; measured once.
+    let mtf_ratios = run_trials(trials, |t| {
+        let seed = trial_seed(0x9ED1, 2, 100, t);
+        let inst = params.generate(seed);
+        dvbp_analysis::ratio(
+            pack_with(&inst, &PolicyKind::MoveToFront).cost(),
+            lb_load(&inst),
+        )
+    });
+    let mut mtf_acc = Accumulator::new();
+    for r in &mtf_ratios {
+        mtf_acc.push(*r);
+    }
+
+    for &err in &errors {
+        let per_trial = run_trials(trials, |t| {
+            let seed = trial_seed(0x9ED1, 2, 100, t);
+            let inst = params.generate(seed);
+            let lb = lb_load(&inst);
+            let noisy = announce_noisy(&inst, err, seed ^ 0xFACE);
+            dvbp_analysis::ratio(
+                pack_with(&noisy, &PolicyKind::DurationClassFirstFit).cost(),
+                lb,
+            )
+        });
+        let mut acc = Accumulator::new();
+        for r in &per_trial {
+            acc.push(*r);
+        }
+        rows.push(Row {
+            err_log2: err,
+            algorithm: "DurationClassFF".into(),
+            ratio: Summary::from(&acc),
+        });
+    }
+    rows.push(Row {
+        err_log2: f64::NAN,
+        algorithm: "MoveToFront (no predictions)".into(),
+        ratio: Summary::from(&mtf_acc),
+    });
+
+    let mut t = TextTable::new([
+        "prediction err (±log2)",
+        "algorithm",
+        "cost/LB (mean ± std)",
+    ]);
+    for r in &rows {
+        t.row([
+            if r.err_log2.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:.1}", r.err_log2)
+            },
+            r.algorithm.clone(),
+            mean_pm_std(r.ratio.mean, r.ratio.std_dev),
+        ]);
+    }
+    println!(
+        "X3: robustness of duration-class packing to prediction error\n\
+         (d=2, mu=100, {trials} trials/point)\n\n{t}"
+    );
+
+    if let Some(path) = args.get_str("json") {
+        dvbp_experiments::write_json(Path::new(path), &rows).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Minimal `--key value` / `--flag` argument parsing for the experiment
+//! binaries (no external CLI crate; the flags are few and uniform).
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()` (skipping the program name).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage hint on a malformed argument list (a `--key`
+    /// at the end without a value is treated as a flag).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument iterator.
+    #[must_use]
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let key = arg
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("unexpected positional argument: {arg}"));
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked");
+                    out.values.insert(key.to_string(), value);
+                }
+                _ => out.flags.push(key.to_string()),
+            }
+        }
+        out
+    }
+
+    /// A `--key value` as a parsed type, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value fails to parse.
+    #[must_use]
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|e| panic!("--{key} {v}: {e:?}")))
+            .unwrap_or(default)
+    }
+
+    /// The raw string value of `--key`, if present.
+    #[must_use]
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// `true` iff `--flag` was passed.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn values_and_flags() {
+        let a = parse(&["--trials", "50", "--quick", "--json", "out.json"]);
+        assert_eq!(a.get("trials", 0usize), 50);
+        assert!(a.flag("quick"));
+        assert!(!a.flag("slow"));
+        assert_eq!(a.get_str("json"), Some("out.json"));
+        assert_eq!(a.get("missing", 7u64), 7);
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let a = parse(&["--verbose"]);
+        assert!(a.flag("verbose"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positional")]
+    fn rejects_positional() {
+        let _ = parse(&["oops"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--trials")]
+    fn rejects_bad_value() {
+        let a = parse(&["--trials", "abc"]);
+        let _ = a.get("trials", 0usize);
+    }
+}

@@ -1,0 +1,51 @@
+//! Experiment harness: the logic behind every table/figure binary.
+//!
+//! Each paper artifact has a binary in `src/bin/` that parses a few
+//! flags, calls into this library, prints the paper-style rows, and
+//! optionally dumps machine-readable JSON. The heavy lifting lives here
+//! so the Criterion benches can reuse it.
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig4_average_case` | Figure 4 (+ Table 2 parameters) |
+//! | `table1_bounds` | Table 1 lower-bound constructions |
+//! | `fig1_mtf_decomposition` | Figure 1 |
+//! | `fig2_ff_decomposition` | Figure 2 |
+//! | `fig3_anyfit_lb_trace` | Figure 3 |
+//! | `xp_bestfit_loads` | X1: Best Fit load-measure ablation |
+//! | `xp_clairvoyant` | X2: clairvoyant duration classes |
+//! | `xp_predictions` | X3: noisy-prediction robustness |
+//! | `xp_distributions` | X4: distribution sensitivity |
+
+pub mod cli;
+pub mod fig4;
+pub mod table1;
+
+use serde::Serialize;
+use std::path::Path;
+
+/// Writes any serializable result as pretty JSON to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O and serialization failures.
+pub fn write_json<T: Serialize>(path: &Path, value: &T) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_json_roundtrip() {
+        let dir = std::env::temp_dir().join("dvbp_test_json");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.json");
+        write_json(&path, &vec![1u32, 2, 3]).unwrap();
+        let back: Vec<u32> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,303 @@
+//! Table 1: empirical verification of the competitive-ratio bounds.
+//!
+//! Two halves:
+//!
+//! * **Lower bounds** — run each §6 construction at growing `k` (or `n`),
+//!   measure the targeted algorithm's cost against the *witness-certified*
+//!   OPT upper bound, and report the measured ratio converging to the
+//!   theorem's asymptote from below.
+//! * **Upper bounds** — on batches of small random instances with exact
+//!   OPT, report the worst observed `cost/OPT` per algorithm next to the
+//!   theorem's formula value; no observation may exceed it.
+
+use dvbp_core::{pack_with, Instance, Item, PolicyKind};
+use dvbp_dimvec::DimVec;
+use dvbp_offline::{opt_exact, witness::assignment_cost};
+use dvbp_parallel::run_trials;
+use dvbp_workloads::adversarial::{AnyFitLb, MtfLb, NextFitLb};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One lower-bound measurement row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LowerBoundRow {
+    /// Which construction ("Thm5", "Thm6", "Thm8").
+    pub family: String,
+    /// Algorithm the construction targets.
+    pub algorithm: String,
+    /// Dimensions.
+    pub d: usize,
+    /// Duration ratio μ.
+    pub mu: u64,
+    /// Scale parameter (`k` or `n`).
+    pub scale: usize,
+    /// Measured online cost.
+    pub online_cost: u128,
+    /// Witness-certified upper bound on OPT.
+    pub opt_upper: u128,
+    /// Measured ratio `online_cost / opt_upper` (a certified CR lower
+    /// bound for this algorithm).
+    pub ratio: f64,
+    /// The theorem's asymptotic target.
+    pub asymptote: f64,
+}
+
+/// Runs the Theorem 5 family (targets every full-candidate Any Fit
+/// algorithm; reported for each) at the given scales.
+#[must_use]
+pub fn thm5_rows(dims: &[usize], mu: u64, scales: &[usize], m: u64) -> Vec<LowerBoundRow> {
+    let mut rows = Vec::new();
+    for &d in dims {
+        for &k in scales {
+            let c = AnyFitLb { k, d, mu, m };
+            let inst = c.instance();
+            let opt_upper = assignment_cost(&inst, &c.witness())
+                .expect("Thm 5 witness must be feasible")
+                .min(c.opt_upper());
+            for kind in PolicyKind::paper_suite(7)
+                .into_iter()
+                .filter(PolicyKind::is_full_candidate_any_fit)
+            {
+                let cost = pack_with(&inst, &kind).cost();
+                rows.push(LowerBoundRow {
+                    family: "Thm5".into(),
+                    algorithm: kind.name(),
+                    d,
+                    mu,
+                    scale: k,
+                    online_cost: cost,
+                    opt_upper,
+                    ratio: cost as f64 / opt_upper as f64,
+                    asymptote: c.asymptote(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Runs the Theorem 6 family (targets Next Fit).
+#[must_use]
+pub fn thm6_rows(dims: &[usize], mu: u64, scales: &[usize]) -> Vec<LowerBoundRow> {
+    let mut rows = Vec::new();
+    for &d in dims {
+        for &k in scales {
+            assert!(k % 2 == 0, "Thm 6 needs even k");
+            let c = NextFitLb { k, d, mu };
+            let inst = c.instance();
+            let opt_upper = assignment_cost(&inst, &c.witness())
+                .expect("Thm 6 witness must be feasible")
+                .min(c.opt_upper());
+            let cost = pack_with(&inst, &PolicyKind::NextFit).cost();
+            rows.push(LowerBoundRow {
+                family: "Thm6".into(),
+                algorithm: "NextFit".into(),
+                d,
+                mu,
+                scale: k,
+                online_cost: cost,
+                opt_upper,
+                ratio: cost as f64 / opt_upper as f64,
+                asymptote: c.asymptote(),
+            });
+        }
+    }
+    rows
+}
+
+/// Runs the Theorem 8 family (targets Move To Front; also forces Next
+/// Fit, reported for both).
+#[must_use]
+pub fn thm8_rows(mu: u64, scales: &[usize]) -> Vec<LowerBoundRow> {
+    let mut rows = Vec::new();
+    for &n in scales {
+        let c = MtfLb { n, mu };
+        let inst = c.instance();
+        let opt_upper = assignment_cost(&inst, &c.witness())
+            .expect("Thm 8 witness must be feasible")
+            .min(c.opt_upper());
+        for kind in [PolicyKind::MoveToFront, PolicyKind::NextFit] {
+            let cost = pack_with(&inst, &kind).cost();
+            rows.push(LowerBoundRow {
+                family: "Thm8".into(),
+                algorithm: kind.name(),
+                d: 1,
+                mu,
+                scale: n,
+                online_cost: cost,
+                opt_upper,
+                ratio: cost as f64 / opt_upper as f64,
+                asymptote: c.asymptote(),
+            });
+        }
+    }
+    rows
+}
+
+/// One upper-bound verification row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct UpperBoundRow {
+    /// Algorithm.
+    pub algorithm: String,
+    /// Dimensions.
+    pub d: usize,
+    /// Worst observed `cost / OPT_exact` over the batch.
+    pub worst_ratio: f64,
+    /// The theorem's bound evaluated at the batch's worst-case μ.
+    pub bound_at_max_mu: f64,
+    /// Number of instances checked.
+    pub instances: usize,
+    /// `true` iff no observation exceeded the bound (always expected).
+    pub holds: bool,
+}
+
+/// The theorem upper-bound formula for a policy, as a function of μ and d.
+#[must_use]
+pub fn bound_formula(kind: &PolicyKind, mu: f64, d: f64) -> Option<f64> {
+    match kind {
+        PolicyKind::MoveToFront => Some((2.0 * mu + 1.0) * d + 1.0),
+        PolicyKind::FirstFit => Some((mu + 2.0) * d + 1.0),
+        PolicyKind::NextFit => Some(2.0 * mu * d + 1.0),
+        _ => None, // Best Fit unbounded; others unproven.
+    }
+}
+
+/// Checks the Theorems 2–4 upper bounds on `trials` random small
+/// instances with exact OPT. Returns one row per bounded algorithm and
+/// dimension.
+///
+/// # Panics
+///
+/// Panics if any observation exceeds its bound (that would falsify the
+/// implementation, not the paper).
+#[must_use]
+pub fn upper_bound_rows(dims: &[usize], trials: usize, seed: u64) -> Vec<UpperBoundRow> {
+    let kinds = [
+        PolicyKind::MoveToFront,
+        PolicyKind::FirstFit,
+        PolicyKind::NextFit,
+    ];
+    let mut rows = Vec::new();
+    for &d in dims {
+        // Collect per-trial (ratio, mu) per algorithm.
+        let per_trial = run_trials(trials, |t| {
+            let inst = random_small_instance(d, seed ^ (t as u64).wrapping_mul(0x9E37));
+            let opt = opt_exact(&inst, 28).expect("small instances solve exactly");
+            let (max_d, min_d) = inst.mu().expect("non-empty");
+            let mu = max_d as f64 / min_d as f64;
+            kinds
+                .iter()
+                .map(|kind| {
+                    let cost = pack_with(&inst, kind).cost();
+                    (cost as f64 / opt as f64, mu)
+                })
+                .collect::<Vec<(f64, f64)>>()
+        });
+        for (ki, kind) in kinds.iter().enumerate() {
+            let mut worst = 0.0f64;
+            let mut max_mu = 1.0f64;
+            let mut holds = true;
+            for trial in &per_trial {
+                let (ratio, mu) = trial[ki];
+                let bound = bound_formula(kind, mu, d as f64).expect("bounded policies only");
+                if ratio > bound {
+                    holds = false;
+                }
+                if ratio > worst {
+                    worst = ratio;
+                }
+                if mu > max_mu {
+                    max_mu = mu;
+                }
+            }
+            assert!(holds, "{} exceeded its CR bound", kind.name());
+            rows.push(UpperBoundRow {
+                algorithm: kind.name(),
+                d,
+                worst_ratio: worst,
+                bound_at_max_mu: bound_formula(kind, max_mu, d as f64).expect("bounded"),
+                instances: trials,
+                holds,
+            });
+        }
+    }
+    rows
+}
+
+/// A random instance small enough for exact OPT (≤ 12 items, short span).
+fn random_small_instance(d: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cap = 10u64;
+    let n = rng.random_range(2..=12);
+    let items = (0..n)
+        .map(|_| {
+            let size = DimVec::from_fn(d, |_| rng.random_range(1..=cap));
+            let a = rng.random_range(0..10u64);
+            let dur = rng.random_range(1..=6u64);
+            Item::new(size, a, a + dur)
+        })
+        .collect();
+    Instance::new(DimVec::splat(d, cap), items).expect("valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thm5_ratios_increase_with_k_and_stay_below_asymptote() {
+        let rows = thm5_rows(&[2], 3, &[2, 8], 16);
+        let ff: Vec<&LowerBoundRow> = rows.iter().filter(|r| r.algorithm == "FirstFit").collect();
+        assert_eq!(ff.len(), 2);
+        assert!(ff[1].ratio > ff[0].ratio);
+        for r in &rows {
+            assert!(r.ratio <= r.asymptote * 1.001, "{r:?}");
+            assert!(r.ratio >= 1.0);
+        }
+    }
+
+    #[test]
+    fn thm6_ratio_tracks_formula() {
+        let rows = thm6_rows(&[1, 2], 4, &[4, 20]);
+        for r in &rows {
+            assert!(r.ratio <= r.asymptote);
+            // Ratio must at least reach the guaranteed closed form.
+            let c = NextFitLb {
+                k: r.scale,
+                d: r.d,
+                mu: r.mu,
+            };
+            assert!(r.ratio + 1e-9 >= c.guaranteed_ratio());
+        }
+    }
+
+    #[test]
+    fn thm8_mtf_hits_exact_cost() {
+        let rows = thm8_rows(6, &[4]);
+        let mtf = rows.iter().find(|r| r.algorithm == "MoveToFront").unwrap();
+        assert_eq!(mtf.online_cost, 2 * 4 * 6);
+    }
+
+    #[test]
+    fn upper_bounds_hold_on_random_batch() {
+        let rows = upper_bound_rows(&[1, 2], 40, 99);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.holds);
+            assert!(r.worst_ratio >= 1.0);
+            assert!(r.worst_ratio <= r.bound_at_max_mu);
+        }
+    }
+
+    #[test]
+    fn bound_formulas() {
+        assert_eq!(bound_formula(&PolicyKind::MoveToFront, 1.0, 1.0), Some(4.0));
+        assert_eq!(bound_formula(&PolicyKind::FirstFit, 1.0, 1.0), Some(4.0));
+        assert_eq!(bound_formula(&PolicyKind::NextFit, 1.0, 1.0), Some(3.0));
+        assert_eq!(
+            bound_formula(&PolicyKind::BestFit(dvbp_core::LoadMeasure::Linf), 1.0, 1.0),
+            None
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests: Lemma 1 sandwich and the paper's CR upper bounds
+//! (Theorems 2, 3, 4) checked against the *exact* offline optimum on
+//! randomly generated, exhaustively solvable instances.
+
+use crate::{lb_load, lb_span, lb_utilization, opt_bounds, opt_exact};
+use dvbp_core::{pack_with, Instance, Item, PolicyKind};
+use dvbp_dimvec::DimVec;
+use dvbp_sim::Cost;
+use proptest::prelude::*;
+
+fn small_instances() -> impl Strategy<Value = Instance> {
+    (1usize..=3, 1usize..=12).prop_flat_map(|(d, n)| {
+        let cap = 10u64;
+        let item = (prop::collection::vec(1u64..=cap, d), 0u64..12, 1u64..=6)
+            .prop_map(move |(size, a, dur)| Item::new(DimVec::from_slice(&size), a, a + dur));
+        prop::collection::vec(item, n).prop_map(move |items| {
+            Instance::new(DimVec::splat(d, cap), items).expect("valid instance")
+        })
+    })
+}
+
+/// Checks `cost · min_dur ≤ OPT · bound_numerator` where the CR bound is
+/// `bound_numerator / min_dur` — exact integer arithmetic, no floats.
+fn check_bound(cost: Cost, opt: Cost, bound_numerator: u128, min_dur: u64, label: &str) {
+    assert!(
+        cost * Cost::from(min_dur) <= opt * bound_numerator,
+        "{label}: cost {cost} > bound·OPT ({bound_numerator}/{min_dur} · {opt})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 1: every lower bound is below the exact OPT, which is below
+    /// every online policy's cost.
+    #[test]
+    fn lemma1_sandwich(inst in small_instances()) {
+        let opt = opt_exact(&inst, 28).expect("instances are small");
+        prop_assert!(lb_load(&inst) <= opt);
+        prop_assert!(lb_span(&inst) <= opt);
+        prop_assert!(lb_utilization(&inst) <= opt as f64 + 1e-9);
+        let b = opt_bounds(&inst, 28);
+        prop_assert_eq!(b.lower, opt);
+        prop_assert_eq!(b.upper, opt);
+        for kind in PolicyKind::paper_suite(3) {
+            prop_assert!(pack_with(&inst, &kind).cost() >= opt, "{}", kind.name());
+        }
+    }
+
+    /// Theorem 2: cost(MTF) ≤ ((2μ+1)d + 1) · OPT.
+    #[test]
+    fn theorem2_mtf_upper_bound(inst in small_instances()) {
+        let opt = opt_exact(&inst, 28).unwrap();
+        let (max_d, min_d) = inst.mu().unwrap();
+        let d = inst.dim() as u128;
+        let cost = pack_with(&inst, &PolicyKind::MoveToFront).cost();
+        // ((2μ+1)d+1) = ((2·max + min)·d + min) / min
+        let numer = (2 * u128::from(max_d) + u128::from(min_d)) * d + u128::from(min_d);
+        check_bound(cost, opt, numer, min_d, "MTF/Thm2");
+    }
+
+    /// Theorem 3: cost(FF) ≤ ((μ+2)d + 1) · OPT.
+    #[test]
+    fn theorem3_ff_upper_bound(inst in small_instances()) {
+        let opt = opt_exact(&inst, 28).unwrap();
+        let (max_d, min_d) = inst.mu().unwrap();
+        let d = inst.dim() as u128;
+        let cost = pack_with(&inst, &PolicyKind::FirstFit).cost();
+        let numer = (u128::from(max_d) + 2 * u128::from(min_d)) * d + u128::from(min_d);
+        check_bound(cost, opt, numer, min_d, "FF/Thm3");
+    }
+
+    /// Theorem 4: cost(NF) ≤ (2μd + 1) · OPT.
+    #[test]
+    fn theorem4_nf_upper_bound(inst in small_instances()) {
+        let opt = opt_exact(&inst, 28).unwrap();
+        let (max_d, min_d) = inst.mu().unwrap();
+        let d = inst.dim() as u128;
+        let cost = pack_with(&inst, &PolicyKind::NextFit).cost();
+        let numer = 2 * u128::from(max_d) * d + u128::from(min_d);
+        check_bound(cost, opt, numer, min_d, "NF/Thm4");
+    }
+
+    /// The exact per-slice solver agrees with brute force (tiny slices).
+    #[test]
+    fn exact_matches_brute_force(
+        sizes in prop::collection::vec(prop::collection::vec(1u64..=10, 2), 1..7)
+    ) {
+        let cap = DimVec::splat(2, 10);
+        let sizes: Vec<DimVec> = sizes.iter().map(|s| DimVec::from_slice(s)).collect();
+        let exact = crate::exact::pack_count(&sizes, &cap, 28).unwrap();
+        let brute = crate::exact::brute_force_count(&sizes, &cap);
+        prop_assert_eq!(exact, brute);
+    }
+}

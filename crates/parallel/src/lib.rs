@@ -1,0 +1,252 @@
+//! Deterministic parallel trial runner for DVBP experiments.
+//!
+//! The online packing algorithms are inherently sequential, but the
+//! experiments are embarrassingly parallel across *trials* (Figure 4 runs
+//! `m = 1000` seeded instances per grid point) and across grid points.
+//! This crate runs a seeded closure over trial indices on a scoped thread
+//! pool (crossbeam) with dynamic work stealing via an atomic cursor.
+//!
+//! Determinism contract: the closure receives the **trial index**, derives
+//! its own seed from it, and returns a value; results are written to the
+//! trial's slot, so the output vector is identical regardless of thread
+//! count or scheduling. (This is the guides' "no data races, same results
+//! as sequential" discipline: parallelism only over independent trials.)
+
+use parking_lot::Mutex;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used by [`run_trials`]: the machine's
+/// available parallelism, capped by the trial count.
+#[must_use]
+pub fn default_threads(trials: usize) -> NonZeroUsize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    NonZeroUsize::new(hw.min(trials).max(1)).expect("max(1) is nonzero")
+}
+
+/// Runs `f(trial_index)` for every index in `0..trials` on `threads`
+/// workers and returns the results in index order.
+///
+/// `f` must derive all randomness from the trial index (e.g.
+/// `StdRng::seed_from_u64(base ^ index)`), which makes the output
+/// independent of the parallel schedule.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f`.
+#[must_use]
+pub fn run_trials_on<T, F>(trials: usize, threads: NonZeroUsize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if trials == 0 {
+        return Vec::new();
+    }
+    let threads = threads.get().min(trials);
+    if threads == 1 {
+        return (0..trials).map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = (0..trials).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= trials {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock() = Some(value);
+            });
+        }
+    })
+    .expect("worker panicked");
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+/// [`run_trials_on`] with [`default_threads`].
+#[must_use]
+pub fn run_trials<T, F>(trials: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_trials_on(trials, default_threads(trials), f)
+}
+
+/// Runs trials in parallel and folds the results into an accumulator via
+/// `fold`, merging per-thread partials with `merge`. Avoids materializing
+/// all trial outputs when only an aggregate is needed.
+///
+/// `fold` is applied in an unspecified trial order within each worker, so
+/// the accumulator must be order-insensitive (e.g. Welford merge, sums,
+/// min/max) for deterministic-in-distribution results; exact bitwise
+/// determinism additionally requires an associative-commutative fold.
+#[must_use]
+pub fn run_fold<T, A, F, Fold, Merge>(
+    trials: usize,
+    threads: NonZeroUsize,
+    init: impl Fn() -> A + Sync,
+    f: F,
+    fold: Fold,
+    merge: Merge,
+) -> A
+where
+    T: Send,
+    A: Send,
+    F: Fn(usize) -> T + Sync,
+    Fold: Fn(&mut A, T) + Sync,
+    Merge: Fn(&mut A, A),
+{
+    if trials == 0 {
+        return init();
+    }
+    let threads = threads.get().min(trials);
+    if threads == 1 {
+        let mut acc = init();
+        for i in 0..trials {
+            fold(&mut acc, f(i));
+        }
+        return acc;
+    }
+    let cursor = AtomicUsize::new(0);
+    let partials: Vec<Mutex<Option<A>>> = (0..threads).map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for w in 0..threads {
+            let partials = &partials;
+            let cursor = &cursor;
+            let init = &init;
+            let f = &f;
+            let fold = &fold;
+            scope.spawn(move |_| {
+                let mut acc = init();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= trials {
+                        break;
+                    }
+                    fold(&mut acc, f(i));
+                }
+                *partials[w].lock() = Some(acc);
+            });
+        }
+    })
+    .expect("worker panicked");
+    let mut result: Option<A> = None;
+    for p in partials {
+        if let Some(a) = p.into_inner() {
+            match &mut result {
+                None => result = Some(a),
+                Some(r) => merge(r, a),
+            }
+        }
+    }
+    result.unwrap_or_else(init)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_index_order() {
+        let out = run_trials(100, |i| i * i);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let f = |i: usize| {
+            // A little CPU noise to encourage interleaving.
+            let mut x = i as u64 + 1;
+            for _ in 0..50 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+            }
+            x
+        };
+        let one = run_trials_on(200, NonZeroUsize::new(1).unwrap(), f);
+        let four = run_trials_on(200, NonZeroUsize::new(4).unwrap(), f);
+        let many = run_trials_on(200, NonZeroUsize::new(16).unwrap(), f);
+        assert_eq!(one, four);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn zero_trials() {
+        let out: Vec<u32> = run_trials(0, |_| unreachable!("no trials"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_trials() {
+        let out = run_trials_on(3, NonZeroUsize::new(64).unwrap(), |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fold_sums_match_sequential() {
+        let total = run_fold(
+            1000,
+            NonZeroUsize::new(8).unwrap(),
+            || 0u64,
+            |i| i as u64,
+            |acc, x| *acc += x,
+            |acc, other| *acc += other,
+        );
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn fold_with_one_thread() {
+        let total = run_fold(
+            10,
+            NonZeroUsize::new(1).unwrap(),
+            || 0u64,
+            |i| i as u64,
+            |acc, x| *acc += x,
+            |acc, other| *acc += other,
+        );
+        assert_eq!(total, 45);
+    }
+
+    #[test]
+    fn fold_zero_trials_returns_init() {
+        let total = run_fold(
+            0,
+            NonZeroUsize::new(4).unwrap(),
+            || 7u64,
+            |_i| 1u64,
+            |acc, x| *acc += x,
+            |acc, other| *acc += other,
+        );
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn default_threads_bounds() {
+        assert_eq!(default_threads(0).get(), 1);
+        assert_eq!(default_threads(1).get(), 1);
+        assert!(default_threads(10_000).get() >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let _ = run_trials_on(10, NonZeroUsize::new(4).unwrap(), |i| {
+            assert!(i != 5, "boom");
+            i
+        });
+    }
+}

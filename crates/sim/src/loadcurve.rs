@@ -1,0 +1,240 @@
+//! Piecewise-constant step functions over the tick timeline.
+//!
+//! Several quantities in the DVBP analysis are step functions of time:
+//! the number of active items, the aggregate load vector `s(R, t)`, the
+//! number of open bins of a packing. [`StepCurve`] represents such a
+//! function as breakpoints, built from per-interval deltas, and supports
+//! the integral/maximum queries the experiments report (average open
+//! bins, peak concurrency, utilization-over-time series).
+
+use crate::{Cost, Interval, Time};
+use serde::{Deserialize, Serialize};
+
+/// A right-continuous step function `f: Time → i64`, zero outside its
+/// breakpoints.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepCurve {
+    /// `(t, value)` pairs: `f(x) = value` for `x ∈ [t, next_t)`. Sorted
+    /// by `t`, deduplicated, value changes at every breakpoint.
+    points: Vec<(Time, i64)>,
+}
+
+/// Builder accumulating `±delta` contributions over intervals.
+#[derive(Clone, Debug, Default)]
+pub struct StepCurveBuilder {
+    deltas: Vec<(Time, i64)>,
+}
+
+impl StepCurveBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` over `iv` (no-op for empty intervals).
+    pub fn add(&mut self, iv: Interval, delta: i64) -> &mut Self {
+        if !iv.is_empty() && delta != 0 {
+            self.deltas.push((iv.start, delta));
+            self.deltas.push((iv.end, -delta));
+        }
+        self
+    }
+
+    /// Finalizes into a [`StepCurve`].
+    #[must_use]
+    pub fn build(mut self) -> StepCurve {
+        self.deltas.sort_unstable();
+        let mut points: Vec<(Time, i64)> = Vec::new();
+        let mut value = 0i64;
+        for (t, d) in self.deltas {
+            value += d;
+            match points.last_mut() {
+                Some((last_t, last_v)) if *last_t == t => *last_v = value,
+                Some((_, last_v)) if *last_v == value => {}
+                _ => points.push((t, value)),
+            }
+        }
+        // Drop trailing zero-value points produced by cancelling deltas
+        // at the same tick.
+        while points.last().is_some_and(|&(_, v)| v == 0)
+            && points.len() >= 2
+            && points[points.len() - 2].1 == 0
+        {
+            points.pop();
+        }
+        StepCurve { points }
+    }
+}
+
+impl StepCurve {
+    /// Builds the curve counting, at every tick, how many of `intervals`
+    /// contain it.
+    #[must_use]
+    pub fn count_of(intervals: &[Interval]) -> Self {
+        let mut b = StepCurveBuilder::new();
+        for iv in intervals {
+            b.add(*iv, 1);
+        }
+        b.build()
+    }
+
+    /// The value at tick `t`.
+    #[must_use]
+    pub fn value_at(&self, t: Time) -> i64 {
+        match self.points.partition_point(|&(pt, _)| pt <= t) {
+            0 => 0,
+            k => self.points[k - 1].1,
+        }
+    }
+
+    /// The maximum value attained (0 for an empty curve).
+    #[must_use]
+    pub fn max(&self) -> i64 {
+        self.points.iter().map(|&(_, v)| v).max().unwrap_or(0)
+    }
+
+    /// `∫ f(t) dt` over the whole timeline (the curve is 0 outside its
+    /// breakpoints, so the integral is finite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve does not return to 0 (an unbounded integral —
+    /// impossible for curves built from finite intervals).
+    #[must_use]
+    pub fn integral(&self) -> i128 {
+        let mut total: i128 = 0;
+        for w in self.points.windows(2) {
+            total += i128::from(w[0].1) * i128::from(w[1].0 - w[0].0);
+        }
+        if let Some(&(_, v)) = self.points.last() {
+            assert_eq!(v, 0, "curve must return to zero");
+        }
+        total
+    }
+
+    /// Total time the curve is strictly positive.
+    #[must_use]
+    pub fn support_len(&self) -> Cost {
+        let mut total: Cost = 0;
+        for w in self.points.windows(2) {
+            if w[0].1 > 0 {
+                total += Cost::from(w[1].0 - w[0].0);
+            }
+        }
+        total
+    }
+
+    /// The breakpoints `(t, value)`.
+    #[must_use]
+    pub fn points(&self) -> &[(Time, i64)] {
+        &self.points
+    }
+
+    /// Samples the curve at `resolution` evenly spaced ticks across its
+    /// support (for plotting); returns `(t, value)` pairs.
+    #[must_use]
+    pub fn sample(&self, resolution: usize) -> Vec<(Time, i64)> {
+        let (Some(&(start, _)), Some(&(end, _))) = (self.points.first(), self.points.last()) else {
+            return Vec::new();
+        };
+        if resolution == 0 || end <= start {
+            return Vec::new();
+        }
+        (0..resolution)
+            .map(|i| {
+                let t = start + (end - start) * i as u64 / resolution as u64;
+                (t, self.value_at(t))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: Time, e: Time) -> Interval {
+        Interval::new(a, e)
+    }
+
+    #[test]
+    fn empty_curve() {
+        let c = StepCurve::count_of(&[]);
+        assert_eq!(c.value_at(0), 0);
+        assert_eq!(c.max(), 0);
+        assert_eq!(c.integral(), 0);
+        assert_eq!(c.support_len(), 0);
+        assert!(c.sample(10).is_empty());
+    }
+
+    #[test]
+    fn single_interval() {
+        let c = StepCurve::count_of(&[iv(2, 5)]);
+        assert_eq!(c.value_at(1), 0);
+        assert_eq!(c.value_at(2), 1);
+        assert_eq!(c.value_at(4), 1);
+        assert_eq!(c.value_at(5), 0);
+        assert_eq!(c.max(), 1);
+        assert_eq!(c.integral(), 3);
+        assert_eq!(c.support_len(), 3);
+    }
+
+    #[test]
+    fn overlapping_intervals() {
+        let c = StepCurve::count_of(&[iv(0, 4), iv(2, 6), iv(2, 3)]);
+        assert_eq!(c.value_at(0), 1);
+        assert_eq!(c.value_at(2), 3);
+        assert_eq!(c.value_at(3), 2);
+        assert_eq!(c.value_at(4), 1);
+        assert_eq!(c.value_at(6), 0);
+        assert_eq!(c.max(), 3);
+        // ∫ = 4 + 4 + 1 = total interval lengths.
+        assert_eq!(c.integral(), 9);
+        assert_eq!(c.support_len(), 6);
+    }
+
+    #[test]
+    fn gap_between_bursts() {
+        let c = StepCurve::count_of(&[iv(0, 2), iv(5, 7)]);
+        assert_eq!(c.value_at(3), 0);
+        assert_eq!(c.support_len(), 4);
+        assert_eq!(c.integral(), 4);
+    }
+
+    #[test]
+    fn weighted_deltas() {
+        let mut b = StepCurveBuilder::new();
+        b.add(iv(0, 10), 5).add(iv(3, 6), -2);
+        let c = b.build();
+        assert_eq!(c.value_at(0), 5);
+        assert_eq!(c.value_at(3), 3);
+        assert_eq!(c.value_at(6), 5);
+        assert_eq!(c.integral(), 5 * 10 - 2 * 3);
+    }
+
+    #[test]
+    fn touching_intervals_cancel_at_boundary() {
+        let c = StepCurve::count_of(&[iv(0, 3), iv(3, 6)]);
+        assert_eq!(c.value_at(2), 1);
+        assert_eq!(c.value_at(3), 1);
+        assert_eq!(c.max(), 1);
+        assert_eq!(c.integral(), 6);
+    }
+
+    #[test]
+    fn integral_equals_sum_of_lengths() {
+        let ivs = [iv(0, 7), iv(1, 3), iv(2, 9), iv(20, 21)];
+        let c = StepCurve::count_of(&ivs);
+        let total: i128 = ivs.iter().map(|i| i128::from(i.len())).sum();
+        assert_eq!(c.integral(), total);
+    }
+
+    #[test]
+    fn sampling() {
+        let c = StepCurve::count_of(&[iv(0, 10)]);
+        let s = c.sample(5);
+        assert_eq!(s.len(), 5);
+        assert!(s.iter().all(|&(_, v)| v == 1 || v == 0));
+    }
+}

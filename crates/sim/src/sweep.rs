@@ -1,0 +1,189 @@
+//! Elementary-slice sweep-line over a set of item intervals.
+//!
+//! Between two consecutive event ticks (an arrival or departure boundary)
+//! the set of active items is constant. The paper's offline quantities are
+//! integrals of per-time functions that are piecewise constant over these
+//! *elementary slices*:
+//!
+//! * Lemma 1(i): `∫ ⌈‖s(R,t)‖∞⌉ dt`,
+//! * eq. (2):    `OPT(R) = ∫ OPT(R,t) dt`.
+//!
+//! [`sweep`] visits each non-empty elementary slice exactly once, exposing
+//! the slice interval and the indices of the items active in it. The
+//! active list is maintained incrementally (ids are appended on entry and
+//! swap-removed on exit), so a full sweep over `n` items costs
+//! `O(n log n + Σ_slices |active|)`.
+
+use crate::{Interval, Time};
+
+/// One elementary slice of the timeline.
+#[derive(Debug)]
+pub struct Slice<'a> {
+    /// The slice interval `[t_k, t_{k+1})`; always non-empty.
+    pub interval: Interval,
+    /// Indices (into the input interval list) of the items active
+    /// throughout this slice, in unspecified order.
+    pub active: &'a [usize],
+}
+
+/// Sweeps the elementary slices of `intervals`, calling `visit` on each
+/// slice that has at least one active item.
+///
+/// Empty input intervals are skipped entirely (they are active at no time).
+/// Slices with no active items (gaps between bursts) are not visited; the
+/// paper treats each maximal active stretch as an independent sub-problem
+/// (§2.1), and gap slices contribute zero to every integral of interest.
+pub fn sweep(intervals: &[Interval], mut visit: impl FnMut(Slice<'_>)) {
+    let mut boundaries: Vec<Time> = Vec::with_capacity(intervals.len() * 2);
+    for iv in intervals {
+        if !iv.is_empty() {
+            boundaries.push(iv.start);
+            boundaries.push(iv.end);
+        }
+    }
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    if boundaries.is_empty() {
+        return;
+    }
+
+    // Entry and exit lists per boundary index.
+    let bidx = |t: Time| boundaries.binary_search(&t).expect("boundary must exist");
+    let mut entering: Vec<Vec<usize>> = vec![Vec::new(); boundaries.len()];
+    let mut leaving: Vec<Vec<usize>> = vec![Vec::new(); boundaries.len()];
+    for (id, iv) in intervals.iter().enumerate() {
+        if !iv.is_empty() {
+            entering[bidx(iv.start)].push(id);
+            leaving[bidx(iv.end)].push(id);
+        }
+    }
+
+    let mut active: Vec<usize> = Vec::new();
+    // Position of each id inside `active`, for O(1) swap-removal.
+    let mut pos: Vec<usize> = vec![usize::MAX; intervals.len()];
+
+    for k in 0..boundaries.len() - 1 {
+        for &id in &leaving[k] {
+            let p = pos[id];
+            debug_assert_ne!(p, usize::MAX, "leaving an item that never entered");
+            active.swap_remove(p);
+            if p < active.len() {
+                pos[active[p]] = p;
+            }
+            pos[id] = usize::MAX;
+        }
+        for &id in &entering[k] {
+            pos[id] = active.len();
+            active.push(id);
+        }
+        if !active.is_empty() {
+            visit(Slice {
+                interval: Interval::new(boundaries[k], boundaries[k + 1]),
+                active: &active,
+            });
+        }
+    }
+    // The final boundary only closes intervals; nothing is active after it.
+}
+
+/// Collects the slices of [`sweep`] into owned values (convenience for
+/// tests and small instances; prefer the callback form in hot paths).
+#[must_use]
+pub fn slices(intervals: &[Interval]) -> Vec<(Interval, Vec<usize>)> {
+    let mut out = Vec::new();
+    sweep(intervals, |s| {
+        let mut ids = s.active.to_vec();
+        ids.sort_unstable();
+        out.push((s.interval, ids));
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: Time, e: Time) -> Interval {
+        Interval::new(a, e)
+    }
+
+    #[test]
+    fn single_item() {
+        let got = slices(&[iv(2, 7)]);
+        assert_eq!(got, vec![(iv(2, 7), vec![0])]);
+    }
+
+    #[test]
+    fn nested_items() {
+        // 0: [0,10), 1: [3,5)
+        let got = slices(&[iv(0, 10), iv(3, 5)]);
+        assert_eq!(
+            got,
+            vec![
+                (iv(0, 3), vec![0]),
+                (iv(3, 5), vec![0, 1]),
+                (iv(5, 10), vec![0]),
+            ]
+        );
+    }
+
+    #[test]
+    fn disjoint_bursts_skip_gap() {
+        let got = slices(&[iv(0, 2), iv(5, 7)]);
+        assert_eq!(got, vec![(iv(0, 2), vec![0]), (iv(5, 7), vec![1])]);
+    }
+
+    #[test]
+    fn shared_boundary_handoff() {
+        // 0 departs exactly when 1 arrives: no slice contains both.
+        let got = slices(&[iv(0, 4), iv(4, 8)]);
+        assert_eq!(got, vec![(iv(0, 4), vec![0]), (iv(4, 8), vec![1])]);
+    }
+
+    #[test]
+    fn identical_intervals() {
+        let got = slices(&[iv(1, 3), iv(1, 3), iv(1, 3)]);
+        assert_eq!(got, vec![(iv(1, 3), vec![0, 1, 2])]);
+    }
+
+    #[test]
+    fn empty_intervals_skipped() {
+        let got = slices(&[iv(2, 2), iv(0, 1)]);
+        assert_eq!(got, vec![(iv(0, 1), vec![1])]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(slices(&[]).is_empty());
+    }
+
+    #[test]
+    fn slice_lengths_partition_each_interval() {
+        // The total active-time per item across slices equals its length.
+        let items = [iv(0, 6), iv(2, 9), iv(4, 5), iv(8, 12)];
+        let mut per_item = vec![0u64; items.len()];
+        sweep(&items, |s| {
+            for &id in s.active {
+                per_item[id] += s.interval.len();
+            }
+        });
+        for (id, iv) in items.iter().enumerate() {
+            assert_eq!(per_item[id], iv.len(), "item {id}");
+        }
+    }
+
+    #[test]
+    fn complex_overlap_pattern() {
+        let got = slices(&[iv(0, 6), iv(2, 9), iv(4, 5)]);
+        assert_eq!(
+            got,
+            vec![
+                (iv(0, 2), vec![0]),
+                (iv(2, 4), vec![0, 1]),
+                (iv(4, 5), vec![0, 1, 2]),
+                (iv(5, 6), vec![0, 1]),
+                (iv(6, 9), vec![1]),
+            ]
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! Workload distributions beyond the paper's uniform model (experiment
+//! X4: distribution sensitivity; cf. §7's closing remark that studying
+//! average-case performance under specific distributions is future work).
+//!
+//! Four axes of realism are added independently on top of the Table 2
+//! skeleton:
+//!
+//! * **Zipf-distributed sizes** — cloud request sizes are heavy-tailed:
+//!   most jobs are small, a few are near-bin-sized.
+//! * **Geometric durations** — session lengths cluster near the minimum
+//!   with an exponential-like tail, truncated at `μ`.
+//! * **Bursty arrivals** — arrivals cluster into waves (e.g. evening
+//!   gaming peaks) instead of spreading uniformly.
+//! * **Correlated dimensions** — a VM's CPU and memory demands are
+//!   positively correlated rather than independent.
+//!
+//! All samplers are hand-rolled over `rand`'s uniform primitives (no
+//! extra distribution crates) and deterministic per seed.
+
+use crate::uniform::UniformParams;
+use dvbp_core::{Instance, Item};
+use dvbp_dimvec::DimVec;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Size distribution for [`ExtendedParams`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SizeDist {
+    /// Uniform on `{1..B}` per dimension (the paper's model).
+    Uniform,
+    /// Zipf on `{1..B}` with exponent `s > 0`: `P(v) ∝ v^(−s)`.
+    Zipf {
+        /// Tail exponent; larger = more small items.
+        exponent: f64,
+    },
+    /// Correlated dimensions: a latent uniform "scale" `u ∈ {1..B}` is
+    /// drawn once per item and each dimension is `clamp(u + noise, 1, B)`
+    /// with `noise` uniform on `[−spread, +spread]`.
+    Correlated {
+        /// Half-width of the per-dimension perturbation.
+        spread: u64,
+    },
+}
+
+/// Duration distribution for [`ExtendedParams`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DurationDist {
+    /// Uniform on `{1..μ}` (the paper's model).
+    Uniform,
+    /// Geometric with success probability `p`, truncated to `{1..μ}`:
+    /// `P(ℓ) ∝ (1−p)^(ℓ−1)`.
+    Geometric {
+        /// Per-tick stop probability in `(0, 1)`.
+        p: f64,
+    },
+}
+
+/// Arrival process for [`ExtendedParams`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalDist {
+    /// Uniform on `{0..T−μ}` (the paper's model).
+    Uniform,
+    /// `waves` equally spaced bursts; each arrival picks a wave uniformly
+    /// and lands uniformly within `±width` of its center.
+    Bursty {
+        /// Number of bursts across the span.
+        waves: usize,
+        /// Half-width of each burst, in ticks.
+        width: u64,
+    },
+}
+
+/// An extended workload: the Table 2 skeleton with swappable marginals.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExtendedParams {
+    /// Base skeleton (`d`, `n`, `μ`, `T`, `B`).
+    pub base: UniformParams,
+    /// Size marginal.
+    pub sizes: SizeDist,
+    /// Duration marginal.
+    pub durations: DurationDist,
+    /// Arrival process.
+    pub arrivals: ArrivalDist,
+}
+
+impl ExtendedParams {
+    /// The paper's model expressed in this frame (for A/B comparison).
+    #[must_use]
+    pub fn paper(base: UniformParams) -> Self {
+        ExtendedParams {
+            base,
+            sizes: SizeDist::Uniform,
+            durations: DurationDist::Uniform,
+            arrivals: ArrivalDist::Uniform,
+        }
+    }
+
+    /// Generates the instance for `seed`.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Instance {
+        let b = &self.base;
+        assert!(b.dims > 0 && b.items > 0 && b.mu >= 1 && b.mu <= b.span && b.bin_size >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Zipf CDF table, built once per instance if needed.
+        let zipf_cdf: Option<Vec<f64>> = match self.sizes {
+            SizeDist::Zipf { exponent } => {
+                assert!(exponent > 0.0, "Zipf exponent must be positive");
+                let mut weights: Vec<f64> = (1..=b.bin_size)
+                    .map(|v| (v as f64).powf(-exponent))
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                let mut acc = 0.0;
+                for w in &mut weights {
+                    acc += *w / total;
+                    *w = acc;
+                }
+                Some(weights)
+            }
+            _ => None,
+        };
+
+        let items = (0..b.items)
+            .map(|_| {
+                let size = match self.sizes {
+                    SizeDist::Uniform => {
+                        DimVec::from_fn(b.dims, |_| rng.random_range(1..=b.bin_size))
+                    }
+                    SizeDist::Zipf { .. } => {
+                        let cdf = zipf_cdf.as_ref().expect("cdf built above");
+                        DimVec::from_fn(b.dims, |_| {
+                            let u: f64 = rng.random_range(0.0..1.0);
+                            (cdf.partition_point(|&c| c < u) as u64 + 1).min(b.bin_size)
+                        })
+                    }
+                    SizeDist::Correlated { spread } => {
+                        let scale = rng.random_range(1..=b.bin_size) as i64;
+                        let spread = spread as i64;
+                        DimVec::from_fn(b.dims, |_| {
+                            let noise = rng.random_range(-spread..=spread);
+                            (scale + noise).clamp(1, b.bin_size as i64) as u64
+                        })
+                    }
+                };
+                let duration = match self.durations {
+                    DurationDist::Uniform => rng.random_range(1..=b.mu),
+                    DurationDist::Geometric { p } => {
+                        assert!((0.0..1.0).contains(&p) && p > 0.0);
+                        let mut len = 1u64;
+                        while len < b.mu && rng.random_range(0.0..1.0) >= p {
+                            len += 1;
+                        }
+                        len
+                    }
+                };
+                let arrival = match self.arrivals {
+                    ArrivalDist::Uniform => rng.random_range(0..=b.span - b.mu),
+                    ArrivalDist::Bursty { waves, width } => {
+                        assert!(waves >= 1);
+                        let hi = b.span - b.mu;
+                        let wave = rng.random_range(0..waves) as u64;
+                        let center = if waves == 1 {
+                            hi / 2
+                        } else {
+                            wave * hi / (waves as u64 - 1).max(1)
+                        };
+                        let lo = center.saturating_sub(width);
+                        let hi2 = (center + width).min(hi);
+                        rng.random_range(lo..=hi2)
+                    }
+                };
+                Item::new(size, arrival, arrival + duration)
+            })
+            .collect();
+        Instance::new(DimVec::splat(b.dims, b.bin_size), items)
+            .expect("extended generator produces valid instances")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> UniformParams {
+        UniformParams {
+            dims: 2,
+            items: 500,
+            mu: 20,
+            span: 200,
+            bin_size: 100,
+        }
+    }
+
+    #[test]
+    fn paper_frame_matches_ranges() {
+        let inst = ExtendedParams::paper(base()).generate(3);
+        inst.validate().unwrap();
+        assert_eq!(inst.len(), 500);
+    }
+
+    #[test]
+    fn zipf_skews_small() {
+        let p = ExtendedParams {
+            sizes: SizeDist::Zipf { exponent: 1.5 },
+            ..ExtendedParams::paper(base())
+        };
+        let inst = p.generate(42);
+        inst.validate().unwrap();
+        let small = inst.items.iter().filter(|i| i.size[0] <= 10).count();
+        let large = inst.items.iter().filter(|i| i.size[0] > 90).count();
+        assert!(
+            small > 5 * large.max(1),
+            "Zipf should be bottom-heavy: {small} small vs {large} large"
+        );
+        // Compare against uniform: far more small items under Zipf.
+        let uni = ExtendedParams::paper(base()).generate(42);
+        let uni_small = uni.items.iter().filter(|i| i.size[0] <= 10).count();
+        assert!(small > 2 * uni_small);
+    }
+
+    #[test]
+    fn geometric_durations_cluster_low() {
+        let p = ExtendedParams {
+            durations: DurationDist::Geometric { p: 0.5 },
+            ..ExtendedParams::paper(base())
+        };
+        let inst = p.generate(7);
+        inst.validate().unwrap();
+        let ones = inst.items.iter().filter(|i| i.duration() == 1).count();
+        assert!(ones > inst.len() / 3, "p=0.5 ⇒ ~half the items stop at 1");
+        assert!(inst.items.iter().all(|i| i.duration() <= 20));
+    }
+
+    #[test]
+    fn bursty_arrivals_concentrate() {
+        let p = ExtendedParams {
+            arrivals: ArrivalDist::Bursty { waves: 3, width: 5 },
+            ..ExtendedParams::paper(base())
+        };
+        let inst = p.generate(11);
+        inst.validate().unwrap();
+        // All arrivals within ±5 of one of the 3 wave centers (0, 90, 180).
+        for item in &inst.items {
+            let a = item.arrival;
+            let near = [0u64, 90, 180].iter().any(|&c| a + 5 >= c && a <= c + 5);
+            assert!(near, "arrival {a} not near any wave center");
+        }
+    }
+
+    #[test]
+    fn correlated_dimensions_track_each_other() {
+        let p = ExtendedParams {
+            sizes: SizeDist::Correlated { spread: 5 },
+            ..ExtendedParams::paper(base())
+        };
+        let inst = p.generate(5);
+        inst.validate().unwrap();
+        for item in &inst.items {
+            let d0 = item.size[0] as i64;
+            let d1 = item.size[1] as i64;
+            assert!((d0 - d1).abs() <= 10, "dims drifted: {d0} vs {d1}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = ExtendedParams {
+            sizes: SizeDist::Zipf { exponent: 1.1 },
+            durations: DurationDist::Geometric { p: 0.2 },
+            arrivals: ArrivalDist::Bursty {
+                waves: 4,
+                width: 10,
+            },
+            ..ExtendedParams::paper(base())
+        };
+        assert_eq!(p.generate(9), p.generate(9));
+        assert_ne!(p.generate(9), p.generate(10));
+    }
+}

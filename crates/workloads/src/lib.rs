@@ -1,0 +1,25 @@
+//! Workload generators for DVBP experiments.
+//!
+//! * [`uniform`] — the paper's synthetic model (§7, Table 2): item sizes
+//!   uniform on `{1..B}^d`, integral arrivals in `[0, T−μ]`, integral
+//!   durations in `[1, μ]`.
+//! * [`adversarial`] — the lower-bound constructions of §6 (Theorems 5, 6
+//!   and 8) scaled onto the integer grid, plus a Best Fit pathology
+//!   family for Theorem 7's "unbounded CR" claim.
+//! * [`extended`] — distributions beyond the paper (Zipf sizes,
+//!   geometric durations, bursty arrivals, correlated dimensions) for the
+//!   X4 sensitivity study.
+//! * [`predictions`] — attaches noisy duration announcements for the
+//!   clairvoyant/prediction extensions (X2, X3).
+//!
+//! All generators are deterministic functions of an explicit `u64` seed.
+
+#[cfg(test)]
+mod proptests;
+
+pub mod adversarial;
+pub mod extended;
+pub mod predictions;
+pub mod uniform;
+
+pub use uniform::{UniformParams, PAPER_DIMS, PAPER_MUS};

@@ -1,0 +1,116 @@
+//! Duration announcements for clairvoyant and prediction experiments
+//! (X2, X3; paper §8 lists the clairvoyant problem and ML-assisted
+//! variants as future work).
+//!
+//! [`announce_exact`] turns an instance into its clairvoyant twin (true
+//! durations revealed on arrival); [`announce_noisy`] attaches a
+//! multiplicative-noise prediction: the announced duration is
+//! `round(true · f)` with `log₂ f` uniform on `[−err, +err]`, clamped to
+//! `≥ 1`. `err = 0` recovers the exact announcement.
+
+use dvbp_core::Instance;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Clairvoyant twin: every item announces its true duration.
+#[must_use]
+pub fn announce_exact(instance: &Instance) -> Instance {
+    let mut out = instance.clone();
+    for item in &mut out.items {
+        item.announced_duration = Some(item.duration());
+    }
+    out
+}
+
+/// Prediction twin: announced duration is the true duration scaled by
+/// `2^u` with `u` uniform on `[−err_log2, +err_log2]`.
+///
+/// # Panics
+///
+/// Panics if `err_log2` is negative or not finite.
+#[must_use]
+pub fn announce_noisy(instance: &Instance, err_log2: f64, seed: u64) -> Instance {
+    assert!(
+        err_log2 >= 0.0 && err_log2.is_finite(),
+        "error magnitude must be a finite non-negative number"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = instance.clone();
+    for item in &mut out.items {
+        let truth = item.duration() as f64;
+        let u: f64 = if err_log2 == 0.0 {
+            0.0
+        } else {
+            rng.random_range(-err_log2..=err_log2)
+        };
+        let predicted = (truth * u.exp2()).round().max(1.0) as u64;
+        item.announced_duration = Some(predicted);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvbp_core::Item;
+    use dvbp_dimvec::DimVec;
+
+    fn base_instance() -> Instance {
+        let items = (0..100u64)
+            .map(|k| Item::new(DimVec::scalar(1 + k % 10), k, k + 1 + k % 16))
+            .collect();
+        Instance::new(DimVec::scalar(100), items).unwrap()
+    }
+
+    #[test]
+    fn exact_announcements_match_truth() {
+        let inst = announce_exact(&base_instance());
+        for item in &inst.items {
+            assert_eq!(item.announced_duration, Some(item.duration()));
+        }
+    }
+
+    #[test]
+    fn zero_noise_equals_exact() {
+        let base = base_instance();
+        assert_eq!(announce_noisy(&base, 0.0, 1), announce_exact(&base));
+    }
+
+    #[test]
+    fn noise_bounded_by_factor() {
+        let base = base_instance();
+        let noisy = announce_noisy(&base, 1.0, 7); // within 2x either way
+        for (orig, pred) in base.items.iter().zip(&noisy.items) {
+            let truth = orig.duration() as f64;
+            let ann = pred.announced_duration.unwrap() as f64;
+            assert!(ann >= (truth / 2.0).floor().max(1.0) - 1.0);
+            assert!(ann <= (truth * 2.0).ceil() + 1.0);
+        }
+    }
+
+    #[test]
+    fn predictions_never_zero() {
+        let base = base_instance();
+        let noisy = announce_noisy(&base, 6.0, 3);
+        assert!(noisy
+            .items
+            .iter()
+            .all(|i| i.announced_duration.unwrap() >= 1));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let base = base_instance();
+        assert_eq!(announce_noisy(&base, 1.0, 5), announce_noisy(&base, 1.0, 5));
+    }
+
+    #[test]
+    fn sizes_and_intervals_untouched() {
+        let base = base_instance();
+        let noisy = announce_noisy(&base, 2.0, 9);
+        for (a, b) in base.items.iter().zip(&noisy.items) {
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.interval(), b.interval());
+        }
+    }
+}

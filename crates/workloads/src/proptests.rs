@@ -1,0 +1,132 @@
+//! Property tests over the workload generators and adversarial families.
+
+use crate::adversarial::{AnyFitLb, MtfLb, NextFitLb};
+use crate::extended::{ArrivalDist, DurationDist, ExtendedParams, SizeDist};
+use crate::uniform::UniformParams;
+use dvbp_core::{pack_with, PolicyKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The uniform generator always yields valid instances within its
+    /// declared ranges, with the declared item count and dimensionality.
+    #[test]
+    fn uniform_generator_in_range(
+        d in 1usize..=6,
+        n in 1usize..=200,
+        mu in 1u64..=50,
+        seed in 0u64..1000,
+    ) {
+        let params = UniformParams { dims: d, items: n, mu, span: mu + 100, bin_size: 40 };
+        let inst = params.generate(seed);
+        prop_assert!(inst.validate().is_ok());
+        prop_assert_eq!(inst.len(), n);
+        prop_assert_eq!(inst.dim(), d);
+        for item in &inst.items {
+            prop_assert!(item.size.iter().all(|s| (1..=40).contains(&s)));
+            prop_assert!(item.duration() >= 1 && item.duration() <= mu);
+            prop_assert!(item.departure <= params.span);
+        }
+    }
+
+    /// Thm 5 family: valid for every parameter combination; the forced
+    /// lower bound holds for First Fit; the witness never exceeds the
+    /// closed-form OPT bound (checked exactly in dvbp-offline tests, here
+    /// structurally: witness indices within range).
+    #[test]
+    fn thm5_family_well_formed(
+        k in 1usize..=6,
+        d in 1usize..=4,
+        mu in 1u64..=6,
+        m in 2u64..=16,
+    ) {
+        let fam = AnyFitLb { k, d, mu, m };
+        let inst = fam.instance();
+        prop_assert!(inst.validate().is_ok());
+        prop_assert_eq!(inst.len(), 3 * d * k);
+        let w = fam.witness();
+        prop_assert_eq!(w.len(), inst.len());
+        prop_assert!(w.iter().all(|&b| b <= k));
+        let p = pack_with(&inst, &PolicyKind::FirstFit);
+        p.verify(&inst).map_err(TestCaseError::fail)?;
+        prop_assert!(p.cost() >= fam.online_cost_lower());
+        // The first wave opens exactly dk bins.
+        prop_assert_eq!(p.num_bins(), d * k);
+    }
+
+    /// Thm 6 family: Next Fit opens exactly `1 + (k−1)d` bins and meets
+    /// the forced cost.
+    #[test]
+    fn thm6_family_well_formed(
+        k2 in 1usize..=6,
+        d in 1usize..=4,
+        mu in 1u64..=8,
+    ) {
+        let k = 2 * k2;
+        let fam = NextFitLb { k, d, mu };
+        let inst = fam.instance();
+        prop_assert!(inst.validate().is_ok());
+        let p = pack_with(&inst, &PolicyKind::NextFit);
+        p.verify(&inst).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(p.num_bins(), 1 + (k - 1) * d);
+        prop_assert!(p.cost() >= fam.online_cost_lower());
+    }
+
+    /// Thm 8 family: Move To Front's cost is exactly `2nμ`.
+    #[test]
+    fn thm8_family_exact(n in 1usize..=30, mu in 1u64..=12) {
+        let fam = MtfLb { n, mu };
+        let inst = fam.instance();
+        prop_assert!(inst.validate().is_ok());
+        let p = pack_with(&inst, &PolicyKind::MoveToFront);
+        prop_assert_eq!(p.cost(), fam.online_cost_lower());
+        prop_assert_eq!(p.num_bins(), 2 * n);
+    }
+
+    /// Extended generators always produce valid instances.
+    #[test]
+    fn extended_generators_valid(seed in 0u64..200, variant in 0usize..4) {
+        let base = UniformParams { dims: 2, items: 100, mu: 10, span: 100, bin_size: 50 };
+        let params = match variant {
+            0 => ExtendedParams {
+                sizes: SizeDist::Zipf { exponent: 1.2 },
+                ..ExtendedParams::paper(base)
+            },
+            1 => ExtendedParams {
+                durations: DurationDist::Geometric { p: 0.3 },
+                ..ExtendedParams::paper(base)
+            },
+            2 => ExtendedParams {
+                arrivals: ArrivalDist::Bursty { waves: 3, width: 8 },
+                ..ExtendedParams::paper(base)
+            },
+            _ => ExtendedParams {
+                sizes: SizeDist::Correlated { spread: 7 },
+                ..ExtendedParams::paper(base)
+            },
+        };
+        let inst = params.generate(seed);
+        prop_assert!(inst.validate().is_ok());
+        prop_assert_eq!(inst.len(), 100);
+    }
+
+    /// Noisy announcements preserve instance structure and stay positive.
+    #[test]
+    fn predictions_preserve_structure(seed in 0u64..100, err in 0.0f64..4.0) {
+        let base = UniformParams { dims: 1, items: 60, mu: 16, span: 80, bin_size: 20 };
+        let inst = base.generate(seed);
+        let noisy = crate::predictions::announce_noisy(&inst, err, seed ^ 0xA5);
+        prop_assert_eq!(noisy.len(), inst.len());
+        for (a, b) in inst.items.iter().zip(&noisy.items) {
+            prop_assert_eq!(&a.size, &b.size);
+            prop_assert_eq!(a.interval(), b.interval());
+            let ann = b.announced_duration.expect("announced");
+            prop_assert!(ann >= 1);
+            // Within the 2^err multiplicative envelope (plus rounding).
+            let lo = (a.duration() as f64 * (-err).exp2()).floor().max(1.0) - 1.0;
+            let hi = (a.duration() as f64 * err.exp2()).ceil() + 1.0;
+            prop_assert!((ann as f64) >= lo && (ann as f64) <= hi);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Adversarial lower bounds in action: runs the §6 constructions at
+//! growing scale and watches each algorithm's ratio converge to its
+//! theorem's asymptote.
+//!
+//! ```text
+//! cargo run --release --example adversarial_lb
+//! ```
+
+use dvbp::analysis::report::TextTable;
+use dvbp::offline::witness::assignment_cost;
+use dvbp::workloads::adversarial::{AnyFitLb, MtfLb, NextFitLb};
+use dvbp::{pack_with, PolicyKind};
+
+fn main() {
+    let mu = 10u64;
+
+    println!("Theorem 5: any (full-candidate) Any Fit algorithm vs (mu+1)d, mu = {mu}\n");
+    let mut t5 = TextTable::new(["d", "k", "First Fit ratio", "target (mu+1)d"]);
+    for d in [1usize, 2, 5] {
+        for k in [2usize, 8, 32] {
+            let fam = AnyFitLb { k, d, mu, m: 64 };
+            let inst = fam.instance();
+            let opt_ub = assignment_cost(&inst, &fam.witness()).expect("witness feasible");
+            let cost = pack_with(&inst, &PolicyKind::FirstFit).cost();
+            t5.row([
+                d.to_string(),
+                k.to_string(),
+                format!("{:.2}", cost as f64 / opt_ub as f64),
+                format!("{:.0}", fam.asymptote()),
+            ]);
+        }
+    }
+    println!("{t5}");
+
+    println!("Theorem 6: Next Fit vs 2·mu·d, mu = {mu}\n");
+    let mut t6 = TextTable::new(["d", "k", "Next Fit ratio", "target 2*mu*d"]);
+    for d in [1usize, 2, 5] {
+        for k in [4usize, 16, 64, 256] {
+            let fam = NextFitLb { k, d, mu };
+            let inst = fam.instance();
+            let opt_ub = assignment_cost(&inst, &fam.witness()).expect("witness feasible");
+            let cost = pack_with(&inst, &PolicyKind::NextFit).cost();
+            t6.row([
+                d.to_string(),
+                k.to_string(),
+                format!("{:.2}", cost as f64 / opt_ub as f64),
+                format!("{:.0}", fam.asymptote()),
+            ]);
+        }
+    }
+    println!("{t6}");
+
+    println!("Theorem 8: Move To Front vs 2·mu (d = 1), mu = {mu}\n");
+    let mut t8 = TextTable::new(["n", "MTF ratio", "target 2*mu"]);
+    for n in [2usize, 8, 32, 128, 512] {
+        let fam = MtfLb { n, mu };
+        let inst = fam.instance();
+        let opt_ub = assignment_cost(&inst, &fam.witness()).expect("witness feasible");
+        let cost = pack_with(&inst, &PolicyKind::MoveToFront).cost();
+        t8.row([
+            n.to_string(),
+            format!("{:.2}", cost as f64 / opt_ub as f64),
+            format!("{:.0}", fam.asymptote()),
+        ]);
+    }
+    println!("{t8}");
+    println!("Every ratio is a certified competitive-ratio lower bound: the");
+    println!("denominator is the cost of an explicit, machine-checked offline packing.");
+}

@@ -1,0 +1,71 @@
+//! Quickstart: pack a small hand-built job sequence with every paper
+//! algorithm and inspect costs, bins, and the optimal offline cost.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dvbp::offline::{lb_load, opt_exact};
+use dvbp::{pack_with, DimVec, Instance, Item, PolicyKind};
+
+fn main() {
+    // Bins model servers with 8 vCPUs and 32 GiB of RAM.
+    let capacity = DimVec::from_slice(&[8, 32]);
+
+    // A morning of jobs: (vcpu, ram_gib, arrival_min, departure_min).
+    let jobs: [(u64, u64, u64, u64); 8] = [
+        (4, 8, 0, 90),
+        (2, 16, 10, 45),
+        (4, 4, 15, 30),
+        (1, 2, 20, 200),
+        (6, 24, 40, 70),
+        (2, 8, 50, 120),
+        (8, 16, 95, 140),
+        (2, 4, 100, 260),
+    ];
+    let items: Vec<Item> = jobs
+        .iter()
+        .map(|&(cpu, ram, a, e)| Item::new(DimVec::from_slice(&[cpu, ram]), a, e))
+        .collect();
+    let instance = Instance::new(capacity, items).expect("every job fits a server");
+
+    println!(
+        "{} jobs over [0, {}) minutes; span(R) = {} server-minutes minimum\n",
+        instance.len(),
+        instance.items.iter().map(|i| i.departure).max().unwrap(),
+        instance.span()
+    );
+
+    println!(
+        "{:<16} {:>6} {:>6} {:>10}",
+        "algorithm", "bins", "cost", "cost/LB"
+    );
+    let lb = lb_load(&instance);
+    for kind in PolicyKind::paper_suite(42) {
+        let packing = pack_with(&instance, &kind);
+        packing
+            .verify(&instance)
+            .expect("engine produces valid packings");
+        println!(
+            "{:<16} {:>6} {:>6} {:>10.3}",
+            kind.name(),
+            packing.num_bins(),
+            packing.cost(),
+            packing.cost() as f64 / lb as f64
+        );
+    }
+
+    let opt = opt_exact(&instance, 28).expect("small instance solves exactly");
+    println!("\nLemma 1(i) lower bound = {lb}; exact OPT (with repacking) = {opt}");
+
+    // Show where each job went under the recommended algorithm.
+    let packing = pack_with(&instance, &PolicyKind::MoveToFront);
+    println!("\nMove To Front placement:");
+    for (i, &bin) in packing.assignment.iter().enumerate() {
+        let job = &instance.items[i];
+        println!(
+            "  job {i}: {} over [{}, {}) -> server {bin}",
+            job.size, job.arrival, job.departure
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! VM placement on physical servers — the paper's other §1 application.
+//!
+//! A cloud provider places VM requests (vCPU, memory, disk, network) on
+//! physical hosts; minimizing host usage time saves power. This example
+//! runs a 4-dimensional day-long trace, reports cost and fleet size per
+//! policy, and demonstrates the online/offline gap by also computing the
+//! `[LB, FFD]` sandwich around the repacking optimum.
+//!
+//! ```text
+//! cargo run --release --example vm_placement
+//! ```
+
+use dvbp::analysis::report::TextTable;
+use dvbp::offline::{lb_load, lb_span, lb_utilization, opt_bounds};
+use dvbp::workloads::UniformParams;
+use dvbp::{pack_with, PolicyKind};
+
+fn main() {
+    // Hosts: 64 vCPU, 256 GiB RAM, 4 TiB disk, 25 Gbps NIC — normalized
+    // to 100 units per dimension. One tick = 1 minute, one day = 1440.
+    let params = UniformParams {
+        dims: 4,
+        items: 2000,
+        mu: 360, // VMs live up to 6 hours
+        span: 1440,
+        bin_size: 100,
+    };
+    let instance = params.generate(0xBEEF);
+
+    println!(
+        "VM placement: {} requests, d = {} resources, day = {} min\n",
+        instance.len(),
+        instance.dim(),
+        1440
+    );
+
+    let lb = lb_load(&instance);
+    let mut table = TextTable::new([
+        "policy",
+        "host-minutes",
+        "hosts used",
+        "peak hosts",
+        "vs LB",
+    ]);
+    for kind in PolicyKind::paper_suite(1) {
+        let packing = pack_with(&instance, &kind);
+        packing.verify(&instance).expect("valid");
+        table.row([
+            kind.name(),
+            packing.cost().to_string(),
+            packing.num_bins().to_string(),
+            packing.max_concurrent_bins().to_string(),
+            format!("{:.3}x", packing.cost() as f64 / lb as f64),
+        ]);
+    }
+    println!("{table}");
+
+    let bounds = opt_bounds(&instance, 20);
+    println!(
+        "Lemma 1 lower bounds: load-integral = {lb}, span = {}, utilization/d = {:.0}",
+        lb_span(&instance),
+        lb_utilization(&instance)
+    );
+    println!(
+        "offline OPT (repacking) is within [{}, {}] host-minutes{}",
+        bounds.lower,
+        bounds.upper,
+        if bounds.is_exact() { " (exact)" } else { "" }
+    );
+    println!("\nEven a 1% packing-efficiency gain at Azure scale is ~$100M/yr (paper §1).");
+}

@@ -1,0 +1,218 @@
+//! `dvbp` — command-line front end for the DVBP library.
+//!
+//! ```text
+//! dvbp gen    --d 2 --n 200 --mu 50 --span 500 --bin 100 --seed 7 --out trace.json
+//! dvbp run    --trace trace.json --policy MoveToFront [--billing 60] [--out report.json]
+//! dvbp bounds --trace trace.json
+//! dvbp compare --trace trace.json            # all paper algorithms side by side
+//! ```
+//!
+//! Trace files are JSON `Instance` documents (see `dvbp::tracefile`).
+
+use dvbp::tracefile::{load_instance, run_report, save_instance};
+use dvbp::workloads::UniformParams;
+use dvbp::{BillingModel, PolicyKind};
+use std::path::Path;
+use std::process::ExitCode;
+use std::str::FromStr;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "run" => cmd_run(rest),
+        "bounds" => cmd_bounds(rest),
+        "compare" => cmd_compare(rest),
+        "show" => cmd_show(rest),
+        "import" => cmd_import(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+dvbp — MinUsageTime Dynamic Vector Bin Packing
+
+USAGE:
+  dvbp gen     --d D --n N --mu MU --span T --bin B --seed S --out FILE
+  dvbp run     --trace FILE --policy NAME [--billing TICKS] [--out FILE]
+  dvbp bounds  --trace FILE
+  dvbp compare --trace FILE [--billing TICKS]
+  dvbp show    --trace FILE --policy NAME [--width CHARS]
+  dvbp import  --csv FILE --cap UNITS[,UNITS...] --out FILE
+
+POLICIES: MoveToFront, FirstFit, NextFit, BestFit[Linf|L1|L2|Lp],
+          WorstFit[...], LastFit, RandomFit[:seed], DurationClassFF, AlignedFit";
+
+/// Tiny flag parser shared by the subcommands.
+fn flag(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse<T: FromStr>(args: &[String], key: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flag(args, key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("{key} {v}: {e}")),
+    }
+}
+
+fn required(args: &[String], key: &str) -> Result<String, String> {
+    flag(args, key).ok_or_else(|| format!("missing required flag {key}"))
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let params = UniformParams {
+        dims: parse(args, "--d", 2usize)?,
+        items: parse(args, "--n", 200usize)?,
+        mu: parse(args, "--mu", 50u64)?,
+        span: parse(args, "--span", 500u64)?,
+        bin_size: parse(args, "--bin", 100u64)?,
+    };
+    if params.mu > params.span {
+        return Err("--mu must not exceed --span".into());
+    }
+    let seed = parse(args, "--seed", 0u64)?;
+    let out = required(args, "--out")?;
+    let instance = params.generate(seed);
+    save_instance(Path::new(&out), &instance)?;
+    println!(
+        "wrote {} ({} items, d={}, span(R)={})",
+        out,
+        instance.len(),
+        instance.dim(),
+        instance.span()
+    );
+    Ok(())
+}
+
+fn billing_from(args: &[String]) -> Result<BillingModel, String> {
+    let g = parse(args, "--billing", 1u64)?;
+    if g == 0 {
+        return Err("--billing must be positive".into());
+    }
+    Ok(BillingModel::rounded(g))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let trace = required(args, "--trace")?;
+    let policy = PolicyKind::from_str(&required(args, "--policy")?).map_err(|e| e.to_string())?;
+    let billing = billing_from(args)?;
+    let instance = load_instance(Path::new(&trace))?;
+    let report = run_report(&instance, &policy, billing);
+    println!(
+        "{}: {} bins (peak {}), cost {} (billed {}), LB {}, ratio {:.3}",
+        report.policy,
+        report.bins,
+        report.peak_bins,
+        report.cost,
+        report.billed_cost,
+        report.lower_bound,
+        report.ratio
+    );
+    if let Some(out) = flag(args, "--out") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_bounds(args: &[String]) -> Result<(), String> {
+    let trace = required(args, "--trace")?;
+    let instance = load_instance(Path::new(&trace))?;
+    let lb = dvbp::offline::lb_load(&instance);
+    let span = dvbp::offline::lb_span(&instance);
+    let util = dvbp::offline::lb_utilization(&instance);
+    let bounds = dvbp::offline::opt_bounds(&instance, 20);
+    println!(
+        "items: {}, d: {}, span(R): {span}",
+        instance.len(),
+        instance.dim()
+    );
+    println!("Lemma 1(i)  load-integral LB: {lb}");
+    println!("Lemma 1(ii) utilization/d LB: {util:.1}");
+    println!("Lemma 1(iii) span LB:         {span}");
+    println!(
+        "OPT (repacking) within [{}, {}]{}",
+        bounds.lower,
+        bounds.upper,
+        if bounds.is_exact() { " — exact" } else { "" }
+    );
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let trace = required(args, "--trace")?;
+    let billing = billing_from(args)?;
+    let instance = load_instance(Path::new(&trace))?;
+    println!(
+        "{:<16} {:>6} {:>6} {:>10} {:>10} {:>8}",
+        "policy", "bins", "peak", "cost", "billed", "ratio"
+    );
+    for kind in PolicyKind::paper_suite(0) {
+        let r = run_report(&instance, &kind, billing);
+        println!(
+            "{:<16} {:>6} {:>6} {:>10} {:>10} {:>8.3}",
+            r.policy, r.bins, r.peak_bins, r.cost, r.billed_cost, r.ratio
+        );
+    }
+    Ok(())
+}
+
+fn cmd_show(args: &[String]) -> Result<(), String> {
+    let trace = required(args, "--trace")?;
+    let policy = PolicyKind::from_str(&required(args, "--policy")?).map_err(|e| e.to_string())?;
+    let width = parse(args, "--width", 100usize)?;
+    let instance = load_instance(Path::new(&trace))?;
+    let packing = dvbp::pack_with(&instance, &policy);
+    let opts = dvbp::analysis::gantt::GanttOptions {
+        max_width: width,
+        ..Default::default()
+    };
+    println!(
+        "{} on {} ({} items):\n",
+        policy.name(),
+        trace,
+        instance.len()
+    );
+    print!(
+        "{}",
+        dvbp::analysis::gantt::render(&instance, &packing, &opts)
+    );
+    let m = dvbp::analysis::metrics::packing_metrics(&instance, &packing);
+    println!(
+        "cost {} | bins {} (peak {}) | utilization {:.3} | alignment {:.3}",
+        m.cost, m.bins, m.peak_open_bins, m.utilization, m.alignment
+    );
+    Ok(())
+}
+
+fn cmd_import(args: &[String]) -> Result<(), String> {
+    let csv = required(args, "--csv")?;
+    let cap = required(args, "--cap")?;
+    let out = required(args, "--out")?;
+    let text = std::fs::read_to_string(&csv).map_err(|e| format!("reading {csv}: {e}"))?;
+    let instance = dvbp::tracefile::parse_csv(&text, &cap)?;
+    save_instance(Path::new(&out), &instance)?;
+    println!("imported {} items -> {}", instance.len(), out);
+    Ok(())
+}

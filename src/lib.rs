@@ -1,0 +1,77 @@
+//! **dvbp** — MinUsageTime Dynamic Vector Bin Packing.
+//!
+//! A reproduction of *"Dynamic Vector Bin Packing for Online Resource
+//! Allocation in the Cloud"* (Murhekar, Arbour, Mai, Rao — SPAA 2023):
+//! online Any Fit packing algorithms for jobs with `d`-dimensional
+//! resource demands and unknown departure times, minimizing total server
+//! usage time, together with the paper's lower-bound constructions,
+//! offline optimum machinery, workload generators, and experiment
+//! harness.
+//!
+//! This crate is a facade: it re-exports the public API of the workspace
+//! crates so applications can depend on a single name.
+//!
+//! ```
+//! use dvbp::{pack_with, Instance, Item, PolicyKind};
+//! use dvbp::DimVec;
+//!
+//! let instance = Instance::new(
+//!     DimVec::from_slice(&[100, 100]),
+//!     vec![Item::new(DimVec::from_slice(&[70, 30]), 0, 10)],
+//! )
+//! .unwrap();
+//! let packing = pack_with(&instance, &PolicyKind::MoveToFront);
+//! assert_eq!(packing.cost(), 10);
+//! ```
+//!
+//! # Module map
+//!
+//! | Re-export | Source crate | Contents |
+//! |---|---|---|
+//! | [`DimVec`], [`norms`] | `dvbp-dimvec` | integer resource vectors |
+//! | [`sim`] | `dvbp-sim` | intervals, timeline, sweep-line |
+//! | core types at the root | `dvbp-core` | items, engine, policies |
+//! | [`offline`] | `dvbp-offline` | Lemma 1 bounds, exact OPT |
+//! | [`workloads`] | `dvbp-workloads` | uniform + adversarial generators |
+//! | [`analysis`] | `dvbp-analysis` | decompositions, stats, reports |
+//! | [`parallel`] | `dvbp-parallel` | deterministic trial runner |
+
+pub mod tracefile;
+
+pub use dvbp_core::{
+    pack, pack_with, BillingModel, BinId, BinUsage, Decision, EngineView, Instance, InstanceError,
+    Item, LoadMeasure, Packing, Policy, PolicyKind, TraceEvent,
+};
+pub use dvbp_dimvec::DimVec;
+
+/// Norms of normalized load vectors (Proposition 1).
+pub mod norms {
+    pub use dvbp_dimvec::{linf, lp_f64, ratio_linf};
+}
+
+/// Time model, intervals, and sweep-line utilities.
+pub mod sim {
+    pub use dvbp_sim::*;
+}
+
+/// Offline machinery: Lemma 1 lower bounds, exact vector bin packing,
+/// the OPT integral, and witness verification.
+pub mod offline {
+    pub use dvbp_offline::*;
+}
+
+/// Workload generators: the paper's uniform model, the §6 adversarial
+/// families, extended distributions, and duration announcements.
+pub mod workloads {
+    pub use dvbp_workloads::*;
+}
+
+/// Packing analyses: proof decompositions, statistics, report tables.
+pub mod analysis {
+    pub use dvbp_analysis::*;
+}
+
+/// Deterministic parallel trial running.
+pub mod parallel {
+    pub use dvbp_parallel::*;
+}

@@ -1,0 +1,245 @@
+//! JSON trace-file I/O for the `dvbp` command-line tool.
+//!
+//! A *trace file* is a JSON document holding a full [`Instance`]
+//! (capacity vector plus items in arrival order); sizes are integer units
+//! and times integer ticks, exactly as in the API. [`PackingReport`] is
+//! the tool's output: per-bin usage records, the objective under a
+//! configurable billing model, and the Lemma 1(i) lower bound for
+//! context.
+
+use crate::{BillingModel, Instance, Packing, PolicyKind};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Reads and validates an instance from a JSON trace file.
+///
+/// # Errors
+///
+/// I/O errors, malformed JSON, or an instance failing validation.
+pub fn load_instance(path: &Path) -> Result<Instance, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let instance: Instance =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+    instance
+        .validate()
+        .map_err(|e| format!("invalid instance in {}: {e}", path.display()))?;
+    Ok(instance)
+}
+
+/// Writes an instance as pretty JSON.
+///
+/// # Errors
+///
+/// I/O or serialization errors.
+pub fn save_instance(path: &Path, instance: &Instance) -> Result<(), String> {
+    let text = serde_json::to_string_pretty(instance).map_err(|e| e.to_string())?;
+    std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+/// The output of a `dvbp run` invocation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PackingReport {
+    /// Policy display name.
+    pub policy: String,
+    /// Number of bins opened.
+    pub bins: usize,
+    /// Peak simultaneously-open bins.
+    pub peak_bins: usize,
+    /// Exact usage-time objective (eq. 1).
+    pub cost: u128,
+    /// Objective under the requested billing model.
+    pub billed_cost: u128,
+    /// Lemma 1(i) lower bound on OPT.
+    pub lower_bound: u128,
+    /// `cost / lower_bound`.
+    pub ratio: f64,
+    /// `assignment[i]` = bin of item `i`.
+    pub assignment: Vec<usize>,
+}
+
+/// Packs a loaded instance and assembles the report.
+#[must_use]
+pub fn run_report(instance: &Instance, kind: &PolicyKind, billing: BillingModel) -> PackingReport {
+    let packing: Packing = crate::pack_with(instance, kind);
+    let lb = dvbp_offline::lb_load(instance);
+    PackingReport {
+        policy: kind.name(),
+        bins: packing.num_bins(),
+        peak_bins: packing.max_concurrent_bins(),
+        cost: packing.cost(),
+        billed_cost: billing.cost(&packing),
+        lower_bound: lb,
+        ratio: crate::analysis::ratio(packing.cost(), lb),
+        assignment: packing.assignment.iter().map(|b| b.0).collect(),
+    }
+}
+
+/// Parses a CSV job trace into an instance.
+///
+/// Expected format: one job per line, `arrival,departure,size_1[,size_2,…]`,
+/// with an optional header line (detected by a non-numeric first field).
+/// `cap_spec` is the bin capacity as comma-separated units, one per
+/// dimension; the dimensionality must match the size columns.
+///
+/// This covers the common shape of public cluster traces (e.g. the Azure
+/// VM trace's `created, deleted, core, memory` columns after projection).
+///
+/// # Errors
+///
+/// Malformed numbers, inconsistent column counts, non-positive durations,
+/// or items exceeding the capacity.
+pub fn parse_csv(text: &str, cap_spec: &str) -> Result<Instance, String> {
+    let capacity: Vec<u64> = cap_spec
+        .split(',')
+        .map(|f| {
+            f.trim()
+                .parse::<u64>()
+                .map_err(|e| format!("capacity '{f}': {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if capacity.is_empty() || capacity.contains(&0) {
+        return Err("capacity must have positive components".into());
+    }
+    let d = capacity.len();
+
+    let mut items = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        // Header detection: skip a first line whose leading field is not a
+        // number.
+        if lineno == 0 && fields[0].parse::<u64>().is_err() {
+            continue;
+        }
+        if fields.len() != 2 + d {
+            return Err(format!(
+                "line {}: expected {} fields (arrival,departure,{d} sizes), got {}",
+                lineno + 1,
+                2 + d,
+                fields.len()
+            ));
+        }
+        let num = |f: &str| -> Result<u64, String> {
+            f.parse::<u64>()
+                .map_err(|e| format!("line {}: '{f}': {e}", lineno + 1))
+        };
+        let arrival = num(fields[0])?;
+        let departure = num(fields[1])?;
+        if departure <= arrival {
+            return Err(format!(
+                "line {}: departure must exceed arrival",
+                lineno + 1
+            ));
+        }
+        let size: Vec<u64> = fields[2..]
+            .iter()
+            .map(|f| num(f))
+            .collect::<Result<_, _>>()?;
+        items.push(crate::Item::new(
+            crate::DimVec::from_slice(&size),
+            arrival,
+            departure,
+        ));
+    }
+    Instance::new(crate::DimVec::from_slice(&capacity), items)
+        .map_err(|e| format!("invalid trace: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DimVec, Item};
+
+    fn sample_instance() -> Instance {
+        Instance::new(
+            DimVec::from_slice(&[10, 10]),
+            vec![
+                Item::new(DimVec::from_slice(&[5, 3]), 0, 10),
+                Item::new(DimVec::from_slice(&[6, 6]), 2, 8),
+                Item::new(DimVec::from_slice(&[2, 2]), 5, 20),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("dvbp_tracefile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let inst = sample_instance();
+        save_instance(&path, &inst).unwrap();
+        let back = load_instance(&path).unwrap();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn load_rejects_invalid_instances() {
+        let dir = std::env::temp_dir().join("dvbp_tracefile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        // Oversized item: size 11 > capacity 10.
+        std::fs::write(
+            &path,
+            r#"{"capacity":[10],"items":[{"size":[11],"arrival":0,"departure":5,"announced_duration":null}]}"#,
+        )
+        .unwrap();
+        let err = load_instance(&path).unwrap_err();
+        assert!(err.contains("invalid instance"), "{err}");
+    }
+
+    #[test]
+    fn load_reports_missing_file() {
+        let err = load_instance(Path::new("/nonexistent/nope.json")).unwrap_err();
+        assert!(err.contains("reading"));
+    }
+
+    #[test]
+    fn csv_parses_with_and_without_header() {
+        let csv = "arrival,departure,cpu,mem\n0,10,4,8\n2,5,2,2\n";
+        let inst = parse_csv(csv, "8,32").unwrap();
+        assert_eq!(inst.len(), 2);
+        assert_eq!(inst.dim(), 2);
+        assert_eq!(inst.items[0].size.as_slice(), &[4, 8]);
+        let headerless = parse_csv("0,10,4,8\n2,5,2,2", "8,32").unwrap();
+        assert_eq!(headerless, inst);
+    }
+
+    #[test]
+    fn csv_skips_comments_and_blank_lines() {
+        let csv = "# a comment\n\n0,3,1\n";
+        let inst = parse_csv(csv, "10").unwrap();
+        assert_eq!(inst.len(), 1);
+    }
+
+    #[test]
+    fn csv_rejects_bad_rows() {
+        assert!(parse_csv("0,3", "10")
+            .unwrap_err()
+            .contains("expected 3 fields"));
+        assert!(parse_csv("5,5,1", "10").unwrap_err().contains("departure"));
+        assert!(parse_csv("0,3,abc", "10").unwrap_err().contains("abc"));
+        assert!(parse_csv("0,3,11", "10")
+            .unwrap_err()
+            .contains("invalid trace"));
+        assert!(parse_csv("0,3,1", "0").unwrap_err().contains("positive"));
+    }
+
+    #[test]
+    fn run_report_fields_consistent() {
+        let inst = sample_instance();
+        let report = run_report(&inst, &PolicyKind::MoveToFront, BillingModel::exact());
+        assert_eq!(report.policy, "MoveToFront");
+        assert_eq!(report.assignment.len(), inst.len());
+        assert!(report.cost >= report.lower_bound);
+        assert_eq!(report.billed_cost, report.cost);
+        assert!(report.ratio >= 1.0);
+        let hourly = run_report(&inst, &PolicyKind::MoveToFront, BillingModel::rounded(60));
+        assert!(hourly.billed_cost >= report.cost);
+        assert!(hourly.billed_cost.is_multiple_of(60));
+    }
+}

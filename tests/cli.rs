@@ -1,0 +1,185 @@
+//! End-to-end tests of the `dvbp` command-line binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn dvbp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dvbp"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dvbp_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn gen_run_bounds_compare_pipeline() {
+    let trace = temp_path("pipeline.json");
+    let report = temp_path("report.json");
+
+    let out = dvbp()
+        .args([
+            "gen", "--d", "2", "--n", "40", "--mu", "10", "--span", "80", "--seed", "5", "--out",
+        ])
+        .arg(&trace)
+        .output()
+        .expect("spawn dvbp gen");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(trace.exists());
+
+    let out = dvbp()
+        .args(["run", "--trace"])
+        .arg(&trace)
+        .args(["--policy", "MoveToFront", "--billing", "60", "--out"])
+        .arg(&report)
+        .output()
+        .expect("spawn dvbp run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("MoveToFront:"), "{stdout}");
+    assert!(stdout.contains("ratio"), "{stdout}");
+
+    // The report is valid JSON with consistent fields.
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&report).unwrap()).unwrap();
+    assert_eq!(json["policy"], "MoveToFront");
+    assert_eq!(json["assignment"].as_array().unwrap().len(), 40);
+    assert!(json["cost"].as_u64().unwrap() >= json["lower_bound"].as_u64().unwrap());
+    assert!(json["billed_cost"].as_u64().unwrap().is_multiple_of(60));
+
+    let out = dvbp()
+        .args(["bounds", "--trace"])
+        .arg(&trace)
+        .output()
+        .expect("spawn dvbp bounds");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Lemma 1(i)"), "{stdout}");
+    assert!(stdout.contains("OPT (repacking) within"), "{stdout}");
+
+    let out = dvbp()
+        .args(["compare", "--trace"])
+        .arg(&trace)
+        .output()
+        .expect("spawn dvbp compare");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["MoveToFront", "FirstFit", "NextFit", "WorstFit"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn run_accepts_bracketed_policy_names() {
+    let trace = temp_path("bracketed.json");
+    assert!(dvbp()
+        .args(["gen", "--n", "20", "--mu", "5", "--span", "40", "--out"])
+        .arg(&trace)
+        .status()
+        .unwrap()
+        .success());
+    let out = dvbp()
+        .args(["run", "--trace"])
+        .arg(&trace)
+        .args(["--policy", "BestFit[L2]"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("BestFit[L2]"));
+}
+
+#[test]
+fn unknown_policy_fails_cleanly() {
+    let trace = temp_path("badpolicy.json");
+    assert!(dvbp()
+        .args(["gen", "--n", "5", "--mu", "2", "--span", "10", "--out"])
+        .arg(&trace)
+        .status()
+        .unwrap()
+        .success());
+    let out = dvbp()
+        .args(["run", "--trace"])
+        .arg(&trace)
+        .args(["--policy", "MagicFit"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown policy"));
+}
+
+#[test]
+fn missing_flags_fail_cleanly() {
+    let out = dvbp().args(["run"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trace"));
+
+    let out = dvbp().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = dvbp().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn import_and_show_pipeline() {
+    let csv = temp_path("jobs.csv");
+    let trace = temp_path("imported.json");
+    std::fs::write(
+        &csv,
+        "arrival,departure,cpu,mem\n0,40,30,10\n5,20,60,80\n10,90,20,20\n",
+    )
+    .unwrap();
+
+    let out = dvbp()
+        .args(["import", "--csv"])
+        .arg(&csv)
+        .args(["--cap", "100,100", "--out"])
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("imported 3 items"));
+
+    let out = dvbp()
+        .args(["show", "--trace"])
+        .arg(&trace)
+        .args(["--policy", "MoveToFront", "--width", "40"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("B0"), "{stdout}");
+    assert!(stdout.contains("utilization"), "{stdout}");
+    assert!(stdout.contains("alignment"), "{stdout}");
+}
+
+#[test]
+fn import_rejects_malformed_csv() {
+    let csv = temp_path("bad.csv");
+    let trace = temp_path("never.json");
+    std::fs::write(&csv, "0,40,300\n").unwrap(); // size 300 > cap 100
+    let out = dvbp()
+        .args(["import", "--csv"])
+        .arg(&csv)
+        .args(["--cap", "100", "--out"])
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid trace"));
+}

@@ -1,0 +1,70 @@
+//! Determinism guarantees: identical results for identical seeds across
+//! repeated runs, policy reuse, and parallel thread counts.
+
+use dvbp::parallel::run_trials_on;
+use dvbp::workloads::UniformParams;
+use dvbp::{pack_with, PolicyKind};
+use std::num::NonZeroUsize;
+
+#[test]
+fn generation_and_packing_reproducible() {
+    let params = UniformParams {
+        dims: 3,
+        items: 400,
+        mu: 30,
+        span: 300,
+        bin_size: 100,
+    };
+    let a = params.generate(42);
+    let b = params.generate(42);
+    assert_eq!(a, b);
+    for kind in PolicyKind::paper_suite(9) {
+        assert_eq!(
+            pack_with(&a, &kind),
+            pack_with(&b, &kind),
+            "{} differs across identical instances",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn parallel_trials_independent_of_thread_count() {
+    let params = UniformParams {
+        dims: 2,
+        items: 200,
+        mu: 10,
+        span: 200,
+        bin_size: 100,
+    };
+    let work = |t: usize| {
+        let inst = params.generate(t as u64);
+        PolicyKind::paper_suite(t as u64)
+            .iter()
+            .map(|k| pack_with(&inst, k).cost())
+            .collect::<Vec<u128>>()
+    };
+    let seq = run_trials_on(24, NonZeroUsize::new(1).unwrap(), work);
+    let par = run_trials_on(24, NonZeroUsize::new(8).unwrap(), work);
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn policy_reuse_resets_state() {
+    let params = UniformParams {
+        dims: 1,
+        items: 150,
+        mu: 12,
+        span: 150,
+        bin_size: 100,
+    };
+    let inst1 = params.generate(1);
+    let inst2 = params.generate(2);
+    for kind in PolicyKind::paper_suite(33) {
+        let mut policy = kind.build();
+        let first = dvbp::pack(&inst1, policy.as_mut());
+        let _interleaved = dvbp::pack(&inst2, policy.as_mut());
+        let again = dvbp::pack(&inst1, policy.as_mut());
+        assert_eq!(first, again, "{} retains state across runs", kind.name());
+    }
+}

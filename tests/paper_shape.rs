@@ -1,0 +1,132 @@
+//! Reproduction "shape" tests: the qualitative findings of the paper's
+//! evaluation must hold on reduced-scale runs. These are the acceptance
+//! criteria from DESIGN.md, kept small enough for CI.
+
+use dvbp::offline::lb_load;
+use dvbp::workloads::UniformParams;
+use dvbp::{pack_with, PolicyKind};
+
+/// Mean cost/LB over `trials` seeds for each paper-suite algorithm.
+fn mean_ratios(d: usize, mu: u64, trials: usize) -> Vec<(String, f64)> {
+    let params = UniformParams {
+        dims: d,
+        items: 400,
+        mu,
+        span: 400,
+        bin_size: 100,
+    };
+    let suite = PolicyKind::paper_suite(0);
+    let mut sums = vec![0.0f64; suite.len()];
+    for t in 0..trials {
+        let inst = params.generate(0xF164 + t as u64);
+        let lb = lb_load(&inst) as f64;
+        for (k, kind) in PolicyKind::paper_suite(t as u64).iter().enumerate() {
+            sums[k] += pack_with(&inst, kind).cost() as f64 / lb;
+        }
+    }
+    suite
+        .iter()
+        .zip(sums)
+        .map(|(k, s)| (k.name(), s / trials as f64))
+        .collect()
+}
+
+fn get(ratios: &[(String, f64)], name: &str) -> f64 {
+    ratios
+        .iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("{name} missing"))
+        .1
+}
+
+#[test]
+fn figure4_ordering_mtf_best_worstfit_worst() {
+    // §7: "Move To Front has the best average-case performance …
+    // As expected, Worst Fit has the worst performance."
+    for d in [1usize, 2] {
+        let ratios = mean_ratios(d, 50, 12);
+        let mtf = get(&ratios, "MoveToFront");
+        for (name, r) in &ratios {
+            assert!(
+                mtf <= r + 0.02,
+                "d={d}: MTF ({mtf:.3}) should be ~best but {name} = {r:.3}"
+            );
+        }
+        let wf = get(&ratios, "WorstFit[Linf]");
+        let nf = get(&ratios, "NextFit");
+        assert!(
+            wf >= mtf && nf >= mtf,
+            "d={d}: Worst/Next Fit should not beat MTF"
+        );
+    }
+}
+
+#[test]
+fn figure4_next_fit_degrades_with_mu() {
+    // §7: "the performance of Next Fit degrading with higher values of μ".
+    let low = get(&mean_ratios(1, 2, 10), "NextFit");
+    let high = get(&mean_ratios(1, 100, 10), "NextFit");
+    assert!(
+        high > low + 0.05,
+        "Next Fit should degrade: mu=2 -> {low:.3}, mu=100 -> {high:.3}"
+    );
+}
+
+#[test]
+fn figure4_ratios_grow_with_d() {
+    // Multi-dimensionality makes packing harder for everyone.
+    let d1 = get(&mean_ratios(1, 20, 10), "FirstFit");
+    let d5 = get(&mean_ratios(5, 20, 10), "FirstFit");
+    assert!(d5 > d1, "d=5 ({d5:.3}) should exceed d=1 ({d1:.3})");
+}
+
+#[test]
+fn figure4_ff_and_bf_nearly_identical() {
+    // §7: "First Fit and Best Fit … have nearly identical performance".
+    let ratios = mean_ratios(2, 50, 12);
+    let ff = get(&ratios, "FirstFit");
+    let bf = get(&ratios, "BestFit[Linf]");
+    // At the reduced scale of this test (n=400, 12 trials) the two sit
+    // within a few percent; the full-scale run (EXPERIMENTS.md) matches
+    // the paper's "nearly superimposed" curves more tightly.
+    assert!(
+        (ff - bf).abs() < 0.06,
+        "FF ({ff:.3}) and BF ({bf:.3}) should be close"
+    );
+}
+
+#[test]
+fn table1_lower_bound_families_certify_ratios() {
+    use dvbp::offline::witness::assignment_cost;
+    use dvbp::workloads::adversarial::{AnyFitLb, MtfLb, NextFitLb};
+
+    // Thm 5 at k=16, d=2, mu=5 must already force a ratio > 0.7·(μ+1)d.
+    let f5 = AnyFitLb {
+        k: 16,
+        d: 2,
+        mu: 5,
+        m: 32,
+    };
+    let i5 = f5.instance();
+    let opt5 = assignment_cost(&i5, &f5.witness()).unwrap();
+    let r5 = pack_with(&i5, &PolicyKind::MoveToFront).cost() as f64 / opt5 as f64;
+    assert!(r5 > 0.7 * f5.asymptote(), "Thm5 ratio {r5:.2}");
+
+    // Thm 6 at k=128, d=2, mu=5.
+    let f6 = NextFitLb {
+        k: 128,
+        d: 2,
+        mu: 5,
+    };
+    let i6 = f6.instance();
+    let opt6 = assignment_cost(&i6, &f6.witness()).unwrap();
+    let r6 = pack_with(&i6, &PolicyKind::NextFit).cost() as f64 / opt6 as f64;
+    assert!(r6 > 0.85 * f6.asymptote(), "Thm6 ratio {r6:.2}");
+
+    // Thm 8 at n=128, mu=5.
+    let f8 = MtfLb { n: 128, mu: 5 };
+    let i8 = f8.instance();
+    let opt8 = assignment_cost(&i8, &f8.witness()).unwrap();
+    let r8 = pack_with(&i8, &PolicyKind::MoveToFront).cost() as f64 / opt8 as f64;
+    assert!(r8 > 0.9 * f8.asymptote(), "Thm8 ratio {r8:.2}");
+}

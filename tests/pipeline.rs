@@ -1,0 +1,95 @@
+//! End-to-end pipeline tests across crates: generate → pack → verify →
+//! decompose → bound-check, through the `dvbp` facade.
+
+use dvbp::analysis::decomposition::{
+    first_fit::FirstFitDecomposition, mtf::MtfDecomposition, next_fit::NextFitDecomposition,
+};
+use dvbp::offline::{lb_load, lb_span, lb_utilization, opt_bounds};
+use dvbp::workloads::UniformParams;
+use dvbp::{pack_with, PolicyKind};
+
+fn small_params(d: usize, mu: u64) -> UniformParams {
+    UniformParams {
+        dims: d,
+        items: 300,
+        mu,
+        span: 300,
+        bin_size: 100,
+    }
+}
+
+#[test]
+fn full_pipeline_on_uniform_workloads() {
+    for (d, mu, seed) in [(1usize, 5u64, 1u64), (2, 20, 2), (5, 50, 3)] {
+        let instance = small_params(d, mu).generate(seed);
+        let lb = lb_load(&instance);
+        assert!(lb >= lb_span(&instance));
+        assert!(lb_utilization(&instance) <= lb as f64 + 1e-6);
+
+        for kind in PolicyKind::paper_suite(seed) {
+            let packing = pack_with(&instance, &kind);
+            packing
+                .verify(&instance)
+                .unwrap_or_else(|e| panic!("{} d={d} mu={mu}: {e}", kind.name()));
+            assert!(packing.cost() >= lb, "{}: cost below LB", kind.name());
+            if kind.is_full_candidate_any_fit() {
+                packing
+                    .verify_any_fit(&instance)
+                    .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            }
+        }
+    }
+}
+
+#[test]
+fn decompositions_verify_on_generated_workloads() {
+    for seed in 0..5u64 {
+        let instance = small_params(2, 15).generate(100 + seed);
+
+        let mtf = pack_with(&instance, &PolicyKind::MoveToFront);
+        MtfDecomposition::from_packing(&mtf)
+            .verify(&instance, &mtf)
+            .unwrap_or_else(|e| panic!("MTF seed {seed}: {e}"));
+
+        let ff = pack_with(&instance, &PolicyKind::FirstFit);
+        FirstFitDecomposition::from_packing(&instance, &ff)
+            .verify(&instance, &ff)
+            .unwrap_or_else(|e| panic!("FF seed {seed}: {e}"));
+
+        let nf = pack_with(&instance, &PolicyKind::NextFit);
+        NextFitDecomposition::from_packing(&nf)
+            .verify(&instance, &nf)
+            .unwrap_or_else(|e| panic!("NF seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn opt_sandwich_brackets_every_policy() {
+    let instance = small_params(2, 8).generate(77);
+    let bounds = opt_bounds(&instance, 20);
+    assert!(bounds.lower <= bounds.upper);
+    assert!(bounds.lower >= instance.span());
+    for kind in PolicyKind::paper_suite(5) {
+        let cost = pack_with(&instance, &kind).cost();
+        assert!(
+            cost >= bounds.lower,
+            "{}: online cost {cost} below certified OPT lower bound {}",
+            kind.name(),
+            bounds.lower
+        );
+    }
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    use dvbp::{DimVec, Instance, Item};
+    let inst = Instance::new(
+        DimVec::from_slice(&[4, 4]),
+        vec![Item::new(DimVec::from_slice(&[2, 3]), 0, 5)],
+    )
+    .unwrap();
+    assert_eq!(dvbp::norms::linf(&inst.items[0].size, &inst.capacity), 0.75);
+    assert_eq!(inst.span(), 5);
+    let p = dvbp::pack(&inst, dvbp::PolicyKind::FirstFit.build().as_mut());
+    assert_eq!(p.cost(), 5);
+}
