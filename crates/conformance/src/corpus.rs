@@ -1,0 +1,170 @@
+//! The curated seed corpus: regression instances committed under the
+//! repository's `tests/corpus/` and replayed by a tier-1 test.
+//!
+//! Two kinds of entries live in the corpus:
+//!
+//! * **seed entries** (this module) — hand-built and generator-derived
+//!   instances targeting the engine's sharpest edges: segment-tree growth
+//!   and closure in `IndexedFirstFit`, equal-tick departure/arrival
+//!   races, and the §6 adversarial tie-breaking sequences. Regenerate
+//!   the files with `dvbp-conformance --write-seed-corpus`;
+//! * **shrunk reproducers** — written automatically by the fuzzer when a
+//!   divergence is found (`div-<family>-seed<N>-<policy>.json`). None
+//!   exist while the engine conforms; any that appear must be committed
+//!   and kept green forever.
+
+use dvbp_core::{Instance, Item};
+use dvbp_dimvec::DimVec;
+use dvbp_workloads::adversarial::{AnyFitLb, MtfLb, NextFitLb};
+use dvbp_workloads::extended::{ArrivalDist, DurationDist, ExtendedParams, SizeDist};
+use dvbp_workloads::predictions::announce_exact;
+use dvbp_workloads::uniform::UniformParams;
+
+fn item(size: &[u64], a: u64, e: u64) -> Item {
+    Item::new(DimVec::from_slice(size), a, e)
+}
+
+/// Forces the `IndexedFirstFit` residual tree through two capacity
+/// doublings (1 → 2 → 4 → 8 leaves) while bins fill, drain, and close,
+/// then packs into the survivors — the exact paths a stale tree node
+/// would corrupt.
+fn residual_tree_growth() -> Instance {
+    let mut items = Vec::new();
+    // Five 6-unit blockers open five bins (6 + 6 > 10): the tree must
+    // grow past the 4-leaf boundary, preserving earlier residuals.
+    for t in 0..5u64 {
+        items.push(item(&[6], t, 20));
+    }
+    // Fillers that first-fit into the earliest bins with room.
+    items.push(item(&[4], 5, 12)); // bin 0 -> full
+    items.push(item(&[4], 6, 12)); // bin 1 -> full
+    items.push(item(&[3], 7, 20)); // bin 2 -> residual 1
+                                   // After the fillers depart at 12, bins 0 and 1 have room again.
+    items.push(item(&[2], 13, 18));
+    items.push(item(&[2], 14, 18));
+    // Everything is gone by 20; these must open fresh bins, not match
+    // the closed ones through a stale tree entry.
+    items.push(item(&[5], 21, 25));
+    items.push(item(&[5], 22, 25));
+    Instance::new(DimVec::scalar(10), items).expect("hand-built instance is valid")
+}
+
+/// A bin closing at the exact tick another item arrives: the departing
+/// item's capacity must not be offered to the arrival (closed bins are
+/// dead), and the residual tree must be zeroed before the query.
+fn residual_tree_close_race() -> Instance {
+    let items = vec![
+        item(&[10], 0, 5), // fills bin 0, departs at 5
+        item(&[2], 4, 6),  // bin 0 is full -> opens bin 1
+        item(&[10], 5, 9), // arrives as bin 0 closes; must open bin 2
+        item(&[8], 5, 6),  // fits bin 1 (2 + 8 = 10)
+        item(&[1], 9, 12), // everything closed or full history; fresh bin
+    ];
+    Instance::new(DimVec::scalar(10), items).expect("hand-built instance is valid")
+}
+
+/// A burst of equal-tick arrivals followed by equal-tick departures
+/// interleaved with arrivals at the same tick — the tie-breaking rules
+/// (departures first, then item order) decide every placement.
+fn equal_tick_burst() -> Instance {
+    let items = vec![
+        item(&[5], 0, 3),
+        item(&[4], 0, 3),
+        item(&[3], 0, 3),
+        item(&[2], 0, 6),
+        item(&[5], 0, 6),
+        item(&[4], 0, 3),
+        // Arrive exactly as the t = 3 departures free capacity.
+        item(&[6], 3, 6),
+        item(&[6], 3, 6),
+        item(&[2], 3, 6),
+    ];
+    Instance::new(DimVec::scalar(8), items).expect("hand-built instance is valid")
+}
+
+/// Linf ties in two dimensions: loads (6,0) and (0,6) measure equal, so
+/// Best/Worst Fit must fall back to the earliest-bin rule.
+fn multidim_tiebreak() -> Instance {
+    let items = vec![
+        item(&[6, 1], 0, 10),
+        item(&[1, 6], 0, 10),
+        item(&[3, 3], 1, 5),
+        item(&[3, 3], 2, 5),
+        item(&[4, 4], 3, 8),
+    ];
+    Instance::new(DimVec::from_slice(&[10, 10]), items).expect("hand-built instance is valid")
+}
+
+/// Every committed seed entry as `(file_stem, instance)`, with exact
+/// duration announcements so the clairvoyant policies join the replay.
+#[must_use]
+pub fn seed_corpus() -> Vec<(&'static str, Instance)> {
+    let zipf_bursty = ExtendedParams {
+        base: UniformParams {
+            dims: 2,
+            items: 40,
+            mu: 8,
+            span: 40,
+            bin_size: 10,
+        },
+        sizes: SizeDist::Zipf { exponent: 1.2 },
+        durations: DurationDist::Geometric { p: 0.3 },
+        arrivals: ArrivalDist::Bursty { waves: 3, width: 2 },
+    }
+    .generate(0);
+    let entries = vec![
+        ("residual-tree-growth", residual_tree_growth()),
+        ("residual-tree-close-race", residual_tree_close_race()),
+        ("equal-tick-burst", equal_tick_burst()),
+        ("multidim-tiebreak", multidim_tiebreak()),
+        (
+            "thm5-anyfit-lb",
+            AnyFitLb {
+                k: 1,
+                d: 2,
+                mu: 2,
+                m: 2,
+            }
+            .instance(),
+        ),
+        (
+            "thm6-nextfit-lb",
+            NextFitLb { k: 2, d: 1, mu: 2 }.instance(),
+        ),
+        ("thm8-mtf-lb", MtfLb { n: 2, mu: 3 }.instance()),
+        ("zipf-bursty", zipf_bursty),
+    ];
+    entries
+        .into_iter()
+        .map(|(name, inst)| (name, announce_exact(&inst)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff;
+
+    #[test]
+    fn seed_corpus_is_valid_and_conformant() {
+        for (name, inst) in seed_corpus() {
+            inst.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            diff::check_instance(&inst, 0xC0FFEE).unwrap_or_else(|d| panic!("{name}: {d}"));
+        }
+    }
+
+    #[test]
+    fn seed_corpus_names_are_unique() {
+        let mut names: Vec<_> = seed_corpus().into_iter().map(|(n, _)| n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), seed_corpus().len());
+    }
+
+    #[test]
+    fn growth_case_really_opens_five_concurrent_bins() {
+        let inst = residual_tree_growth();
+        let p = dvbp_core::pack_with(&inst, &dvbp_core::PolicyKind::IndexedFirstFit);
+        assert!(p.max_concurrent_bins() >= 5, "{}", p.max_concurrent_bins());
+    }
+}

@@ -1,0 +1,223 @@
+//! Differential runner: optimized engine vs. reference simulator, plus
+//! the invariant suite.
+//!
+//! For one `(instance, policy)` pair the check layers are:
+//!
+//! 1. **differential** — [`dvbp_core::pack_with`] and
+//!    [`crate::reference::simulate`] must return *equal* packings:
+//!    assignment, per-bin usage records, decision trace, and cost;
+//! 2. **feasibility** — [`Packing::verify`]: per-slice capacity in every
+//!    dimension and a single contiguous usage interval per bin;
+//! 3. **Any Fit** — [`Packing::verify_any_fit`] for every full-candidate
+//!    policy (all but Next Fit and the class-restricted clairvoyant);
+//! 4. **placement identity** — `IndexedFirstFit` must equal `FirstFit`
+//!    item for item (the segment tree is a data-structure change only);
+//! 5. **lower bounds** — `lb_span ≤ lb_load ≤ cost` (Lemma 1: the span
+//!    bound is dominated by the load integral, and every online cost is
+//!    at least the optimum, hence at least any lower bound on it).
+
+use crate::reference;
+use dvbp_core::{Instance, Packing, PolicyKind};
+use dvbp_offline::lower_bounds::{lb_load, lb_span};
+use std::fmt;
+
+/// One conformance failure, with enough context to reproduce it.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Display name of the offending policy.
+    pub policy: String,
+    /// The [`PolicyKind`] that diverged (reproducers re-run it exactly).
+    pub kind: PolicyKind,
+    /// Which layer failed and how.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.policy, self.detail)
+    }
+}
+
+impl Divergence {
+    fn new(kind: &PolicyKind, detail: String) -> Self {
+        Divergence {
+            policy: kind.name(),
+            kind: kind.clone(),
+            detail,
+        }
+    }
+}
+
+/// Describes the first difference between two packings, if any.
+fn first_difference(fast: &Packing, slow: &Packing) -> Option<String> {
+    if let Some(i) = (0..fast.assignment.len().min(slow.assignment.len()))
+        .find(|&i| fast.assignment[i] != slow.assignment[i])
+    {
+        return Some(format!(
+            "assignment[{i}]: engine {} vs reference {}",
+            fast.assignment[i], slow.assignment[i]
+        ));
+    }
+    if fast.assignment.len() != slow.assignment.len() {
+        return Some(format!(
+            "assignment length: engine {} vs reference {}",
+            fast.assignment.len(),
+            slow.assignment.len()
+        ));
+    }
+    if fast.bins != slow.bins {
+        return Some(format!(
+            "bin usage records differ: engine {:?} vs reference {:?}",
+            fast.bins, slow.bins
+        ));
+    }
+    if let Some(i) =
+        (0..fast.trace.len().min(slow.trace.len())).find(|&i| fast.trace[i] != slow.trace[i])
+    {
+        return Some(format!(
+            "trace[{i}]: engine {:?} vs reference {:?}",
+            fast.trace[i], slow.trace[i]
+        ));
+    }
+    if fast.trace.len() != slow.trace.len() {
+        return Some(format!(
+            "trace length: engine {} vs reference {}",
+            fast.trace.len(),
+            slow.trace.len()
+        ));
+    }
+    if fast.cost() != slow.cost() {
+        return Some(format!(
+            "cost: engine {} vs reference {}",
+            fast.cost(),
+            slow.cost()
+        ));
+    }
+    None
+}
+
+/// Runs every check layer for one `(instance, kind)` pair.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found, layer by layer.
+pub fn check_policy(instance: &Instance, kind: &PolicyKind) -> Result<(), Divergence> {
+    let fast = dvbp_core::pack_with(instance, kind);
+    let slow = reference::simulate(instance, kind);
+
+    if let Some(diff) = first_difference(&fast, &slow) {
+        return Err(Divergence::new(kind, format!("differential: {diff}")));
+    }
+    if let Err(e) = fast.verify(instance) {
+        return Err(Divergence::new(kind, format!("verify: {e}")));
+    }
+    if kind.is_full_candidate_any_fit() {
+        if let Err(e) = fast.verify_any_fit(instance) {
+            return Err(Divergence::new(kind, format!("any-fit: {e}")));
+        }
+    }
+    if *kind == PolicyKind::IndexedFirstFit {
+        let plain = dvbp_core::pack_with(instance, &PolicyKind::FirstFit);
+        if fast.assignment != plain.assignment {
+            let i = (0..fast.assignment.len())
+                .find(|&i| fast.assignment[i] != plain.assignment[i])
+                .unwrap_or(0);
+            return Err(Divergence::new(
+                kind,
+                format!(
+                    "placement identity: item {i} goes to {} under IndexedFirstFit \
+                     but {} under FirstFit",
+                    fast.assignment[i], plain.assignment[i]
+                ),
+            ));
+        }
+    }
+
+    let span = lb_span(instance);
+    let load = lb_load(instance);
+    if span > load {
+        return Err(Divergence::new(
+            kind,
+            format!("lower bounds: lb_span {span} > lb_load {load}"),
+        ));
+    }
+    if load > fast.cost() {
+        return Err(Divergence::new(
+            kind,
+            format!("lower bounds: lb_load {load} > cost {}", fast.cost()),
+        ));
+    }
+    Ok(())
+}
+
+/// The policy suite applicable to `instance`: every [`PolicyKind`]
+/// variant, with the clairvoyant kinds included only when all items carry
+/// announced durations (they panic otherwise, by design).
+#[must_use]
+pub fn kinds_for(instance: &Instance, random_fit_seed: u64) -> Vec<PolicyKind> {
+    use dvbp_core::LoadMeasure;
+    let mut kinds = vec![
+        PolicyKind::MoveToFront,
+        PolicyKind::FirstFit,
+        PolicyKind::NextFit,
+        PolicyKind::BestFit(LoadMeasure::Linf),
+        PolicyKind::BestFit(LoadMeasure::L1),
+        PolicyKind::WorstFit(LoadMeasure::Linf),
+        PolicyKind::LastFit,
+        PolicyKind::RandomFit {
+            seed: random_fit_seed,
+        },
+        PolicyKind::IndexedFirstFit,
+    ];
+    if instance
+        .items
+        .iter()
+        .all(|i| i.announced_duration.is_some())
+    {
+        kinds.push(PolicyKind::DurationClassFirstFit);
+        kinds.push(PolicyKind::AlignedFit);
+    }
+    kinds
+}
+
+/// Checks the full applicable suite over one instance.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] across the suite.
+pub fn check_instance(instance: &Instance, random_fit_seed: u64) -> Result<(), Divergence> {
+    for kind in kinds_for(instance, random_fit_seed) {
+        check_policy(instance, &kind)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvbp_core::Item;
+    use dvbp_dimvec::DimVec;
+
+    #[test]
+    fn clean_instance_passes_all_layers() {
+        let inst = Instance::new(
+            DimVec::scalar(10),
+            vec![
+                Item::new(DimVec::scalar(6), 0, 9).with_announced_duration(9),
+                Item::new(DimVec::scalar(6), 1, 9).with_announced_duration(8),
+                Item::new(DimVec::scalar(4), 2, 5).with_announced_duration(3),
+            ],
+        )
+        .unwrap();
+        check_instance(&inst, 7).unwrap();
+    }
+
+    #[test]
+    fn clairvoyant_kinds_gated_on_announcements() {
+        let bare =
+            Instance::new(DimVec::scalar(10), vec![Item::new(DimVec::scalar(5), 0, 4)]).unwrap();
+        assert_eq!(kinds_for(&bare, 0).len(), 9);
+        let announced = dvbp_workloads::predictions::announce_exact(&bare);
+        assert_eq!(kinds_for(&announced, 0).len(), 11);
+    }
+}

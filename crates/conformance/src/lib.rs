@@ -1,0 +1,30 @@
+//! Differential conformance harness for the DVBP engine.
+//!
+//! The optimized engine (`dvbp-core`) earns its speed from incremental
+//! state — cached loads, a maintained open-bin list, a segment tree for
+//! `IndexedFirstFit`. This crate checks that none of that machinery ever
+//! changes an answer:
+//!
+//! * [`reference`] — a slow simulator that recomputes feasibility, loads,
+//!   and openness from scratch at every event and re-implements each
+//!   policy's selection rule from its paper definition;
+//! * [`diff`] — the differential runner: engine vs. reference must agree
+//!   on the full [`dvbp_core::Packing`] (assignment, usage records,
+//!   trace, cost), layered with the invariant suite (feasibility, the
+//!   Any Fit property, `IndexedFirstFit ≡ FirstFit`, and the Lemma 1
+//!   bound chain `lb_span ≤ lb_load ≤ cost`);
+//! * [`fuzz`] — a deterministic fuzzer feeding uniform, adversarial, and
+//!   extended workloads into the differential check;
+//! * [`shrink`] — a delta-debugging shrinker that minimizes any failure
+//!   (drop items, shrink sizes/durations/spans) into a reproducer small
+//!   enough to read.
+//!
+//! Shrunk failures are written as ordinary JSON trace files (the format
+//! of `dvbp::tracefile`) into the repository's `tests/corpus/`, which a
+//! tier-1 test replays on every `cargo test`.
+
+pub mod corpus;
+pub mod diff;
+pub mod fuzz;
+pub mod reference;
+pub mod shrink;

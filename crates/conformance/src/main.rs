@@ -1,0 +1,131 @@
+//! `dvbp-conformance`: run the differential fuzzer from the command line.
+//!
+//! ```text
+//! dvbp-conformance [--seeds N] [--corpus DIR]
+//! ```
+//!
+//! Replays every applicable [`dvbp_core::PolicyKind`] over `N` seeds of
+//! each workload family (uniform, adversarial, extended) through both the
+//! optimized engine and the reference simulator. Any divergence is
+//! delta-debugged to a minimal instance and written to `DIR` (default
+//! `tests/corpus/`) as a JSON trace file; the process exits non-zero.
+
+use dvbp_conformance::corpus;
+use dvbp_conformance::fuzz::{self, Family};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: dvbp-conformance [--seeds N] [--corpus DIR] [--write-seed-corpus]\n\
+     \n\
+     --seeds N            seeds per workload family (default 50)\n\
+     --corpus DIR         where to write reproducers (default tests/corpus)\n\
+     --write-seed-corpus  (re)generate the curated regression corpus and exit"
+}
+
+/// A policy name like `BestFit[Linf]` as a safe file-name fragment.
+fn slug(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Writes the curated seed corpus into `dir`.
+fn write_seed_corpus(dir: &PathBuf) -> ExitCode {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create corpus dir {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    for (name, inst) in corpus::seed_corpus() {
+        let path = dir.join(format!("{name}.json"));
+        match dvbp::tracefile::save_instance(&path, &inst) {
+            Ok(()) => println!("wrote {} ({} items)", path.display(), inst.items.len()),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut seeds: u64 = 50;
+    let mut corpus = PathBuf::from("tests/corpus");
+    let mut seed_corpus_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--write-seed-corpus" => seed_corpus_only = true,
+            "--seeds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seeds = n,
+                None => {
+                    eprintln!("--seeds needs a number\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--corpus" => match args.next() {
+                Some(dir) => corpus = PathBuf::from(dir),
+                None => {
+                    eprintln!("--corpus needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if seed_corpus_only {
+        return write_seed_corpus(&corpus);
+    }
+
+    let report = fuzz::run(seeds, |family, seed| {
+        if family == Family::Uniform && seed % 25 == 0 && seed > 0 {
+            eprintln!("  ... seed {seed}/{seeds}");
+        }
+    });
+
+    if report.failures.is_empty() {
+        println!(
+            "conformance: {} differential runs over {} seeds × {} families: zero divergence",
+            report.runs,
+            report.seeds,
+            fuzz::FAMILIES.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!("conformance: {} divergence(s) found", report.failures.len());
+    if let Err(e) = std::fs::create_dir_all(&corpus) {
+        eprintln!("cannot create corpus dir {}: {e}", corpus.display());
+        return ExitCode::FAILURE;
+    }
+    for failure in &report.failures {
+        let name = format!(
+            "div-{}-seed{}-{}.json",
+            failure.family.name(),
+            failure.seed,
+            slug(&failure.divergence.policy)
+        );
+        let path = corpus.join(&name);
+        eprintln!(
+            "  {} seed {}: {} ({} items after shrinking) -> {}",
+            failure.family.name(),
+            failure.seed,
+            failure.divergence,
+            failure.shrunk.items.len(),
+            path.display()
+        );
+        if let Err(e) = dvbp::tracefile::save_instance(&path, &failure.shrunk) {
+            eprintln!("  failed to write reproducer: {e}");
+        }
+    }
+    ExitCode::FAILURE
+}

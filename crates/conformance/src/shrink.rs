@@ -1,0 +1,217 @@
+//! Delta-debugging shrinker for conformance failures.
+//!
+//! Given an instance on which [`crate::diff::check_instance`] fails, the
+//! shrinker greedily minimizes it while the failure persists (possibly
+//! morphing into a different failing policy or layer — any surviving
+//! divergence is worth keeping):
+//!
+//! 1. **drop items** — classic ddmin: remove chunks, halving the chunk
+//!    size down to single items;
+//! 2. **shrink sizes** — halve each size component toward 1, then step
+//!    down by 1;
+//! 3. **shrink durations** — pull each departure toward `arrival + 1`
+//!    (halving the duration, then decrementing), with the announced
+//!    duration clamped to stay positive;
+//! 4. **shrink spans** — halve each arrival toward 0 (preserving the
+//!    duration), compressing the time axis.
+//!
+//! Passes repeat until a fixpoint, under a global budget of predicate
+//! evaluations so a pathological failure cannot stall the fuzzer.
+
+use crate::diff::{self, Divergence};
+use dvbp_core::{Instance, Item};
+
+/// Hard cap on predicate evaluations per shrink call.
+const MAX_CHECKS: usize = 4000;
+
+struct Shrinker {
+    capacity: dvbp_dimvec::DimVec,
+    random_fit_seed: u64,
+    checks: usize,
+}
+
+impl Shrinker {
+    /// Whether `items` still forms a valid instance that fails the
+    /// conformance check; returns the divergence when it does.
+    fn fails(&mut self, items: &[Item]) -> Option<Divergence> {
+        if items.is_empty() || self.checks >= MAX_CHECKS {
+            return None;
+        }
+        self.checks += 1;
+        let inst = Instance::new(self.capacity.clone(), items.to_vec()).ok()?;
+        diff::check_instance(&inst, self.random_fit_seed).err()
+    }
+}
+
+/// Minimizes `instance` while it keeps failing the conformance check.
+///
+/// Returns the shrunk instance and the divergence it exhibits.
+///
+/// # Panics
+///
+/// Panics if `instance` does not actually fail the check — the shrinker
+/// must only be invoked on a confirmed failure.
+#[must_use]
+pub fn shrink(instance: &Instance, random_fit_seed: u64) -> (Instance, Divergence) {
+    let mut sh = Shrinker {
+        capacity: instance.capacity.clone(),
+        random_fit_seed,
+        checks: 0,
+    };
+    let mut items = instance.items.clone();
+    let mut divergence = sh
+        .fails(&items)
+        .expect("shrink called on a passing instance");
+
+    loop {
+        let snapshot = items.clone();
+
+        // Pass 1: ddmin over items.
+        let mut chunk = (items.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i < items.len() && items.len() > 1 {
+                let mut candidate = items.clone();
+                let end = (i + chunk).min(candidate.len());
+                candidate.drain(i..end);
+                if let Some(d) = sh.fails(&candidate) {
+                    items = candidate;
+                    divergence = d;
+                } else {
+                    i = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Passes 2–4: per-item component shrinking.
+        for idx in 0..items.len() {
+            divergence = shrink_item(&mut sh, &mut items, idx, divergence);
+        }
+
+        // Fixpoint: no pass accepted any change this round.
+        if items == snapshot || sh.checks >= MAX_CHECKS {
+            break;
+        }
+    }
+
+    let shrunk = Instance::new(sh.capacity.clone(), items).expect("shrinker preserves validity");
+    (shrunk, divergence)
+}
+
+/// Tries a transformed copy of `items[idx]`; accepts it if the failure
+/// persists.
+fn try_mutation(
+    sh: &mut Shrinker,
+    items: &mut Vec<Item>,
+    idx: usize,
+    divergence: &mut Divergence,
+    mutate: impl Fn(&mut Item),
+) -> bool {
+    let mut candidate = items.clone();
+    mutate(&mut candidate[idx]);
+    if candidate[idx] == items[idx] {
+        return false;
+    }
+    if let Some(d) = sh.fails(&candidate) {
+        *items = candidate;
+        *divergence = d;
+        true
+    } else {
+        false
+    }
+}
+
+fn shrink_item(
+    sh: &mut Shrinker,
+    items: &mut Vec<Item>,
+    idx: usize,
+    mut divergence: Divergence,
+) -> Divergence {
+    // Sizes: halve toward 1, then decrement.
+    let dims = items[idx].size.dim();
+    for d in 0..dims {
+        while items[idx].size[d] > 1
+            && try_mutation(sh, items, idx, &mut divergence, |it| {
+                let v = it.size[d];
+                it.size.as_mut_slice()[d] = v.div_ceil(2);
+            })
+        {}
+        while items[idx].size[d] > 1
+            && try_mutation(sh, items, idx, &mut divergence, |it| {
+                it.size.as_mut_slice()[d] -= 1;
+            })
+        {}
+    }
+    // Durations: halve toward 1 tick, then decrement.
+    while items[idx].duration() > 1
+        && try_mutation(sh, items, idx, &mut divergence, |it| {
+            let dur = it.duration().div_ceil(2);
+            it.departure = it.arrival + dur;
+            if let Some(a) = it.announced_duration {
+                it.announced_duration = Some(a.min(dur).max(1));
+            }
+        })
+    {}
+    while items[idx].duration() > 1
+        && try_mutation(sh, items, idx, &mut divergence, |it| {
+            it.departure -= 1;
+            if let Some(a) = it.announced_duration {
+                it.announced_duration = Some(a.min(it.departure - it.arrival).max(1));
+            }
+        })
+    {}
+    // Spans: halve the arrival toward 0, duration preserved.
+    while items[idx].arrival > 0
+        && try_mutation(sh, items, idx, &mut divergence, |it| {
+            let dur = it.duration();
+            it.arrival /= 2;
+            it.departure = it.arrival + dur;
+        })
+    {}
+    divergence
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvbp_core::PolicyKind;
+    use dvbp_dimvec::DimVec;
+
+    /// A stand-in "always failing" predicate is not available without a
+    /// real engine bug, so exercise the machinery through a synthetic
+    /// `Shrinker` whose predicate is monkey-patched via the public entry
+    /// point: shrink must panic on a passing instance.
+    #[test]
+    #[should_panic(expected = "passing instance")]
+    fn rejects_passing_instances() {
+        let inst =
+            Instance::new(DimVec::scalar(10), vec![Item::new(DimVec::scalar(5), 0, 4)]).unwrap();
+        let _ = shrink(&inst, 0);
+    }
+
+    /// The mutation helper only accepts changes that keep the failure
+    /// alive; with a never-failing check it must leave items untouched.
+    #[test]
+    fn mutations_without_failure_are_rejected() {
+        let mut sh = Shrinker {
+            capacity: DimVec::scalar(10),
+            random_fit_seed: 0,
+            checks: 0,
+        };
+        let mut items = vec![Item::new(DimVec::scalar(5), 3, 9)];
+        let mut div = Divergence {
+            policy: "test".into(),
+            kind: PolicyKind::FirstFit,
+            detail: "synthetic".into(),
+        };
+        let accepted = try_mutation(&mut sh, &mut items, 0, &mut div, |it| {
+            it.size.as_mut_slice()[0] = 1;
+        });
+        assert!(!accepted);
+        assert_eq!(items[0].size[0], 5);
+    }
+}

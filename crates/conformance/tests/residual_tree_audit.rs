@@ -1,0 +1,83 @@
+//! Targeted audit of the `IndexedFirstFit` residual-tree update/query
+//! paths, via the differential harness.
+//!
+//! The segment tree has three mutation sites — `after_pack` (subtract),
+//! `on_departure` (add back), `on_close` (zero) — and one growth path
+//! (`ensure`, which rebuilds on leaf-count doubling). Each test shapes an
+//! instance family so one of those paths dominates, then requires exact
+//! agreement with both the reference simulator and plain First Fit.
+
+use dvbp_conformance::diff;
+use dvbp_core::{Instance, Item, PolicyKind};
+use dvbp_dimvec::DimVec;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn check(inst: &Instance) {
+    diff::check_policy(inst, &PolicyKind::IndexedFirstFit).unwrap();
+}
+
+/// Growth path: every item blocks sharing, so the bin count (and the
+/// tree's leaf count) doubles past 1, 2, 4, …, 64 within one run.
+#[test]
+fn tree_growth_across_many_doublings() {
+    let items: Vec<Item> = (0..100u64)
+        .map(|t| Item::new(DimVec::scalar(6), t, t + 200))
+        .collect();
+    let inst = Instance::new(DimVec::scalar(10), items).unwrap();
+    check(&inst);
+}
+
+/// Departure path: long-lived slivers keep bins open while large items
+/// come and go, so residuals oscillate between nearly-empty and full.
+#[test]
+fn residual_oscillation_under_churn() {
+    let mut items = Vec::new();
+    for b in 0..6u64 {
+        items.push(Item::new(DimVec::scalar(1), 0, 100 + b));
+    }
+    for round in 0..10u64 {
+        for b in 0..6u64 {
+            let a = 1 + round * 8 + b;
+            items.push(Item::new(DimVec::scalar(9), a, a + 4));
+        }
+    }
+    let inst = Instance::new(DimVec::scalar(10), items).unwrap();
+    check(&inst);
+}
+
+/// Close path: waves of bins all close at once, then a new wave arrives
+/// at the same tick; stale (non-zeroed) leaves would resurrect them.
+#[test]
+fn mass_closure_then_same_tick_arrivals() {
+    let mut items = Vec::new();
+    for wave in 0..5u64 {
+        let a = wave * 10;
+        for _ in 0..8 {
+            items.push(Item::new(DimVec::scalar(7), a, a + 10));
+        }
+    }
+    let inst = Instance::new(DimVec::scalar(10), items).unwrap();
+    check(&inst);
+}
+
+/// Randomized sweep over the whole surface: many seeds, sizes spanning
+/// sliver-to-full, durations spanning instant-to-run-length.
+#[test]
+fn randomized_audit_sweep() {
+    for seed in 0..25u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(20..=120usize);
+        let cap = rng.random_range(4..=16u64);
+        let items: Vec<Item> = (0..n)
+            .map(|_| {
+                let a = rng.random_range(0..50u64);
+                let dur = rng.random_range(1..=30u64);
+                Item::new(DimVec::scalar(rng.random_range(1..=cap)), a, a + dur)
+            })
+            .collect();
+        let inst = Instance::new(DimVec::scalar(cap), items).unwrap();
+        diff::check_policy(&inst, &PolicyKind::IndexedFirstFit)
+            .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+    }
+}

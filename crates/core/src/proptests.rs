@@ -17,6 +17,20 @@ fn instances() -> impl Strategy<Value = Instance> {
     })
 }
 
+/// Strategy: scalar (d = 1) instances with a small capacity so bins fill,
+/// close, and reopen often — the regime where the `IndexedFirstFit`
+/// segment tree does real work.
+fn instances_1d() -> impl Strategy<Value = Instance> {
+    (1usize..=60).prop_flat_map(|n| {
+        let cap = 10u64;
+        let item = (1u64..=cap, 0u64..50, 1u64..=20)
+            .prop_map(move |(size, a, dur)| Item::new(DimVec::scalar(size), a, a + dur));
+        prop::collection::vec(item, n).prop_map(move |items| {
+            Instance::new(DimVec::scalar(cap), items).expect("generated instance valid")
+        })
+    })
+}
+
 fn all_kinds() -> Vec<PolicyKind> {
     let mut kinds = PolicyKind::paper_suite(99);
     kinds.push(PolicyKind::BestFit(crate::LoadMeasure::L1));
@@ -102,6 +116,35 @@ proptest! {
                     current = bin.0;
                 }
             }
+        }
+    }
+
+    /// `IndexedFirstFit` is an exact drop-in for `FirstFit` on d = 1: the
+    /// segment-tree search must return the same (lowest-index) open bin as
+    /// the linear scan at every decision, so the whole packings coincide.
+    #[test]
+    fn indexed_first_fit_matches_first_fit_on_1d(inst in instances_1d()) {
+        let indexed = pack_with(&inst, &PolicyKind::IndexedFirstFit);
+        let plain = pack_with(&inst, &PolicyKind::FirstFit);
+        prop_assert_eq!(&indexed.assignment, &plain.assignment);
+        prop_assert_eq!(indexed, plain);
+    }
+
+    /// `Packing::cost()` (the sum of per-bin usage lengths, eq. 1) equals
+    /// the sweep-line integral `∫ |open bins at t| dt` over the bins'
+    /// usage intervals — the two spellings of the objective agree.
+    #[test]
+    fn cost_equals_open_bin_integral(inst in instances()) {
+        for kind in all_kinds() {
+            let p = pack_with(&inst, &kind);
+            let usages: Vec<dvbp_sim::Interval> =
+                p.bins.iter().map(crate::BinUsage::usage).collect();
+            let mut integral: dvbp_sim::Cost = 0;
+            dvbp_sim::sweep::sweep(&usages, |slice| {
+                integral += slice.active.len() as dvbp_sim::Cost
+                    * dvbp_sim::Cost::from(slice.interval.len());
+            });
+            prop_assert_eq!(p.cost(), integral, "{}", kind.name());
         }
     }
 }

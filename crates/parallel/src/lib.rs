@@ -3,8 +3,8 @@
 //! The online packing algorithms are inherently sequential, but the
 //! experiments are embarrassingly parallel across *trials* (Figure 4 runs
 //! `m = 1000` seeded instances per grid point) and across grid points.
-//! This crate runs a seeded closure over trial indices on a scoped thread
-//! pool (crossbeam) with dynamic work stealing via an atomic cursor.
+//! This crate runs a seeded closure over trial indices on scoped std
+//! threads with dynamic work stealing via an atomic cursor.
 //!
 //! Determinism contract: the closure receives the **trial index**, derives
 //! its own seed from it, and returns a value; results are written to the
@@ -12,9 +12,9 @@
 //! count or scheduling. (This is the guides' "no data races, same results
 //! as sequential" discipline: parallelism only over independent trials.)
 
-use parking_lot::Mutex;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Number of worker threads used by [`run_trials`]: the machine's
 /// available parallelism, capped by the trial count.
@@ -52,22 +52,26 @@ where
 
     let slots: Vec<Mutex<Option<T>>> = (0..trials).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= trials {
                     break;
                 }
                 let value = f(i);
-                *slots[i].lock() = Some(value);
+                *slots[i].lock().expect("slot lock") = Some(value);
             });
         }
-    })
-    .expect("worker panicked");
+        // Implicit joins at scope exit re-raise any worker panic.
+    });
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every slot filled"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every slot filled")
+        })
         .collect()
 }
 
@@ -118,14 +122,14 @@ where
     }
     let cursor = AtomicUsize::new(0);
     let partials: Vec<Mutex<Option<A>>> = (0..threads).map(|_| Mutex::new(None)).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for w in 0..threads {
             let partials = &partials;
             let cursor = &cursor;
             let init = &init;
             let f = &f;
             let fold = &fold;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut acc = init();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -134,14 +138,13 @@ where
                     }
                     fold(&mut acc, f(i));
                 }
-                *partials[w].lock() = Some(acc);
+                *partials[w].lock().expect("partial lock") = Some(acc);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     let mut result: Option<A> = None;
     for p in partials {
-        if let Some(a) = p.into_inner() {
+        if let Some(a) = p.into_inner().expect("partial lock") {
             match &mut result {
                 None => result = Some(a),
                 Some(r) => merge(r, a),

@@ -78,7 +78,11 @@ pub fn run_report(instance: &Instance, kind: &PolicyKind, billing: BillingModel)
 /// Parses a CSV job trace into an instance.
 ///
 /// Expected format: one job per line, `arrival,departure,size_1[,size_2,…]`,
-/// with an optional header line (detected by a non-numeric first field).
+/// with an optional header line. The header, if any, is the first
+/// non-blank, non-comment line and is recognized by a non-numeric
+/// leading field; a fully numeric first line is always data, never
+/// swallowed as a header (a leading UTF-8 BOM is stripped before the
+/// check, so a BOM cannot disguise a data row as a header either).
 /// `cap_spec` is the bin capacity as comma-separated units, one per
 /// dimension; the dimensionality must match the size columns.
 ///
@@ -104,16 +108,26 @@ pub fn parse_csv(text: &str, cap_spec: &str) -> Result<Instance, String> {
     let d = capacity.len();
 
     let mut items = Vec::new();
+    let mut saw_first_row = false;
     for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
+        let line = if lineno == 0 {
+            line.trim_start_matches('\u{feff}').trim()
+        } else {
+            line.trim()
+        };
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-        // Header detection: skip a first line whose leading field is not a
-        // number.
-        if lineno == 0 && fields[0].parse::<u64>().is_err() {
-            continue;
+        // Header detection: the first non-blank, non-comment row is a
+        // header iff its leading field is non-numeric. An all-numeric
+        // first row is data and must not be swallowed (the BOM strip
+        // above keeps `"\u{feff}0"` from masquerading as non-numeric).
+        if !saw_first_row {
+            saw_first_row = true;
+            if fields[0].parse::<u64>().is_err() {
+                continue;
+            }
         }
         if fields.len() != 2 + d {
             return Err(format!(
@@ -214,6 +228,51 @@ mod tests {
         let csv = "# a comment\n\n0,3,1\n";
         let inst = parse_csv(csv, "10").unwrap();
         assert_eq!(inst.len(), 1);
+    }
+
+    #[test]
+    fn csv_header_detected_after_comments_and_blanks() {
+        // The header is not necessarily the physical first line; any
+        // comment/blank prefix must not defeat its detection.
+        let csv = "# exported by some tool\n\narrival,departure,cpu\n0,3,1\n1,4,2\n";
+        let inst = parse_csv(csv, "10").unwrap();
+        assert_eq!(inst.len(), 2);
+        assert_eq!(inst.items[1].size.as_slice(), &[2]);
+    }
+
+    #[test]
+    fn csv_all_numeric_first_row_is_data_even_with_bom() {
+        // A UTF-8 BOM used to make the leading "0" unparseable, silently
+        // swallowing the first job as a header.
+        let with_bom = "\u{feff}0,10,4,8\n2,5,2,2\n";
+        let inst = parse_csv(with_bom, "8,32").unwrap();
+        assert_eq!(inst.len(), 2);
+        assert_eq!(inst.items[0].size.as_slice(), &[4, 8]);
+        assert_eq!(inst, parse_csv("0,10,4,8\n2,5,2,2\n", "8,32").unwrap());
+    }
+
+    #[test]
+    fn csv_roundtrip_through_trace_file_with_header() {
+        let dir = std::env::temp_dir().join("dvbp_tracefile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("csv_roundtrip_header.json");
+        let inst = parse_csv("arrival,departure,cpu,mem\n0,10,4,8\n2,5,2,2\n", "8,32").unwrap();
+        save_instance(&path, &inst).unwrap();
+        assert_eq!(load_instance(&path).unwrap(), inst);
+    }
+
+    #[test]
+    fn csv_roundtrip_through_trace_file_headerless() {
+        let dir = std::env::temp_dir().join("dvbp_tracefile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("csv_roundtrip_headerless.json");
+        let inst = parse_csv("0,10,4,8\n2,5,2,2\n", "8,32").unwrap();
+        save_instance(&path, &inst).unwrap();
+        assert_eq!(load_instance(&path).unwrap(), inst);
+        // Headered and headerless spellings of the same trace stay equal
+        // through the whole pipeline.
+        let headered = parse_csv("arrival,departure,cpu,mem\n0,10,4,8\n2,5,2,2\n", "8,32").unwrap();
+        assert_eq!(inst, headered);
     }
 
     #[test]

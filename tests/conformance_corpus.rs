@@ -1,0 +1,68 @@
+//! Tier-1 corpus replay: every trace file committed under `tests/corpus/`
+//! goes through the full differential conformance check on each
+//! `cargo test`.
+//!
+//! The corpus holds the curated regression instances (regenerate with
+//! `dvbp-conformance --write-seed-corpus`) plus any shrunk reproducers
+//! the fuzzer has emitted (`div-*.json`). A reproducer that starts
+//! failing again means an engine regression; it must be fixed at the
+//! root, never deleted.
+
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus must exist")
+        .map(|e| e.expect("readable corpus dir").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_not_empty() {
+    assert!(
+        !corpus_files().is_empty(),
+        "tests/corpus holds the committed conformance corpus; it must never be empty"
+    );
+}
+
+#[test]
+fn every_corpus_trace_replays_without_divergence() {
+    for path in corpus_files() {
+        let inst = dvbp::tracefile::load_instance(&path)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // The file stem seeds RandomFit so each trace pins one stream
+        // deterministically (and different traces pin different ones).
+        let seed = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .map(|s| {
+                s.bytes()
+                    .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b.into()))
+            })
+            .unwrap_or(0);
+        dvbp_conformance::diff::check_instance(&inst, seed)
+            .unwrap_or_else(|d| panic!("{}: {d}", path.display()));
+    }
+}
+
+#[test]
+fn seed_corpus_entries_are_all_committed() {
+    let on_disk: Vec<String> = corpus_files()
+        .iter()
+        .filter_map(|p| p.file_stem().and_then(|s| s.to_str()).map(String::from))
+        .collect();
+    for (name, _) in dvbp_conformance::corpus::seed_corpus() {
+        assert!(
+            on_disk.iter().any(|s| s == name),
+            "seed corpus entry '{name}' missing from tests/corpus; \
+             regenerate with: cargo run -p dvbp-conformance -- --write-seed-corpus"
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! Same authoring surface as criterion 0.7 for the subset the bench
+//! crate uses (`benchmark_group`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, the `criterion_group!`/`criterion_main!` macros), with a
+//! deliberately light engine: every benchmark runs its routine a handful
+//! of times and reports the median wall-clock time per iteration. That
+//! keeps `cargo bench` useful for coarse comparisons and keeps
+//! `cargo test` (which executes `harness = false` bench binaries) fast,
+//! without statistical machinery the offline environment cannot support.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How many timed runs each benchmark gets (the median is reported).
+const RUNS: usize = 3;
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (`BenchmarkId` or a plain name).
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId::from_parameter(self)
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId::from_parameter(self)
+    }
+}
+
+/// Work-per-iteration declaration; recorded to scale reported times.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times one routine.
+pub struct Bencher {
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` [`RUNS`] times, timing each run.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..RUNS {
+            let start = Instant::now();
+            let value = routine();
+            self.elapsed.push(start.elapsed());
+            drop(value);
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    // Keeps the `c.benchmark_group(..)` borrow shape of real criterion.
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the single-shot engine has no
+    /// warm-up phase.
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; runs are not time-budgeted.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the run count is fixed.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration work for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input.
+    pub fn bench_with_input<ID, I, R>(&mut self, id: ID, input: &I, mut routine: R) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            elapsed: Vec::new(),
+        };
+        routine(&mut bencher, input);
+        self.report(&id.into_benchmark_id().label, &mut bencher);
+        self
+    }
+
+    /// Benchmarks a self-contained routine.
+    pub fn bench_function<ID, R>(&mut self, id: ID, mut routine: R) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        R: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            elapsed: Vec::new(),
+        };
+        routine(&mut bencher);
+        self.report(&id.into_benchmark_id().label, &mut bencher);
+        self
+    }
+
+    /// Ends the group (a no-op; present for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, bencher: &mut Bencher) {
+        if bencher.elapsed.is_empty() {
+            println!("{}/{label}: no measurements", self.name);
+            return;
+        }
+        bencher.elapsed.sort_unstable();
+        let median = bencher.elapsed[bencher.elapsed.len() / 2];
+        match self.throughput {
+            Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+                let rate = n as f64 / median.as_secs_f64();
+                println!("{}/{label}: {median:?}/iter ({rate:.0} elem/s)", self.name);
+            }
+            Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+                let rate = n as f64 / median.as_secs_f64();
+                println!("{}/{label}: {median:?}/iter ({rate:.0} B/s)", self.name);
+            }
+            _ => println!("{}/{label}: {median:?}/iter", self.name),
+        }
+    }
+}
+
+/// The benchmark manager handed to every `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Display>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a self-contained routine outside any group.
+    pub fn bench_function<R>(&mut self, name: &str, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(BenchmarkId::from_parameter(name), routine);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` / `cargo bench` pass harness flags; none are
+            // meaningful to the single-shot engine.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_surface_runs() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(1));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(100));
+        let mut iterations = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| {
+                iterations += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert_eq!(iterations as usize, RUNS);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("Linf").label, "Linf");
+    }
+}

@@ -1,0 +1,448 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! Same authoring surface as real proptest for the subset this workspace
+//! uses — the [`proptest!`] macro, [`Strategy`] with `prop_map` /
+//! `prop_flat_map`, range strategies, tuple composition, and
+//! `prop::collection::vec` — but with a simpler engine: each test runs a
+//! fixed number of cases drawn from a deterministic per-test RNG (seeded
+//! from the test's name, so failures reproduce exactly across runs and
+//! machines). There is **no shrinking**: a failing case is reported with
+//! its full `Debug` rendering instead of a minimized one. The workspace's
+//! conformance crate carries its own delta-debugging shrinker for the
+//! cases where minimization matters.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SampleRange};
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms generated values.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Chains a dependent strategy off each generated value.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// References work as strategies so locals can be reused.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+
+        fn new_value(&self, rng: &mut StdRng) -> T::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// Always yields clones of one value.
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample_from(rng)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample_from(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// Strategy for a `Vec` with length drawn from `len` and elements
+    /// from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: super::collection::SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let (lo, hi) = (self.len.min, self.len.max);
+            let n = if lo == hi {
+                lo
+            } else {
+                rng.random_range(lo..=hi)
+            };
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    pub(crate) fn vec_strategy<S>(element: S, len: super::collection::SizeRange) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection` in real proptest).
+
+    use super::strategy::{vec_strategy, Strategy, VecStrategy};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for a generated collection.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        pub(crate) min: usize,
+        pub(crate) max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy for `Vec`s of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        vec_strategy(element, len.into())
+    }
+}
+
+/// The `prop::` namespace used by `use proptest::prelude::*` call sites.
+pub mod prop {
+    pub use super::collection;
+}
+
+/// A property failure carried by value (what `prop_assert!` produces in
+/// real proptest and what test bodies surface with `?`).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    reason: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail<R: std::fmt::Display>(reason: R) -> Self {
+        TestCaseError {
+            reason: reason.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+/// Per-test configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The engine behind the [`proptest!`] macro; not called directly.
+#[doc(hidden)]
+pub mod test_runner {
+    use super::{ProptestConfig, SeedableRng, StdRng, TestCaseError};
+
+    /// FNV-1a, so the per-test seed is stable across runs and platforms.
+    fn fnv1a(text: &str) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in text.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Runs `body` on `config.cases` values drawn by `generate` from a
+    /// name-seeded RNG; a failing case (panic or `Err`) reports its
+    /// `Debug` rendering and panics.
+    pub fn run<T, G, B>(config: &ProptestConfig, name: &str, generate: G, mut body: B)
+    where
+        T: std::fmt::Debug,
+        G: Fn(&mut StdRng) -> T,
+        B: FnMut(T) -> Result<(), TestCaseError>,
+    {
+        let mut rng = StdRng::seed_from_u64(fnv1a(name));
+        for case in 0..config.cases {
+            let value = generate(&mut rng);
+            let rendered = format!("{value:#?}");
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(rejection)) => {
+                    panic!(
+                        "proptest: property `{name}` failed at case {case}/{}: {rejection}\n\
+                         input:\n{rendered}",
+                        config.cases
+                    );
+                }
+                Err(panic) => {
+                    eprintln!(
+                        "proptest: property `{name}` failed at case {case}/{} with input:\n{rendered}",
+                        config.cases
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                $crate::test_runner::run(
+                    &__config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__rng| ( $( $crate::strategy::Strategy::new_value(&($strategy), __rng), )+ ),
+                    |( $($arg,)+ )| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// `assert!` under the name property-test bodies expect.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tok:tt)*) => { assert!($($tok)*) };
+}
+
+/// `assert_eq!` under the name property-test bodies expect.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tok:tt)*) => { assert_eq!($($tok)*) };
+}
+
+/// `assert_ne!` under the name property-test bodies expect.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tok:tt)*) => { assert_ne!($($tok)*) };
+}
+
+pub mod prelude {
+    //! Everything a property-test module imports.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn strategies_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = (1u64..=20).new_value(&mut rng);
+            assert!((1..=20).contains(&v));
+            let pair = (0u64..5, 0.0f64..1.0).new_value(&mut rng);
+            assert!(pair.0 < 5 && (0.0..1.0).contains(&pair.1));
+            let items = prop::collection::vec(0u64..10, 3usize).new_value(&mut rng);
+            assert_eq!(items.len(), 3);
+            let sized = prop::collection::vec(0u64..10, 0..4).new_value(&mut rng);
+            assert!(sized.len() < 4);
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let squares = (1u64..10).prop_map(|v| v * v);
+        for _ in 0..100 {
+            let v = squares.new_value(&mut rng);
+            assert!((1..100).contains(&v));
+        }
+        let dependent = (1usize..4)
+            .prop_flat_map(|n| prop::collection::vec(0u64..10, n).prop_map(move |v| (n, v)));
+        for _ in 0..100 {
+            let (n, v) = dependent.new_value(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro surface itself: multiple args, doc comments, asserts.
+        #[test]
+        fn macro_surface_works(a in 0u64..100, b in 1u64..=5) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(b.min(5), b, "b={}", b);
+            prop_assert_ne!(b, 0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut first = Vec::new();
+        crate::test_runner::run(
+            &ProptestConfig::with_cases(10),
+            "determinism_probe",
+            |rng| (0u64..1000).new_value(rng),
+            |v| {
+                first.push(v);
+                Ok(())
+            },
+        );
+        let mut second = Vec::new();
+        crate::test_runner::run(
+            &ProptestConfig::with_cases(10),
+            "determinism_probe",
+            |rng| (0u64..1000).new_value(rng),
+            |v| {
+                second.push(v);
+                Ok(())
+            },
+        );
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,724 @@
+//! Vendored stand-in for the `serde` crate.
+//!
+//! The build environment resolves dependencies offline, so the workspace
+//! carries a reduced serde: the [`Serialize`]/[`Deserialize`] traits keep
+//! their real signatures (generic over [`Serializer`]/[`Deserializer`], so
+//! hand-written impls like `DimVec`'s are source-compatible), but the data
+//! model is a single self-describing [`Content`] tree instead of the full
+//! visitor machinery. `serde_json` prints and parses that tree; the
+//! `derive` feature re-exports proc macros from `serde_derive` that
+//! generate external-tagged impls matching real serde's JSON layout
+//! (struct → object, newtype struct → inner value, unit variant →
+//! string, data variant → one-entry object).
+//!
+//! [`Content`] doubles as `serde_json::Value` (re-exported there), which
+//! is why the JSON-flavoured accessors (`as_u64`, indexing) live here.
+
+use std::fmt::Display;
+
+pub mod ser {
+    //! Serialization error plumbing.
+
+    /// Errors produced by a [`Serializer`](crate::Serializer).
+    pub trait Error: Sized + std::fmt::Display {
+        /// Builds an error from any message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    //! Deserialization error plumbing.
+
+    /// Errors produced by a [`Deserializer`](crate::Deserializer).
+    pub trait Error: Sized + std::fmt::Display {
+        /// Builds an error from any message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model: everything a value serializes into.
+///
+/// Maps preserve insertion order (struct field order), which keeps JSON
+/// output stable and human-diffable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (always `< 0`; non-negatives normalize to `U64`).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The value as `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::U64(v) => i64::try_from(v).ok(),
+            Content::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is any number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if the value is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `true` iff the value is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// Object member by key, if the value is an object containing it.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Human-readable kind, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+static NULL: Content = Content::Null;
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+
+    /// Member access in the `serde_json::Value` style: missing keys and
+    /// non-objects index to `null` rather than panicking.
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+
+    fn index(&self, idx: usize) -> &Content {
+        self.as_array().and_then(|v| v.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Content {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<u64> for Content {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+/// A value that can serialize itself into any [`Serializer`].
+pub trait Serialize {
+    /// Feeds `self` into `serializer`.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the serializer reports.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for the [`Content`] data model.
+pub trait Serializer: Sized {
+    /// Successful output.
+    type Ok;
+    /// Failure type.
+    type Error: ser::Error;
+
+    /// Consumes one complete value.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined (e.g. unrepresentable numbers).
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes an iterator as an array (the hook `DimVec` uses).
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`Serializer::serialize_content`] reports.
+    fn collect_seq<I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+    where
+        I: IntoIterator,
+        I::Item: Serialize,
+    {
+        let items = iter.into_iter().map(|v| to_content(&v)).collect();
+        self.serialize_content(Content::Seq(items))
+    }
+}
+
+/// Error of the in-memory [`ContentSerializer`]; only unrepresentable
+/// numbers (`u128`/`i128` beyond 64 bits) produce it.
+#[derive(Clone, Debug)]
+pub struct ContentError(String);
+
+impl Display for ContentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl ser::Error for ContentError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+impl de::Error for ContentError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+/// Serializer that builds the [`Content`] tree in memory.
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = ContentError;
+
+    fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+        Ok(content)
+    }
+}
+
+/// Renders any serializable value to the data model.
+///
+/// # Panics
+///
+/// Panics on values outside the model's numeric range (`u128` above
+/// `u64::MAX`); the workspace's costs stay far below that.
+#[must_use]
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Content {
+    match value.serialize(ContentSerializer) {
+        Ok(content) => content,
+        Err(e) => panic!("value not representable in the serde shim: {e}"),
+    }
+}
+
+/// A source of one [`Content`] value.
+pub trait Deserializer<'de>: Sized {
+    /// Failure type.
+    type Error: de::Error;
+
+    /// Produces the complete value.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined (e.g. malformed JSON upstream).
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value constructible from any [`Deserializer`].
+///
+/// The `'de` lifetime is kept for source compatibility with real serde
+/// impl blocks; this shim's data model is fully owned.
+pub trait Deserialize<'de>: Sized {
+    /// Reads `Self` out of `deserializer`.
+    ///
+    /// # Errors
+    ///
+    /// Type mismatches or upstream failures.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Deserializer over an in-memory [`Content`], generic in the error type
+/// so nested fields report through the outer deserializer's error.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    marker: std::marker::PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wraps a content tree.
+    #[must_use]
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+
+    fn deserialize_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Reads a typed value out of an owned content tree.
+///
+/// # Errors
+///
+/// Type mismatches, reported as `E`.
+pub fn from_content<'de, T: Deserialize<'de>, E: de::Error>(content: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::<E>::new(content))
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls for std types.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::U64(u64::from(*self)))
+            }
+        }
+    )*};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = i64::from(*self);
+                serializer.serialize_content(if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                })
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8, i16, i32, i64);
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::U64(*self as u64))
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (*self as i64).serialize(serializer)
+    }
+}
+
+impl Serialize for u128 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match u64::try_from(*self) {
+            Ok(v) => serializer.serialize_content(Content::U64(v)),
+            Err(_) => Err(ser::Error::custom("u128 beyond u64 range")),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match i64::try_from(*self) {
+            Ok(v) => v.serialize(serializer),
+            Err(_) => Err(ser::Error::custom("i128 beyond i64 range")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::F64(f64::from(*self)))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.clone()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(serializer),
+            None => serializer.serialize_content(Content::Null),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Seq(vec![to_content(&self.0), to_content(&self.1)]))
+    }
+}
+
+impl Serialize for Content {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls for std types.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                content
+                    .as_u64()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| de::Error::custom(format_args!(
+                        "expected {}, found {}", stringify!($t), content.kind()
+                    )))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                content
+                    .as_i64()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| de::Error::custom(format_args!(
+                        "expected {}, found {}", stringify!($t), content.kind()
+                    )))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for u128 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        u64::deserialize(deserializer).map(u128::from)
+    }
+}
+
+impl<'de> Deserialize<'de> for i128 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        i64::deserialize(deserializer).map(i128::from)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let content = deserializer.deserialize_content()?;
+        content.as_f64().ok_or_else(|| {
+            de::Error::custom(format_args!("expected number, found {}", content.kind()))
+        })
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let content = deserializer.deserialize_content()?;
+        content.as_bool().ok_or_else(|| {
+            de::Error::custom(format_args!("expected bool, found {}", content.kind()))
+        })
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format_args!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            other => from_content(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => items.into_iter().map(from_content).collect(),
+            other => Err(de::Error::custom(format_args!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                let a = from_content(it.next().expect("len checked"))?;
+                let b = from_content(it.next().expect("len checked"))?;
+                Ok((a, b))
+            }
+            other => Err(de::Error::custom(format_args!(
+                "expected 2-element array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_content()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Support for derive-generated code.
+// ---------------------------------------------------------------------
+
+/// Helpers called by `serde_derive`-generated impls; not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{de, Content, Deserialize};
+
+    /// Unwraps an object, naming `what` on mismatch.
+    #[doc(hidden)]
+    pub fn take_map<E: de::Error>(
+        content: Content,
+        what: &str,
+    ) -> Result<Vec<(String, Content)>, E> {
+        match content {
+            Content::Map(entries) => Ok(entries),
+            other => Err(de::Error::custom(format_args!(
+                "expected {what} object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Unwraps an array of exactly `len` elements, naming `what` on
+    /// mismatch.
+    #[doc(hidden)]
+    pub fn take_seq<E: de::Error>(
+        content: Content,
+        len: usize,
+        what: &str,
+    ) -> Result<Vec<Content>, E> {
+        match content {
+            Content::Seq(items) if items.len() == len => Ok(items),
+            Content::Seq(items) => Err(de::Error::custom(format_args!(
+                "expected {what} with {len} elements, found {}",
+                items.len()
+            ))),
+            other => Err(de::Error::custom(format_args!(
+                "expected {what} array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Removes and deserializes the field `name`; absent fields read as
+    /// `null`, which deserializes `Option` fields to `None` and errors
+    /// for everything else.
+    #[doc(hidden)]
+    pub fn field<'de, T: Deserialize<'de>, E: de::Error>(
+        entries: &mut Vec<(String, Content)>,
+        name: &str,
+        what: &str,
+    ) -> Result<T, E> {
+        let content = entries
+            .iter()
+            .position(|(k, _)| k == name)
+            .map_or(Content::Null, |idx| entries.remove(idx).1);
+        super::from_content(content)
+            .map_err(|e: E| de::Error::custom(format_args!("{what}.{name}: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_accessors() {
+        assert_eq!(Content::U64(5).as_u64(), Some(5));
+        assert_eq!(Content::I64(-5).as_u64(), None);
+        assert_eq!(Content::I64(-5).as_i64(), Some(-5));
+        assert_eq!(Content::F64(1.5).as_f64(), Some(1.5));
+        assert_eq!(Content::Str("x".into()).as_str(), Some("x"));
+        assert!(Content::Null.is_null());
+        assert_eq!(Content::Bool(true).as_bool(), Some(true));
+    }
+
+    #[test]
+    fn indexing_follows_serde_json_semantics() {
+        let obj = Content::Map(vec![("a".into(), Content::U64(1))]);
+        assert_eq!(obj["a"], 1u64);
+        assert!(obj["missing"].is_null());
+        let arr = Content::Seq(vec![Content::U64(7)]);
+        assert_eq!(arr[0], 7u64);
+        assert!(arr[9].is_null());
+    }
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(to_content(&42u64), Content::U64(42));
+        assert_eq!(to_content(&-3i32), Content::I64(-3));
+        assert_eq!(to_content(&7i32), Content::U64(7));
+        assert_eq!(to_content(&true), Content::Bool(true));
+        assert_eq!(to_content(&Some(1u8)), Content::U64(1));
+        assert_eq!(to_content(&None::<u8>), Content::Null);
+        let v: Result<u64, ContentError> = from_content(Content::U64(9));
+        assert_eq!(v.unwrap(), 9);
+        let opt: Result<Option<u64>, ContentError> = from_content(Content::Null);
+        assert_eq!(opt.unwrap(), None);
+        let vec: Result<Vec<u64>, ContentError> =
+            from_content(Content::Seq(vec![Content::U64(1), Content::U64(2)]));
+        assert_eq!(vec.unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn mismatches_are_reported() {
+        let err = from_content::<u64, ContentError>(Content::Str("no".into())).unwrap_err();
+        assert!(err.to_string().contains("expected u64"), "{err}");
+        let err = from_content::<Vec<u64>, ContentError>(Content::U64(1)).unwrap_err();
+        assert!(err.to_string().contains("expected array"), "{err}");
+    }
+}

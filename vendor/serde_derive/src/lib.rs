@@ -1,0 +1,464 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The offline build environment has no `syn`/`quote`, so the item is
+//! parsed directly from the `proc_macro` token stream. The supported
+//! shapes are exactly what this workspace derives on:
+//!
+//! * non-generic named structs, tuple structs, and unit structs;
+//! * non-generic enums with unit, newtype, tuple, and struct variants.
+//!
+//! The generated impls target the shim `serde`'s [`Content`] data model
+//! and reproduce real serde's external-tagged JSON layout: structs become
+//! objects keyed by field name, newtype structs flatten to their inner
+//! value, unit variants become strings, and data variants become
+//! one-entry objects. Field/variant attributes (`#[serde(...)]`) and
+//! generics are rejected with a compile error rather than silently
+//! misread.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+struct Field {
+    name: String,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+/// Derives `serde::Serialize` (shim edition).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` (shim edition).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let keyword = expect_ident(&mut iter, "`struct` or `enum`");
+    let name = expect_ident(&mut iter, "item name");
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types (on `{name}`)");
+    }
+    let data = match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream(), &name))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            other => panic!("unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream(), &name))
+            }
+            other => panic!("unexpected token after `enum {name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive supports structs and enums, found `{other}`"),
+    };
+    Input { name, data }
+}
+
+/// Consumes leading attributes (`#[...]`, including doc comments) and a
+/// visibility modifier. `#[serde(...)]` is rejected: the shim would
+/// silently ignore its semantics otherwise.
+fn skip_attrs_and_vis(iter: &mut TokenIter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        let body = g.stream().to_string();
+                        if body.starts_with("serde") {
+                            panic!(
+                                "serde shim derive does not support #[serde(...)] attributes: {body}"
+                            );
+                        }
+                    }
+                    other => panic!("malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    iter.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(iter: &mut TokenIter, what: &str) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected {what}, found {other:?}"),
+    }
+}
+
+/// Consumes one type, i.e. tokens up to a top-level `,`; returns whether
+/// anything was consumed.
+fn skip_type(iter: &mut TokenIter) -> bool {
+    let mut depth = 0usize;
+    let mut consumed = false;
+    while let Some(tok) = iter.peek() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth = depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                iter.next();
+                return consumed;
+            }
+            _ => {}
+        }
+        iter.next();
+        consumed = true;
+    }
+    consumed
+}
+
+fn parse_named_fields(stream: TokenStream, owner: &str) -> Vec<Field> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut iter, "field name");
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{owner}.{name}`, found {other:?}"),
+        }
+        skip_type(&mut iter);
+        fields.push(Field { name });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0usize;
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        if skip_type(&mut iter) {
+            count += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream, owner: &str) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut iter, "variant name");
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                iter.next();
+                VariantKind::Tuple(count)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream(), &format!("{owner}::{name}"));
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        match iter.next() {
+            None => {
+                variants.push(Variant { name, kind });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant { name, kind });
+            }
+            other => panic!("expected `,` after variant `{owner}::{name}`, found {other:?}"),
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+/// `Content::Map` literal from `(key expression, value expression)` pairs.
+fn map_expr(entries: &[(String, String)]) -> String {
+    let inner: Vec<String> = entries
+        .iter()
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})"))
+        .collect();
+    format!("::serde::Content::Map(::std::vec![{}])", inner.join(", "))
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let entries: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| {
+                    (
+                        f.name.clone(),
+                        format!("::serde::to_content(&self.{})", f.name),
+                    )
+                })
+                .collect();
+            format!("__serializer.serialize_content({})", map_expr(&entries))
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::serialize(&self.0, __serializer)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::to_content(&self.{i})"))
+                .collect();
+            format!(
+                "__serializer.serialize_content(::serde::Content::Seq(::std::vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Data::UnitStruct => "__serializer.serialize_content(::serde::Content::Null)".to_string(),
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => __serializer.serialize_content(\
+                             ::serde::Content::Str(::std::string::String::from(\"{vname}\"))),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => __serializer.serialize_content({}),",
+                            map_expr(&[(vname.clone(), "::serde::to_content(__f0)".into())])
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::to_content(__f{i})"))
+                                .collect();
+                            let seq =
+                                format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "));
+                            format!(
+                                "{name}::{vname}({}) => __serializer.serialize_content({}),",
+                                binds.join(", "),
+                                map_expr(&[(vname.clone(), seq)])
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{0}: __f_{0}", f.name))
+                                .collect();
+                            let entries: Vec<(String, String)> = fields
+                                .iter()
+                                .map(|f| {
+                                    (
+                                        f.name.clone(),
+                                        format!("::serde::to_content(__f_{})", f.name),
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => __serializer.serialize_content({}),",
+                                binds.join(", "),
+                                map_expr(&[(vname.clone(), map_expr(&entries))])
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{ {body} }} }}"
+    )
+}
+
+fn gen_named_constructor(path: &str, fields: &[Field], map_var: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{0}: ::serde::__private::field(&mut {map_var}, \"{0}\", \"{path}\")?",
+                f.name
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let ctor = gen_named_constructor(name, fields, "__map");
+            format!(
+                "let mut __map = ::serde::__private::take_map::<__D::Error>(__content, \"{name}\")?; \
+                 let _ = &mut __map; \
+                 ::std::result::Result::Ok({ctor})"
+            )
+        }
+        Data::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::from_content(__content)?))"
+        ),
+        Data::TupleStruct(n) => {
+            let pulls: Vec<String> = (0..*n)
+                .map(|_| "::serde::from_content(__it.next().expect(\"length checked\"))?".into())
+                .collect::<Vec<String>>();
+            format!(
+                "let __seq = ::serde::__private::take_seq::<__D::Error>(__content, {n}, \"{name}\")?; \
+                 let mut __it = __seq.into_iter(); \
+                 ::std::result::Result::Ok({name}({}))",
+                pulls.join(", ")
+            )
+        }
+        Data::UnitStruct => format!(
+            "match __content {{ \
+             ::serde::Content::Null => ::std::result::Result::Ok({name}), \
+             __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+             format_args!(\"expected null for unit struct {name}, found {{}}\", __other.kind()))) }}"
+        ),
+        Data::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{0}\" => ::std::result::Result::Ok({name}::{0}),",
+                        v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    let path = format!("{name}::{vname}");
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok(\
+                             {path}(::serde::from_content(__inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let pulls: Vec<String> = (0..*n)
+                                .map(|_| {
+                                    "::serde::from_content(__it.next().expect(\"length checked\"))?"
+                                        .into()
+                                })
+                                .collect::<Vec<String>>();
+                            Some(format!(
+                                "\"{vname}\" => {{ \
+                                 let __seq = ::serde::__private::take_seq::<__D::Error>(\
+                                 __inner, {n}, \"{path}\")?; \
+                                 let mut __it = __seq.into_iter(); \
+                                 ::std::result::Result::Ok({path}({})) }},",
+                                pulls.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let ctor = gen_named_constructor(&path, fields, "__vmap");
+                            Some(format!(
+                                "\"{vname}\" => {{ \
+                                 let mut __vmap = ::serde::__private::take_map::<__D::Error>(\
+                                 __inner, \"{path}\")?; \
+                                 let _ = &mut __vmap; \
+                                 ::std::result::Result::Ok({ctor}) }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let str_arm = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Content::Str(__s) => match __s.as_str() {{ {} \
+                     __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                     format_args!(\"unknown {name} variant `{{__other}}`\"))) }},",
+                    unit_arms.join(" ")
+                )
+            };
+            let map_arm = if data_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Content::Map(__m) if __m.len() == 1 => {{ \
+                     let (__tag, __inner) = __m.into_iter().next().expect(\"length checked\"); \
+                     match __tag.as_str() {{ {} \
+                     __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                     format_args!(\"unknown {name} variant `{{__other}}`\"))) }} }},",
+                    data_arms.join(" ")
+                )
+            };
+            format!(
+                "match __content {{ {str_arm} {map_arm} \
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 format_args!(\"invalid {name} encoding: {{}}\", __other.kind()))) }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl<'de> ::serde::Deserialize<'de> for {name} {{ \
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{ \
+         let __content = __deserializer.deserialize_content()?; \
+         let _ = &__content; {body} }} }}"
+    )
+}

@@ -1,0 +1,518 @@
+//! Vendored stand-in for the `serde_json` crate.
+//!
+//! Text layer over the shim serde's [`Content`] data model: a
+//! recursive-descent JSON parser ([`from_str`]) and compact/pretty
+//! printers ([`to_string`], [`to_string_pretty`]). [`Value`] is the
+//! [`Content`] tree itself, so `json["key"].as_u64()`-style access works
+//! exactly as with real `serde_json`.
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A parsed JSON value (the shim serde's own data model).
+pub type Value = Content;
+
+/// Parse or print failure.
+#[derive(Clone, Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+fn err<T>(msg: impl std::fmt::Display) -> Result<T, Error> {
+    Err(Error {
+        msg: msg.to_string(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Deserialization
+// ---------------------------------------------------------------------
+
+/// Parses a JSON document into any deserializable type.
+///
+/// # Errors
+///
+/// Malformed JSON, trailing garbage, or a shape mismatch with `T`.
+pub fn from_str<'de, T: Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return err(format_args!("trailing characters at byte {}", parser.pos));
+    }
+    serde::from_content(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format_args!(
+                "expected '{}' at byte {}",
+                byte as char, self.pos
+            ))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        match self.peek() {
+            None => err("unexpected end of input"),
+            Some(b'n') if self.eat_literal("null") => Ok(Content::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Content::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Content::Bool(false)),
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => err(format_args!(
+                "unexpected character '{}' at byte {}",
+                c as char, self.pos
+            )),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return err(format_args!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return err(format_args!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.parse_hex4()?;
+                            // Surrogate pairs arrive as two \uXXXX escapes.
+                            let ch = if (0xD800..0xDC00).contains(&unit) {
+                                if !(self.eat_literal("\\u")) {
+                                    return err("unpaired surrogate");
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return err("invalid low surrogate");
+                                }
+                                let code = 0x10000
+                                    + ((u32::from(unit) - 0xD800) << 10)
+                                    + (u32::from(low) - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(u32::from(unit))
+                            };
+                            match ch {
+                                Some(c) => out.push(c),
+                                None => return err("invalid unicode escape"),
+                            }
+                            // parse_hex4 leaves pos past the digits.
+                            continue;
+                        }
+                        _ => return err(format_args!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy a full UTF-8 scalar so multi-byte text survives.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error {
+                            msg: "invalid UTF-8 in string".into(),
+                        })?
+                        .chars()
+                        .next()
+                        .expect("peeked non-empty");
+                    out.push(s);
+                    self.pos += s.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return err("truncated \\u escape");
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .and_then(|s| u16::from_str_radix(s, 16).ok());
+        match hex {
+            Some(v) => {
+                self.pos = end;
+                Ok(v)
+            }
+            None => err(format_args!("bad \\u escape at byte {}", self.pos)),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        if is_float {
+            match text.parse::<f64>() {
+                Ok(v) => Ok(Content::F64(v)),
+                Err(e) => err(format_args!("number '{text}': {e}")),
+            }
+        } else if text.starts_with('-') {
+            match text.parse::<i64>() {
+                Ok(v) => Ok(Content::I64(v)),
+                Err(e) => err(format_args!("number '{text}': {e}")),
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(v) => Ok(Content::U64(v)),
+                Err(e) => err(format_args!("number '{text}': {e}")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+/// Prints a value as compact JSON.
+///
+/// # Errors
+///
+/// Non-finite floats or numbers outside the data model.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content = value.serialize(JsonSerializer)?;
+    let mut out = String::new();
+    write_content(&mut out, &content, None, 0)?;
+    Ok(out)
+}
+
+/// Prints a value as pretty JSON (two-space indent).
+///
+/// # Errors
+///
+/// Non-finite floats or numbers outside the data model.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content = value.serialize(JsonSerializer)?;
+    let mut out = String::new();
+    write_content(&mut out, &content, Some(2), 0)?;
+    Ok(out)
+}
+
+/// Serializer producing the content tree with this crate's error type,
+/// so serialization failures surface as `serde_json::Error`.
+struct JsonSerializer;
+
+impl serde::Serializer for JsonSerializer {
+    type Ok = Content;
+    type Error = Error;
+
+    fn serialize_content(self, content: Content) -> Result<Content, Error> {
+        Ok(content)
+    }
+}
+
+fn write_content(
+    out: &mut String,
+    content: &Content,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::F64(v) => {
+            if !v.is_finite() {
+                return err("JSON cannot represent non-finite floats");
+            }
+            // `{}` prints integral floats without a fractional part; add
+            // one so the value re-parses as a float.
+            let mut text = format!("{v}");
+            if !text.contains(['.', 'e', 'E']) {
+                text.push_str(".0");
+            }
+            out.push_str(&text);
+        }
+        Content::Str(s) => write_string(out, s),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_content(out, item, indent, depth + 1)?;
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(out, value, indent, depth + 1)?;
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str::<Value>("null").unwrap(), Content::Null);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert!((from_str::<f64>("1.5e2").unwrap() - 150.0).abs() < 1e-12);
+        assert_eq!(from_str::<String>(r#""hi""#).unwrap(), "hi");
+    }
+
+    #[test]
+    fn parses_structures() {
+        let v: Value = from_str(r#" { "a": [1, 2], "b": {"c": null} } "#).unwrap();
+        assert_eq!(v["a"][1], 2u64);
+        assert!(v["b"]["c"].is_null());
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn parses_escapes() {
+        let v: String = from_str(r#""line\nbreak A 😀""#).unwrap();
+        assert_eq!(v, "line\nbreak A 😀");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>(r#"{"a" 1}"#).is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<u64>("-1").is_err());
+    }
+
+    #[test]
+    fn prints_compact_and_pretty() {
+        let v: Value = from_str(r#"{"a":[1,2],"b":"x","c":1.5,"d":null}"#).unwrap();
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":[1,2],"b":"x","c":1.5,"d":null}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(
+            pretty.contains("\n  \"a\": [\n    1,\n    2\n  ]"),
+            "{pretty}"
+        );
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn floats_survive_round_trips() {
+        let text = to_string(&2.0f64).unwrap();
+        assert_eq!(text, "2.0");
+        let back: f64 = from_str(&text).unwrap();
+        assert!((back - 2.0).abs() < 1e-12);
+        assert!(to_string(&f64::NAN).is_err());
+    }
+
+    #[test]
+    fn strings_escape_on_output() {
+        let text = to_string(&"a\"b\\c\nd").unwrap();
+        assert_eq!(text, r#""a\"b\\c\nd""#);
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, "a\"b\\c\nd");
+    }
+}
