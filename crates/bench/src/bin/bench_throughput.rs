@@ -1,0 +1,310 @@
+//! Wall-clock throughput emitter: items packed per second for every
+//! Any-Fit policy (indexed and scanning variants) across a fixed
+//! `(d, n, μ)` grid, written as `BENCH_throughput.json`.
+//!
+//! Unlike the Criterion benches (statistical, human-oriented), this
+//! binary produces one machine-readable artifact per run for regression
+//! tracking: scores are also *normalized* by the run's geometric mean, so
+//! two runs on different machines compare by relative shape rather than
+//! absolute speed. `--baseline <file>` fails the process when any shared
+//! grid key's normalized score regresses by more than `--max-regression`
+//! percent (CI runs the `smoke` scale against the committed artifact).
+//!
+//! Usage:
+//!   bench_throughput [--out FILE] [--baseline FILE]
+//!                    [--max-regression PCT] [--scale full|smoke]
+
+use dvbp_bench::bench_instance;
+use dvbp_bench::seed_engine::{pack_seed, SeedSelect};
+use dvbp_core::policy::best_fit::BestFit;
+use dvbp_core::policy::first_fit::FirstFit;
+use dvbp_core::policy::last_fit::LastFit;
+use dvbp_core::policy::worst_fit::WorstFit;
+use dvbp_core::{Engine, Instance, LoadMeasure, Policy, PolicyKind, TraceMode};
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// One measured grid point.
+#[derive(Debug, Serialize, Deserialize)]
+struct Entry {
+    /// Stable identity: `policy/variant/d<D>/n<N>/mu<MU>`.
+    key: String,
+    policy: String,
+    variant: String,
+    d: usize,
+    n: usize,
+    mu: u64,
+    seed: u64,
+    items_per_sec: f64,
+    /// Items/sec of the *fastest* repetition (minimum-time estimator;
+    /// scheduling noise only ever adds time, so the min is the most
+    /// reproducible statistic).
+    ///
+    /// `normalized` is `items_per_sec` divided by the geometric mean of
+    /// this run's scores on the [`SMOKE_GRID`] keys — a key set every
+    /// scale measures, so normalized scores compare across scales and
+    /// machines. This is what the regression gate checks.
+    normalized: f64,
+    max_concurrent_bins: usize,
+    cost: u64,
+    reps: u32,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Report {
+    schema: String,
+    scale: String,
+    entries: Vec<Entry>,
+}
+
+/// `(policy, variant)` rows of the grid, three variants per Any-Fit
+/// policy:
+///
+/// * `seed` — the seed engine's packing loop and O(m·d) scanning
+///   selection, preserved verbatim in [`dvbp_bench::seed_engine`]. This is
+///   the "before" of the before/after comparison.
+/// * `scan` — the same O(m·d) selection running inside the optimized
+///   engine (isolates selection cost from engine-loop cost).
+/// * `indexed` — fit-index candidate enumeration in the optimized engine.
+///
+/// All three produce identical placements; only the per-arrival cost
+/// differs.
+const POLICIES: [(&str, &str); 14] = [
+    ("FirstFit", "indexed"),
+    ("FirstFit", "scan"),
+    ("FirstFit", "seed"),
+    ("BestFit", "indexed"),
+    ("BestFit", "scan"),
+    ("BestFit", "seed"),
+    ("WorstFit", "indexed"),
+    ("WorstFit", "scan"),
+    ("WorstFit", "seed"),
+    ("LastFit", "indexed"),
+    ("LastFit", "scan"),
+    ("LastFit", "seed"),
+    ("NextFit", "-"),
+    ("MoveToFront", "-"),
+];
+
+/// `(d, n, mu)` grid points. `mu = n / 2` keeps thousands of bins
+/// concurrently open (the regime the fit index targets); the small-μ
+/// points pin down the small-m overhead.
+const FULL_GRID: [(usize, usize, u64); 5] = [
+    (1, 2000, 60),
+    (2, 2000, 60),
+    (2, 8000, 4000),
+    (5, 2000, 1000),
+    (9, 2000, 500),
+];
+
+/// Smoke grid: the `n ≤ 2000` subset of [`FULL_GRID`], so every smoke key
+/// exists in a committed full-scale artifact.
+const SMOKE_GRID: [(usize, usize, u64); 4] = [
+    (1, 2000, 60),
+    (2, 2000, 60),
+    (5, 2000, 1000),
+    (9, 2000, 500),
+];
+
+const SEED: u64 = 1;
+
+fn seed_select(policy: &str) -> SeedSelect {
+    match policy {
+        "FirstFit" => SeedSelect::FirstFit,
+        "BestFit" => SeedSelect::BestFit(LoadMeasure::Linf),
+        "WorstFit" => SeedSelect::WorstFit(LoadMeasure::Linf),
+        "LastFit" => SeedSelect::LastFit,
+        other => panic!("no seed twin for {other}"),
+    }
+}
+
+fn build_policy(policy: &str, variant: &str) -> Box<dyn Policy> {
+    match (policy, variant) {
+        ("FirstFit", "indexed") => Box::new(FirstFit::new()),
+        ("FirstFit", "scan") => Box::new(FirstFit::scanning()),
+        ("BestFit", "indexed") => Box::new(BestFit::new(LoadMeasure::Linf)),
+        ("BestFit", "scan") => Box::new(BestFit::scanning(LoadMeasure::Linf)),
+        ("WorstFit", "indexed") => Box::new(WorstFit::new(LoadMeasure::Linf)),
+        ("WorstFit", "scan") => Box::new(WorstFit::scanning(LoadMeasure::Linf)),
+        ("LastFit", "indexed") => Box::new(LastFit::new()),
+        ("LastFit", "scan") => Box::new(LastFit::scanning()),
+        ("NextFit", _) => PolicyKind::NextFit.build(),
+        ("MoveToFront", _) => PolicyKind::MoveToFront.build(),
+        other => panic!("unknown policy row {other:?}"),
+    }
+}
+
+/// Times repeated warm `CostOnly` runs of `policy` over `inst` until
+/// `budget` elapses (at least 3 reps), returning items/sec and the run's
+/// invariant outputs.
+fn measure(inst: &Instance, policy: &mut dyn Policy, budget: Duration) -> (f64, usize, u64, u32) {
+    let mut engine = Engine::new();
+    // Warm run: grows the engine arenas and fit index; also the one place
+    // the per-config outputs (cost, concurrency) are taken from.
+    let warm = engine.pack(inst, policy, TraceMode::CostOnly);
+    let max_conc = warm.max_concurrent_bins();
+    let cost = u64::try_from(warm.cost()).expect("bench costs fit in u64");
+
+    let start = Instant::now();
+    let mut reps = 0u32;
+    let mut fastest = Duration::MAX;
+    loop {
+        let t0 = Instant::now();
+        black_box(engine.pack(inst, policy, TraceMode::CostOnly).cost());
+        fastest = fastest.min(t0.elapsed());
+        reps += 1;
+        if reps >= 3 && start.elapsed() >= budget {
+            break;
+        }
+    }
+    let ips = inst.len() as f64 / fastest.as_secs_f64();
+    (ips, max_conc, cost, reps)
+}
+
+/// Same timing protocol for the seed-engine twin (no warm state to reuse —
+/// the seed allocated everything per run, and that cost is part of what it
+/// measures).
+fn measure_seed(inst: &Instance, select: SeedSelect, budget: Duration) -> (f64, usize, u64, u32) {
+    let first = pack_seed(inst, select);
+    let max_conc = first.max_concurrent_bins;
+    let cost = u64::try_from(first.cost).expect("bench costs fit in u64");
+
+    let start = Instant::now();
+    let mut reps = 0u32;
+    let mut fastest = Duration::MAX;
+    loop {
+        let t0 = Instant::now();
+        black_box(pack_seed(inst, select).cost);
+        fastest = fastest.min(t0.elapsed());
+        reps += 1;
+        if reps >= 3 && start.elapsed() >= budget {
+            break;
+        }
+    }
+    let ips = inst.len() as f64 / fastest.as_secs_f64();
+    (ips, max_conc, cost, reps)
+}
+
+fn run_grid(scale: &str) -> Report {
+    let (grid, budget): (&[(usize, usize, u64)], Duration) = match scale {
+        "smoke" => (&SMOKE_GRID, Duration::from_millis(120)),
+        _ => (&FULL_GRID, Duration::from_millis(400)),
+    };
+    let mut entries = Vec::new();
+    for &(d, n, mu) in grid {
+        let inst = bench_instance(d, n, mu, SEED);
+        for (policy, variant) in POLICIES {
+            let (ips, max_conc, cost, reps) = if variant == "seed" {
+                measure_seed(&inst, seed_select(policy), budget)
+            } else {
+                let mut p = build_policy(policy, variant);
+                measure(&inst, p.as_mut(), budget)
+            };
+            eprintln!("{policy}/{variant} d={d} n={n} mu={mu}: {ips:.0} items/s (m={max_conc})");
+            entries.push(Entry {
+                key: format!("{policy}/{variant}/d{d}/n{n}/mu{mu}"),
+                policy: policy.to_string(),
+                variant: variant.to_string(),
+                d,
+                n,
+                mu,
+                seed: SEED,
+                items_per_sec: ips,
+                normalized: 0.0,
+                max_concurrent_bins: max_conc,
+                cost,
+                reps,
+            });
+        }
+    }
+    // Normalize by the geometric mean over the smoke-grid keys only: the
+    // smoke grid is a subset of every scale's grid, so the denominator is
+    // computed from the same key set no matter the scale and normalized
+    // scores stay comparable between a smoke run and a full baseline.
+    let shared: Vec<f64> = entries
+        .iter()
+        .filter(|e| SMOKE_GRID.contains(&(e.d, e.n, e.mu)))
+        .map(|e| e.items_per_sec.ln())
+        .collect();
+    let geo_mean = (shared.iter().sum::<f64>() / shared.len() as f64).exp();
+    for e in &mut entries {
+        e.normalized = e.items_per_sec / geo_mean;
+    }
+    Report {
+        schema: "dvbp-bench-throughput/1".to_string(),
+        scale: scale.to_string(),
+        entries,
+    }
+}
+
+/// Compares normalized scores against `baseline`; returns the offending
+/// keys (regressed by more than `max_regression_pct`).
+fn regressions(report: &Report, baseline: &Report, max_regression_pct: f64) -> Vec<String> {
+    let floor = 1.0 - max_regression_pct / 100.0;
+    let mut bad = Vec::new();
+    for e in &report.entries {
+        if let Some(b) = baseline.entries.iter().find(|b| b.key == e.key) {
+            if e.normalized < b.normalized * floor {
+                bad.push(format!(
+                    "{}: normalized {:.3} vs baseline {:.3} (floor {:.3})",
+                    e.key,
+                    e.normalized,
+                    b.normalized,
+                    b.normalized * floor
+                ));
+            }
+        }
+    }
+    bad
+}
+
+fn main() -> ExitCode {
+    let mut out = String::from("BENCH_throughput.json");
+    let mut baseline: Option<String> = None;
+    let mut max_regression = 30.0f64;
+    let mut scale = String::from("full");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => out = value("--out"),
+            "--baseline" => baseline = Some(value("--baseline")),
+            "--max-regression" => {
+                max_regression = value("--max-regression")
+                    .parse()
+                    .expect("--max-regression takes a percentage")
+            }
+            "--scale" => scale = value("--scale"),
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = run_grid(&scale);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write report");
+    eprintln!("wrote {out} ({} entries)", report.entries.len());
+
+    if let Some(path) = baseline {
+        let data = std::fs::read_to_string(&path).expect("read baseline");
+        let base: Report = serde_json::from_str(&data).expect("parse baseline");
+        let bad = regressions(&report, &base, max_regression);
+        if !bad.is_empty() {
+            eprintln!("throughput regressions over {max_regression}% vs {path}:");
+            for line in &bad {
+                eprintln!("  {line}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!("no regression over {max_regression}% vs {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -15,6 +15,8 @@
 use dvbp_core::Instance;
 use dvbp_workloads::UniformParams;
 
+pub mod seed_engine;
+
 /// A standard benchmark instance: Table 2 shape scaled to `n` items.
 #[must_use]
 pub fn bench_instance(d: usize, n: usize, mu: u64, seed: u64) -> Instance {

@@ -1,0 +1,54 @@
+//! The seed-engine twin in `dvbp_bench::seed_engine` must be
+//! placement-identical to the optimized engine — otherwise the
+//! before/after numbers in `BENCH_throughput.json` would compare
+//! different algorithms.
+
+use dvbp_bench::bench_instance;
+use dvbp_bench::seed_engine::{pack_seed, SeedSelect};
+use dvbp_core::policy::best_fit::BestFit;
+use dvbp_core::policy::first_fit::FirstFit;
+use dvbp_core::policy::last_fit::LastFit;
+use dvbp_core::policy::worst_fit::WorstFit;
+use dvbp_core::{pack, LoadMeasure, Policy};
+
+fn check(select: SeedSelect, policy: &mut dyn Policy) {
+    for seed in 0..4 {
+        let inst = bench_instance(2, 400, 80, seed);
+        let optimized = pack(&inst, policy);
+        let twin = pack_seed(&inst, select);
+        let twin_bins: Vec<usize> = optimized.assignment.iter().map(|b| b.0).collect();
+        assert_eq!(twin.assignment, twin_bins, "assignment diverged");
+        assert_eq!(twin.cost, optimized.cost(), "cost diverged");
+        assert_eq!(
+            twin.max_concurrent_bins,
+            optimized.max_concurrent_bins(),
+            "concurrency diverged"
+        );
+    }
+}
+
+#[test]
+fn seed_twin_matches_first_fit() {
+    check(SeedSelect::FirstFit, &mut FirstFit::new());
+}
+
+#[test]
+fn seed_twin_matches_best_fit() {
+    check(
+        SeedSelect::BestFit(LoadMeasure::Linf),
+        &mut BestFit::new(LoadMeasure::Linf),
+    );
+}
+
+#[test]
+fn seed_twin_matches_worst_fit() {
+    check(
+        SeedSelect::WorstFit(LoadMeasure::Linf),
+        &mut WorstFit::new(LoadMeasure::Linf),
+    );
+}
+
+#[test]
+fn seed_twin_matches_last_fit() {
+    check(SeedSelect::LastFit, &mut LastFit::new());
+}

@@ -95,6 +95,59 @@ fn multidim_tiebreak() -> Instance {
     Instance::new(DimVec::from_slice(&[10, 10]), items).expect("hand-built instance is valid")
 }
 
+/// Two-dimensional fit-index growth with closes interleaved: bins open
+/// past the 4-leaf boundary while earlier bins close, so the doubling
+/// rebuild must copy live residuals and keep closed leaves pinned at 0.
+fn fitindex_growth_close_2d() -> Instance {
+    let items = vec![
+        // Wave 1: three mutually exclusive blockers -> bins 0..2.
+        item(&[7, 2], 0, 6),
+        item(&[2, 7], 0, 9),
+        item(&[6, 6], 1, 12),
+        // Bin 0 drains at 6 and closes; growth continues past it.
+        item(&[7, 7], 7, 14),  // fits no survivor -> bin 3
+        item(&[9, 1], 8, 14),  // bin 4: crosses the 4-leaf boundary
+        item(&[1, 9], 9, 14),  // only bin 4 has room ([10, 10])
+        item(&[3, 3], 10, 13), // first fit lands in bin 1
+        // Everything drains by 14; these must not resurrect closed leaves.
+        item(&[5, 5], 15, 18),
+        item(&[5, 5], 16, 18),
+    ];
+    Instance::new(DimVec::from_slice(&[10, 10]), items).expect("hand-built instance is valid")
+}
+
+/// Nine-dimensional open → drain → idle-gap → fresh-arrival cycles: after
+/// each gap every bin is closed, so the fit index must never surface the
+/// old bins even though their leaves once held near-full residuals.
+fn reopen_gap_d9() -> Instance {
+    let d = 9;
+    let blocker = |t: u64, hot: usize, e: u64| {
+        Item::new(DimVec::from_fn(d, |j| if j == hot { 6 } else { 1 }), t, e)
+    };
+    let mut items = Vec::new();
+    for cycle in 0..3u64 {
+        let t = cycle * 20;
+        // Two blockers hot in dimension 0 cannot share a bin; the third,
+        // hot in dimension 1, fits alongside either.
+        items.push(blocker(t, 0, t + 8));
+        items.push(blocker(t + 1, 0, t + 8));
+        items.push(blocker(t + 2, 1, t + 6));
+        items.push(Item::new(DimVec::splat(d, 1), t + 3, t + 7));
+        // Idle until the next cycle: every bin closes.
+    }
+    Instance::new(DimVec::splat(d, 10), items).expect("hand-built instance is valid")
+}
+
+/// A committed high-churn draw at the requested dimensionality (the
+/// family randomizes `d ∈ {1, 2, 8, 9}`; scanning seeds keeps the corpus
+/// file deterministic).
+fn high_churn_with_dim(d: usize) -> Instance {
+    (0..256u64)
+        .map(|s| crate::fuzz::generate(crate::fuzz::Family::HighChurn, s))
+        .find(|i| i.dim() == d)
+        .expect("some seed in 0..256 draws each dimensionality")
+}
+
 /// Every committed seed entry as `(file_stem, instance)`, with exact
 /// duration announcements so the clairvoyant policies join the replay.
 #[must_use]
@@ -133,6 +186,9 @@ pub fn seed_corpus() -> Vec<(&'static str, Instance)> {
         ),
         ("thm8-mtf-lb", MtfLb { n: 2, mu: 3 }.instance()),
         ("zipf-bursty", zipf_bursty),
+        ("fitindex-growth-close-2d", fitindex_growth_close_2d()),
+        ("reopen-gap-d9", reopen_gap_d9()),
+        ("highchurn-blockers-d8", high_churn_with_dim(8)),
     ];
     entries
         .into_iter()
@@ -166,5 +222,27 @@ mod tests {
         let inst = residual_tree_growth();
         let p = dvbp_core::pack_with(&inst, &dvbp_core::PolicyKind::IndexedFirstFit);
         assert!(p.max_concurrent_bins() >= 5, "{}", p.max_concurrent_bins());
+    }
+
+    #[test]
+    fn growth_close_2d_crosses_the_four_leaf_boundary() {
+        let inst = fitindex_growth_close_2d();
+        let p = dvbp_core::pack_with(&inst, &dvbp_core::PolicyKind::FirstFit);
+        assert!(p.num_bins() >= 5, "{}", p.num_bins());
+    }
+
+    #[test]
+    fn reopen_gap_d9_opens_fresh_bins_each_cycle() {
+        let inst = reopen_gap_d9();
+        assert_eq!(inst.dim(), 9);
+        let p = dvbp_core::pack_with(&inst, &dvbp_core::PolicyKind::FirstFit);
+        // Each of the three cycles needs at least two bins, and bins are
+        // never reused across the idle gaps.
+        assert!(p.num_bins() >= 6, "{}", p.num_bins());
+    }
+
+    #[test]
+    fn committed_high_churn_draw_is_really_d8() {
+        assert_eq!(high_churn_with_dim(8).dim(), 8);
     }
 }

@@ -11,13 +11,17 @@
 //! 3. **Any Fit** — [`Packing::verify_any_fit`] for every full-candidate
 //!    policy (all but Next Fit and the class-restricted clairvoyant);
 //! 4. **placement identity** — `IndexedFirstFit` must equal `FirstFit`
-//!    item for item (the segment tree is a data-structure change only);
-//! 5. **lower bounds** — `lb_span ≤ lb_load ≤ cost` (Lemma 1: the span
+//!    item for item (the fit index is a data-structure change only);
+//! 5. **cost-only identity** — re-running under
+//!    [`TraceMode::CostOnly`] must reproduce the `Full` run's assignment,
+//!    cost, and max concurrency (the mode skips bookkeeping, never
+//!    decisions);
+//! 6. **lower bounds** — `lb_span ≤ lb_load ≤ cost` (Lemma 1: the span
 //!    bound is dominated by the load integral, and every online cost is
 //!    at least the optimum, hence at least any lower bound on it).
 
 use crate::reference;
-use dvbp_core::{Instance, Packing, PolicyKind};
+use dvbp_core::{Instance, Packing, PolicyKind, TraceMode};
 use dvbp_offline::lower_bounds::{lb_load, lb_span};
 use std::fmt;
 
@@ -131,6 +135,40 @@ pub fn check_policy(instance: &Instance, kind: &PolicyKind) -> Result<(), Diverg
                 ),
             ));
         }
+    }
+
+    let cost_only = dvbp_core::pack_with_mode(instance, kind, TraceMode::CostOnly);
+    if cost_only.assignment != fast.assignment {
+        let i = (0..fast.assignment.len())
+            .find(|&i| cost_only.assignment[i] != fast.assignment[i])
+            .unwrap_or(0);
+        return Err(Divergence::new(
+            kind,
+            format!(
+                "cost-only: item {i} goes to {} under CostOnly but {} under Full",
+                cost_only.assignment[i], fast.assignment[i]
+            ),
+        ));
+    }
+    if cost_only.cost() != fast.cost() {
+        return Err(Divergence::new(
+            kind,
+            format!(
+                "cost-only: cost {} vs Full cost {}",
+                cost_only.cost(),
+                fast.cost()
+            ),
+        ));
+    }
+    if cost_only.max_concurrent_bins() != fast.max_concurrent_bins() {
+        return Err(Divergence::new(
+            kind,
+            format!(
+                "cost-only: max concurrent bins {} vs Full {}",
+                cost_only.max_concurrent_bins(),
+                fast.max_concurrent_bins()
+            ),
+        ));
     }
 
     let span = lb_span(instance);

@@ -8,7 +8,13 @@
 //!   which release many equal-tick items in a crafted order and so
 //!   exercise the tie-breaking rules hardest;
 //! * **extended** — Zipf sizes, geometric durations, and bursty arrivals
-//!   ([`ExtendedParams`]), stressing skewed loads and arrival spikes.
+//!   ([`ExtendedParams`]), stressing skewed loads and arrival spikes;
+//! * **high-churn** — phases of mostly *blocker* items (over half a small
+//!   bin in some dimension) separated by idle gaps that drain every bin.
+//!   Many bins stay concurrently open within a phase and **all** of them
+//!   close between phases, hammering the engine fit index's open → close
+//!   → never-reopen lifecycle and its growth-by-doubling, at
+//!   `d ∈ {1, 2, 8, 9}` (both `DimVec` representations).
 //!
 //! Every instance is derived deterministically from its `(family, seed)`
 //! pair, so a reported failure is reproducible from its seed alone even
@@ -18,7 +24,8 @@
 
 use crate::diff::{self, Divergence};
 use crate::shrink;
-use dvbp_core::Instance;
+use dvbp_core::{Instance, Item};
+use dvbp_dimvec::DimVec;
 use dvbp_workloads::adversarial::{AnyFitLb, MtfLb, NextFitLb};
 use dvbp_workloads::extended::{ArrivalDist, DurationDist, ExtendedParams, SizeDist};
 use dvbp_workloads::predictions::announce_exact;
@@ -35,6 +42,8 @@ pub enum Family {
     Adversarial,
     /// Extended marginals: Zipf / geometric / bursty.
     Extended,
+    /// Blocker-heavy phases with full-drain gaps, `d ∈ {1, 2, 8, 9}`.
+    HighChurn,
 }
 
 impl Family {
@@ -45,12 +54,18 @@ impl Family {
             Family::Uniform => "uniform",
             Family::Adversarial => "adversarial",
             Family::Extended => "extended",
+            Family::HighChurn => "highchurn",
         }
     }
 }
 
 /// All families, in fuzzing order.
-pub const FAMILIES: [Family; 3] = [Family::Uniform, Family::Adversarial, Family::Extended];
+pub const FAMILIES: [Family; 4] = [
+    Family::Uniform,
+    Family::Adversarial,
+    Family::Extended,
+    Family::HighChurn,
+];
 
 /// Small randomized base parameters shared by the uniform and extended
 /// families.
@@ -127,6 +142,31 @@ pub fn generate(family: Family, seed: u64) -> Instance {
                 arrivals,
             }
             .generate(seed)
+        }
+        Family::HighChurn => {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xd6e8_feb8_6659_fd93));
+            let dims = [1usize, 2, 8, 9][rng.random_range(0..4usize)];
+            let cap = 10u64;
+            let mut items = Vec::new();
+            let mut t = 0u64;
+            for _ in 0..rng.random_range(2..=3u32) {
+                for _ in 0..rng.random_range(8..=20usize) {
+                    let a = t + rng.random_range(0..=4u64);
+                    let dur = rng.random_range(1..=6u64);
+                    let size = DimVec::from_fn(dims, |_| {
+                        if rng.random_bool(0.7) {
+                            rng.random_range(6..=cap)
+                        } else {
+                            rng.random_range(1..=3)
+                        }
+                    });
+                    items.push(Item::new(size, a, a + dur));
+                }
+                // Last arrival is t+4, last departure t+10; advancing by 12
+                // leaves an idle gap, so every bin closes between phases.
+                t += 12;
+            }
+            Instance::new(DimVec::splat(dims, cap), items).expect("high-churn instance valid")
         }
     };
     announce_exact(&inst)
@@ -206,6 +246,22 @@ mod tests {
         let e = generate(Family::Extended, 0);
         assert_ne!(u, a);
         assert_ne!(u, e);
+    }
+
+    #[test]
+    fn high_churn_spans_both_dimvec_representations() {
+        let mut dims_seen = std::collections::HashSet::new();
+        for seed in 0..40 {
+            dims_seen.insert(generate(Family::HighChurn, seed).dim());
+        }
+        assert!(
+            dims_seen.iter().any(|&d| d >= 8),
+            "no heap-DimVec dimensionality drawn: {dims_seen:?}"
+        );
+        assert!(
+            dims_seen.iter().any(|&d| d <= 2),
+            "no inline dimensionality drawn: {dims_seen:?}"
+        );
     }
 
     #[test]

@@ -190,9 +190,9 @@ impl RefPolicy {
                             Ordering::Less => (b, gap),
                             Ordering::Equal => {
                                 match LoadMeasure::Linf.cmp_loads(
-                                    &world.load(b),
-                                    &world.load(cur),
-                                    &world.instance.capacity,
+                                    world.load(b).as_slice(),
+                                    world.load(cur).as_slice(),
+                                    world.instance.capacity.as_slice(),
                                 ) {
                                     Ordering::Greater => (b, gap),
                                     _ => (cur, cur_gap),
@@ -259,8 +259,11 @@ fn pick_by_load(
         best = Some(match best {
             None => b,
             Some(cur) => {
-                let ord =
-                    measure.cmp_loads(&world.load(b), &world.load(cur), &world.instance.capacity);
+                let ord = measure.cmp_loads(
+                    world.load(b).as_slice(),
+                    world.load(cur).as_slice(),
+                    world.instance.capacity.as_slice(),
+                );
                 if ord == want {
                     b
                 } else {

@@ -12,17 +12,32 @@
 //!   bin. The engine asserts feasibility of the choice — a policy bug
 //!   cannot silently overload a bin.
 //!
-//! The engine records a full decision [`trace`](Packing::trace) so that
-//! analyses (e.g. the Move To Front leading-interval decomposition of §3)
-//! can reconstruct any policy-internal state after the fact.
+//! Bin state lives in flat structure-of-arrays buffers (loads in one
+//! `u64` arena with stride `d`, per-bin items as an intrusive linked list
+//! over a flat `next` array), and the engine additionally maintains a
+//! [`FitIndex`] — per-dimension max-residual segment trees — that
+//! policies query through the view for O(log m) bin selection. A reusable
+//! [`Engine`] keeps these buffers across runs, so the steady-state hot
+//! loop performs **zero heap allocations per arrival**.
+//!
+//! In [`TraceMode::Full`] the engine records a full decision
+//! [`trace`](Packing::trace) so that analyses (e.g. the Move To Front
+//! leading-interval decomposition of §3) can reconstruct any
+//! policy-internal state after the fact; [`TraceMode::CostOnly`] skips
+//! the trace and the per-bin item lists for experiment sweeps that only
+//! read [`Packing::cost`].
 
 use crate::bin::{BinId, BinUsage};
+use crate::fit_index::FitIndex;
 use crate::item::{Instance, Item};
 use crate::policy::{Decision, Policy};
 use dvbp_dimvec::DimVec;
 use dvbp_sim::timeline::{Event, OnlineTimeline};
 use dvbp_sim::{sweep, Cost, Interval, Time};
 use serde::{Deserialize, Serialize};
+
+/// Sentinel for "no item" in the flat per-bin item chains.
+const NO_ITEM: usize = usize::MAX;
 
 /// One recorded engine decision.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,20 +63,30 @@ pub enum TraceEvent {
     },
 }
 
-/// Internal mutable bin state during a run.
-struct BinState {
-    load: DimVec,
-    active: usize,
-    opened: Time,
-    closed: Option<Time>,
-    items: Vec<usize>,
+/// How much per-run bookkeeping the engine records.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceMode {
+    /// Record the full decision trace and per-bin item lists (required by
+    /// [`Packing::verify`] and the trace-driven analyses).
+    #[default]
+    Full,
+    /// Skip the trace and item lists; [`Packing::assignment`], the bins'
+    /// usage periods, [`Packing::cost`] and
+    /// [`Packing::max_concurrent_bins`] remain exact.
+    CostOnly,
 }
 
 /// Read-only view of the engine state, handed to policies at each arrival.
 pub struct EngineView<'a> {
     capacity: &'a DimVec,
-    bins: &'a [BinState],
+    dims: usize,
+    loads: &'a [u64],
+    active: &'a [u32],
+    opened: &'a [Time],
     open: &'a [BinId],
+    /// `None` when the policy declined index maintenance for this arrival
+    /// (see [`Policy::wants_index`](crate::Policy::wants_index)).
+    index: Option<&'a FitIndex>,
     now: Time,
 }
 
@@ -72,28 +97,35 @@ impl EngineView<'_> {
         self.capacity
     }
 
+    /// Dimensionality `d` of the instance.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dims
+    }
+
     /// Currently open bins, sorted by opening time (= by id).
     #[must_use]
     pub fn open_bins(&self) -> &[BinId] {
         self.open
     }
 
-    /// Current load vector of an open (or closed) bin.
+    /// Current load vector of an open (or closed) bin, as a `d`-slice
+    /// into the engine's flat load arena.
     #[must_use]
-    pub fn load(&self, bin: BinId) -> &DimVec {
-        &self.bins[bin.0].load
+    pub fn load(&self, bin: BinId) -> &[u64] {
+        &self.loads[bin.0 * self.dims..(bin.0 + 1) * self.dims]
     }
 
     /// Number of items currently active in `bin`.
     #[must_use]
     pub fn active_count(&self, bin: BinId) -> usize {
-        self.bins[bin.0].active
+        self.active[bin.0] as usize
     }
 
     /// Tick at which `bin` was opened.
     #[must_use]
     pub fn opened_at(&self, bin: BinId) -> Time {
-        self.bins[bin.0].opened
+        self.opened[bin.0]
     }
 
     /// The current tick (the arriving item's arrival time).
@@ -102,10 +134,29 @@ impl EngineView<'_> {
         self.now
     }
 
+    /// The engine's [`FitIndex`] over all bins (closed bins pinned to
+    /// residual 0): the O(log m) selection path for the Any Fit family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's [`wants_index`](crate::Policy::wants_index)
+    /// returned `false` for this arrival — the engine then skipped index
+    /// maintenance and the tree would be stale.
+    #[must_use]
+    pub fn index(&self) -> &FitIndex {
+        self.index
+            .expect("policy queried the fit index without declaring wants_index")
+    }
+
     /// `true` iff `size` fits into `bin`'s residual capacity.
+    ///
+    /// Checked against the load arena, independently of the
+    /// [`FitIndex`] — the engine uses the same predicate to assert every
+    /// [`Decision::Existing`].
     #[must_use]
     pub fn fits(&self, bin: BinId, size: &DimVec) -> bool {
-        self.bins[bin.0].load.fits_with(size, self.capacity)
+        let load = self.load(bin);
+        (0..self.dims).all(|j| size[j] <= self.capacity[j] - load[j])
     }
 }
 
@@ -114,9 +165,11 @@ impl EngineView<'_> {
 pub struct Packing {
     /// `assignment[i]` is the bin that received item `i`.
     pub assignment: Vec<BinId>,
-    /// Per-bin usage records, indexed by `BinId`.
+    /// Per-bin usage records, indexed by `BinId`. Item lists are empty in
+    /// [`TraceMode::CostOnly`].
     pub bins: Vec<BinUsage>,
-    /// Full decision trace in simulation order.
+    /// Full decision trace in simulation order; empty in
+    /// [`TraceMode::CostOnly`].
     pub trace: Vec<TraceEvent>,
 }
 
@@ -133,23 +186,14 @@ impl Packing {
         self.bins.len()
     }
 
-    /// Maximum number of simultaneously open bins over the run.
+    /// Maximum number of simultaneously open bins over the run, computed
+    /// by a sweep over the bins' usage intervals (so it also works in
+    /// [`TraceMode::CostOnly`], where the trace is empty).
     #[must_use]
     pub fn max_concurrent_bins(&self) -> usize {
-        let mut open = 0usize;
+        let usages: Vec<Interval> = self.bins.iter().map(BinUsage::usage).collect();
         let mut max = 0usize;
-        for ev in &self.trace {
-            match ev {
-                TraceEvent::Packed {
-                    opened_new: true, ..
-                } => {
-                    open += 1;
-                    max = max.max(open);
-                }
-                TraceEvent::Closed { .. } => open -= 1,
-                TraceEvent::Packed { .. } => {}
-            }
-        }
+        sweep::sweep(&usages, |slice| max = max.max(slice.active.len()));
         max
     }
 
@@ -160,6 +204,8 @@ impl Packing {
     ///    respects the capacity in every dimension;
     /// 3. each bin's usage period is the single interval spanned by its
     ///    items (bins are never idle-then-reused).
+    ///
+    /// Requires a [`TraceMode::Full`] packing (the per-bin item lists).
     ///
     /// # Errors
     ///
@@ -283,7 +329,273 @@ impl Packing {
     }
 }
 
-/// Runs `policy` over `instance` and returns the resulting packing.
+/// A reusable packing engine.
+///
+/// All per-run scratch — the SoA bin state, the open-bin list, the
+/// [`FitIndex`] arena, the flat item chains — is kept between runs, so
+/// repeated packing of similarly-sized instances (the experiment sweeps)
+/// allocates nothing in the hot loop. A fresh engine per run behaves
+/// identically; reuse is purely an optimization.
+#[derive(Default)]
+pub struct Engine {
+    /// Flat bin loads, bin-major with stride `dims`.
+    loads: Vec<u64>,
+    /// Per-bin count of currently active items.
+    active: Vec<u32>,
+    /// Per-bin opening tick.
+    opened: Vec<Time>,
+    /// Per-bin closing tick (valid once the bin has closed).
+    closed: Vec<Time>,
+    /// Per-bin count of items ever packed (sizes the output item lists).
+    item_count: Vec<u32>,
+    /// Per-bin head/tail of the intrusive item chain (`NO_ITEM` = empty).
+    head: Vec<usize>,
+    tail: Vec<usize>,
+    /// Per-item chain successor within its bin (`NO_ITEM` = last).
+    next_item: Vec<usize>,
+    /// Per-item receiving bin.
+    assignment: Vec<BinId>,
+    /// Currently open bins, sorted by id.
+    open: Vec<BinId>,
+    /// Max-residual segment trees over all bins.
+    index: FitIndex,
+    /// Whether `index` is current. Maintenance is skipped (and this stays
+    /// `false`) until the first arrival whose policy
+    /// [`wants_index`](Policy::wants_index); the index is then rebuilt
+    /// from the load arena and maintained for the rest of the run.
+    index_live: bool,
+    /// `dims`-sized scratch for a freshly opened bin's initial residual.
+    scratch: Vec<u64>,
+    dims: usize,
+}
+
+impl Engine {
+    /// Creates an engine with empty scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, instance: &Instance) {
+        let n = instance.len();
+        self.dims = instance.dim();
+        self.loads.clear();
+        self.active.clear();
+        self.opened.clear();
+        self.closed.clear();
+        self.item_count.clear();
+        self.head.clear();
+        self.tail.clear();
+        self.open.clear();
+        self.index.reset(self.dims);
+        self.index_live = false;
+        self.scratch.clear();
+        self.scratch.resize(self.dims, 0);
+        self.next_item.clear();
+        self.next_item.resize(n, NO_ITEM);
+        self.assignment.clear();
+        self.assignment.resize(n, BinId(usize::MAX));
+    }
+
+    /// Runs `policy` over `instance` and returns the resulting packing.
+    ///
+    /// The policy is `reset()` first, so a policy value can be reused
+    /// across runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy names a bin that is closed or cannot hold the
+    /// item (a policy implementation bug), or if the instance fails
+    /// validation.
+    pub fn pack(
+        &mut self,
+        instance: &Instance,
+        policy: &mut dyn Policy,
+        mode: TraceMode,
+    ) -> Packing {
+        instance.validate().expect("invalid instance");
+        policy.reset();
+        self.reset(instance);
+
+        let full = mode == TraceMode::Full;
+        let timeline = OnlineTimeline::build(&instance.intervals());
+        let mut trace: Vec<TraceEvent> = if full {
+            Vec::with_capacity(instance.len() * 2)
+        } else {
+            Vec::new()
+        };
+        let d = self.dims;
+        let capacity = &instance.capacity;
+
+        for ev in timeline.events() {
+            match *ev {
+                Event::Departure { time, item } => {
+                    let bin = self.assignment[item];
+                    debug_assert_ne!(bin.0, usize::MAX, "departure before arrival");
+                    let size = &instance.items[item].size;
+                    let base = bin.0 * d;
+                    for j in 0..d {
+                        self.loads[base + j] -= size[j];
+                    }
+                    self.active[bin.0] -= 1;
+                    let closing = self.active[bin.0] == 0;
+                    if self.index_live && !closing {
+                        // A closing bin skips this: `close` below pins the
+                        // residual to zero anyway, so one climb suffices.
+                        self.index.unpack(bin.0, size.as_slice());
+                    }
+                    policy.on_departure(&instance.items[item], item, bin);
+                    if closing {
+                        self.closed[bin.0] = time;
+                        let idx = self
+                            .open
+                            .binary_search(&bin)
+                            .expect("closing a non-open bin");
+                        self.open.remove(idx);
+                        if self.index_live {
+                            self.index.close(bin.0);
+                        }
+                        policy.on_close(bin);
+                        if full {
+                            trace.push(TraceEvent::Closed { time, bin });
+                        }
+                    }
+                }
+                Event::Arrival { time, item } => {
+                    let item_ref: &Item = &instance.items[item];
+                    if !self.index_live && policy.wants_index(self.open.len()) {
+                        // First arrival that queries the index: build it
+                        // from the load arena, then keep it current.
+                        let loads = &self.loads;
+                        let active = &self.active;
+                        self.index.rebuild(active.len(), |b, out| {
+                            if active[b] > 0 {
+                                for (j, slot) in out.iter_mut().enumerate() {
+                                    *slot = capacity[j] - loads[b * d + j];
+                                }
+                            } else {
+                                out.fill(0);
+                            }
+                        });
+                        self.index_live = true;
+                    }
+                    let decision = {
+                        let view = EngineView {
+                            capacity,
+                            dims: d,
+                            loads: &self.loads,
+                            active: &self.active,
+                            opened: &self.opened,
+                            open: &self.open,
+                            index: self.index_live.then_some(&self.index),
+                            now: time,
+                        };
+                        policy.choose(&view, item_ref, item)
+                    };
+                    let (bin, opened_new) = match decision {
+                        Decision::Existing(bin) => {
+                            assert!(
+                                self.open.binary_search(&bin).is_ok(),
+                                "policy chose closed or unknown {bin}"
+                            );
+                            let base = bin.0 * d;
+                            assert!(
+                                (0..d).all(|j| item_ref.size[j]
+                                    <= capacity[j] - self.loads[base + j]),
+                                "policy chose {bin} which cannot hold item {item}"
+                            );
+                            (bin, false)
+                        }
+                        Decision::OpenNew => {
+                            let bin = BinId(self.active.len());
+                            self.loads.resize(self.loads.len() + d, 0);
+                            self.active.push(0);
+                            self.opened.push(time);
+                            self.closed.push(time);
+                            self.item_count.push(0);
+                            self.head.push(NO_ITEM);
+                            self.tail.push(NO_ITEM);
+                            self.open.push(bin);
+                            if self.index_live {
+                                // Register the bin already net of the
+                                // arriving item (one climb, not an open +
+                                // a pack).
+                                for j in 0..d {
+                                    debug_assert!(
+                                        item_ref.size[j] <= capacity[j],
+                                        "validated item exceeds capacity"
+                                    );
+                                    self.scratch[j] = capacity[j] - item_ref.size[j];
+                                }
+                                self.index.open(bin.0, &self.scratch);
+                            }
+                            (bin, true)
+                        }
+                    };
+                    let base = bin.0 * d;
+                    for j in 0..d {
+                        self.loads[base + j] += item_ref.size[j];
+                    }
+                    if self.index_live && !opened_new {
+                        self.index.pack(bin.0, item_ref.size.as_slice());
+                    }
+                    self.active[bin.0] += 1;
+                    self.item_count[bin.0] += 1;
+                    if full {
+                        if self.head[bin.0] == NO_ITEM {
+                            self.head[bin.0] = item;
+                        } else {
+                            self.next_item[self.tail[bin.0]] = item;
+                        }
+                        self.tail[bin.0] = item;
+                        trace.push(TraceEvent::Packed {
+                            time,
+                            item,
+                            bin,
+                            opened_new,
+                        });
+                    }
+                    self.assignment[item] = bin;
+                    policy.after_pack(item_ref, item, bin, opened_new);
+                }
+            }
+        }
+
+        debug_assert!(
+            self.assignment.iter().all(|b| b.0 != usize::MAX),
+            "item never arrived"
+        );
+        debug_assert!(self.open.is_empty(), "bin never closed");
+
+        let mut bins = Vec::with_capacity(self.active.len());
+        for b in 0..self.active.len() {
+            let items = if full {
+                let mut items = Vec::with_capacity(self.item_count[b] as usize);
+                let mut i = self.head[b];
+                while i != NO_ITEM {
+                    items.push(i);
+                    i = self.next_item[i];
+                }
+                items
+            } else {
+                Vec::new()
+            };
+            bins.push(BinUsage {
+                opened: self.opened[b],
+                closed: self.closed[b],
+                items,
+            });
+        }
+        Packing {
+            assignment: self.assignment.clone(),
+            bins,
+            trace,
+        }
+    }
+}
+
+/// Runs `policy` over `instance` with a fresh [`Engine`] in
+/// [`TraceMode::Full`] and returns the resulting packing.
 ///
 /// The policy is `reset()` first, so a policy value can be reused across
 /// runs.
@@ -293,98 +605,7 @@ impl Packing {
 /// Panics if the policy names a bin that is closed or cannot hold the item
 /// (a policy implementation bug), or if the instance fails validation.
 pub fn pack(instance: &Instance, policy: &mut dyn Policy) -> Packing {
-    instance.validate().expect("invalid instance");
-    policy.reset();
-
-    let timeline = OnlineTimeline::build(&instance.intervals());
-    let mut bins: Vec<BinState> = Vec::new();
-    let mut open: Vec<BinId> = Vec::new();
-    let mut assignment: Vec<Option<BinId>> = vec![None; instance.len()];
-    let mut trace: Vec<TraceEvent> = Vec::with_capacity(instance.len() * 2);
-
-    for ev in timeline.events() {
-        match *ev {
-            Event::Departure { time, item } => {
-                let bin = assignment[item].expect("departure before arrival");
-                let state = &mut bins[bin.0];
-                state.load.sub_assign(&instance.items[item].size);
-                state.active -= 1;
-                policy.on_departure(&instance.items[item], item, bin);
-                if state.active == 0 {
-                    state.closed = Some(time);
-                    let idx = open.binary_search(&bin).expect("closing a non-open bin");
-                    open.remove(idx);
-                    policy.on_close(bin);
-                    trace.push(TraceEvent::Closed { time, bin });
-                }
-            }
-            Event::Arrival { time, item } => {
-                let item_ref: &Item = &instance.items[item];
-                let view = EngineView {
-                    capacity: &instance.capacity,
-                    bins: &bins,
-                    open: &open,
-                    now: time,
-                };
-                let decision = policy.choose(&view, item_ref, item);
-                let (bin, opened_new) = match decision {
-                    Decision::Existing(bin) => {
-                        assert!(
-                            open.binary_search(&bin).is_ok(),
-                            "policy chose closed or unknown {bin}"
-                        );
-                        assert!(
-                            bins[bin.0]
-                                .load
-                                .fits_with(&item_ref.size, &instance.capacity),
-                            "policy chose {bin} which cannot hold item {item}"
-                        );
-                        (bin, false)
-                    }
-                    Decision::OpenNew => {
-                        let bin = BinId(bins.len());
-                        bins.push(BinState {
-                            load: DimVec::zeros(instance.dim()),
-                            active: 0,
-                            opened: time,
-                            closed: None,
-                            items: Vec::new(),
-                        });
-                        open.push(bin);
-                        (bin, true)
-                    }
-                };
-                let state = &mut bins[bin.0];
-                state.load.add_assign(&item_ref.size);
-                state.active += 1;
-                state.items.push(item);
-                assignment[item] = Some(bin);
-                trace.push(TraceEvent::Packed {
-                    time,
-                    item,
-                    bin,
-                    opened_new,
-                });
-                policy.after_pack(item_ref, item, bin, opened_new);
-            }
-        }
-    }
-
-    Packing {
-        assignment: assignment
-            .into_iter()
-            .map(|b| b.expect("item never arrived"))
-            .collect(),
-        bins: bins
-            .into_iter()
-            .map(|b| BinUsage {
-                opened: b.opened,
-                closed: b.closed.expect("bin never closed"),
-                items: b.items,
-            })
-            .collect(),
-        trace,
-    }
+    Engine::new().pack(instance, policy, TraceMode::Full)
 }
 
 #[cfg(test)]
@@ -495,5 +716,55 @@ mod tests {
         let total: Cost = p.bins.iter().map(|b| Cost::from(b.usage_len())).sum();
         assert_eq!(p.cost(), total);
         p.verify(&instance).unwrap();
+    }
+
+    #[test]
+    fn cost_only_matches_full_except_bookkeeping() {
+        let instance = inst(
+            &[10, 10],
+            vec![
+                item(&[7, 2], 0, 10),
+                item(&[2, 7], 2, 5),
+                item(&[3, 3], 4, 6),
+                item(&[9, 9], 11, 14),
+            ],
+        );
+        let full = pack(&instance, &mut FirstFit::new());
+        let lean = Engine::new().pack(&instance, &mut FirstFit::new(), TraceMode::CostOnly);
+        assert_eq!(lean.assignment, full.assignment);
+        assert_eq!(lean.cost(), full.cost());
+        assert_eq!(lean.max_concurrent_bins(), full.max_concurrent_bins());
+        assert!(lean.trace.is_empty());
+        assert!(lean.bins.iter().all(|b| b.items.is_empty()));
+        for (a, b) in lean.bins.iter().zip(&full.bins) {
+            assert_eq!(a.usage(), b.usage());
+        }
+    }
+
+    #[test]
+    fn engine_reuse_is_identical_to_fresh() {
+        let instance = inst(
+            &[10],
+            vec![item(&[7], 0, 10), item(&[7], 2, 5), item(&[3], 4, 6)],
+        );
+        let mut engine = Engine::new();
+        let mut policy = FirstFit::new();
+        let a = engine.pack(&instance, &mut policy, TraceMode::Full);
+        let b = engine.pack(&instance, &mut policy, TraceMode::Full);
+        let fresh = pack(&instance, &mut FirstFit::new());
+        assert_eq!(a, fresh);
+        assert_eq!(b, fresh);
+    }
+
+    #[test]
+    fn engine_reuse_across_dimensionalities() {
+        let one_d = inst(&[10], vec![item(&[5], 0, 4)]);
+        let two_d = inst(&[10, 10], vec![item(&[5, 5], 0, 4), item(&[6, 1], 1, 3)]);
+        let mut engine = Engine::new();
+        let mut policy = FirstFit::new();
+        let a = engine.pack(&two_d, &mut policy, TraceMode::Full);
+        let _ = engine.pack(&one_d, &mut policy, TraceMode::Full);
+        let c = engine.pack(&two_d, &mut policy, TraceMode::Full);
+        assert_eq!(a, c);
     }
 }

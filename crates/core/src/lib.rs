@@ -42,20 +42,40 @@
 pub mod billing;
 mod bin;
 mod engine;
+mod fit_index;
 mod item;
 pub mod policy;
 
 pub use billing::BillingModel;
 pub use bin::{BinId, BinUsage};
-pub use engine::{pack, EngineView, Packing, TraceEvent};
+pub use engine::{pack, Engine, EngineView, Packing, TraceEvent, TraceMode};
+pub use fit_index::FitIndex;
 pub use item::{Instance, InstanceError, Item};
 pub use policy::{Decision, LoadMeasure, Policy, PolicyKind};
 
 /// Packs `instance` with a fresh policy built from `kind`.
 #[must_use]
 pub fn pack_with(instance: &Instance, kind: &PolicyKind) -> Packing {
+    pack_with_mode(instance, kind, TraceMode::Full)
+}
+
+/// Packs `instance` with a fresh policy built from `kind` under the given
+/// [`TraceMode`].
+#[must_use]
+pub fn pack_with_mode(instance: &Instance, kind: &PolicyKind, mode: TraceMode) -> Packing {
     let mut policy = kind.build();
-    pack(instance, policy.as_mut())
+    Engine::new().pack(instance, policy.as_mut(), mode)
+}
+
+/// Computes only the usage-time cost of packing `instance` with `kind`.
+///
+/// Runs the engine in [`TraceMode::CostOnly`]: no trace and no per-bin
+/// item lists are recorded, so the hot loop stays allocation-free.
+/// Placement decisions — and therefore the cost — are identical to a
+/// [`TraceMode::Full`] run.
+#[must_use]
+pub fn pack_cost(instance: &Instance, kind: &PolicyKind) -> dvbp_sim::Cost {
+    pack_with_mode(instance, kind, TraceMode::CostOnly).cost()
 }
 
 #[cfg(test)]

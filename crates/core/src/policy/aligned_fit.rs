@@ -67,7 +67,7 @@ impl Policy for AlignedFit {
                         match LoadMeasure::Linf.cmp_loads(
                             view.load(b),
                             view.load(cur),
-                            view.capacity(),
+                            view.capacity().as_slice(),
                         ) {
                             Ordering::Greater => (b, gap),
                             _ => (cur, cur_gap),
@@ -78,6 +78,10 @@ impl Policy for AlignedFit {
             });
         }
         best.map_or(Decision::OpenNew, |(b, _)| Decision::Existing(b))
+    }
+
+    fn wants_index(&self, _open_bins: usize) -> bool {
+        false
     }
 
     fn after_pack(&mut self, item: &Item, _item_idx: usize, bin: BinId, newly_opened: bool) {

@@ -5,25 +5,71 @@
 //! **unbounded** even for `d = 1` (Thm 7, citing Li–Tang–Cai), yet its
 //! average-case performance in §7 is nearly as good as First Fit's —
 //! the paper's "theory vs practice" discussion.
+//!
+//! Candidates are enumerated through the engine's [`FitIndex`]: the
+//! pruned in-order traversal visits only the *feasible* open bins
+//! (ascending id, so ties still resolve to the earliest bin) in
+//! O(log m + feasible·d) instead of scanning all m open bins.
+//! [`BestFit::scanning`] keeps the original full scan for differential
+//! tests and benchmarks.
+//!
+//! [`FitIndex`]: crate::FitIndex
 
-use super::{Decision, LoadMeasure, Policy};
+use super::{Decision, LoadKey, LoadMeasure, Policy};
 use crate::bin::BinId;
 use crate::engine::EngineView;
 use crate::item::Item;
 use std::borrow::Cow;
 use std::cmp::Ordering;
 
+/// Open-bin count below which the indexed variants use the linear scan:
+/// with few bins a flat pass over the load arena beats walking the tree
+/// (both enumerate candidates in ascending id, so placements are
+/// identical either way).
+pub(crate) const SCAN_THRESHOLD: usize = 64;
+
 /// The Best Fit policy with a configurable load measure.
 #[derive(Clone, Copy, Debug)]
 pub struct BestFit {
     measure: LoadMeasure,
+    scan: bool,
+    threshold: usize,
 }
 
 impl BestFit {
-    /// Creates a Best Fit policy using `measure` to rank bins.
+    /// Creates a Best Fit policy using `measure` to rank bins, with the
+    /// indexed candidate enumeration (hybrid: scans below
+    /// [`SCAN_THRESHOLD`] open bins).
     #[must_use]
     pub fn new(measure: LoadMeasure) -> Self {
-        BestFit { measure }
+        BestFit {
+            measure,
+            scan: false,
+            threshold: SCAN_THRESHOLD,
+        }
+    }
+
+    /// Creates the linear-scan variant — placement-identical to
+    /// [`BestFit::new`], O(m·d) per arrival.
+    #[must_use]
+    pub fn scanning(measure: LoadMeasure) -> Self {
+        BestFit {
+            measure,
+            scan: true,
+            threshold: SCAN_THRESHOLD,
+        }
+    }
+
+    /// Indexed variant with an explicit scan-fallback threshold; tests use
+    /// 0 to force the tree enumeration even on tiny instances.
+    #[cfg(test)]
+    #[must_use]
+    pub(crate) fn with_scan_threshold(measure: LoadMeasure, threshold: usize) -> Self {
+        BestFit {
+            measure,
+            scan: false,
+            threshold,
+        }
     }
 
     /// The configured load measure.
@@ -39,29 +85,42 @@ impl Policy for BestFit {
     }
 
     fn choose(&mut self, view: &EngineView<'_>, item: &Item, _item_idx: usize) -> Decision {
-        let mut best: Option<BinId> = None;
-        for &b in view.open_bins() {
-            if !view.fits(b, &item.size) {
-                continue;
-            }
+        let cap = view.capacity().as_slice();
+        let measure = self.measure;
+        // Each candidate's measure is evaluated once into a key; the
+        // incumbent's key rides along. Strictly-greater keeps the
+        // earliest-opened bin on ties; both enumerations visit candidates
+        // in ascending bin id.
+        let mut best: Option<(BinId, LoadKey)> = None;
+        let mut consider = |b: BinId, key: LoadKey| {
             best = Some(match best {
-                None => b,
-                Some(cur) => {
-                    // Strictly-greater keeps the earliest-opened bin on ties.
-                    match self
-                        .measure
-                        .cmp_loads(view.load(b), view.load(cur), view.capacity())
-                    {
-                        Ordering::Greater => b,
-                        _ => cur,
-                    }
-                }
+                None => (b, key),
+                Some((cur, cur_key)) => match key.compare(&cur_key) {
+                    Ordering::Greater => (b, key),
+                    _ => (cur, cur_key),
+                },
             });
+        };
+        if self.scan || view.open_bins().len() < self.threshold {
+            for &b in view.open_bins() {
+                if view.fits(b, &item.size) {
+                    consider(b, measure.key(view.load(b), cap));
+                }
+            }
+        } else {
+            view.index()
+                .for_each_feasible(item.size.as_slice(), |b, res| {
+                    consider(BinId(b), measure.key_from_residual(res, cap));
+                });
         }
-        best.map_or(Decision::OpenNew, Decision::Existing)
+        best.map_or(Decision::OpenNew, |(b, _)| Decision::Existing(b))
     }
 
     fn after_pack(&mut self, _item: &Item, _item_idx: usize, _bin: BinId, _newly_opened: bool) {}
+
+    fn wants_index(&self, open_bins: usize) -> bool {
+        !self.scan && open_bins >= self.threshold
+    }
 }
 
 #[cfg(test)]
@@ -137,5 +196,31 @@ mod tests {
             Instance::new(DimVec::scalar(10), vec![item(&[9], 0, 9), item(&[9], 1, 9)]).unwrap();
         let p = pack(&inst, &mut BestFit::new(LoadMeasure::Linf));
         assert_eq!(p.num_bins(), 2);
+    }
+
+    #[test]
+    fn scanning_variant_is_placement_identical() {
+        let inst = Instance::new(
+            DimVec::from_slice(&[10, 10]),
+            vec![
+                item(&[8, 0], 0, 9),
+                item(&[5, 5], 1, 9),
+                item(&[1, 1], 2, 5),
+                item(&[2, 2], 3, 6),
+                item(&[9, 9], 7, 12),
+            ],
+        )
+        .unwrap();
+        for m in [
+            LoadMeasure::Linf,
+            LoadMeasure::L1,
+            LoadMeasure::L2,
+            LoadMeasure::Lp(4),
+        ] {
+            // Threshold 0 forces the tree enumeration on this small case.
+            let indexed = pack(&inst, &mut BestFit::with_scan_threshold(m, 0));
+            let scanned = pack(&inst, &mut BestFit::scanning(m));
+            assert_eq!(indexed, scanned, "{m}");
+        }
     }
 }

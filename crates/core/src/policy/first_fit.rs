@@ -2,23 +2,66 @@
 //!
 //! CR bounds from the paper: at most `(μ+2)d + 1` (Thm 3), at least
 //! `(μ+1)d` (Thm 5).
+//!
+//! Selection uses the engine's [`FitIndex`] — the leftmost feasible leaf
+//! of the per-dimension max-residual segment trees — in O(log m)
+//! expected time. [`FirstFit::scanning`] builds the original linear-scan
+//! variant, kept for differential property tests and as the before-side
+//! of the throughput benchmarks; both produce identical placements.
+//!
+//! [`FitIndex`]: crate::FitIndex
 
+use super::best_fit::SCAN_THRESHOLD;
 use super::{Decision, Policy};
 use crate::bin::BinId;
 use crate::engine::EngineView;
 use crate::item::Item;
 use std::borrow::Cow;
 
-/// The First Fit policy. Stateless: the engine's open-bin list is already
-/// sorted by opening time.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct FirstFit;
+/// The First Fit policy. Stateless: the engine's open-bin list and fit
+/// index are already ordered by opening time.
+#[derive(Clone, Copy, Debug)]
+pub struct FirstFit {
+    scan: bool,
+    threshold: usize,
+}
+
+impl Default for FirstFit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl FirstFit {
-    /// Creates a First Fit policy.
+    /// Creates a First Fit policy using the indexed O(log m) query path
+    /// (hybrid: scans below [`SCAN_THRESHOLD`] open bins).
     #[must_use]
     pub fn new() -> Self {
-        FirstFit
+        FirstFit {
+            scan: false,
+            threshold: SCAN_THRESHOLD,
+        }
+    }
+
+    /// Creates a First Fit policy that linearly scans the open bins —
+    /// placement-identical to [`FirstFit::new`], O(m·d) per arrival.
+    #[must_use]
+    pub fn scanning() -> Self {
+        FirstFit {
+            scan: true,
+            threshold: SCAN_THRESHOLD,
+        }
+    }
+
+    /// Indexed variant with an explicit scan-fallback threshold; tests use
+    /// 0 to force the tree descent even on tiny instances.
+    #[cfg(test)]
+    #[must_use]
+    pub(crate) fn with_scan_threshold(threshold: usize) -> Self {
+        FirstFit {
+            scan: false,
+            threshold,
+        }
     }
 }
 
@@ -28,13 +71,28 @@ impl Policy for FirstFit {
     }
 
     fn choose(&mut self, view: &EngineView<'_>, item: &Item, _item_idx: usize) -> Decision {
-        view.open_bins()
-            .iter()
-            .find(|&&b| view.fits(b, &item.size))
-            .map_or(Decision::OpenNew, |&b| Decision::Existing(b))
+        if self.scan || view.open_bins().len() < self.threshold {
+            return view
+                .open_bins()
+                .iter()
+                .find(|&&b| view.fits(b, &item.size))
+                .map_or(Decision::OpenNew, |&b| Decision::Existing(b));
+        }
+        match view.index().first_fit(item.size.as_slice()) {
+            Some(b) => {
+                let bin = BinId(b);
+                debug_assert!(view.fits(bin, &item.size));
+                Decision::Existing(bin)
+            }
+            None => Decision::OpenNew,
+        }
     }
 
     fn after_pack(&mut self, _item: &Item, _item_idx: usize, _bin: BinId, _newly_opened: bool) {}
+
+    fn wants_index(&self, open_bins: usize) -> bool {
+        !self.scan && open_bins >= self.threshold
+    }
 }
 
 #[cfg(test)]
@@ -109,5 +167,24 @@ mod tests {
         .unwrap();
         let p = pack(&inst, &mut FirstFit::new());
         assert_eq!(p.assignment, vec![BinId(0), BinId(1), BinId(0), BinId(1)]);
+    }
+
+    #[test]
+    fn scanning_variant_is_placement_identical() {
+        let inst = Instance::new(
+            DimVec::from_slice(&[10, 10]),
+            vec![
+                item(&[6, 2], 0, 9),
+                item(&[2, 6], 0, 9),
+                item(&[4, 4], 1, 5),
+                item(&[3, 3], 2, 7),
+                item(&[8, 8], 6, 12),
+            ],
+        )
+        .unwrap();
+        // Threshold 0 forces the tree descent on this small case.
+        let indexed = pack(&inst, &mut FirstFit::with_scan_threshold(0));
+        let scanned = pack(&inst, &mut FirstFit::scanning());
+        assert_eq!(indexed, scanned);
     }
 }

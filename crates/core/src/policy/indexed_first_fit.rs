@@ -1,113 +1,37 @@
-//! Indexed First Fit: First Fit with an `O(log m)` bin query for the
-//! one-dimensional case.
+//! Indexed First Fit: kept as a named alias of [`FirstFit`]'s indexed
+//! query path.
 //!
-//! Classic bin-packing engineering: keep the open bins' *residual*
-//! capacities in a max-segment-tree ordered by opening time; the
-//! earliest bin that fits an item of size `s` is found by descending
-//! into the leftmost subtree whose max residual is `≥ s`. Placement
-//! decisions are **identical to [`FirstFit`]** — this is purely a data
-//! structure change, verified by differential tests — but arrival cost
-//! drops from `O(open bins)` to `O(log total bins)`.
-//!
-//! For `d ≥ 2` no single scalar order captures vector feasibility, so
-//! the policy transparently falls back to the linear scan. (The paper's
-//! experiments have hundreds of concurrently open bins at μ = 200; the
-//! `throughput` bench quantifies the win.)
+//! Historically this policy carried its own `d = 1` max-residual segment
+//! tree and fell back to a linear scan for `d ≥ 2`. The engine now
+//! maintains a generalized per-dimension fit index ([`FitIndex`]) for
+//! *every* policy, so the structure lives there and works in any
+//! dimension; this type remains so that `PolicyKind::IndexedFirstFit`,
+//! CLI names, and recorded traces keep resolving. Placement decisions
+//! are identical to [`FirstFit`] by construction.
 //!
 //! [`FirstFit`]: super::first_fit::FirstFit
+//! [`FitIndex`]: crate::FitIndex
 
+use super::first_fit::FirstFit;
 use super::{Decision, Policy};
 use crate::bin::BinId;
 use crate::engine::EngineView;
 use crate::item::Item;
 use std::borrow::Cow;
 
-/// Max-segment-tree over per-bin residual capacity, indexed by `BinId`.
-///
-/// The tree grows by doubling; closed bins keep a residual of 0 so they
-/// are never matched (an item size is ≥ 1 unit).
-#[derive(Clone, Debug, Default)]
-struct ResidualTree {
-    /// Number of leaves (next power of two ≥ bins).
-    leaves: usize,
-    /// Implicit heap layout; `tree[1]` is the root.
-    tree: Vec<u64>,
-}
-
-impl ResidualTree {
-    fn ensure(&mut self, bins: usize) {
-        if bins <= self.leaves {
-            return;
-        }
-        let mut leaves = self.leaves.max(1);
-        while leaves < bins {
-            leaves *= 2;
-        }
-        // Rebuild preserving existing residuals.
-        let mut fresh = vec![0u64; 2 * leaves];
-        for i in 0..self.leaves {
-            fresh[leaves + i] = self.tree[self.leaves + i];
-        }
-        self.leaves = leaves;
-        self.tree = fresh;
-        for i in (1..leaves).rev() {
-            self.tree[i] = self.tree[2 * i].max(self.tree[2 * i + 1]);
-        }
-    }
-
-    fn set(&mut self, bin: usize, residual: u64) {
-        self.ensure(bin + 1);
-        let mut i = self.leaves + bin;
-        self.tree[i] = residual;
-        i /= 2;
-        while i >= 1 {
-            self.tree[i] = self.tree[2 * i].max(self.tree[2 * i + 1]);
-            if i == 1 {
-                break;
-            }
-            i /= 2;
-        }
-    }
-
-    /// Smallest bin index with residual ≥ `need`, if any.
-    fn first_fit(&self, need: u64) -> Option<usize> {
-        if self.leaves == 0 || self.tree[1] < need {
-            return None;
-        }
-        let mut i = 1usize;
-        while i < self.leaves {
-            i = if self.tree[2 * i] >= need {
-                2 * i
-            } else {
-                2 * i + 1
-            };
-        }
-        Some(i - self.leaves)
-    }
-
-    fn clear(&mut self) {
-        self.leaves = 0;
-        self.tree.clear();
-    }
-}
-
-/// First Fit with an indexed query path for `d = 1`.
-#[derive(Clone, Debug, Default)]
+/// First Fit under its historical "indexed" name.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct IndexedFirstFit {
-    tree: ResidualTree,
-    /// Per-bin residual capacity (dimension 0), mirrored into the tree.
-    residual: Vec<u64>,
-    /// Capacity in dimension 0, captured at the first arrival.
-    cap0: u64,
-    /// `false` until the first `choose` reveals the dimensionality.
-    one_dim: bool,
+    inner: FirstFit,
 }
 
 impl IndexedFirstFit {
     /// Creates the policy.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        IndexedFirstFit {
+            inner: FirstFit::new(),
+        }
     }
 }
 
@@ -116,61 +40,20 @@ impl Policy for IndexedFirstFit {
         Cow::Borrowed("IndexedFirstFit")
     }
 
-    fn choose(&mut self, view: &EngineView<'_>, item: &Item, _item_idx: usize) -> Decision {
-        self.one_dim = view.capacity().dim() == 1;
-        if !self.one_dim {
-            // Vector case: plain scan, identical to FirstFit.
-            return view
-                .open_bins()
-                .iter()
-                .find(|&&b| view.fits(b, &item.size))
-                .map_or(Decision::OpenNew, |&b| Decision::Existing(b));
-        }
-        self.cap0 = view.capacity()[0];
-        match self.tree.first_fit(item.size[0]) {
-            Some(b) => {
-                let bin = BinId(b);
-                debug_assert!(view.fits(bin, &item.size));
-                Decision::Existing(bin)
-            }
-            None => Decision::OpenNew,
-        }
+    fn choose(&mut self, view: &EngineView<'_>, item: &Item, item_idx: usize) -> Decision {
+        self.inner.choose(view, item, item_idx)
     }
 
-    fn after_pack(&mut self, item: &Item, _item_idx: usize, bin: BinId, newly_opened: bool) {
-        if !self.one_dim {
-            return;
-        }
-        if newly_opened {
-            debug_assert_eq!(bin.0, self.residual.len());
-            self.residual.push(self.cap0);
-        }
-        self.residual[bin.0] -= item.size[0];
-        self.tree.set(bin.0, self.residual[bin.0]);
+    fn after_pack(&mut self, item: &Item, item_idx: usize, bin: BinId, newly_opened: bool) {
+        self.inner.after_pack(item, item_idx, bin, newly_opened);
     }
 
-    fn on_departure(&mut self, item: &Item, _item_idx: usize, bin: BinId) {
-        if !self.one_dim {
-            return;
-        }
-        self.residual[bin.0] += item.size[0];
-        self.tree.set(bin.0, self.residual[bin.0]);
-    }
-
-    fn on_close(&mut self, bin: BinId) {
-        if !self.one_dim {
-            return;
-        }
-        // Closed bins must never be matched again.
-        self.residual[bin.0] = 0;
-        self.tree.set(bin.0, 0);
+    fn wants_index(&self, open_bins: usize) -> bool {
+        self.inner.wants_index(open_bins)
     }
 
     fn reset(&mut self) {
-        self.tree.clear();
-        self.residual.clear();
-        self.cap0 = 0;
-        self.one_dim = false;
+        self.inner.reset();
     }
 }
 
@@ -198,7 +81,7 @@ mod tests {
                 .collect();
             let inst = Instance::new(DimVec::scalar(10), items).unwrap();
             let fast = pack(&inst, &mut IndexedFirstFit::new());
-            let slow = pack(&inst, &mut FirstFit::new());
+            let slow = pack(&inst, &mut FirstFit::scanning());
             assert_eq!(fast.assignment, slow.assignment, "seed {seed}");
             fast.verify(&inst).unwrap();
             fast.verify_any_fit(&inst).unwrap();
@@ -218,7 +101,7 @@ mod tests {
             .collect();
         let inst = Instance::new(DimVec::splat(3, 10), items).unwrap();
         let fast = pack(&inst, &mut IndexedFirstFit::new());
-        let slow = pack(&inst, &mut FirstFit::new());
+        let slow = pack(&inst, &mut FirstFit::scanning());
         assert_eq!(fast.assignment, slow.assignment);
     }
 
@@ -230,43 +113,5 @@ mod tests {
         let a = pack(&inst, &mut policy);
         let b = pack(&inst, &mut policy);
         assert_eq!(a, b);
-    }
-}
-
-#[cfg(test)]
-mod residual_tree_tests {
-    use super::ResidualTree;
-
-    #[test]
-    fn grows_and_queries() {
-        let mut t = ResidualTree::default();
-        t.set(0, 5);
-        t.set(1, 3);
-        t.set(2, 9);
-        assert_eq!(t.first_fit(4), Some(0));
-        assert_eq!(t.first_fit(6), Some(2));
-        assert_eq!(t.first_fit(10), None);
-        t.set(0, 1);
-        assert_eq!(t.first_fit(4), Some(2));
-    }
-
-    #[test]
-    fn growth_preserves_values() {
-        let mut t = ResidualTree::default();
-        for i in 0..40 {
-            t.set(i, (i as u64 % 7) + 1);
-        }
-        // Smallest index with residual ≥ 7 is i = 6 (residual 7).
-        assert_eq!(t.first_fit(7), Some(6));
-        assert_eq!(t.first_fit(1), Some(0));
-        assert_eq!(t.first_fit(8), None);
-    }
-
-    #[test]
-    fn zero_residual_skipped() {
-        let mut t = ResidualTree::default();
-        t.set(0, 0);
-        t.set(1, 2);
-        assert_eq!(t.first_fit(1), Some(1));
     }
 }

@@ -2,7 +2,14 @@
 //!
 //! The mirror image of First Fit, included in the paper's experimental
 //! study. No competitive-ratio bound is claimed for it.
+//!
+//! Selection uses the engine's [`FitIndex`] right-first descent
+//! (rightmost feasible leaf) in O(log m) expected time;
+//! [`LastFit::scanning`] keeps the original reverse linear scan.
+//!
+//! [`FitIndex`]: crate::FitIndex
 
+use super::best_fit::SCAN_THRESHOLD;
 use super::{Decision, Policy};
 use crate::bin::BinId;
 use crate::engine::EngineView;
@@ -10,14 +17,48 @@ use crate::item::Item;
 use std::borrow::Cow;
 
 /// The Last Fit policy. Stateless.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct LastFit;
+#[derive(Clone, Copy, Debug)]
+pub struct LastFit {
+    scan: bool,
+    threshold: usize,
+}
+
+impl Default for LastFit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl LastFit {
-    /// Creates a Last Fit policy.
+    /// Creates a Last Fit policy using the indexed O(log m) query path
+    /// (hybrid: scans below [`SCAN_THRESHOLD`] open bins).
     #[must_use]
     pub fn new() -> Self {
-        LastFit
+        LastFit {
+            scan: false,
+            threshold: SCAN_THRESHOLD,
+        }
+    }
+
+    /// Creates the reverse-scan variant — placement-identical to
+    /// [`LastFit::new`], O(m·d) per arrival.
+    #[must_use]
+    pub fn scanning() -> Self {
+        LastFit {
+            scan: true,
+            threshold: SCAN_THRESHOLD,
+        }
+    }
+
+    /// Indexed variant with an explicit scan-fallback threshold; tests use
+    /// 0 to force the tree descent even on tiny instances.
+    #[cfg(test)]
+    #[must_use]
+    pub(crate) fn with_scan_threshold(threshold: usize) -> Self {
+        LastFit {
+            scan: false,
+            threshold,
+        }
     }
 }
 
@@ -27,14 +68,29 @@ impl Policy for LastFit {
     }
 
     fn choose(&mut self, view: &EngineView<'_>, item: &Item, _item_idx: usize) -> Decision {
-        view.open_bins()
-            .iter()
-            .rev()
-            .find(|&&b| view.fits(b, &item.size))
-            .map_or(Decision::OpenNew, |&b| Decision::Existing(b))
+        if self.scan || view.open_bins().len() < self.threshold {
+            return view
+                .open_bins()
+                .iter()
+                .rev()
+                .find(|&&b| view.fits(b, &item.size))
+                .map_or(Decision::OpenNew, |&b| Decision::Existing(b));
+        }
+        match view.index().last_fit(item.size.as_slice()) {
+            Some(b) => {
+                let bin = BinId(b);
+                debug_assert!(view.fits(bin, &item.size));
+                Decision::Existing(bin)
+            }
+            None => Decision::OpenNew,
+        }
     }
 
     fn after_pack(&mut self, _item: &Item, _item_idx: usize, _bin: BinId, _newly_opened: bool) {}
+
+    fn wants_index(&self, open_bins: usize) -> bool {
+        !self.scan && open_bins >= self.threshold
+    }
 }
 
 #[cfg(test)]
@@ -73,5 +129,24 @@ mod tests {
         assert_eq!(p.assignment[2], BinId(0));
         assert_eq!(p.num_bins(), 2);
         p.verify_any_fit(&inst).unwrap();
+    }
+
+    #[test]
+    fn scanning_variant_is_placement_identical() {
+        let inst = Instance::new(
+            DimVec::from_slice(&[10, 10]),
+            vec![
+                item(&[6, 2], 0, 9),
+                item(&[2, 6], 1, 9),
+                item(&[4, 4], 2, 5),
+                item(&[3, 3], 3, 7),
+                item(&[8, 8], 6, 12),
+            ],
+        )
+        .unwrap();
+        // Threshold 0 forces the tree descent on this small case.
+        let indexed = pack(&inst, &mut LastFit::with_scan_threshold(0));
+        let scanned = pack(&inst, &mut LastFit::scanning());
+        assert_eq!(indexed, scanned);
     }
 }

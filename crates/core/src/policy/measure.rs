@@ -4,8 +4,11 @@
 //! `d ≥ 2` the paper lists several reasonable scalarizations of the load
 //! vector. Best Fit packs into the bin *maximizing* the measure, Worst Fit
 //! into the bin *minimizing* it.
+//!
+//! Loads are compared as raw component slices so that the engine's flat
+//! (SoA) load arena can be ranked without materializing `DimVec`s.
 
-use dvbp_dimvec::{lp_f64, ratio_linf, DimVec};
+use dvbp_dimvec::{lp_slices, ratio_linf_slices};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
@@ -24,6 +27,45 @@ pub enum LoadMeasure {
     Lp(u32),
 }
 
+/// A bin's scalarized load under one [`LoadMeasure`], precomputed so an
+/// incumbent-vs-candidate tournament evaluates each bin's measure once
+/// instead of re-deriving the incumbent's for every comparison.
+///
+/// Keys from different measures are not comparable; policies always rank
+/// keys produced by their own configured measure.
+#[derive(Clone, Copy, Debug)]
+pub enum LoadKey {
+    /// Exact normalized-`L∞` fraction `num/den` (compared by `u128`
+    /// cross-multiplication, no floating point).
+    Frac {
+        /// Numerator: the max-ratio dimension's load component.
+        num: u64,
+        /// Denominator: that dimension's capacity component.
+        den: u64,
+    },
+    /// Float norm value (ties compare `Equal`).
+    Value(f64),
+}
+
+impl LoadKey {
+    /// Compares two keys of the same measure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the keys come from different measure families.
+    #[must_use]
+    pub fn compare(&self, other: &LoadKey) -> Ordering {
+        match (self, other) {
+            (LoadKey::Frac { num: na, den: da }, LoadKey::Frac { num: nb, den: db }) => {
+                // na/da vs nb/db  <=>  na*db vs nb*da
+                (u128::from(*na) * u128::from(*db)).cmp(&(u128::from(*nb) * u128::from(*da)))
+            }
+            (LoadKey::Value(a), LoadKey::Value(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            _ => panic!("LoadKeys from different measures are not comparable"),
+        }
+    }
+}
+
 impl LoadMeasure {
     /// Compares the measures of two load vectors under shared `cap`.
     ///
@@ -31,25 +73,69 @@ impl LoadMeasure {
     /// measures compare `f64` values (ties resolve `Equal`, and callers
     /// break ties deterministically by bin id).
     #[must_use]
-    pub fn cmp_loads(&self, a: &DimVec, b: &DimVec, cap: &DimVec) -> Ordering {
+    pub fn cmp_loads(&self, a: &[u64], b: &[u64], cap: &[u64]) -> Ordering {
+        self.key(a, cap).compare(&self.key(b, cap))
+    }
+
+    /// The ranking key of one load vector under `cap`.
+    #[must_use]
+    pub fn key(&self, load: &[u64], cap: &[u64]) -> LoadKey {
         match self {
             LoadMeasure::Linf => {
-                let (_, na, da) = ratio_linf(a, cap);
-                let (_, nb, db) = ratio_linf(b, cap);
-                // na/da vs nb/db  <=>  na*db vs nb*da
-                (u128::from(na) * u128::from(db)).cmp(&(u128::from(nb) * u128::from(da)))
+                let (_, num, den) = ratio_linf_slices(load, cap);
+                LoadKey::Frac { num, den }
             }
-            LoadMeasure::L1 => Self::cmp_f64(lp_f64(a, cap, 1.0), lp_f64(b, cap, 1.0)),
-            LoadMeasure::L2 => Self::cmp_f64(lp_f64(a, cap, 2.0), lp_f64(b, cap, 2.0)),
+            LoadMeasure::L1 => LoadKey::Value(lp_slices(load, cap, 1.0)),
+            LoadMeasure::L2 => LoadKey::Value(lp_slices(load, cap, 2.0)),
+            LoadMeasure::Lp(p) => LoadKey::Value(lp_slices(load, cap, f64::from(*p))),
+        }
+    }
+
+    /// The ranking key computed from a bin's *residual* vector (the form
+    /// the engine's fit index hands to enumeration callbacks): the load in
+    /// dimension `j` is exactly `cap[j] - residual[j]`, so this produces
+    /// bit-identical keys to [`LoadMeasure::key`] on the materialized load
+    /// without touching the load arena.
+    #[must_use]
+    pub fn key_from_residual(&self, residual: &[u64], cap: &[u64]) -> LoadKey {
+        match self {
+            LoadMeasure::Linf => {
+                // Mirrors `ratio_linf_slices` with load[j] = cap[j] - res[j].
+                assert_eq!(residual.len(), cap.len(), "dimension mismatch");
+                assert!(cap[0] > 0, "capacity component must be positive");
+                let mut num = cap[0] - residual[0];
+                let mut den = cap[0];
+                for j in 1..residual.len() {
+                    assert!(cap[j] > 0, "capacity component must be positive");
+                    let load = cap[j] - residual[j];
+                    if u128::from(load) * u128::from(den) > u128::from(num) * u128::from(cap[j]) {
+                        num = load;
+                        den = cap[j];
+                    }
+                }
+                LoadKey::Frac { num, den }
+            }
+            LoadMeasure::L1 => LoadKey::Value(Self::lp_from_residual(residual, cap, 1.0)),
+            LoadMeasure::L2 => LoadKey::Value(Self::lp_from_residual(residual, cap, 2.0)),
             LoadMeasure::Lp(p) => {
-                let p = f64::from(*p);
-                Self::cmp_f64(lp_f64(a, cap, p), lp_f64(b, cap, p))
+                LoadKey::Value(Self::lp_from_residual(residual, cap, f64::from(*p)))
             }
         }
     }
 
-    fn cmp_f64(a: f64, b: f64) -> Ordering {
-        a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+    /// Mirrors `lp_slices` (same operation order, so bit-identical `f64`s)
+    /// with `load[j] = cap[j] - residual[j]`.
+    fn lp_from_residual(residual: &[u64], cap: &[u64], p: f64) -> f64 {
+        assert_eq!(residual.len(), cap.len(), "dimension mismatch");
+        let sum: f64 = residual
+            .iter()
+            .zip(cap.iter())
+            .map(|(&r, &c)| {
+                assert!(c > 0, "capacity component must be positive");
+                ((c - r) as f64 / c as f64).powf(p)
+            })
+            .sum();
+        sum.powf(1.0 / p)
     }
 }
 
@@ -68,61 +154,80 @@ impl fmt::Display for LoadMeasure {
 mod tests {
     use super::*;
 
-    fn v(s: &[u64]) -> DimVec {
-        DimVec::from_slice(s)
-    }
-
     #[test]
     fn linf_exact_comparison() {
-        let cap = v(&[10, 10]);
+        let cap = [10, 10];
         // max(3,5)/10 = 0.5 vs max(6,1)/10 = 0.6
         assert_eq!(
-            LoadMeasure::Linf.cmp_loads(&v(&[3, 5]), &v(&[6, 1]), &cap),
+            LoadMeasure::Linf.cmp_loads(&[3, 5], &[6, 1], &cap),
             Ordering::Less
         );
         assert_eq!(
-            LoadMeasure::Linf.cmp_loads(&v(&[6, 0]), &v(&[0, 6]), &cap),
+            LoadMeasure::Linf.cmp_loads(&[6, 0], &[0, 6], &cap),
             Ordering::Equal
         );
     }
 
     #[test]
     fn linf_heterogeneous_capacity() {
-        let cap = v(&[10, 100]);
+        let cap = [10, 100];
         // 5/10 = 0.5 vs 60/100 = 0.6
         assert_eq!(
-            LoadMeasure::Linf.cmp_loads(&v(&[5, 0]), &v(&[0, 60]), &cap),
+            LoadMeasure::Linf.cmp_loads(&[5, 0], &[0, 60], &cap),
             Ordering::Less
         );
     }
 
     #[test]
     fn l1_sums_dimensions() {
-        let cap = v(&[10, 10]);
+        let cap = [10, 10];
         // L1: 0.8 vs 0.6 — but Linf: 0.4 vs 0.6.
-        let a = v(&[4, 4]);
-        let b = v(&[6, 0]);
+        let a = [4, 4];
+        let b = [6, 0];
         assert_eq!(LoadMeasure::L1.cmp_loads(&a, &b, &cap), Ordering::Greater);
         assert_eq!(LoadMeasure::Linf.cmp_loads(&a, &b, &cap), Ordering::Less);
     }
 
     #[test]
     fn l2_between_l1_and_linf() {
-        let cap = v(&[10, 10]);
+        let cap = [10, 10];
         // a = (3,4): L2 = 0.5; b = (5,0): L2 = 0.5 — exact tie.
         assert_eq!(
-            LoadMeasure::L2.cmp_loads(&v(&[3, 4]), &v(&[5, 0]), &cap),
+            LoadMeasure::L2.cmp_loads(&[3, 4], &[5, 0], &cap),
             Ordering::Equal
         );
     }
 
     #[test]
     fn lp_general() {
-        let cap = v(&[10, 10]);
+        let cap = [10, 10];
         assert_eq!(
-            LoadMeasure::Lp(4).cmp_loads(&v(&[5, 5]), &v(&[6, 0]), &cap),
+            LoadMeasure::Lp(4).cmp_loads(&[5, 5], &[6, 0], &cap),
             Ordering::Less
         );
+    }
+
+    #[test]
+    fn key_from_residual_matches_key_on_load() {
+        // The fit index hands residuals to callbacks; keys derived from
+        // them must rank identically to keys from materialized loads.
+        let cap = [10, 100, 7];
+        let loads: [[u64; 3]; 4] = [[0, 0, 0], [3, 60, 2], [10, 1, 7], [5, 50, 3]];
+        for m in [
+            LoadMeasure::Linf,
+            LoadMeasure::L1,
+            LoadMeasure::L2,
+            LoadMeasure::Lp(4),
+        ] {
+            for a in &loads {
+                for b in &loads {
+                    let res_a: Vec<u64> = cap.iter().zip(a).map(|(c, l)| c - l).collect();
+                    let direct = m.key(a, &cap).compare(&m.key(b, &cap));
+                    let via_res = m.key_from_residual(&res_a, &cap).compare(&m.key(b, &cap));
+                    assert_eq!(direct, via_res, "{m} {a:?} vs {b:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod worst_fit;
 
 mod measure;
 
-pub use measure::LoadMeasure;
+pub use measure::{LoadKey, LoadMeasure};
 
 use crate::bin::BinId;
 use crate::engine::EngineView;
@@ -68,6 +68,23 @@ pub trait Policy: Send {
     /// Non-clairvoyant policies must not read `item.departure`; the
     /// clairvoyant extension reads `item.announced_duration`.
     fn choose(&mut self, view: &EngineView<'_>, item: &Item, item_idx: usize) -> Decision;
+
+    /// Whether [`choose`](Policy::choose) will query
+    /// [`EngineView::index`](crate::EngineView::index) on an arrival with
+    /// `open_bins` bins currently open.
+    ///
+    /// The engine performs **no** fit-index maintenance until the first
+    /// arrival for which this returns `true`; it then rebuilds the index
+    /// from the load arena once and keeps it current for the rest of the
+    /// run. Policies that never touch the index (pure scans, Next Fit,
+    /// Move To Front) return `false` and make every run index-free.
+    /// Querying the index after returning `false` panics.
+    ///
+    /// Defaults to `true` (always maintained) — the safe choice for
+    /// custom policies.
+    fn wants_index(&self, _open_bins: usize) -> bool {
+        true
+    }
 
     /// Notification that the item was packed (after loads are updated).
     fn after_pack(&mut self, item: &Item, item_idx: usize, bin: BinId, newly_opened: bool);

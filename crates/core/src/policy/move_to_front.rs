@@ -56,6 +56,10 @@ impl Policy for MoveToFront {
             .map_or(Decision::OpenNew, |&b| Decision::Existing(b))
     }
 
+    fn wants_index(&self, _open_bins: usize) -> bool {
+        false
+    }
+
     fn after_pack(&mut self, _item: &Item, _item_idx: usize, bin: BinId, _newly_opened: bool) {
         self.move_to_front(bin);
     }

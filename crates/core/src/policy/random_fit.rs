@@ -5,6 +5,7 @@
 //! among the feasible open bins. It carries its own seeded RNG, so runs
 //! are reproducible and independent of the workload generator's stream.
 
+use super::best_fit::SCAN_THRESHOLD;
 use super::{Decision, Policy};
 use crate::bin::BinId;
 use crate::engine::EngineView;
@@ -18,17 +19,27 @@ use std::borrow::Cow;
 pub struct RandomFit {
     seed: u64,
     rng: StdRng,
+    threshold: usize,
     /// Scratch buffer of feasible candidates, reused across arrivals.
     candidates: Vec<BinId>,
 }
 
 impl RandomFit {
-    /// Creates a Random Fit policy with a private RNG seeded by `seed`.
+    /// Creates a Random Fit policy with a private RNG seeded by `seed`
+    /// (hybrid: scans below [`SCAN_THRESHOLD`] open bins).
     #[must_use]
     pub fn new(seed: u64) -> Self {
+        Self::with_scan_threshold(seed, SCAN_THRESHOLD)
+    }
+
+    /// Variant with an explicit scan-fallback threshold; tests use 0 to
+    /// force the tree enumeration even on tiny instances.
+    #[must_use]
+    pub(crate) fn with_scan_threshold(seed: u64, threshold: usize) -> Self {
         RandomFit {
             seed,
             rng: StdRng::seed_from_u64(seed),
+            threshold,
             candidates: Vec::new(),
         }
     }
@@ -41,12 +52,21 @@ impl Policy for RandomFit {
 
     fn choose(&mut self, view: &EngineView<'_>, item: &Item, _item_idx: usize) -> Decision {
         self.candidates.clear();
-        self.candidates.extend(
-            view.open_bins()
-                .iter()
-                .copied()
-                .filter(|&b| view.fits(b, &item.size)),
-        );
+        // Both enumerations yield candidates in ascending bin id — the
+        // scan trivially, the pruned traversal by construction — so RNG
+        // draws land on the same bins and the placement stream is
+        // independent of which path ran.
+        let candidates = &mut self.candidates;
+        if view.open_bins().len() < self.threshold {
+            for &b in view.open_bins() {
+                if view.fits(b, &item.size) {
+                    candidates.push(b);
+                }
+            }
+        } else {
+            view.index()
+                .for_each_feasible(item.size.as_slice(), |b, _res| candidates.push(BinId(b)));
+        }
         match self.candidates.len() {
             0 => Decision::OpenNew,
             1 => Decision::Existing(self.candidates[0]),
@@ -55,6 +75,10 @@ impl Policy for RandomFit {
     }
 
     fn after_pack(&mut self, _item: &Item, _item_idx: usize, _bin: BinId, _newly_opened: bool) {}
+
+    fn wants_index(&self, open_bins: usize) -> bool {
+        open_bins >= self.threshold
+    }
 
     fn reset(&mut self) {
         self.rng = StdRng::seed_from_u64(self.seed);
@@ -112,6 +136,19 @@ mod tests {
         let a = pack(&inst, &mut policy);
         let b = pack(&inst, &mut policy); // engine resets the policy
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tree_enumeration_matches_scan() {
+        // Threshold 0 forces the pruned traversal; the default always
+        // scans on an instance this small. Same candidate order, same RNG
+        // stream, same packing.
+        let inst = three_bin_instance();
+        for seed in 0..20 {
+            let scan = pack(&inst, &mut RandomFit::new(seed));
+            let tree = pack(&inst, &mut RandomFit::with_scan_threshold(seed, 0));
+            assert_eq!(scan, tree, "seed {seed}");
+        }
     }
 
     #[test]

@@ -3,8 +3,14 @@
 //! Included in the paper's experimental study as the natural foil to Best
 //! Fit; it spreads load thin and, as §7 observes, has the worst average
 //! performance of the seven algorithms.
+//!
+//! Like [`BestFit`](super::best_fit::BestFit), candidates come from the
+//! engine's [`FitIndex`] pruned enumeration (ascending bin id, earliest
+//! bin on ties); [`WorstFit::scanning`] keeps the original full scan.
+//!
+//! [`FitIndex`]: crate::FitIndex
 
-use super::{Decision, LoadMeasure, Policy};
+use super::{Decision, LoadKey, LoadMeasure, Policy};
 use crate::bin::BinId;
 use crate::engine::EngineView;
 use crate::item::Item;
@@ -15,13 +21,44 @@ use std::cmp::Ordering;
 #[derive(Clone, Copy, Debug)]
 pub struct WorstFit {
     measure: LoadMeasure,
+    scan: bool,
+    threshold: usize,
 }
 
 impl WorstFit {
-    /// Creates a Worst Fit policy using `measure` to rank bins.
+    /// Creates a Worst Fit policy using `measure` to rank bins, with the
+    /// indexed candidate enumeration (hybrid: scans below
+    /// [`SCAN_THRESHOLD`](super::best_fit::SCAN_THRESHOLD) open bins).
     #[must_use]
     pub fn new(measure: LoadMeasure) -> Self {
-        WorstFit { measure }
+        WorstFit {
+            measure,
+            scan: false,
+            threshold: super::best_fit::SCAN_THRESHOLD,
+        }
+    }
+
+    /// Creates the linear-scan variant — placement-identical to
+    /// [`WorstFit::new`], O(m·d) per arrival.
+    #[must_use]
+    pub fn scanning(measure: LoadMeasure) -> Self {
+        WorstFit {
+            measure,
+            scan: true,
+            threshold: super::best_fit::SCAN_THRESHOLD,
+        }
+    }
+
+    /// Indexed variant with an explicit scan-fallback threshold; tests use
+    /// 0 to force the tree enumeration even on tiny instances.
+    #[cfg(test)]
+    #[must_use]
+    pub(crate) fn with_scan_threshold(measure: LoadMeasure, threshold: usize) -> Self {
+        WorstFit {
+            measure,
+            scan: false,
+            threshold,
+        }
     }
 }
 
@@ -31,28 +68,41 @@ impl Policy for WorstFit {
     }
 
     fn choose(&mut self, view: &EngineView<'_>, item: &Item, _item_idx: usize) -> Decision {
-        let mut best: Option<BinId> = None;
-        for &b in view.open_bins() {
-            if !view.fits(b, &item.size) {
-                continue;
-            }
+        let cap = view.capacity().as_slice();
+        let measure = self.measure;
+        // Each candidate's measure is evaluated once into a key; the
+        // incumbent's key rides along. Strictly-less keeps the
+        // earliest-opened bin on ties.
+        let mut best: Option<(BinId, LoadKey)> = None;
+        let mut consider = |b: BinId, key: LoadKey| {
             best = Some(match best {
-                None => b,
-                Some(cur) => {
-                    match self
-                        .measure
-                        .cmp_loads(view.load(b), view.load(cur), view.capacity())
-                    {
-                        Ordering::Less => b,
-                        _ => cur,
-                    }
-                }
+                None => (b, key),
+                Some((cur, cur_key)) => match key.compare(&cur_key) {
+                    Ordering::Less => (b, key),
+                    _ => (cur, cur_key),
+                },
             });
+        };
+        if self.scan || view.open_bins().len() < self.threshold {
+            for &b in view.open_bins() {
+                if view.fits(b, &item.size) {
+                    consider(b, measure.key(view.load(b), cap));
+                }
+            }
+        } else {
+            view.index()
+                .for_each_feasible(item.size.as_slice(), |b, res| {
+                    consider(BinId(b), measure.key_from_residual(res, cap));
+                });
         }
-        best.map_or(Decision::OpenNew, Decision::Existing)
+        best.map_or(Decision::OpenNew, |(b, _)| Decision::Existing(b))
     }
 
     fn after_pack(&mut self, _item: &Item, _item_idx: usize, _bin: BinId, _newly_opened: bool) {}
+
+    fn wants_index(&self, open_bins: usize) -> bool {
+        !self.scan && open_bins >= self.threshold
+    }
 }
 
 #[cfg(test)]
@@ -102,5 +152,26 @@ mod tests {
         .unwrap();
         let p = pack(&inst, &mut WorstFit::new(LoadMeasure::Linf));
         assert_eq!(p.assignment[2], BinId(0));
+    }
+
+    #[test]
+    fn scanning_variant_is_placement_identical() {
+        let inst = Instance::new(
+            DimVec::from_slice(&[10, 10]),
+            vec![
+                item(&[4, 1], 0, 9),
+                item(&[7, 3], 1, 9),
+                item(&[3, 3], 2, 5),
+                item(&[1, 6], 3, 8),
+                item(&[2, 2], 4, 6),
+            ],
+        )
+        .unwrap();
+        for m in [LoadMeasure::Linf, LoadMeasure::L1, LoadMeasure::L2] {
+            // Threshold 0 forces the tree enumeration on this small case.
+            let indexed = pack(&inst, &mut WorstFit::with_scan_threshold(m, 0));
+            let scanned = pack(&inst, &mut WorstFit::scanning(m));
+            assert_eq!(indexed, scanned, "{m}");
+        }
     }
 }

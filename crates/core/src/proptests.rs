@@ -1,6 +1,9 @@
 //! Property tests over randomly generated instances for every policy.
 
-use crate::{pack_with, Instance, Item, PolicyKind};
+use crate::policy::{
+    best_fit::BestFit, first_fit::FirstFit, last_fit::LastFit, worst_fit::WorstFit,
+};
+use crate::{pack, pack_with, pack_with_mode, Instance, Item, LoadMeasure, PolicyKind, TraceMode};
 use dvbp_dimvec::DimVec;
 use proptest::prelude::*;
 
@@ -18,8 +21,8 @@ fn instances() -> impl Strategy<Value = Instance> {
 }
 
 /// Strategy: scalar (d = 1) instances with a small capacity so bins fill,
-/// close, and reopen often — the regime where the `IndexedFirstFit`
-/// segment tree does real work.
+/// close, and reopen often — the regime where the engine's fit index
+/// does real work.
 fn instances_1d() -> impl Strategy<Value = Instance> {
     (1usize..=60).prop_flat_map(|n| {
         let cap = 10u64;
@@ -29,6 +32,52 @@ fn instances_1d() -> impl Strategy<Value = Instance> {
             Instance::new(DimVec::scalar(cap), items).expect("generated instance valid")
         })
     })
+}
+
+/// Strategy: high-dimensional instances (`d ∈ {8, 9}`) straddling
+/// [`dvbp_dimvec::INLINE_DIMS`], so both the inline and the heap `DimVec`
+/// representations flow through the fit index.
+fn instances_hd() -> impl Strategy<Value = Instance> {
+    (8usize..=9, 1usize..=30).prop_flat_map(|(d, n)| {
+        let cap = 12u64;
+        let item = (prop::collection::vec(1u64..=cap, d), 0u64..40, 1u64..=15)
+            .prop_map(move |(size, a, dur)| Item::new(DimVec::from_slice(&size), a, a + dur));
+        prop::collection::vec(item, n).prop_map(move |items| {
+            Instance::new(DimVec::splat(d, cap), items).expect("generated instance valid")
+        })
+    })
+}
+
+/// Packs `inst` with both variants of every indexed/scan policy pair and
+/// asserts full `Packing` equality.
+fn assert_indexed_matches_scan(inst: &Instance) -> Result<(), TestCaseError> {
+    // Threshold 0 forces the tree path — the default hybrid would scan on
+    // instances this small and the comparison would be vacuous.
+    let indexed = pack(inst, &mut FirstFit::with_scan_threshold(0));
+    let scanned = pack(inst, &mut FirstFit::scanning());
+    prop_assert_eq!(indexed, scanned, "FirstFit");
+
+    let indexed = pack(inst, &mut LastFit::with_scan_threshold(0));
+    let scanned = pack(inst, &mut LastFit::scanning());
+    prop_assert_eq!(indexed, scanned, "LastFit");
+
+    for m in [
+        LoadMeasure::Linf,
+        LoadMeasure::L1,
+        LoadMeasure::L2,
+        LoadMeasure::Lp(3),
+    ] {
+        // Threshold 0 forces the tree enumeration (the default hybrid
+        // would scan on instances this small).
+        let indexed = pack(inst, &mut BestFit::with_scan_threshold(m, 0));
+        let scanned = pack(inst, &mut BestFit::scanning(m));
+        prop_assert_eq!(indexed, scanned, "BestFit[{}]", m);
+
+        let indexed = pack(inst, &mut WorstFit::with_scan_threshold(m, 0));
+        let scanned = pack(inst, &mut WorstFit::scanning(m));
+        prop_assert_eq!(indexed, scanned, "WorstFit[{}]", m);
+    }
+    Ok(())
 }
 
 fn all_kinds() -> Vec<PolicyKind> {
@@ -128,6 +177,60 @@ proptest! {
         let plain = pack_with(&inst, &PolicyKind::FirstFit);
         prop_assert_eq!(&indexed.assignment, &plain.assignment);
         prop_assert_eq!(indexed, plain);
+    }
+
+    /// The fit-index query path is a pure data-structure change: for every
+    /// retrofit policy the indexed and scanning variants produce identical
+    /// packings (assignment, trace, and cost).
+    #[test]
+    fn indexed_matches_scan(inst in instances()) {
+        assert_indexed_matches_scan(&inst)?;
+    }
+
+    /// Same identity at `d ∈ {8, 9}` — across the `DimVec` inline/heap
+    /// boundary, where the pruning descent backtracks most.
+    #[test]
+    fn indexed_matches_scan_high_dim(inst in instances_hd()) {
+        assert_indexed_matches_scan(&inst)?;
+    }
+
+    /// `TraceMode::CostOnly` skips bookkeeping, not decisions: assignment,
+    /// cost, and max concurrency agree with a `Full` run.
+    #[test]
+    fn cost_only_matches_full(inst in instances()) {
+        for kind in all_kinds() {
+            let full = pack_with_mode(&inst, &kind, TraceMode::Full);
+            let cost_only = pack_with_mode(&inst, &kind, TraceMode::CostOnly);
+            prop_assert_eq!(&full.assignment, &cost_only.assignment, "{}", kind.name());
+            prop_assert_eq!(full.cost(), cost_only.cost(), "{}", kind.name());
+            prop_assert_eq!(
+                full.max_concurrent_bins(),
+                cost_only.max_concurrent_bins(),
+                "{}", kind.name()
+            );
+        }
+    }
+
+    /// `max_concurrent_bins()` (sweep-line over bin usage intervals)
+    /// equals the high-water mark of open bins derived from the trace.
+    #[test]
+    fn max_concurrent_bins_matches_trace(inst in instances()) {
+        for kind in all_kinds() {
+            let p = pack_with(&inst, &kind);
+            let mut open = 0usize;
+            let mut high_water = 0usize;
+            for ev in &p.trace {
+                match ev {
+                    crate::TraceEvent::Packed { opened_new: true, .. } => {
+                        open += 1;
+                        high_water = high_water.max(open);
+                    }
+                    crate::TraceEvent::Closed { .. } => open -= 1,
+                    crate::TraceEvent::Packed { .. } => {}
+                }
+            }
+            prop_assert_eq!(p.max_concurrent_bins(), high_water, "{}", kind.name());
+        }
     }
 
     /// `Packing::cost()` (the sum of per-bin usage lengths, eq. 1) equals

@@ -1,0 +1,89 @@
+//! Verifies the engine's allocation-free hot path: once an [`Engine`] is
+//! warmed (arenas grown to the instance's footprint), a `CostOnly` run
+//! performs a small constant number of heap allocations — independent of
+//! the number of items — i.e. zero allocations *per arrival* in steady
+//! state.
+//!
+//! This file holds exactly one `#[test]` so the global allocation counter
+//! is not polluted by concurrent tests in the same binary.
+
+use dvbp_core::policy::first_fit::FirstFit;
+use dvbp_core::{Engine, Instance, Item, TraceMode};
+use dvbp_dimvec::DimVec;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System`; only adds a counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A d = 2 instance with heavy bin churn: `n` items, overlapping
+/// lifetimes, sizes large enough that bins keep opening and closing.
+fn churn_instance(n: u64) -> Instance {
+    let items = (0..n)
+        .map(|i| {
+            let size = DimVec::from_slice(&[1 + (i * 7) % 60, 1 + (i * 13) % 60]);
+            let arrival = i / 2;
+            Item::new(size, arrival, arrival + 1 + (i * 5) % 19)
+        })
+        .collect();
+    Instance::new(DimVec::from_slice(&[100, 100]), items).unwrap()
+}
+
+fn count_warm_run(engine: &mut Engine, policy: &mut FirstFit, inst: &Instance) -> usize {
+    // Warm: grows the engine arenas and the fit index to this instance's
+    // high-water marks.
+    let warm = engine.pack(inst, policy, TraceMode::CostOnly);
+    assert!(warm.num_bins() > 0 && warm.cost() >= inst.span());
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let packing = engine.pack(inst, policy, TraceMode::CostOnly);
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(packing.assignment, warm.assignment);
+    after - before
+}
+
+#[test]
+fn warm_cost_only_run_allocates_a_constant_independent_of_n() {
+    let mut engine = Engine::new();
+    let mut policy = FirstFit::new();
+
+    let small = churn_instance(500);
+    let large = churn_instance(2000);
+
+    let allocs_small = count_warm_run(&mut engine, &mut policy, &small);
+    let allocs_large = count_warm_run(&mut engine, &mut policy, &large);
+
+    // Materializing the result clones the assignment and builds the (empty)
+    // bins/trace vectors — a handful of allocations per *run*. Anything per
+    // *arrival* would scale with n and trip the equality.
+    assert_eq!(
+        allocs_small, allocs_large,
+        "per-run allocation count must not depend on item count \
+         (small: {allocs_small}, large: {allocs_large})"
+    );
+    assert!(
+        allocs_large <= 8,
+        "expected a handful of per-run allocations, got {allocs_large}"
+    );
+}

@@ -16,7 +16,7 @@
 mod norms;
 mod vec;
 
-pub use norms::{linf, lp_f64, ratio_linf};
+pub use norms::{linf, lp_f64, lp_slices, ratio_linf, ratio_linf_slices};
 pub use vec::{DimVec, INLINE_DIMS};
 
 #[cfg(test)]

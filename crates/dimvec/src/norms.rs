@@ -34,12 +34,23 @@ pub fn linf(load: &DimVec, cap: &DimVec) -> f64 {
 /// Panics on dimension mismatch, a zero capacity component, or `p < 1`.
 #[must_use]
 pub fn lp_f64(load: &DimVec, cap: &DimVec, p: f64) -> f64 {
-    assert_eq!(load.dim(), cap.dim(), "dimension mismatch");
+    lp_slices(load.as_slice(), cap.as_slice(), p)
+}
+
+/// [`lp_f64`] over raw component slices — the allocation-free form used
+/// by the engine's flat (SoA) load arena.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch, a zero capacity component, or `p < 1`.
+#[must_use]
+pub fn lp_slices(load: &[u64], cap: &[u64], p: f64) -> f64 {
+    assert_eq!(load.len(), cap.len(), "dimension mismatch");
     assert!(p >= 1.0, "Lp norm requires p >= 1");
     let sum: f64 = load
         .iter()
         .zip(cap.iter())
-        .map(|(l, c)| {
+        .map(|(&l, &c)| {
             assert!(c > 0, "capacity component must be positive");
             (l as f64 / c as f64).powf(p)
         })
@@ -56,10 +67,21 @@ pub fn lp_f64(load: &DimVec, cap: &DimVec, p: f64) -> f64 {
 /// Panics on dimension mismatch or a zero capacity component.
 #[must_use]
 pub fn ratio_linf(load: &DimVec, cap: &DimVec) -> (usize, u64, u64) {
-    assert_eq!(load.dim(), cap.dim(), "dimension mismatch");
+    ratio_linf_slices(load.as_slice(), cap.as_slice())
+}
+
+/// [`ratio_linf`] over raw component slices — the allocation-free form
+/// used by the engine's flat (SoA) load arena.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or a zero capacity component.
+#[must_use]
+pub fn ratio_linf_slices(load: &[u64], cap: &[u64]) -> (usize, u64, u64) {
+    assert_eq!(load.len(), cap.len(), "dimension mismatch");
     let mut best = (0usize, load[0], cap[0]);
     assert!(cap[0] > 0, "capacity component must be positive");
-    for j in 1..load.dim() {
+    for j in 1..load.len() {
         assert!(cap[j] > 0, "capacity component must be positive");
         // load[j]/cap[j] > best.1/best.2  <=>  load[j]*best.2 > best.1*cap[j]
         if u128::from(load[j]) * u128::from(best.2) > u128::from(best.1) * u128::from(cap[j]) {

@@ -11,7 +11,7 @@
 
 use dvbp_analysis::report::{mean_pm_std, TextTable};
 use dvbp_analysis::stats::{Accumulator, Summary};
-use dvbp_core::{pack_with, PolicyKind};
+use dvbp_core::{pack_cost, PolicyKind};
 use dvbp_experiments::cli::Args;
 use dvbp_experiments::fig4::trial_seed;
 use dvbp_offline::lb_load;
@@ -39,10 +39,7 @@ fn main() {
     let mtf_ratios = run_trials(trials, |t| {
         let seed = trial_seed(0x9ED1, 2, 100, t);
         let inst = params.generate(seed);
-        dvbp_analysis::ratio(
-            pack_with(&inst, &PolicyKind::MoveToFront).cost(),
-            lb_load(&inst),
-        )
+        dvbp_analysis::ratio(pack_cost(&inst, &PolicyKind::MoveToFront), lb_load(&inst))
     });
     let mut mtf_acc = Accumulator::new();
     for r in &mtf_ratios {
@@ -55,10 +52,7 @@ fn main() {
             let inst = params.generate(seed);
             let lb = lb_load(&inst);
             let noisy = announce_noisy(&inst, err, seed ^ 0xFACE);
-            dvbp_analysis::ratio(
-                pack_with(&noisy, &PolicyKind::DurationClassFirstFit).cost(),
-                lb,
-            )
+            dvbp_analysis::ratio(pack_cost(&noisy, &PolicyKind::DurationClassFirstFit), lb)
         });
         let mut acc = Accumulator::new();
         for r in &per_trial {

@@ -22,6 +22,10 @@
 //! .unwrap();
 //! let packing = pack_with(&instance, &PolicyKind::MoveToFront);
 //! assert_eq!(packing.cost(), 10);
+//!
+//! // Cost-only runs skip trace recording (and, with a reused
+//! // `dvbp::Engine`, allocate nothing per arrival):
+//! assert_eq!(dvbp::pack_cost(&instance, &PolicyKind::MoveToFront), 10);
 //! ```
 //!
 //! # Module map
@@ -39,14 +43,15 @@
 pub mod tracefile;
 
 pub use dvbp_core::{
-    pack, pack_with, BillingModel, BinId, BinUsage, Decision, EngineView, Instance, InstanceError,
-    Item, LoadMeasure, Packing, Policy, PolicyKind, TraceEvent,
+    pack, pack_cost, pack_with, pack_with_mode, BillingModel, BinId, BinUsage, Decision, Engine,
+    EngineView, FitIndex, Instance, InstanceError, Item, LoadMeasure, Packing, Policy, PolicyKind,
+    TraceEvent, TraceMode,
 };
 pub use dvbp_dimvec::DimVec;
 
 /// Norms of normalized load vectors (Proposition 1).
 pub mod norms {
-    pub use dvbp_dimvec::{linf, lp_f64, ratio_linf};
+    pub use dvbp_dimvec::{linf, lp_f64, lp_slices, ratio_linf, ratio_linf_slices};
 }
 
 /// Time model, intervals, and sweep-line utilities.
