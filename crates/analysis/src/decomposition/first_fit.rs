@@ -206,7 +206,7 @@ impl FirstFitDecomposition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dvbp_core::{pack_with, Instance, Item, PolicyKind};
+    use dvbp_core::{Instance, Item, PackRequest, PolicyKind};
     use dvbp_dimvec::DimVec;
 
     fn item(size: &[u64], a: u64, e: u64) -> Item {
@@ -214,7 +214,7 @@ mod tests {
     }
 
     fn decompose(inst: &Instance) -> (Packing, FirstFitDecomposition) {
-        let p = pack_with(inst, &PolicyKind::FirstFit);
+        let p = PackRequest::new(PolicyKind::FirstFit).run(inst).unwrap();
         let d = FirstFitDecomposition::from_packing(inst, &p);
         (p, d)
     }

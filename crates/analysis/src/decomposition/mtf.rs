@@ -238,7 +238,7 @@ impl MtfDecomposition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dvbp_core::{pack_with, Instance, Item, PolicyKind};
+    use dvbp_core::{Instance, Item, PackRequest, PolicyKind};
     use dvbp_dimvec::DimVec;
 
     fn item(size: &[u64], a: u64, e: u64) -> Item {
@@ -246,7 +246,7 @@ mod tests {
     }
 
     fn decompose(inst: &Instance) -> (Packing, MtfDecomposition) {
-        let p = pack_with(inst, &PolicyKind::MoveToFront);
+        let p = PackRequest::new(PolicyKind::MoveToFront).run(inst).unwrap();
         let d = MtfDecomposition::from_packing(&p);
         (p, d)
     }

@@ -146,7 +146,7 @@ impl NextFitDecomposition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dvbp_core::{pack_with, Instance, Item, PolicyKind};
+    use dvbp_core::{Instance, Item, PackRequest, PolicyKind};
     use dvbp_dimvec::DimVec;
 
     fn item(size: &[u64], a: u64, e: u64) -> Item {
@@ -154,7 +154,7 @@ mod tests {
     }
 
     fn decompose(inst: &Instance) -> (Packing, NextFitDecomposition) {
-        let p = pack_with(inst, &PolicyKind::NextFit);
+        let p = PackRequest::new(PolicyKind::NextFit).run(inst).unwrap();
         let d = NextFitDecomposition::from_packing(&p);
         (p, d)
     }

@@ -75,7 +75,7 @@ pub fn render(instance: &Instance, packing: &Packing, opts: &GanttOptions) -> St
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dvbp_core::{pack_with, Item, PolicyKind};
+    use dvbp_core::{Item, PackRequest, PolicyKind};
     use dvbp_dimvec::DimVec;
 
     fn item(size: u64, a: u64, e: u64) -> Item {
@@ -84,7 +84,7 @@ mod tests {
 
     fn packed(items: Vec<Item>) -> (Instance, Packing) {
         let inst = Instance::new(DimVec::scalar(10), items).unwrap();
-        let p = pack_with(&inst, &PolicyKind::FirstFit);
+        let p = PackRequest::new(PolicyKind::FirstFit).run(&inst).unwrap();
         (inst, p)
     }
 
@@ -108,7 +108,7 @@ mod tests {
     fn occupancy_digits_cap_at_plus() {
         let items: Vec<Item> = (0..12).map(|_| item(1, 0, 3)).collect();
         let inst = Instance::new(DimVec::scalar(100), items).unwrap();
-        let p = pack_with(&inst, &PolicyKind::FirstFit);
+        let p = PackRequest::new(PolicyKind::FirstFit).run(&inst).unwrap();
         let s = render(&inst, &p, &GanttOptions::default());
         assert!(s.contains('+'), "{s}");
     }
@@ -133,7 +133,7 @@ mod tests {
     fn truncates_bin_list() {
         let items: Vec<Item> = (0..8).map(|k| item(10, k, k + 2)).collect();
         let inst = Instance::new(DimVec::scalar(10), items).unwrap();
-        let p = pack_with(&inst, &PolicyKind::FirstFit);
+        let p = PackRequest::new(PolicyKind::FirstFit).run(&inst).unwrap();
         let s = render(
             &inst,
             &p,
@@ -148,7 +148,7 @@ mod tests {
     #[test]
     fn empty_packing() {
         let inst = Instance::new(DimVec::scalar(10), vec![]).unwrap();
-        let p = pack_with(&inst, &PolicyKind::FirstFit);
+        let p = PackRequest::new(PolicyKind::FirstFit).run(&inst).unwrap();
         assert_eq!(
             render(&inst, &p, &GanttOptions::default()),
             "(empty packing)\n"

@@ -24,6 +24,7 @@ mod proptests;
 pub mod decomposition;
 pub mod gantt;
 pub mod metrics;
+pub mod obs_ingest;
 pub mod report;
 pub mod stats;
 

@@ -106,7 +106,7 @@ pub fn packing_metrics(instance: &Instance, packing: &Packing) -> PackingMetrics
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dvbp_core::{pack_with, Item, PolicyKind};
+    use dvbp_core::{Item, PackRequest, PolicyKind};
     use dvbp_dimvec::DimVec;
 
     fn item(size: &[u64], a: u64, e: u64) -> Item {
@@ -117,7 +117,7 @@ mod tests {
     fn perfectly_utilized_single_bin() {
         // One item filling the bin for its whole life: both metrics = 1.
         let inst = Instance::new(DimVec::scalar(10), vec![item(&[10], 0, 5)]).unwrap();
-        let p = pack_with(&inst, &PolicyKind::FirstFit);
+        let p = PackRequest::new(PolicyKind::FirstFit).run(&inst).unwrap();
         let m = packing_metrics(&inst, &p);
         assert_eq!(m.cost, 5);
         assert_eq!(m.bins, 1);
@@ -130,7 +130,7 @@ mod tests {
     #[test]
     fn half_full_bin_has_half_utilization() {
         let inst = Instance::new(DimVec::scalar(10), vec![item(&[5], 0, 4)]).unwrap();
-        let p = pack_with(&inst, &PolicyKind::FirstFit);
+        let p = PackRequest::new(PolicyKind::FirstFit).run(&inst).unwrap();
         let m = packing_metrics(&inst, &p);
         assert!((m.utilization - 0.5).abs() < 1e-12);
         assert!((m.alignment - 1.0).abs() < 1e-12);
@@ -145,7 +145,7 @@ mod tests {
             vec![item(&[5], 0, 10), item(&[5], 0, 1)],
         )
         .unwrap();
-        let p = pack_with(&inst, &PolicyKind::FirstFit);
+        let p = PackRequest::new(PolicyKind::FirstFit).run(&inst).unwrap();
         assert_eq!(p.num_bins(), 1);
         let m = packing_metrics(&inst, &p);
         assert!((m.alignment - 0.55).abs() < 1e-12);
@@ -164,7 +164,7 @@ mod tests {
         for seed in 0..5 {
             let inst = params.generate(seed);
             for kind in PolicyKind::paper_suite(seed) {
-                let p = pack_with(&inst, &kind);
+                let p = PackRequest::new(kind.clone()).run(&inst).unwrap();
                 let m = packing_metrics(&inst, &p);
                 assert!(
                     m.utilization > 0.0 && m.utilization <= 1.0,
@@ -194,12 +194,16 @@ mod tests {
             let inst = params.generate(100 + seed);
             wf_util += packing_metrics(
                 &inst,
-                &pack_with(&inst, &PolicyKind::WorstFit(dvbp_core::LoadMeasure::Linf)),
+                &PackRequest::new(PolicyKind::WorstFit(dvbp_core::LoadMeasure::Linf))
+                    .run(&inst)
+                    .unwrap(),
             )
             .utilization;
             bf_util += packing_metrics(
                 &inst,
-                &pack_with(&inst, &PolicyKind::BestFit(dvbp_core::LoadMeasure::Linf)),
+                &PackRequest::new(PolicyKind::BestFit(dvbp_core::LoadMeasure::Linf))
+                    .run(&inst)
+                    .unwrap(),
             )
             .utilization;
         }

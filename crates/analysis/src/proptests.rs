@@ -5,7 +5,7 @@ use crate::decomposition::{
     first_fit::FirstFitDecomposition, mtf::MtfDecomposition, next_fit::NextFitDecomposition,
 };
 use crate::metrics::packing_metrics;
-use dvbp_core::{pack_with, Instance, Item, PolicyKind};
+use dvbp_core::{Instance, Item, PackRequest, PolicyKind};
 use dvbp_dimvec::DimVec;
 use proptest::prelude::*;
 
@@ -26,7 +26,7 @@ proptest! {
     /// The MTF decomposition verifies on every generated instance.
     #[test]
     fn mtf_decomposition_always_verifies(inst in instances()) {
-        let p = pack_with(&inst, &PolicyKind::MoveToFront);
+        let p = PackRequest::new(PolicyKind::MoveToFront).run(&inst).unwrap();
         let d = MtfDecomposition::from_packing(&p);
         prop_assert!(d.verify(&inst, &p).is_ok(), "{:?}", d.verify(&inst, &p));
         // Cost identity: leading + non-leading totals equal the cost.
@@ -41,7 +41,7 @@ proptest! {
     /// The First Fit decomposition verifies, and P/Q totals sum to cost.
     #[test]
     fn ff_decomposition_always_verifies(inst in instances()) {
-        let p = pack_with(&inst, &PolicyKind::FirstFit);
+        let p = PackRequest::new(PolicyKind::FirstFit).run(&inst).unwrap();
         let d = FirstFitDecomposition::from_packing(&inst, &p);
         prop_assert!(d.verify(&inst, &p).is_ok());
         prop_assert_eq!(d.p_total() + d.q_total(), p.cost());
@@ -51,7 +51,7 @@ proptest! {
     /// The Next Fit decomposition verifies, and P/Q totals sum to cost.
     #[test]
     fn nf_decomposition_always_verifies(inst in instances()) {
-        let p = pack_with(&inst, &PolicyKind::NextFit);
+        let p = PackRequest::new(PolicyKind::NextFit).run(&inst).unwrap();
         let d = NextFitDecomposition::from_packing(&p);
         prop_assert!(d.verify(&inst, &p).is_ok());
         prop_assert_eq!(d.p_total() + d.q_total(), p.cost());
@@ -61,7 +61,7 @@ proptest! {
     #[test]
     fn metrics_invariants(inst in instances()) {
         for kind in PolicyKind::paper_suite(17) {
-            let p = pack_with(&inst, &kind);
+            let p = PackRequest::new(kind.clone()).run(&inst).unwrap();
             let m = packing_metrics(&inst, &p);
             prop_assert!(m.utilization > 0.0 && m.utilization <= 1.0 + 1e-12);
             prop_assert!(m.alignment > 0.0 && m.alignment <= 1.0 + 1e-12);

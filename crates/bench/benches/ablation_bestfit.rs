@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dvbp_bench::bench_instance;
-use dvbp_core::{pack_with, LoadMeasure, PolicyKind};
+use dvbp_core::{LoadMeasure, PackRequest, PolicyKind};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
             &inst,
             |b, inst| {
                 let kind = PolicyKind::BestFit(measure);
-                b.iter(|| black_box(pack_with(inst, &kind).cost()))
+                b.iter(|| black_box(PackRequest::new(kind.clone()).run(inst).unwrap().cost()))
             },
         );
     }

@@ -3,7 +3,7 @@
 //! at reduced scale, across the paper's dimension sweep.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dvbp_core::{pack_with, PolicyKind};
+use dvbp_core::{PackRequest, PolicyKind};
 use dvbp_offline::lb_load;
 use dvbp_workloads::UniformParams;
 use std::hint::black_box;
@@ -20,7 +20,7 @@ fn grid_point(d: usize, mu: u64, seed: u64) -> f64 {
     let lb = lb_load(&inst) as f64;
     PolicyKind::paper_suite(seed)
         .iter()
-        .map(|k| pack_with(&inst, k).cost() as f64 / lb)
+        .map(|k| PackRequest::new(k.clone()).run(&inst).unwrap().cost() as f64 / lb)
         .sum()
 }
 

@@ -3,7 +3,7 @@
 //! certifying the OPT witness.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dvbp_core::{pack_with, PolicyKind};
+use dvbp_core::{PackRequest, PolicyKind};
 use dvbp_offline::witness::assignment_cost;
 use dvbp_workloads::adversarial::{AnyFitLb, MtfLb, NextFitLb};
 use std::hint::black_box;
@@ -23,7 +23,10 @@ fn bench(c: &mut Criterion) {
                     m: 32,
                 };
                 let inst = fam.instance();
-                let cost = pack_with(&inst, &PolicyKind::FirstFit).cost();
+                let cost = PackRequest::new(PolicyKind::FirstFit)
+                    .run(&inst)
+                    .unwrap()
+                    .cost();
                 let opt = assignment_cost(&inst, &fam.witness()).unwrap();
                 black_box(cost as f64 / opt as f64)
             });
@@ -32,7 +35,10 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let fam = NextFitLb { k, d: 2, mu: 8 };
                 let inst = fam.instance();
-                let cost = pack_with(&inst, &PolicyKind::NextFit).cost();
+                let cost = PackRequest::new(PolicyKind::NextFit)
+                    .run(&inst)
+                    .unwrap()
+                    .cost();
                 let opt = assignment_cost(&inst, &fam.witness()).unwrap();
                 black_box(cost as f64 / opt as f64)
             });
@@ -41,7 +47,10 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let fam = MtfLb { n: k, mu: 8 };
                 let inst = fam.instance();
-                let cost = pack_with(&inst, &PolicyKind::MoveToFront).cost();
+                let cost = PackRequest::new(PolicyKind::MoveToFront)
+                    .run(&inst)
+                    .unwrap()
+                    .cost();
                 let opt = assignment_cost(&inst, &fam.witness()).unwrap();
                 black_box(cost as f64 / opt as f64)
             });

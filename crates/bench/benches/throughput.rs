@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dvbp_bench::bench_instance;
-use dvbp_core::{pack_with, PolicyKind};
+use dvbp_core::{PackRequest, PolicyKind};
 use std::hint::black_box;
 
 fn bench_by_n(c: &mut Criterion) {
@@ -18,7 +18,7 @@ fn bench_by_n(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         for kind in PolicyKind::paper_suite(7) {
             group.bench_with_input(BenchmarkId::new(kind.name(), n), &inst, |b, inst| {
-                b.iter(|| black_box(pack_with(inst, &kind).cost()))
+                b.iter(|| black_box(PackRequest::new(kind.clone()).run(inst).unwrap().cost()))
             });
         }
     }
@@ -39,7 +39,7 @@ fn bench_by_d(c: &mut Criterion) {
             PolicyKind::BestFit(dvbp_core::LoadMeasure::Linf),
         ] {
             group.bench_with_input(BenchmarkId::new(kind.name(), d), &inst, |b, inst| {
-                b.iter(|| black_box(pack_with(inst, &kind).cost()))
+                b.iter(|| black_box(PackRequest::new(kind.clone()).run(inst).unwrap().cost()))
             });
         }
     }
@@ -59,7 +59,7 @@ fn bench_indexed_ff(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         for kind in [PolicyKind::FirstFit, PolicyKind::IndexedFirstFit] {
             group.bench_with_input(BenchmarkId::new(kind.name(), n), &inst, |b, inst| {
-                b.iter(|| black_box(pack_with(inst, &kind).cost()))
+                b.iter(|| black_box(PackRequest::new(kind.clone()).run(inst).unwrap().cost()))
             });
         }
     }

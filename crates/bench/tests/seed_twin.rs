@@ -9,12 +9,12 @@ use dvbp_core::policy::best_fit::BestFit;
 use dvbp_core::policy::first_fit::FirstFit;
 use dvbp_core::policy::last_fit::LastFit;
 use dvbp_core::policy::worst_fit::WorstFit;
-use dvbp_core::{pack, LoadMeasure, Policy};
+use dvbp_core::{LoadMeasure, PackRequest, Policy};
 
 fn check(select: SeedSelect, policy: &mut dyn Policy) {
     for seed in 0..4 {
         let inst = bench_instance(2, 400, 80, seed);
-        let optimized = pack(&inst, policy);
+        let optimized = PackRequest::with_policy(policy).run(&inst).unwrap();
         let twin = pack_seed(&inst, select);
         let twin_bins: Vec<usize> = optimized.assignment.iter().map(|b| b.0).collect();
         assert_eq!(twin.assignment, twin_bins, "assignment diverged");

@@ -200,6 +200,7 @@ pub fn seed_corpus() -> Vec<(&'static str, Instance)> {
 mod tests {
     use super::*;
     use crate::diff;
+    use dvbp_core::PackRequest;
 
     #[test]
     fn seed_corpus_is_valid_and_conformant() {
@@ -220,14 +221,18 @@ mod tests {
     #[test]
     fn growth_case_really_opens_five_concurrent_bins() {
         let inst = residual_tree_growth();
-        let p = dvbp_core::pack_with(&inst, &dvbp_core::PolicyKind::IndexedFirstFit);
+        let p = PackRequest::new(dvbp_core::PolicyKind::IndexedFirstFit)
+            .run(&inst)
+            .unwrap();
         assert!(p.max_concurrent_bins() >= 5, "{}", p.max_concurrent_bins());
     }
 
     #[test]
     fn growth_close_2d_crosses_the_four_leaf_boundary() {
         let inst = fitindex_growth_close_2d();
-        let p = dvbp_core::pack_with(&inst, &dvbp_core::PolicyKind::FirstFit);
+        let p = PackRequest::new(dvbp_core::PolicyKind::FirstFit)
+            .run(&inst)
+            .unwrap();
         assert!(p.num_bins() >= 5, "{}", p.num_bins());
     }
 
@@ -235,7 +240,9 @@ mod tests {
     fn reopen_gap_d9_opens_fresh_bins_each_cycle() {
         let inst = reopen_gap_d9();
         assert_eq!(inst.dim(), 9);
-        let p = dvbp_core::pack_with(&inst, &dvbp_core::PolicyKind::FirstFit);
+        let p = PackRequest::new(dvbp_core::PolicyKind::FirstFit)
+            .run(&inst)
+            .unwrap();
         // Each of the three cycles needs at least two bins, and bins are
         // never reused across the idle gaps.
         assert!(p.num_bins() >= 6, "{}", p.num_bins());

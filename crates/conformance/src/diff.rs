@@ -18,10 +18,15 @@
 //!    decisions);
 //! 6. **lower bounds** — `lb_span ≤ lb_load ≤ cost` (Lemma 1: the span
 //!    bound is dominated by the load integral, and every online cost is
-//!    at least the optimum, hence at least any lower bound on it).
+//!    at least the optimum, hence at least any lower bound on it);
+//! 7. **observer replay** — re-running with a recording observer and
+//!    replaying the event stream through
+//!    [`dvbp_analysis::obs_ingest::replay_packing`] must reconstruct the
+//!    live packing bit for bit (the observer feed is complete and
+//!    hook-ordered, and observation never perturbs decisions).
 
 use crate::reference;
-use dvbp_core::{Instance, Packing, PolicyKind, TraceMode};
+use dvbp_core::{Instance, PackRequest, Packing, PolicyKind, TraceMode};
 use dvbp_offline::lower_bounds::{lb_load, lb_span};
 use std::fmt;
 
@@ -106,7 +111,7 @@ fn first_difference(fast: &Packing, slow: &Packing) -> Option<String> {
 ///
 /// Returns the first [`Divergence`] found, layer by layer.
 pub fn check_policy(instance: &Instance, kind: &PolicyKind) -> Result<(), Divergence> {
-    let fast = dvbp_core::pack_with(instance, kind);
+    let fast = PackRequest::new(kind.clone()).run(instance).unwrap();
     let slow = reference::simulate(instance, kind);
 
     if let Some(diff) = first_difference(&fast, &slow) {
@@ -121,7 +126,9 @@ pub fn check_policy(instance: &Instance, kind: &PolicyKind) -> Result<(), Diverg
         }
     }
     if *kind == PolicyKind::IndexedFirstFit {
-        let plain = dvbp_core::pack_with(instance, &PolicyKind::FirstFit);
+        let plain = PackRequest::new(PolicyKind::FirstFit)
+            .run(instance)
+            .unwrap();
         if fast.assignment != plain.assignment {
             let i = (0..fast.assignment.len())
                 .find(|&i| fast.assignment[i] != plain.assignment[i])
@@ -137,7 +144,10 @@ pub fn check_policy(instance: &Instance, kind: &PolicyKind) -> Result<(), Diverg
         }
     }
 
-    let cost_only = dvbp_core::pack_with_mode(instance, kind, TraceMode::CostOnly);
+    let cost_only = PackRequest::new(kind.clone())
+        .trace_mode(TraceMode::CostOnly)
+        .run(instance)
+        .unwrap();
     if cost_only.assignment != fast.assignment {
         let i = (0..fast.assignment.len())
             .find(|&i| cost_only.assignment[i] != fast.assignment[i])
@@ -169,6 +179,31 @@ pub fn check_policy(instance: &Instance, kind: &PolicyKind) -> Result<(), Diverg
                 fast.max_concurrent_bins()
             ),
         ));
+    }
+
+    let mut recorder = dvbp_obs::Recorder::new();
+    let observed = PackRequest::new(kind.clone())
+        .observer(&mut recorder)
+        .run(instance)
+        .unwrap();
+    if observed != fast {
+        return Err(Divergence::new(
+            kind,
+            "observer replay: attaching an observer changed the packing".to_string(),
+        ));
+    }
+    match dvbp_analysis::obs_ingest::replay_packing(&recorder.events) {
+        Ok(replayed) => {
+            if let Some(diff) = first_difference(&replayed, &fast) {
+                return Err(Divergence::new(kind, format!("observer replay: {diff}")));
+            }
+        }
+        Err(e) => {
+            return Err(Divergence::new(
+                kind,
+                format!("observer replay: stream does not replay: {e}"),
+            ));
+        }
     }
 
     let span = lb_span(instance);

@@ -5,7 +5,7 @@
 //! `IndexedFirstFit`. This crate checks that none of that machinery ever
 //! changes an answer:
 //!
-//! * [`reference`] — a slow simulator that recomputes feasibility, loads,
+//! * [`mod@reference`] — a slow simulator that recomputes feasibility, loads,
 //!   and openness from scratch at every event and re-implements each
 //!   policy's selection rule from its paper definition;
 //! * [`diff`] — the differential runner: engine vs. reference must agree

@@ -3,7 +3,7 @@
 //! `cargo run -p dvbp-conformance -- --seeds 200` (also run in CI).
 
 use dvbp_conformance::{diff, fuzz, reference};
-use dvbp_core::{Instance, Item, PolicyKind};
+use dvbp_core::{Instance, Item, PackRequest, PolicyKind};
 use dvbp_dimvec::DimVec;
 use dvbp_workloads::predictions::{announce_exact, announce_noisy};
 use dvbp_workloads::uniform::UniformParams;
@@ -89,7 +89,9 @@ fn reference_equals_engine_on_mtf_churn() {
         })
         .collect();
     let inst = Instance::new(DimVec::scalar(10), items).unwrap();
-    let fast = dvbp_core::pack_with(&inst, &PolicyKind::MoveToFront);
+    let fast = PackRequest::new(PolicyKind::MoveToFront)
+        .run(&inst)
+        .unwrap();
     let slow = reference::simulate(&inst, &PolicyKind::MoveToFront);
     assert_eq!(fast, slow);
 }

@@ -79,8 +79,9 @@ impl Default for BillingModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::pack;
     use crate::policy::first_fit::FirstFit;
-    use crate::{pack, Instance, Item};
+    use crate::{Instance, Item};
     use dvbp_dimvec::DimVec;
 
     fn packing_with_usages(usages: &[u64]) -> Packing {

@@ -31,10 +31,13 @@ use crate::bin::{BinId, BinUsage};
 use crate::fit_index::FitIndex;
 use crate::item::{Instance, Item};
 use crate::policy::{Decision, Policy};
+use crate::request::PackError;
 use dvbp_dimvec::DimVec;
+use dvbp_obs::{NoopObserver, Observer};
 use dvbp_sim::timeline::{Event, OnlineTimeline};
 use dvbp_sim::{sweep, Cost, Interval, Time};
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 
 /// Sentinel for "no item" in the flat per-bin item chains.
 const NO_ITEM: usize = usize::MAX;
@@ -87,6 +90,9 @@ pub struct EngineView<'a> {
     /// `None` when the policy declined index maintenance for this arrival
     /// (see [`Policy::wants_index`](crate::Policy::wants_index)).
     index: Option<&'a FitIndex>,
+    /// Candidate bins the policy reported examining (see
+    /// [`EngineView::note_scanned`]).
+    scanned: Cell<u64>,
     now: Time,
 }
 
@@ -157,6 +163,19 @@ impl EngineView<'_> {
     pub fn fits(&self, bin: BinId, size: &DimVec) -> bool {
         let load = self.load(bin);
         (0..self.dims).all(|j| size[j] <= self.capacity[j] - load[j])
+    }
+
+    /// Reports that the policy examined `n` candidate bins while
+    /// choosing; the engine forwards the total to the observer's
+    /// [`on_place`](dvbp_obs::Observer::on_place) hook as the placement's
+    /// scan length.
+    ///
+    /// One `Cell` store per call — policies call it once per decision
+    /// with the final count, so the uninstrumented hot path is
+    /// unaffected. Calls accumulate within one arrival and reset on the
+    /// next.
+    pub fn note_scanned(&self, n: u64) {
+        self.scanned.set(self.scanned.get() + n);
     }
 }
 
@@ -400,20 +419,61 @@ impl Engine {
     /// Runs `policy` over `instance` and returns the resulting packing.
     ///
     /// The policy is `reset()` first, so a policy value can be reused
-    /// across runs.
+    /// across runs. This is the uninstrumented wrapper over
+    /// [`Engine::run`]; prefer the [`PackRequest`](crate::PackRequest)
+    /// builder at the application level.
     ///
     /// # Panics
     ///
     /// Panics if the policy names a bin that is closed or cannot hold the
     /// item (a policy implementation bug), or if the instance fails
-    /// validation.
+    /// validation ([`Engine::run`] surfaces the latter as a typed
+    /// [`PackError`] instead).
     pub fn pack(
         &mut self,
         instance: &Instance,
         policy: &mut dyn Policy,
         mode: TraceMode,
     ) -> Packing {
-        instance.validate().expect("invalid instance");
+        self.run(instance, policy, mode, &mut NoopObserver)
+            .unwrap_or_else(|e| panic!("invalid instance: {e}"))
+    }
+
+    /// Runs `policy` over `instance`, firing `observer`'s hooks at every
+    /// engine event, and returns the resulting packing.
+    ///
+    /// The observer is a **static-dispatch** generic: with the default
+    /// [`NoopObserver`] every hook is an empty inline body and the loop
+    /// monomorphizes to exactly the uninstrumented code — zero branches,
+    /// zero allocations per arrival (the counting-allocator test and the
+    /// CI bench-smoke gate hold it to that).
+    ///
+    /// The policy is `reset()` first, so a policy value can be reused
+    /// across runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PackError`] when the instance is malformed: an item
+    /// larger than the bin capacity, dimension mismatch, zero size, or a
+    /// non-positive active interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy names a bin that is closed or cannot hold the
+    /// item — a policy implementation bug, not an input error.
+    pub fn run<O: Observer>(
+        &mut self,
+        instance: &Instance,
+        policy: &mut dyn Policy,
+        mode: TraceMode,
+        observer: &mut O,
+    ) -> Result<Packing, PackError> {
+        for (idx, item) in instance.items.iter().enumerate() {
+            if item.departure <= item.arrival {
+                return Err(PackError::NonMonotoneTime { item: idx });
+            }
+        }
+        instance.validate()?;
         policy.reset();
         self.reset(instance);
 
@@ -426,12 +486,20 @@ impl Engine {
         };
         let d = self.dims;
         let capacity = &instance.capacity;
+        observer.on_run_start(dvbp_obs::RunStart {
+            capacity: capacity.as_slice(),
+            items: instance.len(),
+        });
+        let mut last_time: Time = 0;
 
         for ev in timeline.events() {
             match *ev {
                 Event::Departure { time, item } => {
+                    last_time = time;
                     let bin = self.assignment[item];
-                    debug_assert_ne!(bin.0, usize::MAX, "departure before arrival");
+                    if bin.0 == usize::MAX {
+                        return Err(PackError::UnknownDeparture { item });
+                    }
                     let size = &instance.items[item].size;
                     let base = bin.0 * d;
                     for j in 0..d {
@@ -445,6 +513,11 @@ impl Engine {
                         self.index.unpack(bin.0, size.as_slice());
                     }
                     policy.on_departure(&instance.items[item], item, bin);
+                    observer.on_depart(dvbp_obs::Depart {
+                        time,
+                        item,
+                        bin: bin.0,
+                    });
                     if closing {
                         self.closed[bin.0] = time;
                         let idx = self
@@ -456,13 +529,20 @@ impl Engine {
                             self.index.close(bin.0);
                         }
                         policy.on_close(bin);
+                        observer.on_bin_close(time, bin.0);
                         if full {
                             trace.push(TraceEvent::Closed { time, bin });
                         }
                     }
                 }
                 Event::Arrival { time, item } => {
+                    last_time = time;
                     let item_ref: &Item = &instance.items[item];
+                    observer.on_arrival(dvbp_obs::Arrival {
+                        time,
+                        item,
+                        size: item_ref.size.as_slice(),
+                    });
                     if !self.index_live && policy.wants_index(self.open.len()) {
                         // First arrival that queries the index: build it
                         // from the load arena, then keep it current.
@@ -479,7 +559,7 @@ impl Engine {
                         });
                         self.index_live = true;
                     }
-                    let decision = {
+                    let (decision, scanned) = {
                         let view = EngineView {
                             capacity,
                             dims: d,
@@ -488,9 +568,11 @@ impl Engine {
                             opened: &self.opened,
                             open: &self.open,
                             index: self.index_live.then_some(&self.index),
+                            scanned: Cell::new(0),
                             now: time,
                         };
-                        policy.choose(&view, item_ref, item)
+                        let decision = policy.choose(&view, item_ref, item);
+                        (decision, view.scanned.get())
                     };
                     let (bin, opened_new) = match decision {
                         Decision::Existing(bin) => {
@@ -529,6 +611,7 @@ impl Engine {
                                 }
                                 self.index.open(bin.0, &self.scratch);
                             }
+                            observer.on_bin_open(time, bin.0);
                             (bin, true)
                         }
                     };
@@ -557,9 +640,21 @@ impl Engine {
                     }
                     self.assignment[item] = bin;
                     policy.after_pack(item_ref, item, bin, opened_new);
+                    observer.on_place(dvbp_obs::Place {
+                        time,
+                        item,
+                        bin: bin.0,
+                        opened_new,
+                        scanned,
+                    });
                 }
             }
         }
+        observer.on_run_end(dvbp_obs::RunEnd {
+            time: last_time,
+            items: instance.len(),
+            bins: self.active.len(),
+        });
 
         debug_assert!(
             self.assignment.iter().all(|b| b.0 != usize::MAX),
@@ -586,11 +681,11 @@ impl Engine {
                 items,
             });
         }
-        Packing {
+        Ok(Packing {
             assignment: self.assignment.clone(),
             bins,
             trace,
-        }
+        })
     }
 }
 
@@ -604,6 +699,10 @@ impl Engine {
 ///
 /// Panics if the policy names a bin that is closed or cannot hold the item
 /// (a policy implementation bug), or if the instance fails validation.
+///
+/// Exposed at the crate root as the `#[deprecated]` shim
+/// [`pack`](crate::pack); new code goes through
+/// [`PackRequest`](crate::PackRequest).
 pub fn pack(instance: &Instance, policy: &mut dyn Policy) -> Packing {
     Engine::new().pack(instance, policy, TraceMode::Full)
 }

@@ -15,7 +15,7 @@
 //! # Quick start
 //!
 //! ```
-//! use dvbp_core::{pack_with, Instance, Item, PolicyKind};
+//! use dvbp_core::{Instance, Item, PackRequest, PolicyKind};
 //! use dvbp_dimvec::DimVec;
 //!
 //! // Two-dimensional bins (say CPU and memory), capacity 100 each.
@@ -29,15 +29,19 @@
 //! )
 //! .unwrap();
 //!
-//! let packing = pack_with(&instance, &PolicyKind::MoveToFront);
+//! let packing = PackRequest::new(PolicyKind::MoveToFront)
+//!     .run(&instance)
+//!     .unwrap();
 //! packing.verify(&instance).unwrap();
 //! assert_eq!(packing.num_bins(), 2);
 //! println!("usage-time cost: {}", packing.cost());
 //! ```
 //!
-//! The seven algorithms of the paper's experimental study are available
-//! through [`PolicyKind::paper_suite`]; custom policies implement
-//! [`Policy`].
+//! Every run goes through [`PackRequest`], which also selects the
+//! [`TraceMode`] and attaches [`Observer`]s (metrics, histograms, JSONL
+//! event logs — see `dvbp-obs`). The seven algorithms of the paper's
+//! experimental study are available through [`PolicyKind::paper_suite`];
+//! custom policies implement [`Policy`].
 
 pub mod billing;
 mod bin;
@@ -45,26 +49,48 @@ mod engine;
 mod fit_index;
 mod item;
 pub mod policy;
+mod request;
 
 pub use billing::BillingModel;
 pub use bin::{BinId, BinUsage};
-pub use engine::{pack, Engine, EngineView, Packing, TraceEvent, TraceMode};
+pub use dvbp_obs::{NoopObserver, Observer};
+pub use engine::{Engine, EngineView, Packing, TraceEvent, TraceMode};
 pub use fit_index::FitIndex;
 pub use item::{Instance, InstanceError, Item};
 pub use policy::{Decision, LoadMeasure, Policy, PolicyKind};
+pub use request::{PackError, PackRequest};
+
+/// Packs `instance` with the given policy on a fresh engine.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `PackRequest::with_policy(policy).run(..)`"
+)]
+#[must_use]
+pub fn pack(instance: &Instance, policy: &mut dyn Policy) -> Packing {
+    engine::pack(instance, policy)
+}
 
 /// Packs `instance` with a fresh policy built from `kind`.
+#[deprecated(since = "0.2.0", note = "use `PackRequest::new(kind).run(..)`")]
 #[must_use]
 pub fn pack_with(instance: &Instance, kind: &PolicyKind) -> Packing {
-    pack_with_mode(instance, kind, TraceMode::Full)
+    PackRequest::new(kind.clone())
+        .run(instance)
+        .unwrap_or_else(|e| panic!("invalid instance: {e}"))
 }
 
 /// Packs `instance` with a fresh policy built from `kind` under the given
 /// [`TraceMode`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `PackRequest::new(kind).trace_mode(mode).run(..)`"
+)]
 #[must_use]
 pub fn pack_with_mode(instance: &Instance, kind: &PolicyKind, mode: TraceMode) -> Packing {
-    let mut policy = kind.build();
-    Engine::new().pack(instance, policy.as_mut(), mode)
+    PackRequest::new(kind.clone())
+        .trace_mode(mode)
+        .run(instance)
+        .unwrap_or_else(|e| panic!("invalid instance: {e}"))
 }
 
 /// Computes only the usage-time cost of packing `instance` with `kind`.
@@ -73,9 +99,12 @@ pub fn pack_with_mode(instance: &Instance, kind: &PolicyKind, mode: TraceMode) -
 /// item lists are recorded, so the hot loop stays allocation-free.
 /// Placement decisions — and therefore the cost — are identical to a
 /// [`TraceMode::Full`] run.
+#[deprecated(since = "0.2.0", note = "use `PackRequest::new(kind).cost(..)`")]
 #[must_use]
 pub fn pack_cost(instance: &Instance, kind: &PolicyKind) -> dvbp_sim::Cost {
-    pack_with_mode(instance, kind, TraceMode::CostOnly).cost()
+    PackRequest::new(kind.clone())
+        .cost(instance)
+        .unwrap_or_else(|e| panic!("invalid instance: {e}"))
 }
 
 #[cfg(test)]
@@ -85,6 +114,11 @@ mod proptests;
 mod cross_policy_tests {
     use super::*;
     use dvbp_dimvec::DimVec;
+
+    // Shadows the deprecated crate-root shim for these tests.
+    fn pack_with(instance: &Instance, kind: &PolicyKind) -> Packing {
+        PackRequest::new(kind.clone()).run(instance).unwrap()
+    }
 
     fn item(size: &[u64], a: u64, e: u64) -> Item {
         Item::new(DimVec::from_slice(size), a, e)

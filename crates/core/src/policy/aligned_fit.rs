@@ -52,6 +52,7 @@ impl Policy for AlignedFit {
 
     fn choose(&mut self, view: &EngineView<'_>, item: &Item, _item_idx: usize) -> Decision {
         let target = Self::announced_departure(item);
+        view.note_scanned(view.open_bins().len() as u64);
         let mut best: Option<(BinId, u64)> = None;
         for &b in view.open_bins() {
             if !view.fits(b, &item.size) {

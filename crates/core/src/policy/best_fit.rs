@@ -39,7 +39,7 @@ pub struct BestFit {
 impl BestFit {
     /// Creates a Best Fit policy using `measure` to rank bins, with the
     /// indexed candidate enumeration (hybrid: scans below
-    /// [`SCAN_THRESHOLD`] open bins).
+    /// `SCAN_THRESHOLD` open bins).
     #[must_use]
     pub fn new(measure: LoadMeasure) -> Self {
         BestFit {
@@ -102,16 +102,20 @@ impl Policy for BestFit {
             });
         };
         if self.scan || view.open_bins().len() < self.threshold {
+            view.note_scanned(view.open_bins().len() as u64);
             for &b in view.open_bins() {
                 if view.fits(b, &item.size) {
                     consider(b, measure.key(view.load(b), cap));
                 }
             }
         } else {
+            let mut feasible = 0u64;
             view.index()
                 .for_each_feasible(item.size.as_slice(), |b, res| {
+                    feasible += 1;
                     consider(BinId(b), measure.key_from_residual(res, cap));
                 });
+            view.note_scanned(feasible);
         }
         best.map_or(Decision::OpenNew, |(b, _)| Decision::Existing(b))
     }

@@ -60,10 +60,20 @@ impl Policy for DurationClassFirstFit {
 
     fn choose(&mut self, view: &EngineView<'_>, item: &Item, _item_idx: usize) -> Decision {
         let class = Self::item_class(item);
-        view.open_bins()
+        match view
+            .open_bins()
             .iter()
-            .find(|&&b| self.class_of[b.0] == class && view.fits(b, &item.size))
-            .map_or(Decision::OpenNew, |&b| Decision::Existing(b))
+            .position(|&b| self.class_of[b.0] == class && view.fits(b, &item.size))
+        {
+            Some(pos) => {
+                view.note_scanned(pos as u64 + 1);
+                Decision::Existing(view.open_bins()[pos])
+            }
+            None => {
+                view.note_scanned(view.open_bins().len() as u64);
+                Decision::OpenNew
+            }
+        }
     }
 
     fn wants_index(&self, _open_bins: usize) -> bool {

@@ -31,7 +31,7 @@ impl Default for LastFit {
 
 impl LastFit {
     /// Creates a Last Fit policy using the indexed O(log m) query path
-    /// (hybrid: scans below [`SCAN_THRESHOLD`] open bins).
+    /// (hybrid: scans below `SCAN_THRESHOLD` open bins).
     #[must_use]
     pub fn new() -> Self {
         LastFit {
@@ -69,15 +69,26 @@ impl Policy for LastFit {
 
     fn choose(&mut self, view: &EngineView<'_>, item: &Item, _item_idx: usize) -> Decision {
         if self.scan || view.open_bins().len() < self.threshold {
-            return view
+            return match view
                 .open_bins()
                 .iter()
                 .rev()
-                .find(|&&b| view.fits(b, &item.size))
-                .map_or(Decision::OpenNew, |&b| Decision::Existing(b));
+                .position(|&b| view.fits(b, &item.size))
+            {
+                Some(pos) => {
+                    view.note_scanned(pos as u64 + 1);
+                    let idx = view.open_bins().len() - 1 - pos;
+                    Decision::Existing(view.open_bins()[idx])
+                }
+                None => {
+                    view.note_scanned(view.open_bins().len() as u64);
+                    Decision::OpenNew
+                }
+            };
         }
         match view.index().last_fit(item.size.as_slice()) {
             Some(b) => {
+                view.note_scanned(1);
                 let bin = BinId(b);
                 debug_assert!(view.fits(bin, &item.size));
                 Decision::Existing(bin)

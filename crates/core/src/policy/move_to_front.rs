@@ -50,10 +50,16 @@ impl Policy for MoveToFront {
 
     fn choose(&mut self, view: &EngineView<'_>, item: &Item, _item_idx: usize) -> Decision {
         debug_assert_eq!(self.order.len(), view.open_bins().len());
-        self.order
-            .iter()
-            .find(|&&b| view.fits(b, &item.size))
-            .map_or(Decision::OpenNew, |&b| Decision::Existing(b))
+        match self.order.iter().position(|&b| view.fits(b, &item.size)) {
+            Some(pos) => {
+                view.note_scanned(pos as u64 + 1);
+                Decision::Existing(self.order[pos])
+            }
+            None => {
+                view.note_scanned(self.order.len() as u64);
+                Decision::OpenNew
+            }
+        }
     }
 
     fn wants_index(&self, _open_bins: usize) -> bool {

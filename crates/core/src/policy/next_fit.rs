@@ -42,10 +42,17 @@ impl Policy for NextFit {
 
     fn choose(&mut self, view: &EngineView<'_>, item: &Item, _item_idx: usize) -> Decision {
         match self.current {
-            Some(b) if view.fits(b, &item.size) => Decision::Existing(b),
+            Some(b) if view.fits(b, &item.size) => {
+                view.note_scanned(1);
+                Decision::Existing(b)
+            }
             // Either no current bin, or the item does not fit: release the
             // current bin (it simply stops being current) and open a new one.
-            _ => Decision::OpenNew,
+            Some(_) => {
+                view.note_scanned(1);
+                Decision::OpenNew
+            }
+            None => Decision::OpenNew,
         }
     }
 

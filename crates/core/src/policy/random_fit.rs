@@ -26,7 +26,7 @@ pub struct RandomFit {
 
 impl RandomFit {
     /// Creates a Random Fit policy with a private RNG seeded by `seed`
-    /// (hybrid: scans below [`SCAN_THRESHOLD`] open bins).
+    /// (hybrid: scans below `SCAN_THRESHOLD` open bins).
     #[must_use]
     pub fn new(seed: u64) -> Self {
         Self::with_scan_threshold(seed, SCAN_THRESHOLD)
@@ -58,6 +58,7 @@ impl Policy for RandomFit {
         // independent of which path ran.
         let candidates = &mut self.candidates;
         if view.open_bins().len() < self.threshold {
+            view.note_scanned(view.open_bins().len() as u64);
             for &b in view.open_bins() {
                 if view.fits(b, &item.size) {
                     candidates.push(b);
@@ -66,6 +67,7 @@ impl Policy for RandomFit {
         } else {
             view.index()
                 .for_each_feasible(item.size.as_slice(), |b, _res| candidates.push(BinId(b)));
+            view.note_scanned(candidates.len() as u64);
         }
         match self.candidates.len() {
             0 => Decision::OpenNew,

@@ -1,11 +1,24 @@
 //! Property tests over randomly generated instances for every policy.
 
+use crate::engine::pack;
 use crate::policy::{
     best_fit::BestFit, first_fit::FirstFit, last_fit::LastFit, worst_fit::WorstFit,
 };
-use crate::{pack, pack_with, pack_with_mode, Instance, Item, LoadMeasure, PolicyKind, TraceMode};
+use crate::{Instance, Item, LoadMeasure, PackRequest, Packing, PolicyKind, TraceMode};
 use dvbp_dimvec::DimVec;
 use proptest::prelude::*;
+
+// Non-deprecated stand-ins for the legacy crate-root shims.
+fn pack_with(instance: &Instance, kind: &PolicyKind) -> Packing {
+    PackRequest::new(kind.clone()).run(instance).unwrap()
+}
+
+fn pack_with_mode(instance: &Instance, kind: &PolicyKind, mode: TraceMode) -> Packing {
+    PackRequest::new(kind.clone())
+        .trace_mode(mode)
+        .run(instance)
+        .unwrap()
+}
 
 /// Strategy: a random valid instance with `d ∈ [1,4]`, up to 40 items,
 /// sizes in `[1, cap]`, arrivals in `[0, 50]`, durations in `[1, 20]`.

@@ -8,7 +8,7 @@
 //! of the tiny configuration space is visited (36³ ≈ 47k instances × 8
 //! policies).
 
-use dvbp_core::{pack_with, Instance, Item, LoadMeasure, PolicyKind};
+use dvbp_core::{Instance, Item, LoadMeasure, PackRequest, PolicyKind};
 use dvbp_dimvec::DimVec;
 
 const SIZES: [u64; 4] = [3, 5, 7, 10];
@@ -71,7 +71,7 @@ fn all_three_item_instances() {
 fn check(inst: &Instance, kinds: &[PolicyKind]) {
     let span = inst.span();
     for kind in kinds {
-        let p = pack_with(inst, kind);
+        let p = PackRequest::new(kind.clone()).run(inst).unwrap();
         p.verify(inst)
             .unwrap_or_else(|e| panic!("{} on {:?}: {e}", kind.name(), inst.items));
         if kind.is_full_candidate_any_fit() {

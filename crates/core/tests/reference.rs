@@ -7,7 +7,7 @@
 //! deliberately boring code whose correctness is checkable by eye. Any
 //! divergence from the engine implicates one of the two; none is allowed.
 
-use dvbp_core::{pack_with, Instance, Item, LoadMeasure, PolicyKind};
+use dvbp_core::{Instance, Item, LoadMeasure, PackRequest, PolicyKind};
 use dvbp_dimvec::DimVec;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -111,7 +111,7 @@ fn first_fit_matches_reference() {
         let reference = reference_pack(&inst, |bins, open, size| {
             open.iter().copied().find(|&b| fits(&bins[b], size, &cap))
         });
-        let engine = pack_with(&inst, &PolicyKind::FirstFit);
+        let engine = PackRequest::new(PolicyKind::FirstFit).run(&inst).unwrap();
         let engine_assign: Vec<usize> = engine.assignment.iter().map(|b| b.0).collect();
         assert_eq!(engine_assign, reference, "seed {seed}");
     }
@@ -133,7 +133,7 @@ fn next_fit_matches_reference() {
             last_packed_bin = Some(choice.unwrap_or(bins.len()));
             choice
         });
-        let engine = pack_with(&inst, &PolicyKind::NextFit);
+        let engine = PackRequest::new(PolicyKind::NextFit).run(&inst).unwrap();
         let engine_assign: Vec<usize> = engine.assignment.iter().map(|b| b.0).collect();
         assert_eq!(engine_assign, reference, "seed {seed}");
     }
@@ -154,7 +154,9 @@ fn move_to_front_matches_reference() {
             mru.insert(0, receiving);
             choice
         });
-        let engine = pack_with(&inst, &PolicyKind::MoveToFront);
+        let engine = PackRequest::new(PolicyKind::MoveToFront)
+            .run(&inst)
+            .unwrap();
         let engine_assign: Vec<usize> = engine.assignment.iter().map(|b| b.0).collect();
         assert_eq!(engine_assign, reference, "seed {seed}");
     }
@@ -182,7 +184,9 @@ fn best_fit_linf_matches_reference() {
             }
             best
         });
-        let engine = pack_with(&inst, &PolicyKind::BestFit(LoadMeasure::Linf));
+        let engine = PackRequest::new(PolicyKind::BestFit(LoadMeasure::Linf))
+            .run(&inst)
+            .unwrap();
         let engine_assign: Vec<usize> = engine.assignment.iter().map(|b| b.0).collect();
         assert_eq!(engine_assign, reference, "seed {seed}");
     }
@@ -199,7 +203,7 @@ fn last_fit_matches_reference() {
                 .copied()
                 .find(|&b| fits(&bins[b], size, &cap))
         });
-        let engine = pack_with(&inst, &PolicyKind::LastFit);
+        let engine = PackRequest::new(PolicyKind::LastFit).run(&inst).unwrap();
         let engine_assign: Vec<usize> = engine.assignment.iter().map(|b| b.0).collect();
         assert_eq!(engine_assign, reference, "seed {seed}");
     }

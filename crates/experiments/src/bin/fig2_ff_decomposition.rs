@@ -9,7 +9,7 @@
 //! ```
 
 use dvbp_analysis::decomposition::first_fit::FirstFitDecomposition;
-use dvbp_core::{pack_with, Instance, Item, PolicyKind};
+use dvbp_core::{Instance, Item, PackRequest, PolicyKind};
 use dvbp_dimvec::DimVec;
 use dvbp_experiments::cli::Args;
 use rand::rngs::StdRng;
@@ -30,7 +30,9 @@ fn main() {
         })
         .collect();
     let instance = Instance::new(DimVec::scalar(10), items).expect("valid");
-    let packing = pack_with(&instance, &PolicyKind::FirstFit);
+    let packing = PackRequest::new(PolicyKind::FirstFit)
+        .run(&instance)
+        .unwrap();
     let decomp = FirstFitDecomposition::from_packing(&instance, &packing);
     decomp
         .verify(&instance, &packing)

@@ -9,7 +9,7 @@
 //! ```
 
 use dvbp_analysis::report::TextTable;
-use dvbp_core::{pack_with, PolicyKind, TraceEvent};
+use dvbp_core::{PackRequest, PolicyKind, TraceEvent};
 use dvbp_dimvec::DimVec;
 use dvbp_experiments::cli::Args;
 use dvbp_offline::witness::assignment_cost;
@@ -33,7 +33,7 @@ fn main() {
     let fam = AnyFitLb { k, d, mu, m };
     let inst = fam.instance();
     let cap = fam.capacity();
-    let packing = pack_with(&inst, &kind);
+    let packing = PackRequest::new(kind.clone()).run(&inst).unwrap();
     packing.verify(&inst).expect("valid packing");
 
     println!(

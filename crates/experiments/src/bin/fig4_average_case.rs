@@ -4,15 +4,22 @@
 //!
 //! ```text
 //! cargo run --release -p dvbp-experiments --bin fig4_average_case
-//!     [--trials 1000] [--quick] [--json PATH] [--print-params]
+//!     [--trials 1000] [--quick] [--json PATH] [--metrics PATH.jsonl]
+//!     [--print-params]
 //! ```
 //!
 //! `--quick` runs a reduced grid for smoke testing. The full paper grid
 //! (18 points × 1000 trials × 7 algorithms) takes a few minutes.
+//! `--metrics` additionally re-runs trial 0 of every grid point with the
+//! observer stack attached and streams the labeled engine event feed as
+//! JSONL (ingestable by `dvbp_analysis::obs_ingest`).
 
 use dvbp_analysis::report::{mean_pm_std, TextTable};
+use dvbp_core::PolicyKind;
 use dvbp_experiments::cli::Args;
-use dvbp_experiments::fig4::{run, Fig4Config};
+use dvbp_experiments::fig4::{run, trial_seed, Fig4Config};
+use dvbp_experiments::obs_emit::{emit_metrics_jsonl, MetricsRun};
+use dvbp_workloads::UniformParams;
 use std::path::Path;
 
 fn main() {
@@ -74,5 +81,38 @@ fn main() {
     if let Some(path) = args.get_str("json") {
         dvbp_experiments::write_json(Path::new(path), &cells).expect("write json");
         eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = args.get_str("metrics") {
+        // Trial 0 of every grid point, regenerated with the same seed
+        // derivation the sweep used, observed through the full stack.
+        let mut instances = Vec::new();
+        for &d in &cfg.dims {
+            for &mu in &cfg.mus {
+                let seed = trial_seed(cfg.base_seed, d, mu, 0);
+                let params = UniformParams {
+                    dims: d,
+                    items: cfg.items,
+                    mu,
+                    span: cfg.span,
+                    bin_size: cfg.bin_size,
+                };
+                instances.push((d, mu, seed, params.generate(seed)));
+            }
+        }
+        let mut runs = Vec::new();
+        for (d, mu, seed, inst) in &instances {
+            for kind in PolicyKind::paper_suite(seed ^ 0xD1CE) {
+                runs.push(MetricsRun {
+                    kind,
+                    d: *d,
+                    mu: *mu,
+                    seed: *seed,
+                    instance: inst,
+                });
+            }
+        }
+        let lines = emit_metrics_jsonl(Path::new(path), &runs).expect("write metrics jsonl");
+        eprintln!("wrote {path} ({lines} events, {} runs)", runs.len());
     }
 }

@@ -10,7 +10,7 @@
 
 use dvbp_analysis::report::{mean_pm_std, TextTable};
 use dvbp_analysis::stats::{Accumulator, Summary};
-use dvbp_core::{pack_cost, LoadMeasure, PolicyKind};
+use dvbp_core::{LoadMeasure, PackRequest, PolicyKind};
 use dvbp_experiments::cli::Args;
 use dvbp_experiments::fig4::trial_seed;
 use dvbp_offline::lb_load;
@@ -47,7 +47,14 @@ fn main() {
                 let lb = lb_load(&inst);
                 measures
                     .iter()
-                    .map(|&m| dvbp_analysis::ratio(pack_cost(&inst, &PolicyKind::BestFit(m)), lb))
+                    .map(|&m| {
+                        dvbp_analysis::ratio(
+                            PackRequest::new(PolicyKind::BestFit(m))
+                                .cost(&inst)
+                                .unwrap(),
+                            lb,
+                        )
+                    })
                     .collect::<Vec<f64>>()
             });
             for (mi, &m) in measures.iter().enumerate() {

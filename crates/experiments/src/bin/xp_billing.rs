@@ -12,7 +12,7 @@
 
 use dvbp_analysis::report::{mean_pm_std, TextTable};
 use dvbp_analysis::stats::{Accumulator, Summary};
-use dvbp_core::{billing::BillingModel, pack_with, PolicyKind};
+use dvbp_core::{billing::BillingModel, PackRequest, PolicyKind};
 use dvbp_experiments::cli::Args;
 use dvbp_experiments::fig4::trial_seed;
 use dvbp_offline::lb_load;
@@ -42,7 +42,7 @@ fn main() {
         let lb = lb_load(&inst) as f64;
         let mut out = Vec::with_capacity(suite.len() * granularities.len());
         for kind in PolicyKind::paper_suite(seed ^ 0xD1CE) {
-            let packing = pack_with(&inst, &kind);
+            let packing = PackRequest::new(kind.clone()).run(&inst).unwrap();
             for &g in &granularities {
                 out.push(BillingModel::rounded(g).cost(&packing) as f64 / lb);
             }

@@ -12,7 +12,7 @@
 
 use dvbp_analysis::report::{mean_pm_std, TextTable};
 use dvbp_analysis::stats::{Accumulator, Summary};
-use dvbp_core::{pack_cost, PolicyKind};
+use dvbp_core::{PackRequest, PolicyKind};
 use dvbp_experiments::cli::Args;
 use dvbp_experiments::fig4::trial_seed;
 use dvbp_offline::lb_load;
@@ -51,7 +51,9 @@ fn main() {
                 let lb = lb_load(&inst);
                 kinds
                     .iter()
-                    .map(|k| dvbp_analysis::ratio(pack_cost(&inst, k), lb))
+                    .map(|k| {
+                        dvbp_analysis::ratio(PackRequest::new(k.clone()).cost(&inst).unwrap(), lb)
+                    })
                     .collect::<Vec<f64>>()
             });
             for (ki, kind) in kinds.iter().enumerate() {

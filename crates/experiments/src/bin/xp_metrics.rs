@@ -8,13 +8,16 @@
 //!
 //! ```text
 //! cargo run --release -p dvbp-experiments --bin xp_metrics
-//!     [--trials 200] [--json PATH]
+//!     [--trials 200] [--json PATH] [--metrics PATH.jsonl]
 //! ```
+//!
+//! `--metrics` streams trial 0's labeled engine event feed per algorithm
+//! as JSONL (ingestable by `dvbp_analysis::obs_ingest`).
 
 use dvbp_analysis::metrics::packing_metrics;
 use dvbp_analysis::report::TextTable;
 use dvbp_analysis::stats::{Accumulator, Summary};
-use dvbp_core::{pack_with, PolicyKind};
+use dvbp_core::{PackRequest, PolicyKind};
 use dvbp_experiments::cli::Args;
 use dvbp_experiments::fig4::trial_seed;
 use dvbp_offline::lb_load;
@@ -45,7 +48,7 @@ fn main() {
         PolicyKind::paper_suite(seed ^ 0xD1CE)
             .iter()
             .map(|kind| {
-                let p = pack_with(&inst, kind);
+                let p = PackRequest::new(kind.clone()).run(&inst).unwrap();
                 let m = packing_metrics(&inst, &p);
                 (
                     m.cost as f64 / lb,
@@ -100,5 +103,23 @@ fn main() {
     if let Some(path) = args.get_str("json") {
         dvbp_experiments::write_json(Path::new(path), &rows).expect("write json");
         eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = args.get_str("metrics") {
+        use dvbp_experiments::obs_emit::{emit_metrics_jsonl, MetricsRun};
+        let seed = trial_seed(0x3E71, 2, 100, 0);
+        let inst = params.generate(seed);
+        let runs: Vec<MetricsRun<'_>> = PolicyKind::paper_suite(seed ^ 0xD1CE)
+            .into_iter()
+            .map(|kind| MetricsRun {
+                kind,
+                d: 2,
+                mu: 100,
+                seed,
+                instance: &inst,
+            })
+            .collect();
+        let lines = emit_metrics_jsonl(Path::new(path), &runs).expect("write metrics jsonl");
+        eprintln!("wrote {path} ({lines} events, {} runs)", runs.len());
     }
 }

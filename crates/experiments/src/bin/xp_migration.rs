@@ -14,7 +14,7 @@
 
 use dvbp_analysis::report::{mean_pm_std, TextTable};
 use dvbp_analysis::stats::{Accumulator, Summary};
-use dvbp_core::{pack_cost, PolicyKind};
+use dvbp_core::{PackRequest, PolicyKind};
 use dvbp_experiments::cli::Args;
 use dvbp_experiments::fig4::trial_seed;
 use dvbp_offline::opt_bounds;
@@ -56,7 +56,7 @@ fn main() {
                 let bounds = opt_bounds(&inst, 12);
                 let online = PolicyKind::paper_suite(seed)
                     .iter()
-                    .map(|k| pack_cost(&inst, k))
+                    .map(|k| PackRequest::new(k.clone()).cost(&inst).unwrap())
                     .min()
                     .expect("non-empty suite");
                 (

@@ -11,7 +11,7 @@
 
 use dvbp_analysis::report::{mean_pm_std, TextTable};
 use dvbp_analysis::stats::{Accumulator, Summary};
-use dvbp_core::{pack_cost, PolicyKind};
+use dvbp_core::{PackRequest, PolicyKind};
 use dvbp_experiments::cli::Args;
 use dvbp_experiments::fig4::trial_seed;
 use dvbp_offline::lb_load;
@@ -39,7 +39,12 @@ fn main() {
     let mtf_ratios = run_trials(trials, |t| {
         let seed = trial_seed(0x9ED1, 2, 100, t);
         let inst = params.generate(seed);
-        dvbp_analysis::ratio(pack_cost(&inst, &PolicyKind::MoveToFront), lb_load(&inst))
+        dvbp_analysis::ratio(
+            PackRequest::new(PolicyKind::MoveToFront)
+                .cost(&inst)
+                .unwrap(),
+            lb_load(&inst),
+        )
     });
     let mut mtf_acc = Accumulator::new();
     for r in &mtf_ratios {
@@ -52,7 +57,12 @@ fn main() {
             let inst = params.generate(seed);
             let lb = lb_load(&inst);
             let noisy = announce_noisy(&inst, err, seed ^ 0xFACE);
-            dvbp_analysis::ratio(pack_cost(&noisy, &PolicyKind::DurationClassFirstFit), lb)
+            dvbp_analysis::ratio(
+                PackRequest::new(PolicyKind::DurationClassFirstFit)
+                    .cost(&noisy)
+                    .unwrap(),
+                lb,
+            )
         });
         let mut acc = Accumulator::new();
         for r in &per_trial {

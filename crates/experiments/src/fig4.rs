@@ -10,7 +10,7 @@
 //! reproduce the paper's error-bar series.
 
 use dvbp_analysis::stats::{Accumulator, Summary};
-use dvbp_core::{pack_cost, PolicyKind};
+use dvbp_core::{PackRequest, PolicyKind};
 use dvbp_offline::lb_load;
 use dvbp_parallel::run_trials;
 use dvbp_workloads::UniformParams;
@@ -114,7 +114,9 @@ pub fn run_grid_point(cfg: &Fig4Config, d: usize, mu: u64) -> Vec<Cell> {
         // Random Fit's internal seed also varies per trial.
         PolicyKind::paper_suite(seed ^ 0xD1CE)
             .iter()
-            .map(|kind| dvbp_analysis::ratio(pack_cost(&instance, kind), lb))
+            .map(|kind| {
+                dvbp_analysis::ratio(PackRequest::new(kind.clone()).cost(&instance).unwrap(), lb)
+            })
             .collect::<Vec<f64>>()
     });
     let mut accs = vec![Accumulator::new(); n_algorithms];

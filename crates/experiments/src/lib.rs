@@ -19,6 +19,7 @@
 
 pub mod cli;
 pub mod fig4;
+pub mod obs_emit;
 pub mod table1;
 
 use serde::Serialize;

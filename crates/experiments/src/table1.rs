@@ -10,7 +10,7 @@
 //!   OPT, report the worst observed `cost/OPT` per algorithm next to the
 //!   theorem's formula value; no observation may exceed it.
 
-use dvbp_core::{pack_cost, Instance, Item, PolicyKind};
+use dvbp_core::{Instance, Item, PackRequest, PolicyKind};
 use dvbp_dimvec::DimVec;
 use dvbp_offline::{opt_exact, witness::assignment_cost};
 use dvbp_parallel::run_trials;
@@ -59,7 +59,7 @@ pub fn thm5_rows(dims: &[usize], mu: u64, scales: &[usize], m: u64) -> Vec<Lower
                 .into_iter()
                 .filter(PolicyKind::is_full_candidate_any_fit)
             {
-                let cost = pack_cost(&inst, &kind);
+                let cost = PackRequest::new(kind.clone()).cost(&inst).unwrap();
                 rows.push(LowerBoundRow {
                     family: "Thm5".into(),
                     algorithm: kind.name(),
@@ -89,7 +89,7 @@ pub fn thm6_rows(dims: &[usize], mu: u64, scales: &[usize]) -> Vec<LowerBoundRow
             let opt_upper = assignment_cost(&inst, &c.witness())
                 .expect("Thm 6 witness must be feasible")
                 .min(c.opt_upper());
-            let cost = pack_cost(&inst, &PolicyKind::NextFit);
+            let cost = PackRequest::new(PolicyKind::NextFit).cost(&inst).unwrap();
             rows.push(LowerBoundRow {
                 family: "Thm6".into(),
                 algorithm: "NextFit".into(),
@@ -118,7 +118,7 @@ pub fn thm8_rows(mu: u64, scales: &[usize]) -> Vec<LowerBoundRow> {
             .expect("Thm 8 witness must be feasible")
             .min(c.opt_upper());
         for kind in [PolicyKind::MoveToFront, PolicyKind::NextFit] {
-            let cost = pack_cost(&inst, &kind);
+            let cost = PackRequest::new(kind.clone()).cost(&inst).unwrap();
             rows.push(LowerBoundRow {
                 family: "Thm8".into(),
                 algorithm: kind.name(),
@@ -189,7 +189,7 @@ pub fn upper_bound_rows(dims: &[usize], trials: usize, seed: u64) -> Vec<UpperBo
             kinds
                 .iter()
                 .map(|kind| {
-                    let cost = pack_cost(&inst, kind);
+                    let cost = PackRequest::new(kind.clone()).cost(&inst).unwrap();
                     (cost as f64 / opt as f64, mu)
                 })
                 .collect::<Vec<(f64, f64)>>()

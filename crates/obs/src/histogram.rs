@@ -1,0 +1,249 @@
+//! [`HistogramObserver`]: log-bucketed distributions of placement effort
+//! and event spacing.
+//!
+//! Two quantities with heavy-tailed, run-length-independent
+//! distributions:
+//!
+//! * **placement scan length** — how many candidate bins the policy
+//!   examined per arrival (the empirical cost of bin selection; the
+//!   indexed policies exist to keep this small);
+//! * **inter-event gap** — ticks between consecutive engine events (the
+//!   tempo of the workload; billing-granularity experiments care about
+//!   it).
+//!
+//! Both land in a [`LogHistogram`]: power-of-two buckets, O(1) record,
+//! fixed 65-slot footprint regardless of magnitude.
+
+use crate::{Depart, Observer, Place, RunStart};
+use dvbp_sim::Time;
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets: one for zero plus one per power of two of `u64`.
+const BUCKETS: usize = 65;
+
+/// A log-bucketed histogram of `u64` values.
+///
+/// Value `v` lands in bucket 0 if `v == 0`, else in bucket
+/// `ilog2(v) + 1`; bucket `i ≥ 1` therefore covers `[2^(i-1), 2^i)`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Bucket index of `v`.
+    #[must_use]
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            v.ilog2() as usize + 1
+        }
+    }
+
+    /// Inclusive-exclusive value range `[lo, hi)` of bucket `i` (bucket 0
+    /// is the singleton `[0, 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ 65`.
+    #[must_use]
+    pub fn bucket_range(i: usize) -> (u64, u128) {
+        assert!(i < BUCKETS, "bucket {i} out of range");
+        if i == 0 {
+            (0, 1)
+        } else {
+            (1 << (i - 1), 1u128 << i)
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded value (0 for an empty histogram).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded values (0 for an empty histogram; saturating
+    /// in the sum, exact for any realistic run).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Per-bucket counts (65 slots; see [`LogHistogram::bucket_range`]).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Index of the highest non-empty bucket, if any value was recorded.
+    #[must_use]
+    pub fn last_bucket(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Observer collecting the scan-length and inter-event-gap histograms.
+#[derive(Clone, Debug, Default)]
+pub struct HistogramObserver {
+    /// Candidate bins examined per placement.
+    pub scan_lengths: LogHistogram,
+    /// Ticks between consecutive engine events.
+    pub event_gaps: LogHistogram,
+    last_time: Option<Time>,
+}
+
+impl HistogramObserver {
+    /// Creates an empty histogram observer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn gap(&mut self, time: Time) {
+        if let Some(last) = self.last_time {
+            self.event_gaps.record(time.saturating_sub(last));
+        }
+        self.last_time = Some(time);
+    }
+}
+
+impl Observer for HistogramObserver {
+    fn on_run_start(&mut self, _run: RunStart<'_>) {
+        *self = Self::new();
+    }
+
+    fn on_place(&mut self, ev: Place) {
+        self.scan_lengths.record(ev.scanned);
+        self.gap(ev.time);
+    }
+
+    fn on_depart(&mut self, ev: Depart) {
+        self.gap(ev.time);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+        assert_eq!(LogHistogram::bucket_range(0), (0, 1));
+        assert_eq!(LogHistogram::bucket_range(3), (4, 8));
+        // Every value sits inside its bucket's range.
+        for v in [0u64, 1, 2, 5, 1023, 1024, u64::MAX] {
+            let b = LogHistogram::bucket_of(v);
+            let (lo, hi) = LogHistogram::bucket_range(b);
+            assert!(u128::from(v) >= u128::from(lo) && u128::from(v) < hi, "{v}");
+        }
+    }
+
+    #[test]
+    fn record_and_merge() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 1, 3, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.max(), 8);
+        assert!((h.mean() - 13.0 / 5.0).abs() < 1e-12);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[2], 1);
+        assert_eq!(h.counts()[4], 1);
+        assert_eq!(h.last_bucket(), Some(4));
+
+        let mut other = LogHistogram::new();
+        other.record(8);
+        h.merge(&other);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.counts()[4], 2);
+    }
+
+    #[test]
+    fn observer_tracks_gaps_across_event_kinds() {
+        let mut o = HistogramObserver::new();
+        o.on_run_start(RunStart {
+            capacity: &[1],
+            items: 2,
+        });
+        o.on_place(Place {
+            time: 0,
+            item: 0,
+            bin: 0,
+            opened_new: true,
+            scanned: 0,
+        });
+        o.on_place(Place {
+            time: 3,
+            item: 1,
+            bin: 0,
+            opened_new: false,
+            scanned: 2,
+        });
+        o.on_depart(Depart {
+            time: 7,
+            item: 0,
+            bin: 0,
+        });
+        assert_eq!(o.scan_lengths.total(), 2);
+        assert_eq!(o.scan_lengths.max(), 2);
+        assert_eq!(o.event_gaps.total(), 2);
+        assert_eq!(o.event_gaps.max(), 4);
+    }
+}

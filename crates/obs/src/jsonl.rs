@@ -1,0 +1,274 @@
+//! [`JsonlEmitter`]: streams the engine's event feed as JSON Lines.
+//!
+//! One [`ObsEvent`] per line, in engine order — the offline twin of
+//! [`Recorder`](crate::Recorder). The stream is complete: `dvbp-analysis`
+//! parses it back ([`parse_str`]) and replays it into a `Packing`
+//! identical to the live run's, which the conformance harness checks for
+//! every fuzzed instance.
+//!
+//! I/O errors cannot surface through the infallible observer hooks, so
+//! the emitter latches the first error and reports it from
+//! [`JsonlEmitter::finish`]; events after an error are dropped.
+
+use crate::{Arrival, Depart, ObsEvent, Observer, Place, RunEnd, RunStart};
+use dvbp_sim::Time;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Observer that writes every event as one JSON object per line.
+#[derive(Debug)]
+pub struct JsonlEmitter<W: Write> {
+    writer: W,
+    error: Option<io::Error>,
+    lines: u64,
+}
+
+impl JsonlEmitter<BufWriter<File>> {
+    /// Creates an emitter writing to a fresh file at `path` (buffered).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation error.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlEmitter<W> {
+    /// Creates an emitter over an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        JsonlEmitter {
+            writer,
+            error: None,
+            lines: 0,
+        }
+    }
+
+    /// Writes one event as a JSON line. Harnesses call this directly to
+    /// interleave [`ObsEvent::Meta`] labels between engine-driven runs.
+    pub fn emit(&mut self, event: &ObsEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = serde_json::to_string(event).expect("ObsEvent serializes");
+        if let Err(e) = writeln!(self.writer, "{line}") {
+            self.error = Some(e);
+        } else {
+            self.lines += 1;
+        }
+    }
+
+    /// Lines successfully written so far.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// The first I/O error hit, if any.
+    #[must_use]
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes and returns the writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error latched during emission, or the flush
+    /// error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> Observer for JsonlEmitter<W> {
+    fn on_run_start(&mut self, run: RunStart<'_>) {
+        self.emit(&ObsEvent::RunStart {
+            capacity: run.capacity.to_vec(),
+            items: run.items,
+        });
+    }
+
+    fn on_arrival(&mut self, ev: Arrival<'_>) {
+        self.emit(&ObsEvent::Arrival {
+            time: ev.time,
+            item: ev.item,
+            size: ev.size.to_vec(),
+        });
+    }
+
+    fn on_bin_open(&mut self, time: Time, bin: usize) {
+        self.emit(&ObsEvent::BinOpen { time, bin });
+    }
+
+    fn on_place(&mut self, ev: Place) {
+        self.emit(&ObsEvent::Place {
+            time: ev.time,
+            item: ev.item,
+            bin: ev.bin,
+            opened_new: ev.opened_new,
+            scanned: ev.scanned,
+        });
+    }
+
+    fn on_depart(&mut self, ev: Depart) {
+        self.emit(&ObsEvent::Depart {
+            time: ev.time,
+            item: ev.item,
+            bin: ev.bin,
+        });
+    }
+
+    fn on_bin_close(&mut self, time: Time, bin: usize) {
+        self.emit(&ObsEvent::BinClose { time, bin });
+    }
+
+    fn on_run_end(&mut self, end: RunEnd) {
+        self.emit(&ObsEvent::RunEnd {
+            time: end.time,
+            items: end.items,
+            bins: end.bins,
+        });
+    }
+}
+
+/// Parses a JSONL document back into its event stream (blank lines are
+/// skipped).
+///
+/// # Errors
+///
+/// Returns the line number (1-based) and parse error of the first
+/// malformed line.
+pub fn parse_str(text: &str) -> Result<Vec<ObsEvent>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev: ObsEvent =
+            serde_json::from_str(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn drive<O: Observer>(obs: &mut O) {
+        obs.on_run_start(RunStart {
+            capacity: &[8, 8],
+            items: 2,
+        });
+        obs.on_arrival(Arrival {
+            time: 0,
+            item: 0,
+            size: &[2, 3],
+        });
+        obs.on_bin_open(0, 0);
+        obs.on_place(Place {
+            time: 0,
+            item: 0,
+            bin: 0,
+            opened_new: true,
+            scanned: 0,
+        });
+        obs.on_arrival(Arrival {
+            time: 1,
+            item: 1,
+            size: &[1, 1],
+        });
+        obs.on_place(Place {
+            time: 1,
+            item: 1,
+            bin: 0,
+            opened_new: false,
+            scanned: 1,
+        });
+        obs.on_depart(Depart {
+            time: 3,
+            item: 0,
+            bin: 0,
+        });
+        obs.on_depart(Depart {
+            time: 4,
+            item: 1,
+            bin: 0,
+        });
+        obs.on_bin_close(4, 0);
+        obs.on_run_end(RunEnd {
+            time: 4,
+            items: 2,
+            bins: 1,
+        });
+    }
+
+    #[test]
+    fn emit_parse_round_trip_matches_recorder() {
+        let mut emitter = JsonlEmitter::new(Vec::new());
+        drive(&mut emitter);
+        assert_eq!(emitter.lines(), 10);
+        let bytes = emitter.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 10);
+
+        let mut rec = Recorder::new();
+        drive(&mut rec);
+        assert_eq!(parse_str(&text).unwrap(), rec.events);
+    }
+
+    #[test]
+    fn meta_lines_interleave() {
+        let mut emitter = JsonlEmitter::new(Vec::new());
+        emitter.emit(&ObsEvent::Meta {
+            algorithm: "FirstFit".into(),
+            d: 2,
+            mu: 10,
+            seed: 7,
+        });
+        drive(&mut emitter);
+        let text = String::from_utf8(emitter.finish().unwrap()).unwrap();
+        let events = parse_str(&text).unwrap();
+        assert!(matches!(events[0], ObsEvent::Meta { .. }));
+        assert!(matches!(events[1], ObsEvent::RunStart { .. }));
+    }
+
+    #[test]
+    fn parse_reports_bad_line() {
+        let err =
+            parse_str("{\"RunEnd\":{\"time\":0,\"items\":0,\"bins\":0}}\nnot json\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let events = parse_str("\n\n").unwrap();
+        assert!(events.is_empty());
+    }
+
+    struct FailingWriter;
+    impl Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn io_error_latches_and_surfaces_in_finish() {
+        let mut emitter = JsonlEmitter::new(FailingWriter);
+        drive(&mut emitter);
+        assert!(emitter.error().is_some());
+        assert_eq!(emitter.lines(), 0);
+        assert!(emitter.finish().is_err());
+    }
+}

@@ -1,0 +1,472 @@
+//! **dvbp-obs** — zero-cost observability for the DVBP packing engine.
+//!
+//! The engine's event loop is instrumented with a set of *static-dispatch*
+//! hook points — the [`Observer`] trait. The engine's run path is generic
+//! over the observer, so the uninstrumented default ([`NoopObserver`],
+//! whose hooks are empty `#[inline]` bodies) monomorphizes to the exact
+//! code that would exist without the layer: no branches, no virtual
+//! calls, no allocations. Telemetry is strictly **pay-as-you-go** — the
+//! motivation of the paper's usage-time objective, applied to the
+//! reproduction itself.
+//!
+//! Hook points, in the order the engine fires them:
+//!
+//! 1. [`Observer::on_run_start`] — once, before the first event;
+//! 2. [`Observer::on_arrival`] — an item arrived, before the policy runs;
+//! 3. [`Observer::on_bin_open`] — a fresh bin was opened for the item;
+//! 4. [`Observer::on_place`] — the item was placed (every arrival);
+//! 5. [`Observer::on_depart`] — an item departed its bin;
+//! 6. [`Observer::on_bin_close`] — the departing item's bin became empty;
+//! 7. [`Observer::on_run_end`] — once, after the last event.
+//!
+//! Built-in observers:
+//!
+//! * [`MetricsObserver`] — counters plus reservoir-sampled open-bin and
+//!   utilization time series;
+//! * [`HistogramObserver`] — log-bucketed placement-scan-length and
+//!   inter-event-gap histograms;
+//! * [`JsonlEmitter`] — streams every event as one JSON object per line
+//!   for offline analysis (`dvbp-analysis` ingests and replays it);
+//! * [`Recorder`] — buffers the [`ObsEvent`] stream in memory (tests,
+//!   conformance replay);
+//! * tuples `(A, B)` / `(A, B, C)` — fan one run out to several
+//!   observers.
+//!
+//! This crate deliberately speaks in primitives (`u64` ticks, `usize`
+//! bin/item indices, `&[u64]` size slices) so it sits *below*
+//! `dvbp-core` in the dependency graph; core re-exports the trait and
+//! threads it through the engine.
+
+pub mod histogram;
+pub mod jsonl;
+pub mod metrics;
+
+pub use histogram::{HistogramObserver, LogHistogram};
+pub use jsonl::JsonlEmitter;
+pub use metrics::{Gauge, MetricsObserver};
+
+use dvbp_sim::Time;
+use serde::{Deserialize, Serialize};
+
+/// Context of a starting run: dimensions, capacity, and item count.
+#[derive(Clone, Copy, Debug)]
+pub struct RunStart<'a> {
+    /// Per-dimension bin capacity.
+    pub capacity: &'a [u64],
+    /// Number of items in the instance.
+    pub items: usize,
+}
+
+/// An item arrival, observed before the policy chooses a bin.
+#[derive(Clone, Copy, Debug)]
+pub struct Arrival<'a> {
+    /// Arrival tick.
+    pub time: Time,
+    /// Item index within the instance.
+    pub item: usize,
+    /// The item's size vector.
+    pub size: &'a [u64],
+}
+
+/// A completed placement decision.
+#[derive(Clone, Copy, Debug)]
+pub struct Place {
+    /// Tick of the arrival.
+    pub time: Time,
+    /// Item index.
+    pub item: usize,
+    /// Receiving bin index.
+    pub bin: usize,
+    /// `true` iff the bin was opened for this item.
+    pub opened_new: bool,
+    /// Number of open bins whose feasibility the policy evaluated while
+    /// choosing (0 when the decision needed no candidate, e.g. an indexed
+    /// descent that proved no bin fits).
+    pub scanned: u64,
+}
+
+/// An item departure, observed after loads are updated.
+#[derive(Clone, Copy, Debug)]
+pub struct Depart {
+    /// Departure tick.
+    pub time: Time,
+    /// Item index.
+    pub item: usize,
+    /// The bin the item departed from.
+    pub bin: usize,
+}
+
+/// Summary of a finished run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunEnd {
+    /// Tick of the last event (0 for an empty instance).
+    pub time: Time,
+    /// Number of items packed.
+    pub items: usize,
+    /// Number of bins ever opened.
+    pub bins: usize,
+}
+
+/// Static-dispatch observer hooks fired by the engine's event loop.
+///
+/// Every hook has an empty default body, so an observer implements only
+/// what it needs; [`NoopObserver`] implements none and compiles away
+/// entirely. Hooks must not panic on well-formed streams and must not
+/// assume anything beyond the ordering documented at the crate root.
+pub trait Observer {
+    /// The run is about to start.
+    #[inline]
+    fn on_run_start(&mut self, _run: RunStart<'_>) {}
+
+    /// An item arrived (fires before the policy's decision).
+    #[inline]
+    fn on_arrival(&mut self, _ev: Arrival<'_>) {}
+
+    /// A fresh bin was opened (fires before the corresponding
+    /// [`on_place`](Observer::on_place)).
+    #[inline]
+    fn on_bin_open(&mut self, _time: Time, _bin: usize) {}
+
+    /// An item was placed.
+    #[inline]
+    fn on_place(&mut self, _ev: Place) {}
+
+    /// An item departed.
+    #[inline]
+    fn on_depart(&mut self, _ev: Depart) {}
+
+    /// A bin became empty and closed permanently (fires after the
+    /// corresponding [`on_depart`](Observer::on_depart)).
+    #[inline]
+    fn on_bin_close(&mut self, _time: Time, _bin: usize) {}
+
+    /// The run finished.
+    #[inline]
+    fn on_run_end(&mut self, _end: RunEnd) {}
+}
+
+/// The do-nothing observer: the engine's default.
+///
+/// Every hook is an empty inline body, so a run instrumented with
+/// `NoopObserver` monomorphizes to exactly the uninstrumented loop —
+/// the counting-allocator test and the throughput-bench gate hold it to
+/// that claim.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {}
+
+/// Forwarding impl so `&mut O` can be handed around without consuming
+/// the observer.
+impl<O: Observer + ?Sized> Observer for &mut O {
+    #[inline]
+    fn on_run_start(&mut self, run: RunStart<'_>) {
+        (**self).on_run_start(run);
+    }
+    #[inline]
+    fn on_arrival(&mut self, ev: Arrival<'_>) {
+        (**self).on_arrival(ev);
+    }
+    #[inline]
+    fn on_bin_open(&mut self, time: Time, bin: usize) {
+        (**self).on_bin_open(time, bin);
+    }
+    #[inline]
+    fn on_place(&mut self, ev: Place) {
+        (**self).on_place(ev);
+    }
+    #[inline]
+    fn on_depart(&mut self, ev: Depart) {
+        (**self).on_depart(ev);
+    }
+    #[inline]
+    fn on_bin_close(&mut self, time: Time, bin: usize) {
+        (**self).on_bin_close(time, bin);
+    }
+    #[inline]
+    fn on_run_end(&mut self, end: RunEnd) {
+        (**self).on_run_end(end);
+    }
+}
+
+macro_rules! tuple_observer {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Observer),+> Observer for ($($name,)+) {
+            #[inline]
+            fn on_run_start(&mut self, run: RunStart<'_>) {
+                $(self.$idx.on_run_start(run);)+
+            }
+            #[inline]
+            fn on_arrival(&mut self, ev: Arrival<'_>) {
+                $(self.$idx.on_arrival(ev);)+
+            }
+            #[inline]
+            fn on_bin_open(&mut self, time: Time, bin: usize) {
+                $(self.$idx.on_bin_open(time, bin);)+
+            }
+            #[inline]
+            fn on_place(&mut self, ev: Place) {
+                $(self.$idx.on_place(ev);)+
+            }
+            #[inline]
+            fn on_depart(&mut self, ev: Depart) {
+                $(self.$idx.on_depart(ev);)+
+            }
+            #[inline]
+            fn on_bin_close(&mut self, time: Time, bin: usize) {
+                $(self.$idx.on_bin_close(time, bin);)+
+            }
+            #[inline]
+            fn on_run_end(&mut self, end: RunEnd) {
+                $(self.$idx.on_run_end(end);)+
+            }
+        }
+    };
+}
+
+tuple_observer!(A: 0, B: 1);
+tuple_observer!(A: 0, B: 1, C: 2);
+
+/// One engine event in owned, serializable form — the wire format of
+/// [`JsonlEmitter`] and the buffer element of [`Recorder`].
+///
+/// The stream of `ObsEvent`s emitted by a run is **complete**: replaying
+/// it reconstructs the run's `Packing` exactly (assignment, per-bin usage
+/// records and item lists, decision trace) — `dvbp-analysis` implements
+/// the replay and the conformance harness checks it for every fuzzed run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObsEvent {
+    /// Free-form run label written by experiment harnesses (not emitted
+    /// by the engine itself): identifies the algorithm and workload of
+    /// the run that follows.
+    Meta {
+        /// Algorithm display name.
+        algorithm: String,
+        /// Instance dimensionality.
+        d: usize,
+        /// Workload μ (max/min duration ratio), if meaningful.
+        mu: u64,
+        /// Workload seed.
+        seed: u64,
+    },
+    /// Run started.
+    RunStart {
+        /// Per-dimension bin capacity.
+        capacity: Vec<u64>,
+        /// Number of items in the instance.
+        items: usize,
+    },
+    /// Item arrived.
+    Arrival {
+        /// Arrival tick.
+        time: Time,
+        /// Item index.
+        item: usize,
+        /// Item size vector.
+        size: Vec<u64>,
+    },
+    /// Fresh bin opened.
+    BinOpen {
+        /// Opening tick.
+        time: Time,
+        /// Bin index.
+        bin: usize,
+    },
+    /// Item placed.
+    Place {
+        /// Tick of the arrival.
+        time: Time,
+        /// Item index.
+        item: usize,
+        /// Receiving bin.
+        bin: usize,
+        /// Whether the bin was opened for this item.
+        opened_new: bool,
+        /// Candidate bins the policy examined.
+        scanned: u64,
+    },
+    /// Item departed.
+    Depart {
+        /// Departure tick.
+        time: Time,
+        /// Item index.
+        item: usize,
+        /// The bin departed from.
+        bin: usize,
+    },
+    /// Bin closed.
+    BinClose {
+        /// Closing tick.
+        time: Time,
+        /// Bin index.
+        bin: usize,
+    },
+    /// Run finished.
+    RunEnd {
+        /// Tick of the last event.
+        time: Time,
+        /// Items packed.
+        items: usize,
+        /// Bins ever opened.
+        bins: usize,
+    },
+}
+
+/// Buffers the full [`ObsEvent`] stream in memory.
+///
+/// The in-process twin of [`JsonlEmitter`]: tests and the conformance
+/// harness record a run and replay the buffer without a serialization
+/// round-trip.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    /// Recorded events, in engine order.
+    pub events: Vec<ObsEvent>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Observer for Recorder {
+    fn on_run_start(&mut self, run: RunStart<'_>) {
+        self.events.push(ObsEvent::RunStart {
+            capacity: run.capacity.to_vec(),
+            items: run.items,
+        });
+    }
+
+    fn on_arrival(&mut self, ev: Arrival<'_>) {
+        self.events.push(ObsEvent::Arrival {
+            time: ev.time,
+            item: ev.item,
+            size: ev.size.to_vec(),
+        });
+    }
+
+    fn on_bin_open(&mut self, time: Time, bin: usize) {
+        self.events.push(ObsEvent::BinOpen { time, bin });
+    }
+
+    fn on_place(&mut self, ev: Place) {
+        self.events.push(ObsEvent::Place {
+            time: ev.time,
+            item: ev.item,
+            bin: ev.bin,
+            opened_new: ev.opened_new,
+            scanned: ev.scanned,
+        });
+    }
+
+    fn on_depart(&mut self, ev: Depart) {
+        self.events.push(ObsEvent::Depart {
+            time: ev.time,
+            item: ev.item,
+            bin: ev.bin,
+        });
+    }
+
+    fn on_bin_close(&mut self, time: Time, bin: usize) {
+        self.events.push(ObsEvent::BinClose { time, bin });
+    }
+
+    fn on_run_end(&mut self, end: RunEnd) {
+        self.events.push(ObsEvent::RunEnd {
+            time: end.time,
+            items: end.items,
+            bins: end.bins,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive<O: Observer>(obs: &mut O) {
+        obs.on_run_start(RunStart {
+            capacity: &[10, 10],
+            items: 1,
+        });
+        obs.on_arrival(Arrival {
+            time: 0,
+            item: 0,
+            size: &[3, 4],
+        });
+        obs.on_bin_open(0, 0);
+        obs.on_place(Place {
+            time: 0,
+            item: 0,
+            bin: 0,
+            opened_new: true,
+            scanned: 0,
+        });
+        obs.on_depart(Depart {
+            time: 5,
+            item: 0,
+            bin: 0,
+        });
+        obs.on_bin_close(5, 0);
+        obs.on_run_end(RunEnd {
+            time: 5,
+            items: 1,
+            bins: 1,
+        });
+    }
+
+    #[test]
+    fn recorder_captures_the_full_stream_in_order() {
+        let mut rec = Recorder::new();
+        drive(&mut rec);
+        assert_eq!(rec.events.len(), 7);
+        assert!(matches!(rec.events[0], ObsEvent::RunStart { .. }));
+        assert!(matches!(
+            rec.events[2],
+            ObsEvent::BinOpen { time: 0, bin: 0 }
+        ));
+        assert!(matches!(
+            rec.events[6],
+            ObsEvent::RunEnd {
+                time: 5,
+                items: 1,
+                bins: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn noop_and_tuple_observers_compose() {
+        let mut noop = NoopObserver;
+        drive(&mut noop);
+        let mut pair = (Recorder::new(), Recorder::new());
+        drive(&mut pair);
+        assert_eq!(pair.0.events, pair.1.events);
+        let mut triple = (NoopObserver, Recorder::new(), NoopObserver);
+        drive(&mut triple);
+        assert_eq!(triple.1.events, pair.0.events);
+    }
+
+    #[test]
+    fn mut_ref_forwarding() {
+        let mut rec = Recorder::new();
+        drive(&mut &mut rec);
+        assert_eq!(rec.events.len(), 7);
+    }
+
+    #[test]
+    fn obs_event_json_round_trip() {
+        let events = {
+            let mut rec = Recorder::new();
+            drive(&mut rec);
+            rec.events
+        };
+        for ev in &events {
+            let line = serde_json::to_string(ev).unwrap();
+            let back: ObsEvent = serde_json::from_str(&line).unwrap();
+            assert_eq!(&back, ev, "{line}");
+        }
+    }
+}

@@ -101,7 +101,7 @@ pub fn opt_bounds(instance: &Instance, item_limit: usize) -> OptBounds {
 mod tests {
     use super::*;
     use crate::lower_bounds::{lb_load, lb_span};
-    use dvbp_core::{pack_with, Item, PolicyKind};
+    use dvbp_core::{Item, PackRequest, PolicyKind};
 
     fn item(size: &[u64], a: u64, e: u64) -> Item {
         Item::new(DimVec::from_slice(size), a, e)
@@ -150,7 +150,7 @@ mod tests {
         assert!(opt >= lb_load(&i));
         assert!(opt >= lb_span(&i));
         for kind in PolicyKind::paper_suite(5) {
-            let cost = pack_with(&i, &kind).cost();
+            let cost = PackRequest::new(kind.clone()).run(&i).unwrap().cost();
             assert!(cost >= opt, "{}: {} < {}", kind.name(), cost, opt);
         }
     }

@@ -3,7 +3,7 @@
 //! randomly generated, exhaustively solvable instances.
 
 use crate::{lb_load, lb_span, lb_utilization, opt_bounds, opt_exact};
-use dvbp_core::{pack_with, Instance, Item, PolicyKind};
+use dvbp_core::{Instance, Item, PackRequest, PolicyKind};
 use dvbp_dimvec::DimVec;
 use dvbp_sim::Cost;
 use proptest::prelude::*;
@@ -43,7 +43,7 @@ proptest! {
         prop_assert_eq!(b.lower, opt);
         prop_assert_eq!(b.upper, opt);
         for kind in PolicyKind::paper_suite(3) {
-            prop_assert!(pack_with(&inst, &kind).cost() >= opt, "{}", kind.name());
+            prop_assert!(PackRequest::new(kind.clone()).run(&inst).unwrap().cost() >= opt, "{}", kind.name());
         }
     }
 
@@ -53,7 +53,7 @@ proptest! {
         let opt = opt_exact(&inst, 28).unwrap();
         let (max_d, min_d) = inst.mu().unwrap();
         let d = inst.dim() as u128;
-        let cost = pack_with(&inst, &PolicyKind::MoveToFront).cost();
+        let cost = PackRequest::new(PolicyKind::MoveToFront).run(&inst).unwrap().cost();
         // ((2μ+1)d+1) = ((2·max + min)·d + min) / min
         let numer = (2 * u128::from(max_d) + u128::from(min_d)) * d + u128::from(min_d);
         check_bound(cost, opt, numer, min_d, "MTF/Thm2");
@@ -65,7 +65,7 @@ proptest! {
         let opt = opt_exact(&inst, 28).unwrap();
         let (max_d, min_d) = inst.mu().unwrap();
         let d = inst.dim() as u128;
-        let cost = pack_with(&inst, &PolicyKind::FirstFit).cost();
+        let cost = PackRequest::new(PolicyKind::FirstFit).run(&inst).unwrap().cost();
         let numer = (u128::from(max_d) + 2 * u128::from(min_d)) * d + u128::from(min_d);
         check_bound(cost, opt, numer, min_d, "FF/Thm3");
     }
@@ -76,7 +76,7 @@ proptest! {
         let opt = opt_exact(&inst, 28).unwrap();
         let (max_d, min_d) = inst.mu().unwrap();
         let d = inst.dim() as u128;
-        let cost = pack_with(&inst, &PolicyKind::NextFit).cost();
+        let cost = PackRequest::new(PolicyKind::NextFit).run(&inst).unwrap().cost();
         let numer = 2 * u128::from(max_d) * d + u128::from(min_d);
         check_bound(cost, opt, numer, min_d, "NF/Thm4");
     }

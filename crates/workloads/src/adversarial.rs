@@ -354,7 +354,7 @@ impl MtfLb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dvbp_core::{pack_with, PolicyKind};
+    use dvbp_core::{PackRequest, PolicyKind};
 
     #[test]
     fn anyfit_lb_instance_shape() {
@@ -385,7 +385,7 @@ mod tests {
                 .into_iter()
                 .filter(PolicyKind::is_full_candidate_any_fit)
             {
-                let p = pack_with(&inst, &kind);
+                let p = PackRequest::new(kind.clone()).run(&inst).unwrap();
                 p.verify(&inst).unwrap();
                 assert!(
                     p.cost() >= c.online_cost_lower(),
@@ -407,7 +407,7 @@ mod tests {
             m: 4,
         };
         let inst = c.instance();
-        let p = pack_with(&inst, &PolicyKind::FirstFit);
+        let p = PackRequest::new(PolicyKind::FirstFit).run(&inst).unwrap();
         // dk pair-bins in wave one; wave two fits into them (no new bins).
         assert_eq!(p.num_bins(), c.d * c.k);
         // Every bin gets exactly one second-wave item.
@@ -444,7 +444,7 @@ mod tests {
         let inst = c.instance();
         assert_eq!(inst.len(), 16);
         inst.validate().unwrap();
-        let p = pack_with(&inst, &PolicyKind::NextFit);
+        let p = PackRequest::new(PolicyKind::NextFit).run(&inst).unwrap();
         p.verify(&inst).unwrap();
         assert!(
             p.cost() >= c.online_cost_lower(),
@@ -464,7 +464,7 @@ mod tests {
             mu: 4,
         };
         let inst = big.instance();
-        let p = pack_with(&inst, &PolicyKind::NextFit);
+        let p = PackRequest::new(PolicyKind::NextFit).run(&inst).unwrap();
         let ratio = p.cost() as f64 / big.opt_upper() as f64;
         assert!(
             ratio > 0.9 * big.asymptote(),
@@ -484,7 +484,9 @@ mod tests {
     fn mtf_lb_exact_cost() {
         let c = MtfLb { n: 5, mu: 7 };
         let inst = c.instance();
-        let p = pack_with(&inst, &PolicyKind::MoveToFront);
+        let p = PackRequest::new(PolicyKind::MoveToFront)
+            .run(&inst)
+            .unwrap();
         p.verify(&inst).unwrap();
         assert_eq!(p.cost(), c.online_cost_lower());
         assert_eq!(p.num_bins(), 2 * c.n);
@@ -495,7 +497,7 @@ mod tests {
         // §6 notes the same example lower-bounds Next Fit.
         let c = MtfLb { n: 6, mu: 9 };
         let inst = c.instance();
-        let p = pack_with(&inst, &PolicyKind::NextFit);
+        let p = PackRequest::new(PolicyKind::NextFit).run(&inst).unwrap();
         assert_eq!(p.cost(), c.online_cost_lower());
     }
 
@@ -518,7 +520,9 @@ mod tests {
             m: 8,
         };
         let inst = c.instance();
-        let bf = pack_with(&inst, &PolicyKind::BestFit(dvbp_core::LoadMeasure::Linf));
+        let bf = PackRequest::new(PolicyKind::BestFit(dvbp_core::LoadMeasure::Linf))
+            .run(&inst)
+            .unwrap();
         bf.verify(&inst).unwrap();
         assert!(bf.cost() >= c.online_cost_lower());
     }

@@ -3,7 +3,7 @@
 use crate::adversarial::{AnyFitLb, MtfLb, NextFitLb};
 use crate::extended::{ArrivalDist, DurationDist, ExtendedParams, SizeDist};
 use crate::uniform::UniformParams;
-use dvbp_core::{pack_with, PolicyKind};
+use dvbp_core::{PackRequest, PolicyKind};
 use proptest::prelude::*;
 
 proptest! {
@@ -48,7 +48,7 @@ proptest! {
         let w = fam.witness();
         prop_assert_eq!(w.len(), inst.len());
         prop_assert!(w.iter().all(|&b| b <= k));
-        let p = pack_with(&inst, &PolicyKind::FirstFit);
+        let p = PackRequest::new(PolicyKind::FirstFit).run(&inst).unwrap();
         p.verify(&inst).map_err(TestCaseError::fail)?;
         prop_assert!(p.cost() >= fam.online_cost_lower());
         // The first wave opens exactly dk bins.
@@ -67,7 +67,7 @@ proptest! {
         let fam = NextFitLb { k, d, mu };
         let inst = fam.instance();
         prop_assert!(inst.validate().is_ok());
-        let p = pack_with(&inst, &PolicyKind::NextFit);
+        let p = PackRequest::new(PolicyKind::NextFit).run(&inst).unwrap();
         p.verify(&inst).map_err(TestCaseError::fail)?;
         prop_assert_eq!(p.num_bins(), 1 + (k - 1) * d);
         prop_assert!(p.cost() >= fam.online_cost_lower());
@@ -79,7 +79,7 @@ proptest! {
         let fam = MtfLb { n, mu };
         let inst = fam.instance();
         prop_assert!(inst.validate().is_ok());
-        let p = pack_with(&inst, &PolicyKind::MoveToFront);
+        let p = PackRequest::new(PolicyKind::MoveToFront).run(&inst).unwrap();
         prop_assert_eq!(p.cost(), fam.online_cost_lower());
         prop_assert_eq!(p.num_bins(), 2 * n);
     }

@@ -9,7 +9,7 @@
 use dvbp::analysis::report::TextTable;
 use dvbp::offline::witness::assignment_cost;
 use dvbp::workloads::adversarial::{AnyFitLb, MtfLb, NextFitLb};
-use dvbp::{pack_with, PolicyKind};
+use dvbp::{PackRequest, PolicyKind};
 
 fn main() {
     let mu = 10u64;
@@ -21,7 +21,10 @@ fn main() {
             let fam = AnyFitLb { k, d, mu, m: 64 };
             let inst = fam.instance();
             let opt_ub = assignment_cost(&inst, &fam.witness()).expect("witness feasible");
-            let cost = pack_with(&inst, &PolicyKind::FirstFit).cost();
+            let cost = PackRequest::new(PolicyKind::FirstFit)
+                .run(&inst)
+                .unwrap()
+                .cost();
             t5.row([
                 d.to_string(),
                 k.to_string(),
@@ -39,7 +42,10 @@ fn main() {
             let fam = NextFitLb { k, d, mu };
             let inst = fam.instance();
             let opt_ub = assignment_cost(&inst, &fam.witness()).expect("witness feasible");
-            let cost = pack_with(&inst, &PolicyKind::NextFit).cost();
+            let cost = PackRequest::new(PolicyKind::NextFit)
+                .run(&inst)
+                .unwrap()
+                .cost();
             t6.row([
                 d.to_string(),
                 k.to_string(),
@@ -56,7 +62,10 @@ fn main() {
         let fam = MtfLb { n, mu };
         let inst = fam.instance();
         let opt_ub = assignment_cost(&inst, &fam.witness()).expect("witness feasible");
-        let cost = pack_with(&inst, &PolicyKind::MoveToFront).cost();
+        let cost = PackRequest::new(PolicyKind::MoveToFront)
+            .run(&inst)
+            .unwrap()
+            .cost();
         t8.row([
             n.to_string(),
             format!("{:.2}", cost as f64 / opt_ub as f64),

@@ -11,7 +11,7 @@
 use dvbp::offline::lb_load;
 use dvbp::workloads::predictions::{announce_exact, announce_noisy};
 use dvbp::workloads::UniformParams;
-use dvbp::{pack_with, DimVec, Instance, Item, PolicyKind};
+use dvbp::{DimVec, Instance, Item, PackRequest, PolicyKind};
 
 fn main() {
     // Regime 1: blockader pathology. Short near-full jobs and tiny
@@ -29,7 +29,10 @@ fn main() {
         PolicyKind::MoveToFront,
         PolicyKind::FirstFit,
     ] {
-        let cost = pack_with(&pathological, &kind).cost();
+        let cost = PackRequest::new(kind.clone())
+            .run(&pathological)
+            .unwrap()
+            .cost();
         println!("  {:<18} cost = {cost}", kind.name());
     }
 
@@ -43,7 +46,7 @@ fn main() {
         PolicyKind::MoveToFront,
         PolicyKind::FirstFit,
     ] {
-        let cost = pack_with(&uniform, &kind).cost();
+        let cost = PackRequest::new(kind.clone()).run(&uniform).unwrap().cost();
         println!(
             "  {:<18} cost = {cost}  ({:.3}x LB)",
             kind.name(),
@@ -55,7 +58,10 @@ fn main() {
     println!("\nPrediction error sweep on the blockader trace (DurationClassFF):\n");
     for err in [0.0, 1.0, 2.0, 4.0, 8.0] {
         let noisy = announce_noisy(&pathological, err, 99);
-        let cost = pack_with(&noisy, &PolicyKind::DurationClassFirstFit).cost();
+        let cost = PackRequest::new(PolicyKind::DurationClassFirstFit)
+            .run(&noisy)
+            .unwrap()
+            .cost();
         println!("  err ±{err:>3} log2 -> cost = {cost}");
     }
     println!("\nTakeaway: clairvoyance pays off exactly when duration spread is");

@@ -16,7 +16,7 @@ use dvbp::analysis::report::TextTable;
 use dvbp::offline::lb_load;
 use dvbp::workloads::extended::{ArrivalDist, DurationDist, ExtendedParams, SizeDist};
 use dvbp::workloads::UniformParams;
-use dvbp::{pack_with, PolicyKind};
+use dvbp::{PackRequest, PolicyKind};
 
 fn main() {
     // Streaming servers: 16 GPU slices, 1000 Mbps egress. One tick = 1
@@ -55,7 +55,10 @@ fn main() {
         let instance = params.generate(0xCAFE + night);
         lb_total += lb_load(&instance);
         for (k, kind) in suite.iter().enumerate() {
-            totals[k] += pack_with(&instance, kind).cost();
+            totals[k] += PackRequest::new(kind.clone())
+                .run(&instance)
+                .unwrap()
+                .cost();
         }
     }
 

@@ -6,7 +6,7 @@
 //! ```
 
 use dvbp::offline::{lb_load, opt_exact};
-use dvbp::{pack_with, DimVec, Instance, Item, PolicyKind};
+use dvbp::{DimVec, Instance, Item, PackRequest, PolicyKind};
 
 fn main() {
     // Bins model servers with 8 vCPUs and 32 GiB of RAM.
@@ -42,7 +42,7 @@ fn main() {
     );
     let lb = lb_load(&instance);
     for kind in PolicyKind::paper_suite(42) {
-        let packing = pack_with(&instance, &kind);
+        let packing = PackRequest::new(kind.clone()).run(&instance).unwrap();
         packing
             .verify(&instance)
             .expect("engine produces valid packings");
@@ -59,7 +59,9 @@ fn main() {
     println!("\nLemma 1(i) lower bound = {lb}; exact OPT (with repacking) = {opt}");
 
     // Show where each job went under the recommended algorithm.
-    let packing = pack_with(&instance, &PolicyKind::MoveToFront);
+    let packing = PackRequest::new(PolicyKind::MoveToFront)
+        .run(&instance)
+        .unwrap();
     println!("\nMove To Front placement:");
     for (i, &bin) in packing.assignment.iter().enumerate() {
         let job = &instance.items[i];

@@ -13,7 +13,7 @@
 use dvbp::analysis::report::TextTable;
 use dvbp::offline::{lb_load, lb_span, lb_utilization, opt_bounds};
 use dvbp::workloads::UniformParams;
-use dvbp::{pack_with, PolicyKind};
+use dvbp::{PackRequest, PolicyKind};
 
 fn main() {
     // Hosts: 64 vCPU, 256 GiB RAM, 4 TiB disk, 25 Gbps NIC — normalized
@@ -43,7 +43,7 @@ fn main() {
         "vs LB",
     ]);
     for kind in PolicyKind::paper_suite(1) {
-        let packing = pack_with(&instance, &kind);
+        let packing = PackRequest::new(kind.clone()).run(&instance).unwrap();
         packing.verify(&instance).expect("valid");
         table.row([
             kind.name(),

@@ -11,7 +11,7 @@
 
 use dvbp::tracefile::{load_instance, run_report, save_instance};
 use dvbp::workloads::UniformParams;
-use dvbp::{BillingModel, PolicyKind};
+use dvbp::{BillingModel, PackRequest, PolicyKind};
 use std::path::Path;
 use std::process::ExitCode;
 use std::str::FromStr;
@@ -183,7 +183,7 @@ fn cmd_show(args: &[String]) -> Result<(), String> {
     let policy = PolicyKind::from_str(&required(args, "--policy")?).map_err(|e| e.to_string())?;
     let width = parse(args, "--width", 100usize)?;
     let instance = load_instance(Path::new(&trace))?;
-    let packing = dvbp::pack_with(&instance, &policy);
+    let packing = PackRequest::new(policy.clone()).run(&instance).unwrap();
     let opts = dvbp::analysis::gantt::GanttOptions {
         max_width: width,
         ..Default::default()

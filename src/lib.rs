@@ -12,20 +12,28 @@
 //! crates so applications can depend on a single name.
 //!
 //! ```
-//! use dvbp::{pack_with, Instance, Item, PolicyKind};
-//! use dvbp::DimVec;
+//! use dvbp::prelude::*;
 //!
 //! let instance = Instance::new(
 //!     DimVec::from_slice(&[100, 100]),
 //!     vec![Item::new(DimVec::from_slice(&[70, 30]), 0, 10)],
 //! )
 //! .unwrap();
-//! let packing = pack_with(&instance, &PolicyKind::MoveToFront);
+//! let packing = PackRequest::new(PolicyKind::MoveToFront)
+//!     .run(&instance)
+//!     .unwrap();
 //! assert_eq!(packing.cost(), 10);
 //!
 //! // Cost-only runs skip trace recording (and, with a reused
-//! // `dvbp::Engine`, allocate nothing per arrival):
-//! assert_eq!(dvbp::pack_cost(&instance, &PolicyKind::MoveToFront), 10);
+//! // `dvbp::Engine`, allocate nothing per arrival). Observers hook the
+//! // engine's event stream without touching the unobserved fast path:
+//! let mut metrics = dvbp::obs::MetricsObserver::new();
+//! let cost = PackRequest::new(PolicyKind::MoveToFront)
+//!     .observer(&mut metrics)
+//!     .cost(&instance)
+//!     .unwrap();
+//! assert_eq!(cost, 10);
+//! assert_eq!(metrics.max_concurrent_bins(), 1);
 //! ```
 //!
 //! # Module map
@@ -35,6 +43,7 @@
 //! | [`DimVec`], [`norms`] | `dvbp-dimvec` | integer resource vectors |
 //! | [`sim`] | `dvbp-sim` | intervals, timeline, sweep-line |
 //! | core types at the root | `dvbp-core` | items, engine, policies |
+//! | [`obs`] | `dvbp-obs` | observers: metrics, histograms, JSONL |
 //! | [`offline`] | `dvbp-offline` | Lemma 1 bounds, exact OPT |
 //! | [`workloads`] | `dvbp-workloads` | uniform + adversarial generators |
 //! | [`analysis`] | `dvbp-analysis` | decompositions, stats, reports |
@@ -42,12 +51,23 @@
 
 pub mod tracefile;
 
+#[allow(deprecated)]
+pub use dvbp_core::{pack, pack_cost, pack_with, pack_with_mode};
 pub use dvbp_core::{
-    pack, pack_cost, pack_with, pack_with_mode, BillingModel, BinId, BinUsage, Decision, Engine,
-    EngineView, FitIndex, Instance, InstanceError, Item, LoadMeasure, Packing, Policy, PolicyKind,
+    BillingModel, BinId, BinUsage, Decision, Engine, EngineView, FitIndex, Instance, InstanceError,
+    Item, LoadMeasure, NoopObserver, Observer, PackError, PackRequest, Packing, Policy, PolicyKind,
     TraceEvent, TraceMode,
 };
 pub use dvbp_dimvec::DimVec;
+
+/// One-line import for the common API surface:
+/// `use dvbp::prelude::*;`.
+pub mod prelude {
+    pub use dvbp_core::{
+        Instance, Item, Observer, PackError, PackRequest, Packing, Policy, PolicyKind, TraceMode,
+    };
+    pub use dvbp_dimvec::DimVec;
+}
 
 /// Norms of normalized load vectors (Proposition 1).
 pub mod norms {
@@ -57,6 +77,13 @@ pub mod norms {
 /// Time model, intervals, and sweep-line utilities.
 pub mod sim {
     pub use dvbp_sim::*;
+}
+
+/// Engine observability: metrics, histograms, and JSONL event streams
+/// attachable to any [`PackRequest`] via
+/// [`observer`](PackRequest::observer).
+pub mod obs {
+    pub use dvbp_obs::*;
 }
 
 /// Offline machinery: Lemma 1 lower bounds, exact vector bin packing,

@@ -7,7 +7,7 @@
 //! configurable billing model, and the Lemma 1(i) lower bound for
 //! context.
 
-use crate::{BillingModel, Instance, Packing, PolicyKind};
+use crate::{BillingModel, Instance, PackRequest, Packing, PolicyKind};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -61,7 +61,7 @@ pub struct PackingReport {
 /// Packs a loaded instance and assembles the report.
 #[must_use]
 pub fn run_report(instance: &Instance, kind: &PolicyKind, billing: BillingModel) -> PackingReport {
-    let packing: Packing = crate::pack_with(instance, kind);
+    let packing: Packing = PackRequest::new(kind.clone()).run(instance).unwrap();
     let lb = dvbp_offline::lb_load(instance);
     PackingReport {
         policy: kind.name(),

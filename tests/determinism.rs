@@ -3,7 +3,7 @@
 
 use dvbp::parallel::run_trials_on;
 use dvbp::workloads::UniformParams;
-use dvbp::{pack_with, PolicyKind};
+use dvbp::{PackRequest, PolicyKind};
 use std::num::NonZeroUsize;
 
 #[test]
@@ -20,8 +20,8 @@ fn generation_and_packing_reproducible() {
     assert_eq!(a, b);
     for kind in PolicyKind::paper_suite(9) {
         assert_eq!(
-            pack_with(&a, &kind),
-            pack_with(&b, &kind),
+            PackRequest::new(kind.clone()).run(&a).unwrap(),
+            PackRequest::new(kind.clone()).run(&b).unwrap(),
             "{} differs across identical instances",
             kind.name()
         );
@@ -41,7 +41,7 @@ fn parallel_trials_independent_of_thread_count() {
         let inst = params.generate(t as u64);
         PolicyKind::paper_suite(t as u64)
             .iter()
-            .map(|k| pack_with(&inst, k).cost())
+            .map(|k| PackRequest::new(k.clone()).run(&inst).unwrap().cost())
             .collect::<Vec<u128>>()
     };
     let seq = run_trials_on(24, NonZeroUsize::new(1).unwrap(), work);
@@ -62,9 +62,15 @@ fn policy_reuse_resets_state() {
     let inst2 = params.generate(2);
     for kind in PolicyKind::paper_suite(33) {
         let mut policy = kind.build();
-        let first = dvbp::pack(&inst1, policy.as_mut());
-        let _interleaved = dvbp::pack(&inst2, policy.as_mut());
-        let again = dvbp::pack(&inst1, policy.as_mut());
+        let first = dvbp::PackRequest::with_policy(policy.as_mut())
+            .run(&inst1)
+            .unwrap();
+        let _interleaved = dvbp::PackRequest::with_policy(policy.as_mut())
+            .run(&inst2)
+            .unwrap();
+        let again = dvbp::PackRequest::with_policy(policy.as_mut())
+            .run(&inst1)
+            .unwrap();
         assert_eq!(first, again, "{} retains state across runs", kind.name());
     }
 }

@@ -4,7 +4,7 @@
 
 use dvbp::offline::lb_load;
 use dvbp::workloads::UniformParams;
-use dvbp::{pack_with, PolicyKind};
+use dvbp::{PackRequest, PolicyKind};
 
 /// Mean cost/LB over `trials` seeds for each paper-suite algorithm.
 fn mean_ratios(d: usize, mu: u64, trials: usize) -> Vec<(String, f64)> {
@@ -21,7 +21,7 @@ fn mean_ratios(d: usize, mu: u64, trials: usize) -> Vec<(String, f64)> {
         let inst = params.generate(0xF164 + t as u64);
         let lb = lb_load(&inst) as f64;
         for (k, kind) in PolicyKind::paper_suite(t as u64).iter().enumerate() {
-            sums[k] += pack_with(&inst, kind).cost() as f64 / lb;
+            sums[k] += PackRequest::new(kind.clone()).run(&inst).unwrap().cost() as f64 / lb;
         }
     }
     suite
@@ -109,7 +109,11 @@ fn table1_lower_bound_families_certify_ratios() {
     };
     let i5 = f5.instance();
     let opt5 = assignment_cost(&i5, &f5.witness()).unwrap();
-    let r5 = pack_with(&i5, &PolicyKind::MoveToFront).cost() as f64 / opt5 as f64;
+    let r5 = PackRequest::new(PolicyKind::MoveToFront)
+        .run(&i5)
+        .unwrap()
+        .cost() as f64
+        / opt5 as f64;
     assert!(r5 > 0.7 * f5.asymptote(), "Thm5 ratio {r5:.2}");
 
     // Thm 6 at k=128, d=2, mu=5.
@@ -120,13 +124,21 @@ fn table1_lower_bound_families_certify_ratios() {
     };
     let i6 = f6.instance();
     let opt6 = assignment_cost(&i6, &f6.witness()).unwrap();
-    let r6 = pack_with(&i6, &PolicyKind::NextFit).cost() as f64 / opt6 as f64;
+    let r6 = PackRequest::new(PolicyKind::NextFit)
+        .run(&i6)
+        .unwrap()
+        .cost() as f64
+        / opt6 as f64;
     assert!(r6 > 0.85 * f6.asymptote(), "Thm6 ratio {r6:.2}");
 
     // Thm 8 at n=128, mu=5.
     let f8 = MtfLb { n: 128, mu: 5 };
     let i8 = f8.instance();
     let opt8 = assignment_cost(&i8, &f8.witness()).unwrap();
-    let r8 = pack_with(&i8, &PolicyKind::MoveToFront).cost() as f64 / opt8 as f64;
+    let r8 = PackRequest::new(PolicyKind::MoveToFront)
+        .run(&i8)
+        .unwrap()
+        .cost() as f64
+        / opt8 as f64;
     assert!(r8 > 0.9 * f8.asymptote(), "Thm8 ratio {r8:.2}");
 }

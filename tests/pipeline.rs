@@ -6,7 +6,7 @@ use dvbp::analysis::decomposition::{
 };
 use dvbp::offline::{lb_load, lb_span, lb_utilization, opt_bounds};
 use dvbp::workloads::UniformParams;
-use dvbp::{pack_with, PolicyKind};
+use dvbp::{PackRequest, PolicyKind};
 
 fn small_params(d: usize, mu: u64) -> UniformParams {
     UniformParams {
@@ -27,7 +27,7 @@ fn full_pipeline_on_uniform_workloads() {
         assert!(lb_utilization(&instance) <= lb as f64 + 1e-6);
 
         for kind in PolicyKind::paper_suite(seed) {
-            let packing = pack_with(&instance, &kind);
+            let packing = PackRequest::new(kind.clone()).run(&instance).unwrap();
             packing
                 .verify(&instance)
                 .unwrap_or_else(|e| panic!("{} d={d} mu={mu}: {e}", kind.name()));
@@ -46,17 +46,23 @@ fn decompositions_verify_on_generated_workloads() {
     for seed in 0..5u64 {
         let instance = small_params(2, 15).generate(100 + seed);
 
-        let mtf = pack_with(&instance, &PolicyKind::MoveToFront);
+        let mtf = PackRequest::new(PolicyKind::MoveToFront)
+            .run(&instance)
+            .unwrap();
         MtfDecomposition::from_packing(&mtf)
             .verify(&instance, &mtf)
             .unwrap_or_else(|e| panic!("MTF seed {seed}: {e}"));
 
-        let ff = pack_with(&instance, &PolicyKind::FirstFit);
+        let ff = PackRequest::new(PolicyKind::FirstFit)
+            .run(&instance)
+            .unwrap();
         FirstFitDecomposition::from_packing(&instance, &ff)
             .verify(&instance, &ff)
             .unwrap_or_else(|e| panic!("FF seed {seed}: {e}"));
 
-        let nf = pack_with(&instance, &PolicyKind::NextFit);
+        let nf = PackRequest::new(PolicyKind::NextFit)
+            .run(&instance)
+            .unwrap();
         NextFitDecomposition::from_packing(&nf)
             .verify(&instance, &nf)
             .unwrap_or_else(|e| panic!("NF seed {seed}: {e}"));
@@ -70,7 +76,10 @@ fn opt_sandwich_brackets_every_policy() {
     assert!(bounds.lower <= bounds.upper);
     assert!(bounds.lower >= instance.span());
     for kind in PolicyKind::paper_suite(5) {
-        let cost = pack_with(&instance, &kind).cost();
+        let cost = PackRequest::new(kind.clone())
+            .run(&instance)
+            .unwrap()
+            .cost();
         assert!(
             cost >= bounds.lower,
             "{}: online cost {cost} below certified OPT lower bound {}",
@@ -90,6 +99,8 @@ fn facade_reexports_are_usable() {
     .unwrap();
     assert_eq!(dvbp::norms::linf(&inst.items[0].size, &inst.capacity), 0.75);
     assert_eq!(inst.span(), 5);
-    let p = dvbp::pack(&inst, dvbp::PolicyKind::FirstFit.build().as_mut());
+    let p = dvbp::PackRequest::new(dvbp::PolicyKind::FirstFit)
+        .run(&inst)
+        .unwrap();
     assert_eq!(p.cost(), 5);
 }

@@ -75,7 +75,7 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Runs `routine` [`RUNS`] times, timing each run.
+    /// Runs `routine` `RUNS` times, timing each run.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         for _ in 0..RUNS {
             let start = Instant::now();

@@ -1,7 +1,7 @@
 //! Vendored stand-in for the `proptest` crate.
 //!
 //! Same authoring surface as real proptest for the subset this workspace
-//! uses — the [`proptest!`] macro, [`Strategy`] with `prop_map` /
+//! uses — the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
 //! `prop_flat_map`, range strategies, tuple composition, and
 //! `prop::collection::vec` — but with a simpler engine: each test runs a
 //! fixed number of cases drawn from a deterministic per-test RNG (seeded

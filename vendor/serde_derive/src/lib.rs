@@ -7,7 +7,7 @@
 //! * non-generic named structs, tuple structs, and unit structs;
 //! * non-generic enums with unit, newtype, tuple, and struct variants.
 //!
-//! The generated impls target the shim `serde`'s [`Content`] data model
+//! The generated impls target the shim `serde`'s `Content` data model
 //! and reproduce real serde's external-tagged JSON layout: structs become
 //! objects keyed by field name, newtype structs flatten to their inner
 //! value, unit variants become strings, and data variants become
