@@ -1,0 +1,255 @@
+//! Placement explanation: reconstruct each arrival's causal chain from a
+//! provenance event stream.
+//!
+//! A run recorded with a probe-aware observer
+//! ([`ProvenanceObserver`](dvbp_obs::ProvenanceObserver), or any
+//! observer under [`WithProvenance`](dvbp_obs::WithProvenance)) carries
+//! one [`ObsEvent::Probe`] per candidate bin the policy examined and one
+//! [`ObsEvent::Decision`] per placement. This module folds those back
+//! into per-item [`Explanation`]s and renders them as the `dvbp explain`
+//! CLI output — the "why did FirstFit skip bin 7" answer.
+
+use dvbp_obs::{ObsEvent, ScoreBreakdown};
+use dvbp_sim::Time;
+use std::fmt::Write as _;
+
+/// One candidate-bin examination, as reconstructed from a
+/// [`ObsEvent::Probe`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeInfo {
+    /// The examined bin.
+    pub bin: usize,
+    /// Whether the item fit (or was eligible at all).
+    pub fit: bool,
+    /// First violated dimension on a capacity rejection; `None` on a
+    /// successful probe or a policy-level rejection.
+    pub dim: Option<usize>,
+    /// Demand in the violated dimension.
+    pub need: u64,
+    /// Residual slack in the violated dimension.
+    pub have: u64,
+}
+
+/// The full causal chain of one placement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Explanation {
+    /// Arrival tick.
+    pub time: Time,
+    /// Item index.
+    pub item: usize,
+    /// Receiving bin.
+    pub bin: usize,
+    /// Whether the bin was opened for this item.
+    pub opened_new: bool,
+    /// Candidate bins in examination order.
+    pub probes: Vec<ProbeInfo>,
+    /// Probe count reported by the engine (equals `probes.len()` on a
+    /// complete stream).
+    pub reported_probes: u64,
+    /// Winning bin's ranking score (Best/Worst Fit only).
+    pub score: Option<ScoreBreakdown>,
+}
+
+/// Folds a provenance event stream into per-placement [`Explanation`]s,
+/// in placement order.
+///
+/// Streams without `Probe`/`Decision` events (plain recorder output)
+/// yield an empty vector; events outside arrivals are ignored.
+#[must_use]
+pub fn explain_stream(events: &[ObsEvent]) -> Vec<Explanation> {
+    let mut out = Vec::new();
+    let mut probes: Vec<ProbeInfo> = Vec::new();
+    for ev in events {
+        match ev {
+            ObsEvent::Arrival { .. } => probes.clear(),
+            ObsEvent::Probe {
+                bin,
+                fit,
+                dim,
+                need,
+                have,
+                ..
+            } => probes.push(ProbeInfo {
+                bin: *bin,
+                fit: *fit,
+                dim: *dim,
+                need: *need,
+                have: *have,
+            }),
+            ObsEvent::Decision {
+                time,
+                item,
+                bin,
+                opened_new,
+                probes: reported,
+                score,
+            } => out.push(Explanation {
+                time: *time,
+                item: *item,
+                bin: *bin,
+                opened_new: *opened_new,
+                probes: std::mem::take(&mut probes),
+                reported_probes: *reported,
+                score: *score,
+            }),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The explanation for one item, if the stream contains its decision.
+#[must_use]
+pub fn explain_item(events: &[ObsEvent], item: usize) -> Option<Explanation> {
+    explain_stream(events).into_iter().find(|e| e.item == item)
+}
+
+/// Renders one explanation as an indented causal chain:
+///
+/// ```text
+/// item 3 @ t=6: opened bin 2 after 2 probes
+///   bin 0: rejected at dim 0 (need 9, free 1)
+///   bin 1: rejected at dim 1 (need 9, free 3)
+/// ```
+#[must_use]
+pub fn render(e: &Explanation) -> String {
+    let mut s = String::new();
+    let verdict = if e.opened_new {
+        format!("opened bin {}", e.bin)
+    } else {
+        format!("placed in bin {}", e.bin)
+    };
+    let _ = writeln!(
+        s,
+        "item {} @ t={}: {} after {} probe{}",
+        e.item,
+        e.time,
+        verdict,
+        e.reported_probes,
+        if e.reported_probes == 1 { "" } else { "s" }
+    );
+    for p in &e.probes {
+        let line = if p.fit {
+            format!("bin {}: fits", p.bin)
+        } else if let Some(j) = p.dim {
+            format!(
+                "bin {}: rejected at dim {} (need {}, free {})",
+                p.bin, j, p.need, p.have
+            )
+        } else {
+            format!("bin {}: rejected by policy", p.bin)
+        };
+        let _ = writeln!(s, "  {line}");
+    }
+    if let Some(score) = e.score {
+        let detail = match score {
+            ScoreBreakdown::Frac { num, den } => format!("{num}/{den} = {:.4}", score.value()),
+            ScoreBreakdown::Bits { .. } => format!("{:.4}", score.value()),
+        };
+        let _ = writeln!(s, "  winner load score: {detail}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvbp_core::{Instance, Item, PackRequest, PolicyKind};
+    use dvbp_dimvec::DimVec;
+    use dvbp_obs::ProvenanceObserver;
+
+    fn item(size: &[u64], a: u64, e: u64) -> Item {
+        Item::new(DimVec::from_slice(size), a, e)
+    }
+
+    fn sample_instance() -> Instance {
+        Instance::new(
+            DimVec::from_slice(&[10, 10]),
+            vec![
+                item(&[7, 2], 0, 10),
+                item(&[2, 7], 2, 5),
+                item(&[3, 3], 4, 6),
+                item(&[9, 9], 6, 12),
+                item(&[1, 1], 7, 9),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_placement_gets_an_explanation() {
+        let inst = sample_instance();
+        for kind in PolicyKind::paper_suite(42) {
+            let mut obs = ProvenanceObserver::new();
+            PackRequest::new(kind.clone())
+                .observer(&mut obs)
+                .run(&inst)
+                .unwrap();
+            let explanations = explain_stream(&obs.events);
+            assert_eq!(explanations.len(), inst.len(), "{}", kind.name());
+            for e in &explanations {
+                assert_eq!(
+                    e.probes.len() as u64,
+                    e.reported_probes,
+                    "{} item {}",
+                    kind.name(),
+                    e.item
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejection_names_the_violated_dimension() {
+        // Item 1 (2,7) fits bin 0 next to (7,2); item 3 (9,9) fits nowhere:
+        // bin 0 rejects it in some dimension with concrete need/free.
+        let inst = sample_instance();
+        let mut obs = ProvenanceObserver::new();
+        PackRequest::new(PolicyKind::FirstFit)
+            .observer(&mut obs)
+            .run(&inst)
+            .unwrap();
+        let e = explain_item(&obs.events, 3).unwrap();
+        assert!(e.opened_new);
+        assert!(!e.probes.is_empty());
+        let p = e.probes[0];
+        assert!(!p.fit);
+        assert!(p.dim.is_some());
+        assert_eq!(p.need, 9);
+        assert!(p.have < 9);
+        let text = render(&e);
+        assert!(text.contains("opened bin"), "{text}");
+        assert!(text.contains("rejected at dim"), "{text}");
+    }
+
+    #[test]
+    fn best_fit_decisions_carry_a_score() {
+        let inst = sample_instance();
+        let mut obs = ProvenanceObserver::new();
+        PackRequest::new(PolicyKind::BestFit(dvbp_core::LoadMeasure::Linf))
+            .observer(&mut obs)
+            .run(&inst)
+            .unwrap();
+        let placed_existing: Vec<_> = explain_stream(&obs.events)
+            .into_iter()
+            .filter(|e| !e.opened_new)
+            .collect();
+        assert!(!placed_existing.is_empty());
+        for e in &placed_existing {
+            let score = e.score.expect("BestFit reports a winner score");
+            assert!((0.0..=1.0).contains(&score.value()));
+            assert!(render(e).contains("winner load score"), "{}", render(e));
+        }
+    }
+
+    #[test]
+    fn plain_recorder_streams_have_no_explanations() {
+        let inst = sample_instance();
+        let mut rec = dvbp_obs::Recorder::new();
+        PackRequest::new(PolicyKind::FirstFit)
+            .observer(&mut rec)
+            .run(&inst)
+            .unwrap();
+        assert!(explain_stream(&rec.events).is_empty());
+    }
+}

@@ -22,6 +22,7 @@
 mod proptests;
 
 pub mod decomposition;
+pub mod explain;
 pub mod gantt;
 pub mod metrics;
 pub mod obs_ingest;

@@ -148,6 +148,8 @@ pub fn replay_packing(events: &[ObsEvent]) -> Result<Packing, ReplayError> {
             }
             ObsEvent::Meta { .. }
             | ObsEvent::Arrival { .. }
+            | ObsEvent::Probe { .. }
+            | ObsEvent::Decision { .. }
             | ObsEvent::Depart { .. }
             | ObsEvent::RunEnd { .. } => {}
         }
@@ -339,8 +341,9 @@ pub fn split_runs(events: &[ObsEvent]) -> Vec<RunLog> {
 ///
 /// # Errors
 ///
-/// Returns the parse error of the first malformed line.
-pub fn ingest_jsonl(text: &str) -> Result<Vec<RunLog>, String> {
+/// Returns the [`ObsError`](dvbp_obs::ObsError) of the first malformed
+/// line.
+pub fn ingest_jsonl(text: &str) -> Result<Vec<RunLog>, dvbp_obs::ObsError> {
     Ok(split_runs(&dvbp_obs::jsonl::parse_str(text)?))
 }
 

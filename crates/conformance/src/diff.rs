@@ -23,7 +23,13 @@
 //!    replaying the event stream through
 //!    [`dvbp_analysis::obs_ingest::replay_packing`] must reconstruct the
 //!    live packing bit for bit (the observer feed is complete and
-//!    hook-ordered, and observation never perturbs decisions).
+//!    hook-ordered, and observation never perturbs decisions). The same
+//!    layer then re-runs under a
+//!    [`ProvenanceObserver`](dvbp_obs::ProvenanceObserver): probe
+//!    collection must not perturb the packing either, the provenance
+//!    stream must still replay, total probes must equal the run's total
+//!    scan count, and every `Decision` must agree with its placement
+//!    (bin, open/existing, per-arrival probe count).
 
 use crate::reference;
 use dvbp_core::{Instance, PackRequest, Packing, PolicyKind, TraceMode};
@@ -202,6 +208,82 @@ pub fn check_policy(instance: &Instance, kind: &PolicyKind) -> Result<(), Diverg
             return Err(Divergence::new(
                 kind,
                 format!("observer replay: stream does not replay: {e}"),
+            ));
+        }
+    }
+
+    let mut prov = dvbp_obs::ProvenanceObserver::new();
+    let prov_observed = PackRequest::new(kind.clone())
+        .observer(&mut prov)
+        .run(instance)
+        .unwrap();
+    if prov_observed != fast {
+        return Err(Divergence::new(
+            kind,
+            "provenance: probe collection changed the packing".to_string(),
+        ));
+    }
+    match dvbp_analysis::obs_ingest::replay_packing(&prov.events) {
+        Ok(replayed) => {
+            if let Some(diff) = first_difference(&replayed, &fast) {
+                return Err(Divergence::new(kind, format!("provenance replay: {diff}")));
+            }
+        }
+        Err(e) => {
+            return Err(Divergence::new(
+                kind,
+                format!("provenance replay: stream does not replay: {e}"),
+            ));
+        }
+    }
+    let scanned_total: u64 = prov
+        .events
+        .iter()
+        .map(|ev| match ev {
+            dvbp_obs::ObsEvent::Place { scanned, .. } => *scanned,
+            _ => 0,
+        })
+        .sum();
+    if prov.total_probes() != scanned_total {
+        return Err(Divergence::new(
+            kind,
+            format!(
+                "provenance: {} probe events vs {} total scanned",
+                prov.total_probes(),
+                scanned_total
+            ),
+        ));
+    }
+    let explanations = dvbp_analysis::explain::explain_stream(&prov.events);
+    if explanations.len() != fast.assignment.len() {
+        return Err(Divergence::new(
+            kind,
+            format!(
+                "provenance: {} decisions for {} placements",
+                explanations.len(),
+                fast.assignment.len()
+            ),
+        ));
+    }
+    for e in &explanations {
+        if e.probes.len() as u64 != e.reported_probes {
+            return Err(Divergence::new(
+                kind,
+                format!(
+                    "provenance: item {} has {} probe events but Decision reports {}",
+                    e.item,
+                    e.probes.len(),
+                    e.reported_probes
+                ),
+            ));
+        }
+        if fast.assignment[e.item].0 != e.bin {
+            return Err(Divergence::new(
+                kind,
+                format!(
+                    "provenance: Decision sends item {} to bin {} but the packing says {}",
+                    e.item, e.bin, fast.assignment[e.item]
+                ),
             ));
         }
     }

@@ -30,14 +30,14 @@
 use crate::bin::{BinId, BinUsage};
 use crate::fit_index::FitIndex;
 use crate::item::{Instance, Item};
-use crate::policy::{Decision, Policy};
+use crate::policy::{Decision, LoadKey, Policy};
 use crate::request::PackError;
 use dvbp_dimvec::DimVec;
 use dvbp_obs::{NoopObserver, Observer};
 use dvbp_sim::timeline::{Event, OnlineTimeline};
 use dvbp_sim::{sweep, Cost, Interval, Time};
 use serde::{Deserialize, Serialize};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
 /// Sentinel for "no item" in the flat per-bin item chains.
 const NO_ITEM: usize = usize::MAX;
@@ -79,6 +79,19 @@ pub enum TraceMode {
     CostOnly,
 }
 
+/// One candidate-bin examination, buffered per arrival when the run's
+/// observer opts into provenance (`Observer::WANTS_PROBES`).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ProbeRec {
+    bin: usize,
+    fit: bool,
+    /// First violated dimension; `None` on a successful probe or a
+    /// policy-level rejection.
+    dim: Option<usize>,
+    need: u64,
+    have: u64,
+}
+
 /// Read-only view of the engine state, handed to policies at each arrival.
 pub struct EngineView<'a> {
     capacity: &'a DimVec,
@@ -93,6 +106,13 @@ pub struct EngineView<'a> {
     /// Candidate bins the policy reported examining (see
     /// [`EngineView::note_scanned`]).
     scanned: Cell<u64>,
+    /// Per-arrival probe sink; `None` unless the observer declared
+    /// `WANTS_PROBES`, so the uninstrumented path pays one null check
+    /// per probe and no writes.
+    probes: Option<&'a RefCell<Vec<ProbeRec>>>,
+    /// Winning bin's ranking score, reported by Best/Worst Fit via
+    /// [`EngineView::note_score`].
+    score: Cell<Option<LoadKey>>,
     now: Time,
 }
 
@@ -176,6 +196,91 @@ impl EngineView<'_> {
     /// next.
     pub fn note_scanned(&self, n: u64) {
         self.scanned.set(self.scanned.get() + n);
+    }
+
+    /// Examines one candidate bin: the counted, provenance-aware form of
+    /// [`EngineView::fits`]. Returns whether `size` fits in `bin`,
+    /// counts the bin as scanned, and — on provenance runs — records the
+    /// first violated dimension with its demand and residual slack.
+    ///
+    /// Policy scan loops call this instead of `fits` +
+    /// [`note_scanned`](EngineView::note_scanned), so the scan count and
+    /// the probe log agree by construction.
+    #[must_use]
+    pub fn probe(&self, bin: BinId, size: &DimVec) -> bool {
+        let load = self.load(bin);
+        let mut rejected: Option<(usize, u64, u64)> = None;
+        for j in 0..self.dims {
+            let have = self.capacity[j] - load[j];
+            if size[j] > have {
+                rejected = Some((j, size[j], have));
+                break;
+            }
+        }
+        self.scanned.set(self.scanned.get() + 1);
+        if let Some(log) = self.probes {
+            let (dim, need, have) = match rejected {
+                Some((j, need, have)) => (Some(j), need, have),
+                None => (None, 0, 0),
+            };
+            log.borrow_mut().push(ProbeRec {
+                bin: bin.0,
+                fit: rejected.is_none(),
+                dim,
+                need,
+                have,
+            });
+        }
+        rejected.is_none()
+    }
+
+    /// Counts a bin delivered by a [`FitIndex`] query as one successful
+    /// probe, without re-running the O(d) capacity check the index
+    /// already performed.
+    pub fn probe_known_feasible(&self, bin: BinId) {
+        self.scanned.set(self.scanned.get() + 1);
+        if let Some(log) = self.probes {
+            log.borrow_mut().push(ProbeRec {
+                bin: bin.0,
+                fit: true,
+                dim: None,
+                need: 0,
+                have: 0,
+            });
+        }
+    }
+
+    /// Counts a bin the policy rejected on its own state (e.g. a
+    /// duration-class mismatch) before any capacity check: one failed
+    /// probe with no violated dimension.
+    pub fn probe_incompatible(&self, bin: BinId) {
+        self.scanned.set(self.scanned.get() + 1);
+        if let Some(log) = self.probes {
+            log.borrow_mut().push(ProbeRec {
+                bin: bin.0,
+                fit: false,
+                dim: None,
+                need: 0,
+                have: 0,
+            });
+        }
+    }
+
+    /// Reports the winning bin's ranking score (Best/Worst Fit); the
+    /// engine forwards it to the observer's
+    /// [`on_decision`](dvbp_obs::Observer::on_decision) hook.
+    pub fn note_score(&self, key: LoadKey) {
+        self.score.set(Some(key));
+    }
+}
+
+/// Converts a policy [`LoadKey`] into the serialization-stable
+/// [`ScoreBreakdown`](dvbp_obs::ScoreBreakdown) (floats stored as bits
+/// so event streams stay `Eq`-comparable).
+fn score_breakdown(key: LoadKey) -> dvbp_obs::ScoreBreakdown {
+    match key {
+        LoadKey::Frac { num, den } => dvbp_obs::ScoreBreakdown::Frac { num, den },
+        LoadKey::Value(v) => dvbp_obs::ScoreBreakdown::Bits { bits: v.to_bits() },
     }
 }
 
@@ -385,6 +490,9 @@ pub struct Engine {
     index_live: bool,
     /// `dims`-sized scratch for a freshly opened bin's initial residual.
     scratch: Vec<u64>,
+    /// Per-arrival probe buffer, reused across arrivals; only touched
+    /// when the run's observer declares `WANTS_PROBES`.
+    probe_log: RefCell<Vec<ProbeRec>>,
     dims: usize,
 }
 
@@ -559,7 +667,10 @@ impl Engine {
                         });
                         self.index_live = true;
                     }
-                    let (decision, scanned) = {
+                    if O::WANTS_PROBES {
+                        self.probe_log.borrow_mut().clear();
+                    }
+                    let (decision, scanned, score) = {
                         let view = EngineView {
                             capacity,
                             dims: d,
@@ -569,11 +680,30 @@ impl Engine {
                             open: &self.open,
                             index: self.index_live.then_some(&self.index),
                             scanned: Cell::new(0),
+                            probes: if O::WANTS_PROBES {
+                                Some(&self.probe_log)
+                            } else {
+                                None
+                            },
+                            score: Cell::new(None),
                             now: time,
                         };
                         let decision = policy.choose(&view, item_ref, item);
-                        (decision, view.scanned.get())
+                        (decision, view.scanned.get(), view.score.get())
                     };
+                    if O::WANTS_PROBES {
+                        for rec in self.probe_log.borrow().iter() {
+                            observer.on_probe(dvbp_obs::Probe {
+                                time,
+                                item,
+                                bin: rec.bin,
+                                fit: rec.fit,
+                                dim: rec.dim,
+                                need: rec.need,
+                                have: rec.have,
+                            });
+                        }
+                    }
                     let (bin, opened_new) = match decision {
                         Decision::Existing(bin) => {
                             assert!(
@@ -647,6 +777,16 @@ impl Engine {
                         opened_new,
                         scanned,
                     });
+                    if O::WANTS_PROBES {
+                        observer.on_decision(dvbp_obs::Decision {
+                            time,
+                            item,
+                            bin: bin.0,
+                            opened_new,
+                            probes: scanned,
+                            score: score.map(score_breakdown),
+                        });
+                    }
                 }
             }
         }

@@ -52,10 +52,9 @@ impl Policy for AlignedFit {
 
     fn choose(&mut self, view: &EngineView<'_>, item: &Item, _item_idx: usize) -> Decision {
         let target = Self::announced_departure(item);
-        view.note_scanned(view.open_bins().len() as u64);
         let mut best: Option<(BinId, u64)> = None;
         for &b in view.open_bins() {
-            if !view.fits(b, &item.size) {
+            if !view.probe(b, &item.size) {
                 continue;
             }
             let gap = self.latest_dep[b.0].abs_diff(target);

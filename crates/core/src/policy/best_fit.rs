@@ -102,22 +102,22 @@ impl Policy for BestFit {
             });
         };
         if self.scan || view.open_bins().len() < self.threshold {
-            view.note_scanned(view.open_bins().len() as u64);
             for &b in view.open_bins() {
-                if view.fits(b, &item.size) {
+                if view.probe(b, &item.size) {
                     consider(b, measure.key(view.load(b), cap));
                 }
             }
         } else {
-            let mut feasible = 0u64;
             view.index()
                 .for_each_feasible(item.size.as_slice(), |b, res| {
-                    feasible += 1;
+                    view.probe_known_feasible(BinId(b));
                     consider(BinId(b), measure.key_from_residual(res, cap));
                 });
-            view.note_scanned(feasible);
         }
-        best.map_or(Decision::OpenNew, |(b, _)| Decision::Existing(b))
+        best.map_or(Decision::OpenNew, |(b, key)| {
+            view.note_score(key);
+            Decision::Existing(b)
+        })
     }
 
     fn after_pack(&mut self, _item: &Item, _item_idx: usize, _bin: BinId, _newly_opened: bool) {}

@@ -60,20 +60,18 @@ impl Policy for DurationClassFirstFit {
 
     fn choose(&mut self, view: &EngineView<'_>, item: &Item, _item_idx: usize) -> Decision {
         let class = Self::item_class(item);
-        match view
-            .open_bins()
-            .iter()
-            .position(|&b| self.class_of[b.0] == class && view.fits(b, &item.size))
-        {
-            Some(pos) => {
-                view.note_scanned(pos as u64 + 1);
-                Decision::Existing(view.open_bins()[pos])
+        // A bin of the wrong class is a policy-level rejection: it counts
+        // as one probe (the scan examined it) without a capacity check.
+        for &b in view.open_bins() {
+            if self.class_of[b.0] != class {
+                view.probe_incompatible(b);
+                continue;
             }
-            None => {
-                view.note_scanned(view.open_bins().len() as u64);
-                Decision::OpenNew
+            if view.probe(b, &item.size) {
+                return Decision::Existing(b);
             }
         }
+        Decision::OpenNew
     }
 
     fn wants_index(&self, _open_bins: usize) -> bool {

@@ -75,22 +75,16 @@ impl Policy for FirstFit {
             return match view
                 .open_bins()
                 .iter()
-                .position(|&b| view.fits(b, &item.size))
+                .position(|&b| view.probe(b, &item.size))
             {
-                Some(pos) => {
-                    view.note_scanned(pos as u64 + 1);
-                    Decision::Existing(view.open_bins()[pos])
-                }
-                None => {
-                    view.note_scanned(view.open_bins().len() as u64);
-                    Decision::OpenNew
-                }
+                Some(pos) => Decision::Existing(view.open_bins()[pos]),
+                None => Decision::OpenNew,
             };
         }
         match view.index().first_fit(item.size.as_slice()) {
             Some(b) => {
-                view.note_scanned(1);
                 let bin = BinId(b);
+                view.probe_known_feasible(bin);
                 debug_assert!(view.fits(bin, &item.size));
                 Decision::Existing(bin)
             }

@@ -73,23 +73,19 @@ impl Policy for LastFit {
                 .open_bins()
                 .iter()
                 .rev()
-                .position(|&b| view.fits(b, &item.size))
+                .position(|&b| view.probe(b, &item.size))
             {
                 Some(pos) => {
-                    view.note_scanned(pos as u64 + 1);
                     let idx = view.open_bins().len() - 1 - pos;
                     Decision::Existing(view.open_bins()[idx])
                 }
-                None => {
-                    view.note_scanned(view.open_bins().len() as u64);
-                    Decision::OpenNew
-                }
+                None => Decision::OpenNew,
             };
         }
         match view.index().last_fit(item.size.as_slice()) {
             Some(b) => {
-                view.note_scanned(1);
                 let bin = BinId(b);
+                view.probe_known_feasible(bin);
                 debug_assert!(view.fits(bin, &item.size));
                 Decision::Existing(bin)
             }

@@ -50,15 +50,9 @@ impl Policy for MoveToFront {
 
     fn choose(&mut self, view: &EngineView<'_>, item: &Item, _item_idx: usize) -> Decision {
         debug_assert_eq!(self.order.len(), view.open_bins().len());
-        match self.order.iter().position(|&b| view.fits(b, &item.size)) {
-            Some(pos) => {
-                view.note_scanned(pos as u64 + 1);
-                Decision::Existing(self.order[pos])
-            }
-            None => {
-                view.note_scanned(self.order.len() as u64);
-                Decision::OpenNew
-            }
+        match self.order.iter().position(|&b| view.probe(b, &item.size)) {
+            Some(pos) => Decision::Existing(self.order[pos]),
+            None => Decision::OpenNew,
         }
     }
 

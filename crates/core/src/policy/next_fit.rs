@@ -42,15 +42,14 @@ impl Policy for NextFit {
 
     fn choose(&mut self, view: &EngineView<'_>, item: &Item, _item_idx: usize) -> Decision {
         match self.current {
-            Some(b) if view.fits(b, &item.size) => {
-                view.note_scanned(1);
-                Decision::Existing(b)
-            }
-            // Either no current bin, or the item does not fit: release the
-            // current bin (it simply stops being current) and open a new one.
-            Some(_) => {
-                view.note_scanned(1);
-                Decision::OpenNew
+            // The item either goes to the current bin or releases it (the
+            // bin simply stops being current) — one probe either way.
+            Some(b) => {
+                if view.probe(b, &item.size) {
+                    Decision::Existing(b)
+                } else {
+                    Decision::OpenNew
+                }
             }
             None => Decision::OpenNew,
         }

@@ -58,16 +58,17 @@ impl Policy for RandomFit {
         // independent of which path ran.
         let candidates = &mut self.candidates;
         if view.open_bins().len() < self.threshold {
-            view.note_scanned(view.open_bins().len() as u64);
             for &b in view.open_bins() {
-                if view.fits(b, &item.size) {
+                if view.probe(b, &item.size) {
                     candidates.push(b);
                 }
             }
         } else {
             view.index()
-                .for_each_feasible(item.size.as_slice(), |b, _res| candidates.push(BinId(b)));
-            view.note_scanned(candidates.len() as u64);
+                .for_each_feasible(item.size.as_slice(), |b, _res| {
+                    view.probe_known_feasible(BinId(b));
+                    candidates.push(BinId(b));
+                });
         }
         match self.candidates.len() {
             0 => Decision::OpenNew,

@@ -40,8 +40,9 @@ pub struct MetricsRun<'a> {
 ///
 /// # Errors
 ///
-/// Returns the first I/O error (file creation, write, or final flush).
-pub fn emit_metrics_jsonl(path: &Path, runs: &[MetricsRun<'_>]) -> std::io::Result<u64> {
+/// Returns the first [`ObsError`](dvbp_obs::ObsError) hit (file
+/// creation, serialization, write, or final flush).
+pub fn emit_metrics_jsonl(path: &Path, runs: &[MetricsRun<'_>]) -> Result<u64, dvbp_obs::ObsError> {
     let mut emitter = JsonlEmitter::new(BufWriter::new(File::create(path)?));
     for run in runs {
         emitter.emit(&ObsEvent::Meta {

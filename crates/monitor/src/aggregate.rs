@@ -1,0 +1,148 @@
+//! Cross-run aggregation of per-run observer output.
+//!
+//! One [`Aggregate`] lives behind the monitor's mutex; the driver folds
+//! each finished run into it ([`Aggregate::absorb`]) and the HTTP
+//! handlers render point-in-time copies. Everything here is monotone
+//! (counters and merged histograms only grow; the peak only rises), so
+//! Prometheus rate queries over scrapes are meaningful.
+
+use dvbp_obs::histogram::LogHistogram;
+use dvbp_obs::{MetricsObserver, TimingSnapshot};
+use dvbp_sim::Cost;
+
+/// Totals over every run the driver has completed.
+#[derive(Clone, Debug, Default)]
+pub struct Aggregate {
+    /// Completed engine runs.
+    pub runs: u64,
+    /// Items placed over all runs.
+    pub arrivals: u64,
+    /// Items departed over all runs.
+    pub departures: u64,
+    /// Bins ever opened over all runs.
+    pub bins_opened: u64,
+    /// Bins closed over all runs.
+    pub bins_closed: u64,
+    /// Candidate bins examined by the policy over all placements.
+    pub probes: u64,
+    /// Highest number of simultaneously open bins seen in any run.
+    pub open_bins_peak: u64,
+    /// Total usage-time cost (objective of eq. 1) over all runs.
+    pub usage_time: Cost,
+    /// Total Lemma 1 load-integral lower bound over the same runs.
+    pub lb_load: Cost,
+    /// Arrival-to-placement wall-clock latency (ns), merged over runs.
+    pub dispatch_ns: LogHistogram,
+    /// Arrival-to-bin-open wall-clock latency (ns), merged over runs.
+    pub index_update_ns: LogHistogram,
+    /// Pre-departure hook gap (ns), merged over runs.
+    pub departure_ns: LogHistogram,
+}
+
+impl Aggregate {
+    /// Creates an empty aggregate.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one finished run into the totals.
+    pub fn absorb(
+        &mut self,
+        metrics: &MetricsObserver,
+        timing: &TimingSnapshot,
+        cost: Cost,
+        lb: Cost,
+    ) {
+        self.runs += 1;
+        self.arrivals += metrics.arrivals;
+        self.departures += metrics.departures;
+        self.bins_opened += metrics.bins_opened;
+        self.bins_closed += metrics.bins_closed;
+        self.probes += metrics.total_scanned;
+        self.open_bins_peak = self
+            .open_bins_peak
+            .max(metrics.max_concurrent_bins() as u64);
+        self.usage_time += cost;
+        self.lb_load += lb;
+        self.dispatch_ns.merge(&timing.dispatch);
+        self.index_update_ns.merge(&timing.index_update);
+        self.departure_ns.merge(&timing.departure);
+    }
+
+    /// Running competitive ratio: accumulated usage-time cost over the
+    /// accumulated Lemma 1 lower bound (1 for an empty aggregate).
+    #[must_use]
+    pub fn running_cr(&self) -> f64 {
+        if self.lb_load == 0 {
+            if self.usage_time == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.usage_time as f64 / self.lb_load as f64
+        }
+    }
+
+    /// Competitive-ratio drift: how far the achieved cost sits above the
+    /// Lemma 1 bound (`running_cr − 1`; 0 means the policy is provably
+    /// optimal on the traffic seen so far).
+    #[must_use]
+    pub fn cr_drift(&self) -> f64 {
+        self.running_cr() - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvbp_core::{Instance, Item, PackRequest, PolicyKind};
+    use dvbp_dimvec::DimVec;
+    use dvbp_obs::TimingObserver;
+
+    fn sample_instance() -> Instance {
+        let item = |size: &[u64], a: u64, e: u64| Item::new(DimVec::from_slice(size), a, e);
+        Instance::new(
+            DimVec::from_slice(&[10, 10]),
+            vec![
+                item(&[7, 2], 0, 10),
+                item(&[2, 7], 2, 5),
+                item(&[3, 3], 4, 6),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn absorb_accumulates_and_cr_is_bounded_below_by_one() {
+        let inst = sample_instance();
+        let mut agg = Aggregate::new();
+        for _ in 0..2 {
+            let mut metrics = dvbp_obs::MetricsObserver::new();
+            let mut timing = TimingObserver::new();
+            let mut stack = (&mut metrics, &mut timing);
+            let packing = PackRequest::new(PolicyKind::FirstFit)
+                .observer(&mut stack)
+                .run(&inst)
+                .unwrap();
+            let lb = dvbp_offline::lb_load(&inst);
+            agg.absorb(&metrics, &timing.snapshot(), packing.cost(), lb);
+        }
+        assert_eq!(agg.runs, 2);
+        assert_eq!(agg.arrivals, 6);
+        assert_eq!(agg.departures, 6);
+        assert_eq!(agg.bins_opened, agg.bins_closed);
+        assert_eq!(agg.dispatch_ns.total(), 6);
+        assert!(agg.usage_time >= agg.lb_load, "Lemma 1 violated");
+        assert!(agg.running_cr() >= 1.0);
+        assert!(agg.cr_drift() >= 0.0);
+    }
+
+    #[test]
+    fn empty_aggregate_has_unit_ratio() {
+        let agg = Aggregate::new();
+        assert_eq!(agg.running_cr(), 1.0);
+        assert_eq!(agg.cr_drift(), 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Workload sources and the per-run observation step.
+//!
+//! The monitor drives the engine itself — it does not tail a log — so
+//! wall-clock timing and probe counters come from live runs. Two
+//! sources:
+//!
+//! * **synthetic** — an endless stream of [`UniformParams`] instances
+//!   with incrementing seeds (the Table 2 workload family);
+//! * **replay** — instances reconstructed from a recorded `dvbp-obs`
+//!   JSONL trace via [`reconstruct_instance`]: the observer feed is
+//!   complete, so each run's `Arrival` (time + size vector) and `Depart`
+//!   (time) events pin down the original instance exactly. The driver
+//!   cycles through the reconstructed instances forever.
+
+use crate::aggregate::Aggregate;
+use dvbp_analysis::obs_ingest::RunLog;
+use dvbp_core::{Instance, Item, PackRequest, PolicyKind};
+use dvbp_dimvec::DimVec;
+use dvbp_obs::{MetricsObserver, ObsEvent, TimingObserver};
+use dvbp_sim::Time;
+use dvbp_workloads::UniformParams;
+use std::sync::Mutex;
+
+/// Rebuilds the packed [`Instance`] from one run's event stream.
+///
+/// # Errors
+///
+/// Returns a description of the first inconsistency: a placed item with
+/// no arrival, a missing departure, or size/capacity data the engine
+/// would reject.
+pub fn reconstruct_instance(run: &RunLog) -> Result<Instance, String> {
+    let mut capacity: Option<DimVec> = None;
+    let mut arrivals: Vec<Option<(DimVec, Time)>> = Vec::new();
+    let mut departures: Vec<Option<Time>> = Vec::new();
+    for ev in &run.events {
+        match ev {
+            ObsEvent::RunStart {
+                capacity: cap,
+                items,
+            } => {
+                capacity = Some(DimVec::from_slice(cap));
+                arrivals = vec![None; *items];
+                departures = vec![None; *items];
+            }
+            ObsEvent::Arrival { time, item, size } => {
+                if *item >= arrivals.len() {
+                    arrivals.resize(*item + 1, None);
+                    departures.resize(*item + 1, None);
+                }
+                arrivals[*item] = Some((DimVec::from_slice(size), *time));
+            }
+            ObsEvent::Depart { time, item, .. } => {
+                if let Some(slot) = departures.get_mut(*item) {
+                    *slot = Some(*time);
+                }
+            }
+            _ => {}
+        }
+    }
+    let capacity = capacity.ok_or("trace has no RunStart event")?;
+    let items = arrivals
+        .into_iter()
+        .zip(departures)
+        .enumerate()
+        .map(|(i, (arr, dep))| {
+            let (size, arrival) = arr.ok_or(format!("item {i}: no Arrival event"))?;
+            let departure = dep.ok_or(format!("item {i}: no Depart event"))?;
+            Ok(Item::new(size, arrival, departure))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Instance::new(capacity, items).map_err(|e| format!("reconstructed instance invalid: {e}"))
+}
+
+/// An endless instance source for the driver loop.
+pub enum Workload {
+    /// Freshly generated uniform instances, one seed per run.
+    Synthetic {
+        /// Generation parameters.
+        params: UniformParams,
+        /// Seed of the next run (increments).
+        next_seed: u64,
+    },
+    /// Instances reconstructed from a recorded trace, cycled forever.
+    Replay {
+        /// The reconstructed instances.
+        instances: Vec<Instance>,
+        /// Index of the next instance.
+        next: usize,
+    },
+}
+
+impl Workload {
+    /// A synthetic source starting at `seed`.
+    #[must_use]
+    pub fn synthetic(params: UniformParams, seed: u64) -> Self {
+        Workload::Synthetic {
+            params,
+            next_seed: seed,
+        }
+    }
+
+    /// A replay source over every run in a `dvbp-obs` JSONL trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the text does not parse as an event stream,
+    /// contains no runs, or any run does not reconstruct.
+    pub fn from_trace_jsonl(text: &str) -> Result<Self, String> {
+        let runs = dvbp_analysis::obs_ingest::ingest_jsonl(text).map_err(|e| e.to_string())?;
+        if runs.is_empty() {
+            return Err("trace contains no runs".into());
+        }
+        let instances = runs
+            .iter()
+            .map(reconstruct_instance)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Workload::Replay { instances, next: 0 })
+    }
+
+    /// Produces the next instance (never exhausts).
+    pub fn next_instance(&mut self) -> Instance {
+        match self {
+            Workload::Synthetic { params, next_seed } => {
+                let inst = params.generate(*next_seed);
+                *next_seed += 1;
+                inst
+            }
+            Workload::Replay { instances, next } => {
+                let inst = instances[*next].clone();
+                *next = (*next + 1) % instances.len();
+                inst
+            }
+        }
+    }
+}
+
+/// Packs one instance with the full telemetry stack attached and folds
+/// the run into the shared aggregate.
+///
+/// # Panics
+///
+/// Panics if the instance is rejected by the engine (sources only yield
+/// validated instances) or the aggregate mutex is poisoned.
+pub fn observe_run(kind: &PolicyKind, instance: &Instance, aggregate: &Mutex<Aggregate>) {
+    let mut metrics = MetricsObserver::new();
+    let mut timing = TimingObserver::new();
+    let mut stack = (&mut metrics, &mut timing);
+    let packing = PackRequest::new(kind.clone())
+        .observer(&mut stack)
+        .run(instance)
+        .expect("workload sources yield valid instances");
+    let lb = dvbp_offline::lb_load(instance);
+    aggregate.lock().expect("aggregate mutex poisoned").absorb(
+        &metrics,
+        &timing.snapshot(),
+        packing.cost(),
+        lb,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvbp_obs::{JsonlEmitter, ObsEvent};
+
+    fn sample_instance() -> Instance {
+        let item = |size: &[u64], a: u64, e: u64| Item::new(DimVec::from_slice(size), a, e);
+        Instance::new(
+            DimVec::from_slice(&[10, 10]),
+            vec![
+                item(&[7, 2], 0, 10),
+                item(&[2, 7], 2, 5),
+                item(&[3, 3], 4, 6),
+                item(&[9, 9], 6, 12),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trace_round_trips_to_the_original_instance() {
+        let inst = sample_instance();
+        let mut emitter = JsonlEmitter::new(Vec::new());
+        emitter.emit(&ObsEvent::Meta {
+            algorithm: "FirstFit".into(),
+            d: 2,
+            mu: 10,
+            seed: 0,
+        });
+        PackRequest::new(PolicyKind::FirstFit)
+            .observer(&mut emitter)
+            .run(&inst)
+            .unwrap();
+        let text = String::from_utf8(emitter.finish().unwrap()).unwrap();
+        let mut workload = Workload::from_trace_jsonl(&text).unwrap();
+        let rebuilt = workload.next_instance();
+        assert_eq!(rebuilt, inst);
+        // Cycles: the source never exhausts.
+        assert_eq!(workload.next_instance(), inst);
+    }
+
+    #[test]
+    fn synthetic_source_advances_seeds() {
+        let params = UniformParams {
+            dims: 2,
+            items: 20,
+            mu: 5,
+            span: 30,
+            bin_size: 50,
+        };
+        let mut w = Workload::synthetic(params, 7);
+        let a = w.next_instance();
+        let b = w.next_instance();
+        assert_ne!(a, b, "consecutive seeds should differ");
+        assert_eq!(a, params.generate(7));
+        assert_eq!(b, params.generate(8));
+    }
+
+    #[test]
+    fn observe_run_populates_the_aggregate() {
+        let inst = sample_instance();
+        let agg = Mutex::new(Aggregate::new());
+        observe_run(&PolicyKind::MoveToFront, &inst, &agg);
+        let agg = agg.into_inner().unwrap();
+        assert_eq!(agg.runs, 1);
+        assert_eq!(agg.arrivals, 4);
+        assert_eq!(agg.dispatch_ns.total(), 4);
+        assert!(agg.usage_time >= agg.lb_load);
+    }
+
+    #[test]
+    fn empty_trace_is_rejected() {
+        assert!(Workload::from_trace_jsonl("").is_err());
+    }
+}

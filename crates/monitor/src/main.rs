@@ -1,0 +1,137 @@
+//! `dvbp-monitor` — live telemetry service.
+//!
+//! ```text
+//! dvbp-monitor [--addr 127.0.0.1:9184] [--policy FirstFit]
+//!              [--trace events.jsonl | --d 2 --n 200 --mu 10 --span 100 --bin 100]
+//!              [--seed 0] [--runs N] [--interval-ms 100]
+//! ```
+//!
+//! Drives the configured workload through the engine on a background
+//! thread (one run per interval; `--runs 0` means unbounded) while the
+//! main thread serves `/metrics`, `/status`, `/healthz`, and
+//! `/shutdown`. With `--trace`, instances are reconstructed from a
+//! recorded `dvbp-obs` JSONL event stream and cycled; otherwise uniform
+//! instances are generated with incrementing seeds.
+
+use dvbp_core::PolicyKind;
+use dvbp_monitor::{observe_run, Monitor, MonitorServer, Workload};
+use dvbp_workloads::UniformParams;
+use std::process::ExitCode;
+use std::str::FromStr;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+dvbp-monitor — live /metrics endpoint for DVBP packing
+
+USAGE:
+  dvbp-monitor [--addr HOST:PORT] [--policy NAME]
+               [--trace FILE.jsonl | --d D --n N --mu MU --span T --bin B]
+               [--seed S] [--runs N] [--interval-ms MS]
+
+  --addr         bind address (default 127.0.0.1:9184; port 0 = ephemeral)
+  --policy       packing policy (default FirstFit); see `dvbp --help`
+  --trace        replay instances reconstructed from a dvbp-obs JSONL trace
+  --runs         stop driving after N runs, keep serving (0 = unbounded)
+  --interval-ms  pause between runs (default 100)
+
+ENDPOINTS: /metrics (Prometheus), /status (JSON), /healthz, /shutdown";
+
+fn flag(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse<T: FromStr>(args: &[String], key: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flag(args, key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("{key} {v}: {e}")),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let addr = parse(args, "--addr", "127.0.0.1:9184".to_string())?;
+    let policy = PolicyKind::from_str(&parse(args, "--policy", "FirstFit".to_string())?)
+        .map_err(|e| e.to_string())?;
+    let runs_budget: u64 = parse(args, "--runs", 0u64)?;
+    let interval = Duration::from_millis(parse(args, "--interval-ms", 100u64)?);
+
+    let mut workload = match flag(args, "--trace") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+            Workload::from_trace_jsonl(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => {
+            let params = UniformParams {
+                dims: parse(args, "--d", 2usize)?,
+                items: parse(args, "--n", 200usize)?,
+                mu: parse(args, "--mu", 10u64)?,
+                span: parse(args, "--span", 100u64)?,
+                bin_size: parse(args, "--bin", 100u64)?,
+            };
+            if params.mu > params.span {
+                return Err("--mu must not exceed --span".into());
+            }
+            Workload::synthetic(params, parse(args, "--seed", 0u64)?)
+        }
+    };
+
+    let monitor = Arc::new(Monitor::new(policy.name()));
+    let server =
+        MonitorServer::bind(addr.as_str(), &monitor).map_err(|e| format!("binding {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "dvbp-monitor: {} on http://{bound}/metrics (status: /status, stop: /shutdown)",
+        policy.name()
+    );
+
+    let driver_monitor = Arc::clone(&monitor);
+    let driver = std::thread::spawn(move || {
+        let mut completed = 0u64;
+        while !driver_monitor.shutting_down() {
+            if runs_budget != 0 && completed >= runs_budget {
+                // Budget spent: idle (still serving) until /shutdown.
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+            let instance = workload.next_instance();
+            observe_run(&policy, &instance, &driver_monitor.aggregate);
+            completed += 1;
+            // Sleep in short slices so /shutdown takes effect promptly.
+            let mut left = interval;
+            while !left.is_zero() && !driver_monitor.shutting_down() {
+                let step = left.min(Duration::from_millis(20));
+                std::thread::sleep(step);
+                left -= step;
+            }
+        }
+    });
+
+    let served = server.serve();
+    monitor.shutdown.store(true, Ordering::SeqCst);
+    driver.join().map_err(|_| "driver thread panicked")?;
+    served.map_err(|e| format!("serving on {bound}: {e}"))?;
+    println!("dvbp-monitor: stopped");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Prometheus text exposition (format version 0.0.4) of an
+//! [`Aggregate`].
+//!
+//! Families:
+//!
+//! * open-bin — `dvbp_bins_opened_total`, `dvbp_bins_closed_total`,
+//!   `dvbp_open_bins_peak`;
+//! * usage-time — `dvbp_usage_time_total`, `dvbp_lb_load_total`;
+//! * CR drift — `dvbp_cr_running`, `dvbp_cr_drift`;
+//! * latency histograms — `dvbp_dispatch_latency_ns`,
+//!   `dvbp_index_update_latency_ns`, `dvbp_departure_latency_ns`, each
+//!   with the cumulative `_bucket{le=…}` series plus `_sum`/`_count`;
+//! * throughput — `dvbp_runs_total`, `dvbp_arrivals_total`,
+//!   `dvbp_departures_total`, `dvbp_probes_total`.
+//!
+//! Every series carries a `policy` label so several monitors can feed
+//! one scrape target. [`LogHistogram`] buckets are powers of two over
+//! integer samples, so the inclusive `le` bound of bucket `i ≥ 1` is
+//! `2^i − 1` (bucket 0 is the singleton `{0}`); buckets are emitted up
+//! to the highest non-empty one, then `+Inf`.
+
+use crate::aggregate::Aggregate;
+use dvbp_obs::histogram::LogHistogram;
+use std::fmt::Write as _;
+
+fn counter(out: &mut String, name: &str, help: &str, policy: &str, value: u128) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name}{{policy=\"{policy}\"}} {value}");
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, policy: &str, value: f64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    if value.is_infinite() {
+        let _ = writeln!(out, "{name}{{policy=\"{policy}\"}} +Inf");
+    } else {
+        let _ = writeln!(out, "{name}{{policy=\"{policy}\"}} {value}");
+    }
+}
+
+fn histogram(out: &mut String, name: &str, help: &str, policy: &str, h: &LogHistogram) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let last = h.last_bucket().unwrap_or(0);
+    let mut cumulative = 0u64;
+    for (i, &count) in h.counts().iter().enumerate().take(last + 1) {
+        cumulative += count;
+        // Inclusive upper bound of bucket i over integer samples.
+        let le = if i == 0 { 0 } else { (1u128 << i) - 1 };
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{policy=\"{policy}\",le=\"{le}\"}} {cumulative}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{{policy=\"{policy}\",le=\"+Inf\"}} {}",
+        h.total()
+    );
+    let _ = writeln!(out, "{name}_sum{{policy=\"{policy}\"}} {}", h.sum());
+    let _ = writeln!(out, "{name}_count{{policy=\"{policy}\"}} {}", h.total());
+}
+
+/// Renders the full exposition document for one aggregate snapshot.
+#[must_use]
+pub fn render(agg: &Aggregate, policy: &str) -> String {
+    let mut out = String::new();
+    counter(
+        &mut out,
+        "dvbp_runs_total",
+        "Completed engine runs.",
+        policy,
+        u128::from(agg.runs),
+    );
+    counter(
+        &mut out,
+        "dvbp_arrivals_total",
+        "Items placed over all runs.",
+        policy,
+        u128::from(agg.arrivals),
+    );
+    counter(
+        &mut out,
+        "dvbp_departures_total",
+        "Items departed over all runs.",
+        policy,
+        u128::from(agg.departures),
+    );
+    counter(
+        &mut out,
+        "dvbp_probes_total",
+        "Candidate bins examined by the policy over all placements.",
+        policy,
+        u128::from(agg.probes),
+    );
+    counter(
+        &mut out,
+        "dvbp_bins_opened_total",
+        "Bins ever opened over all runs.",
+        policy,
+        u128::from(agg.bins_opened),
+    );
+    counter(
+        &mut out,
+        "dvbp_bins_closed_total",
+        "Bins closed over all runs.",
+        policy,
+        u128::from(agg.bins_closed),
+    );
+    gauge(
+        &mut out,
+        "dvbp_open_bins_peak",
+        "Highest number of simultaneously open bins seen in any run.",
+        policy,
+        agg.open_bins_peak as f64,
+    );
+    counter(
+        &mut out,
+        "dvbp_usage_time_total",
+        "Accumulated MinUsageTime cost (bin-ticks rented, eq. 1).",
+        policy,
+        agg.usage_time,
+    );
+    counter(
+        &mut out,
+        "dvbp_lb_load_total",
+        "Accumulated Lemma 1 load-integral lower bound (bin-ticks).",
+        policy,
+        agg.lb_load,
+    );
+    gauge(
+        &mut out,
+        "dvbp_cr_running",
+        "Running competitive ratio: usage-time cost over the Lemma 1 bound.",
+        policy,
+        agg.running_cr(),
+    );
+    gauge(
+        &mut out,
+        "dvbp_cr_drift",
+        "Cost drift above the Lemma 1 bound (running CR minus one).",
+        policy,
+        agg.cr_drift(),
+    );
+    histogram(
+        &mut out,
+        "dvbp_dispatch_latency_ns",
+        "Wall-clock arrival-to-placement latency per item (ns).",
+        policy,
+        &agg.dispatch_ns,
+    );
+    histogram(
+        &mut out,
+        "dvbp_index_update_latency_ns",
+        "Wall-clock arrival-to-bin-open latency on the open-new path (ns).",
+        policy,
+        &agg.index_update_ns,
+    );
+    histogram(
+        &mut out,
+        "dvbp_departure_latency_ns",
+        "Wall-clock hook gap preceding each departure (ns).",
+        policy,
+        &agg.departure_ns,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_aggregate() -> Aggregate {
+        let mut agg = Aggregate::new();
+        agg.runs = 2;
+        agg.arrivals = 10;
+        agg.departures = 10;
+        agg.bins_opened = 4;
+        agg.bins_closed = 4;
+        agg.probes = 17;
+        agg.open_bins_peak = 3;
+        agg.usage_time = 40;
+        agg.lb_load = 25;
+        agg.dispatch_ns.record(0);
+        agg.dispatch_ns.record(5);
+        agg.dispatch_ns.record(1000);
+        agg
+    }
+
+    /// Structural validity: every non-comment line is `name{labels} value`,
+    /// histogram buckets are cumulative, and `_count` equals `+Inf`.
+    #[test]
+    fn exposition_is_well_formed() {
+        let text = render(&sample_aggregate(), "FirstFit");
+        let mut inf_bucket = None;
+        let mut count = None;
+        let mut prev_bucket = 0u64;
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "{line}"
+                );
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect(line);
+            assert!(series.contains("{policy=\"FirstFit\""), "{line}");
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "unparseable sample value in {line}"
+            );
+            if series.starts_with("dvbp_dispatch_latency_ns_bucket") {
+                let v: u64 = value.parse().unwrap();
+                assert!(v >= prev_bucket, "non-cumulative buckets: {line}");
+                prev_bucket = v;
+                if series.contains("le=\"+Inf\"") {
+                    inf_bucket = Some(v);
+                }
+            }
+            if series.starts_with("dvbp_dispatch_latency_ns_count") {
+                count = Some(value.parse::<u64>().unwrap());
+            }
+        }
+        assert_eq!(inf_bucket, Some(3));
+        assert_eq!(count, Some(3));
+        assert!(text.contains("dvbp_cr_running{policy=\"FirstFit\"} 1.6"));
+        assert!(text.contains("dvbp_usage_time_total{policy=\"FirstFit\"} 40"));
+    }
+
+    #[test]
+    fn bucket_bounds_are_powers_of_two_minus_one() {
+        let text = render(&sample_aggregate(), "p");
+        // 1000 lands in bucket 10 ([512, 1024)), le = 1023.
+        assert!(text.contains("le=\"1023\""), "{text}");
+        assert!(text.contains("le=\"0\""), "{text}");
+    }
+
+    #[test]
+    fn infinite_ratio_renders_as_inf() {
+        let mut agg = Aggregate::new();
+        agg.usage_time = 5;
+        let text = render(&agg, "p");
+        assert!(
+            text.contains("dvbp_cr_running{policy=\"p\"} +Inf"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! The `/metrics` endpoint: a minimal HTTP/1.1 server on
+//! [`std::net::TcpListener`].
+//!
+//! One blocking accept loop, one connection at a time, `Connection:
+//! close` on every response — exactly enough HTTP for a Prometheus
+//! scraper and `curl`. Routes:
+//!
+//! | path        | response                                            |
+//! |-------------|-----------------------------------------------------|
+//! | `/metrics`  | Prometheus text exposition of the aggregate         |
+//! | `/status`   | JSON summary (runs, ratio, peaks, shutdown flag)    |
+//! | `/healthz`  | `ok` (liveness)                                     |
+//! | `/shutdown` | `shutting down`, then the accept loop exits         |
+//!
+//! Graceful shutdown: `/shutdown` flips the shared [`Monitor::shutdown`]
+//! flag *before* the loop exits, so the driver thread (which polls the
+//! flag between runs) and the server stop together; the in-flight
+//! response is fully written first.
+
+use crate::aggregate::Aggregate;
+use crate::prometheus;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// The `/status` document (serialized as JSON).
+///
+/// `usage_time` and `lb_load` are decimal strings: they are `u128`
+/// bin-tick totals that can exceed what JSON numbers represent exactly.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Status {
+    /// Policy label.
+    pub policy: String,
+    /// Completed runs.
+    pub runs: u64,
+    /// Items placed over all runs.
+    pub arrivals: u64,
+    /// Items departed over all runs.
+    pub departures: u64,
+    /// Bins ever opened.
+    pub bins_opened: u64,
+    /// Highest simultaneously-open-bin count seen.
+    pub open_bins_peak: u64,
+    /// Candidate bins examined over all placements.
+    pub probes: u64,
+    /// Accumulated usage-time cost, as a decimal string.
+    pub usage_time: String,
+    /// Accumulated Lemma 1 lower bound, as a decimal string.
+    pub lb_load: String,
+    /// Running competitive ratio.
+    pub cr_running: f64,
+    /// Running CR minus one.
+    pub cr_drift: f64,
+    /// Mean arrival-to-placement latency (ns).
+    pub mean_dispatch_ns: f64,
+    /// Whether shutdown was requested.
+    pub shutting_down: bool,
+}
+
+/// State shared between the driver thread and the HTTP handlers.
+#[derive(Debug)]
+pub struct Monitor {
+    /// Cross-run telemetry totals.
+    pub aggregate: Mutex<Aggregate>,
+    /// Cooperative stop flag: set by `/shutdown`, polled by the driver.
+    pub shutdown: AtomicBool,
+    /// Display name of the policy being driven (metric label).
+    pub policy: String,
+}
+
+impl Monitor {
+    /// Creates an empty monitor for the given policy label.
+    #[must_use]
+    pub fn new(policy: impl Into<String>) -> Self {
+        Monitor {
+            aggregate: Mutex::new(Aggregate::new()),
+            shutdown: AtomicBool::new(false),
+            policy: policy.into(),
+        }
+    }
+
+    /// Whether shutdown was requested.
+    #[must_use]
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Point-in-time [`Status`] document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the aggregate mutex is poisoned.
+    #[must_use]
+    pub fn status(&self) -> Status {
+        let agg = self.aggregate.lock().expect("aggregate mutex poisoned");
+        Status {
+            policy: self.policy.clone(),
+            runs: agg.runs,
+            arrivals: agg.arrivals,
+            departures: agg.departures,
+            bins_opened: agg.bins_opened,
+            open_bins_peak: agg.open_bins_peak,
+            probes: agg.probes,
+            usage_time: agg.usage_time.to_string(),
+            lb_load: agg.lb_load.to_string(),
+            cr_running: agg.running_cr(),
+            cr_drift: agg.cr_drift(),
+            mean_dispatch_ns: agg.dispatch_ns.mean(),
+            shutting_down: self.shutting_down(),
+        }
+    }
+
+    /// JSON body of `/status`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the aggregate mutex is poisoned or serialization fails
+    /// (it cannot: the document is a flat struct of scalars).
+    #[must_use]
+    pub fn status_json(&self) -> String {
+        serde_json::to_string(&self.status()).expect("flat status document serializes")
+    }
+
+    /// Prometheus text body of `/metrics`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the aggregate mutex is poisoned.
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        let agg = self.aggregate.lock().expect("aggregate mutex poisoned");
+        prometheus::render(&agg, &self.policy)
+    }
+}
+
+/// The accept loop plus its listener.
+pub struct MonitorServer<'a> {
+    listener: TcpListener,
+    monitor: &'a Monitor,
+}
+
+impl<'a> MonitorServer<'a> {
+    /// Binds the endpoint (use port 0 for an ephemeral test port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, monitor: &'a Monitor) -> std::io::Result<Self> {
+        Ok(MonitorServer {
+            listener: TcpListener::bind(addr)?,
+            monitor,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lookup failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until `/shutdown` is requested (or the flag is already
+    /// set when a connection arrives). Per-connection I/O errors are
+    /// logged and skipped; only accept errors abort.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a failed `accept`.
+    pub fn serve(&self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            match stream {
+                Ok(mut stream) => {
+                    if let Err(e) = handle(&mut stream, self.monitor) {
+                        eprintln!("dvbp-monitor: connection error: {e}");
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+            if self.monitor.shutting_down() {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+fn handle(stream: &mut TcpStream, monitor: &Monitor) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the headers; every route ignores them.
+    let mut header = String::new();
+    while reader.read_line(&mut header)? > 0 && header != "\r\n" && header != "\n" {
+        header.clear();
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    match path {
+        "/metrics" => respond(
+            stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &monitor.metrics_text(),
+        ),
+        "/status" => respond(stream, "200 OK", "application/json", &monitor.status_json()),
+        "/healthz" => respond(stream, "200 OK", "text/plain", "ok\n"),
+        "/shutdown" => {
+            monitor.shutdown.store(true, Ordering::SeqCst);
+            respond(stream, "200 OK", "text/plain", "shutting down\n")
+        }
+        _ => respond(stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_json_round_trips_and_carries_the_policy() {
+        let monitor = Monitor::new("FirstFit");
+        let parsed: Status = serde_json::from_str(&monitor.status_json()).unwrap();
+        assert_eq!(parsed.policy, "FirstFit");
+        assert_eq!(parsed.runs, 0);
+        assert!(!parsed.shutting_down);
+        assert_eq!(parsed.usage_time, "0");
+    }
+
+    #[test]
+    fn metrics_text_is_nonempty_even_before_any_run() {
+        let monitor = Monitor::new("FirstFit");
+        let text = monitor.metrics_text();
+        assert!(text.contains("dvbp_runs_total"));
+        assert!(text.contains("dvbp_cr_running"));
+    }
+}

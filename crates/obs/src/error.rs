@@ -1,0 +1,85 @@
+//! [`ObsError`]: the typed failure surface of the observability layer.
+//!
+//! Event emission and ingestion can fail in exactly three ways — a value
+//! the serializer cannot represent, an I/O failure of the sink, or a
+//! malformed line on the way back in. All three used to surface as a
+//! panic or a bare `String`; they now share this enum so callers
+//! (`dvbp-analysis`'s `ingest_jsonl`, the CLIs, the monitor service) can
+//! match on the kind and chain sources.
+
+use std::fmt;
+use std::io;
+
+/// An error raised while emitting or parsing an observability stream.
+#[derive(Debug)]
+pub enum ObsError {
+    /// An event could not be serialized (a value outside the data
+    /// model's range — never raised for engine-produced events).
+    Serialize {
+        /// The serializer's message.
+        msg: String,
+    },
+    /// The sink failed mid-stream; the emitter latches the first such
+    /// error and drops subsequent events.
+    Io(io::Error),
+    /// A JSONL line failed to parse back into an
+    /// [`ObsEvent`](crate::ObsEvent).
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The parser's message.
+        msg: String,
+    },
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsError::Serialize { msg } => write!(f, "event serialization failed: {msg}"),
+            ObsError::Io(e) => write!(f, "event stream I/O failed: {e}"),
+            ObsError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ObsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ObsError::Io(e) => Some(e),
+            ObsError::Serialize { .. } | ObsError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ObsError {
+    fn from(e: io::Error) -> Self {
+        ObsError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_kind() {
+        let e = ObsError::Parse {
+            line: 3,
+            msg: "bad".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = ObsError::Serialize { msg: "nope".into() };
+        assert!(e.to_string().contains("serialization"));
+        let e = ObsError::from(io::Error::other("disk full"));
+        assert!(e.to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn io_source_is_chained() {
+        use std::error::Error as _;
+        let e = ObsError::from(io::Error::other("x"));
+        assert!(e.source().is_some());
+        let e = ObsError::Serialize { msg: "y".into() };
+        assert!(e.source().is_none());
+    }
+}

@@ -97,6 +97,13 @@ impl LogHistogram {
         self.max
     }
 
+    /// Sum of the recorded values (saturating; exact for any realistic
+    /// run). Prometheus exposition needs this as the `_sum` series.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Mean of the recorded values (0 for an empty histogram; saturating
     /// in the sum, exact for any realistic run).
     #[must_use]

@@ -6,11 +6,14 @@
 //! identical to the live run's, which the conformance harness checks for
 //! every fuzzed instance.
 //!
-//! I/O errors cannot surface through the infallible observer hooks, so
-//! the emitter latches the first error and reports it from
-//! [`JsonlEmitter::finish`]; events after an error are dropped.
+//! Errors cannot surface through the infallible observer hooks, so the
+//! emitter latches the first [`ObsError`] (serialization or I/O) and
+//! reports it from [`JsonlEmitter::finish`]; events after an error are
+//! dropped.
 
-use crate::{Arrival, Depart, ObsEvent, Observer, Place, RunEnd, RunStart};
+use crate::{
+    Arrival, Decision, Depart, ObsError, ObsEvent, Observer, Place, Probe, RunEnd, RunStart,
+};
 use dvbp_sim::Time;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
@@ -20,7 +23,7 @@ use std::path::Path;
 #[derive(Debug)]
 pub struct JsonlEmitter<W: Write> {
     writer: W,
-    error: Option<io::Error>,
+    error: Option<ObsError>,
     lines: u64,
 }
 
@@ -51,9 +54,15 @@ impl<W: Write> JsonlEmitter<W> {
         if self.error.is_some() {
             return;
         }
-        let line = serde_json::to_string(event).expect("ObsEvent serializes");
+        let line = match serde_json::to_string(event) {
+            Ok(line) => line,
+            Err(e) => {
+                self.error = Some(ObsError::Serialize { msg: e.to_string() });
+                return;
+            }
+        };
         if let Err(e) = writeln!(self.writer, "{line}") {
-            self.error = Some(e);
+            self.error = Some(ObsError::Io(e));
         } else {
             self.lines += 1;
         }
@@ -65,9 +74,9 @@ impl<W: Write> JsonlEmitter<W> {
         self.lines
     }
 
-    /// The first I/O error hit, if any.
+    /// The first error hit, if any.
     #[must_use]
-    pub fn error(&self) -> Option<&io::Error> {
+    pub fn error(&self) -> Option<&ObsError> {
         self.error.as_ref()
     }
 
@@ -77,7 +86,7 @@ impl<W: Write> JsonlEmitter<W> {
     ///
     /// Returns the first error latched during emission, or the flush
     /// error.
-    pub fn finish(mut self) -> io::Result<W> {
+    pub fn finish(mut self) -> Result<W, ObsError> {
         if let Some(e) = self.error {
             return Err(e);
         }
@@ -99,6 +108,29 @@ impl<W: Write> Observer for JsonlEmitter<W> {
             time: ev.time,
             item: ev.item,
             size: ev.size.to_vec(),
+        });
+    }
+
+    fn on_probe(&mut self, ev: Probe) {
+        self.emit(&ObsEvent::Probe {
+            time: ev.time,
+            item: ev.item,
+            bin: ev.bin,
+            fit: ev.fit,
+            dim: ev.dim,
+            need: ev.need,
+            have: ev.have,
+        });
+    }
+
+    fn on_decision(&mut self, ev: Decision) {
+        self.emit(&ObsEvent::Decision {
+            time: ev.time,
+            item: ev.item,
+            bin: ev.bin,
+            opened_new: ev.opened_new,
+            probes: ev.probes,
+            score: ev.score,
         });
     }
 
@@ -142,16 +174,18 @@ impl<W: Write> Observer for JsonlEmitter<W> {
 ///
 /// # Errors
 ///
-/// Returns the line number (1-based) and parse error of the first
-/// malformed line.
-pub fn parse_str(text: &str) -> Result<Vec<ObsEvent>, String> {
+/// Returns [`ObsError::Parse`] with the line number (1-based) of the
+/// first malformed line.
+pub fn parse_str(text: &str) -> Result<Vec<ObsEvent>, ObsError> {
     let mut events = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let ev: ObsEvent =
-            serde_json::from_str(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let ev: ObsEvent = serde_json::from_str(line).map_err(|e| ObsError::Parse {
+            line: lineno + 1,
+            msg: e.to_string(),
+        })?;
         events.push(ev);
     }
     Ok(events)
@@ -160,7 +194,7 @@ pub fn parse_str(text: &str) -> Result<Vec<ObsEvent>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Recorder;
+    use crate::{Recorder, ScoreBreakdown, WithProvenance};
 
     fn drive<O: Observer>(obs: &mut O) {
         obs.on_run_start(RunStart {
@@ -225,6 +259,59 @@ mod tests {
     }
 
     #[test]
+    fn probe_and_decision_round_trip() {
+        let mut emitter = WithProvenance(JsonlEmitter::new(Vec::new()));
+        emitter.on_probe(Probe {
+            time: 2,
+            item: 5,
+            bin: 1,
+            fit: false,
+            dim: Some(1),
+            need: 6,
+            have: 3,
+        });
+        emitter.on_probe(Probe {
+            time: 2,
+            item: 5,
+            bin: 2,
+            fit: true,
+            dim: None,
+            need: 0,
+            have: 0,
+        });
+        emitter.on_decision(Decision {
+            time: 2,
+            item: 5,
+            bin: 2,
+            opened_new: false,
+            probes: 2,
+            score: Some(ScoreBreakdown::Frac { num: 9, den: 16 }),
+        });
+        let text = String::from_utf8(emitter.0.finish().unwrap()).unwrap();
+        let events = parse_str(&text).unwrap();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(
+            events[0],
+            ObsEvent::Probe {
+                fit: false,
+                dim: Some(1),
+                need: 6,
+                have: 3,
+                ..
+            }
+        ));
+        assert!(matches!(events[1], ObsEvent::Probe { dim: None, .. }));
+        assert!(matches!(
+            events[2],
+            ObsEvent::Decision {
+                probes: 2,
+                score: Some(ScoreBreakdown::Frac { num: 9, den: 16 }),
+                ..
+            }
+        ));
+    }
+
+    #[test]
     fn meta_lines_interleave() {
         let mut emitter = JsonlEmitter::new(Vec::new());
         emitter.emit(&ObsEvent::Meta {
@@ -244,7 +331,8 @@ mod tests {
     fn parse_reports_bad_line() {
         let err =
             parse_str("{\"RunEnd\":{\"time\":0,\"items\":0,\"bins\":0}}\nnot json\n").unwrap_err();
-        assert!(err.contains("line 2"), "{err}");
+        assert!(matches!(err, ObsError::Parse { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 
     #[test]
@@ -267,8 +355,8 @@ mod tests {
     fn io_error_latches_and_surfaces_in_finish() {
         let mut emitter = JsonlEmitter::new(FailingWriter);
         drive(&mut emitter);
-        assert!(emitter.error().is_some());
+        assert!(matches!(emitter.error(), Some(ObsError::Io(_))));
         assert_eq!(emitter.lines(), 0);
-        assert!(emitter.finish().is_err());
+        assert!(matches!(emitter.finish(), Err(ObsError::Io(_))));
     }
 }

@@ -37,13 +37,19 @@
 //! `dvbp-core` in the dependency graph; core re-exports the trait and
 //! threads it through the engine.
 
+pub mod error;
 pub mod histogram;
 pub mod jsonl;
 pub mod metrics;
+pub mod provenance;
+pub mod timing;
 
+pub use error::ObsError;
 pub use histogram::{HistogramObserver, LogHistogram};
 pub use jsonl::JsonlEmitter;
 pub use metrics::{Gauge, MetricsObserver};
+pub use provenance::{ProvenanceObserver, WithProvenance};
+pub use timing::{TimingObserver, TimingSnapshot};
 
 use dvbp_sim::Time;
 use serde::{Deserialize, Serialize};
@@ -85,6 +91,92 @@ pub struct Place {
     pub scanned: u64,
 }
 
+/// One candidate bin the policy examined while choosing — fired only
+/// when the observer opts in via [`Observer::WANTS_PROBES`].
+///
+/// For a rejected candidate, `dim`/`need`/`have` pin the cause: the
+/// first dimension whose residual slack could not hold the item. A
+/// policy-level rejection (e.g. a clairvoyant policy skipping a bin of
+/// the wrong duration class) has `fit == false` with `dim == None`.
+#[derive(Clone, Copy, Debug)]
+pub struct Probe {
+    /// Tick of the arrival being decided.
+    pub time: Time,
+    /// Arriving item index.
+    pub item: usize,
+    /// The candidate bin examined.
+    pub bin: usize,
+    /// `true` iff the item fit the candidate.
+    pub fit: bool,
+    /// First violated dimension of a capacity rejection.
+    pub dim: Option<usize>,
+    /// The item's demand in that dimension (0 unless `dim` is set).
+    pub need: u64,
+    /// The bin's residual slack in that dimension (0 unless `dim` is
+    /// set).
+    pub have: u64,
+}
+
+/// The winning side of a placement decision — fired after
+/// [`on_place`](Observer::on_place) when the observer opts in via
+/// [`Observer::WANTS_PROBES`].
+#[derive(Clone, Copy, Debug)]
+pub struct Decision {
+    /// Tick of the arrival.
+    pub time: Time,
+    /// Item index.
+    pub item: usize,
+    /// Receiving bin.
+    pub bin: usize,
+    /// Whether the bin was opened for this item.
+    pub opened_new: bool,
+    /// Candidate bins probed while choosing (equals the corresponding
+    /// [`Place::scanned`]).
+    pub probes: u64,
+    /// The winning bin's score under the policy's ranking measure, when
+    /// the policy ranks candidates (Best/Worst Fit).
+    pub score: Option<ScoreBreakdown>,
+}
+
+/// A ranking score in owned, `Eq`-safe form: the components of a
+/// Best/Worst Fit `LoadKey`.
+///
+/// Float-valued measures store the IEEE-754 bit pattern so the event
+/// stream keeps a total `Eq` (and round-trips through JSON exactly);
+/// [`ScoreBreakdown::value`] recovers the numeric score.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScoreBreakdown {
+    /// Exact normalized-`L∞` fraction `num/den`.
+    Frac {
+        /// Numerator: the max-ratio dimension's load component.
+        num: u64,
+        /// Denominator: that dimension's capacity component.
+        den: u64,
+    },
+    /// A float norm, stored as its exact bit pattern.
+    Bits {
+        /// `f64::to_bits` of the norm value.
+        bits: u64,
+    },
+}
+
+impl ScoreBreakdown {
+    /// The numeric score.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        match *self {
+            ScoreBreakdown::Frac { num, den } => {
+                if den == 0 {
+                    0.0
+                } else {
+                    num as f64 / den as f64
+                }
+            }
+            ScoreBreakdown::Bits { bits } => f64::from_bits(bits),
+        }
+    }
+}
+
 /// An item departure, observed after loads are updated.
 #[derive(Clone, Copy, Debug)]
 pub struct Depart {
@@ -114,6 +206,16 @@ pub struct RunEnd {
 /// entirely. Hooks must not panic on well-formed streams and must not
 /// assume anything beyond the ordering documented at the crate root.
 pub trait Observer {
+    /// Whether the engine should collect per-candidate probe records and
+    /// fire [`on_probe`](Observer::on_probe) /
+    /// [`on_decision`](Observer::on_decision).
+    ///
+    /// Defaults to `false`: the engine's choose path then skips probe
+    /// collection entirely (the branch is a compile-time constant per
+    /// observer type, so `NoopObserver` runs pay nothing). Composite
+    /// observers opt in if any component does.
+    const WANTS_PROBES: bool = false;
+
     /// The run is about to start.
     #[inline]
     fn on_run_start(&mut self, _run: RunStart<'_>) {}
@@ -121,6 +223,19 @@ pub trait Observer {
     /// An item arrived (fires before the policy's decision).
     #[inline]
     fn on_arrival(&mut self, _ev: Arrival<'_>) {}
+
+    /// A candidate bin was examined while choosing (fires between
+    /// [`on_arrival`](Observer::on_arrival) and the placement, once per
+    /// candidate, in examination order; only when
+    /// [`WANTS_PROBES`](Observer::WANTS_PROBES)).
+    #[inline]
+    fn on_probe(&mut self, _ev: Probe) {}
+
+    /// The placement decision, with probe count and winning score (fires
+    /// after [`on_place`](Observer::on_place); only when
+    /// [`WANTS_PROBES`](Observer::WANTS_PROBES)).
+    #[inline]
+    fn on_decision(&mut self, _ev: Decision) {}
 
     /// A fresh bin was opened (fires before the corresponding
     /// [`on_place`](Observer::on_place)).
@@ -159,6 +274,7 @@ impl Observer for NoopObserver {}
 /// Forwarding impl so `&mut O` can be handed around without consuming
 /// the observer.
 impl<O: Observer + ?Sized> Observer for &mut O {
+    const WANTS_PROBES: bool = O::WANTS_PROBES;
     #[inline]
     fn on_run_start(&mut self, run: RunStart<'_>) {
         (**self).on_run_start(run);
@@ -166,6 +282,14 @@ impl<O: Observer + ?Sized> Observer for &mut O {
     #[inline]
     fn on_arrival(&mut self, ev: Arrival<'_>) {
         (**self).on_arrival(ev);
+    }
+    #[inline]
+    fn on_probe(&mut self, ev: Probe) {
+        (**self).on_probe(ev);
+    }
+    #[inline]
+    fn on_decision(&mut self, ev: Decision) {
+        (**self).on_decision(ev);
     }
     #[inline]
     fn on_bin_open(&mut self, time: Time, bin: usize) {
@@ -192,6 +316,7 @@ impl<O: Observer + ?Sized> Observer for &mut O {
 macro_rules! tuple_observer {
     ($($name:ident : $idx:tt),+) => {
         impl<$($name: Observer),+> Observer for ($($name,)+) {
+            const WANTS_PROBES: bool = false $(|| $name::WANTS_PROBES)+;
             #[inline]
             fn on_run_start(&mut self, run: RunStart<'_>) {
                 $(self.$idx.on_run_start(run);)+
@@ -199,6 +324,14 @@ macro_rules! tuple_observer {
             #[inline]
             fn on_arrival(&mut self, ev: Arrival<'_>) {
                 $(self.$idx.on_arrival(ev);)+
+            }
+            #[inline]
+            fn on_probe(&mut self, ev: Probe) {
+                $(self.$idx.on_probe(ev);)+
+            }
+            #[inline]
+            fn on_decision(&mut self, ev: Decision) {
+                $(self.$idx.on_decision(ev);)+
             }
             #[inline]
             fn on_bin_open(&mut self, time: Time, bin: usize) {
@@ -265,6 +398,28 @@ pub enum ObsEvent {
         /// Item size vector.
         size: Vec<u64>,
     },
+    /// A candidate bin was examined for one arrival (provenance runs
+    /// only — emitted solely by probe-aware observers).
+    Probe {
+        /// Arrival tick.
+        time: Time,
+        /// Item index.
+        item: usize,
+        /// The bin that was examined.
+        bin: usize,
+        /// Whether the item fit (or, for policy-level rejections, was
+        /// eligible at all).
+        fit: bool,
+        /// First violated dimension for a rejection; `None` when the
+        /// probe succeeded or the bin was rejected by policy state
+        /// before any capacity check.
+        dim: Option<usize>,
+        /// Demand in the violated dimension (0 when `dim` is `None`).
+        need: u64,
+        /// Residual slack in the violated dimension (0 when `dim` is
+        /// `None`).
+        have: u64,
+    },
     /// Fresh bin opened.
     BinOpen {
         /// Opening tick.
@@ -284,6 +439,24 @@ pub enum ObsEvent {
         opened_new: bool,
         /// Candidate bins the policy examined.
         scanned: u64,
+    },
+    /// Placement summary closing one arrival's probe sequence
+    /// (provenance runs only).
+    Decision {
+        /// Arrival tick.
+        time: Time,
+        /// Item index.
+        item: usize,
+        /// Receiving bin.
+        bin: usize,
+        /// Whether the bin was opened for this item.
+        opened_new: bool,
+        /// Candidate bins the policy examined (equals the run's
+        /// [`ObsEvent::Place`] `scanned` for the same arrival).
+        probes: u64,
+        /// Winning bin's score for ranking policies (Best/Worst Fit);
+        /// `None` for order-based policies.
+        score: Option<ScoreBreakdown>,
     },
     /// Item departed.
     Depart {
@@ -349,6 +522,29 @@ impl Observer for Recorder {
 
     fn on_bin_open(&mut self, time: Time, bin: usize) {
         self.events.push(ObsEvent::BinOpen { time, bin });
+    }
+
+    fn on_probe(&mut self, ev: Probe) {
+        self.events.push(ObsEvent::Probe {
+            time: ev.time,
+            item: ev.item,
+            bin: ev.bin,
+            fit: ev.fit,
+            dim: ev.dim,
+            need: ev.need,
+            have: ev.have,
+        });
+    }
+
+    fn on_decision(&mut self, ev: Decision) {
+        self.events.push(ObsEvent::Decision {
+            time: ev.time,
+            item: ev.item,
+            bin: ev.bin,
+            opened_new: ev.opened_new,
+            probes: ev.probes,
+            score: ev.score,
+        });
     }
 
     fn on_place(&mut self, ev: Place) {

@@ -1,0 +1,301 @@
+//! Decision provenance: record *why* each placement happened.
+//!
+//! [`ProvenanceObserver`] opts the engine into probe collection
+//! (`WANTS_PROBES = true`) and buffers the full event stream including
+//! the [`ObsEvent::Probe`]/[`ObsEvent::Decision`] variants, so a run
+//! can answer "which bins were examined for item 17, and why was bin 7
+//! skipped?" without re-running the policy. [`WithProvenance`] grafts
+//! the same opt-in onto any other observer — wrap a
+//! [`JsonlEmitter`](crate::JsonlEmitter) in it to stream a provenance
+//! log to disk.
+//!
+//! The probe sequence for one arrival is the policy's *actual* candidate
+//! scan: probes are recorded by the same [`EngineView`] calls that count
+//! `scanned`, so `Decision.probes` always equals the matching
+//! `Place.scanned` — an invariant the conformance harness checks.
+//!
+//! [`EngineView`]: https://docs.rs/dvbp-core
+
+use crate::{Arrival, Decision, Depart, ObsEvent, Observer, Place, Probe, RunEnd, RunStart, Time};
+
+/// Buffers every event — including probes and decisions — in memory.
+///
+/// The provenance twin of [`Recorder`](crate::Recorder): identical
+/// buffering, but `WANTS_PROBES = true` so the engine collects
+/// per-arrival probe records and fires [`Observer::on_probe`] /
+/// [`Observer::on_decision`].
+#[derive(Clone, Debug, Default)]
+pub struct ProvenanceObserver {
+    /// Recorded events, in engine order
+    /// (`Arrival → Probe* → [BinOpen] → Place → Decision`).
+    pub events: Vec<ObsEvent>,
+    total_probes: u64,
+}
+
+impl ProvenanceObserver {
+    /// Creates an empty provenance recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total probe events recorded across the run (equals the sum of
+    /// `Place.scanned` over all placements).
+    #[must_use]
+    pub fn total_probes(&self) -> u64 {
+        self.total_probes
+    }
+}
+
+impl Observer for ProvenanceObserver {
+    const WANTS_PROBES: bool = true;
+
+    fn on_run_start(&mut self, run: RunStart<'_>) {
+        self.events.clear();
+        self.total_probes = 0;
+        self.events.push(ObsEvent::RunStart {
+            capacity: run.capacity.to_vec(),
+            items: run.items,
+        });
+    }
+
+    fn on_arrival(&mut self, ev: Arrival<'_>) {
+        self.events.push(ObsEvent::Arrival {
+            time: ev.time,
+            item: ev.item,
+            size: ev.size.to_vec(),
+        });
+    }
+
+    fn on_probe(&mut self, ev: Probe) {
+        self.total_probes += 1;
+        self.events.push(ObsEvent::Probe {
+            time: ev.time,
+            item: ev.item,
+            bin: ev.bin,
+            fit: ev.fit,
+            dim: ev.dim,
+            need: ev.need,
+            have: ev.have,
+        });
+    }
+
+    fn on_decision(&mut self, ev: Decision) {
+        self.events.push(ObsEvent::Decision {
+            time: ev.time,
+            item: ev.item,
+            bin: ev.bin,
+            opened_new: ev.opened_new,
+            probes: ev.probes,
+            score: ev.score,
+        });
+    }
+
+    fn on_bin_open(&mut self, time: Time, bin: usize) {
+        self.events.push(ObsEvent::BinOpen { time, bin });
+    }
+
+    fn on_place(&mut self, ev: Place) {
+        self.events.push(ObsEvent::Place {
+            time: ev.time,
+            item: ev.item,
+            bin: ev.bin,
+            opened_new: ev.opened_new,
+            scanned: ev.scanned,
+        });
+    }
+
+    fn on_depart(&mut self, ev: Depart) {
+        self.events.push(ObsEvent::Depart {
+            time: ev.time,
+            item: ev.item,
+            bin: ev.bin,
+        });
+    }
+
+    fn on_bin_close(&mut self, time: Time, bin: usize) {
+        self.events.push(ObsEvent::BinClose { time, bin });
+    }
+
+    fn on_run_end(&mut self, end: RunEnd) {
+        self.events.push(ObsEvent::RunEnd {
+            time: end.time,
+            items: end.items,
+            bins: end.bins,
+        });
+    }
+}
+
+/// Forces probe collection for any wrapped observer.
+///
+/// Observers like [`JsonlEmitter`](crate::JsonlEmitter) keep
+/// `WANTS_PROBES = false` so composing them never slows a run down;
+/// `WithProvenance(inner)` flips the opt-in while forwarding every hook,
+/// so the inner observer's `on_probe`/`on_decision` actually fire.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WithProvenance<O>(pub O);
+
+impl<O: Observer> Observer for WithProvenance<O> {
+    const WANTS_PROBES: bool = true;
+
+    #[inline]
+    fn on_run_start(&mut self, run: RunStart<'_>) {
+        self.0.on_run_start(run);
+    }
+
+    #[inline]
+    fn on_arrival(&mut self, ev: Arrival<'_>) {
+        self.0.on_arrival(ev);
+    }
+
+    #[inline]
+    fn on_probe(&mut self, ev: Probe) {
+        self.0.on_probe(ev);
+    }
+
+    #[inline]
+    fn on_decision(&mut self, ev: Decision) {
+        self.0.on_decision(ev);
+    }
+
+    #[inline]
+    fn on_bin_open(&mut self, time: Time, bin: usize) {
+        self.0.on_bin_open(time, bin);
+    }
+
+    #[inline]
+    fn on_place(&mut self, ev: Place) {
+        self.0.on_place(ev);
+    }
+
+    #[inline]
+    fn on_depart(&mut self, ev: Depart) {
+        self.0.on_depart(ev);
+    }
+
+    #[inline]
+    fn on_bin_close(&mut self, time: Time, bin: usize) {
+        self.0.on_bin_close(time, bin);
+    }
+
+    #[inline]
+    fn on_run_end(&mut self, end: RunEnd) {
+        self.0.on_run_end(end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NoopObserver, Recorder};
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // deliberately constant: pins the associated-const wiring
+    fn wants_probes_propagates_through_composition() {
+        assert!(ProvenanceObserver::WANTS_PROBES);
+        assert!(!Recorder::WANTS_PROBES);
+        assert!(!NoopObserver::WANTS_PROBES);
+        assert!(<WithProvenance<NoopObserver>>::WANTS_PROBES);
+        assert!(<(Recorder, ProvenanceObserver)>::WANTS_PROBES);
+        assert!(!<(Recorder, NoopObserver)>::WANTS_PROBES);
+        assert!(<&mut ProvenanceObserver>::WANTS_PROBES);
+    }
+
+    #[test]
+    fn buffers_probes_and_counts_them() {
+        let mut obs = ProvenanceObserver::new();
+        obs.on_run_start(RunStart {
+            capacity: &[10],
+            items: 1,
+        });
+        obs.on_arrival(Arrival {
+            time: 0,
+            item: 0,
+            size: &[4],
+        });
+        obs.on_probe(Probe {
+            time: 0,
+            item: 0,
+            bin: 0,
+            fit: false,
+            dim: Some(0),
+            need: 4,
+            have: 2,
+        });
+        obs.on_probe(Probe {
+            time: 0,
+            item: 0,
+            bin: 1,
+            fit: true,
+            dim: None,
+            need: 0,
+            have: 0,
+        });
+        obs.on_decision(Decision {
+            time: 0,
+            item: 0,
+            bin: 1,
+            opened_new: false,
+            probes: 2,
+            score: None,
+        });
+        assert_eq!(obs.total_probes(), 2);
+        assert!(matches!(
+            obs.events[2],
+            ObsEvent::Probe {
+                fit: false,
+                dim: Some(0),
+                need: 4,
+                have: 2,
+                ..
+            }
+        ));
+        assert!(matches!(
+            obs.events[4],
+            ObsEvent::Decision { probes: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn run_start_resets_the_buffer() {
+        let mut obs = ProvenanceObserver::new();
+        obs.on_probe(Probe {
+            time: 0,
+            item: 0,
+            bin: 0,
+            fit: true,
+            dim: None,
+            need: 0,
+            have: 0,
+        });
+        obs.on_run_start(RunStart {
+            capacity: &[1],
+            items: 0,
+        });
+        assert_eq!(obs.total_probes(), 0);
+        assert_eq!(obs.events.len(), 1);
+    }
+
+    #[test]
+    fn with_provenance_forwards_to_inner() {
+        let mut obs = WithProvenance(Recorder::new());
+        obs.on_probe(Probe {
+            time: 1,
+            item: 2,
+            bin: 3,
+            fit: true,
+            dim: None,
+            need: 0,
+            have: 0,
+        });
+        assert!(matches!(
+            obs.0.events[0],
+            ObsEvent::Probe {
+                time: 1,
+                item: 2,
+                bin: 3,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,184 @@
+//! Wall-clock profiling: monotonic-clock log₂ latency histograms.
+//!
+//! [`TimingObserver`] times three engine phases per event using
+//! [`std::time::Instant`] (monotonic, immune to wall-clock steps):
+//!
+//! - **dispatch** — arrival hook to placement (`on_arrival` →
+//!   `on_place`): policy scan + index query + load update;
+//! - **index update** — arrival hook to bin open (`on_arrival` →
+//!   `on_bin_open`): the open-new path including index growth;
+//! - **departure** — gap preceding each `on_depart`: load release +
+//!   index restore.
+//!
+//! Latencies land in nanosecond [`LogHistogram`]s, so a snapshot is a
+//! fixed 65-bucket summary regardless of run length. Durations are
+//! wall-clock and therefore nondeterministic — conformance checks never
+//! compare them; tests assert only on event *counts*.
+
+use crate::histogram::LogHistogram;
+use crate::{Arrival, Depart, Observer, Place, RunStart, Time};
+use std::time::Instant;
+
+/// Records per-event-kind latency histograms for one run.
+///
+/// Composable like any observer (`(TimingObserver, MetricsObserver)`);
+/// keeps `WANTS_PROBES = false`, so timing a run never triggers probe
+/// collection.
+#[derive(Clone, Debug, Default)]
+pub struct TimingObserver {
+    dispatch: LogHistogram,
+    index_update: LogHistogram,
+    departure: LogHistogram,
+    arrival_at: Option<Instant>,
+    last_hook: Option<Instant>,
+}
+
+/// Point-in-time copy of a [`TimingObserver`]'s histograms.
+#[derive(Clone, Debug, Default)]
+pub struct TimingSnapshot {
+    /// Arrival-to-placement latency (ns).
+    pub dispatch: LogHistogram,
+    /// Arrival-to-bin-open latency (ns) — the open-new path.
+    pub index_update: LogHistogram,
+    /// Hook gap preceding each departure (ns).
+    pub departure: LogHistogram,
+}
+
+fn ns_since(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl TimingObserver {
+    /// Creates an empty timing observer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies the current histograms; cheap (fixed-size arrays), safe to
+    /// call from an aggregation loop between runs.
+    #[must_use]
+    pub fn snapshot(&self) -> TimingSnapshot {
+        TimingSnapshot {
+            dispatch: self.dispatch.clone(),
+            index_update: self.index_update.clone(),
+            departure: self.departure.clone(),
+        }
+    }
+}
+
+impl Observer for TimingObserver {
+    fn on_run_start(&mut self, _run: RunStart<'_>) {
+        *self = Self::default();
+        self.last_hook = Some(Instant::now());
+    }
+
+    fn on_arrival(&mut self, _ev: Arrival<'_>) {
+        let now = Instant::now();
+        self.arrival_at = Some(now);
+        self.last_hook = Some(now);
+    }
+
+    fn on_bin_open(&mut self, _time: Time, _bin: usize) {
+        if let Some(t0) = self.arrival_at {
+            self.index_update.record(ns_since(t0));
+        }
+        self.last_hook = Some(Instant::now());
+    }
+
+    fn on_place(&mut self, _ev: Place) {
+        if let Some(t0) = self.arrival_at.take() {
+            self.dispatch.record(ns_since(t0));
+        }
+        self.last_hook = Some(Instant::now());
+    }
+
+    fn on_depart(&mut self, _ev: Depart) {
+        if let Some(t0) = self.last_hook {
+            self.departure.record(ns_since(t0));
+        }
+        self.last_hook = Some(Instant::now());
+    }
+
+    fn on_bin_close(&mut self, _time: Time, _bin: usize) {
+        self.last_hook = Some(Instant::now());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(obs: &mut TimingObserver) {
+        obs.on_run_start(RunStart {
+            capacity: &[10],
+            items: 2,
+        });
+        obs.on_arrival(Arrival {
+            time: 0,
+            item: 0,
+            size: &[3],
+        });
+        obs.on_bin_open(0, 0);
+        obs.on_place(Place {
+            time: 0,
+            item: 0,
+            bin: 0,
+            opened_new: true,
+            scanned: 0,
+        });
+        obs.on_arrival(Arrival {
+            time: 1,
+            item: 1,
+            size: &[3],
+        });
+        obs.on_place(Place {
+            time: 1,
+            item: 1,
+            bin: 0,
+            opened_new: false,
+            scanned: 1,
+        });
+        obs.on_depart(Depart {
+            time: 5,
+            item: 0,
+            bin: 0,
+        });
+        obs.on_depart(Depart {
+            time: 6,
+            item: 1,
+            bin: 0,
+        });
+        obs.on_bin_close(6, 0);
+    }
+
+    #[test]
+    fn counts_match_event_kinds() {
+        let mut obs = TimingObserver::new();
+        drive(&mut obs);
+        let snap = obs.snapshot();
+        assert_eq!(snap.dispatch.total(), 2);
+        assert_eq!(snap.index_update.total(), 1);
+        assert_eq!(snap.departure.total(), 2);
+    }
+
+    #[test]
+    fn run_start_resets() {
+        let mut obs = TimingObserver::new();
+        drive(&mut obs);
+        obs.on_run_start(RunStart {
+            capacity: &[10],
+            items: 0,
+        });
+        let snap = obs.snapshot();
+        assert_eq!(snap.dispatch.total(), 0);
+        assert_eq!(snap.index_update.total(), 0);
+        assert_eq!(snap.departure.total(), 0);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // deliberately constant: pins the associated-const wiring
+    fn stays_out_of_probe_collection() {
+        assert!(!TimingObserver::WANTS_PROBES);
+    }
+}

@@ -7,7 +7,7 @@
 
 use dvbp_core::{Instance, Item, PackRequest, PolicyKind};
 use dvbp_dimvec::DimVec;
-use dvbp_obs::{HistogramObserver, MetricsObserver, ObsEvent, Recorder};
+use dvbp_obs::{HistogramObserver, MetricsObserver, ObsEvent, ProvenanceObserver, Recorder};
 use proptest::prelude::*;
 
 fn instances() -> impl Strategy<Value = Instance> {
@@ -23,6 +23,31 @@ fn instances() -> impl Strategy<Value = Instance> {
 
 fn suite() -> Vec<PolicyKind> {
     PolicyKind::paper_suite(99)
+}
+
+/// Re-announces every item's exact duration so the clairvoyant policies
+/// can run on a generated instance.
+fn announce(inst: &Instance) -> Instance {
+    Instance::new(
+        inst.capacity.clone(),
+        inst.items
+            .iter()
+            .map(|it| {
+                it.clone()
+                    .with_announced_duration(it.departure - it.arrival)
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+/// The full policy roster, clairvoyant kinds included.
+fn all_kinds() -> Vec<PolicyKind> {
+    let mut kinds = suite();
+    kinds.push(PolicyKind::IndexedFirstFit);
+    kinds.push(PolicyKind::DurationClassFirstFit);
+    kinds.push(PolicyKind::AlignedFit);
+    kinds
 }
 
 proptest! {
@@ -93,6 +118,42 @@ proptest! {
         prop_assert_eq!(hist.scan_lengths.total() as usize, inst.len());
         // Gaps: one per place/depart after the first such event.
         prop_assert_eq!(hist.event_gaps.total() as usize, 2 * inst.len() - 1);
+    }
+
+    /// Probe ≡ scanned, on every policy: the probe events a
+    /// `ProvenanceObserver` collects are exactly the candidate
+    /// examinations `MetricsObserver` counts from `Place.scanned` —
+    /// in total, and per arrival against each `Decision` — and probe
+    /// collection never perturbs the packing.
+    #[test]
+    fn provenance_probes_equal_metrics_scans(inst in instances()) {
+        let inst = announce(&inst);
+        for kind in all_kinds() {
+            let plain = PackRequest::new(kind.clone()).run(&inst).unwrap();
+            let mut metrics = MetricsObserver::new();
+            let mut prov = ProvenanceObserver::new();
+            let mut stack = (&mut metrics, &mut prov);
+            let observed = PackRequest::new(kind.clone())
+                .observer(&mut stack)
+                .run(&inst)
+                .unwrap();
+            prop_assert_eq!(&observed, &plain, "{}", kind.name());
+            prop_assert_eq!(prov.total_probes(), metrics.total_scanned, "{}", kind.name());
+            let mut per_arrival = 0u64;
+            let mut decisions = 0usize;
+            for e in &prov.events {
+                match e {
+                    ObsEvent::Arrival { .. } => per_arrival = 0,
+                    ObsEvent::Probe { .. } => per_arrival += 1,
+                    ObsEvent::Decision { probes, .. } => {
+                        decisions += 1;
+                        prop_assert_eq!(*probes, per_arrival, "{}", kind.name());
+                    }
+                    _ => {}
+                }
+            }
+            prop_assert_eq!(decisions, inst.len(), "{}", kind.name());
+        }
     }
 }
 

@@ -3,15 +3,21 @@
 //! ```text
 //! dvbp gen    --d 2 --n 200 --mu 50 --span 500 --bin 100 --seed 7 --out trace.json
 //! dvbp run    --trace trace.json --policy MoveToFront [--billing 60] [--out report.json]
+//!             [--events events.jsonl]        # provenance event stream
+//! dvbp explain --events events.jsonl [--item N] [--run K]
 //! dvbp bounds --trace trace.json
 //! dvbp compare --trace trace.json            # all paper algorithms side by side
 //! ```
 //!
-//! Trace files are JSON `Instance` documents (see `dvbp::tracefile`).
+//! Trace files are JSON `Instance` documents (see `dvbp::tracefile`);
+//! event files are `dvbp-obs` JSONL streams with `Probe`/`Decision`
+//! provenance records.
 
+use dvbp::obs::{JsonlEmitter, ObsEvent, WithProvenance};
 use dvbp::tracefile::{load_instance, run_report, save_instance};
 use dvbp::workloads::UniformParams;
 use dvbp::{BillingModel, PackRequest, PolicyKind};
+use std::io::BufWriter;
 use std::path::Path;
 use std::process::ExitCode;
 use std::str::FromStr;
@@ -25,6 +31,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "gen" => cmd_gen(rest),
         "run" => cmd_run(rest),
+        "explain" => cmd_explain(rest),
         "bounds" => cmd_bounds(rest),
         "compare" => cmd_compare(rest),
         "show" => cmd_show(rest),
@@ -50,6 +57,8 @@ dvbp — MinUsageTime Dynamic Vector Bin Packing
 USAGE:
   dvbp gen     --d D --n N --mu MU --span T --bin B --seed S --out FILE
   dvbp run     --trace FILE --policy NAME [--billing TICKS] [--out FILE]
+               [--events FILE.jsonl]
+  dvbp explain --events FILE.jsonl [--item N] [--run K]
   dvbp bounds  --trace FILE
   dvbp compare --trace FILE [--billing TICKS]
   dvbp show    --trace FILE --policy NAME [--width CHARS]
@@ -132,6 +141,76 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
         std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
         println!("wrote {out}");
+    }
+    if let Some(events) = flag(args, "--events") {
+        let lines = emit_provenance(&instance, &policy, Path::new(&events))?;
+        println!("wrote {events} ({lines} events — inspect with `dvbp explain`)");
+    }
+    Ok(())
+}
+
+/// Re-runs the instance with a provenance-aware JSONL emitter attached
+/// and writes the full event stream (probes, decisions, placements) to
+/// `path`. The policies are deterministic, so the emitted run is the
+/// run that was just reported.
+fn emit_provenance(
+    instance: &dvbp::Instance,
+    policy: &PolicyKind,
+    path: &Path,
+) -> Result<u64, String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut emitter = WithProvenance(JsonlEmitter::new(BufWriter::new(file)));
+    emitter.0.emit(&ObsEvent::Meta {
+        algorithm: policy.name(),
+        d: instance.dim(),
+        mu: 0,
+        seed: 0,
+    });
+    PackRequest::new(policy.clone())
+        .observer(&mut emitter)
+        .run(instance)
+        .map_err(|e| e.to_string())?;
+    let lines = emitter.0.lines();
+    emitter.0.finish().map_err(|e| e.to_string())?;
+    Ok(lines)
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let events = required(args, "--events")?;
+    let run_idx = parse(args, "--run", 0usize)?;
+    let text = std::fs::read_to_string(&events).map_err(|e| format!("reading {events}: {e}"))?;
+    let runs = dvbp::analysis::obs_ingest::ingest_jsonl(&text).map_err(|e| e.to_string())?;
+    let run = runs
+        .get(run_idx)
+        .ok_or_else(|| format!("--run {run_idx}: file has {} run(s)", runs.len()))?;
+    let explanations = dvbp::analysis::explain::explain_stream(&run.events);
+    if explanations.is_empty() {
+        return Err("no Probe/Decision events in this stream — record it with \
+             `dvbp run --events` (plain metrics streams carry no provenance)"
+            .into());
+    }
+    let label = if run.algorithm.is_empty() {
+        "unlabeled run".to_string()
+    } else {
+        run.algorithm.clone()
+    };
+    println!(
+        "{label}: {} placements, {} probes total\n",
+        explanations.len(),
+        run.total_scanned()
+    );
+    match flag(args, "--item") {
+        Some(v) => {
+            let item: usize = v.parse().map_err(|e| format!("--item {v}: {e}"))?;
+            let e = dvbp::analysis::explain::explain_item(&run.events, item)
+                .ok_or_else(|| format!("item {item} has no decision in this run"))?;
+            print!("{}", dvbp::analysis::explain::render(&e));
+        }
+        None => {
+            for e in &explanations {
+                print!("{}", dvbp::analysis::explain::render(e));
+            }
+        }
     }
     Ok(())
 }

@@ -1,0 +1,112 @@
+//! Tier-1 provenance corpus: a committed JSONL event stream containing
+//! `Probe`/`Decision` events must keep parsing, replaying, and
+//! explaining — and must stay bit-identical to a fresh emission.
+//!
+//! Regenerate after an intentional event-grammar change with
+//! `DVBP_REGEN_CORPUS=1 cargo test --test provenance_corpus`.
+
+use dvbp_analysis::explain::explain_stream;
+use dvbp_analysis::obs_ingest::ingest_jsonl;
+use dvbp_core::{Instance, Item, LoadMeasure, PackRequest, PolicyKind};
+use dvbp_dimvec::DimVec;
+use dvbp_obs::{JsonlEmitter, ObsEvent, WithProvenance};
+use std::path::PathBuf;
+
+fn corpus_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/provenance-firstfit-bestfit.jsonl")
+}
+
+/// The pinned instance: multidimensional rejections (items that fit in
+/// one dimension but not the other), a bin reuse after departure, and a
+/// forced open — so the stream exercises every probe outcome.
+fn pinned_instance() -> Instance {
+    let item = |size: &[u64], a: u64, e: u64| Item::new(DimVec::from_slice(size), a, e);
+    Instance::new(
+        DimVec::from_slice(&[10, 10]),
+        vec![
+            item(&[7, 2], 0, 10),
+            item(&[2, 7], 2, 5),
+            item(&[3, 3], 4, 6),
+            item(&[9, 9], 6, 12),
+            item(&[1, 1], 7, 9),
+            item(&[4, 8], 8, 11),
+        ],
+    )
+    .unwrap()
+}
+
+fn pinned_kinds() -> Vec<PolicyKind> {
+    vec![PolicyKind::FirstFit, PolicyKind::BestFit(LoadMeasure::Linf)]
+}
+
+/// Emits the pinned runs as provenance JSONL (in memory).
+fn emit() -> String {
+    let inst = pinned_instance();
+    let mut emitter = WithProvenance(JsonlEmitter::new(Vec::new()));
+    for (i, kind) in pinned_kinds().into_iter().enumerate() {
+        emitter.0.emit(&ObsEvent::Meta {
+            algorithm: kind.name(),
+            d: 2,
+            mu: 10,
+            seed: i as u64,
+        });
+        PackRequest::new(kind)
+            .observer(&mut emitter)
+            .run(&inst)
+            .unwrap();
+    }
+    String::from_utf8(emitter.0.finish().unwrap()).unwrap()
+}
+
+#[test]
+fn provenance_corpus_is_current_and_replays() {
+    let fresh = emit();
+    let path = corpus_path();
+    if std::env::var_os("DVBP_REGEN_CORPUS").is_some() {
+        std::fs::write(&path, &fresh).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e} (regenerate with DVBP_REGEN_CORPUS=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        committed, fresh,
+        "committed provenance stream diverged from a fresh emission; \
+         if the event grammar changed intentionally, regenerate with DVBP_REGEN_CORPUS=1"
+    );
+
+    let inst = pinned_instance();
+    let runs = ingest_jsonl(&committed).unwrap();
+    assert_eq!(runs.len(), 2);
+    for run in &runs {
+        // The provenance stream still replays into a verified packing.
+        let packing = run.replay().unwrap();
+        packing.verify(&inst).unwrap();
+
+        let probes = run
+            .events
+            .iter()
+            .filter(|e| matches!(e, ObsEvent::Probe { .. }))
+            .count() as u64;
+        assert!(probes > 0, "{}: no Probe events in corpus", run.algorithm);
+        assert_eq!(probes, run.total_scanned(), "{}", run.algorithm);
+
+        let explanations = explain_stream(&run.events);
+        assert_eq!(explanations.len(), inst.len(), "{}", run.algorithm);
+        for e in &explanations {
+            assert_eq!(e.probes.len() as u64, e.reported_probes);
+            assert_eq!(packing.assignment[e.item].0, e.bin);
+        }
+    }
+    // BestFit decisions that reuse a bin carry a score breakdown.
+    let best_fit = &runs[1];
+    assert!(
+        explain_stream(&best_fit.events)
+            .iter()
+            .any(|e| !e.opened_new && e.score.is_some()),
+        "BestFit corpus run never recorded a winner score"
+    );
+}
