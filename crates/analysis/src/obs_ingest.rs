@@ -148,6 +148,7 @@ pub fn replay_packing(events: &[ObsEvent]) -> Result<Packing, ReplayError> {
             }
             ObsEvent::Meta { .. }
             | ObsEvent::Arrival { .. }
+            | ObsEvent::Ident { .. }
             | ObsEvent::Probe { .. }
             | ObsEvent::Decision { .. }
             | ObsEvent::Depart { .. }

@@ -1,6 +1,9 @@
 //! Wall-clock throughput emitter: items packed per second for every
 //! Any-Fit policy (indexed and scanning variants) across a fixed
-//! `(d, n, μ)` grid, written as `BENCH_throughput.json`.
+//! `(d, n, μ)` grid, plus the `ServeDispatch` scenario (requests per
+//! second through the sharded `dvbp-serve` dispatch service, in-process
+//! and over loopback TCP, versus shard count), written as
+//! `BENCH_throughput.json`.
 //!
 //! Unlike the Criterion benches (statistical, human-oriented), this
 //! binary produces one machine-readable artifact per run for regression
@@ -20,10 +23,20 @@ use dvbp_core::policy::best_fit::BestFit;
 use dvbp_core::policy::first_fit::FirstFit;
 use dvbp_core::policy::last_fit::LastFit;
 use dvbp_core::policy::worst_fit::WorstFit;
-use dvbp_core::{Engine, Instance, LoadMeasure, Policy, PolicyKind, TraceMode};
+use dvbp_core::{
+    live_ops, Engine, Instance, LiveOp, LoadMeasure, Policy, PolicyKind, TimeMode, TraceMode,
+};
+use dvbp_obs::SyncPolicy;
+use dvbp_serve::client::item_id;
+use dvbp_serve::protocol::{Request, Response};
+use dvbp_serve::router::{fnv1a, RouterKind};
+use dvbp_serve::server::{serve, ServeState};
 use serde::{Deserialize, Serialize};
 use std::hint::black_box;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One measured grid point.
@@ -187,6 +200,212 @@ fn measure_seed(inst: &Instance, select: SeedSelect, budget: Duration) -> (f64, 
     (ips, max_conc, cost, reps)
 }
 
+/// `(d, n, mu)` of the `ServeDispatch` scenario — off the engine grid,
+/// big enough that dispatch overhead (routing, journaling, locking)
+/// dominates instance setup.
+const SERVE_POINT: (usize, usize, u64) = (2, 6000, 100);
+
+/// The canonical feed as protocol requests, each tagged with its item's
+/// router hash so driver threads can pre-partition exactly the way the
+/// service's hash router will.
+fn serve_requests(inst: &Instance) -> Vec<(u64, Request)> {
+    live_ops(inst)
+        .into_iter()
+        .map(|op| match op {
+            LiveOp::Arrive { item, size, time } => (
+                fnv1a(item_id(item).as_bytes()),
+                Request::Arrive {
+                    id: item_id(item),
+                    size: size.as_slice().to_vec(),
+                    time,
+                },
+            ),
+            LiveOp::Depart { item, time } => (
+                fnv1a(item_id(item).as_bytes()),
+                Request::Depart {
+                    id: item_id(item),
+                    time,
+                },
+            ),
+        })
+        .collect()
+}
+
+/// Splits the tagged feed into one per-shard request stream (an item's
+/// arrival and departure always land in the same partition).
+fn partition(reqs: &[(u64, Request)], shards: usize) -> Vec<Vec<&Request>> {
+    let mut parts = vec![Vec::new(); shards];
+    for (hash, req) in reqs {
+        parts[usize::try_from(hash % shards as u64).expect("shard index fits")].push(req);
+    }
+    parts
+}
+
+/// A fresh in-memory dispatch service for one bench repetition. `Clamp`
+/// time mode: concurrent driver threads hit different shards, so each
+/// shard's own feed stays ordered, but clamping keeps the scenario
+/// honest about wall-clock skew.
+fn serve_state(inst: &Instance, shards: usize) -> ServeState<Vec<u8>> {
+    ServeState::in_memory(
+        &inst.capacity,
+        &PolicyKind::FirstFit,
+        shards,
+        RouterKind::Hash,
+        TraceMode::CostOnly,
+        TimeMode::Clamp,
+        SyncPolicy::OnClose,
+    )
+    .expect("FirstFit serves")
+}
+
+/// Requests/sec through an in-process service: one driver thread per
+/// shard, each feeding its own partition through `ServeState::handle`.
+fn measure_serve_inproc(
+    inst: &Instance,
+    reqs: &[(u64, Request)],
+    shards: usize,
+    budget: Duration,
+) -> (f64, u64, u32) {
+    let parts = partition(reqs, shards);
+    let start = Instant::now();
+    let mut reps = 0u32;
+    let mut fastest = Duration::MAX;
+    let cost = loop {
+        let state = serve_state(inst, shards);
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for part in &parts {
+                let state = &state;
+                s.spawn(move || {
+                    for req in part {
+                        match state.handle(req) {
+                            Response::Placed { .. } | Response::Departed { .. } => {}
+                            other => panic!("serve bench rejected {req:?}: {other:?}"),
+                        }
+                    }
+                });
+            }
+        });
+        fastest = fastest.min(t0.elapsed());
+        reps += 1;
+        if reps >= 3 && start.elapsed() >= budget {
+            break state
+                .status()
+                .usage_time
+                .parse()
+                .expect("bench serve costs fit in u64");
+        }
+    };
+    (reqs.len() as f64 / fastest.as_secs_f64(), cost, reps)
+}
+
+/// Requests/sec over loopback TCP: one NDJSON connection per shard,
+/// strict request/response round trips (the latency a real client
+/// pays). Boot and shutdown sit outside the timed window.
+fn measure_serve_tcp(
+    inst: &Instance,
+    reqs: &[(u64, Request)],
+    shards: usize,
+    budget: Duration,
+) -> (f64, u64, u32) {
+    let parts = partition(reqs, shards);
+    let start = Instant::now();
+    let mut reps = 0u32;
+    let mut fastest = Duration::MAX;
+    let cost = loop {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr");
+        let state = Arc::new(serve_state(inst, shards));
+        let srv = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || serve(&state, &listener).expect("serve loop"))
+        };
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for part in &parts {
+                s.spawn(move || {
+                    let conn = TcpStream::connect(addr).expect("connect loopback");
+                    // Strict round trips: Nagle + delayed ACK would put
+                    // a ~40ms timer on every request.
+                    conn.set_nodelay(true).expect("set TCP_NODELAY");
+                    let mut reader = BufReader::new(conn.try_clone().expect("clone stream"));
+                    let mut writer = conn;
+                    let mut line = String::new();
+                    for req in part {
+                        let mut out = serde_json::to_string(req).expect("request serializes");
+                        out.push('\n');
+                        writer.write_all(out.as_bytes()).expect("send request");
+                        line.clear();
+                        reader.read_line(&mut line).expect("read response");
+                        let resp: Response =
+                            serde_json::from_str(line.trim()).expect("parse response");
+                        match resp {
+                            Response::Placed { .. } | Response::Departed { .. } => {}
+                            other => panic!("serve bench rejected {req:?}: {other:?}"),
+                        }
+                    }
+                });
+            }
+        });
+        fastest = fastest.min(t0.elapsed());
+        // Stop the accept loop; the nudge connection in `serve` unblocks it.
+        state.handle(&Request::Shutdown);
+        let _ = TcpStream::connect(addr);
+        srv.join().expect("server thread");
+        reps += 1;
+        if reps >= 3 && start.elapsed() >= budget {
+            break state
+                .status()
+                .usage_time
+                .parse()
+                .expect("bench serve costs fit in u64");
+        }
+    };
+    (reqs.len() as f64 / fastest.as_secs_f64(), cost, reps)
+}
+
+/// `ServeDispatch` rows: `(transport, shard counts)` per scale. The
+/// shared smoke/full keys feed the regression gate (TCP rows are
+/// recorded but not gated — loopback latency is too machine-dependent).
+fn serve_dispatch_entries(scale: &str, budget: Duration) -> Vec<Entry> {
+    let (d, n, mu) = SERVE_POINT;
+    let inst = bench_instance(d, n, mu, SEED);
+    let reqs = serve_requests(&inst);
+    let rows: &[(&str, &[usize])] = match scale {
+        "smoke" => &[("inproc", &[1, 4]), ("tcp", &[1])],
+        _ => &[("inproc", &[1, 2, 4, 8]), ("tcp", &[1, 4])],
+    };
+    let mut entries = Vec::new();
+    for &(transport, shard_counts) in rows {
+        for &shards in shard_counts {
+            let (rps, cost, reps) = match transport {
+                "inproc" => measure_serve_inproc(&inst, &reqs, shards, budget),
+                _ => measure_serve_tcp(&inst, &reqs, shards, budget),
+            };
+            let variant = format!("{transport}-s{shards}");
+            eprintln!(
+                "ServeDispatch/{variant} d={d} n={n} mu={mu}: {rps:.0} req/s ({} ops)",
+                reqs.len()
+            );
+            entries.push(Entry {
+                key: format!("ServeDispatch/{variant}/d{d}/n{n}/mu{mu}"),
+                policy: "ServeDispatch".to_string(),
+                variant,
+                d,
+                n,
+                mu,
+                seed: SEED,
+                items_per_sec: rps,
+                normalized: 0.0,
+                max_concurrent_bins: 0,
+                cost,
+                reps,
+            });
+        }
+    }
+    entries
+}
+
 fn run_grid(scale: &str) -> Report {
     let (grid, budget): (&[(usize, usize, u64)], Duration) = match scale {
         "smoke" => (&SMOKE_GRID, Duration::from_millis(120)),
@@ -219,6 +438,7 @@ fn run_grid(scale: &str) -> Report {
             });
         }
     }
+    entries.extend(serve_dispatch_entries(scale, budget));
     // Normalize by the geometric mean over the smoke-grid keys only: the
     // smoke grid is a subset of every scale's grid, so the denominator is
     // computed from the same key set no matter the scale and normalized
@@ -245,6 +465,11 @@ fn regressions(report: &Report, baseline: &Report, max_regression_pct: f64) -> V
     let floor = 1.0 - max_regression_pct / 100.0;
     let mut bad = Vec::new();
     for e in &report.entries {
+        // Loopback TCP round-trip latency is dominated by the kernel and
+        // scheduler, not this codebase; those rows are informational only.
+        if e.variant.starts_with("tcp") {
+            continue;
+        }
         if let Some(b) = baseline.entries.iter().find(|b| b.key == e.key) {
             if e.normalized < b.normalized * floor {
                 bad.push(format!(

@@ -138,6 +138,52 @@ fn reopen_gap_d9() -> Instance {
     Instance::new(DimVec::splat(d, 10), items).expect("hand-built instance is valid")
 }
 
+/// Staggered lone departures from a shared bin: most depart groups in
+/// the serve WAL are single `Depart` lines whose bin stays open, so
+/// crash cuts land on the trailing-lone-`Depart` ambiguity the recovery
+/// replay has to resolve (and the final departures *do* close bins,
+/// exercising the closed-flag rollback).
+fn crash_wal_lone_depart() -> Instance {
+    let items = vec![
+        item(&[3], 0, 20), // bin 0 anchor; its departure closes the bin
+        item(&[3], 1, 5),  // lone depart at 5
+        item(&[3], 2, 6),  // lone depart at 6
+        item(&[8], 3, 12), // bin 1 blocker; sole item -> closing depart
+        item(&[6], 7, 9),  // rejoins bin 0 after the drains; lone depart
+    ];
+    Instance::new(DimVec::scalar(10), items).expect("hand-built instance is valid")
+}
+
+/// Blocker waves that open and close whole bins each phase: the WAL is
+/// dense with 4-line arrival groups (`BinOpen` present) and `BinClose`
+/// commits, including two closings at the same tick — mid-group crash
+/// cuts must roll back exactly one unacknowledged operation.
+fn crash_wal_openclose_churn() -> Instance {
+    let items = vec![
+        item(&[7], 0, 4),   // bin 0, closes at 4
+        item(&[7], 1, 4),   // bin 1, closes at 4 (same tick as bin 0)
+        item(&[7], 5, 8),   // bin 2
+        item(&[4], 5, 8),   // does not fit 7 -> bin 3; both close at 8
+        item(&[10], 9, 11), // bin 4, full then gone
+    ];
+    Instance::new(DimVec::scalar(10), items).expect("hand-built instance is valid")
+}
+
+/// An equal-tick burst where departures close a bin at the very tick new
+/// items arrive: crash cuts inside the tick-3 batch force the resumed
+/// service to re-drive departures before arrivals at the same tick.
+fn crash_wal_equal_tick_resume() -> Instance {
+    let items = vec![
+        item(&[5], 0, 3), // bin 0
+        item(&[4], 0, 3), // opens bin 1; its departure closes it at 3
+        item(&[2], 0, 6), // bin 0 survivor
+        item(&[5], 3, 6), // arrives as bins drain at 3
+        item(&[6], 3, 6),
+        item(&[2], 3, 6),
+    ];
+    Instance::new(DimVec::scalar(8), items).expect("hand-built instance is valid")
+}
+
 /// A committed high-churn draw at the requested dimensionality (the
 /// family randomizes `d ∈ {1, 2, 8, 9}`; scanning seeds keeps the corpus
 /// file deterministic).
@@ -189,6 +235,9 @@ pub fn seed_corpus() -> Vec<(&'static str, Instance)> {
         ("fitindex-growth-close-2d", fitindex_growth_close_2d()),
         ("reopen-gap-d9", reopen_gap_d9()),
         ("highchurn-blockers-d8", high_churn_with_dim(8)),
+        ("crash-wal-lone-depart", crash_wal_lone_depart()),
+        ("crash-wal-openclose-churn", crash_wal_openclose_churn()),
+        ("crash-wal-equal-tick-resume", crash_wal_equal_tick_resume()),
     ];
     entries
         .into_iter()

@@ -29,7 +29,12 @@
 //!    collection must not perturb the packing either, the provenance
 //!    stream must still replay, total probes must equal the run's total
 //!    scan count, and every `Decision` must agree with its placement
-//!    (bin, open/existing, per-arrival probe count).
+//!    (bin, open/existing, per-arrival probe count);
+//! 8. **serving path** — see [`crate::serve`]: a one-shard `dvbp-serve`
+//!    run must be bit-identical to the batch run, crash recovery from
+//!    any WAL cut must converge to the same state, and sharded runs
+//!    must verify per shard with additive cost ([`check_instance`] runs
+//!    this layer with sampled crash cuts).
 
 use crate::reference;
 use dvbp_core::{Instance, PackRequest, Packing, PolicyKind, TraceMode};
@@ -54,7 +59,7 @@ impl fmt::Display for Divergence {
 }
 
 impl Divergence {
-    fn new(kind: &PolicyKind, detail: String) -> Self {
+    pub(crate) fn new(kind: &PolicyKind, detail: String) -> Self {
         Divergence {
             policy: kind.name(),
             kind: kind.clone(),
@@ -64,7 +69,7 @@ impl Divergence {
 }
 
 /// Describes the first difference between two packings, if any.
-fn first_difference(fast: &Packing, slow: &Packing) -> Option<String> {
+pub(crate) fn first_difference(fast: &Packing, slow: &Packing) -> Option<String> {
     if let Some(i) = (0..fast.assignment.len().min(slow.assignment.len()))
         .find(|&i| fast.assignment[i] != slow.assignment[i])
     {
@@ -335,7 +340,10 @@ pub fn kinds_for(instance: &Instance, random_fit_seed: u64) -> Vec<PolicyKind> {
     kinds
 }
 
-/// Checks the full applicable suite over one instance.
+/// Checks the full applicable suite over one instance, including the
+/// layer-8 serving checks ([`crate::serve`]) with deterministically
+/// sampled crash cuts. The corpus replay runs the exhaustive crash plan
+/// separately (`tests/serve_recovery_corpus.rs`).
 ///
 /// # Errors
 ///
@@ -343,6 +351,13 @@ pub fn kinds_for(instance: &Instance, random_fit_seed: u64) -> Vec<PolicyKind> {
 pub fn check_instance(instance: &Instance, random_fit_seed: u64) -> Result<(), Divergence> {
     for kind in kinds_for(instance, random_fit_seed) {
         check_policy(instance, &kind)?;
+        crate::serve::check_policy(
+            instance,
+            &kind,
+            crate::serve::CrashPlan::Sampled {
+                seed: random_fit_seed,
+            },
+        )?;
     }
     Ok(())
 }

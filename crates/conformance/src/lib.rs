@@ -13,6 +13,11 @@
 //!   trace, cost), layered with the invariant suite (feasibility, the
 //!   Any Fit property, `IndexedFirstFit ≡ FirstFit`, and the Lemma 1
 //!   bound chain `lb_span ≤ lb_load ≤ cost`);
+//! * [`mod@serve`] — layer 8, the serving path: a one-shard `dvbp-serve`
+//!   service must be bit-identical to the batch engine, crash recovery
+//!   from any WAL cut (event boundary or torn line) must land in the
+//!   same final state, and multi-shard runs must verify per shard with
+//!   additive cost;
 //! * [`fuzz`] — a deterministic fuzzer feeding uniform, adversarial, and
 //!   extended workloads into the differential check;
 //! * [`shrink`] — a delta-debugging shrinker that minimizes any failure
@@ -27,4 +32,5 @@ pub mod corpus;
 pub mod diff;
 pub mod fuzz;
 pub mod reference;
+pub mod serve;
 pub mod shrink;

@@ -504,8 +504,16 @@ impl Engine {
     }
 
     fn reset(&mut self, instance: &Instance) {
-        let n = instance.len();
-        self.dims = instance.dim();
+        self.reset_for(instance.dim(), instance.len());
+    }
+
+    /// Clears all per-run state for a `dims`-dimensional run over `n`
+    /// items. Batch runs pre-size the per-item arrays here so the event
+    /// loop never grows them; incremental drivers (`LiveEngine`) pass
+    /// `n = 0` and let [`step_arrive`](Engine::step_arrive) grow them on
+    /// demand.
+    pub(crate) fn reset_for(&mut self, dims: usize, n: usize) {
+        self.dims = dims;
         self.loads.clear();
         self.active.clear();
         self.opened.clear();
@@ -592,7 +600,6 @@ impl Engine {
         } else {
             Vec::new()
         };
-        let d = self.dims;
         let capacity = &instance.capacity;
         observer.on_run_start(dvbp_obs::RunStart {
             capacity: capacity.as_slice(),
@@ -604,189 +611,26 @@ impl Engine {
             match *ev {
                 Event::Departure { time, item } => {
                     last_time = time;
-                    let bin = self.assignment[item];
-                    if bin.0 == usize::MAX {
-                        return Err(PackError::UnknownDeparture { item });
-                    }
-                    let size = &instance.items[item].size;
-                    let base = bin.0 * d;
-                    for j in 0..d {
-                        self.loads[base + j] -= size[j];
-                    }
-                    self.active[bin.0] -= 1;
-                    let closing = self.active[bin.0] == 0;
-                    if self.index_live && !closing {
-                        // A closing bin skips this: `close` below pins the
-                        // residual to zero anyway, so one climb suffices.
-                        self.index.unpack(bin.0, size.as_slice());
-                    }
-                    policy.on_departure(&instance.items[item], item, bin);
-                    observer.on_depart(dvbp_obs::Depart {
+                    self.step_depart(
                         time,
                         item,
-                        bin: bin.0,
-                    });
-                    if closing {
-                        self.closed[bin.0] = time;
-                        let idx = self
-                            .open
-                            .binary_search(&bin)
-                            .expect("closing a non-open bin");
-                        self.open.remove(idx);
-                        if self.index_live {
-                            self.index.close(bin.0);
-                        }
-                        policy.on_close(bin);
-                        observer.on_bin_close(time, bin.0);
-                        if full {
-                            trace.push(TraceEvent::Closed { time, bin });
-                        }
-                    }
+                        &instance.items[item],
+                        policy,
+                        observer,
+                        full.then_some(&mut trace),
+                    )?;
                 }
                 Event::Arrival { time, item } => {
                     last_time = time;
-                    let item_ref: &Item = &instance.items[item];
-                    observer.on_arrival(dvbp_obs::Arrival {
+                    self.step_arrive(
+                        capacity,
                         time,
                         item,
-                        size: item_ref.size.as_slice(),
-                    });
-                    if !self.index_live && policy.wants_index(self.open.len()) {
-                        // First arrival that queries the index: build it
-                        // from the load arena, then keep it current.
-                        let loads = &self.loads;
-                        let active = &self.active;
-                        self.index.rebuild(active.len(), |b, out| {
-                            if active[b] > 0 {
-                                for (j, slot) in out.iter_mut().enumerate() {
-                                    *slot = capacity[j] - loads[b * d + j];
-                                }
-                            } else {
-                                out.fill(0);
-                            }
-                        });
-                        self.index_live = true;
-                    }
-                    if O::WANTS_PROBES {
-                        self.probe_log.borrow_mut().clear();
-                    }
-                    let (decision, scanned, score) = {
-                        let view = EngineView {
-                            capacity,
-                            dims: d,
-                            loads: &self.loads,
-                            active: &self.active,
-                            opened: &self.opened,
-                            open: &self.open,
-                            index: self.index_live.then_some(&self.index),
-                            scanned: Cell::new(0),
-                            probes: if O::WANTS_PROBES {
-                                Some(&self.probe_log)
-                            } else {
-                                None
-                            },
-                            score: Cell::new(None),
-                            now: time,
-                        };
-                        let decision = policy.choose(&view, item_ref, item);
-                        (decision, view.scanned.get(), view.score.get())
-                    };
-                    if O::WANTS_PROBES {
-                        for rec in self.probe_log.borrow().iter() {
-                            observer.on_probe(dvbp_obs::Probe {
-                                time,
-                                item,
-                                bin: rec.bin,
-                                fit: rec.fit,
-                                dim: rec.dim,
-                                need: rec.need,
-                                have: rec.have,
-                            });
-                        }
-                    }
-                    let (bin, opened_new) = match decision {
-                        Decision::Existing(bin) => {
-                            assert!(
-                                self.open.binary_search(&bin).is_ok(),
-                                "policy chose closed or unknown {bin}"
-                            );
-                            let base = bin.0 * d;
-                            assert!(
-                                (0..d).all(|j| item_ref.size[j]
-                                    <= capacity[j] - self.loads[base + j]),
-                                "policy chose {bin} which cannot hold item {item}"
-                            );
-                            (bin, false)
-                        }
-                        Decision::OpenNew => {
-                            let bin = BinId(self.active.len());
-                            self.loads.resize(self.loads.len() + d, 0);
-                            self.active.push(0);
-                            self.opened.push(time);
-                            self.closed.push(time);
-                            self.item_count.push(0);
-                            self.head.push(NO_ITEM);
-                            self.tail.push(NO_ITEM);
-                            self.open.push(bin);
-                            if self.index_live {
-                                // Register the bin already net of the
-                                // arriving item (one climb, not an open +
-                                // a pack).
-                                for j in 0..d {
-                                    debug_assert!(
-                                        item_ref.size[j] <= capacity[j],
-                                        "validated item exceeds capacity"
-                                    );
-                                    self.scratch[j] = capacity[j] - item_ref.size[j];
-                                }
-                                self.index.open(bin.0, &self.scratch);
-                            }
-                            observer.on_bin_open(time, bin.0);
-                            (bin, true)
-                        }
-                    };
-                    let base = bin.0 * d;
-                    for j in 0..d {
-                        self.loads[base + j] += item_ref.size[j];
-                    }
-                    if self.index_live && !opened_new {
-                        self.index.pack(bin.0, item_ref.size.as_slice());
-                    }
-                    self.active[bin.0] += 1;
-                    self.item_count[bin.0] += 1;
-                    if full {
-                        if self.head[bin.0] == NO_ITEM {
-                            self.head[bin.0] = item;
-                        } else {
-                            self.next_item[self.tail[bin.0]] = item;
-                        }
-                        self.tail[bin.0] = item;
-                        trace.push(TraceEvent::Packed {
-                            time,
-                            item,
-                            bin,
-                            opened_new,
-                        });
-                    }
-                    self.assignment[item] = bin;
-                    policy.after_pack(item_ref, item, bin, opened_new);
-                    observer.on_place(dvbp_obs::Place {
-                        time,
-                        item,
-                        bin: bin.0,
-                        opened_new,
-                        scanned,
-                    });
-                    if O::WANTS_PROBES {
-                        observer.on_decision(dvbp_obs::Decision {
-                            time,
-                            item,
-                            bin: bin.0,
-                            opened_new,
-                            probes: scanned,
-                            score: score.map(score_breakdown),
-                        });
-                    }
+                        &instance.items[item],
+                        policy,
+                        observer,
+                        full.then_some(&mut trace),
+                    );
                 }
             }
         }
@@ -802,6 +646,289 @@ impl Engine {
         );
         debug_assert!(self.open.is_empty(), "bin never closed");
 
+        Ok(self.snapshot_packing(full, trace))
+    }
+
+    /// Applies one departure: subtracts the item's load, fires the
+    /// policy/observer hooks, and closes the bin if it emptied. The
+    /// single-event body of the batch loop's `Departure` arm, shared
+    /// with the incremental [`LiveEngine`](crate::LiveEngine) driver.
+    ///
+    /// # Errors
+    ///
+    /// [`PackError::UnknownDeparture`] when `item` was never placed.
+    pub(crate) fn step_depart<O: Observer>(
+        &mut self,
+        time: Time,
+        item: usize,
+        item_ref: &Item,
+        policy: &mut dyn Policy,
+        observer: &mut O,
+        trace: Option<&mut Vec<TraceEvent>>,
+    ) -> Result<DepartStep, PackError> {
+        let bin = match self.assignment.get(item) {
+            Some(&bin) if bin.0 != usize::MAX => bin,
+            _ => return Err(PackError::UnknownDeparture { item }),
+        };
+        let d = self.dims;
+        let size = &item_ref.size;
+        let base = bin.0 * d;
+        for j in 0..d {
+            self.loads[base + j] -= size[j];
+        }
+        self.active[bin.0] -= 1;
+        let closing = self.active[bin.0] == 0;
+        if self.index_live && !closing {
+            // A closing bin skips this: `close` below pins the
+            // residual to zero anyway, so one climb suffices.
+            self.index.unpack(bin.0, size.as_slice());
+        }
+        policy.on_departure(item_ref, item, bin);
+        observer.on_depart(dvbp_obs::Depart {
+            time,
+            item,
+            bin: bin.0,
+        });
+        if closing {
+            self.closed[bin.0] = time;
+            let idx = self
+                .open
+                .binary_search(&bin)
+                .expect("closing a non-open bin");
+            self.open.remove(idx);
+            if self.index_live {
+                self.index.close(bin.0);
+            }
+            policy.on_close(bin);
+            observer.on_bin_close(time, bin.0);
+            if let Some(trace) = trace {
+                trace.push(TraceEvent::Closed { time, bin });
+            }
+        }
+        Ok(DepartStep {
+            bin,
+            closed: closing,
+        })
+    }
+
+    /// Applies one arrival: runs the policy over an [`EngineView`],
+    /// asserts its decision, commits the placement, and fires the
+    /// observer hooks. The single-event body of the batch loop's
+    /// `Arrival` arm, shared with the incremental
+    /// [`LiveEngine`](crate::LiveEngine) driver. The per-item arrays
+    /// grow on demand for items beyond the `reset_for` pre-sizing —
+    /// batch runs pre-size exactly, so their hot loop never takes that
+    /// branch. Recording into `trace` also switches the per-bin item
+    /// chains on, matching [`TraceMode::Full`].
+    ///
+    /// Returns the receiving bin and whether it was opened for this
+    /// item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy names a bin that is closed or cannot hold
+    /// the item — a policy implementation bug, not an input error.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step_arrive<O: Observer>(
+        &mut self,
+        capacity: &DimVec,
+        time: Time,
+        item: usize,
+        item_ref: &Item,
+        policy: &mut dyn Policy,
+        observer: &mut O,
+        trace: Option<&mut Vec<TraceEvent>>,
+    ) -> (BinId, bool) {
+        let d = self.dims;
+        if item >= self.assignment.len() {
+            self.assignment.resize(item + 1, BinId(usize::MAX));
+            self.next_item.resize(item + 1, NO_ITEM);
+        }
+        observer.on_arrival(dvbp_obs::Arrival {
+            time,
+            item,
+            size: item_ref.size.as_slice(),
+        });
+        if !self.index_live && policy.wants_index(self.open.len()) {
+            // First arrival that queries the index: build it
+            // from the load arena, then keep it current.
+            let loads = &self.loads;
+            let active = &self.active;
+            self.index.rebuild(active.len(), |b, out| {
+                if active[b] > 0 {
+                    for (j, slot) in out.iter_mut().enumerate() {
+                        *slot = capacity[j] - loads[b * d + j];
+                    }
+                } else {
+                    out.fill(0);
+                }
+            });
+            self.index_live = true;
+        }
+        if O::WANTS_PROBES {
+            self.probe_log.borrow_mut().clear();
+        }
+        let (decision, scanned, score) = {
+            let view = EngineView {
+                capacity,
+                dims: d,
+                loads: &self.loads,
+                active: &self.active,
+                opened: &self.opened,
+                open: &self.open,
+                index: self.index_live.then_some(&self.index),
+                scanned: Cell::new(0),
+                probes: if O::WANTS_PROBES {
+                    Some(&self.probe_log)
+                } else {
+                    None
+                },
+                score: Cell::new(None),
+                now: time,
+            };
+            let decision = policy.choose(&view, item_ref, item);
+            (decision, view.scanned.get(), view.score.get())
+        };
+        if O::WANTS_PROBES {
+            for rec in self.probe_log.borrow().iter() {
+                observer.on_probe(dvbp_obs::Probe {
+                    time,
+                    item,
+                    bin: rec.bin,
+                    fit: rec.fit,
+                    dim: rec.dim,
+                    need: rec.need,
+                    have: rec.have,
+                });
+            }
+        }
+        let (bin, opened_new) = match decision {
+            Decision::Existing(bin) => {
+                assert!(
+                    self.open.binary_search(&bin).is_ok(),
+                    "policy chose closed or unknown {bin}"
+                );
+                let base = bin.0 * d;
+                assert!(
+                    (0..d).all(|j| item_ref.size[j] <= capacity[j] - self.loads[base + j]),
+                    "policy chose {bin} which cannot hold item {item}"
+                );
+                (bin, false)
+            }
+            Decision::OpenNew => {
+                let bin = BinId(self.active.len());
+                self.loads.resize(self.loads.len() + d, 0);
+                self.active.push(0);
+                self.opened.push(time);
+                self.closed.push(time);
+                self.item_count.push(0);
+                self.head.push(NO_ITEM);
+                self.tail.push(NO_ITEM);
+                self.open.push(bin);
+                if self.index_live {
+                    // Register the bin already net of the
+                    // arriving item (one climb, not an open +
+                    // a pack).
+                    for j in 0..d {
+                        debug_assert!(
+                            item_ref.size[j] <= capacity[j],
+                            "validated item exceeds capacity"
+                        );
+                        self.scratch[j] = capacity[j] - item_ref.size[j];
+                    }
+                    self.index.open(bin.0, &self.scratch);
+                }
+                observer.on_bin_open(time, bin.0);
+                (bin, true)
+            }
+        };
+        let base = bin.0 * d;
+        for j in 0..d {
+            self.loads[base + j] += item_ref.size[j];
+        }
+        if self.index_live && !opened_new {
+            self.index.pack(bin.0, item_ref.size.as_slice());
+        }
+        self.active[bin.0] += 1;
+        self.item_count[bin.0] += 1;
+        if let Some(trace) = trace {
+            if self.head[bin.0] == NO_ITEM {
+                self.head[bin.0] = item;
+            } else {
+                self.next_item[self.tail[bin.0]] = item;
+            }
+            self.tail[bin.0] = item;
+            trace.push(TraceEvent::Packed {
+                time,
+                item,
+                bin,
+                opened_new,
+            });
+        }
+        self.assignment[item] = bin;
+        policy.after_pack(item_ref, item, bin, opened_new);
+        observer.on_place(dvbp_obs::Place {
+            time,
+            item,
+            bin: bin.0,
+            opened_new,
+            scanned,
+        });
+        if O::WANTS_PROBES {
+            observer.on_decision(dvbp_obs::Decision {
+                time,
+                item,
+                bin: bin.0,
+                opened_new,
+                probes: scanned,
+                score: score.map(score_breakdown),
+            });
+        }
+        (bin, opened_new)
+    }
+
+    /// Number of bins ever opened.
+    pub(crate) fn bins_opened(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Currently open bins, sorted by id.
+    pub(crate) fn open_bins(&self) -> &[BinId] {
+        &self.open
+    }
+
+    /// Opening tick of `bin`.
+    pub(crate) fn opened_at(&self, bin: usize) -> Time {
+        self.opened[bin]
+    }
+
+    /// Closing tick of `bin` (valid once it has closed).
+    pub(crate) fn closed_at(&self, bin: usize) -> Time {
+        self.closed[bin]
+    }
+
+    /// Currently active items in `bin`.
+    pub(crate) fn bin_active(&self, bin: usize) -> u32 {
+        self.active[bin]
+    }
+
+    /// Current load vector of `bin` as a `d`-slice into the load arena.
+    pub(crate) fn bin_load(&self, bin: usize) -> &[u64] {
+        &self.loads[bin * self.dims..(bin + 1) * self.dims]
+    }
+
+    /// The bin holding `item`, if it was ever placed.
+    pub(crate) fn assignment_of(&self, item: usize) -> Option<BinId> {
+        self.assignment
+            .get(item)
+            .copied()
+            .filter(|b| b.0 != usize::MAX)
+    }
+
+    /// Materializes the engine's current bin state as a [`Packing`]
+    /// (the tail of a batch run; `LiveEngine::into_packing` for live
+    /// runs). `full` must match whether the item chains were recorded.
+    pub(crate) fn snapshot_packing(&self, full: bool, trace: Vec<TraceEvent>) -> Packing {
         let mut bins = Vec::with_capacity(self.active.len());
         for b in 0..self.active.len() {
             let items = if full {
@@ -821,12 +948,21 @@ impl Engine {
                 items,
             });
         }
-        Ok(Packing {
+        Packing {
             assignment: self.assignment.clone(),
             bins,
             trace,
-        })
+        }
     }
+}
+
+/// Outcome of one [`Engine::step_depart`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct DepartStep {
+    /// The bin the item departed from.
+    pub(crate) bin: BinId,
+    /// Whether that departure emptied (and permanently closed) the bin.
+    pub(crate) closed: bool,
 }
 
 /// Runs `policy` over `instance` with a fresh [`Engine`] in

@@ -48,6 +48,7 @@ mod bin;
 mod engine;
 mod fit_index;
 mod item;
+mod live;
 pub mod policy;
 mod request;
 
@@ -57,6 +58,7 @@ pub use dvbp_obs::{NoopObserver, Observer};
 pub use engine::{Engine, EngineView, Packing, TraceEvent, TraceMode};
 pub use fit_index::FitIndex;
 pub use item::{Instance, InstanceError, Item};
+pub use live::{live_ops, LiveDeparture, LiveEngine, LiveError, LiveOp, LivePlacement, TimeMode};
 pub use policy::{Decision, LoadMeasure, Policy, PolicyKind};
 pub use request::{PackError, PackRequest};
 

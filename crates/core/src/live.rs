@@ -1,0 +1,817 @@
+//! [`LiveEngine`]: open-ended, one-event-at-a-time driving of the
+//! packing engine — the in-memory core of a dispatch *service*.
+//!
+//! The batch [`Engine`](crate::Engine) replays a complete
+//! [`Instance`] whose departures are known up front. A serving process
+//! cannot do that: items arrive and depart over the wire, the future is
+//! unknown, and the run never "finishes". `LiveEngine` wraps the same
+//! engine step functions ([`Engine::step_arrive`] /
+//! [`Engine::step_depart`](crate::engine::Engine::step_depart)) behind
+//! an incremental API, so a live run that receives the batch timeline's
+//! events in timeline order produces **bit-identical** state — the
+//! conformance harness's layer 8 holds it to that.
+//!
+//! # Time discipline
+//!
+//! The paper's equal-tick rule (§2.1) — at one tick, all departures are
+//! processed before any arrival — is a property of the *feed*, not of
+//! the engine. In [`TimeMode::Strict`] the live engine enforces it:
+//! timestamps must be non-decreasing, and a departure at the current
+//! tick is rejected once an arrival has been processed at that tick.
+//! [`TimeMode::Clamp`] instead clamps early timestamps up to the
+//! current tick (`t ← max(t, now)`) and accepts equal-tick departures
+//! after arrivals — useful for wall-clock feeds that cannot promise
+//! canonical order, at the price of batch reachability.
+//!
+//! # Clairvoyance
+//!
+//! Live items have unknown departure times, so the clairvoyant policy
+//! kinds (`DurationClassFirstFit`, `AlignedFit`) are rejected at
+//! construction ([`LiveError::Clairvoyant`]). All non-clairvoyant
+//! policies honor the documented contract of never reading
+//! `Item::departure`; internally a live item carries `Time::MAX` as a
+//! placeholder until its departure is announced.
+
+use crate::bin::BinId;
+use crate::engine::{Engine, Packing, TraceEvent, TraceMode};
+use crate::item::{Instance, Item};
+use crate::policy::{Policy, PolicyKind};
+use crate::request::PackError;
+use dvbp_dimvec::DimVec;
+use dvbp_obs::NoopObserver;
+use dvbp_sim::timeline::{Event, OnlineTimeline};
+use dvbp_sim::{Cost, Time};
+
+/// How a [`LiveEngine`] treats request timestamps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TimeMode {
+    /// Reject anything the batch timeline could not produce: ticks must
+    /// be non-decreasing ([`LiveError::OutOfOrder`]) and, within one
+    /// tick, all departures must precede the first arrival
+    /// ([`LiveError::EqualTickOrder`]). Keeps the live run on the batch
+    /// engine's reachable-state manifold — required for conformance
+    /// and recovery equivalence.
+    #[default]
+    Strict,
+    /// Clamp early timestamps up to the current tick (`t ← max(t,
+    /// now)`) instead of rejecting, and accept equal-tick departures
+    /// after arrivals. The effective (clamped) time is journaled and
+    /// returned, so recovery still replays deterministically.
+    Clamp,
+}
+
+impl std::str::FromStr for TimeMode {
+    type Err = String;
+
+    /// Parses `strict` or `clamp` (CLI spelling).
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "strict" => Ok(TimeMode::Strict),
+            "clamp" => Ok(TimeMode::Clamp),
+            _ => Err(format!(
+                "unknown time mode {s:?} (expected strict or clamp)"
+            )),
+        }
+    }
+}
+
+/// A rejected live operation. The engine state is unchanged by any
+/// rejected call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LiveError {
+    /// The arrival failed the same validation an [`Instance`] gets
+    /// (dimension mismatch, oversized, zero size, or an unusable
+    /// timestamp).
+    Pack(PackError),
+    /// The policy kind needs announced durations, which a live feed
+    /// does not have.
+    Clairvoyant {
+        /// Display name of the rejected policy.
+        policy: String,
+    },
+    /// Strict mode: the timestamp precedes the engine's current tick.
+    OutOfOrder {
+        /// The rejected timestamp.
+        time: Time,
+        /// The engine's current tick.
+        now: Time,
+    },
+    /// Strict mode: a departure at the current tick after an arrival
+    /// was already processed at that tick (the paper orders equal-tick
+    /// departures first).
+    EqualTickOrder {
+        /// The rejected timestamp.
+        time: Time,
+    },
+    /// Departure for an item index that never arrived.
+    UnknownItem {
+        /// The unknown index.
+        item: usize,
+    },
+    /// Departure for an item that already departed.
+    AlreadyDeparted {
+        /// The repeated index.
+        item: usize,
+    },
+    /// [`LiveEngine::into_packing`] with items still active.
+    StillActive {
+        /// Number of items not yet departed.
+        active: usize,
+    },
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::Pack(e) => write!(f, "{e}"),
+            LiveError::Clairvoyant { policy } => {
+                write!(
+                    f,
+                    "policy {policy} is clairvoyant; live items have unknown departures"
+                )
+            }
+            LiveError::OutOfOrder { time, now } => {
+                write!(f, "timestamp {time} precedes current tick {now}")
+            }
+            LiveError::EqualTickOrder { time } => write!(
+                f,
+                "departure at tick {time} after an arrival at the same tick \
+                 (departures precede arrivals within a tick)"
+            ),
+            LiveError::UnknownItem { item } => write!(f, "item {item} never arrived"),
+            LiveError::AlreadyDeparted { item } => write!(f, "item {item} already departed"),
+            LiveError::StillActive { active } => {
+                write!(f, "{active} item(s) still active")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+impl From<PackError> for LiveError {
+    fn from(e: PackError) -> Self {
+        LiveError::Pack(e)
+    }
+}
+
+/// Outcome of an accepted [`LiveEngine::arrive`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LivePlacement {
+    /// Dense run-local index assigned to the item (arrival order).
+    pub item: usize,
+    /// The receiving bin.
+    pub bin: BinId,
+    /// Whether the bin was opened for this item.
+    pub opened_new: bool,
+    /// The effective tick (equals the request's in strict mode; may be
+    /// clamped up in [`TimeMode::Clamp`]).
+    pub time: Time,
+}
+
+/// Outcome of an accepted [`LiveEngine::depart`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LiveDeparture {
+    /// The departing item's run-local index.
+    pub item: usize,
+    /// The bin it departed from.
+    pub bin: BinId,
+    /// Whether that departure emptied (and permanently closed) the bin.
+    pub closed: bool,
+    /// The effective tick.
+    pub time: Time,
+}
+
+/// An incremental driver over the packing engine: accepts arrivals and
+/// departures one at a time, maintains the exact state a batch run over
+/// the same event sequence would hold, and can snapshot that state as a
+/// [`Packing`] once drained.
+pub struct LiveEngine {
+    engine: Engine,
+    policy: Box<dyn Policy>,
+    kind: PolicyKind,
+    capacity: DimVec,
+    time_mode: TimeMode,
+    /// Whether the per-bin item chains / trace are recorded
+    /// ([`TraceMode::Full`]).
+    full: bool,
+    /// Every item ever admitted, by run-local index. Live items hold a
+    /// `Time::MAX` departure placeholder (never read by non-clairvoyant
+    /// policies); `depart` overwrites it with the real tick.
+    items: Vec<Item>,
+    departed: Vec<bool>,
+    active_items: usize,
+    trace: Vec<TraceEvent>,
+    now: Time,
+    /// Whether an arrival has been processed at tick `now` (strict
+    /// equal-tick ordering).
+    arrived_this_tick: bool,
+}
+
+impl LiveEngine {
+    /// Creates a live engine for `capacity` under `kind`.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::Clairvoyant`] for policy kinds that read announced
+    /// durations.
+    pub fn new(
+        capacity: DimVec,
+        kind: &PolicyKind,
+        trace: TraceMode,
+        time_mode: TimeMode,
+    ) -> Result<Self, LiveError> {
+        if matches!(
+            kind,
+            PolicyKind::DurationClassFirstFit | PolicyKind::AlignedFit
+        ) {
+            return Err(LiveError::Clairvoyant {
+                policy: kind.name(),
+            });
+        }
+        let mut policy = kind.build();
+        policy.reset();
+        let mut engine = Engine::new();
+        engine.reset_for(capacity.dim(), 0);
+        Ok(LiveEngine {
+            engine,
+            policy,
+            kind: kind.clone(),
+            capacity,
+            time_mode,
+            full: trace == TraceMode::Full,
+            items: Vec::new(),
+            departed: Vec::new(),
+            active_items: 0,
+            trace: Vec::new(),
+            now: 0,
+            arrived_this_tick: false,
+        })
+    }
+
+    fn effective_time(&self, time: Time) -> Result<Time, LiveError> {
+        match self.time_mode {
+            TimeMode::Strict if time < self.now => Err(LiveError::OutOfOrder {
+                time,
+                now: self.now,
+            }),
+            TimeMode::Strict => Ok(time),
+            TimeMode::Clamp => Ok(time.max(self.now)),
+        }
+    }
+
+    fn advance_tick(&mut self, time: Time) {
+        if time > self.now {
+            self.arrived_this_tick = false;
+        }
+        self.now = time;
+    }
+
+    /// Admits an item of the given size at `time` and returns its
+    /// placement. The item gets the next dense run-local index.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::Pack`] for an invalid size or unusable timestamp;
+    /// [`LiveError::OutOfOrder`] in strict mode for a timestamp before
+    /// the current tick. The engine state is unchanged on error.
+    pub fn arrive(&mut self, size: DimVec, time: Time) -> Result<LivePlacement, LiveError> {
+        let time = self.effective_time(time)?;
+        let item = self.items.len();
+        if size.dim() != self.capacity.dim() {
+            return Err(PackError::DimMismatch { item }.into());
+        }
+        if !size.fits_within(&self.capacity) {
+            return Err(PackError::OversizedItem { item }.into());
+        }
+        if size.is_zero() {
+            return Err(PackError::ZeroSizeItem { item }.into());
+        }
+        if time == Time::MAX {
+            // MAX is the live-departure placeholder; an item arriving
+            // there could never have a strictly later departure.
+            return Err(PackError::NonMonotoneTime { item }.into());
+        }
+        // Struct-literal construction (not `Item::new`): the departure
+        // is not yet known, so it carries the MAX placeholder that
+        // non-clairvoyant policies never read.
+        self.items.push(Item {
+            size,
+            arrival: time,
+            departure: Time::MAX,
+            announced_duration: None,
+        });
+        self.departed.push(false);
+        let (bin, opened_new) = self.engine.step_arrive(
+            &self.capacity,
+            time,
+            item,
+            &self.items[item],
+            self.policy.as_mut(),
+            &mut NoopObserver,
+            self.full.then_some(&mut self.trace),
+        );
+        self.active_items += 1;
+        self.advance_tick(time);
+        self.arrived_this_tick = true;
+        Ok(LivePlacement {
+            item,
+            bin,
+            opened_new,
+            time,
+        })
+    }
+
+    /// Retires the item with run-local index `item` at `time`.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::UnknownItem`] / [`LiveError::AlreadyDeparted`] for
+    /// bad indices; [`LiveError::OutOfOrder`] /
+    /// [`LiveError::EqualTickOrder`] for strict-mode time violations;
+    /// [`LiveError::Pack`] ([`PackError::NonMonotoneTime`]) when the
+    /// effective tick is not strictly after the item's arrival (every
+    /// item occupies at least one tick). The engine state is unchanged
+    /// on error.
+    pub fn depart(&mut self, item: usize, time: Time) -> Result<LiveDeparture, LiveError> {
+        let time = self.effective_time(time)?;
+        if item >= self.items.len() {
+            return Err(LiveError::UnknownItem { item });
+        }
+        if self.departed[item] {
+            return Err(LiveError::AlreadyDeparted { item });
+        }
+        if self.time_mode == TimeMode::Strict && time == self.now && self.arrived_this_tick {
+            return Err(LiveError::EqualTickOrder { time });
+        }
+        if time <= self.items[item].arrival {
+            return Err(PackError::NonMonotoneTime { item }.into());
+        }
+        self.items[item].departure = time;
+        let step = self
+            .engine
+            .step_depart(
+                time,
+                item,
+                &self.items[item],
+                self.policy.as_mut(),
+                &mut NoopObserver,
+                self.full.then_some(&mut self.trace),
+            )
+            .expect("checked assignment above");
+        self.departed[item] = true;
+        self.active_items -= 1;
+        self.advance_tick(time);
+        Ok(LiveDeparture {
+            item,
+            bin: step.bin,
+            closed: step.closed,
+            time,
+        })
+    }
+
+    /// Bin capacity vector.
+    #[must_use]
+    pub fn capacity(&self) -> &DimVec {
+        &self.capacity
+    }
+
+    /// The policy kind driving placement.
+    #[must_use]
+    pub fn kind(&self) -> &PolicyKind {
+        &self.kind
+    }
+
+    /// The engine's current tick (the latest effective timestamp).
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Items ever admitted (the next arrival's run-local index).
+    #[must_use]
+    pub fn items_seen(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Items admitted and not yet departed.
+    #[must_use]
+    pub fn active_items(&self) -> usize {
+        self.active_items
+    }
+
+    /// Currently open bins.
+    #[must_use]
+    pub fn open_bins(&self) -> usize {
+        self.engine.open_bins().len()
+    }
+
+    /// Bins ever opened.
+    #[must_use]
+    pub fn bins_opened(&self) -> usize {
+        self.engine.bins_opened()
+    }
+
+    /// Sum of all open bins' loads over all dimensions — the
+    /// least-loaded router's shard weight.
+    #[must_use]
+    pub fn load_l1(&self) -> u128 {
+        self.engine
+            .open_bins()
+            .iter()
+            .map(|b| {
+                self.engine
+                    .bin_load(b.0)
+                    .iter()
+                    .map(|&v| u128::from(v))
+                    .sum::<u128>()
+            })
+            .sum()
+    }
+
+    /// The bin holding `item`, if it has arrived (still set after
+    /// departure).
+    #[must_use]
+    pub fn item_bin(&self, item: usize) -> Option<BinId> {
+        self.engine.assignment_of(item)
+    }
+
+    /// Whether `item` has departed.
+    #[must_use]
+    pub fn has_departed(&self, item: usize) -> bool {
+        self.departed.get(item).copied().unwrap_or(false)
+    }
+
+    /// Accumulated usage time at tick `at` (eq. 1, evaluated mid-run):
+    /// closed bins contribute their full usage period, open bins the
+    /// span from opening to `max(at, opened)`.
+    #[must_use]
+    pub fn usage_time_at(&self, at: Time) -> Cost {
+        let mut total: Cost = 0;
+        for b in 0..self.engine.bins_opened() {
+            let opened = self.engine.opened_at(b);
+            let end = if self.engine.bin_active(b) > 0 {
+                at.max(opened)
+            } else {
+                self.engine.closed_at(b)
+            };
+            total += Cost::from(end - opened);
+        }
+        total
+    }
+
+    /// Snapshot of the run as a [`Packing`], consuming the engine.
+    /// Requires a drained run (every admitted item departed), since a
+    /// packing's bins all have closed usage periods.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::StillActive`] if items remain.
+    pub fn into_packing(self) -> Result<Packing, LiveError> {
+        if self.active_items > 0 {
+            return Err(LiveError::StillActive {
+                active: self.active_items,
+            });
+        }
+        Ok(self.engine.snapshot_packing(self.full, self.trace))
+    }
+}
+
+/// One replayable live operation. `item` indices refer to positions in
+/// the originating [`Instance`]; a [`LiveEngine`] fed these operations
+/// assigns its own dense indices in arrival order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LiveOp {
+    /// Arrival of instance item `item`.
+    Arrive {
+        /// Instance item index.
+        item: usize,
+        /// The item's size vector.
+        size: DimVec,
+        /// Arrival tick.
+        time: Time,
+    },
+    /// Departure of instance item `item`.
+    Depart {
+        /// Instance item index.
+        item: usize,
+        /// Departure tick.
+        time: Time,
+    },
+}
+
+/// The batch engine's exact event order for `instance`, as a list of
+/// live operations: departures before arrivals at equal ticks, arrivals
+/// tie-broken by item index. Feeding these to a [`LiveEngine`] in order
+/// (strict mode) reproduces the batch run bit-for-bit — the canonical
+/// feed of the serve conformance layer and the recovery fuzzer.
+#[must_use]
+pub fn live_ops(instance: &Instance) -> Vec<LiveOp> {
+    OnlineTimeline::build(&instance.intervals())
+        .events()
+        .iter()
+        .map(|ev| match *ev {
+            Event::Arrival { time, item } => LiveOp::Arrive {
+                item,
+                size: instance.items[item].size.clone(),
+                time,
+            },
+            Event::Departure { time, item } => LiveOp::Depart { item, time },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::PackRequest;
+    use std::collections::HashMap;
+
+    fn item(size: &[u64], a: Time, e: Time) -> Item {
+        Item::new(DimVec::from_slice(size), a, e)
+    }
+
+    fn sample() -> Instance {
+        Instance::new(
+            DimVec::from_slice(&[10, 10]),
+            vec![
+                item(&[7, 2], 0, 10),
+                item(&[2, 7], 2, 5),
+                item(&[3, 3], 4, 6),
+                item(&[9, 9], 5, 12),
+                item(&[1, 1], 5, 7),
+                item(&[5, 5], 10, 14),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Drives `instance` through a live engine in timeline order and
+    /// returns the live packing with its assignment/bins/trace mapped
+    /// back to instance item indices.
+    fn live_run(instance: &Instance, kind: &PolicyKind) -> Packing {
+        let mut live = LiveEngine::new(
+            instance.capacity.clone(),
+            kind,
+            TraceMode::Full,
+            TimeMode::Strict,
+        )
+        .unwrap();
+        // orig item index -> live index
+        let mut local = HashMap::new();
+        for op in live_ops(instance) {
+            match op {
+                LiveOp::Arrive { item, size, time } => {
+                    let placed = live.arrive(size, time).unwrap();
+                    local.insert(item, placed.item);
+                }
+                LiveOp::Depart { item, time } => {
+                    live.depart(local[&item], time).unwrap();
+                }
+            }
+        }
+        assert_eq!(live.active_items(), 0);
+        assert_eq!(live.open_bins(), 0);
+        let packing = live.into_packing().unwrap();
+        // Map live indices back to instance indices.
+        let mut back = vec![usize::MAX; local.len()];
+        for (&orig, &idx) in &local {
+            back[idx] = orig;
+        }
+        let mut assignment = vec![BinId(usize::MAX); packing.assignment.len()];
+        for (idx, &bin) in packing.assignment.iter().enumerate() {
+            assignment[back[idx]] = bin;
+        }
+        let bins = packing
+            .bins
+            .iter()
+            .map(|b| crate::bin::BinUsage {
+                opened: b.opened,
+                closed: b.closed,
+                items: b.items.iter().map(|&i| back[i]).collect(),
+            })
+            .collect();
+        let trace = packing
+            .trace
+            .iter()
+            .map(|ev| match *ev {
+                TraceEvent::Packed {
+                    time,
+                    item,
+                    bin,
+                    opened_new,
+                } => TraceEvent::Packed {
+                    time,
+                    item: back[item],
+                    bin,
+                    opened_new,
+                },
+                closed => closed,
+            })
+            .collect();
+        Packing {
+            assignment,
+            bins,
+            trace,
+        }
+    }
+
+    #[test]
+    fn timeline_feed_is_bit_identical_to_batch_for_every_live_kind() {
+        let instance = sample();
+        for kind in [
+            PolicyKind::FirstFit,
+            PolicyKind::IndexedFirstFit,
+            PolicyKind::MoveToFront,
+            PolicyKind::NextFit,
+            PolicyKind::LastFit,
+            PolicyKind::BestFit(crate::LoadMeasure::Linf),
+            PolicyKind::WorstFit(crate::LoadMeasure::Linf),
+            PolicyKind::RandomFit { seed: 11 },
+        ] {
+            let batch = PackRequest::new(kind.clone()).run(&instance).unwrap();
+            let live = live_run(&instance, &kind);
+            assert_eq!(live, batch, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn clairvoyant_kinds_are_rejected() {
+        for kind in [PolicyKind::DurationClassFirstFit, PolicyKind::AlignedFit] {
+            let err = LiveEngine::new(
+                DimVec::from_slice(&[10]),
+                &kind,
+                TraceMode::Full,
+                TimeMode::Strict,
+            )
+            .err()
+            .expect("clairvoyant kinds must be rejected");
+            assert!(matches!(err, LiveError::Clairvoyant { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn invalid_arrivals_are_rejected_without_state_change() {
+        let mut live = LiveEngine::new(
+            DimVec::from_slice(&[10, 10]),
+            &PolicyKind::FirstFit,
+            TraceMode::Full,
+            TimeMode::Strict,
+        )
+        .unwrap();
+        let cases = [
+            (DimVec::from_slice(&[5]), 0, "dim mismatch"),
+            (DimVec::from_slice(&[11, 1]), 0, "oversized"),
+            (DimVec::from_slice(&[0, 0]), 0, "zero size"),
+            (DimVec::from_slice(&[1, 1]), Time::MAX, "time at MAX"),
+        ];
+        for (size, t, what) in cases {
+            assert!(
+                matches!(live.arrive(size, t), Err(LiveError::Pack(_))),
+                "{what}"
+            );
+        }
+        assert_eq!(live.items_seen(), 0);
+        assert_eq!(live.bins_opened(), 0);
+    }
+
+    #[test]
+    fn strict_mode_enforces_order_and_equal_tick_rule() {
+        let mut live = LiveEngine::new(
+            DimVec::from_slice(&[10]),
+            &PolicyKind::FirstFit,
+            TraceMode::Full,
+            TimeMode::Strict,
+        )
+        .unwrap();
+        live.arrive(DimVec::from_slice(&[5]), 5).unwrap();
+        // Time moves backwards: rejected.
+        assert!(matches!(
+            live.arrive(DimVec::from_slice(&[1]), 4),
+            Err(LiveError::OutOfOrder { time: 4, now: 5 })
+        ));
+        live.arrive(DimVec::from_slice(&[2]), 7).unwrap();
+        // A departure at tick 7 after tick-7 arrivals violates the
+        // equal-tick rule...
+        assert!(matches!(
+            live.depart(0, 7),
+            Err(LiveError::EqualTickOrder { time: 7 })
+        ));
+        // ...but a later tick is fine, and frees capacity.
+        let dep = live.depart(0, 8).unwrap();
+        assert_eq!(dep.bin, BinId(0));
+        assert!(!dep.closed);
+        // Unknown / duplicate departures.
+        assert!(matches!(
+            live.depart(9, 9),
+            Err(LiveError::UnknownItem { item: 9 })
+        ));
+        assert!(matches!(
+            live.depart(0, 9),
+            Err(LiveError::AlreadyDeparted { item: 0 })
+        ));
+        // Departing the last item closes the bin.
+        let dep = live.depart(1, 9).unwrap();
+        assert!(dep.closed);
+        assert_eq!(live.open_bins(), 0);
+        assert_eq!(live.usage_time_at(live.now()), 4);
+    }
+
+    #[test]
+    fn depart_must_be_strictly_after_arrival() {
+        let mut live = LiveEngine::new(
+            DimVec::from_slice(&[10]),
+            &PolicyKind::FirstFit,
+            TraceMode::Full,
+            TimeMode::Clamp,
+        )
+        .unwrap();
+        live.arrive(DimVec::from_slice(&[5]), 3).unwrap();
+        assert!(matches!(
+            live.depart(0, 3),
+            Err(LiveError::Pack(PackError::NonMonotoneTime { item: 0 }))
+        ));
+        live.depart(0, 4).unwrap();
+    }
+
+    #[test]
+    fn clamp_mode_pulls_early_timestamps_forward() {
+        let mut live = LiveEngine::new(
+            DimVec::from_slice(&[10]),
+            &PolicyKind::FirstFit,
+            TraceMode::Full,
+            TimeMode::Clamp,
+        )
+        .unwrap();
+        live.arrive(DimVec::from_slice(&[5]), 10).unwrap();
+        // t=4 is behind the clock: clamped to 10, not rejected.
+        let placed = live.arrive(DimVec::from_slice(&[2]), 4).unwrap();
+        assert_eq!(placed.time, 10);
+        // Clamping cannot conjure a zero-length stay: a departure
+        // clamped onto the arrival tick is still rejected.
+        assert!(matches!(
+            live.depart(0, 2),
+            Err(LiveError::Pack(PackError::NonMonotoneTime { item: 0 }))
+        ));
+        live.arrive(DimVec::from_slice(&[1]), 12).unwrap();
+        // Now an early departure clamps forward to the current tick.
+        let dep = live.depart(0, 2).unwrap();
+        assert_eq!(dep.time, 12);
+    }
+
+    #[test]
+    fn usage_time_tracks_open_and_closed_bins() {
+        let mut live = LiveEngine::new(
+            DimVec::from_slice(&[4]),
+            &PolicyKind::FirstFit,
+            TraceMode::CostOnly,
+            TimeMode::Strict,
+        )
+        .unwrap();
+        live.arrive(DimVec::from_slice(&[3]), 0).unwrap();
+        live.arrive(DimVec::from_slice(&[3]), 2).unwrap(); // second bin
+        assert_eq!(live.open_bins(), 2);
+        assert_eq!(live.load_l1(), 6);
+        // At t=5: bin0 open since 0 (5 ticks), bin1 open since 2 (3).
+        assert_eq!(live.usage_time_at(5), 5 + 3);
+        live.depart(0, 5).unwrap();
+        assert_eq!(live.usage_time_at(5), 5 + 3);
+        live.depart(1, 6).unwrap();
+        assert_eq!(live.usage_time_at(8), 5 + 4);
+        let packing = live.into_packing().unwrap();
+        assert_eq!(packing.cost(), 9);
+    }
+
+    #[test]
+    fn into_packing_requires_a_drained_run() {
+        let mut live = LiveEngine::new(
+            DimVec::from_slice(&[10]),
+            &PolicyKind::FirstFit,
+            TraceMode::Full,
+            TimeMode::Strict,
+        )
+        .unwrap();
+        live.arrive(DimVec::from_slice(&[5]), 0).unwrap();
+        assert!(matches!(
+            live.into_packing(),
+            Err(LiveError::StillActive { active: 1 })
+        ));
+    }
+
+    #[test]
+    fn live_ops_order_departures_before_equal_tick_arrivals() {
+        let instance = sample();
+        let ops = live_ops(&instance);
+        // Item 1 departs at t=5; items 3 and 4 arrive at t=5. The
+        // departure must come first, then arrivals by item index.
+        let tick5: Vec<&LiveOp> = ops
+            .iter()
+            .filter(|op| match op {
+                LiveOp::Arrive { time, .. } | LiveOp::Depart { time, .. } => *time == 5,
+            })
+            .collect();
+        assert!(matches!(tick5[0], LiveOp::Depart { item: 1, .. }));
+        assert!(matches!(tick5[1], LiveOp::Arrive { item: 3, .. }));
+        assert!(matches!(tick5[2], LiveOp::Arrive { item: 4, .. }));
+    }
+}

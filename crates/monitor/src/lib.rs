@@ -18,7 +18,10 @@
 //!   exposition format (version 0.0.4);
 //! * [`server`] — serves `/metrics`, `/status` (JSON), `/healthz`, and
 //!   `/shutdown` over a plain [`std::net::TcpListener`] — no HTTP
-//!   framework, no extra threads per connection, graceful stop.
+//!   framework, no extra threads per connection, graceful stop;
+//! * [`scrape`] — the other direction: pull `/status` / `/metrics` from
+//!   a running `dvbp-serve` dispatch service and re-render it
+//!   (`dvbp-monitor --scrape HOST:PORT`).
 //!
 //! The binary (`dvbp-monitor`) runs the driver on one thread and the
 //! accept loop on the main thread; `GET /shutdown` (or the driver
@@ -28,8 +31,10 @@
 pub mod aggregate;
 pub mod driver;
 pub mod prometheus;
+pub mod scrape;
 pub mod server;
 
 pub use aggregate::Aggregate;
 pub use driver::{observe_run, reconstruct_instance, Workload};
+pub use scrape::{http_get, scrape_serve_status};
 pub use server::{Monitor, MonitorServer, Status};

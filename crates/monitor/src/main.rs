@@ -4,6 +4,7 @@
 //! dvbp-monitor [--addr 127.0.0.1:9184] [--policy FirstFit]
 //!              [--trace events.jsonl | --d 2 --n 200 --mu 10 --span 100 --bin 100]
 //!              [--seed 0] [--runs N] [--interval-ms 100]
+//! dvbp-monitor --scrape HOST:PORT [--shards N] [--raw-metrics]
 //! ```
 //!
 //! Drives the configured workload through the engine on a background
@@ -12,6 +13,12 @@
 //! `/shutdown`. With `--trace`, instances are reconstructed from a
 //! recorded `dvbp-obs` JSONL event stream and cycled; otherwise uniform
 //! instances are generated with incrementing seeds.
+//!
+//! With `--scrape`, the roles flip: instead of serving its own run, the
+//! monitor pulls `/status` from a running `dvbp-serve` dispatch service
+//! and prints a per-shard summary (`--shards N` additionally asserts
+//! the service topology; `--raw-metrics` dumps the Prometheus text
+//! instead).
 
 use dvbp_core::PolicyKind;
 use dvbp_monitor::{observe_run, Monitor, MonitorServer, Workload};
@@ -30,11 +37,16 @@ USAGE:
                [--trace FILE.jsonl | --d D --n N --mu MU --span T --bin B]
                [--seed S] [--runs N] [--interval-ms MS]
 
+  dvbp-monitor --scrape HOST:PORT [--shards N] [--raw-metrics]
+
   --addr         bind address (default 127.0.0.1:9184; port 0 = ephemeral)
   --policy       packing policy (default FirstFit); see `dvbp --help`
   --trace        replay instances reconstructed from a dvbp-obs JSONL trace
   --runs         stop driving after N runs, keep serving (0 = unbounded)
   --interval-ms  pause between runs (default 100)
+  --scrape       pull /status from a running dvbp-serve and print a summary
+  --shards       with --scrape: fail unless the service runs exactly N shards
+  --raw-metrics  with --scrape: print the service's Prometheus text verbatim
 
 ENDPOINTS: /metrics (Prometheus), /status (JSON), /healthz, /shutdown";
 
@@ -54,7 +66,32 @@ where
     }
 }
 
+/// `--scrape` mode: one-shot pull of a running `dvbp-serve` service.
+fn run_scrape(args: &[String], target: &str) -> Result<(), String> {
+    if args.iter().any(|a| a == "--raw-metrics") {
+        print!("{}", dvbp_monitor::http_get(target, "/metrics")?);
+        return Ok(());
+    }
+    let status = dvbp_monitor::scrape_serve_status(target)?;
+    if let Some(expected) = flag(args, "--shards") {
+        let expected: usize = expected
+            .parse()
+            .map_err(|e| format!("--shards {expected}: {e}"))?;
+        if status.shards != expected {
+            return Err(format!(
+                "{target}: service runs {} shard(s), expected {expected}",
+                status.shards
+            ));
+        }
+    }
+    print!("{}", dvbp_monitor::scrape::render(target, &status));
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<(), String> {
+    if let Some(target) = flag(args, "--scrape") {
+        return run_scrape(args, &target);
+    }
     let addr = parse(args, "--addr", "127.0.0.1:9184".to_string())?;
     let policy = PolicyKind::from_str(&parse(args, "--policy", "FirstFit".to_string())?)
         .map_err(|e| e.to_string())?;

@@ -1,0 +1,164 @@
+//! Scrape mode: pull a running `dvbp-serve` instance's operator
+//! surface and re-render it for a human.
+//!
+//! `dvbp-serve` exposes `/status` (a [`ServeStatus`] JSON document) and
+//! `/metrics` (Prometheus text) on its dispatch port; `dvbp-monitor
+//! --scrape HOST:PORT` fetches them with the same hand-rolled HTTP
+//! discipline the rest of the workspace uses — one `TcpStream`, one
+//! request, `Connection: close` — and prints a per-shard summary. The
+//! CI serve-smoke job uses it to compare a recovered service against
+//! the uninterrupted reference.
+
+use dvbp_serve::protocol::ServeStatus;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Fetches `path` from `addr` over plain HTTP/1.1 and returns the
+/// response body.
+///
+/// # Errors
+///
+/// Connection and I/O failures, malformed responses, and any non-200
+/// status, all rendered.
+pub fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("sending request to {addr}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("reading {addr}{path}: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{addr}{path}: malformed HTTP response"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    if !status_line.contains(" 200 ") && !status_line.ends_with(" 200") {
+        return Err(format!("{addr}{path}: {status_line}"));
+    }
+    Ok(body.to_string())
+}
+
+/// Fetches and parses a `dvbp-serve` `/status` document.
+///
+/// # Errors
+///
+/// Transport failures from [`http_get`], or an unparseable body.
+pub fn scrape_serve_status(addr: &str) -> Result<ServeStatus, String> {
+    let body = http_get(addr, "/status")?;
+    serde_json::from_str(&body).map_err(|e| format!("{addr}/status: unparseable body: {e}"))
+}
+
+/// Renders a scraped [`ServeStatus`] as a terminal summary: one header
+/// line, the service totals, and one line per shard.
+#[must_use]
+pub fn render(addr: &str, status: &ServeStatus) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "dvbp-serve @ {addr}: {} x{} ({} router){}\n",
+        status.policy,
+        status.shards,
+        status.router,
+        if status.shutting_down {
+            " [shutting down]"
+        } else {
+            ""
+        },
+    ));
+    out.push_str(&format!(
+        "  totals: {} arrived / {} departed, {} active, {} open bin(s) \
+         ({} ever), usage {}, wal {} line(s), {} recovered, t={}\n",
+        status.arrivals,
+        status.departures,
+        status.active_items,
+        status.open_bins,
+        status.bins_opened,
+        status.usage_time,
+        status.wal_lines,
+        status.recovered_events,
+        status.last_time,
+    ));
+    for s in &status.per_shard {
+        out.push_str(&format!(
+            "  shard {:>3}: {:>6} arrived {:>6} departed {:>5} active \
+             {:>4} open usage {:>8} t={}\n",
+            s.shard,
+            s.arrivals,
+            s.departures,
+            s.active_items,
+            s.open_bins,
+            s.usage_time,
+            s.last_time,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvbp_core::{PolicyKind, TimeMode, TraceMode};
+    use dvbp_dimvec::DimVec;
+    use dvbp_obs::SyncPolicy;
+    use dvbp_serve::protocol::Request;
+    use dvbp_serve::router::RouterKind;
+    use dvbp_serve::server::{serve, ServeState};
+    use std::net::TcpListener;
+    use std::sync::Arc;
+
+    fn boot() -> (
+        String,
+        Arc<ServeState<Vec<u8>>>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let state = Arc::new(
+            ServeState::in_memory(
+                &DimVec::from_slice(&[10, 10]),
+                &PolicyKind::FirstFit,
+                2,
+                RouterKind::RoundRobin,
+                TraceMode::CostOnly,
+                TimeMode::Strict,
+                SyncPolicy::PerEvent,
+            )
+            .unwrap(),
+        );
+        let srv = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || serve(&state, &listener).unwrap())
+        };
+        (addr, state, srv)
+    }
+
+    #[test]
+    fn scrapes_a_live_service_and_renders_per_shard_lines() {
+        let (addr, state, srv) = boot();
+        for i in 0..4u64 {
+            state.handle(&Request::Arrive {
+                id: format!("vm-{i}"),
+                size: vec![1, 1],
+                time: i,
+            });
+        }
+        let status = scrape_serve_status(&addr).unwrap();
+        assert_eq!(status.arrivals, 4);
+        assert_eq!(status.shards, 2);
+        let text = render(&addr, &status);
+        assert!(text.contains("FirstFit x2"), "{text}");
+        assert!(text.contains("shard   0"), "{text}");
+        assert!(text.contains("shard   1"), "{text}");
+
+        // The Prometheus surface scrapes through the same helper.
+        let metrics = http_get(&addr, "/metrics").unwrap();
+        assert!(metrics.contains("dvbp_serve_arrivals_total 4"), "{metrics}");
+
+        assert!(http_get(&addr, "/nope").unwrap_err().contains("404"));
+        state.handle(&Request::Shutdown);
+        let _ = TcpStream::connect(&addr);
+        srv.join().unwrap();
+    }
+}

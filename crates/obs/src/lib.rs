@@ -46,7 +46,7 @@ pub mod timing;
 
 pub use error::ObsError;
 pub use histogram::{HistogramObserver, LogHistogram};
-pub use jsonl::JsonlEmitter;
+pub use jsonl::{scan_wal, JsonlEmitter, StableWrite, SyncPolicy, WalScan};
 pub use metrics::{Gauge, MetricsObserver};
 pub use provenance::{ProvenanceObserver, WithProvenance};
 pub use timing::{TimingObserver, TimingSnapshot};
@@ -397,6 +397,18 @@ pub enum ObsEvent {
         item: usize,
         /// Item size vector.
         size: Vec<u64>,
+    },
+    /// Binds a run-local item index to an external string identifier.
+    ///
+    /// Written by serving layers (`dvbp-serve`'s write-ahead log) that
+    /// admit items under client-chosen ids; the engine itself never
+    /// emits it. Replay and analysis treat it as an annotation on the
+    /// `Arrival` that follows.
+    Ident {
+        /// Run-local item index (the `item` of the following events).
+        item: usize,
+        /// External client-assigned identifier.
+        id: String,
     },
     /// A candidate bin was examined for one arrival (provenance runs
     /// only — emitted solely by probe-aware observers).

@@ -1,0 +1,214 @@
+//! `dvbp-serve` — sharded online dispatch service with WAL durability.
+//!
+//! ```text
+//! dvbp-serve serve --policy FirstFit --shards 4 --wal wal/ [--addr HOST:PORT]
+//! dvbp-serve drive --trace instance.json [--addr HOST:PORT] [--throttle-ms N] [--shutdown]
+//! dvbp-serve query [--addr HOST:PORT]
+//! ```
+//!
+//! `serve` boots (recovering any existing WAL — one "recovered" line
+//! per shard) and accepts NDJSON requests plus the HTTP operator routes
+//! on one port. `drive` replays an instance trace file against a
+//! running service in canonical timeline order; re-driving after a
+//! crash resumes idempotently. `query` prints the `/status` JSON.
+
+use dvbp_core::{PolicyKind, TimeMode, TraceMode};
+use dvbp_dimvec::DimVec;
+use dvbp_obs::SyncPolicy;
+use dvbp_serve::router::RouterKind;
+use dvbp_serve::server::{serve, ServeState};
+use dvbp_serve::{client, Client};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+dvbp-serve — sharded online DVBP dispatch service with WAL durability
+
+USAGE:
+  dvbp-serve serve [--addr HOST:PORT] [--policy NAME] [--shards N]
+                   [--router hash|round-robin|least-loaded]
+                   [--wal DIR] [--sync per-event|batch:N|on-close]
+                   [--time-mode strict|clamp] [--cap C1,C2,...]
+  dvbp-serve drive [--addr HOST:PORT] --trace FILE.json
+                   [--throttle-ms MS] [--shutdown]
+  dvbp-serve query [--addr HOST:PORT]
+
+  --addr        bind/connect address (default 127.0.0.1:7411; port 0 = ephemeral)
+  --policy      packing policy (default FirstFit); clairvoyant kinds rejected
+  --shards      independent engine shards (default 1)
+  --router      id -> shard strategy (default hash)
+  --wal         write-ahead-log directory; omit for a non-durable in-memory run
+  --sync        WAL durability per accepted operation (default per-event)
+  --time-mode   strict rejects out-of-order timestamps; clamp pulls them forward
+  --cap         per-dimension bin capacity (default 100,100)
+  --trace       instance trace file (dvbp JSON format) to replay
+  --throttle-ms pause between driven operations (widens crash windows in CI)
+  --shutdown    send Shutdown after driving
+
+PROTOCOL (one JSON value per line over TCP):
+  {\"Arrive\":{\"id\":\"vm-1\",\"size\":[2,3],\"time\":0}}
+  {\"Depart\":{\"id\":\"vm-1\",\"time\":5}}
+  \"Query\"  |  \"Shutdown\"
+HTTP on the same port: /healthz, /status, /metrics, POST /shutdown";
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7411";
+
+fn flag(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse<T: FromStr>(args: &[String], key: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flag(args, key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("{key} {v}: {e}")),
+    }
+}
+
+fn parse_capacity(spec: &str) -> Result<DimVec, String> {
+    let units = spec
+        .split(',')
+        .map(|c| {
+            c.trim()
+                .parse::<u64>()
+                .map_err(|e| format!("--cap {c}: {e}"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if units.is_empty() || units.contains(&0) {
+        return Err(format!("--cap {spec}: need positive units per dimension"));
+    }
+    Ok(DimVec::from_slice(&units))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let addr = parse(args, "--addr", DEFAULT_ADDR.to_string())?;
+    let policy = PolicyKind::from_str(&parse(args, "--policy", "FirstFit".to_string())?)
+        .map_err(|e| e.to_string())?;
+    let shards: usize = parse(args, "--shards", 1usize)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let router: RouterKind = parse(args, "--router", RouterKind::Hash)?;
+    let sync: SyncPolicy = parse(args, "--sync", SyncPolicy::PerEvent)?;
+    let time_mode: TimeMode = parse(args, "--time-mode", TimeMode::Strict)?;
+    let capacity = parse_capacity(&parse(args, "--cap", "100,100".to_string())?)?;
+
+    let listener = TcpListener::bind(addr.as_str()).map_err(|e| format!("binding {addr}: {e}"))?;
+    let bound = listener.local_addr().map_err(|e| e.to_string())?;
+
+    // The service journals in CostOnly: bit-identical placement to a
+    // Full run, without unbounded trace growth in a long-lived process.
+    let banner = |recovered: u64| {
+        println!(
+            "dvbp-serve: {} x{shards} ({} router) on {bound}, {recovered} recovered event(s)",
+            policy.name(),
+            router.name(),
+        );
+    };
+    match flag(args, "--wal") {
+        Some(dir) => {
+            let (state, reports) = ServeState::open(
+                &PathBuf::from(&dir),
+                &capacity,
+                &policy,
+                shards,
+                router,
+                TraceMode::CostOnly,
+                time_mode,
+                sync,
+            )
+            .map_err(|e| format!("opening WAL under {dir}: {e}"))?;
+            for report in &reports {
+                println!("dvbp-serve: {report}");
+            }
+            banner(reports.iter().map(|r| r.events_applied).sum());
+            serve(&Arc::new(state), &listener).map_err(|e| e.to_string())?;
+        }
+        None => {
+            let state = ServeState::in_memory(
+                &capacity,
+                &policy,
+                shards,
+                router,
+                TraceMode::CostOnly,
+                time_mode,
+                sync,
+            )
+            .map_err(|e| e.to_string())?;
+            println!("dvbp-serve: no --wal given; journaling to memory (no durability)");
+            banner(0);
+            serve(&Arc::new(state), &listener).map_err(|e| e.to_string())?;
+        }
+    }
+    println!("dvbp-serve: stopped");
+    Ok(())
+}
+
+fn cmd_drive(args: &[String]) -> Result<(), String> {
+    let addr = parse(args, "--addr", DEFAULT_ADDR.to_string())?;
+    let trace = flag(args, "--trace").ok_or("drive needs --trace FILE.json")?;
+    let throttle = match parse(args, "--throttle-ms", 0u64)? {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
+    let instance = client::load_instance(&PathBuf::from(&trace))?;
+    let mut client = Client::connect(&addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let report = client
+        .drive_instance(&instance, throttle)
+        .map_err(|e| format!("driving {trace}: {e}"))?;
+    println!(
+        "dvbp-serve: drove {} item(s): {} placed, {} departed, {} skipped, {} error(s)",
+        instance.items.len(),
+        report.placed,
+        report.departed,
+        report.skipped,
+        report.errors,
+    );
+    if args.iter().any(|a| a == "--shutdown") {
+        client.shutdown().map_err(|e| e.to_string())?;
+    }
+    if report.errors > 0 {
+        return Err(format!("{} operation(s) rejected", report.errors));
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let addr = parse(args, "--addr", DEFAULT_ADDR.to_string())?;
+    let mut client = Client::connect(&addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let status = client.query().map_err(|e| e.to_string())?;
+    println!(
+        "{}",
+        serde_json::to_string(&status).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let result = match args[0].as_str() {
+        "serve" => cmd_serve(&args[1..]),
+        "drive" => cmd_drive(&args[1..]),
+        "query" => cmd_query(&args[1..]),
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

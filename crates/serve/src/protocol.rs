@@ -1,0 +1,267 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! One [`Request`] per line in, one [`Response`] per line out, in
+//! order. Requests are externally tagged JSON — the exact grammar is
+//! documented in DESIGN.md ("Serving & durability"); a session looks
+//! like:
+//!
+//! ```text
+//! > {"Arrive":{"id":"vm-1","size":[2,3],"time":0}}
+//! < {"Placed":{"id":"vm-1","shard":0,"item":0,"bin":0,"opened_new":true,"time":0}}
+//! > {"Depart":{"id":"vm-1","time":5}}
+//! < {"Departed":{"id":"vm-1","shard":0,"item":0,"bin":0,"closed":true,"time":5}}
+//! > "Query"
+//! < {"Status":{...}}
+//! ```
+//!
+//! Identifiers are client-chosen opaque strings and are *permanent*:
+//! re-using a departed item's id is rejected (`duplicate-id`), which is
+//! what makes blind client retries after a crash idempotent.
+
+use serde::{Deserialize, Serialize};
+
+/// One client request (one JSON value per line).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Request {
+    /// Admit an item under a client-chosen id.
+    Arrive {
+        /// Client-chosen opaque identifier, unique for the lifetime of
+        /// the service.
+        id: String,
+        /// Resource demand vector (must match the service dimension).
+        size: Vec<u64>,
+        /// Arrival tick.
+        time: u64,
+    },
+    /// Retire a previously admitted item.
+    Depart {
+        /// The id given at arrival.
+        id: String,
+        /// Departure tick.
+        time: u64,
+    },
+    /// Snapshot of service totals and per-shard state.
+    Query,
+    /// Stop the service gracefully (persist WALs, exit accept loop).
+    Shutdown,
+}
+
+/// Machine-readable rejection categories carried by [`Response::Error`].
+pub mod error_code {
+    /// The id is already in use (or was used by a departed item).
+    pub const DUPLICATE_ID: &str = "duplicate-id";
+    /// Departure for an id that never arrived.
+    pub const UNKNOWN_ID: &str = "unknown-id";
+    /// Departure for an id that already departed.
+    pub const ALREADY_DEPARTED: &str = "already-departed";
+    /// The item itself is invalid (dimension, oversized, zero size).
+    pub const INVALID_ITEM: &str = "invalid-item";
+    /// Strict time mode rejected the timestamp.
+    pub const OUT_OF_ORDER: &str = "out-of-order";
+    /// The write-ahead log failed; the shard no longer accepts writes.
+    pub const WAL: &str = "wal";
+    /// The request line did not parse.
+    pub const BAD_REQUEST: &str = "bad-request";
+    /// The service is shutting down.
+    pub const SHUTTING_DOWN: &str = "shutting-down";
+}
+
+/// One service response (one JSON value per line, matching the request
+/// order).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The arrival was journaled and placed.
+    Placed {
+        /// Echo of the request id.
+        id: String,
+        /// Shard that owns the item.
+        shard: usize,
+        /// Shard-local dense item index.
+        item: usize,
+        /// Shard-local receiving bin index.
+        bin: usize,
+        /// Whether the bin was opened for this item.
+        opened_new: bool,
+        /// Effective tick (may exceed the request's in clamp mode).
+        time: u64,
+    },
+    /// The departure was journaled and applied.
+    Departed {
+        /// Echo of the request id.
+        id: String,
+        /// Shard that owned the item.
+        shard: usize,
+        /// Shard-local item index.
+        item: usize,
+        /// Shard-local bin index departed from.
+        bin: usize,
+        /// Whether the departure closed the bin.
+        closed: bool,
+        /// Effective tick.
+        time: u64,
+    },
+    /// Snapshot answering [`Request::Query`].
+    Status(ServeStatus),
+    /// The request was rejected; no state changed.
+    Error {
+        /// One of the [`error_code`] constants.
+        code: String,
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Shutdown acknowledged; the connection closes after this line.
+    ShuttingDown,
+}
+
+/// Service-wide snapshot: totals plus one [`ShardStatus`] per shard.
+///
+/// `usage_time` values are decimal strings — they are `u128` bin-tick
+/// totals that can exceed what JSON numbers represent exactly (same
+/// convention as `dvbp-monitor`'s `/status`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStatus {
+    /// Policy display name.
+    pub policy: String,
+    /// Router display name (`hash`, `round-robin`, `least-loaded`).
+    pub router: String,
+    /// Number of shards.
+    pub shards: usize,
+    /// Items admitted over all shards.
+    pub arrivals: u64,
+    /// Items departed over all shards.
+    pub departures: u64,
+    /// Items currently active.
+    pub active_items: u64,
+    /// Bins currently open.
+    pub open_bins: u64,
+    /// Bins ever opened.
+    pub bins_opened: u64,
+    /// Total usage time at each shard's current tick, as a decimal
+    /// string (the MinUsageTime objective; `Σ` over shards).
+    pub usage_time: String,
+    /// WAL lines written since boot (excludes recovered lines).
+    pub wal_lines: u64,
+    /// Events replayed from the WAL at boot.
+    pub recovered_events: u64,
+    /// Highest current tick over all shards.
+    pub last_time: u64,
+    /// Whether shutdown was requested.
+    pub shutting_down: bool,
+    /// Per-shard state, indexed by shard id.
+    pub per_shard: Vec<ShardStatus>,
+}
+
+/// One shard's slice of the [`ServeStatus`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: usize,
+    /// Items admitted.
+    pub arrivals: u64,
+    /// Items departed.
+    pub departures: u64,
+    /// Items currently active.
+    pub active_items: u64,
+    /// Bins currently open.
+    pub open_bins: u64,
+    /// Bins ever opened.
+    pub bins_opened: u64,
+    /// Usage time at the shard's current tick, as a decimal string.
+    pub usage_time: String,
+    /// WAL lines written since boot.
+    pub wal_lines: u64,
+    /// The shard's current tick.
+    pub last_time: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_as_single_json_lines() {
+        let reqs = [
+            Request::Arrive {
+                id: "vm-1".into(),
+                size: vec![2, 3],
+                time: 0,
+            },
+            Request::Depart {
+                id: "vm-1".into(),
+                time: 5,
+            },
+            Request::Query,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = serde_json::to_string(&req).unwrap();
+            assert!(!line.contains('\n'));
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn unit_requests_are_bare_strings() {
+        // The nc-friendly spelling: `"Query"` on a line by itself.
+        assert_eq!(
+            serde_json::from_str::<Request>("\"Query\"").unwrap(),
+            Request::Query
+        );
+        assert_eq!(
+            serde_json::from_str::<Request>("\"Shutdown\"").unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let status = ServeStatus {
+            policy: "FirstFit".into(),
+            router: "hash".into(),
+            shards: 2,
+            arrivals: 3,
+            departures: 1,
+            active_items: 2,
+            open_bins: 1,
+            bins_opened: 2,
+            usage_time: "12".into(),
+            wal_lines: 9,
+            recovered_events: 0,
+            last_time: 7,
+            shutting_down: false,
+            per_shard: vec![ShardStatus {
+                shard: 0,
+                arrivals: 2,
+                departures: 1,
+                active_items: 1,
+                open_bins: 1,
+                bins_opened: 1,
+                usage_time: "8".into(),
+                wal_lines: 5,
+                last_time: 7,
+            }],
+        };
+        let resps = [
+            Response::Placed {
+                id: "a".into(),
+                shard: 0,
+                item: 0,
+                bin: 0,
+                opened_new: true,
+                time: 0,
+            },
+            Response::Status(status),
+            Response::Error {
+                code: error_code::DUPLICATE_ID.into(),
+                message: "id a in use".into(),
+            },
+            Response::ShuttingDown,
+        ];
+        for resp in resps {
+            let line = serde_json::to_string(&resp).unwrap();
+            let back: Response = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+}

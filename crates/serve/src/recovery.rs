@@ -1,0 +1,705 @@
+//! Crash recovery: replay a shard's write-ahead log back to the exact
+//! live-engine state it described.
+//!
+//! Recovery is a *verified re-drive*: the WAL is parsed into operation
+//! groups (see [`crate::shard`] for the grammar), each group's
+//! operation is re-executed against a fresh [`LiveEngine`], and the
+//! engine's actual outcome (bin choice, `opened_new`, `closed`) is
+//! checked against what the journal recorded. Any disagreement is
+//! [`RecoveryError::Diverged`] — the log was written by a different
+//! policy/capacity/engine, or is corrupt — rather than silently
+//! trusting either side. Because the engine is deterministic, a clean
+//! replay reproduces **bit-identical** state: same bins, same loads,
+//! same policy-internal order.
+//!
+//! # What gets dropped
+//!
+//! * A torn (unterminated) final line — classified by
+//!   [`scan_wal`], never an error.
+//! * A trailing **incomplete group** (e.g. `Ident`+`Arrival` without
+//!   the committing `Place`): the crash hit between the group's lines,
+//!   so the operation was never acknowledged.
+//! * A trailing lone `Depart` whose replay says the bin **closed**: the
+//!   commit line of a closing depart group is its `BinClose`, so its
+//!   absence proves the crash hit mid-group. The whole group is rolled
+//!   back (by re-driving without it). A mid-log `Depart` with the same
+//!   disagreement is *not* ambiguous — its group is complete because
+//!   later groups follow — so there it is `Diverged`.
+//!
+//! Dropped events are reported in [`Recovered::dropped_events`] and
+//! excluded from [`Recovered::valid_bytes`]; the caller truncates the
+//! log file to `valid_bytes` before appending new groups, restoring the
+//! acknowledged-prefix invariant.
+
+use dvbp_core::{LiveEngine, LiveError, PolicyKind, TimeMode, TraceMode};
+use dvbp_dimvec::DimVec;
+use dvbp_obs::{scan_wal, ObsError, ObsEvent};
+use dvbp_sim::Time;
+use std::collections::HashMap;
+
+/// A WAL that could not be recovered. All variants are fatal: the
+/// service refuses to boot on a log it cannot fully explain.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// A newline-terminated line failed to parse (real corruption, not
+    /// a torn tail).
+    Scan(ObsError),
+    /// The log is non-empty but does not start with the `RunStart`
+    /// header.
+    MissingHeader,
+    /// The header's capacity differs from the service configuration.
+    HeaderMismatch {
+        /// Capacity the service was configured with.
+        expected: Vec<u64>,
+        /// Capacity recorded in the WAL header.
+        found: Vec<u64>,
+    },
+    /// The event sequence violates the group grammar somewhere other
+    /// than a trailing (crash-explicable) position.
+    Malformed {
+        /// 0-based index into the scanned event list.
+        event: usize,
+        /// What was wrong.
+        msg: String,
+    },
+    /// Replay produced a different outcome than the journal recorded.
+    Diverged {
+        /// 0-based index of the group's first event.
+        event: usize,
+        /// The disagreement.
+        msg: String,
+    },
+    /// Replay rejected a journaled operation outright (corrupt size or
+    /// timestamp), or the policy kind is not liveable.
+    Live(LiveError),
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Scan(e) => write!(f, "unreadable WAL: {e}"),
+            RecoveryError::MissingHeader => write!(f, "WAL does not start with a RunStart header"),
+            RecoveryError::HeaderMismatch { expected, found } => write!(
+                f,
+                "WAL capacity {found:?} does not match configured capacity {expected:?}"
+            ),
+            RecoveryError::Malformed { event, msg } => {
+                write!(f, "malformed WAL at event {event}: {msg}")
+            }
+            RecoveryError::Diverged { event, msg } => {
+                write!(f, "WAL diverged from replay at event {event}: {msg}")
+            }
+            RecoveryError::Live(e) => write!(f, "replay rejected a journaled operation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<LiveError> for RecoveryError {
+    fn from(e: LiveError) -> Self {
+        RecoveryError::Live(e)
+    }
+}
+
+/// The state rebuilt from a WAL by [`recover`].
+pub struct Recovered {
+    /// A live engine holding exactly the state the WAL's acknowledged
+    /// prefix described.
+    pub live: LiveEngine,
+    /// External id → run-local index for every recovered arrival.
+    pub ids: HashMap<String, usize>,
+    /// Run-local index → external id.
+    pub names: Vec<String>,
+    /// Events (journal lines, header included) applied by the replay.
+    pub events_applied: u64,
+    /// Byte length of the acknowledged prefix; the caller truncates the
+    /// log file to this before appending.
+    pub valid_bytes: u64,
+    /// Complete-line events discarded as unacknowledged trailing work
+    /// (incomplete group or rolled-back closing depart).
+    pub dropped_events: u64,
+    /// Bytes of torn (unterminated) final line skipped by the scan.
+    pub torn_bytes: u64,
+    /// Whether the log contained the `RunStart` header (false only for
+    /// an empty/fully-torn log).
+    pub has_header: bool,
+}
+
+/// One parsed WAL group, with the journal's recorded outcome.
+#[derive(Debug)]
+enum Group {
+    Arrive {
+        /// Index of the group's first event (for error reporting).
+        at: usize,
+        id: String,
+        item: usize,
+        size: Vec<u64>,
+        time: Time,
+        bin: usize,
+        opened_new: bool,
+    },
+    Depart {
+        at: usize,
+        item: usize,
+        time: Time,
+        bin: usize,
+        closed: bool,
+    },
+}
+
+/// Parses the scanned event list into groups. `complete[i]` is the
+/// event index of group `i`'s commit line. Returns the groups plus the
+/// number of trailing events dropped as an incomplete group.
+fn parse_groups(events: &[ObsEvent]) -> Result<(Vec<Group>, u64), RecoveryError> {
+    let mut groups = Vec::new();
+    let mut i = 1; // 0 is the header
+    while i < events.len() {
+        let at = i;
+        match &events[i] {
+            ObsEvent::Ident { item, id } => {
+                // Arrival group: Ident, Arrival, BinOpen?, Place.
+                let Some(ObsEvent::Arrival {
+                    time,
+                    item: ai,
+                    size,
+                }) = events.get(i + 1)
+                else {
+                    return trailing_or_malformed(events, at, groups, "Ident without Arrival");
+                };
+                if ai != item {
+                    return Err(RecoveryError::Malformed {
+                        event: i + 1,
+                        msg: format!("Arrival item {ai} does not match Ident item {item}"),
+                    });
+                }
+                let mut j = i + 2;
+                let opened = matches!(events.get(j), Some(ObsEvent::BinOpen { .. }));
+                if opened {
+                    j += 1;
+                }
+                let Some(ObsEvent::Place {
+                    time: pt,
+                    item: pi,
+                    bin,
+                    opened_new,
+                    ..
+                }) = events.get(j)
+                else {
+                    return trailing_or_malformed(
+                        events,
+                        at,
+                        groups,
+                        "arrival group without Place",
+                    );
+                };
+                if pi != item || pt != time {
+                    return Err(RecoveryError::Malformed {
+                        event: j,
+                        msg: "Place does not match its Arrival".to_string(),
+                    });
+                }
+                if *opened_new != opened {
+                    return Err(RecoveryError::Malformed {
+                        event: j,
+                        msg: format!(
+                            "Place says opened_new={opened_new} but group has {} BinOpen",
+                            if opened { "a" } else { "no" }
+                        ),
+                    });
+                }
+                groups.push(Group::Arrive {
+                    at,
+                    id: id.clone(),
+                    item: *item,
+                    size: size.clone(),
+                    time: *time,
+                    bin: *bin,
+                    opened_new: *opened_new,
+                });
+                i = j + 1;
+            }
+            ObsEvent::Depart { time, item, bin } => {
+                // Depart group: Depart, BinClose?.
+                let closed = matches!(events.get(i + 1), Some(ObsEvent::BinClose { .. }));
+                groups.push(Group::Depart {
+                    at,
+                    item: *item,
+                    time: *time,
+                    bin: *bin,
+                    closed,
+                });
+                i += if closed { 2 } else { 1 };
+            }
+            other => {
+                return Err(RecoveryError::Malformed {
+                    event: i,
+                    msg: format!("event cannot start a group: {other:?}"),
+                });
+            }
+        }
+    }
+    Ok((groups, 0))
+}
+
+/// An incomplete group at the very end of the log is a crash artifact
+/// (dropped); anywhere else it is corruption.
+fn trailing_or_malformed(
+    events: &[ObsEvent],
+    at: usize,
+    groups: Vec<Group>,
+    msg: &str,
+) -> Result<(Vec<Group>, u64), RecoveryError> {
+    // The group is trailing iff every remaining event belongs to it —
+    // i.e. parsing stopped because the log *ended*, not because an
+    // unexpected event interrupted the group. Interruptions show up as
+    // a parseable-but-wrong next event and were already rejected above;
+    // reaching here means `events.get(..)` ran off the end unless the
+    // next events are group-starters, which would have parsed.
+    let rest = &events[at..];
+    let interrupted = rest
+        .iter()
+        .skip(1)
+        .any(|e| matches!(e, ObsEvent::Ident { .. } | ObsEvent::Depart { .. }));
+    if interrupted {
+        Err(RecoveryError::Malformed {
+            event: at,
+            msg: msg.to_string(),
+        })
+    } else {
+        Ok((groups, rest.len() as u64))
+    }
+}
+
+/// The replayed engine plus its id tables (`id -> local index`, and the
+/// reverse `local index -> id`).
+type DrivenState = (LiveEngine, HashMap<String, usize>, Vec<String>);
+
+/// Re-drives `groups` on a fresh engine, checking every outcome against
+/// the journal. `check_last_closing_depart` is false on the rollback
+/// pass (the ambiguous trailing group has already been removed).
+fn drive(
+    groups: &[Group],
+    capacity: &DimVec,
+    kind: &PolicyKind,
+    trace: TraceMode,
+    time_mode: TimeMode,
+) -> Result<DrivenState, RecoveryError> {
+    let mut live = LiveEngine::new(capacity.clone(), kind, trace, time_mode)?;
+    let mut ids = HashMap::new();
+    let mut names = Vec::new();
+    for group in groups {
+        match group {
+            Group::Arrive {
+                at,
+                id,
+                item,
+                size,
+                time,
+                bin,
+                opened_new,
+            } => {
+                if *item != live.items_seen() {
+                    return Err(RecoveryError::Diverged {
+                        event: *at,
+                        msg: format!(
+                            "journal item index {item}, replay expects {}",
+                            live.items_seen()
+                        ),
+                    });
+                }
+                let placed = live.arrive(DimVec::from_slice(size), *time)?;
+                if placed.bin.0 != *bin || placed.opened_new != *opened_new || placed.time != *time
+                {
+                    return Err(RecoveryError::Diverged {
+                        event: *at,
+                        msg: format!(
+                            "journal placed item {item} in bin {bin} (opened_new={opened_new}), \
+                             replay chose bin {} (opened_new={})",
+                            placed.bin.0, placed.opened_new
+                        ),
+                    });
+                }
+                ids.insert(id.clone(), *item);
+                names.push(id.clone());
+            }
+            Group::Depart {
+                at,
+                item,
+                time,
+                bin,
+                closed,
+            } => {
+                let dep = match live.depart(*item, *time) {
+                    Ok(dep) => dep,
+                    Err(
+                        e @ (LiveError::UnknownItem { .. } | LiveError::AlreadyDeparted { .. }),
+                    ) => {
+                        return Err(RecoveryError::Diverged {
+                            event: *at,
+                            msg: e.to_string(),
+                        })
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                if dep.bin.0 != *bin {
+                    // The Depart line itself (a complete line) named a
+                    // different bin: corruption regardless of position.
+                    return Err(RecoveryError::Diverged {
+                        event: *at,
+                        msg: format!(
+                            "journal departed item {item} from bin {bin}, replay says bin {}",
+                            dep.bin.0
+                        ),
+                    });
+                }
+                if dep.closed != *closed {
+                    // Exact marker matched by `is_ambiguous_trailing_depart`.
+                    return Err(RecoveryError::Diverged {
+                        event: *at,
+                        msg: format!(
+                            "journal says closed={closed}, replay says closed={}",
+                            dep.closed
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok((live, ids, names))
+}
+
+/// Number of journal lines group `i` occupies.
+fn group_lines(g: &Group) -> u64 {
+    match g {
+        Group::Arrive { opened_new, .. } => 3 + u64::from(*opened_new),
+        Group::Depart { closed, .. } => 1 + u64::from(*closed),
+    }
+}
+
+/// Replays raw WAL bytes into a [`Recovered`] shard state for the given
+/// service configuration.
+///
+/// # Errors
+///
+/// See [`RecoveryError`]; every variant means the service must not
+/// boot on this log.
+pub fn recover(
+    bytes: &[u8],
+    capacity: &DimVec,
+    kind: &PolicyKind,
+    trace: TraceMode,
+    time_mode: TimeMode,
+) -> Result<Recovered, RecoveryError> {
+    let scan = scan_wal(bytes).map_err(RecoveryError::Scan)?;
+    if scan.events.is_empty() {
+        // Empty or fully-torn log: boot fresh; the caller truncates the
+        // torn fragment (valid_bytes = 0) and writes a new header.
+        let live = LiveEngine::new(capacity.clone(), kind, trace, time_mode)?;
+        return Ok(Recovered {
+            live,
+            ids: HashMap::new(),
+            names: Vec::new(),
+            events_applied: 0,
+            valid_bytes: 0,
+            dropped_events: 0,
+            torn_bytes: scan.torn_bytes,
+            has_header: false,
+        });
+    }
+    match &scan.events[0] {
+        ObsEvent::RunStart { capacity: c, .. } => {
+            if c != capacity.as_slice() {
+                return Err(RecoveryError::HeaderMismatch {
+                    expected: capacity.as_slice().to_vec(),
+                    found: c.clone(),
+                });
+            }
+        }
+        _ => return Err(RecoveryError::MissingHeader),
+    }
+
+    let (mut groups, mut dropped_events) = parse_groups(&scan.events)?;
+    let (live, ids, names) = match drive(&groups, capacity, kind, trace, time_mode) {
+        Ok(state) => state,
+        Err(RecoveryError::Diverged { event, msg })
+            if is_ambiguous_trailing_depart(&groups, event, &msg) =>
+        {
+            // The log's last group is a lone Depart that the replay
+            // says closed its bin: the crash cut the group before its
+            // BinClose commit line. Roll the group back.
+            let rolled = groups.pop().expect("non-empty by construction");
+            dropped_events += group_lines(&rolled);
+            drive(&groups, capacity, kind, trace, time_mode)?
+        }
+        Err(e) => return Err(e),
+    };
+
+    // The acknowledged prefix ends at the last kept group's commit line.
+    let events_kept = 1 + groups.iter().map(group_lines).sum::<u64>();
+    let valid_bytes = scan.offsets[events_kept as usize - 1];
+    Ok(Recovered {
+        live,
+        ids,
+        names,
+        events_applied: events_kept,
+        valid_bytes,
+        dropped_events,
+        torn_bytes: scan.torn_bytes,
+        has_header: true,
+    })
+}
+
+/// Whether a replay divergence is the one crash-explicable case: the
+/// *final* group is a `Depart` journaled as non-closing, and the replay
+/// disagreement is on the `closed` flag (the journal's `BinClose` line
+/// was cut).
+fn is_ambiguous_trailing_depart(groups: &[Group], event: usize, msg: &str) -> bool {
+    match groups.last() {
+        Some(Group::Depart { at, closed, .. }) => {
+            *at == event && !*closed && msg == "journal says closed=false, replay says closed=true"
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::Shard;
+    use dvbp_obs::SyncPolicy;
+
+    fn capacity() -> DimVec {
+        DimVec::from_slice(&[10, 10])
+    }
+
+    /// A shard driven through a fixed script, returning its WAL bytes.
+    fn scripted_wal() -> Vec<u8> {
+        let mut s = Shard::create(
+            capacity(),
+            &PolicyKind::FirstFit,
+            TraceMode::Full,
+            TimeMode::Strict,
+            Vec::new(),
+            SyncPolicy::OnClose,
+        )
+        .unwrap();
+        s.arrive("a", DimVec::from_slice(&[6, 6]), 0).unwrap();
+        s.arrive("b", DimVec::from_slice(&[2, 2]), 1).unwrap();
+        s.arrive("c", DimVec::from_slice(&[6, 6]), 2).unwrap();
+        s.depart("b", 3).unwrap();
+        s.depart("a", 4).unwrap(); // closes bin 0
+        s.arrive("d", DimVec::from_slice(&[3, 3]), 5).unwrap();
+        s.into_wal_bytes()
+    }
+
+    fn recover_ff(bytes: &[u8]) -> Result<Recovered, RecoveryError> {
+        recover(
+            bytes,
+            &capacity(),
+            &PolicyKind::FirstFit,
+            TraceMode::Full,
+            TimeMode::Strict,
+        )
+    }
+
+    #[test]
+    fn clean_log_recovers_every_detail() {
+        let bytes = scripted_wal();
+        let rec = recover_ff(&bytes).unwrap();
+        assert_eq!(rec.valid_bytes as usize, bytes.len());
+        assert_eq!(rec.dropped_events, 0);
+        assert_eq!(rec.torn_bytes, 0);
+        assert!(rec.has_header);
+        assert_eq!(rec.names, ["a", "b", "c", "d"]);
+        assert_eq!(rec.ids["d"], 3);
+        assert_eq!(rec.live.items_seen(), 4);
+        assert_eq!(rec.live.active_items(), 2);
+        assert!(rec.live.has_departed(0));
+        assert!(rec.live.has_departed(1));
+        // Bin 0 closed at t=4; c sits in bin 1; d reuses... FirstFit
+        // placed d in the earliest open bin that fits.
+        assert_eq!(rec.live.bins_opened(), rec.live.item_bin(3).unwrap().0 + 1);
+    }
+
+    #[test]
+    fn empty_log_boots_fresh() {
+        let rec = recover_ff(b"").unwrap();
+        assert!(!rec.has_header);
+        assert_eq!(rec.events_applied, 0);
+        assert_eq!(rec.live.items_seen(), 0);
+    }
+
+    #[test]
+    fn every_event_boundary_is_a_consistent_recovery_point() {
+        let bytes = scripted_wal();
+        let scan = scan_wal(&bytes).unwrap();
+        for &off in &scan.offsets {
+            let rec = recover_ff(&bytes[..off as usize]).unwrap();
+            // The recovered prefix must itself re-recover to the same
+            // byte count it reported valid.
+            let again = recover_ff(&bytes[..rec.valid_bytes as usize]).unwrap();
+            assert_eq!(again.valid_bytes, rec.valid_bytes);
+            assert_eq!(again.dropped_events, 0, "truncation must be a fixpoint");
+            assert_eq!(again.live.items_seen(), rec.live.items_seen());
+            assert_eq!(again.live.active_items(), rec.live.active_items());
+        }
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_not_fatal() {
+        let bytes = scripted_wal();
+        // Cut mid-way through the final line.
+        let cut = bytes.len() - 7;
+        let rec = recover_ff(&bytes[..cut]).unwrap();
+        assert!(rec.torn_bytes > 0);
+        assert!(rec.valid_bytes <= cut as u64 - rec.torn_bytes);
+    }
+
+    #[test]
+    fn trailing_incomplete_arrival_group_is_rolled_back() {
+        let bytes = scripted_wal();
+        let scan = scan_wal(&bytes).unwrap();
+        // The last group is d's arrival: Ident, Arrival, BinOpen?,
+        // Place. Cut after its Ident line (events_kept would end
+        // mid-group).
+        let full = recover_ff(&bytes).unwrap();
+        let d_first_event = full.events_applied - group_lines_of_last(&bytes);
+        let cut = scan.offsets[d_first_event as usize] as usize; // keep Ident only
+        let rec = recover_ff(&bytes[..cut]).unwrap();
+        assert_eq!(rec.live.items_seen(), 3, "d's arrival must be dropped");
+        assert_eq!(rec.dropped_events, 1);
+        assert!(!rec.ids.contains_key("d"));
+    }
+
+    fn group_lines_of_last(bytes: &[u8]) -> u64 {
+        // d's arrival group: 3 lines + 1 if it opened a bin. Derive
+        // from the log itself to stay policy-agnostic.
+        let scan = scan_wal(bytes).unwrap();
+        let mut n = 0;
+        for ev in scan.events.iter().rev() {
+            n += 1;
+            if matches!(ev, ObsEvent::Ident { .. }) {
+                break;
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn trailing_closing_depart_without_binclose_is_rolled_back() {
+        // Build a log whose last group is a depart that closes its bin,
+        // then strip the BinClose commit line.
+        let mut s = Shard::create(
+            capacity(),
+            &PolicyKind::FirstFit,
+            TraceMode::Full,
+            TimeMode::Strict,
+            Vec::new(),
+            SyncPolicy::OnClose,
+        )
+        .unwrap();
+        s.arrive("only", DimVec::from_slice(&[5, 5]), 0).unwrap();
+        s.depart("only", 9).unwrap(); // Depart + BinClose
+        let bytes = s.into_wal_bytes();
+        let scan = scan_wal(&bytes).unwrap();
+        assert!(matches!(
+            scan.events.last(),
+            Some(ObsEvent::BinClose { .. })
+        ));
+        let cut = scan.offsets[scan.offsets.len() - 2] as usize; // drop BinClose
+        let rec = recover_ff(&bytes[..cut]).unwrap();
+        // The depart never committed: "only" must still be active.
+        assert_eq!(rec.live.active_items(), 1);
+        assert!(!rec.live.has_departed(0));
+        assert_eq!(rec.dropped_events, 1);
+        // valid_bytes excludes the rolled-back Depart line.
+        let again = recover_ff(&bytes[..rec.valid_bytes as usize]).unwrap();
+        assert_eq!(again.dropped_events, 0);
+        assert_eq!(again.live.active_items(), 1);
+    }
+
+    #[test]
+    fn mid_log_disagreement_is_diverged_not_rolled_back() {
+        // Same closing-depart-without-BinClose shape, but with a later
+        // group following — the group is complete, so the missing
+        // BinClose is corruption.
+        let mut s = Shard::create(
+            capacity(),
+            &PolicyKind::FirstFit,
+            TraceMode::Full,
+            TimeMode::Strict,
+            Vec::new(),
+            SyncPolicy::OnClose,
+        )
+        .unwrap();
+        s.arrive("x", DimVec::from_slice(&[5, 5]), 0).unwrap();
+        s.depart("x", 3).unwrap();
+        s.arrive("y", DimVec::from_slice(&[5, 5]), 4).unwrap();
+        let bytes = s.into_wal_bytes();
+        let scan = scan_wal(&bytes).unwrap();
+        // Remove x's BinClose line (event index: header=0, x group
+        // 1..=4 or 1..=3 +BinOpen... find it).
+        let bc = scan
+            .events
+            .iter()
+            .position(|e| matches!(e, ObsEvent::BinClose { .. }))
+            .unwrap();
+        let start = scan.offsets[bc - 1] as usize;
+        let end = scan.offsets[bc] as usize;
+        let mut cut = bytes[..start].to_vec();
+        cut.extend_from_slice(&bytes[end..]);
+        let err = recover_ff(&cut).err().expect("recovery must fail");
+        assert!(matches!(err, RecoveryError::Diverged { .. }), "{err}");
+    }
+
+    #[test]
+    fn wrong_capacity_or_policy_is_rejected() {
+        let bytes = scripted_wal();
+        let err = recover(
+            &bytes,
+            &DimVec::from_slice(&[10, 11]),
+            &PolicyKind::FirstFit,
+            TraceMode::Full,
+            TimeMode::Strict,
+        )
+        .err()
+        .expect("recovery must fail");
+        assert!(matches!(err, RecoveryError::HeaderMismatch { .. }), "{err}");
+        // A different policy replays to different bin choices: FirstFit
+        // sends d back to bin 0, NextFit (never looks back) to bin 1.
+        let mut s = Shard::create(
+            capacity(),
+            &PolicyKind::FirstFit,
+            TraceMode::Full,
+            TimeMode::Strict,
+            Vec::new(),
+            SyncPolicy::OnClose,
+        )
+        .unwrap();
+        s.arrive("a", DimVec::from_slice(&[6, 6]), 0).unwrap(); // bin 0
+        s.arrive("c", DimVec::from_slice(&[6, 6]), 2).unwrap(); // bin 1
+        s.arrive("d", DimVec::from_slice(&[3, 3]), 5).unwrap(); // FF: bin 0
+        let bytes = s.into_wal_bytes();
+        let err = recover(
+            &bytes,
+            &capacity(),
+            &PolicyKind::NextFit,
+            TraceMode::Full,
+            TimeMode::Strict,
+        )
+        .err()
+        .expect("recovery must fail");
+        assert!(matches!(err, RecoveryError::Diverged { .. }), "{err}");
+    }
+
+    #[test]
+    fn terminated_garbage_is_fatal() {
+        let mut bytes = scripted_wal();
+        bytes.extend_from_slice(b"garbage\n");
+        assert!(matches!(
+            recover_ff(&bytes),
+            Err(RecoveryError::Scan(ObsError::Parse { .. }))
+        ));
+    }
+}

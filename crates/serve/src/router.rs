@@ -1,0 +1,247 @@
+//! Shard routing: which shard owns which item id.
+//!
+//! Three strategies with different state/balance trade-offs:
+//!
+//! * [`RouterKind::Hash`] — FNV-1a of the id, mod shard count.
+//!   **Stateless in both directions**: arrivals and departures compute
+//!   the owner from the id alone, so there is no shared directory to
+//!   contend on (and nothing extra to recover). The default.
+//! * [`RouterKind::RoundRobin`] — arrivals rotate through shards;
+//!   balanced admission counts regardless of id distribution, but
+//!   departures need an id → shard directory.
+//! * [`RouterKind::LeastLoaded`] — arrivals go to the shard with the
+//!   smallest summed open-bin load; adapts to skewed item sizes, same
+//!   directory requirement plus a load probe per admission.
+//!
+//! The directory (for the non-hash kinds) is rebuilt at boot from the
+//! recovered shards' id tables, so routing state needs no WAL of its
+//! own.
+
+use std::collections::HashMap;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Routing strategy (see module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RouterKind {
+    /// FNV-1a(id) mod shards; stateless.
+    #[default]
+    Hash,
+    /// Rotate arrivals; directory-backed departures.
+    RoundRobin,
+    /// Smallest summed open-bin load wins; directory-backed departures.
+    LeastLoaded,
+}
+
+impl RouterKind {
+    /// Display name (matches the CLI spelling).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RouterKind::Hash => "hash",
+            RouterKind::RoundRobin => "round-robin",
+            RouterKind::LeastLoaded => "least-loaded",
+        }
+    }
+}
+
+impl FromStr for RouterKind {
+    type Err = String;
+
+    /// Parses `hash`, `round-robin`/`rr`, or `least-loaded`/`ll`.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "hash" => Ok(RouterKind::Hash),
+            "round-robin" | "rr" => Ok(RouterKind::RoundRobin),
+            "least-loaded" | "ll" => Ok(RouterKind::LeastLoaded),
+            _ => Err(format!(
+                "unknown router {s:?} (expected hash, round-robin, or least-loaded)"
+            )),
+        }
+    }
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, and stable across runs —
+/// restarts and remote clients agree on every id's home shard.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Maps item ids to shards under one [`RouterKind`].
+pub struct Router {
+    kind: RouterKind,
+    shards: usize,
+    /// Next shard for round-robin admission.
+    rr: AtomicUsize,
+    /// id → owning shard; only populated for the non-hash kinds.
+    directory: Mutex<HashMap<String, usize>>,
+}
+
+impl Router {
+    /// A router over `shards` shards (`shards >= 1`).
+    #[must_use]
+    pub fn new(kind: RouterKind, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        Router {
+            kind,
+            shards,
+            rr: AtomicUsize::new(0),
+            directory: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The routing strategy.
+    #[must_use]
+    pub fn kind(&self) -> RouterKind {
+        self.kind
+    }
+
+    /// Shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Picks the shard to admit `id` to. `load_of(s)` reports shard
+    /// `s`'s current summed open-bin load (only consulted by
+    /// least-loaded). An id already in the directory routes back to its
+    /// owner, whose duplicate check then rejects it — ids must be
+    /// globally unique, not merely unique per shard.
+    pub fn route_arrival(&self, id: &str, load_of: impl Fn(usize) -> u128) -> usize {
+        match self.kind {
+            RouterKind::Hash => self.home(id),
+            RouterKind::RoundRobin | RouterKind::LeastLoaded => {
+                if let Some(&owner) = self.directory.lock().unwrap().get(id) {
+                    return owner;
+                }
+                if self.kind == RouterKind::RoundRobin {
+                    self.rr.fetch_add(1, Ordering::Relaxed) % self.shards
+                } else {
+                    (0..self.shards)
+                        .min_by_key(|&s| load_of(s))
+                        .expect("shards >= 1")
+                }
+            }
+        }
+    }
+
+    /// The shard owning `id`, for a departure. `None` means no shard
+    /// has ever admitted the id (hash ids still resolve — the home
+    /// shard then reports the unknown id itself).
+    #[must_use]
+    pub fn route_departure(&self, id: &str) -> Option<usize> {
+        match self.kind {
+            RouterKind::Hash => Some(self.home(id)),
+            RouterKind::RoundRobin | RouterKind::LeastLoaded => {
+                self.directory.lock().unwrap().get(id).copied()
+            }
+        }
+    }
+
+    /// Records a successful admission (no-op for the stateless hash
+    /// router). Entries are permanent, mirroring the shards' burned-id
+    /// rule.
+    pub fn record(&self, id: &str, shard: usize) {
+        if self.kind != RouterKind::Hash {
+            self.directory.lock().unwrap().insert(id.to_string(), shard);
+        }
+    }
+
+    /// Seeds the directory (and round-robin cursor) from recovered
+    /// shard id tables at boot.
+    pub fn seed<'a>(&self, entries: impl Iterator<Item = (&'a str, usize)>) {
+        let mut dir = self.directory.lock().unwrap();
+        let mut count = 0usize;
+        for (id, shard) in entries {
+            count += 1;
+            if self.kind != RouterKind::Hash {
+                dir.insert(id.to_string(), shard);
+            }
+        }
+        self.rr.store(count, Ordering::Relaxed);
+    }
+
+    fn home(&self, id: &str) -> usize {
+        (fnv1a(id.as_bytes()) % self.shards as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_routing_is_stateless_and_consistent() {
+        let r = Router::new(RouterKind::Hash, 4);
+        for id in ["a", "vm-17", "x/y/z", ""] {
+            let s = r.route_arrival(id, |_| 0);
+            assert_eq!(r.route_departure(id), Some(s));
+            // Repeatable without any record() call.
+            assert_eq!(r.route_arrival(id, |_| 0), s);
+            assert!(s < 4);
+        }
+    }
+
+    #[test]
+    fn hash_spreads_ids_over_shards() {
+        let r = Router::new(RouterKind::Hash, 4);
+        let mut hit = [false; 4];
+        for i in 0..64 {
+            hit[r.route_arrival(&format!("item-{i}"), |_| 0)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "64 ids must touch all 4 shards");
+    }
+
+    #[test]
+    fn round_robin_rotates_and_remembers() {
+        let r = Router::new(RouterKind::RoundRobin, 3);
+        let mut counts = [0usize; 3];
+        for i in 0..9 {
+            let id = format!("i{i}");
+            let s = r.route_arrival(&id, |_| 0);
+            r.record(&id, s);
+            counts[s] += 1;
+        }
+        assert_eq!(counts, [3, 3, 3]);
+        assert_eq!(r.route_departure("i4"), Some(1));
+        assert_eq!(r.route_departure("ghost"), None);
+        // A recorded id routes back to its owner on (duplicate) arrival.
+        assert_eq!(r.route_arrival("i4", |_| 0), 1);
+    }
+
+    #[test]
+    fn least_loaded_picks_the_lightest_shard() {
+        let r = Router::new(RouterKind::LeastLoaded, 3);
+        let loads = [50u128, 10, 30];
+        assert_eq!(r.route_arrival("new", |s| loads[s]), 1);
+        r.record("new", 1);
+        assert_eq!(r.route_departure("new"), Some(1));
+    }
+
+    #[test]
+    fn seed_restores_directory_after_recovery() {
+        let r = Router::new(RouterKind::RoundRobin, 2);
+        r.seed([("a", 0), ("b", 1), ("c", 1)].into_iter());
+        assert_eq!(r.route_departure("b"), Some(1));
+        // The cursor resumes past the recovered population.
+        let s = r.route_arrival("d", |_| 0);
+        assert_eq!(s, 1, "cursor 3 mod 2 shards");
+    }
+
+    #[test]
+    fn kinds_parse_cli_spellings() {
+        assert_eq!("hash".parse(), Ok(RouterKind::Hash));
+        assert_eq!("rr".parse(), Ok(RouterKind::RoundRobin));
+        assert_eq!("round-robin".parse(), Ok(RouterKind::RoundRobin));
+        assert_eq!("ll".parse(), Ok(RouterKind::LeastLoaded));
+        assert_eq!("least-loaded".parse(), Ok(RouterKind::LeastLoaded));
+        assert!("random".parse::<RouterKind>().is_err());
+    }
+}

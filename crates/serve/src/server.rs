@@ -1,0 +1,668 @@
+//! The dispatch service: shard set, request handling, and the TCP
+//! front end.
+//!
+//! One listening port speaks **two** protocols, distinguished by the
+//! first line of each connection (the same hand-rolled discipline as
+//! `dvbp-monitor` — no HTTP library):
+//!
+//! * Lines starting with an HTTP method (`GET` / `POST` / `HEAD`) get
+//!   the operator surface: `/healthz`, `/status` (the
+//!   [`ServeStatus`] JSON), `/metrics` (Prometheus text for
+//!   `dvbp-monitor --scrape`), and `POST /shutdown`.
+//! * Anything else is treated as a newline-delimited JSON session: one
+//!   [`Request`] per line, one [`Response`] per line, until EOF or
+//!   `Shutdown`.
+//!
+//! Handling is thread-per-connection; each shard sits behind its own
+//! mutex, so requests for different shards proceed in parallel while
+//! the router itself stays lock-free on the hash path.
+
+use crate::protocol::{error_code, Request, Response, ServeStatus};
+use crate::router::{Router, RouterKind};
+use crate::shard::{Shard, ShardError};
+use crate::wal::{open_shard, RecoveryReport, WalOpenError};
+use dvbp_core::{LiveError, PolicyKind, TimeMode, TraceMode};
+use dvbp_dimvec::DimVec;
+use dvbp_obs::{StableWrite, SyncPolicy};
+use dvbp_sim::Time;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The full service state: shards, router, and shutdown latch.
+pub struct ServeState<W: StableWrite> {
+    shards: Vec<Mutex<Shard<W>>>,
+    router: Router,
+    policy: PolicyKind,
+    shutting_down: AtomicBool,
+}
+
+impl ServeState<Vec<u8>> {
+    /// A service over in-memory WALs (tests, benches, conformance).
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError`] for clairvoyant policy kinds.
+    pub fn in_memory(
+        capacity: &DimVec,
+        kind: &PolicyKind,
+        shards: usize,
+        router: RouterKind,
+        trace: TraceMode,
+        time_mode: TimeMode,
+        sync: SyncPolicy,
+    ) -> Result<Self, ShardError> {
+        let shard_states = (0..shards)
+            .map(|_| {
+                Shard::create(capacity.clone(), kind, trace, time_mode, Vec::new(), sync)
+                    .map(Mutex::new)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ServeState {
+            shards: shard_states,
+            router: Router::new(router, shards),
+            policy: kind.clone(),
+            shutting_down: AtomicBool::new(false),
+        })
+    }
+
+    /// Consumes the service and returns each shard's state (the
+    /// conformance harness snapshots engines and WAL bytes).
+    #[must_use]
+    pub fn into_shards(self) -> Vec<Shard<Vec<u8>>> {
+        self.shards
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect()
+    }
+}
+
+impl ServeState<BufWriter<File>> {
+    /// Opens (recovering if present) a file-backed service under
+    /// `wal_dir` and returns it with one [`RecoveryReport`] per shard.
+    ///
+    /// # Errors
+    ///
+    /// [`WalOpenError`] if any shard's log cannot be recovered.
+    #[allow(clippy::too_many_arguments)] // in_memory's surface plus the WAL dir
+    pub fn open(
+        wal_dir: &Path,
+        capacity: &DimVec,
+        kind: &PolicyKind,
+        shards: usize,
+        router: RouterKind,
+        trace: TraceMode,
+        time_mode: TimeMode,
+        sync: SyncPolicy,
+    ) -> Result<(Self, Vec<RecoveryReport>), WalOpenError> {
+        let mut shard_states = Vec::with_capacity(shards);
+        let mut reports = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let (shard, report) = open_shard(wal_dir, s, capacity, kind, trace, time_mode, sync)?;
+            shard_states.push(shard);
+            reports.push(report);
+        }
+        let state = ServeState {
+            router: Router::new(router, shards),
+            policy: kind.clone(),
+            shutting_down: AtomicBool::new(false),
+            shards: Vec::new(),
+        };
+        // Rebuild the routing directory from the recovered id tables.
+        state.router.seed(
+            shard_states
+                .iter()
+                .enumerate()
+                .flat_map(|(s, shard)| shard.ids().keys().map(move |id| (id.as_str(), s))),
+        );
+        let state = ServeState {
+            shards: shard_states.into_iter().map(Mutex::new).collect(),
+            ..state
+        };
+        Ok((state, reports))
+    }
+}
+
+impl<W: StableWrite> ServeState<W> {
+    /// Handles one request against the shard set. Never panics on bad
+    /// input — every rejection is a [`Response::Error`].
+    pub fn handle(&self, req: &Request) -> Response {
+        if self.is_shutting_down() && !matches!(req, Request::Query) {
+            return Response::Error {
+                code: error_code::SHUTTING_DOWN.into(),
+                message: "service is shutting down".into(),
+            };
+        }
+        match req {
+            Request::Arrive { id, size, time } => self.arrive(id, size, *time),
+            Request::Depart { id, time } => self.depart(id, *time),
+            Request::Query => Response::Status(self.status()),
+            Request::Shutdown => {
+                self.begin_shutdown();
+                Response::ShuttingDown
+            }
+        }
+    }
+
+    fn arrive(&self, id: &str, size: &[u64], time: Time) -> Response {
+        let shard_idx = self
+            .router
+            .route_arrival(id, |s| self.shards[s].lock().unwrap().live().load_l1());
+        let mut shard = self.shards[shard_idx].lock().unwrap();
+        match shard.arrive(id, DimVec::from_slice(size), time) {
+            Ok(placed) => {
+                drop(shard);
+                self.router.record(id, shard_idx);
+                Response::Placed {
+                    id: id.to_string(),
+                    shard: shard_idx,
+                    item: placed.item,
+                    bin: placed.bin.0,
+                    opened_new: placed.opened_new,
+                    time: placed.time,
+                }
+            }
+            Err(e) => error_response(&e),
+        }
+    }
+
+    fn depart(&self, id: &str, time: Time) -> Response {
+        let Some(shard_idx) = self.router.route_departure(id) else {
+            return Response::Error {
+                code: error_code::UNKNOWN_ID.into(),
+                message: format!("unknown id {id:?}"),
+            };
+        };
+        let mut shard = self.shards[shard_idx].lock().unwrap();
+        match shard.depart(id, time) {
+            Ok(dep) => Response::Departed {
+                id: id.to_string(),
+                shard: shard_idx,
+                item: dep.item,
+                bin: dep.bin.0,
+                closed: dep.closed,
+                time: dep.time,
+            },
+            Err(e) => error_response(&e),
+        }
+    }
+
+    /// The service-wide snapshot.
+    #[must_use]
+    pub fn status(&self) -> ServeStatus {
+        let per_shard: Vec<_> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let shard = m.lock().unwrap();
+                (shard.status(i), shard.recovered_events())
+            })
+            .collect();
+        let mut usage: u128 = 0;
+        let mut status = ServeStatus {
+            policy: self.policy.name(),
+            router: self.router.kind().name().to_string(),
+            shards: self.shards.len(),
+            arrivals: 0,
+            departures: 0,
+            active_items: 0,
+            open_bins: 0,
+            bins_opened: 0,
+            usage_time: String::new(),
+            wal_lines: 0,
+            recovered_events: 0,
+            last_time: 0,
+            shutting_down: self.is_shutting_down(),
+            per_shard: Vec::with_capacity(per_shard.len()),
+        };
+        for (s, recovered) in per_shard {
+            status.arrivals += s.arrivals;
+            status.departures += s.departures;
+            status.active_items += s.active_items;
+            status.open_bins += s.open_bins;
+            status.bins_opened += s.bins_opened;
+            status.wal_lines += s.wal_lines;
+            status.recovered_events += recovered;
+            status.last_time = status.last_time.max(s.last_time);
+            usage += s.usage_time.parse::<u128>().unwrap_or(0);
+            status.per_shard.push(s);
+        }
+        status.usage_time = usage.to_string();
+        status
+    }
+
+    /// Prometheus text exposition (scraped by `dvbp-monitor --scrape`).
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        let status = self.status();
+        let mut out = String::new();
+        let totals: [(&str, &str, String); 6] = [
+            ("arrivals_total", "counter", status.arrivals.to_string()),
+            ("departures_total", "counter", status.departures.to_string()),
+            ("active_items", "gauge", status.active_items.to_string()),
+            ("open_bins", "gauge", status.open_bins.to_string()),
+            (
+                "bins_opened_total",
+                "counter",
+                status.bins_opened.to_string(),
+            ),
+            ("usage_time_total", "counter", status.usage_time.clone()),
+        ];
+        for (name, kind, value) in &totals {
+            out.push_str(&format!(
+                "# TYPE dvbp_serve_{name} {kind}\ndvbp_serve_{name} {value}\n"
+            ));
+        }
+        for s in &status.per_shard {
+            for (name, value) in [
+                ("arrivals_total", s.arrivals.to_string()),
+                ("departures_total", s.departures.to_string()),
+                ("active_items", s.active_items.to_string()),
+                ("open_bins", s.open_bins.to_string()),
+                ("usage_time_total", s.usage_time.clone()),
+            ] {
+                out.push_str(&format!(
+                    "dvbp_serve_shard_{name}{{shard=\"{}\"}} {value}\n",
+                    s.shard
+                ));
+            }
+        }
+        out
+    }
+
+    /// Latches shutdown and persists every shard's WAL tail.
+    pub fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        for shard in &self.shards {
+            shard.lock().unwrap().persist();
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+fn error_response(e: &ShardError) -> Response {
+    let code = match e {
+        ShardError::DuplicateId { .. } => error_code::DUPLICATE_ID,
+        ShardError::UnknownId { .. } => error_code::UNKNOWN_ID,
+        ShardError::AlreadyDeparted { .. } => error_code::ALREADY_DEPARTED,
+        ShardError::Live(LiveError::OutOfOrder { .. } | LiveError::EqualTickOrder { .. }) => {
+            error_code::OUT_OF_ORDER
+        }
+        ShardError::Live(_) => error_code::INVALID_ITEM,
+        ShardError::Wal { .. } => error_code::WAL,
+    };
+    Response::Error {
+        code: code.into(),
+        message: e.to_string(),
+    }
+}
+
+/// Runs the accept loop until a `Shutdown` request (or `POST
+/// /shutdown`) arrives. Connections are handled on their own threads.
+///
+/// # Errors
+///
+/// Propagates listener failures; per-connection I/O errors only end
+/// that connection.
+pub fn serve<W: StableWrite + Send + 'static>(
+    state: &Arc<ServeState<W>>,
+    listener: &TcpListener,
+) -> io::Result<()> {
+    let local = listener.local_addr()?;
+    for stream in listener.incoming() {
+        if state.is_shutting_down() {
+            break;
+        }
+        let stream = stream?;
+        // Request/response ping-pong over NDJSON: Nagle batching would
+        // stall every round trip on the peer's delayed-ACK timer.
+        let _ = stream.set_nodelay(true);
+        let state = Arc::clone(state);
+        std::thread::spawn(move || {
+            if handle_connection(&state, stream) && !state.is_shutting_down() {
+                state.begin_shutdown();
+            }
+            if state.is_shutting_down() {
+                // Nudge the accept loop out of its blocking accept.
+                let _ = TcpStream::connect(local);
+            }
+        });
+    }
+    Ok(())
+}
+
+/// Handles one connection; returns `true` if it requested shutdown.
+fn handle_connection<W: StableWrite>(state: &ServeState<W>, stream: TcpStream) -> bool {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return false,
+    });
+    let mut writer = stream;
+    let mut first = String::new();
+    if reader.read_line(&mut first).is_err() || first.is_empty() {
+        return false;
+    }
+    let verb = first.split_whitespace().next().unwrap_or("");
+    if matches!(verb, "GET" | "POST" | "HEAD") {
+        return handle_http(state, &mut reader, &mut writer, &first);
+    }
+    handle_ndjson(state, &mut reader, &mut writer, &first)
+}
+
+/// NDJSON session: `first` is the already-read first request line.
+fn handle_ndjson<W: StableWrite>(
+    state: &ServeState<W>,
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    first: &str,
+) -> bool {
+    let mut line = first.to_string();
+    loop {
+        let trimmed = line.trim();
+        if !trimmed.is_empty() {
+            let response = match serde_json::from_str::<Request>(trimmed) {
+                Ok(req) => state.handle(&req),
+                Err(e) => Response::Error {
+                    code: error_code::BAD_REQUEST.into(),
+                    message: format!("unparseable request: {e}"),
+                },
+            };
+            let Ok(mut out) = serde_json::to_string(&response) else {
+                return false;
+            };
+            // One write call per line so the payload and its newline
+            // never straddle two TCP segments.
+            out.push('\n');
+            if writer
+                .write_all(out.as_bytes())
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                return false;
+            }
+            if matches!(response, Response::ShuttingDown) {
+                return true;
+            }
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return false,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Minimal HTTP/1.1 for the operator surface (monitor-compatible).
+fn handle_http<W: StableWrite>(
+    state: &ServeState<W>,
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    request_line: &str,
+) -> bool {
+    // Drain headers; requests with bodies are not supported.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        match reader.read_line(&mut header) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => {}
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("/");
+    let mut shutdown = false;
+    let (status, content_type, body) = match (method, path) {
+        ("GET" | "HEAD", "/healthz") => ("200 OK", "text/plain", "ok\n".to_string()),
+        ("GET" | "HEAD", "/status") => (
+            "200 OK",
+            "application/json",
+            serde_json::to_string(&state.status()).unwrap_or_else(|_| "{}".into()),
+        ),
+        ("GET" | "HEAD", "/metrics") => {
+            ("200 OK", "text/plain; version=0.0.4", state.metrics_text())
+        }
+        ("POST", "/shutdown") => {
+            shutdown = true;
+            ("200 OK", "text/plain", "shutting down\n".to_string())
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            format!("no route for {method} {path}\n"),
+        ),
+    };
+    let _ = write!(
+        writer,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = writer.flush();
+    if shutdown {
+        state.begin_shutdown();
+    }
+    shutdown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(shards: usize, router: RouterKind) -> ServeState<Vec<u8>> {
+        ServeState::in_memory(
+            &DimVec::from_slice(&[10, 10]),
+            &PolicyKind::FirstFit,
+            shards,
+            router,
+            TraceMode::Full,
+            TimeMode::Strict,
+            SyncPolicy::PerEvent,
+        )
+        .unwrap()
+    }
+
+    fn arrive(id: &str, size: &[u64], time: Time) -> Request {
+        Request::Arrive {
+            id: id.into(),
+            size: size.to_vec(),
+            time,
+        }
+    }
+
+    #[test]
+    fn requests_route_and_resolve_across_shards() {
+        let s = state(4, RouterKind::Hash);
+        let mut shards_hit = std::collections::HashSet::new();
+        for i in 0..32 {
+            match s.handle(&arrive(&format!("vm-{i}"), &[1, 1], i)) {
+                Response::Placed { shard, .. } => {
+                    shards_hit.insert(shard);
+                }
+                other => panic!("expected Placed, got {other:?}"),
+            }
+        }
+        assert!(shards_hit.len() > 1, "hash must spread 32 ids");
+        // Departures find their items without any directory.
+        for i in 0..32 {
+            match s.handle(&Request::Depart {
+                id: format!("vm-{i}"),
+                time: 100 + i,
+            }) {
+                Response::Departed { .. } => {}
+                other => panic!("expected Departed, got {other:?}"),
+            }
+        }
+        let st = s.status();
+        assert_eq!(st.arrivals, 32);
+        assert_eq!(st.departures, 32);
+        assert_eq!(st.active_items, 0);
+        assert_eq!(st.open_bins, 0);
+    }
+
+    #[test]
+    fn per_tick_ordering_is_per_shard_not_global() {
+        // Strict mode is enforced within each shard's own clock; two
+        // shards can sit at different ticks.
+        let s = state(2, RouterKind::RoundRobin);
+        assert!(matches!(
+            s.handle(&arrive("a", &[1, 1], 100)),
+            Response::Placed { shard: 0, .. }
+        ));
+        assert!(matches!(
+            s.handle(&arrive("b", &[1, 1], 5)),
+            Response::Placed { shard: 1, .. }
+        ));
+        // Shard 0's clock is at 100: an earlier arrival routed there
+        // (round-robin cursor wraps back to 0) is out of order...
+        match s.handle(&arrive("c", &[1, 1], 50)) {
+            Response::Error { code, .. } => assert_eq!(code, error_code::OUT_OF_ORDER),
+            other => panic!("expected out-of-order, got {other:?}"),
+        }
+        // ...while shard 1 (clock at 5) accepts the same tick.
+        assert!(matches!(
+            s.handle(&arrive("d", &[1, 1], 50)),
+            Response::Placed { shard: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn errors_map_to_protocol_codes() {
+        let s = state(1, RouterKind::Hash);
+        s.handle(&arrive("a", &[1, 1], 0));
+        let cases: Vec<(Request, &str)> = vec![
+            (arrive("a", &[1, 1], 1), error_code::DUPLICATE_ID),
+            (arrive("big", &[11, 1], 1), error_code::INVALID_ITEM),
+            (arrive("flat", &[0, 0], 1), error_code::INVALID_ITEM),
+            (arrive("skew", &[1], 1), error_code::INVALID_ITEM),
+            (
+                Request::Depart {
+                    id: "ghost".into(),
+                    time: 1,
+                },
+                error_code::UNKNOWN_ID,
+            ),
+        ];
+        for (req, expected) in cases {
+            match s.handle(&req) {
+                Response::Error { code, .. } => assert_eq!(code, expected, "{req:?}"),
+                other => panic!("expected error for {req:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn status_totals_are_sums_of_shard_slices() {
+        let s = state(3, RouterKind::RoundRobin);
+        for i in 0..9 {
+            s.handle(&arrive(&format!("x{i}"), &[2, 2], i));
+        }
+        s.handle(&Request::Depart {
+            id: "x0".into(),
+            time: 20,
+        });
+        let st = s.status();
+        assert_eq!(st.per_shard.len(), 3);
+        assert_eq!(
+            st.arrivals,
+            st.per_shard.iter().map(|p| p.arrivals).sum::<u64>()
+        );
+        assert_eq!(
+            st.usage_time.parse::<u128>().unwrap(),
+            st.per_shard
+                .iter()
+                .map(|p| p.usage_time.parse::<u128>().unwrap())
+                .sum::<u128>()
+        );
+        assert_eq!(st.active_items, 8);
+    }
+
+    #[test]
+    fn shutdown_latches_and_rejects_mutations() {
+        let s = state(1, RouterKind::Hash);
+        s.handle(&arrive("a", &[1, 1], 0));
+        assert!(matches!(
+            s.handle(&Request::Shutdown),
+            Response::ShuttingDown
+        ));
+        assert!(s.is_shutting_down());
+        assert!(matches!(
+            s.handle(&arrive("b", &[1, 1], 1)),
+            Response::Error { code, .. } if code == error_code::SHUTTING_DOWN
+        ));
+        // Queries still work for final-state collection.
+        assert!(matches!(s.handle(&Request::Query), Response::Status(_)));
+    }
+
+    #[test]
+    fn metrics_exposition_has_totals_and_shard_series() {
+        let s = state(2, RouterKind::RoundRobin);
+        s.handle(&arrive("a", &[1, 1], 0));
+        s.handle(&arrive("b", &[1, 1], 0));
+        let text = s.metrics_text();
+        assert!(text.contains("# TYPE dvbp_serve_arrivals_total counter"));
+        assert!(text.contains("dvbp_serve_arrivals_total 2"));
+        assert!(text.contains("dvbp_serve_shard_arrivals_total{shard=\"0\"} 1"));
+        assert!(text.contains("dvbp_serve_shard_arrivals_total{shard=\"1\"} 1"));
+    }
+
+    #[test]
+    fn ndjson_session_over_real_tcp() {
+        use std::io::{BufRead, BufReader, Write};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let state = Arc::new(state(2, RouterKind::Hash));
+        let srv = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || serve(&state, &listener).unwrap())
+        };
+
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        for (req, probe) in [
+            (
+                r#"{"Arrive":{"id":"vm-1","size":[2,3],"time":0}}"#,
+                "Placed",
+            ),
+            (r#"{"Depart":{"id":"vm-1","time":5}}"#, "Departed"),
+            (r#""Query""#, "Status"),
+            ("not json at all", "bad-request"),
+        ] {
+            writeln!(conn, "{req}").unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains(probe), "{req} -> {line}");
+        }
+
+        // HTTP on the same port, from a second connection.
+        let mut http = TcpStream::connect(addr).unwrap();
+        write!(http, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut text = String::new();
+        BufReader::new(&mut http).read_line(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+
+        // Shutdown ends the accept loop.
+        writeln!(conn, "\"Shutdown\"").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("ShuttingDown"), "{line}");
+        srv.join().unwrap();
+        assert!(state.is_shutting_down());
+    }
+}

@@ -1,0 +1,546 @@
+//! One dispatch shard: a [`LiveEngine`] fronted by a write-ahead log.
+//!
+//! Every accepted operation is journaled to the shard's WAL — in the
+//! `dvbp-obs` [`ObsEvent`] JSONL format — *before* the shard
+//! acknowledges it, so a restart can replay the log back to the exact
+//! in-memory state (see [`crate::recovery`]).
+//!
+//! # WAL group grammar
+//!
+//! The log is a header followed by one *group* of lines per accepted
+//! operation; the **last line of a group is its commit line** — a group
+//! whose commit line is missing (torn write) was never acknowledged and
+//! is dropped on recovery:
+//!
+//! ```text
+//! header        := RunStart{capacity, items: 0}
+//! arrival group := Ident{item, id}  Arrival{time, item, size}
+//!                  BinOpen{time, bin}?            // iff a bin was opened
+//!                  Place{time, item, bin, opened_new, scanned: 0}
+//! depart group  := Depart{time, item, bin}
+//!                  BinClose{time, bin}?           // iff the bin closed
+//! ```
+//!
+//! The configured [`SyncPolicy`] is applied at each group's commit line
+//! (so `batch:N` counts *operations*, not lines). A depart group whose
+//! bin stays open commits on the `Depart` line itself; the resulting
+//! trailing-`Depart` ambiguity after a crash is resolved by replay
+//! (see `recovery`).
+//!
+//! # Ordering
+//!
+//! Apply-then-journal: the engine decides the placement first (the
+//! journal needs the chosen bin), the group is written and persisted
+//! per policy, and only then is the operation acknowledged. If the WAL
+//! write fails after the engine applied, the shard **poisons** itself —
+//! it rejects all further mutations — so the unacknowledged divergence
+//! between memory and log can never grow; a restart recovers the
+//! pre-operation state, which is correct because the operation was
+//! never acked.
+
+use crate::protocol::ShardStatus;
+use dvbp_core::{
+    LiveDeparture, LiveEngine, LiveError, LivePlacement, PolicyKind, TimeMode, TraceMode,
+};
+use dvbp_dimvec::DimVec;
+use dvbp_obs::{JsonlEmitter, ObsEvent, StableWrite, SyncPolicy};
+use dvbp_sim::Time;
+use std::collections::HashMap;
+
+/// A rejected shard operation. The shard state is unchanged except for
+/// [`ShardError::Wal`], which poisons the shard (see module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardError {
+    /// The arrival id is already in use (ids are permanent — departed
+    /// items keep theirs, which is what makes client retries safe).
+    DuplicateId {
+        /// The rejected id.
+        id: String,
+    },
+    /// Departure for an id this shard has never admitted.
+    UnknownId {
+        /// The unknown id.
+        id: String,
+    },
+    /// Departure for an id that already departed.
+    AlreadyDeparted {
+        /// The repeated id.
+        id: String,
+    },
+    /// The live engine rejected the operation (validation, time
+    /// discipline).
+    Live(LiveError),
+    /// The write-ahead log failed; the shard no longer accepts writes.
+    Wal {
+        /// The latched emitter error, rendered.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::DuplicateId { id } => write!(f, "id {id:?} already in use"),
+            ShardError::UnknownId { id } => write!(f, "unknown id {id:?}"),
+            ShardError::AlreadyDeparted { id } => write!(f, "id {id:?} already departed"),
+            ShardError::Live(e) => write!(f, "{e}"),
+            ShardError::Wal { msg } => write!(f, "write-ahead log failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<LiveError> for ShardError {
+    fn from(e: LiveError) -> Self {
+        ShardError::Live(e)
+    }
+}
+
+/// One dispatch shard: live engine, WAL, and the id ↔ run-local-index
+/// tables.
+pub struct Shard<W: StableWrite> {
+    live: LiveEngine,
+    wal: JsonlEmitter<W>,
+    /// External id → run-local item index. Entries are permanent.
+    ids: HashMap<String, usize>,
+    /// Run-local item index → external id.
+    names: Vec<String>,
+    arrivals: u64,
+    departures: u64,
+    /// Events replayed from the WAL at construction (0 for a fresh
+    /// shard).
+    recovered_events: u64,
+    poisoned: bool,
+}
+
+impl<W: StableWrite> Shard<W> {
+    /// Creates a fresh shard over an empty WAL sink and journals the
+    /// header line.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Live`] for clairvoyant policy kinds;
+    /// [`ShardError::Wal`] if the header cannot be persisted.
+    pub fn create(
+        capacity: DimVec,
+        kind: &PolicyKind,
+        trace: TraceMode,
+        time_mode: TimeMode,
+        sink: W,
+        sync: SyncPolicy,
+    ) -> Result<Self, ShardError> {
+        let live = LiveEngine::new(capacity, kind, trace, time_mode)?;
+        let mut wal = JsonlEmitter::new(sink).with_sync(sync);
+        let header = ObsEvent::RunStart {
+            capacity: live.capacity().as_slice().to_vec(),
+            items: 0,
+        };
+        if !wal.emit_durable(&header) {
+            return Err(wal_error(&wal));
+        }
+        Ok(Shard {
+            live,
+            wal,
+            ids: HashMap::new(),
+            names: Vec::new(),
+            arrivals: 0,
+            departures: 0,
+            recovered_events: 0,
+            poisoned: false,
+        })
+    }
+
+    /// Re-assembles a shard from recovered state (see
+    /// [`crate::recovery::recover`]) and a WAL emitter positioned at the
+    /// end of the log's valid prefix.
+    pub fn resume(
+        live: LiveEngine,
+        ids: HashMap<String, usize>,
+        names: Vec<String>,
+        recovered_events: u64,
+        wal: JsonlEmitter<W>,
+    ) -> Self {
+        let departures = names
+            .iter()
+            .enumerate()
+            .filter(|&(item, _)| live.has_departed(item))
+            .count() as u64;
+        Shard {
+            arrivals: names.len() as u64,
+            departures,
+            live,
+            wal,
+            ids,
+            names,
+            recovered_events,
+            poisoned: false,
+        }
+    }
+
+    fn check_writable(&self) -> Result<(), ShardError> {
+        if self.poisoned {
+            Err(wal_error(&self.wal))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Admits an item under `id`, journals the arrival group, and
+    /// returns the placement.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::DuplicateId`] for a reused id (including departed
+    /// items' ids); [`ShardError::Live`] for engine rejections (state
+    /// unchanged); [`ShardError::Wal`] if journaling fails (shard
+    /// poisons).
+    pub fn arrive(
+        &mut self,
+        id: &str,
+        size: DimVec,
+        time: Time,
+    ) -> Result<LivePlacement, ShardError> {
+        self.check_writable()?;
+        if self.ids.contains_key(id) {
+            return Err(ShardError::DuplicateId { id: id.to_string() });
+        }
+        let size_units = size.as_slice().to_vec();
+        let placed = self.live.arrive(size, time)?;
+        self.wal.emit(&ObsEvent::Ident {
+            item: placed.item,
+            id: id.to_string(),
+        });
+        self.wal.emit(&ObsEvent::Arrival {
+            time: placed.time,
+            item: placed.item,
+            size: size_units,
+        });
+        if placed.opened_new {
+            self.wal.emit(&ObsEvent::BinOpen {
+                time: placed.time,
+                bin: placed.bin.0,
+            });
+        }
+        let committed = self.wal.emit_durable(&ObsEvent::Place {
+            time: placed.time,
+            item: placed.item,
+            bin: placed.bin.0,
+            opened_new: placed.opened_new,
+            scanned: 0,
+        });
+        if !committed {
+            self.poisoned = true;
+            return Err(wal_error(&self.wal));
+        }
+        self.ids.insert(id.to_string(), placed.item);
+        self.names.push(id.to_string());
+        self.arrivals += 1;
+        Ok(placed)
+    }
+
+    /// Retires the item admitted under `id`, journals the depart group,
+    /// and returns the departure.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::UnknownId`] / [`ShardError::AlreadyDeparted`] for
+    /// bad ids; [`ShardError::Live`] for engine rejections (state
+    /// unchanged); [`ShardError::Wal`] if journaling fails (shard
+    /// poisons).
+    pub fn depart(&mut self, id: &str, time: Time) -> Result<LiveDeparture, ShardError> {
+        self.check_writable()?;
+        let Some(&item) = self.ids.get(id) else {
+            return Err(ShardError::UnknownId { id: id.to_string() });
+        };
+        if self.live.has_departed(item) {
+            return Err(ShardError::AlreadyDeparted { id: id.to_string() });
+        }
+        let dep = self.live.depart(item, time)?;
+        let depart_line = ObsEvent::Depart {
+            time: dep.time,
+            item: dep.item,
+            bin: dep.bin.0,
+        };
+        let committed = if dep.closed {
+            self.wal.emit(&depart_line);
+            self.wal.emit_durable(&ObsEvent::BinClose {
+                time: dep.time,
+                bin: dep.bin.0,
+            })
+        } else {
+            self.wal.emit_durable(&depart_line)
+        };
+        if !committed {
+            self.poisoned = true;
+            return Err(wal_error(&self.wal));
+        }
+        self.departures += 1;
+        Ok(dep)
+    }
+
+    /// Forces the WAL onto stable storage (shutdown path for
+    /// [`SyncPolicy::OnClose`] / pending `batch:N` tails). Returns
+    /// `false` (and poisons) on failure.
+    pub fn persist(&mut self) -> bool {
+        if self.poisoned {
+            return false;
+        }
+        if !self.wal.persist() {
+            self.poisoned = true;
+            return false;
+        }
+        true
+    }
+
+    /// The underlying live engine (read-only).
+    #[must_use]
+    pub fn live(&self) -> &LiveEngine {
+        &self.live
+    }
+
+    /// Consumes the shard, returning the live engine (conformance
+    /// snapshotting).
+    #[must_use]
+    pub fn into_live(self) -> LiveEngine {
+        self.live
+    }
+
+    /// External id → run-local index table.
+    #[must_use]
+    pub fn ids(&self) -> &HashMap<String, usize> {
+        &self.ids
+    }
+
+    /// Run-local index → external id table.
+    #[must_use]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Whether a WAL failure has made the shard read-only.
+    #[must_use]
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Events replayed from the WAL when this shard was resumed.
+    #[must_use]
+    pub fn recovered_events(&self) -> u64 {
+        self.recovered_events
+    }
+
+    /// WAL lines written since construction (excludes recovered lines).
+    #[must_use]
+    pub fn wal_lines(&self) -> u64 {
+        self.wal.lines()
+    }
+
+    /// The shard's slice of a [`crate::protocol::ServeStatus`].
+    #[must_use]
+    pub fn status(&self, shard: usize) -> ShardStatus {
+        ShardStatus {
+            shard,
+            arrivals: self.arrivals,
+            departures: self.departures,
+            active_items: self.live.active_items() as u64,
+            open_bins: self.live.open_bins() as u64,
+            bins_opened: self.live.bins_opened() as u64,
+            usage_time: self.live.usage_time_at(self.live.now()).to_string(),
+            wal_lines: self.wal.lines(),
+            last_time: self.live.now(),
+        }
+    }
+}
+
+impl Shard<Vec<u8>> {
+    /// Consumes an in-memory shard into its engine and WAL bytes (the
+    /// conformance layer snapshots the packing *and* cuts the log at
+    /// arbitrary offsets).
+    #[must_use]
+    pub fn into_parts(self) -> (LiveEngine, Vec<u8>) {
+        let wal = self
+            .wal
+            .finish()
+            .expect("an in-memory WAL sink cannot fail");
+        (self.live, wal)
+    }
+
+    /// Consumes an in-memory shard and returns its WAL bytes.
+    #[must_use]
+    pub fn into_wal_bytes(self) -> Vec<u8> {
+        self.into_parts().1
+    }
+}
+
+fn wal_error<W: StableWrite>(wal: &JsonlEmitter<W>) -> ShardError {
+    ShardError::Wal {
+        msg: wal
+            .error()
+            .map_or_else(|| "unknown".to_string(), |e| e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvbp_obs::scan_wal;
+    use std::io::{self, Write};
+
+    fn shard() -> Shard<Vec<u8>> {
+        Shard::create(
+            DimVec::from_slice(&[10, 10]),
+            &PolicyKind::FirstFit,
+            TraceMode::Full,
+            TimeMode::Strict,
+            Vec::new(),
+            SyncPolicy::PerEvent,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn arrival_groups_follow_the_grammar() {
+        let mut s = shard();
+        s.arrive("a", DimVec::from_slice(&[6, 6]), 0).unwrap();
+        s.arrive("b", DimVec::from_slice(&[2, 2]), 1).unwrap();
+        s.arrive("c", DimVec::from_slice(&[6, 6]), 2).unwrap(); // new bin
+        let dep = s.depart("b", 3).unwrap();
+        assert!(!dep.closed);
+        let dep = s.depart("a", 4).unwrap();
+        assert!(dep.closed);
+
+        let sink = s.wal.finish().unwrap();
+        let scan = scan_wal(&sink).unwrap();
+        assert_eq!(scan.torn_bytes, 0);
+        let kinds: Vec<&'static str> = scan
+            .events
+            .iter()
+            .map(|e| match e {
+                ObsEvent::RunStart { .. } => "RunStart",
+                ObsEvent::Ident { .. } => "Ident",
+                ObsEvent::Arrival { .. } => "Arrival",
+                ObsEvent::BinOpen { .. } => "BinOpen",
+                ObsEvent::Place { .. } => "Place",
+                ObsEvent::Depart { .. } => "Depart",
+                ObsEvent::BinClose { .. } => "BinClose",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                "RunStart", "Ident", "Arrival", "BinOpen", "Place", // a opens bin 0
+                "Ident", "Arrival", "Place", // b joins bin 0
+                "Ident", "Arrival", "BinOpen", "Place",  // c opens bin 1
+                "Depart", // b leaves, bin 0 stays open
+                "Depart", "BinClose", // a leaves, bin 0 closes
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_and_unknown_ids_are_rejected() {
+        let mut s = shard();
+        s.arrive("a", DimVec::from_slice(&[1, 1]), 0).unwrap();
+        assert!(matches!(
+            s.arrive("a", DimVec::from_slice(&[1, 1]), 1),
+            Err(ShardError::DuplicateId { .. })
+        ));
+        assert!(matches!(
+            s.depart("ghost", 1),
+            Err(ShardError::UnknownId { .. })
+        ));
+        s.depart("a", 1).unwrap();
+        assert!(matches!(
+            s.depart("a", 2),
+            Err(ShardError::AlreadyDeparted { .. })
+        ));
+        // The id stays burned after departure.
+        assert!(matches!(
+            s.arrive("a", DimVec::from_slice(&[1, 1]), 3),
+            Err(ShardError::DuplicateId { .. })
+        ));
+    }
+
+    #[test]
+    fn rejected_operations_leave_no_journal_trace() {
+        let mut s = shard();
+        let before = s.wal_lines();
+        assert!(s.arrive("x", DimVec::from_slice(&[11, 1]), 0).is_err()); // oversized
+        assert!(s.depart("x", 1).is_err());
+        assert_eq!(s.wal_lines(), before);
+        assert_eq!(s.live().items_seen(), 0);
+    }
+
+    /// Fails every write after the first `ok_writes`.
+    struct FlakysSink {
+        ok_writes: usize,
+        seen: usize,
+    }
+    impl Write for FlakysSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.seen += 1;
+            if self.seen > self.ok_writes {
+                Err(io::Error::other("disk detached"))
+            } else {
+                Ok(buf.len())
+            }
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+    impl StableWrite for FlakysSink {
+        fn persist(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn wal_failure_poisons_the_shard() {
+        let mut s = Shard::create(
+            DimVec::from_slice(&[10]),
+            &PolicyKind::FirstFit,
+            TraceMode::CostOnly,
+            TimeMode::Strict,
+            // One writeln! is one write call; allow the header + one
+            // line, then fail mid-group.
+            FlakysSink {
+                ok_writes: 2,
+                seen: 0,
+            },
+            SyncPolicy::PerEvent,
+        )
+        .unwrap();
+        let err = s.arrive("a", DimVec::from_slice(&[5]), 0).unwrap_err();
+        assert!(matches!(err, ShardError::Wal { .. }), "{err}");
+        assert!(s.poisoned());
+        // Everything afterwards is rejected without touching the engine.
+        let items = s.live().items_seen();
+        assert!(matches!(
+            s.arrive("b", DimVec::from_slice(&[1]), 1),
+            Err(ShardError::Wal { .. })
+        ));
+        assert_eq!(s.live().items_seen(), items);
+        assert!(!s.persist());
+    }
+
+    #[test]
+    fn status_reports_live_counters() {
+        let mut s = shard();
+        s.arrive("a", DimVec::from_slice(&[6, 6]), 0).unwrap();
+        s.arrive("b", DimVec::from_slice(&[6, 6]), 2).unwrap();
+        s.depart("a", 5).unwrap();
+        let st = s.status(3);
+        assert_eq!(st.shard, 3);
+        assert_eq!(st.arrivals, 2);
+        assert_eq!(st.departures, 1);
+        assert_eq!(st.active_items, 1);
+        assert_eq!(st.open_bins, 1);
+        assert_eq!(st.bins_opened, 2);
+        // bin 0: [0,5) closed = 5; bin 1: open since 2, now=5 → 3.
+        assert_eq!(st.usage_time, "8");
+        assert_eq!(st.last_time, 5);
+    }
+}
