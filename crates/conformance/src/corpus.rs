@@ -184,6 +184,26 @@ fn crash_wal_equal_tick_resume() -> Instance {
     Instance::new(DimVec::scalar(8), items).expect("hand-built instance is valid")
 }
 
+/// The committed image of live zero-duration churn: under
+/// `TimeMode::Clamp` a zero-duration live item becomes the one-tick stay
+/// `[a, a+1)`, so every tick here carries simultaneous departures and
+/// arrivals and the equal-tick rules (departures first, then item order)
+/// decide each placement — including a full-bin one-tick blocker whose
+/// departure must free its capacity for the very next tick's arrivals.
+fn clamp_zero_duration() -> Instance {
+    let items = vec![
+        item(&[8], 0, 1), // full-bin blocker, gone at 1
+        item(&[3], 0, 4), // long resident alongside (opens bin 1)
+        item(&[5], 1, 2), // arrives as the blocker departs: bin 0 is
+        item(&[5], 1, 2), // closed, bin 1 has room for one of these
+        item(&[4], 2, 3), // chases the tick-2 departures
+        item(&[4], 2, 3),
+        item(&[8], 3, 4), // full-bin again at the drain tick
+        item(&[1], 4, 5), // everything else gone; fresh bin
+    ];
+    Instance::new(DimVec::scalar(8), items).expect("hand-built instance is valid")
+}
+
 /// A committed high-churn draw at the requested dimensionality (the
 /// family randomizes `d ∈ {1, 2, 8, 9}`; scanning seeds keeps the corpus
 /// file deterministic).
@@ -215,6 +235,7 @@ pub fn seed_corpus() -> Vec<(&'static str, Instance)> {
         ("residual-tree-growth", residual_tree_growth()),
         ("residual-tree-close-race", residual_tree_close_race()),
         ("equal-tick-burst", equal_tick_burst()),
+        ("clamp-zero-duration", clamp_zero_duration()),
         ("multidim-tiebreak", multidim_tiebreak()),
         (
             "thm5-anyfit-lb",

@@ -34,7 +34,14 @@
 //!    run must be bit-identical to the batch run, crash recovery from
 //!    any WAL cut must converge to the same state, and sharded runs
 //!    must verify per shard with additive cost ([`check_instance`] runs
-//!    this layer with sampled crash cuts).
+//!    this layer with sampled crash cuts);
+//! 9. **stream ≡ batch** — replaying the instance through
+//!    [`InstanceSource`](dvbp_core::InstanceSource) via
+//!    [`PackRequest::run_source`] must reproduce the batch packing bit
+//!    for bit, under both `Full` and `CostOnly` trace modes (the
+//!    constant-memory streaming path changes delivery, never
+//!    decisions). Clairvoyant kinds are exempt: streamed items carry no
+//!    announced durations and the stream entry points reject them.
 
 use crate::reference;
 use dvbp_core::{Instance, PackRequest, Packing, PolicyKind, TraceMode};
@@ -290,6 +297,29 @@ pub fn check_policy(instance: &Instance, kind: &PolicyKind) -> Result<(), Diverg
                     e.item, e.bin, fast.assignment[e.item]
                 ),
             ));
+        }
+    }
+
+    if !matches!(
+        kind,
+        PolicyKind::DurationClassFirstFit | PolicyKind::AlignedFit
+    ) {
+        let mut source = dvbp_core::InstanceSource::new(instance)
+            .expect("instance already validated by the batch run");
+        let streamed = PackRequest::new(kind.clone())
+            .run_source(&mut source)
+            .map_err(|e| Divergence::new(kind, format!("stream: {e}")))?;
+        if let Some(diff) = first_difference(&streamed, &fast) {
+            return Err(Divergence::new(kind, format!("stream: {diff}")));
+        }
+        let mut source = dvbp_core::InstanceSource::new(instance)
+            .expect("instance already validated by the batch run");
+        let streamed_cost_only = PackRequest::new(kind.clone())
+            .trace_mode(TraceMode::CostOnly)
+            .run_source(&mut source)
+            .map_err(|e| Divergence::new(kind, format!("stream cost-only: {e}")))?;
+        if let Some(diff) = first_difference(&streamed_cost_only, &cost_only) {
+            return Err(Divergence::new(kind, format!("stream cost-only: {diff}")));
         }
     }
 

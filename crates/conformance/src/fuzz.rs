@@ -14,7 +14,14 @@
 //!   Many bins stay concurrently open within a phase and **all** of them
 //!   close between phases, hammering the engine fit index's open → close
 //!   → never-reopen lifecycle and its growth-by-doubling, at
-//!   `d ∈ {1, 2, 8, 9}` (both `DimVec` representations).
+//!   `d ∈ {1, 2, 8, 9}` (both `DimVec` representations);
+//! * **equal-tick** — dense waves of one-tick stays (the materialized
+//!   image of live zero-duration items under `TimeMode::Clamp`, which
+//!   become `[a, a+1)`) interleaved with longer residents, every wave
+//!   landing exactly on the previous wave's departure tick. Almost every
+//!   placement is decided by the equal-tick rules (departures first,
+//!   then item order), the edge where the live clamp semantics and the
+//!   batch simulator must agree.
 //!
 //! Every instance is derived deterministically from its `(family, seed)`
 //! pair, so a reported failure is reproducible from its seed alone even
@@ -44,6 +51,8 @@ pub enum Family {
     Extended,
     /// Blocker-heavy phases with full-drain gaps, `d ∈ {1, 2, 8, 9}`.
     HighChurn,
+    /// One-tick stays colliding with departures at every tick.
+    EqualTick,
 }
 
 impl Family {
@@ -55,16 +64,18 @@ impl Family {
             Family::Adversarial => "adversarial",
             Family::Extended => "extended",
             Family::HighChurn => "highchurn",
+            Family::EqualTick => "equaltick",
         }
     }
 }
 
 /// All families, in fuzzing order.
-pub const FAMILIES: [Family; 4] = [
+pub const FAMILIES: [Family; 5] = [
     Family::Uniform,
     Family::Adversarial,
     Family::Extended,
     Family::HighChurn,
+    Family::EqualTick,
 ];
 
 /// Small randomized base parameters shared by the uniform and extended
@@ -168,6 +179,31 @@ pub fn generate(family: Family, seed: u64) -> Instance {
             }
             Instance::new(DimVec::splat(dims, cap), items).expect("high-churn instance valid")
         }
+        Family::EqualTick => {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x2545_f491_4f6c_dd1d));
+            let dims = rng.random_range(1..=2usize);
+            let cap = 8u64;
+            let mut items = Vec::new();
+            // Consecutive-tick waves: each wave's one-tick stays depart
+            // exactly when the next wave arrives, so every tick carries
+            // departures and arrivals simultaneously.
+            let waves = rng.random_range(6..=12u64);
+            for t in 0..waves {
+                for _ in 0..rng.random_range(2..=5usize) {
+                    let size = DimVec::from_fn(dims, |_| rng.random_range(1..=cap.min(5)));
+                    // Mostly one-tick stays (a clamped zero-duration
+                    // item's shape); a few span several waves so bins
+                    // stay populated across the collision ticks.
+                    let dur = if rng.random_bool(0.7) {
+                        1
+                    } else {
+                        rng.random_range(2..=4u64)
+                    };
+                    items.push(Item::new(size, t, t + dur));
+                }
+            }
+            Instance::new(DimVec::splat(dims, cap), items).expect("equal-tick instance valid")
+        }
     };
     announce_exact(&inst)
 }
@@ -262,6 +298,25 @@ mod tests {
             dims_seen.iter().any(|&d| d <= 2),
             "no inline dimensionality drawn: {dims_seen:?}"
         );
+    }
+
+    #[test]
+    fn equal_tick_family_collides_departures_with_arrivals() {
+        for seed in 0..10 {
+            let inst = generate(Family::EqualTick, seed);
+            let one_tick = inst.items.iter().filter(|i| i.duration() == 1).count();
+            assert!(
+                one_tick * 2 >= inst.len(),
+                "seed {seed}: only {one_tick}/{} one-tick stays",
+                inst.len()
+            );
+            let arrivals: std::collections::HashSet<_> =
+                inst.items.iter().map(|i| i.arrival).collect();
+            assert!(
+                inst.items.iter().any(|i| arrivals.contains(&i.departure)),
+                "seed {seed}: no departure lands on an arrival tick"
+            );
+        }
     }
 
     #[test]

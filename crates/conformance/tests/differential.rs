@@ -76,6 +76,55 @@ fn degenerate_extremes_conform() {
     diff::check_instance(&slivers, 0).unwrap();
 }
 
+/// A dirty live feed whose zero-duration items (depart timestamp equal
+/// to the arrival's) run under `TimeMode::Clamp` must land exactly on
+/// the batch packing of the clamped instance, where each such item is
+/// the one-tick stay `[a, a+1)` — the live clamp changes timestamps,
+/// never placements.
+#[test]
+fn live_clamp_zero_duration_matches_batch_one_tick_stays() {
+    use dvbp_core::{live_ops, LiveEngine, LiveOp, TimeMode, TraceMode};
+    let items: Vec<Item> = (0..20u64)
+        .map(|i| {
+            let a = i / 2;
+            // Odd items are the clamped image of zero-duration arrivals.
+            let dur = if i % 2 == 0 { 3 } else { 1 };
+            Item::new(DimVec::scalar(2 + i % 4), a, a + dur)
+        })
+        .collect();
+    let clamped = Instance::new(DimVec::scalar(8), items).unwrap();
+    for kind in PolicyKind::paper_suite(9) {
+        let batch = PackRequest::new(kind.clone()).run(&clamped).unwrap();
+        let mut live = LiveEngine::new(
+            clamped.capacity.clone(),
+            &kind,
+            TraceMode::Full,
+            TimeMode::Clamp,
+        )
+        .unwrap();
+        let mut local = std::collections::HashMap::new();
+        for op in live_ops(&clamped) {
+            match op {
+                LiveOp::Arrive { item, size, time } => {
+                    local.insert(item, live.arrive(size, time).unwrap().item);
+                }
+                LiveOp::Depart { item, time } => {
+                    // Re-dirty the feed: one-tick stays depart at their
+                    // own arrival tick, as the raw trace had them.
+                    let dirty = if clamped.items[item].duration() == 1 {
+                        time - 1
+                    } else {
+                        time
+                    };
+                    live.depart(local[&item], dirty).unwrap();
+                }
+            }
+        }
+        let packing = live.into_packing().unwrap();
+        assert_eq!(packing, batch, "{}", kind.name());
+    }
+}
+
 /// Direct spot-check that the reference itself equals the engine on a
 /// policy with internal state that survives closings (Move To Front).
 #[test]

@@ -51,6 +51,7 @@ mod item;
 mod live;
 pub mod policy;
 mod request;
+mod source;
 
 pub use billing::BillingModel;
 pub use bin::{BinId, BinUsage};
@@ -58,9 +59,12 @@ pub use dvbp_obs::{NoopObserver, Observer};
 pub use engine::{Engine, EngineView, Packing, TraceEvent, TraceMode};
 pub use fit_index::FitIndex;
 pub use item::{Instance, InstanceError, Item};
-pub use live::{live_ops, LiveDeparture, LiveEngine, LiveError, LiveOp, LivePlacement, TimeMode};
+pub use live::{
+    live_ops, LiveDeparture, LiveDriveStats, LiveEngine, LiveError, LiveOp, LivePlacement, TimeMode,
+};
 pub use policy::{Decision, LoadMeasure, Policy, PolicyKind};
 pub use request::{PackError, PackRequest};
+pub use source::{EventSource, InstanceSource, SourceError, StreamError, StreamingLowerBound, Tap};
 
 /// Packs `instance` with the given policy on a fresh engine.
 #[deprecated(

@@ -19,9 +19,12 @@
 //! timestamps must be non-decreasing, and a departure at the current
 //! tick is rejected once an arrival has been processed at that tick.
 //! [`TimeMode::Clamp`] instead clamps early timestamps up to the
-//! current tick (`t ← max(t, now)`) and accepts equal-tick departures
-//! after arrivals — useful for wall-clock feeds that cannot promise
-//! canonical order, at the price of batch reachability.
+//! current tick (`t ← max(t, now)`), accepts equal-tick departures
+//! after arrivals, and gives zero-duration items (arrive and depart at
+//! one timestamp — common in dirty wall-clock feeds) the minimum
+//! one-tick stay by clamping the departure to `arrival + 1` — useful
+//! for feeds that cannot promise canonical order, at the price of
+//! batch reachability.
 //!
 //! # Clairvoyance
 //!
@@ -55,8 +58,12 @@ pub enum TimeMode {
     Strict,
     /// Clamp early timestamps up to the current tick (`t ← max(t,
     /// now)`) instead of rejecting, and accept equal-tick departures
-    /// after arrivals. The effective (clamped) time is journaled and
-    /// returned, so recovery still replays deterministically.
+    /// after arrivals. A departure clamped onto its item's arrival tick
+    /// (a zero-duration item) is clamped one tick further, to
+    /// `arrival + 1` — the minimum one-tick stay, matching what the
+    /// batch engine would charge for the clamped feed. The effective
+    /// (clamped) time is journaled and returned, so recovery still
+    /// replays deterministically.
     Clamp,
 }
 
@@ -108,6 +115,16 @@ pub enum LiveError {
         /// The unknown index.
         item: usize,
     },
+    /// A streamed feed re-used an item index that is already placed.
+    /// Live feeds assign their own dense indices, so this only arises
+    /// on the [`EventSource`](crate::EventSource) paths
+    /// ([`Engine::run_source`](crate::Engine::run_source) /
+    /// [`LiveEngine::drive_source`]), whose items carry caller-chosen
+    /// indices.
+    DuplicateArrival {
+        /// The repeated index.
+        item: usize,
+    },
     /// Departure for an item that already departed.
     AlreadyDeparted {
         /// The repeated index.
@@ -139,6 +156,9 @@ impl std::fmt::Display for LiveError {
                  (departures precede arrivals within a tick)"
             ),
             LiveError::UnknownItem { item } => write!(f, "item {item} never arrived"),
+            LiveError::DuplicateArrival { item } => {
+                write!(f, "item {item} already arrived")
+            }
             LiveError::AlreadyDeparted { item } => write!(f, "item {item} already departed"),
             LiveError::StillActive { active } => {
                 write!(f, "{active} item(s) still active")
@@ -329,10 +349,17 @@ impl LiveEngine {
     /// [`LiveError::UnknownItem`] / [`LiveError::AlreadyDeparted`] for
     /// bad indices; [`LiveError::OutOfOrder`] /
     /// [`LiveError::EqualTickOrder`] for strict-mode time violations;
-    /// [`LiveError::Pack`] ([`PackError::NonMonotoneTime`]) when the
-    /// effective tick is not strictly after the item's arrival (every
-    /// item occupies at least one tick). The engine state is unchanged
-    /// on error.
+    /// in strict mode, [`LiveError::Pack`]
+    /// ([`PackError::NonMonotoneTime`]) when the tick is not strictly
+    /// after the item's arrival (every item occupies at least one
+    /// tick). In [`TimeMode::Clamp`] a departure landing on the item's
+    /// arrival tick — the zero-duration items real wall-clock feeds
+    /// produce — is clamped one tick further, to `arrival + 1`: the
+    /// item gets the minimum one-tick stay, so its cost contribution
+    /// and any bin-close it triggers match the batch engine packing the
+    /// clamped image of the feed (the returned effective tick journals
+    /// the clamp, keeping recovery replays deterministic). The engine
+    /// state is unchanged on error.
     pub fn depart(&mut self, item: usize, time: Time) -> Result<LiveDeparture, LiveError> {
         let time = self.effective_time(time)?;
         if item >= self.items.len() {
@@ -344,9 +371,18 @@ impl LiveEngine {
         if self.time_mode == TimeMode::Strict && time == self.now && self.arrived_this_tick {
             return Err(LiveError::EqualTickOrder { time });
         }
-        if time <= self.items[item].arrival {
-            return Err(PackError::NonMonotoneTime { item }.into());
-        }
+        let time = if time <= self.items[item].arrival {
+            match self.time_mode {
+                TimeMode::Strict => return Err(PackError::NonMonotoneTime { item }.into()),
+                // `effective_time` already pulled the tick up to `now ≥
+                // arrival`, so this is exactly the zero-duration case:
+                // clamp to the minimum one-tick stay. Arrivals at
+                // `Time::MAX` are rejected, so the `+ 1` cannot overflow.
+                TimeMode::Clamp => self.items[item].arrival + 1,
+            }
+        } else {
+            time
+        };
         self.items[item].departure = time;
         let step = self
             .engine
@@ -460,6 +496,53 @@ impl LiveEngine {
         total
     }
 
+    /// Feeds every event of `source` through the live engine, mapping
+    /// the source's item indices to this engine's dense run-local ones
+    /// (the map holds only *active* items, so a constant-memory source
+    /// drives a constant-memory live run).
+    ///
+    /// Because departed entries are dropped from the map, a source that
+    /// re-uses the index of an already-departed item is admitted as a
+    /// fresh item rather than rejected — live engines assign their own
+    /// identities. Re-use of a still-active index is rejected.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::StreamError::Source`] when the source fails;
+    /// [`crate::StreamError::Feed`] when an operation is rejected (the
+    /// [`LiveError`] of the failing [`arrive`](Self::arrive) /
+    /// [`depart`](Self::depart), state unchanged by the rejected call).
+    pub fn drive_source<S: crate::EventSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+    ) -> Result<LiveDriveStats, crate::StreamError> {
+        let mut local: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut stats = LiveDriveStats::default();
+        while let Some(op) = source.next_event().map_err(crate::StreamError::Source)? {
+            match op {
+                LiveOp::Arrive { item, size, time } => {
+                    if local.contains_key(&item) {
+                        return Err(LiveError::DuplicateArrival { item }.into());
+                    }
+                    let placed = self.arrive(size, time).map_err(crate::StreamError::Feed)?;
+                    local.insert(item, placed.item);
+                    stats.placed += 1;
+                }
+                LiveOp::Depart { item, time } => {
+                    let Some(idx) = local.remove(&item) else {
+                        return Err(LiveError::UnknownItem { item }.into());
+                    };
+                    if let Err(e) = self.depart(idx, time) {
+                        local.insert(item, idx);
+                        return Err(crate::StreamError::Feed(e));
+                    }
+                    stats.departed += 1;
+                }
+            }
+        }
+        Ok(stats)
+    }
+
     /// Snapshot of the run as a [`Packing`], consuming the engine.
     /// Requires a drained run (every admitted item departed), since a
     /// packing's bins all have closed usage periods.
@@ -475,6 +558,15 @@ impl LiveEngine {
         }
         Ok(self.engine.snapshot_packing(self.full, self.trace))
     }
+}
+
+/// Outcome counts of one [`LiveEngine::drive_source`] pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LiveDriveStats {
+    /// Arrivals admitted and placed.
+    pub placed: u64,
+    /// Departures applied.
+    pub departed: u64,
 }
 
 /// One replayable live operation. `item` indices refer to positions in
@@ -718,18 +810,20 @@ mod tests {
     }
 
     #[test]
-    fn depart_must_be_strictly_after_arrival() {
+    fn strict_mode_rejects_zero_duration_departs() {
+        // A zero-duration item (depart on its arrival tick) stays an
+        // error in strict mode — the batch timeline cannot produce it.
         let mut live = LiveEngine::new(
             DimVec::from_slice(&[10]),
             &PolicyKind::FirstFit,
             TraceMode::Full,
-            TimeMode::Clamp,
+            TimeMode::Strict,
         )
         .unwrap();
         live.arrive(DimVec::from_slice(&[5]), 3).unwrap();
         assert!(matches!(
             live.depart(0, 3),
-            Err(LiveError::Pack(PackError::NonMonotoneTime { item: 0 }))
+            Err(LiveError::EqualTickOrder { time: 3 })
         ));
         live.depart(0, 4).unwrap();
     }
@@ -747,16 +841,78 @@ mod tests {
         // t=4 is behind the clock: clamped to 10, not rejected.
         let placed = live.arrive(DimVec::from_slice(&[2]), 4).unwrap();
         assert_eq!(placed.time, 10);
-        // Clamping cannot conjure a zero-length stay: a departure
-        // clamped onto the arrival tick is still rejected.
-        assert!(matches!(
-            live.depart(0, 2),
-            Err(LiveError::Pack(PackError::NonMonotoneTime { item: 0 }))
-        ));
         live.arrive(DimVec::from_slice(&[1]), 12).unwrap();
-        // Now an early departure clamps forward to the current tick.
+        // An early departure clamps forward to the current tick.
         let dep = live.depart(0, 2).unwrap();
         assert_eq!(dep.time, 12);
+    }
+
+    #[test]
+    fn clamp_mode_gives_zero_duration_items_a_one_tick_stay() {
+        // The dirty-feed shape real traces produce: an item arrives and
+        // departs at the same wall-clock tick. Clamp mode charges the
+        // minimum one-tick stay instead of rejecting.
+        let mut live = LiveEngine::new(
+            DimVec::from_slice(&[10]),
+            &PolicyKind::FirstFit,
+            TraceMode::Full,
+            TimeMode::Clamp,
+        )
+        .unwrap();
+        live.arrive(DimVec::from_slice(&[5]), 3).unwrap();
+        let dep = live.depart(0, 3).unwrap();
+        assert_eq!(dep.time, 4, "zero-duration stay clamps to arrival + 1");
+        assert!(dep.closed, "the one-tick stay still closes the bin");
+        let clamped = live.into_packing().unwrap();
+
+        // Cost accounting and bin-close events match the batch engine
+        // packing the clamped image of the feed ([3, 4)).
+        let image = Instance::new(DimVec::from_slice(&[10]), vec![item(&[5], 3, 4)]).unwrap();
+        let batch = PackRequest::new(PolicyKind::FirstFit).run(&image).unwrap();
+        assert_eq!(clamped, batch);
+        assert_eq!(clamped.cost(), 1);
+    }
+
+    #[test]
+    fn clamp_mode_zero_duration_departure_behind_the_clock() {
+        // A departure both behind the clock *and* at/before its item's
+        // arrival first clamps to `now`, then (still on the arrival
+        // tick) to `arrival + 1`.
+        let mut live = LiveEngine::new(
+            DimVec::from_slice(&[10]),
+            &PolicyKind::FirstFit,
+            TraceMode::Full,
+            TimeMode::Clamp,
+        )
+        .unwrap();
+        live.arrive(DimVec::from_slice(&[5]), 7).unwrap();
+        let dep = live.depart(0, 2).unwrap();
+        assert_eq!(dep.time, 8);
+        assert_eq!(live.now(), 8);
+        assert_eq!(live.usage_time_at(live.now()), 1);
+    }
+
+    #[test]
+    fn drive_source_replays_an_instance_stream() {
+        let instance = sample();
+        let mut live = LiveEngine::new(
+            instance.capacity.clone(),
+            &PolicyKind::FirstFit,
+            TraceMode::Full,
+            TimeMode::Strict,
+        )
+        .unwrap();
+        let mut source = crate::InstanceSource::new(&instance).unwrap();
+        let stats = live.drive_source(&mut source).unwrap();
+        assert_eq!(stats.placed, instance.len() as u64);
+        assert_eq!(stats.departed, instance.len() as u64);
+        // `sample()` is arrival-sorted, so the live engine's dense
+        // arrival-order indices coincide with the instance's and the
+        // packings compare directly.
+        let batch = PackRequest::new(PolicyKind::FirstFit)
+            .run(&instance)
+            .unwrap();
+        assert_eq!(live.into_packing().unwrap(), batch);
     }
 
     #[test]

@@ -37,7 +37,9 @@
 
 use crate::engine::{Engine, Packing, TraceMode};
 use crate::item::{Instance, InstanceError};
+use crate::live::LiveError;
 use crate::policy::{Policy, PolicyKind};
+use crate::source::{EventSource, StreamError};
 use dvbp_obs::{NoopObserver, Observer};
 use dvbp_sim::Cost;
 
@@ -207,6 +209,62 @@ impl<'a, O: Observer> PackRequest<'a, O> {
         match self.observer {
             Some(observer) => engine.run(instance, policy, mode, observer),
             None => engine.run(instance, policy, mode, &mut NoopObserver),
+        }
+    }
+
+    /// Runs the request over a streamed event feed on a fresh
+    /// [`Engine`] — the streaming twin of [`run`](Self::run), never
+    /// materializing an instance. An
+    /// [`InstanceSource`](crate::InstanceSource) feed reproduces the
+    /// batch run bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Feed`] with
+    /// [`LiveError::Clairvoyant`](crate::LiveError::Clairvoyant) when
+    /// the request's [`PolicyKind`] needs announced durations (streamed
+    /// items have none; a [`with_policy`](Self::with_policy) request
+    /// carries that responsibility itself), plus the source and feed
+    /// errors of [`Engine::run_source`].
+    pub fn run_source<S: EventSource + ?Sized>(
+        self,
+        source: &mut S,
+    ) -> Result<Packing, StreamError> {
+        self.run_source_on(&mut Engine::new(), source)
+    }
+
+    /// Runs the request over a streamed event feed on a caller-owned
+    /// [`Engine`], reusing its arenas.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run_source`](Self::run_source).
+    pub fn run_source_on<S: EventSource + ?Sized>(
+        self,
+        engine: &mut Engine,
+        source: &mut S,
+    ) -> Result<Packing, StreamError> {
+        if let PolicySource::Kind(
+            kind @ (PolicyKind::DurationClassFirstFit | PolicyKind::AlignedFit),
+        ) = &self.policy
+        {
+            return Err(LiveError::Clairvoyant {
+                policy: kind.name(),
+            }
+            .into());
+        }
+        let mode = self.mode;
+        let mut built;
+        let policy: &mut dyn Policy = match self.policy {
+            PolicySource::Kind(kind) => {
+                built = kind.build();
+                built.as_mut()
+            }
+            PolicySource::Borrowed(policy) => policy,
+        };
+        match self.observer {
+            Some(observer) => engine.run_source(source, policy, mode, observer),
+            None => engine.run_source(source, policy, mode, &mut NoopObserver),
         }
     }
 

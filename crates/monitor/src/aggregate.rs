@@ -71,15 +71,17 @@ impl Aggregate {
     }
 
     /// Running competitive ratio: accumulated usage-time cost over the
-    /// accumulated Lemma 1 lower bound (1 for an empty aggregate).
+    /// accumulated Lemma 1 lower bound.
+    ///
+    /// With no lower-bound evidence yet (`lb_load == 0` — a cold-start
+    /// scrape, or a stream whose first lower-bound update has not landed)
+    /// the ratio is undefined; this reports the neutral `1.0` rather
+    /// than `NaN` or `+Inf`, so dashboards and rate queries over early
+    /// scrapes never see a non-finite sample.
     #[must_use]
     pub fn running_cr(&self) -> f64 {
         if self.lb_load == 0 {
-            if self.usage_time == 0 {
-                1.0
-            } else {
-                f64::INFINITY
-            }
+            1.0
         } else {
             self.usage_time as f64 / self.lb_load as f64
         }
@@ -143,6 +145,18 @@ mod tests {
     fn empty_aggregate_has_unit_ratio() {
         let agg = Aggregate::new();
         assert_eq!(agg.running_cr(), 1.0);
+        assert_eq!(agg.cr_drift(), 0.0);
+    }
+
+    #[test]
+    fn ratio_is_finite_even_with_cost_but_no_lower_bound() {
+        // The cold-start shape that used to render +Inf: cost has
+        // accumulated but the first lower-bound update has not.
+        let mut agg = Aggregate::new();
+        agg.usage_time = 5;
+        assert!(agg.running_cr().is_finite());
+        assert_eq!(agg.running_cr(), 1.0);
+        assert!(agg.cr_drift().is_finite());
         assert_eq!(agg.cr_drift(), 0.0);
     }
 }

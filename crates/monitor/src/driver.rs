@@ -14,7 +14,10 @@
 
 use crate::aggregate::Aggregate;
 use dvbp_analysis::obs_ingest::RunLog;
-use dvbp_core::{Instance, Item, PackRequest, PolicyKind};
+use dvbp_core::{
+    EventSource, Instance, InstanceSource, Item, PackRequest, PolicyKind, StreamError,
+    StreamingLowerBound, Tap, TraceMode,
+};
 use dvbp_dimvec::DimVec;
 use dvbp_obs::{MetricsObserver, ObsEvent, TimingObserver};
 use dvbp_sim::Time;
@@ -134,28 +137,59 @@ impl Workload {
     }
 }
 
-/// Packs one instance with the full telemetry stack attached and folds
-/// the run into the shared aggregate.
+/// Packs one streamed event feed with the full telemetry stack attached
+/// and folds the run into the shared aggregate. The engine never
+/// materializes an instance, and the Lemma 1 lower bound comes from a
+/// [`StreamingLowerBound`] tap on the feed, so memory stays
+/// `O(active items)` no matter how long the trace is. This is the one
+/// observation path: the instance-backed [`observe_run`] is a thin
+/// wrapper replaying through an [`InstanceSource`].
+///
+/// # Errors
+///
+/// The [`StreamError`] of the failing source read or rejected feed
+/// operation (the aggregate is left untouched on error).
 ///
 /// # Panics
 ///
-/// Panics if the instance is rejected by the engine (sources only yield
-/// validated instances) or the aggregate mutex is poisoned.
-pub fn observe_run(kind: &PolicyKind, instance: &Instance, aggregate: &Mutex<Aggregate>) {
+/// Panics if the aggregate mutex is poisoned.
+pub fn observe_source_run<S: EventSource + ?Sized>(
+    kind: &PolicyKind,
+    source: &mut S,
+    aggregate: &Mutex<Aggregate>,
+) -> Result<(), StreamError> {
     let mut metrics = MetricsObserver::new();
     let mut timing = TimingObserver::new();
+    let mut lb = StreamingLowerBound::new(source.capacity());
+    let mut tapped = Tap::new(source, |op| lb.observe(op));
     let mut stack = (&mut metrics, &mut timing);
     let packing = PackRequest::new(kind.clone())
+        .trace_mode(TraceMode::CostOnly)
         .observer(&mut stack)
-        .run(instance)
-        .expect("workload sources yield valid instances");
-    let lb = dvbp_offline::lb_load(instance);
+        .run_source(&mut tapped)?;
     aggregate.lock().expect("aggregate mutex poisoned").absorb(
         &metrics,
         &timing.snapshot(),
         packing.cost(),
-        lb,
+        lb.value(),
     );
+    Ok(())
+}
+
+/// Packs one instance with the full telemetry stack attached and folds
+/// the run into the shared aggregate — [`observe_source_run`] over the
+/// instance's canonical event stream (bit-identical placements, and the
+/// streamed lower bound equals the offline `lb_load`).
+///
+/// # Panics
+///
+/// Panics if the instance is rejected by the engine (sources only yield
+/// validated instances), the policy is clairvoyant (streams carry no
+/// announced durations), or the aggregate mutex is poisoned.
+pub fn observe_run(kind: &PolicyKind, instance: &Instance, aggregate: &Mutex<Aggregate>) {
+    let mut source = InstanceSource::new(instance).expect("workload sources yield valid instances");
+    observe_source_run(kind, &mut source, aggregate)
+        .expect("instance-backed streams replay without feed errors");
 }
 
 #[cfg(test)]
@@ -231,5 +265,86 @@ mod tests {
     #[test]
     fn empty_trace_is_rejected() {
         assert!(Workload::from_trace_jsonl("").is_err());
+    }
+
+    #[test]
+    fn streamed_run_matches_the_instance_run() {
+        // The same workload through both entry points must fold the
+        // same cost and lower bound into the aggregate.
+        let inst = sample_instance();
+        let via_instance = Mutex::new(Aggregate::new());
+        observe_run(&PolicyKind::FirstFit, &inst, &via_instance);
+        let via_stream = Mutex::new(Aggregate::new());
+        let mut source = InstanceSource::new(&inst).unwrap();
+        observe_source_run(&PolicyKind::FirstFit, &mut source, &via_stream).unwrap();
+        let a = via_instance.into_inner().unwrap();
+        let b = via_stream.into_inner().unwrap();
+        assert_eq!(a.usage_time, b.usage_time);
+        assert_eq!(a.lb_load, b.lb_load);
+        assert_eq!(a.arrivals, b.arrivals);
+        assert_eq!(a.bins_opened, b.bins_opened);
+        assert_eq!(a.lb_load, dvbp_offline::lb_load(&inst));
+    }
+
+    #[test]
+    fn streamed_trace_feed_drives_the_running_cr() {
+        // A real trace parser (synthetic Azure encoding) through the
+        // streamed observation path: the running CR must come out
+        // finite and ≥ 1 — the cold-start divide-by-zero shape never
+        // reaches the scrape.
+        let cap = DimVec::from_slice(&[50, 50]);
+        let gen = dvbp_traces::HeavyTail::new(200, cap.clone(), 5);
+        let mut csv = Vec::new();
+        dvbp_traces::write_azure_csv(gen.items(), &cap, 288, &mut csv).unwrap();
+        let mut source = dvbp_traces::AzureSource::new(
+            std::io::Cursor::new(csv),
+            Some(cap),
+            288,
+            dvbp_traces::DirtyPolicy::Reject,
+        )
+        .unwrap();
+        let agg = Mutex::new(Aggregate::new());
+        observe_source_run(&PolicyKind::FirstFit, &mut source, &agg).unwrap();
+        let agg = agg.into_inner().unwrap();
+        assert_eq!(agg.arrivals, 200);
+        assert_eq!(agg.departures, 200);
+        assert!(agg.lb_load > 0);
+        assert!(agg.running_cr().is_finite());
+        assert!(agg.running_cr() >= 1.0);
+    }
+
+    #[test]
+    fn failed_stream_leaves_the_aggregate_untouched() {
+        // An out-of-order feed is rejected mid-stream; nothing partial
+        // may leak into the totals.
+        struct Backwards(DimVec, u8);
+        impl EventSource for Backwards {
+            fn capacity(&self) -> &DimVec {
+                &self.0
+            }
+            fn next_event(&mut self) -> Result<Option<dvbp_core::LiveOp>, dvbp_core::SourceError> {
+                self.1 += 1;
+                Ok(match self.1 {
+                    1 => Some(dvbp_core::LiveOp::Arrive {
+                        item: 0,
+                        size: DimVec::scalar(1),
+                        time: 5,
+                    }),
+                    2 => Some(dvbp_core::LiveOp::Arrive {
+                        item: 1,
+                        size: DimVec::scalar(1),
+                        time: 3,
+                    }),
+                    _ => None,
+                })
+            }
+        }
+        let agg = Mutex::new(Aggregate::new());
+        let mut source = Backwards(DimVec::scalar(10), 0);
+        assert!(observe_source_run(&PolicyKind::FirstFit, &mut source, &agg).is_err());
+        let agg = agg.into_inner().unwrap();
+        assert_eq!(agg.runs, 0);
+        assert_eq!(agg.usage_time, 0);
+        assert_eq!(agg.running_cr(), 1.0);
     }
 }

@@ -35,6 +35,6 @@ pub mod scrape;
 pub mod server;
 
 pub use aggregate::Aggregate;
-pub use driver::{observe_run, reconstruct_instance, Workload};
+pub use driver::{observe_run, observe_source_run, reconstruct_instance, Workload};
 pub use scrape::{http_get, scrape_serve_status};
 pub use server::{Monitor, MonitorServer, Status};

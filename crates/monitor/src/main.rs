@@ -2,7 +2,10 @@
 //!
 //! ```text
 //! dvbp-monitor [--addr 127.0.0.1:9184] [--policy FirstFit]
-//!              [--trace events.jsonl | --d 2 --n 200 --mu 10 --span 100 --bin 100]
+//!              [--trace events.jsonl
+//!               | --stream trace.csv --format azure|google|csv
+//!                 [--cap SPEC] [--dirty reject|clamp] [--ticks-per-day N]
+//!               | --d 2 --n 200 --mu 10 --span 100 --bin 100]
 //!              [--seed 0] [--runs N] [--interval-ms 100]
 //! dvbp-monitor --scrape HOST:PORT [--shards N] [--raw-metrics]
 //! ```
@@ -11,7 +14,11 @@
 //! thread (one run per interval; `--runs 0` means unbounded) while the
 //! main thread serves `/metrics`, `/status`, `/healthz`, and
 //! `/shutdown`. With `--trace`, instances are reconstructed from a
-//! recorded `dvbp-obs` JSONL event stream and cycled; otherwise uniform
+//! recorded `dvbp-obs` JSONL event stream and cycled; with `--stream`,
+//! a real-cluster trace file (Azure packing, Google task-events, or the
+//! native CSV) is replayed through the constant-memory streaming path —
+//! the engine never materializes the trace, and the running competitive
+//! ratio comes from the streamed Lemma 1 tap. Otherwise uniform
 //! instances are generated with incrementing seeds.
 //!
 //! With `--scrape`, the roles flip: instead of serving its own run, the
@@ -21,8 +28,10 @@
 //! instead).
 
 use dvbp_core::PolicyKind;
-use dvbp_monitor::{observe_run, Monitor, MonitorServer, Workload};
+use dvbp_monitor::{observe_run, observe_source_run, Monitor, MonitorServer, Workload};
+use dvbp_traces::{DirtyPolicy, OpenOptions, TraceFormat};
 use dvbp_workloads::UniformParams;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::str::FromStr;
 use std::sync::atomic::Ordering;
@@ -34,7 +43,10 @@ dvbp-monitor — live /metrics endpoint for DVBP packing
 
 USAGE:
   dvbp-monitor [--addr HOST:PORT] [--policy NAME]
-               [--trace FILE.jsonl | --d D --n N --mu MU --span T --bin B]
+               [--trace FILE.jsonl
+                | --stream FILE --format azure|google|csv
+                  [--cap SPEC] [--dirty reject|clamp] [--ticks-per-day N]
+                | --d D --n N --mu MU --span T --bin B]
                [--seed S] [--runs N] [--interval-ms MS]
 
   dvbp-monitor --scrape HOST:PORT [--shards N] [--raw-metrics]
@@ -42,6 +54,12 @@ USAGE:
   --addr         bind address (default 127.0.0.1:9184; port 0 = ephemeral)
   --policy       packing policy (default FirstFit); see `dvbp --help`
   --trace        replay instances reconstructed from a dvbp-obs JSONL trace
+  --stream       replay a cluster trace file through the streaming path
+  --format       with --stream: azure | google | csv (native)
+  --cap          with --stream: bin capacity as comma-separated units
+                 (default 100 per dimension; required for --format csv)
+  --dirty        with --stream: reject (default) or clamp dirty rows
+  --ticks-per-day  with --stream --format azure: ticks per day (default 288)
   --runs         stop driving after N runs, keep serving (0 = unbounded)
   --interval-ms  pause between runs (default 100)
   --scrape       pull /status from a running dvbp-serve and print a summary
@@ -88,6 +106,58 @@ fn run_scrape(args: &[String], target: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// What the driver thread replays each iteration: materialized
+/// instances, or a trace file re-opened and streamed per run.
+enum Drive {
+    Instances(Workload),
+    Stream {
+        path: PathBuf,
+        format: TraceFormat,
+        options: OpenOptions,
+    },
+}
+
+/// Builds the streamed drive for `--stream FILE`, validating the flags
+/// and the file by opening it once.
+fn stream_drive(args: &[String], path: String) -> Result<Drive, String> {
+    let format: TraceFormat = flag(args, "--format")
+        .ok_or("--stream requires --format azure|google|csv")?
+        .parse()?;
+    let capacity = match flag(args, "--cap") {
+        None => None,
+        Some(spec) => {
+            let units: Vec<u64> = spec
+                .split(',')
+                .map(|f| {
+                    f.trim()
+                        .parse::<u64>()
+                        .map_err(|e| format!("--cap '{f}': {e}"))
+                })
+                .collect::<Result<_, _>>()?;
+            if units.is_empty() || units.contains(&0) {
+                return Err("--cap must have positive components".into());
+            }
+            Some(dvbp_dimvec::DimVec::from_slice(&units))
+        }
+    };
+    let dirty: DirtyPolicy = parse(args, "--dirty", DirtyPolicy::Reject)?;
+    let options = OpenOptions {
+        capacity,
+        ticks_per_day: parse(args, "--ticks-per-day", 288u64)?,
+        dirty,
+    };
+    let path = PathBuf::from(path);
+    // Fail fast on an unreadable file or a capacity/schema mismatch.
+    format
+        .open_path(&path, &options)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(Drive::Stream {
+        path,
+        format,
+        options,
+    })
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     if let Some(target) = flag(args, "--scrape") {
         return run_scrape(args, &target);
@@ -98,13 +168,15 @@ fn run(args: &[String]) -> Result<(), String> {
     let runs_budget: u64 = parse(args, "--runs", 0u64)?;
     let interval = Duration::from_millis(parse(args, "--interval-ms", 100u64)?);
 
-    let mut workload = match flag(args, "--trace") {
-        Some(path) => {
+    let mut drive = match (flag(args, "--trace"), flag(args, "--stream")) {
+        (Some(_), Some(_)) => return Err("--trace and --stream are mutually exclusive".into()),
+        (Some(path), None) => {
             let text =
                 std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
-            Workload::from_trace_jsonl(&text).map_err(|e| format!("{path}: {e}"))?
+            Drive::Instances(Workload::from_trace_jsonl(&text).map_err(|e| format!("{path}: {e}"))?)
         }
-        None => {
+        (None, Some(path)) => stream_drive(args, path)?,
+        (None, None) => {
             let params = UniformParams {
                 dims: parse(args, "--d", 2usize)?,
                 items: parse(args, "--n", 200usize)?,
@@ -115,7 +187,7 @@ fn run(args: &[String]) -> Result<(), String> {
             if params.mu > params.span {
                 return Err("--mu must not exceed --span".into());
             }
-            Workload::synthetic(params, parse(args, "--seed", 0u64)?)
+            Drive::Instances(Workload::synthetic(params, parse(args, "--seed", 0u64)?))
         }
     };
 
@@ -137,8 +209,32 @@ fn run(args: &[String]) -> Result<(), String> {
                 std::thread::sleep(Duration::from_millis(20));
                 continue;
             }
-            let instance = workload.next_instance();
-            observe_run(&policy, &instance, &driver_monitor.aggregate);
+            match &mut drive {
+                Drive::Instances(workload) => {
+                    let instance = workload.next_instance();
+                    observe_run(&policy, &instance, &driver_monitor.aggregate);
+                }
+                Drive::Stream {
+                    path,
+                    format,
+                    options,
+                } => {
+                    // Re-open per run: the source is consumed by each
+                    // replay, and the file is the durable state.
+                    let replay = format
+                        .open_path(path, options)
+                        .map_err(|e| e.to_string())
+                        .and_then(|mut source| {
+                            observe_source_run(&policy, &mut *source, &driver_monitor.aggregate)
+                                .map_err(|e| e.to_string())
+                        });
+                    if let Err(e) = replay {
+                        eprintln!("dvbp-monitor: stream {}: {e}", path.display());
+                        // The file is broken; keep serving what we have.
+                        break;
+                    }
+                }
+            }
             completed += 1;
             // Sleep in short slices so /shutdown takes effect promptly.
             let mut left = interval;

@@ -237,13 +237,16 @@ mod tests {
     }
 
     #[test]
-    fn infinite_ratio_renders_as_inf() {
+    fn cold_start_ratio_scrapes_finite() {
+        // Cost without lower-bound evidence (the cold-start shape that
+        // used to scrape as +Inf) must render the neutral 1.0 — a
+        // Prometheus rate query must never ingest a non-finite sample.
         let mut agg = Aggregate::new();
         agg.usage_time = 5;
         let text = render(&agg, "p");
-        assert!(
-            text.contains("dvbp_cr_running{policy=\"p\"} +Inf"),
-            "{text}"
-        );
+        assert!(text.contains("dvbp_cr_running{policy=\"p\"} 1"), "{text}");
+        assert!(text.contains("dvbp_cr_drift{policy=\"p\"} 0"), "{text}");
+        assert!(!text.contains("Inf\n"), "non-finite gauge escaped: {text}");
+        assert!(!text.contains("NaN"), "{text}");
     }
 }

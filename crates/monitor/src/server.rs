@@ -250,4 +250,24 @@ mod tests {
         assert!(text.contains("dvbp_runs_total"));
         assert!(text.contains("dvbp_cr_running"));
     }
+
+    #[test]
+    fn cold_start_scrape_is_nan_and_inf_free() {
+        // A scrape racing the driver's first run (and even one landing
+        // after cost accrued but before the first lower-bound update)
+        // must expose only finite gauge samples.
+        let monitor = Monitor::new("FirstFit");
+        monitor.aggregate.lock().unwrap().usage_time = 7;
+        let text = monitor.metrics_text();
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').unwrap();
+            if series.starts_with("dvbp_cr_") {
+                let v: f64 = value.parse().unwrap();
+                assert!(v.is_finite(), "{line}");
+            }
+        }
+        let status = monitor.status();
+        assert!(status.cr_running.is_finite());
+        assert!(status.cr_drift.is_finite());
+    }
 }

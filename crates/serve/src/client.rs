@@ -1,18 +1,20 @@
-//! Driving client: replays an [`Instance`] against a running service
-//! over TCP, in the batch engine's canonical event order.
+//! Driving client: replays any [`EventSource`] — a trace stream, a
+//! generator, or a materialized [`Instance`] — against a running
+//! service over TCP, in the canonical event order.
 //!
-//! Instance item `i` is sent under the id `item-{i}`, so the id ↔ item
+//! Source item `i` is sent under the id `item-{i}`, so the id ↔ item
 //! mapping is reproducible across runs — which makes the client
-//! **idempotently resumable**: re-driving the same instance after a
+//! **idempotently resumable**: re-driving the same feed after a
 //! service crash simply skips everything the recovered service already
 //! knows (`duplicate-id` / `already-departed` rejections count as
 //! [`DriveReport::skipped`], not errors). The CI serve-smoke job leans
 //! on this: kill the service mid-drive, restart it on the same WAL,
 //! re-drive from the top, and the final state must match an
-//! uninterrupted run.
+//! uninterrupted run. Feeds with deterministic item indices (trace
+//! parsers assign dense indices in arrival order) resume the same way.
 
 use crate::protocol::{error_code, Request, Response, ServeStatus};
-use dvbp_core::{live_ops, Instance, LiveOp};
+use dvbp_core::{EventSource, Instance, InstanceSource, LiveOp};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::Path;
@@ -116,22 +118,23 @@ impl Client {
         self.call(&Request::Shutdown).map(|_| ())
     }
 
-    /// Replays `instance` in canonical timeline order (departures
-    /// before arrivals at equal ticks). `throttle` sleeps between
-    /// operations — the CI smoke job uses it to widen the mid-drive
-    /// kill window.
+    /// Replays a streamed event feed in its own (canonical) order:
+    /// source item `i` is sent as `item-{i}`. The feed is consumed one
+    /// event at a time, so an arbitrarily long trace drives the service
+    /// in constant client memory. `throttle` sleeps between operations
+    /// — the CI smoke job uses it to widen the mid-drive kill window.
     ///
     /// # Errors
     ///
-    /// Transport failures only; service-level rejections are counted in
-    /// the report.
-    pub fn drive_instance(
+    /// Transport failures and source read failures only; service-level
+    /// rejections are counted in the report.
+    pub fn drive_source<S: EventSource + ?Sized>(
         &mut self,
-        instance: &Instance,
+        source: &mut S,
         throttle: Option<Duration>,
     ) -> io::Result<DriveReport> {
         let mut report = DriveReport::default();
-        for op in live_ops(instance) {
+        while let Some(op) = source.next_event().map_err(io::Error::other)? {
             let req = match op {
                 LiveOp::Arrive { item, size, time } => Request::Arrive {
                     id: item_id(item),
@@ -159,6 +162,23 @@ impl Client {
             }
         }
         Ok(report)
+    }
+
+    /// Replays `instance` in canonical timeline order (departures
+    /// before arrivals at equal ticks) — [`drive_source`](Self::drive_source)
+    /// over the instance's [`InstanceSource`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; service-level rejections are counted in
+    /// the report.
+    pub fn drive_instance(
+        &mut self,
+        instance: &Instance,
+        throttle: Option<Duration>,
+    ) -> io::Result<DriveReport> {
+        let mut source = InstanceSource::new(instance).map_err(io::Error::other)?;
+        self.drive_source(&mut source, throttle)
     }
 }
 
@@ -226,6 +246,31 @@ mod tests {
         let status = client.query().unwrap();
         assert_eq!(status.arrivals, 3);
         assert_eq!(status.departures, 3);
+        client.shutdown().unwrap();
+        srv.join().unwrap();
+    }
+
+    #[test]
+    fn streamed_feed_drives_the_service_without_materializing() {
+        // A generator source through drive_source: every event is
+        // acknowledged, and re-driving the identical stream resumes
+        // idempotently, exactly like the instance path.
+        let (addr, srv) = boot(2);
+        let gen = dvbp_traces::HeavyTail::new(40, DimVec::from_slice(&[10, 10]), 11);
+        let mut client = Client::connect(&addr.to_string()).unwrap();
+        let report = client.drive_source(&mut gen.source(), None).unwrap();
+        assert_eq!(report.placed, 40);
+        assert_eq!(report.departed, 40);
+        assert_eq!(report.errors, 0);
+
+        let report = client.drive_source(&mut gen.source(), None).unwrap();
+        assert_eq!(report.placed, 0);
+        assert_eq!(report.skipped, 80);
+        assert_eq!(report.errors, 0);
+
+        let status = client.query().unwrap();
+        assert_eq!(status.arrivals, 40);
+        assert_eq!(status.departures, 40);
         client.shutdown().unwrap();
         srv.join().unwrap();
     }

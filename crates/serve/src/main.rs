@@ -33,7 +33,11 @@ USAGE:
                    [--router hash|round-robin|least-loaded]
                    [--wal DIR] [--sync per-event|batch:N|on-close]
                    [--time-mode strict|clamp] [--cap C1,C2,...]
-  dvbp-serve drive [--addr HOST:PORT] --trace FILE.json
+  dvbp-serve drive [--addr HOST:PORT]
+                   (--trace FILE.json
+                    | --stream FILE --format azure|google|csv
+                      [--cap C1,C2,...] [--dirty reject|clamp]
+                      [--ticks-per-day N])
                    [--throttle-ms MS] [--shutdown]
   dvbp-serve query [--addr HOST:PORT]
 
@@ -46,6 +50,10 @@ USAGE:
   --time-mode   strict rejects out-of-order timestamps; clamp pulls them forward
   --cap         per-dimension bin capacity (default 100,100)
   --trace       instance trace file (dvbp JSON format) to replay
+  --stream      cluster trace file streamed in constant memory
+  --format      with --stream: azure | google | csv (native)
+  --dirty       with --stream: reject (default) or clamp dirty rows
+  --ticks-per-day  with --stream --format azure: ticks per day (default 288)
   --throttle-ms pause between driven operations (widens crash windows in CI)
   --shutdown    send Shutdown after driving
 
@@ -154,23 +162,49 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
 fn cmd_drive(args: &[String]) -> Result<(), String> {
     let addr = parse(args, "--addr", DEFAULT_ADDR.to_string())?;
-    let trace = flag(args, "--trace").ok_or("drive needs --trace FILE.json")?;
     let throttle = match parse(args, "--throttle-ms", 0u64)? {
         0 => None,
         ms => Some(Duration::from_millis(ms)),
     };
-    let instance = client::load_instance(&PathBuf::from(&trace))?;
     let mut client = Client::connect(&addr).map_err(|e| format!("connecting {addr}: {e}"))?;
-    let report = client
-        .drive_instance(&instance, throttle)
-        .map_err(|e| format!("driving {trace}: {e}"))?;
+    let (label, report) = match (flag(args, "--trace"), flag(args, "--stream")) {
+        (Some(_), Some(_)) => {
+            return Err("--trace and --stream are mutually exclusive".into());
+        }
+        (Some(trace), None) => {
+            let instance = client::load_instance(&PathBuf::from(&trace))?;
+            let report = client
+                .drive_instance(&instance, throttle)
+                .map_err(|e| format!("driving {trace}: {e}"))?;
+            (trace, report)
+        }
+        (None, Some(stream)) => {
+            let format: dvbp_traces::TraceFormat = flag(args, "--format")
+                .ok_or("--stream requires --format azure|google|csv")?
+                .parse()?;
+            let options = dvbp_traces::OpenOptions {
+                capacity: match flag(args, "--cap") {
+                    None => None,
+                    Some(spec) => Some(parse_capacity(&spec)?),
+                },
+                ticks_per_day: parse(args, "--ticks-per-day", 288u64)?,
+                dirty: parse(args, "--dirty", dvbp_traces::DirtyPolicy::Reject)?,
+            };
+            let mut source = format
+                .open_path(&PathBuf::from(&stream), &options)
+                .map_err(|e| format!("{stream}: {e}"))?;
+            let report = client
+                .drive_source(&mut *source, throttle)
+                .map_err(|e| format!("driving {stream}: {e}"))?;
+            (stream, report)
+        }
+        (None, None) => {
+            return Err("drive needs --trace FILE.json or --stream FILE --format ...".into());
+        }
+    };
     println!(
-        "dvbp-serve: drove {} item(s): {} placed, {} departed, {} skipped, {} error(s)",
-        instance.items.len(),
-        report.placed,
-        report.departed,
-        report.skipped,
-        report.errors,
+        "dvbp-serve: drove {label}: {} placed, {} departed, {} skipped, {} error(s)",
+        report.placed, report.departed, report.skipped, report.errors,
     );
     if args.iter().any(|a| a == "--shutdown") {
         client.shutdown().map_err(|e| e.to_string())?;

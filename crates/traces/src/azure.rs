@@ -1,0 +1,468 @@
+//! Streaming parser for the **Azure VM packing trace** schema.
+//!
+//! The public AzurePublicDataset packing traces ship as a CSV with one
+//! row per VM request:
+//!
+//! ```csv
+//! vmId,starttime,endtime,core,memory
+//! vm1,0.000694,1.25,0.25,0.5
+//! vm2,0.003472,,0.5,0.25
+//! ```
+//!
+//! * `starttime`/`endtime` are **fractional days** since trace start; an
+//!   empty `endtime` means the VM was still running when the trace was
+//!   captured (closed at the stream horizon here).
+//! * Resource columns are **fractions of one server** — every column
+//!   after the first three is one dimension, so the same parser reads
+//!   the 2-resource public schema and wider variants.
+//! * Rows are sorted by `starttime` (the published traces are); the
+//!   parser verifies this and, under [`DirtyPolicy::Clamp`], pulls
+//!   stragglers forward instead of failing.
+//!
+//! Times are quantized to integer ticks via `ticks_per_day` (288 ≙ the
+//! trace's native 5-minute granularity), fractions to integer units of
+//! the bin capacity. Memory is O(active VMs): rows stream through the
+//! `Pending` merger and are never collected.
+
+use crate::ingest::{parse_fraction, scale_size, split_fields, DirtyPolicy, IngestStats, Pending};
+use dvbp_core::{EventSource, LiveOp, SourceError};
+use dvbp_dimvec::DimVec;
+use dvbp_sim::Time;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::io::BufRead;
+
+/// Default tick quantization: the Azure trace's native 5-minute slots.
+pub const AZURE_TICKS_PER_DAY: u64 = 288;
+
+/// One parsed, repaired row, held as lookahead until its arrival emits.
+struct Row {
+    vm_id: String,
+    start: Time,
+    /// `None` = open-ended.
+    end: Option<Time>,
+    size: DimVec,
+}
+
+/// Streaming [`EventSource`] over an Azure packing-trace CSV.
+pub struct AzureSource<R> {
+    reader: R,
+    capacity: DimVec,
+    ticks_per_day: u64,
+    dirty: DirtyPolicy,
+    pending: Pending,
+    stats: IngestStats,
+    line_no: u64,
+    /// Arrival clock: rows must not start before this tick.
+    clock: Time,
+    /// Active VMs by id → departure tick (`Time::MAX` = open-ended),
+    /// for duplicate-id detection. Pruned via `expiry` on each arrival.
+    active: HashMap<String, Time>,
+    expiry: BinaryHeap<Reverse<(Time, String)>>,
+    lookahead: Option<Row>,
+    eof: bool,
+}
+
+impl<R: BufRead> AzureSource<R> {
+    /// Opens an Azure-format stream.
+    ///
+    /// `capacity`: bin capacity the fractional demands are scaled to;
+    /// `None` uses 100 units per resource column. The dimension count is
+    /// taken from the first data row. `ticks_per_day` quantizes the
+    /// fractional-day timestamps ([`AZURE_TICKS_PER_DAY`] matches the
+    /// trace's native granularity).
+    ///
+    /// # Errors
+    ///
+    /// [`SourceError`] if the stream has no data rows, or the first row
+    /// is malformed.
+    pub fn new(
+        reader: R,
+        capacity: Option<DimVec>,
+        ticks_per_day: u64,
+        dirty: DirtyPolicy,
+    ) -> Result<Self, SourceError> {
+        let mut source = AzureSource {
+            reader,
+            capacity: DimVec::scalar(0), // replaced below
+            ticks_per_day: ticks_per_day.max(1),
+            dirty,
+            pending: Pending::default(),
+            stats: IngestStats::default(),
+            line_no: 0,
+            clock: 0,
+            active: HashMap::new(),
+            expiry: BinaryHeap::new(),
+            lookahead: None,
+            eof: false,
+        };
+        // Peek the first data row to learn the dimension count, then
+        // parse it for real against the resolved capacity.
+        let Some(line) = source.next_data_line()? else {
+            return Err(SourceError::new("azure trace has no data rows"));
+        };
+        let fields = split_fields(&line);
+        if fields.len() < 4 {
+            return Err(SourceError::at_line(
+                source.line_no,
+                format!(
+                    "expected vmId,starttime,endtime,resources... (got {} fields)",
+                    fields.len()
+                ),
+            ));
+        }
+        let d = fields.len() - 3;
+        source.capacity = match capacity {
+            Some(cap) if cap.dim() == d => cap,
+            Some(cap) => {
+                return Err(SourceError::at_line(
+                    source.line_no,
+                    format!(
+                        "capacity has {} dimensions but the trace has {d} resource columns",
+                        cap.dim()
+                    ),
+                ));
+            }
+            None => DimVec::splat(d, 100),
+        };
+        let line_no = source.line_no;
+        source.lookahead = source.parse_row(&line, line_no)?;
+        Ok(source)
+    }
+
+    /// Ingest statistics so far (final once the stream is exhausted).
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// Next non-blank, non-header line, or `None` at end of input.
+    fn next_data_line(&mut self) -> Result<Option<String>, SourceError> {
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            let n = self
+                .reader
+                .read_line(&mut buf)
+                .map_err(|e| SourceError::new(format!("read failed: {e}")))?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            // First line only: strip a UTF-8 BOM so header detection and
+            // the first field survive files saved by Windows tools.
+            let line = if self.line_no == 1 {
+                buf.trim_start_matches('\u{feff}').trim()
+            } else {
+                buf.trim()
+            };
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // Header iff the starttime column is not numeric.
+            let fields = split_fields(line);
+            if fields.len() >= 2 && fields[1].parse::<f64>().is_err() {
+                continue;
+            }
+            return Ok(Some(line.to_string()));
+        }
+    }
+
+    /// Quantizes a fractional-day timestamp to ticks.
+    #[allow(
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss,
+        clippy::cast_precision_loss
+    )]
+    fn to_ticks(&self, days: f64) -> Time {
+        (days * self.ticks_per_day as f64).round() as Time
+    }
+
+    /// Parses one data line into a repaired [`Row`]. `Ok(None)` means
+    /// the row was dropped (duplicate id under Clamp).
+    fn parse_row(&mut self, line: &str, line_no: u64) -> Result<Option<Row>, SourceError> {
+        let fields = split_fields(line);
+        let d = self.capacity.dim();
+        if fields.len() != d + 3 {
+            return Err(SourceError::at_line(
+                line_no,
+                format!("expected {} fields, got {}", d + 3, fields.len()),
+            ));
+        }
+        self.stats.rows += 1;
+
+        let vm_id = fields[0].to_string();
+        let mut start = self.to_ticks(parse_fraction(fields[1], line_no, "starttime")?);
+        if start < self.clock {
+            match self.dirty {
+                DirtyPolicy::Reject => {
+                    return Err(SourceError::at_line(
+                        line_no,
+                        format!(
+                            "starttime goes backwards (tick {start} after tick {})",
+                            self.clock
+                        ),
+                    ));
+                }
+                DirtyPolicy::Clamp => {
+                    self.stats.clamped_times += 1;
+                    start = self.clock;
+                }
+            }
+        }
+
+        let end = if fields[2].is_empty() {
+            None
+        } else {
+            let e = self.to_ticks(parse_fraction(fields[2], line_no, "endtime")?);
+            if e <= start {
+                match self.dirty {
+                    DirtyPolicy::Reject => {
+                        return Err(SourceError::at_line(
+                            line_no,
+                            format!("endtime (tick {e}) does not exceed starttime (tick {start})"),
+                        ));
+                    }
+                    DirtyPolicy::Clamp => {
+                        self.stats.clamped_durations += 1;
+                        Some(start + 1)
+                    }
+                }
+            } else {
+                Some(e)
+            }
+        };
+
+        // Retire expired VMs, then check the id against live ones.
+        while let Some(Reverse((t, _))) = self.expiry.peek() {
+            if *t > start {
+                break;
+            }
+            let Some(Reverse((t, id))) = self.expiry.pop() else {
+                break;
+            };
+            if self.active.get(&id) == Some(&t) {
+                self.active.remove(&id);
+            }
+        }
+        if self.active.contains_key(&vm_id) {
+            match self.dirty {
+                DirtyPolicy::Reject => {
+                    return Err(SourceError::at_line(
+                        line_no,
+                        format!("vmId {vm_id:?} duplicates a VM that is still running"),
+                    ));
+                }
+                DirtyPolicy::Clamp => {
+                    self.stats.dropped_duplicates += 1;
+                    return Ok(None);
+                }
+            }
+        }
+
+        let mut size = DimVec::zeros(d);
+        for j in 0..d {
+            let frac = parse_fraction(fields[3 + j], line_no, "resource demand")?;
+            size.as_mut_slice()[j] = scale_size(
+                frac,
+                self.capacity.as_slice()[j],
+                self.dirty,
+                line_no,
+                &mut self.stats.clamped_sizes,
+            )?;
+        }
+
+        self.clock = start;
+        Ok(Some(Row {
+            vm_id,
+            start,
+            end,
+            size,
+        }))
+    }
+
+    /// Refills the lookahead row, skipping dropped rows.
+    fn fill_lookahead(&mut self) -> Result<(), SourceError> {
+        while self.lookahead.is_none() && !self.eof {
+            match self.next_data_line()? {
+                None => self.eof = true,
+                Some(line) => {
+                    let line_no = self.line_no;
+                    self.lookahead = self.parse_row(&line, line_no)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<R: BufRead> EventSource for AzureSource<R> {
+    fn capacity(&self) -> &DimVec {
+        &self.capacity
+    }
+
+    fn next_event(&mut self) -> Result<Option<LiveOp>, SourceError> {
+        self.fill_lookahead()?;
+        if let Some(row) = &self.lookahead {
+            // Departures due at or before the next arrival go first —
+            // that is exactly the engine's canonical order.
+            if let Some(op) = self.pending.next_ready(Some(row.start)) {
+                return Ok(Some(op));
+            }
+            let Some(row) = self.lookahead.take() else {
+                unreachable!()
+            };
+            let item = self.pending.admit(row.start, row.end);
+            self.stats.items += 1;
+            let end = row.end.unwrap_or(Time::MAX);
+            self.active.insert(row.vm_id.clone(), end);
+            if end != Time::MAX {
+                self.expiry.push(Reverse((end, row.vm_id)));
+            }
+            return Ok(Some(LiveOp::Arrive {
+                item,
+                size: row.size,
+                time: row.start,
+            }));
+        }
+        // End of file: drain remaining departures, then horizon-close
+        // open-ended VMs.
+        match self.pending.drain() {
+            Some((op, at_horizon)) => {
+                if at_horizon {
+                    self.stats.closed_at_horizon += 1;
+                }
+                Ok(Some(op))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn open(
+        text: &str,
+        cap: Option<DimVec>,
+        tpd: u64,
+        dirty: DirtyPolicy,
+    ) -> Result<AzureSource<Cursor<&[u8]>>, SourceError> {
+        AzureSource::new(Cursor::new(text.as_bytes()), cap, tpd, dirty)
+    }
+
+    fn collect(source: &mut impl EventSource) -> Vec<LiveOp> {
+        let mut ops = Vec::new();
+        while let Some(op) = source.next_event().unwrap() {
+            ops.push(op);
+        }
+        ops
+    }
+
+    #[test]
+    fn parses_the_documented_schema() {
+        // ticks_per_day = 4: starttimes 0.0, 0.25, 0.5 → ticks 0, 1, 2.
+        let text = "vmId,starttime,endtime,core,memory\n\
+                    vm1,0.0,0.5,0.25,0.5\n\
+                    vm2,0.25,0.75,0.5,0.25\n\
+                    vm3,0.5,1.0,1.0,1.0\n";
+        let mut s = open(text, None, 4, DirtyPolicy::Reject).unwrap();
+        assert_eq!(s.capacity().as_slice(), &[100, 100]);
+        let ops = collect(&mut s);
+        assert_eq!(
+            ops,
+            vec![
+                LiveOp::Arrive {
+                    item: 0,
+                    size: DimVec::from_slice(&[25, 50]),
+                    time: 0
+                },
+                LiveOp::Arrive {
+                    item: 1,
+                    size: DimVec::from_slice(&[50, 25]),
+                    time: 1
+                },
+                // vm1's tick-2 departure precedes vm3's tick-2 arrival.
+                LiveOp::Depart { item: 0, time: 2 },
+                LiveOp::Arrive {
+                    item: 2,
+                    size: DimVec::from_slice(&[100, 100]),
+                    time: 2
+                },
+                LiveOp::Depart { item: 1, time: 3 },
+                LiveOp::Depart { item: 2, time: 4 },
+            ]
+        );
+        let st = s.stats();
+        assert_eq!((st.rows, st.items), (3, 3));
+        assert_eq!(st.closed_at_horizon, 0);
+    }
+
+    #[test]
+    fn open_ended_vms_close_at_the_horizon() {
+        let text = "vm1,0.0,,0.5,0.5\nvm2,0.25,0.5,0.25,0.25\n";
+        let mut s = open(text, None, 4, DirtyPolicy::Reject).unwrap();
+        let ops = collect(&mut s);
+        // Last event is vm2's tick-2 departure; horizon = tick 3.
+        assert_eq!(*ops.last().unwrap(), LiveOp::Depart { item: 0, time: 3 });
+        assert_eq!(s.stats().closed_at_horizon, 1);
+    }
+
+    #[test]
+    fn dirty_rows_reject_by_default_and_mend_under_clamp() {
+        // Zero duration, backwards start + oversized demand, duplicate id.
+        let text = "vm1,0.5,0.5,0.25,0.25\n\
+                    vm2,0.25,2.5,1.5,0.25\n\
+                    vm1,0.5,0.75,0.25,0.25\n";
+        assert!(open(text, None, 4, DirtyPolicy::Reject).is_err());
+        let mut s = open(text, None, 4, DirtyPolicy::Clamp).unwrap();
+        let ops = collect(&mut s);
+        let st = s.stats();
+        assert_eq!(st.clamped_durations, 1, "vm1 row 1 gets a one-tick stay");
+        assert_eq!(st.clamped_times, 1, "row 2 pulled forward to tick 2");
+        assert_eq!(st.clamped_sizes, 1, "1.5 cores saturates at capacity");
+        assert_eq!(st.dropped_duplicates, 1, "third row duplicates live vm1");
+        assert_eq!(st.items, 2);
+        assert_eq!(
+            ops.iter()
+                .filter(|op| matches!(op, LiveOp::Arrive { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn duplicate_id_is_fine_once_the_first_instance_departed() {
+        let text = "vm1,0.0,0.25,0.25,0.25\nvm1,0.25,0.5,0.25,0.25\n";
+        let mut s = open(text, None, 4, DirtyPolicy::Reject).unwrap();
+        assert_eq!(
+            collect(&mut s)
+                .iter()
+                .filter(|op| matches!(op, LiveOp::Arrive { .. }))
+                .count(),
+            2
+        );
+        assert_eq!(s.stats().dropped_duplicates, 0);
+    }
+
+    #[test]
+    fn capacity_dimension_mismatch_is_reported() {
+        let text = "vm1,0.0,0.5,0.25,0.25\n";
+        let err = open(text, Some(DimVec::scalar(64)), 4, DirtyPolicy::Reject)
+            .err()
+            .expect("1-d capacity against 2 resource columns");
+        assert!(err.to_string().contains("resource columns"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(open(
+            "vmId,starttime,endtime,core\n",
+            None,
+            4,
+            DirtyPolicy::Reject
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! Trace-replay benchmark: end-to-end cost and throughput of every
+//! non-clairvoyant paper policy over multi-million-event streamed
+//! replays in both real-trace encodings (Azure packing trace, Google
+//! `task_events`), written as `BENCH_traces.json`.
+//!
+//! The pipeline under test is the whole ingest path: CSV bytes →
+//! format parser → `EventSource` → `Engine::run_source`, in
+//! `CostOnly` mode with a `StreamingLowerBound` tapped onto the first
+//! pass per format. Nothing is ever materialized: the binary asserts at
+//! exit that peak RSS (`VmHWM`) stayed under a fixed ceiling, which is
+//! the crate's constant-memory claim made executable.
+//!
+//! Usage:
+//!   bench-traces [--out FILE] [--items N] [--scale full|smoke]
+//!                [--max-rss-kb KB] [--seed S]
+
+use dvbp_core::Engine;
+use dvbp_core::{PackRequest, PolicyKind, StreamingLowerBound, Tap, TraceMode};
+use dvbp_dimvec::DimVec;
+use dvbp_traces::{
+    write_azure_csv, write_google_csv, HeavyTail, IngestStats, OpenOptions, TraceFormat,
+    AZURE_TICKS_PER_DAY,
+};
+use serde::Serialize;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// One `(format, policy)` replay.
+#[derive(Debug, Serialize)]
+struct Entry {
+    format: String,
+    policy: String,
+    cost: u64,
+    /// Lemma 1(i) load-integral lower bound (streamed, per format).
+    lb_load: u64,
+    /// `cost / lb_load` — the empirical competitive ratio witness.
+    ratio: f64,
+    bins_opened: usize,
+    /// Events (arrivals + departures) through the full parse+pack
+    /// pipeline per second.
+    events_per_sec: f64,
+    seconds: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    schema: String,
+    scale: String,
+    items: usize,
+    seed: u64,
+    capacity: Vec<u64>,
+    /// Final ingest statistics per format (identical on every pass).
+    azure_ingest: IngestStats,
+    google_ingest: IngestStats,
+    entries: Vec<Entry>,
+    peak_rss_kb: u64,
+    rss_limit_kb: u64,
+}
+
+/// Peak resident set of this process, from `/proc/self/status` (kB).
+/// Zero when the proc file is unavailable (non-Linux), which disables
+/// the ceiling check rather than failing it spuriously.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|l| l.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn replay(
+    format: TraceFormat,
+    path: &Path,
+    options: &OpenOptions,
+    kind: &PolicyKind,
+    engine: &mut Engine,
+    lb: &mut Option<(u64, IngestStats)>,
+    items: usize,
+) -> Entry {
+    let t0 = Instant::now();
+    let mut source = format
+        .open_path(path, options)
+        .unwrap_or_else(|e| panic!("open {format} trace: {e}"));
+    let (packing, stats) = if lb.is_none() {
+        // First pass per format also folds the streamed lower bound.
+        let mut slb = StreamingLowerBound::new(source.capacity());
+        let mut tapped = Tap::new(&mut *source, |op| slb.observe(op));
+        let packing = PackRequest::new(kind.clone())
+            .trace_mode(TraceMode::CostOnly)
+            .run_source_on(engine, &mut tapped)
+            .unwrap_or_else(|e| panic!("{format}/{}: {e}", kind.name()));
+        let value = u64::try_from(slb.value()).expect("lower bounds fit in u64");
+        *lb = Some((value, source.stats()));
+        (packing, source.stats())
+    } else {
+        let packing = PackRequest::new(kind.clone())
+            .trace_mode(TraceMode::CostOnly)
+            .run_source_on(engine, &mut *source)
+            .unwrap_or_else(|e| panic!("{format}/{}: {e}", kind.name()));
+        (packing, source.stats())
+    };
+    let seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        stats.items as usize, items,
+        "{format}: every generated item must stream through"
+    );
+    let (lb_load, _) = lb.as_ref().expect("lb folded on first pass");
+    let cost = u64::try_from(packing.cost()).expect("costs fit in u64");
+    #[allow(clippy::cast_precision_loss)]
+    let entry = Entry {
+        format: format.to_string(),
+        policy: kind.name(),
+        cost,
+        lb_load: *lb_load,
+        ratio: cost as f64 / *lb_load as f64,
+        bins_opened: packing.num_bins(),
+        events_per_sec: (2 * items) as f64 / seconds,
+        seconds,
+    };
+    eprintln!(
+        "{}/{}: cost {} (ratio {:.4}), {} bins, {:.0} events/s",
+        entry.format,
+        entry.policy,
+        entry.cost,
+        entry.ratio,
+        entry.bins_opened,
+        entry.events_per_sec
+    );
+    entry
+}
+
+fn main() -> ExitCode {
+    let mut out = String::from("BENCH_traces.json");
+    let mut items: usize = 1_000_000;
+    let mut scale = String::from("full");
+    let mut max_rss_kb: u64 = 524_288; // 512 MiB
+    let mut seed: u64 = 2024;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => out = value("--out"),
+            "--items" => items = value("--items").parse().expect("--items takes a count"),
+            "--scale" => scale = value("--scale"),
+            "--max-rss-kb" => {
+                max_rss_kb = value("--max-rss-kb")
+                    .parse()
+                    .expect("--max-rss-kb takes kilobytes")
+            }
+            "--seed" => seed = value("--seed").parse().expect("--seed takes an integer"),
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if scale == "smoke" {
+        items = items.min(50_000);
+    }
+
+    let capacity = DimVec::from_slice(&[100, 100]);
+    let gen = HeavyTail::new(items, capacity.clone(), seed);
+
+    // Encode the workload in both on-disk schemas. The files live in a
+    // scratch dir and are the only thing whose size is O(items); the
+    // replay itself must stay O(active).
+    let dir = std::env::temp_dir().join(format!("dvbp-bench-traces-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let azure_path = dir.join("heavytail.azure.csv");
+    let google_path = dir.join("heavytail.google.csv");
+    {
+        let mut w = BufWriter::new(std::fs::File::create(&azure_path).expect("create azure csv"));
+        write_azure_csv(gen.items(), &capacity, AZURE_TICKS_PER_DAY, &mut w)
+            .and_then(|_| w.flush())
+            .expect("write azure csv");
+        let mut w = BufWriter::new(std::fs::File::create(&google_path).expect("create google csv"));
+        write_google_csv(gen.items(), &capacity, &mut w)
+            .and_then(|_| w.flush())
+            .expect("write google csv");
+    }
+    eprintln!(
+        "wrote {} items to {} (azure) and {} (google)",
+        items,
+        azure_path.display(),
+        google_path.display()
+    );
+
+    let options = OpenOptions {
+        capacity: Some(capacity.clone()),
+        ..OpenOptions::default()
+    };
+    let policies = PolicyKind::paper_suite(seed);
+    let mut engine = Engine::new();
+    let mut entries = Vec::new();
+    let mut azure_lb: Option<(u64, IngestStats)> = None;
+    let mut google_lb: Option<(u64, IngestStats)> = None;
+    for kind in &policies {
+        entries.push(replay(
+            TraceFormat::Azure,
+            &azure_path,
+            &options,
+            kind,
+            &mut engine,
+            &mut azure_lb,
+            items,
+        ));
+    }
+    for kind in &policies {
+        entries.push(replay(
+            TraceFormat::Google,
+            &google_path,
+            &options,
+            kind,
+            &mut engine,
+            &mut google_lb,
+            items,
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let peak = peak_rss_kb();
+    let report = Report {
+        schema: "dvbp-bench-traces/1".to_string(),
+        scale,
+        items,
+        seed,
+        capacity: capacity.as_slice().to_vec(),
+        azure_ingest: azure_lb.expect("azure replays ran").1,
+        google_ingest: google_lb.expect("google replays ran").1,
+        entries,
+        peak_rss_kb: peak,
+        rss_limit_kb: max_rss_kb,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write report");
+    eprintln!(
+        "wrote {out} ({} entries, peak RSS {peak} kB)",
+        report.entries.len()
+    );
+
+    if peak > max_rss_kb {
+        eprintln!(
+            "FAIL: peak RSS {peak} kB exceeds the {max_rss_kb} kB ceiling — \
+             the streamed replay is not constant-memory"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,304 @@
+//! Shared ingestion machinery: the dirty-trace policy knob, ingest
+//! statistics, and the constant-memory departure merger every source in
+//! this crate is built on.
+//!
+//! # The merger
+//!
+//! Trace rows carry *items* (arrival + maybe departure), but the engine
+//! consumes *events* in canonical order — departures before arrivals at
+//! equal ticks. [`Pending`] performs that merge with O(active) memory:
+//! known departures wait in a min-heap, open-ended items (a VM still
+//! running when the trace was captured) in a side table that is flushed
+//! one tick past the end of the stream. As long as the row feed is
+//! arrival-sorted — which every supported trace format promises, and the
+//! parsers verify — the emitted event stream is canonical.
+
+use dvbp_core::{LiveOp, SourceError};
+use dvbp_sim::Time;
+use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// How a parser treats rows a well-formed trace would not contain.
+///
+/// Real cluster traces are messy: zero-duration items, duplicate ids,
+/// timestamps that jump backwards, empty resource columns. `Reject`
+/// surfaces the first such row as a typed error — the right default for
+/// conformance work. `Clamp` repairs what has an obvious minimal repair
+/// (and counts every repair in [`IngestStats`]), which is what replaying
+/// a multi-million-row public trace needs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DirtyPolicy {
+    /// Fail on the first dirty row.
+    #[default]
+    Reject,
+    /// Repair dirty rows: departures at/before their arrival get the
+    /// minimum one-tick stay, backwards timestamps are pulled forward,
+    /// zero sizes become one unit, oversized demands saturate at the
+    /// capacity, and duplicate-id rows are dropped. Every repair is
+    /// counted.
+    Clamp,
+}
+
+impl std::str::FromStr for DirtyPolicy {
+    type Err = String;
+
+    /// Parses `reject` or `clamp` (CLI spelling).
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "reject" => Ok(DirtyPolicy::Reject),
+            "clamp" => Ok(DirtyPolicy::Clamp),
+            _ => Err(format!(
+                "unknown dirty policy {s:?} (expected reject or clamp)"
+            )),
+        }
+    }
+}
+
+/// Counters describing one ingestion pass. All clamp/drop/skip counters
+/// stay zero under [`DirtyPolicy::Reject`] (the first dirty row errors
+/// instead).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct IngestStats {
+    /// Data rows read (excluding headers, blanks, comments).
+    pub rows: u64,
+    /// Items admitted (arrivals emitted).
+    pub items: u64,
+    /// Departures clamped to the minimum one-tick stay.
+    pub clamped_durations: u64,
+    /// Backwards timestamps pulled forward to the stream clock.
+    pub clamped_times: u64,
+    /// Sizes repaired (zero → one unit, oversized → capacity).
+    pub clamped_sizes: u64,
+    /// Rows dropped because their id duplicates an active item.
+    pub dropped_duplicates: u64,
+    /// Rows skipped as no-ops (e.g. lifecycle events for tasks that
+    /// were never scheduled — routine in the Google trace).
+    pub skipped_rows: u64,
+    /// Items still active at end of trace, closed at the horizon tick.
+    pub closed_at_horizon: u64,
+}
+
+/// The constant-memory departure merger (see the [module docs](self)).
+///
+/// Item indices are assigned densely, in arrival-emission order — so
+/// every source built on `Pending` yields index `k` for its `k`-th
+/// arrival, which keeps the engine's per-item ledger exactly
+/// items-seen long.
+#[derive(Default)]
+pub(crate) struct Pending {
+    /// Known departures, keyed `(tick, item)` — popping ascending gives
+    /// both the time order and the within-tick index order.
+    heap: BinaryHeap<Reverse<(Time, usize)>>,
+    /// Open-ended items (no departure yet): item → arrival tick.
+    open: HashMap<usize, Time>,
+    next_index: usize,
+    /// Time of the latest emitted or admitted event.
+    now: Time,
+    /// End-of-stream flush of `open`, sorted by item index, all at
+    /// `horizon`.
+    drain_open: Option<std::vec::IntoIter<usize>>,
+    horizon: Time,
+}
+
+impl Pending {
+    /// Departures due at or before `upcoming` (all of them, when
+    /// `None`), earliest first.
+    pub(crate) fn next_ready(&mut self, upcoming: Option<Time>) -> Option<LiveOp> {
+        let &Reverse((time, item)) = self.heap.peek()?;
+        if upcoming.is_some_and(|u| time > u) {
+            return None;
+        }
+        self.heap.pop();
+        self.now = self.now.max(time);
+        Some(LiveOp::Depart { item, time })
+    }
+
+    /// Admits an item arriving at `time`, returning its dense index.
+    /// A `Some` departure goes to the heap; `None` marks the item
+    /// open-ended (flushed at the horizon, or resolved later via
+    /// [`resolve`](Self::resolve)).
+    pub(crate) fn admit(&mut self, time: Time, departure: Option<Time>) -> usize {
+        let item = self.next_index;
+        self.next_index += 1;
+        match departure {
+            Some(e) => {
+                debug_assert!(e > time, "parsers clamp or reject non-positive durations");
+                self.heap.push(Reverse((e, item)));
+            }
+            None => {
+                self.open.insert(item, time);
+            }
+        }
+        self.now = self.now.max(time);
+        item
+    }
+
+    /// Resolves an open-ended item's departure to `time` (already
+    /// clamped by the caller to be strictly after its arrival).
+    pub(crate) fn resolve(&mut self, item: usize, time: Time) {
+        let removed = self.open.remove(&item);
+        debug_assert!(removed.is_some(), "resolve of a non-open item");
+        self.heap.push(Reverse((time, item)));
+    }
+
+    /// Arrival tick of an open-ended item.
+    pub(crate) fn arrival_of(&self, item: usize) -> Option<Time> {
+        self.open.get(&item).copied()
+    }
+
+    /// End-of-stream drain: remaining heap departures, then every
+    /// still-open item at one tick past the stream's last event (the
+    /// *horizon*). Returns `true` in the second slot for horizon
+    /// closures so callers can count them.
+    pub(crate) fn drain(&mut self) -> Option<(LiveOp, bool)> {
+        if let Some(op) = self.next_ready(None) {
+            return Some((op, false));
+        }
+        if self.drain_open.is_none() {
+            if self.open.is_empty() {
+                return None;
+            }
+            let mut items: Vec<usize> = self.open.keys().copied().collect();
+            items.sort_unstable();
+            self.horizon = self.now + 1;
+            self.drain_open = Some(items.into_iter());
+        }
+        let item = self.drain_open.as_mut()?.next()?;
+        self.open.remove(&item);
+        Some((
+            LiveOp::Depart {
+                item,
+                time: self.horizon,
+            },
+            true,
+        ))
+    }
+}
+
+/// Splits one CSV line into trimmed fields. The traces this crate
+/// ingests never quote fields, so a plain comma split is exact.
+pub(crate) fn split_fields(line: &str) -> Vec<&str> {
+    line.split(',').map(str::trim).collect()
+}
+
+/// Parses a non-negative decimal (`12`, `0.5`, `1e-3`) field.
+pub(crate) fn parse_fraction(field: &str, line: u64, what: &str) -> Result<f64, SourceError> {
+    let v: f64 = field
+        .parse()
+        .map_err(|_| SourceError::at_line(line, format!("{what} {field:?} is not a number")))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(SourceError::at_line(
+            line,
+            format!("{what} {field:?} is not a finite non-negative number"),
+        ));
+    }
+    Ok(v)
+}
+
+/// Scales a fractional resource demand to integer units of `cap`,
+/// repairing dirt per `policy`: a zero demand becomes one unit, an
+/// oversized one saturates at the capacity (both only under `Clamp`).
+pub(crate) fn scale_size(
+    frac: f64,
+    cap: u64,
+    policy: DirtyPolicy,
+    line: u64,
+    clamped: &mut u64,
+) -> Result<u64, SourceError> {
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let units = (frac * cap as f64).round() as u64;
+    if units == 0 {
+        return match policy {
+            DirtyPolicy::Reject => Err(SourceError::at_line(
+                line,
+                format!("zero resource demand {frac}"),
+            )),
+            DirtyPolicy::Clamp => {
+                *clamped += 1;
+                Ok(1)
+            }
+        };
+    }
+    if units > cap {
+        return match policy {
+            DirtyPolicy::Reject => Err(SourceError::at_line(
+                line,
+                format!("resource demand {frac} exceeds the capacity"),
+            )),
+            DirtyPolicy::Clamp => {
+                *clamped += 1;
+                Ok(cap)
+            }
+        };
+    }
+    Ok(units)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merger_orders_departures_before_equal_tick_arrivals() {
+        let mut p = Pending::default();
+        let a = p.admit(0, Some(5));
+        assert_eq!(a, 0);
+        // Next arrival is at tick 5: the tick-5 departure comes first.
+        assert_eq!(
+            p.next_ready(Some(5)),
+            Some(LiveOp::Depart { item: 0, time: 5 })
+        );
+        let b = p.admit(5, Some(7));
+        assert_eq!(b, 1);
+        assert_eq!(p.next_ready(Some(6)), None, "tick-7 departure not yet due");
+        assert_eq!(
+            p.drain(),
+            Some((LiveOp::Depart { item: 1, time: 7 }, false))
+        );
+        assert_eq!(p.drain(), None);
+    }
+
+    #[test]
+    fn merger_flushes_open_ended_items_at_the_horizon() {
+        let mut p = Pending::default();
+        let a = p.admit(2, None);
+        let b = p.admit(4, Some(9));
+        let c = p.admit(5, None);
+        assert_eq!(
+            p.drain(),
+            Some((LiveOp::Depart { item: b, time: 9 }, false))
+        );
+        // Horizon = one past the last event (9), open items by index.
+        assert_eq!(
+            p.drain(),
+            Some((LiveOp::Depart { item: a, time: 10 }, true))
+        );
+        assert_eq!(
+            p.drain(),
+            Some((LiveOp::Depart { item: c, time: 10 }, true))
+        );
+        assert_eq!(p.drain(), None);
+    }
+
+    #[test]
+    fn scale_size_repairs_only_under_clamp() {
+        let mut n = 0;
+        assert_eq!(
+            scale_size(0.5, 100, DirtyPolicy::Reject, 1, &mut n).unwrap(),
+            50
+        );
+        assert!(scale_size(0.0, 100, DirtyPolicy::Reject, 1, &mut n).is_err());
+        assert!(scale_size(1.5, 100, DirtyPolicy::Reject, 1, &mut n).is_err());
+        assert_eq!(n, 0);
+        assert_eq!(
+            scale_size(0.0, 100, DirtyPolicy::Clamp, 1, &mut n).unwrap(),
+            1
+        );
+        assert_eq!(
+            scale_size(1.5, 100, DirtyPolicy::Clamp, 1, &mut n).unwrap(),
+            100
+        );
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,441 @@
+//! Synthetic workload generators with cluster-like temporal structure,
+//! exposed as constant-memory [`EventSource`]s.
+//!
+//! Three families, all seed-deterministic:
+//!
+//! * [`HeavyTail`] — Pareto-distributed durations over geometric-ish
+//!   inter-arrival gaps: most items are short, a heavy tail pins bins
+//!   open for a long time. The regime where MinUsageTime policies
+//!   separate (and the shape of real VM lifetimes).
+//! * [`Diurnal`] — arrival rate follows a triangular day/night wave,
+//!   like user-facing cloud load.
+//! * [`Burst`] — periodic equal-tick waves over a trickle: batch-job
+//!   launches, the stress case for equal-tick event ordering.
+//!
+//! Each generator yields arrival-sorted `(arrival, departure, size)`
+//! triples via [`items`](HeavyTail::items) (for trace writers) and a
+//! packed event stream via [`source`](HeavyTail::source), built on the
+//! same `Pending` merger as the file parsers.
+
+use crate::ingest::Pending;
+use dvbp_core::{EventSource, LiveOp, SourceError};
+use dvbp_dimvec::DimVec;
+use dvbp_sim::Time;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// An item emitted by a generator: `(arrival, departure, size)`.
+pub type SynthItem = (Time, Time, DimVec);
+
+/// A boxed, arrival-sorted item iterator — what every generator yields.
+pub type ItemIter = Box<dyn Iterator<Item = SynthItem> + Send>;
+
+/// [`EventSource`] over any arrival-sorted item iterator: merges
+/// departures into the arrival stream with O(active) memory.
+pub struct FeedSource {
+    capacity: DimVec,
+    items: ItemIter,
+    pending: Pending,
+    lookahead: Option<SynthItem>,
+    eof: bool,
+    hint: Option<usize>,
+}
+
+impl FeedSource {
+    /// Wraps an **arrival-sorted** item iterator. `hint` pre-sizes the
+    /// engine's ledger when the item count is known.
+    pub fn new(capacity: DimVec, items: ItemIter, hint: Option<usize>) -> Self {
+        FeedSource {
+            capacity,
+            items,
+            pending: Pending::default(),
+            lookahead: None,
+            eof: false,
+            hint,
+        }
+    }
+}
+
+impl EventSource for FeedSource {
+    fn capacity(&self) -> &DimVec {
+        &self.capacity
+    }
+
+    fn next_event(&mut self) -> Result<Option<LiveOp>, SourceError> {
+        if self.lookahead.is_none() && !self.eof {
+            match self.items.next() {
+                None => self.eof = true,
+                item => self.lookahead = item,
+            }
+        }
+        if let Some(&(arrival, departure, _)) = self.lookahead.as_ref() {
+            if let Some(op) = self.pending.next_ready(Some(arrival)) {
+                return Ok(Some(op));
+            }
+            let (arrival, departure2, size) = self.lookahead.take().expect("checked above");
+            debug_assert!(departure == departure2 && departure > arrival);
+            let item = self.pending.admit(arrival, Some(departure));
+            return Ok(Some(LiveOp::Arrive {
+                item,
+                size,
+                time: arrival,
+            }));
+        }
+        Ok(self.pending.drain().map(|(op, _)| op))
+    }
+
+    fn items_hint(&self) -> Option<usize> {
+        self.hint
+    }
+}
+
+/// Pareto-lifetime workload: `P(duration > t) ∝ t^(-alpha)`.
+#[derive(Clone, Debug)]
+pub struct HeavyTail {
+    /// Number of items to generate.
+    pub items: usize,
+    /// Bin capacity (also bounds per-dimension sizes).
+    pub capacity: DimVec,
+    /// RNG seed; equal seeds give bit-identical streams.
+    pub seed: u64,
+    /// Mean inter-arrival gap in ticks (uniform on `0..=2·mean`).
+    pub mean_gap: u64,
+    /// Pareto shape: smaller = heavier tail. Must be positive.
+    pub alpha: f64,
+    /// Pareto scale `x_m` — the minimum duration, at least 1.
+    pub min_duration: u64,
+    /// Hard cap on durations (keeps the cost horizon bounded).
+    pub max_duration: u64,
+    /// Largest per-dimension demand, as a fraction of the capacity.
+    pub max_size_frac: f64,
+}
+
+impl HeavyTail {
+    /// A reasonable default shape over the given capacity: 1M-scale
+    /// streams stay in tens of megabytes of active state.
+    #[must_use]
+    pub fn new(items: usize, capacity: DimVec, seed: u64) -> Self {
+        HeavyTail {
+            items,
+            capacity,
+            seed,
+            mean_gap: 1,
+            alpha: 1.5,
+            min_duration: 4,
+            max_duration: 20_000,
+            max_size_frac: 0.4,
+        }
+    }
+
+    /// The arrival-sorted item stream.
+    #[must_use]
+    pub fn items(&self) -> ItemIter {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let capacity = self.capacity.clone();
+        let (alpha, x_m, max_dur) = (
+            self.alpha.max(0.05),
+            self.min_duration.max(1),
+            self.max_duration.max(self.min_duration.max(1) + 1),
+        );
+        let max_gap = self.mean_gap * 2;
+        let frac = self.max_size_frac.clamp(0.0, 1.0);
+        let mut clock: Time = 0;
+        let mut left = self.items;
+        Box::new(std::iter::from_fn(move || {
+            if left == 0 {
+                return None;
+            }
+            left -= 1;
+            clock += rng.random_range(0..=max_gap);
+            // Inverse-CDF Pareto draw, capped. `u` is in [0, 1): shift
+            // it off zero to keep the power finite.
+            let u = 1.0 - rng.random_range(0.0..1.0);
+            #[allow(
+                clippy::cast_possible_truncation,
+                clippy::cast_sign_loss,
+                clippy::cast_precision_loss
+            )]
+            let dur = ((x_m as f64) * u.powf(-1.0 / alpha)).ceil() as u64;
+            let dur = dur.clamp(1, max_dur);
+            let size = DimVec::from_fn(capacity.dim(), |j| {
+                let cap = capacity.as_slice()[j];
+                #[allow(
+                    clippy::cast_possible_truncation,
+                    clippy::cast_sign_loss,
+                    clippy::cast_precision_loss
+                )]
+                let hi = ((cap as f64) * frac).floor() as u64;
+                rng.random_range(1..=hi.clamp(1, cap))
+            });
+            Some((clock, clock + dur, size))
+        }))
+    }
+
+    /// The packed event stream.
+    #[must_use]
+    pub fn source(&self) -> FeedSource {
+        FeedSource::new(self.capacity.clone(), self.items(), Some(self.items))
+    }
+}
+
+/// Day/night workload: arrival rate sweeps a triangular wave.
+#[derive(Clone, Debug)]
+pub struct Diurnal {
+    /// Number of items to generate.
+    pub items: usize,
+    /// Bin capacity.
+    pub capacity: DimVec,
+    /// RNG seed.
+    pub seed: u64,
+    /// Wave period in ticks (one "day").
+    pub period: u64,
+    /// Peak arrivals per tick (trough is 0–1).
+    pub peak_rate: u64,
+    /// Duration range in ticks.
+    pub duration: std::ops::RangeInclusive<u64>,
+    /// Largest per-dimension demand, as a fraction of the capacity.
+    pub max_size_frac: f64,
+}
+
+impl Diurnal {
+    /// A default day shape over the given capacity.
+    #[must_use]
+    pub fn new(items: usize, capacity: DimVec, seed: u64) -> Self {
+        Diurnal {
+            items,
+            capacity,
+            seed,
+            period: 288,
+            peak_rate: 8,
+            duration: 6..=400,
+            max_size_frac: 0.35,
+        }
+    }
+
+    /// The arrival-sorted item stream.
+    #[must_use]
+    pub fn items(&self) -> ItemIter {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x7369_6e65_7761_7665);
+        let capacity = self.capacity.clone();
+        let period = self.period.max(2);
+        let peak = self.peak_rate.max(1);
+        let duration = self.duration.clone();
+        let frac = self.max_size_frac.clamp(0.0, 1.0);
+        let mut left = self.items;
+        let mut tick: Time = 0;
+        let mut due_this_tick: u64 = 0;
+        Box::new(std::iter::from_fn(move || {
+            if left == 0 {
+                return None;
+            }
+            while due_this_tick == 0 {
+                tick += 1;
+                // Triangular wave: 0 at phase 0, `peak` at half-period.
+                let phase = tick % period;
+                let tri = if phase < period / 2 {
+                    phase
+                } else {
+                    period - phase
+                };
+                let rate = peak * tri * 2 / period;
+                // Jitter so the wave isn't perfectly deterministic.
+                due_this_tick = rate + u64::from(rng.random_bool(0.3));
+            }
+            due_this_tick -= 1;
+            left -= 1;
+            let dur = rng.random_range(duration.clone()).max(1);
+            let size = DimVec::from_fn(capacity.dim(), |j| {
+                let cap = capacity.as_slice()[j];
+                #[allow(
+                    clippy::cast_possible_truncation,
+                    clippy::cast_sign_loss,
+                    clippy::cast_precision_loss
+                )]
+                let hi = ((cap as f64) * frac).floor() as u64;
+                rng.random_range(1..=hi.clamp(1, cap))
+            });
+            Some((tick, tick + dur, size))
+        }))
+    }
+
+    /// The packed event stream.
+    #[must_use]
+    pub fn source(&self) -> FeedSource {
+        FeedSource::new(self.capacity.clone(), self.items(), Some(self.items))
+    }
+}
+
+/// Burst workload: every `period` ticks a wave of `burst_size` items
+/// lands on the same tick, over a one-per-tick trickle. Stresses
+/// equal-tick ordering (wave departures collide with wave arrivals).
+#[derive(Clone, Debug)]
+pub struct Burst {
+    /// Number of items to generate.
+    pub items: usize,
+    /// Bin capacity.
+    pub capacity: DimVec,
+    /// RNG seed.
+    pub seed: u64,
+    /// Ticks between waves.
+    pub period: u64,
+    /// Items per wave.
+    pub burst_size: u64,
+    /// Duration range; waves often live exactly one period, so wave
+    /// `k`'s departures hit wave `k+1`'s arrival tick.
+    pub duration: std::ops::RangeInclusive<u64>,
+    /// Largest per-dimension demand, as a fraction of the capacity.
+    pub max_size_frac: f64,
+}
+
+impl Burst {
+    /// A default wave shape over the given capacity.
+    #[must_use]
+    pub fn new(items: usize, capacity: DimVec, seed: u64) -> Self {
+        Burst {
+            items,
+            capacity,
+            seed,
+            period: 50,
+            burst_size: 24,
+            duration: 50..=150,
+            max_size_frac: 0.3,
+        }
+    }
+
+    /// The arrival-sorted item stream.
+    #[must_use]
+    pub fn items(&self) -> ItemIter {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x6275_7273_7479_2121);
+        let capacity = self.capacity.clone();
+        let period = self.period.max(1);
+        let burst = self.burst_size.max(1);
+        let duration = self.duration.clone();
+        let frac = self.max_size_frac.clamp(0.0, 1.0);
+        let mut left = self.items;
+        let mut tick: Time = 0;
+        let mut wave_left: u64 = 0;
+        Box::new(std::iter::from_fn(move || {
+            if left == 0 {
+                return None;
+            }
+            left -= 1;
+            if wave_left == 0 {
+                tick += 1;
+                if tick.is_multiple_of(period) {
+                    wave_left = burst;
+                }
+            } else {
+                wave_left -= 1;
+            }
+            // Half the waves live exactly one period — the equal-tick
+            // collision case — the rest draw from the range.
+            let dur = if rng.random_bool(0.5) {
+                period
+            } else {
+                rng.random_range(duration.clone()).max(1)
+            };
+            let size = DimVec::from_fn(capacity.dim(), |j| {
+                let cap = capacity.as_slice()[j];
+                #[allow(
+                    clippy::cast_possible_truncation,
+                    clippy::cast_sign_loss,
+                    clippy::cast_precision_loss
+                )]
+                let hi = ((cap as f64) * frac).floor() as u64;
+                rng.random_range(1..=hi.clamp(1, cap))
+            });
+            Some((tick, tick + dur, size))
+        }))
+    }
+
+    /// The packed event stream.
+    #[must_use]
+    pub fn source(&self) -> FeedSource {
+        FeedSource::new(self.capacity.clone(), self.items(), Some(self.items))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(mut s: FeedSource) -> Vec<LiveOp> {
+        let mut ops = Vec::new();
+        while let Some(op) = s.next_event().unwrap() {
+            ops.push(op);
+        }
+        ops
+    }
+
+    fn check_canonical(ops: &[LiveOp], expected_items: usize) {
+        let mut arrivals = 0;
+        let mut departures = 0;
+        let mut now = 0;
+        let mut arrived_this_tick = false;
+        for op in ops {
+            match *op {
+                LiveOp::Arrive { time, .. } => {
+                    assert!(time >= now, "arrivals go backwards");
+                    now = time;
+                    arrived_this_tick = true;
+                    arrivals += 1;
+                }
+                LiveOp::Depart { time, .. } => {
+                    assert!(time >= now, "departures go backwards");
+                    assert!(
+                        !(time == now && arrived_this_tick),
+                        "departure after an arrival at tick {time}"
+                    );
+                    if time > now {
+                        arrived_this_tick = false;
+                    }
+                    now = time;
+                    departures += 1;
+                }
+            }
+        }
+        assert_eq!(arrivals, expected_items);
+        assert_eq!(departures, expected_items);
+    }
+
+    #[test]
+    fn heavy_tail_streams_are_canonical_and_seeded() {
+        let gen = HeavyTail::new(500, DimVec::from_slice(&[100, 100]), 42);
+        let ops = drain(gen.source());
+        check_canonical(&ops, 500);
+        assert_eq!(ops, drain(gen.source()), "same seed, same stream");
+        let other = HeavyTail::new(500, DimVec::from_slice(&[100, 100]), 43);
+        assert_ne!(ops, drain(other.source()), "different seed differs");
+    }
+
+    #[test]
+    fn heavy_tail_durations_actually_have_a_tail() {
+        let gen = HeavyTail::new(2000, DimVec::scalar(100), 7);
+        let durs: Vec<u64> = gen.items().map(|(a, e, _)| e - a).collect();
+        let long = durs.iter().filter(|&&d| d >= 100).count();
+        let short = durs.iter().filter(|&&d| d <= 10).count();
+        assert!(short > durs.len() / 2, "most items are short");
+        assert!(long > 10, "but a real tail of long-lived items exists");
+    }
+
+    #[test]
+    fn diurnal_streams_are_canonical() {
+        let gen = Diurnal::new(800, DimVec::from_slice(&[100, 100]), 11);
+        check_canonical(&drain(gen.source()), 800);
+    }
+
+    #[test]
+    fn burst_streams_are_canonical_with_equal_tick_waves() {
+        let gen = Burst::new(600, DimVec::from_slice(&[100, 100]), 3);
+        let ops = drain(gen.source());
+        check_canonical(&ops, 600);
+        // Waves exist: some tick hosts many arrivals.
+        let mut per_tick = std::collections::HashMap::new();
+        for op in &ops {
+            if let LiveOp::Arrive { time, .. } = op {
+                *per_tick.entry(*time).or_insert(0u64) += 1;
+            }
+        }
+        assert!(per_tick.values().any(|&n| n >= 10), "no burst wave found");
+    }
+}

@@ -1,0 +1,165 @@
+//! The committed fixture subsets (documented miniatures of the public
+//! Azure and Google traces) parse, pack, and report the exact dirt
+//! they were built to contain.
+
+use dvbp_core::{BinId, PackRequest, PolicyKind, StreamingLowerBound, Tap};
+use dvbp_traces::{DirtyPolicy, OpenOptions, TraceFormat, TraceSource};
+use std::path::Path;
+
+fn fixture(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn open(
+    format: TraceFormat,
+    name: &str,
+    dirty: DirtyPolicy,
+) -> Result<Box<dyn TraceSource + Send>, dvbp_core::SourceError> {
+    let options = OpenOptions {
+        dirty,
+        ..OpenOptions::default()
+    };
+    format.open_path(&fixture(name), &options)
+}
+
+/// Streams a fixture through every paper policy; every item must be
+/// placed (assignment complete), at least one bin opened, and the cost
+/// must sit at or above the streamed Lemma 1 lower bound.
+fn pack_fixture(format: TraceFormat, name: &str, dirty: DirtyPolicy) {
+    for kind in PolicyKind::paper_suite(17) {
+        let mut source = open(format, name, dirty).unwrap();
+        let mut lb = StreamingLowerBound::new(source.capacity());
+        let mut tapped = Tap::new(&mut *source, |op| lb.observe(op));
+        let packing = PackRequest::new(kind.clone())
+            .run_source(&mut tapped)
+            .unwrap_or_else(|e| panic!("{format}/{}: {e}", kind.name()));
+        assert!(packing.num_bins() > 0, "{format}/{}", kind.name());
+        assert!(
+            !packing.assignment.is_empty()
+                && packing.assignment.iter().all(|&b| b != BinId(usize::MAX)),
+            "{format}/{}: unplaced items",
+            kind.name()
+        );
+        assert!(
+            packing.cost() >= lb.value(),
+            "{format}/{}: cost below the load lower bound",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn azure_subset_packs_under_every_policy() {
+    pack_fixture(TraceFormat::Azure, "azure_subset.csv", DirtyPolicy::Reject);
+}
+
+#[test]
+fn google_subset_packs_under_every_policy() {
+    pack_fixture(
+        TraceFormat::Google,
+        "google_subset.csv",
+        DirtyPolicy::Reject,
+    );
+}
+
+#[test]
+fn azure_subset_ingests_cleanly() {
+    let mut source = open(TraceFormat::Azure, "azure_subset.csv", DirtyPolicy::Reject).unwrap();
+    while source.next_event().unwrap().is_some() {}
+    let st = source.stats();
+    assert_eq!(st.rows, 30);
+    assert_eq!(st.items, 30);
+    assert_eq!(st.closed_at_horizon, 1, "vm17 has no endtime");
+    assert_eq!(
+        (
+            st.clamped_durations,
+            st.clamped_times,
+            st.clamped_sizes,
+            st.dropped_duplicates,
+            st.skipped_rows
+        ),
+        (0, 0, 0, 0, 0),
+        "the clean subset needs no repairs"
+    );
+}
+
+#[test]
+fn google_subset_ingests_cleanly() {
+    let mut source = open(
+        TraceFormat::Google,
+        "google_subset.csv",
+        DirtyPolicy::Reject,
+    )
+    .unwrap();
+    while source.next_event().unwrap().is_some() {}
+    let st = source.stats();
+    assert_eq!(st.rows, 15);
+    assert_eq!(st.items, 6, "five tasks, one slot re-scheduled after EVICT");
+    assert_eq!(st.closed_at_horizon, 1, "j102/0 outlives the window");
+    assert_eq!(
+        st.skipped_rows, 4,
+        "three SUBMITs plus the out-of-window j999/9 KILL"
+    );
+    assert_eq!(
+        (
+            st.clamped_durations,
+            st.clamped_times,
+            st.clamped_sizes,
+            st.dropped_duplicates
+        ),
+        (0, 0, 0, 0)
+    );
+}
+
+#[test]
+fn dirty_fixtures_reject_by_default() {
+    for (format, name) in [
+        (TraceFormat::Azure, "azure_dirty.csv"),
+        (TraceFormat::Google, "google_dirty.csv"),
+    ] {
+        let mut source = open(format, name, DirtyPolicy::Reject).unwrap();
+        let err = loop {
+            match source.next_event() {
+                Err(e) => break e,
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("{name} must not parse cleanly"),
+            }
+        };
+        assert!(err.to_string().starts_with("line "), "{name}: {err}");
+    }
+}
+
+#[test]
+fn azure_dirty_fixture_is_repaired_with_full_accounting() {
+    let mut source = open(TraceFormat::Azure, "azure_dirty.csv", DirtyPolicy::Clamp).unwrap();
+    while source.next_event().unwrap().is_some() {}
+    let st = source.stats();
+    assert_eq!(st.rows, 7);
+    assert_eq!(st.items, 6);
+    assert_eq!(st.clamped_durations, 1, "vm91 zero duration");
+    assert_eq!(st.clamped_times, 1, "vm92 backwards start");
+    assert_eq!(st.clamped_sizes, 1, "vm93 1.5-server demand");
+    assert_eq!(st.dropped_duplicates, 1, "second vm94 while live");
+}
+
+#[test]
+fn google_dirty_fixture_is_repaired_with_full_accounting() {
+    let mut source = open(TraceFormat::Google, "google_dirty.csv", DirtyPolicy::Clamp).unwrap();
+    while source.next_event().unwrap().is_some() {}
+    let st = source.stats();
+    assert_eq!(st.rows, 9);
+    assert_eq!(st.items, 4);
+    assert_eq!(st.clamped_sizes, 1, "j201/0 empty ram request");
+    assert_eq!(st.clamped_times, 1, "j202/0 backwards timestamp");
+    assert_eq!(st.clamped_durations, 1, "j203/0 same-microsecond kill");
+    assert_eq!(st.dropped_duplicates, 1, "j200/0 re-scheduled while live");
+    assert_eq!(st.closed_at_horizon, 0, "every admitted task departs");
+}
+
+#[test]
+fn dirty_fixtures_still_pack_under_clamp() {
+    pack_fixture(TraceFormat::Azure, "azure_dirty.csv", DirtyPolicy::Clamp);
+    pack_fixture(TraceFormat::Google, "google_dirty.csv", DirtyPolicy::Clamp);
+}

@@ -1,0 +1,92 @@
+//! The constant-memory claim, made falsifiable: replaying a large
+//! synthetic trace through the streaming path must allocate a small
+//! fraction of what the materialized path does, and stay under an
+//! absolute live-bytes ceiling that does not scale with trace length
+//! (beyond the engine's flat 2-word-per-item assignment ledger).
+//!
+//! Uses a counting `#[global_allocator]`, so this file holds exactly
+//! one `#[test]` — a second test in the same binary would race the
+//! peak counter.
+
+use dvbp_core::{Instance, Item, PackRequest, PolicyKind, TraceMode};
+use dvbp_dimvec::DimVec;
+use dvbp_traces::HeavyTail;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::SeqCst) + layout.size();
+            PEAK.fetch_max(live, Ordering::SeqCst);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(p, layout) };
+        LIVE.fetch_sub(layout.size(), Ordering::SeqCst);
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Peak live heap bytes above the starting level while `f` runs.
+fn peak_during(f: impl FnOnce()) -> usize {
+    let base = LIVE.load(Ordering::SeqCst);
+    PEAK.store(base, Ordering::SeqCst);
+    f();
+    PEAK.load(Ordering::SeqCst).saturating_sub(base)
+}
+
+#[test]
+fn streamed_replay_is_a_fraction_of_materialized_memory() {
+    const N: usize = 150_000;
+    let capacity = DimVec::from_slice(&[100, 100]);
+    let gen = HeavyTail::new(N, capacity.clone(), 31);
+
+    let mut streamed_cost = 0;
+    let streamed_peak = peak_during(|| {
+        let packing = PackRequest::new(PolicyKind::FirstFit)
+            .trace_mode(TraceMode::CostOnly)
+            .run_source(&mut gen.source())
+            .unwrap();
+        streamed_cost = packing.cost();
+    });
+
+    let mut batch_cost = 0;
+    let batch_peak = peak_during(|| {
+        let items: Vec<Item> = gen
+            .items()
+            .map(|(a, e, size)| Item::new(size, a, e))
+            .collect();
+        let inst = Instance::new(capacity.clone(), items).unwrap();
+        let packing = PackRequest::new(PolicyKind::FirstFit)
+            .trace_mode(TraceMode::CostOnly)
+            .run(&inst)
+            .unwrap();
+        batch_cost = packing.cost();
+    });
+
+    assert_eq!(streamed_cost, batch_cost, "same placements either way");
+    eprintln!("peak heap: streamed {streamed_peak} B, materialized {batch_peak} B");
+    assert!(
+        streamed_peak * 2 <= batch_peak,
+        "streaming must use at most half the materialized peak \
+         (streamed {streamed_peak} B vs materialized {batch_peak} B)"
+    );
+    // Absolute ceiling: the ledger is 16 B/item plus O(active) state —
+    // far under this bound, which a materialized 150k-item run breaks.
+    let ceiling = 24 << 20;
+    assert!(
+        streamed_peak < ceiling,
+        "streamed peak {streamed_peak} B exceeds the {ceiling} B ceiling"
+    );
+}

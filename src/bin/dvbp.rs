@@ -4,6 +4,8 @@
 //! dvbp gen    --d 2 --n 200 --mu 50 --span 500 --bin 100 --seed 7 --out trace.json
 //! dvbp run    --trace trace.json --policy MoveToFront [--billing 60] [--out report.json]
 //!             [--events events.jsonl]        # provenance event stream
+//! dvbp run    --stream vms.csv --format azure --policy FirstFit
+//!             [--cap 100,100] [--dirty clamp] [--max-rss-kb 524288]
 //! dvbp explain --events events.jsonl [--item N] [--run K]
 //! dvbp bounds --trace trace.json
 //! dvbp compare --trace trace.json            # all paper algorithms side by side
@@ -11,16 +13,22 @@
 //!
 //! Trace files are JSON `Instance` documents (see `dvbp::tracefile`);
 //! event files are `dvbp-obs` JSONL streams with `Probe`/`Decision`
-//! provenance records.
+//! provenance records. `run --stream` replays a cluster trace file
+//! (Azure packing, Google `task_events`, or the native CSV) through the
+//! constant-memory streaming path: the trace is never materialized, the
+//! Lemma 1 lower bound comes from a streamed tap, and `--max-rss-kb`
+//! makes the memory claim an exit-code assertion.
 
 use dvbp::obs::{JsonlEmitter, ObsEvent, WithProvenance};
 use dvbp::tracefile::{load_instance, run_report, save_instance};
+use dvbp::traces::{DirtyPolicy, IngestStats, OpenOptions, TraceFormat};
 use dvbp::workloads::UniformParams;
-use dvbp::{BillingModel, PackRequest, PolicyKind};
+use dvbp::{BillingModel, DimVec, PackRequest, PolicyKind, StreamingLowerBound, Tap, TraceMode};
 use std::io::BufWriter;
 use std::path::Path;
 use std::process::ExitCode;
 use std::str::FromStr;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,6 +66,9 @@ USAGE:
   dvbp gen     --d D --n N --mu MU --span T --bin B --seed S --out FILE
   dvbp run     --trace FILE --policy NAME [--billing TICKS] [--out FILE]
                [--events FILE.jsonl]
+  dvbp run     --stream FILE --format azure|google|csv --policy NAME
+               [--cap C1,C2,...] [--dirty reject|clamp] [--ticks-per-day N]
+               [--billing TICKS] [--out FILE] [--max-rss-kb KB]
   dvbp explain --events FILE.jsonl [--item N] [--run K]
   dvbp bounds  --trace FILE
   dvbp compare --trace FILE [--billing TICKS]
@@ -122,7 +133,12 @@ fn billing_from(args: &[String]) -> Result<BillingModel, String> {
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let trace = required(args, "--trace")?;
+    let trace = match (flag(args, "--trace"), flag(args, "--stream")) {
+        (Some(_), Some(_)) => return Err("--trace and --stream are mutually exclusive".into()),
+        (Some(trace), None) => trace,
+        (None, Some(stream)) => return cmd_run_stream(args, &stream),
+        (None, None) => return Err("run needs --trace FILE or --stream FILE --format ...".into()),
+    };
     let policy = PolicyKind::from_str(&required(args, "--policy")?).map_err(|e| e.to_string())?;
     let billing = billing_from(args)?;
     let instance = load_instance(Path::new(&trace))?;
@@ -145,6 +161,161 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(events) = flag(args, "--events") {
         let lines = emit_provenance(&instance, &policy, Path::new(&events))?;
         println!("wrote {events} ({lines} events — inspect with `dvbp explain`)");
+    }
+    Ok(())
+}
+
+/// The JSON report `run --stream --out` writes.
+#[derive(serde::Serialize)]
+struct StreamReport {
+    schema: String,
+    trace: String,
+    format: String,
+    policy: String,
+    capacity: Vec<u64>,
+    ingest: IngestStats,
+    bins: usize,
+    peak_bins: usize,
+    cost: u128,
+    billed_cost: u128,
+    lower_bound: u128,
+    ratio: f64,
+    events_per_sec: f64,
+    seconds: f64,
+    peak_rss_kb: u64,
+}
+
+/// Peak resident set of this process from `/proc/self/status` (kB);
+/// zero when unavailable (non-Linux), which skips the ceiling check.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|l| l.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn parse_cap_spec(spec: &str) -> Result<DimVec, String> {
+    let units = spec
+        .split(',')
+        .map(|c| {
+            c.trim()
+                .parse::<u64>()
+                .map_err(|e| format!("--cap {c}: {e}"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if units.is_empty() || units.contains(&0) {
+        return Err(format!("--cap {spec}: need positive units per dimension"));
+    }
+    Ok(DimVec::from_slice(&units))
+}
+
+/// `run --stream`: replays a cluster trace file through the
+/// constant-memory streaming path. The engine consumes the parser's
+/// event stream directly (CostOnly mode — bit-identical placement to a
+/// Full run) with the Lemma 1 lower bound folded by a streamed tap, so
+/// memory stays O(active items + open bins) regardless of trace length.
+fn cmd_run_stream(args: &[String], stream: &str) -> Result<(), String> {
+    let policy = PolicyKind::from_str(&required(args, "--policy")?).map_err(|e| e.to_string())?;
+    let billing = billing_from(args)?;
+    let format: TraceFormat = flag(args, "--format")
+        .ok_or("--stream requires --format azure|google|csv")?
+        .parse()?;
+    let options = OpenOptions {
+        capacity: match flag(args, "--cap") {
+            None => None,
+            Some(spec) => Some(parse_cap_spec(&spec)?),
+        },
+        ticks_per_day: parse(args, "--ticks-per-day", 288u64)?,
+        dirty: parse(args, "--dirty", DirtyPolicy::Reject)?,
+    };
+
+    let t0 = Instant::now();
+    let mut source = format
+        .open_path(Path::new(stream), &options)
+        .map_err(|e| format!("{stream}: {e}"))?;
+    let capacity = source.capacity().as_slice().to_vec();
+    let mut lb = StreamingLowerBound::new(source.capacity());
+    let mut tapped = Tap::new(&mut *source, |op| lb.observe(op));
+    let packing = PackRequest::new(policy.clone())
+        .trace_mode(TraceMode::CostOnly)
+        .run_source(&mut tapped)
+        .map_err(|e| format!("{stream}: {e}"))?;
+    let seconds = t0.elapsed().as_secs_f64();
+
+    let ingest = source.stats();
+    let cost = packing.cost();
+    let lower_bound = lb.value();
+    #[allow(clippy::cast_precision_loss)]
+    let ratio = if lower_bound == 0 {
+        1.0
+    } else {
+        cost as f64 / lower_bound as f64
+    };
+    // Every streamed item is one arrival plus one departure event.
+    #[allow(clippy::cast_precision_loss)]
+    let events_per_sec = ((2 * ingest.items) as f64) / seconds.max(1e-9);
+    let peak = peak_rss_kb();
+
+    println!(
+        "{}: streamed {} ({format}): {} item(s), {} bins (peak {}), cost {} (billed {}), \
+         LB {}, ratio {:.3}",
+        policy.name(),
+        stream,
+        ingest.items,
+        packing.num_bins(),
+        packing.max_concurrent_bins(),
+        cost,
+        billing.cost(&packing),
+        lower_bound,
+        ratio,
+    );
+    println!(
+        "  {:.0} events/s over {seconds:.2}s, peak RSS {peak} kB, \
+         {} row(s) skipped, {} duplicate(s) dropped, {} clamp repair(s)",
+        events_per_sec,
+        ingest.skipped_rows,
+        ingest.dropped_duplicates,
+        ingest.clamped_durations + ingest.clamped_times + ingest.clamped_sizes,
+    );
+
+    if let Some(out) = flag(args, "--out") {
+        let report = StreamReport {
+            schema: "dvbp-run-stream/1".to_string(),
+            trace: stream.to_string(),
+            format: format.to_string(),
+            policy: policy.name(),
+            capacity,
+            ingest,
+            bins: packing.num_bins(),
+            peak_bins: packing.max_concurrent_bins(),
+            cost,
+            billed_cost: billing.cost(&packing),
+            lower_bound,
+            ratio,
+            events_per_sec,
+            seconds,
+            peak_rss_kb: peak,
+        };
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(&out, json + "\n").map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+
+    if let Some(limit) = flag(args, "--max-rss-kb") {
+        let limit: u64 = limit
+            .parse()
+            .map_err(|e| format!("--max-rss-kb {limit}: {e}"))?;
+        if peak > limit {
+            return Err(format!(
+                "peak RSS {peak} kB exceeds the {limit} kB ceiling — \
+                 the streamed replay is not constant-memory"
+            ));
+        }
+        println!("  RSS ceiling ok: {peak} kB <= {limit} kB");
     }
     Ok(())
 }

@@ -48,6 +48,7 @@
 //! | [`workloads`] | `dvbp-workloads` | uniform + adversarial generators |
 //! | [`analysis`] | `dvbp-analysis` | decompositions, stats, reports |
 //! | [`parallel`] | `dvbp-parallel` | deterministic trial runner |
+//! | [`traces`] | `dvbp-traces` | streaming cluster-trace ingestion |
 
 pub mod tracefile;
 
@@ -57,6 +58,9 @@ pub use dvbp_core::{
     BillingModel, BinId, BinUsage, Decision, Engine, EngineView, FitIndex, Instance, InstanceError,
     Item, LoadMeasure, NoopObserver, Observer, PackError, PackRequest, Packing, Policy, PolicyKind,
     TraceEvent, TraceMode,
+};
+pub use dvbp_core::{
+    EventSource, InstanceSource, LiveOp, SourceError, StreamError, StreamingLowerBound, Tap,
 };
 pub use dvbp_dimvec::DimVec;
 
@@ -106,4 +110,10 @@ pub mod analysis {
 /// Deterministic parallel trial running.
 pub mod parallel {
     pub use dvbp_parallel::*;
+}
+
+/// Streaming trace ingestion: Azure/Google cluster-trace parsers, the
+/// native CSV stream, and constant-memory synthetic generators.
+pub mod traces {
+    pub use dvbp_traces::*;
 }

@@ -181,5 +181,7 @@ fn import_rejects_malformed_csv() {
         .output()
         .unwrap();
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid trace"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("exceeds the capacity"), "{stderr}");
+    assert!(stderr.contains("line 1"), "{stderr}");
 }
