@@ -72,51 +72,67 @@ struct Report {
     entries: Vec<Entry>,
 }
 
-/// `(policy, variant)` rows of the grid, three variants per Any-Fit
+/// `(policy, variant)` rows of the grid, four variants per Any-Fit
 /// policy:
 ///
 /// * `seed` — the seed engine's packing loop and O(m·d) scanning
 ///   selection, preserved verbatim in [`dvbp_bench::seed_engine`]. This is
 ///   the "before" of the before/after comparison.
-/// * `scan` — the same O(m·d) selection running inside the optimized
-///   engine (isolates selection cost from engine-loop cost).
+/// * `scalar` — the same O(m·d) per-bin selection loop running inside
+///   the optimized engine (isolates selection cost from engine-loop
+///   cost). The before-side of the simd-vs-scalar ablation.
+/// * `simd` — the vectorized block scan over the engine's SoA residual
+///   mirror (8 bins per mask step). Same asymptotics as `scalar`,
+///   lane-parallel constants.
 /// * `indexed` — fit-index candidate enumeration in the optimized engine.
 ///
-/// All three produce identical placements; only the per-arrival cost
+/// All four produce identical placements; only the per-arrival cost
 /// differs.
-const POLICIES: [(&str, &str); 14] = [
+const POLICIES: [(&str, &str); 18] = [
     ("FirstFit", "indexed"),
-    ("FirstFit", "scan"),
+    ("FirstFit", "simd"),
+    ("FirstFit", "scalar"),
     ("FirstFit", "seed"),
     ("BestFit", "indexed"),
-    ("BestFit", "scan"),
+    ("BestFit", "simd"),
+    ("BestFit", "scalar"),
     ("BestFit", "seed"),
     ("WorstFit", "indexed"),
-    ("WorstFit", "scan"),
+    ("WorstFit", "simd"),
+    ("WorstFit", "scalar"),
     ("WorstFit", "seed"),
     ("LastFit", "indexed"),
-    ("LastFit", "scan"),
+    ("LastFit", "simd"),
+    ("LastFit", "scalar"),
     ("LastFit", "seed"),
     ("NextFit", "-"),
     ("MoveToFront", "-"),
 ];
 
 /// `(d, n, mu)` grid points. `mu = n / 2` keeps thousands of bins
-/// concurrently open (the regime the fit index targets); the small-μ
-/// points pin down the small-m overhead.
-const FULL_GRID: [(usize, usize, u64); 5] = [
+/// concurrently open (the regime the fit index and the block scan
+/// target); the small-μ points pin down the small-m overhead. The
+/// `d ∈ {4, 8}` points hold hundreds-to-thousands of bins open at
+/// power-of-two dimension counts — the simd-vs-scalar ablation's
+/// headline rows.
+const FULL_GRID: [(usize, usize, u64); 7] = [
     (1, 2000, 60),
     (2, 2000, 60),
     (2, 8000, 4000),
+    (4, 2000, 1000),
     (5, 2000, 1000),
+    (8, 4000, 2000),
     (9, 2000, 500),
 ];
 
-/// Smoke grid: the `n ≤ 2000` subset of [`FULL_GRID`], so every smoke key
-/// exists in a committed full-scale artifact.
-const SMOKE_GRID: [(usize, usize, u64); 4] = [
+/// Smoke grid: a subset of [`FULL_GRID`] (every smoke key exists in a
+/// committed full-scale artifact), capped at `n ≤ 2000` to keep the CI
+/// job fast. Includes the `d = 4` ablation point so the smoke gate
+/// covers the vectorized kernel.
+const SMOKE_GRID: [(usize, usize, u64); 5] = [
     (1, 2000, 60),
     (2, 2000, 60),
+    (4, 2000, 1000),
     (5, 2000, 1000),
     (9, 2000, 500),
 ];
@@ -136,13 +152,17 @@ fn seed_select(policy: &str) -> SeedSelect {
 fn build_policy(policy: &str, variant: &str) -> Box<dyn Policy> {
     match (policy, variant) {
         ("FirstFit", "indexed") => Box::new(FirstFit::new()),
-        ("FirstFit", "scan") => Box::new(FirstFit::scanning()),
+        ("FirstFit", "simd") => Box::new(FirstFit::scanning()),
+        ("FirstFit", "scalar") => Box::new(FirstFit::scanning_scalar()),
         ("BestFit", "indexed") => Box::new(BestFit::new(LoadMeasure::Linf)),
-        ("BestFit", "scan") => Box::new(BestFit::scanning(LoadMeasure::Linf)),
+        ("BestFit", "simd") => Box::new(BestFit::scanning(LoadMeasure::Linf)),
+        ("BestFit", "scalar") => Box::new(BestFit::scanning_scalar(LoadMeasure::Linf)),
         ("WorstFit", "indexed") => Box::new(WorstFit::new(LoadMeasure::Linf)),
-        ("WorstFit", "scan") => Box::new(WorstFit::scanning(LoadMeasure::Linf)),
+        ("WorstFit", "simd") => Box::new(WorstFit::scanning(LoadMeasure::Linf)),
+        ("WorstFit", "scalar") => Box::new(WorstFit::scanning_scalar(LoadMeasure::Linf)),
         ("LastFit", "indexed") => Box::new(LastFit::new()),
-        ("LastFit", "scan") => Box::new(LastFit::scanning()),
+        ("LastFit", "simd") => Box::new(LastFit::scanning()),
+        ("LastFit", "scalar") => Box::new(LastFit::scanning_scalar()),
         ("NextFit", _) => PolicyKind::NextFit.build(),
         ("MoveToFront", _) => PolicyKind::MoveToFront.build(),
         other => panic!("unknown policy row {other:?}"),

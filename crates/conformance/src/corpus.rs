@@ -214,6 +214,44 @@ fn high_churn_with_dim(d: usize) -> Instance {
         .expect("some seed in 0..256 draws each dimensionality")
 }
 
+/// A committed wide-dim draw at `d = 16`: blocker waves whose open-bin
+/// count straddles the block scan's lane boundaries, so the remainder
+/// lanes and padding sentinels of the vectorized kernel decide the
+/// light items' placements.
+fn widedim_remainder_d16() -> Instance {
+    (0..256u64)
+        .map(|s| crate::fuzz::generate(crate::fuzz::Family::WideDim, s))
+        .find(|i| i.dim() == 16)
+        .expect("some wide-dim seed in 0..256 draws d = 16")
+}
+
+/// Ramps ~260 concurrent 12-dimensional blockers — through every block
+/// of the SoA mirror's doubling growth and across the hybrid's d ≥ 10
+/// scan-vs-index crossover (256 open bins) — then packs light items via
+/// the indexed path and drains everything. Placements before and after
+/// the crossover must agree bit for bit with the scalar reference.
+fn widedim_crossover_d12() -> Instance {
+    let d = 12;
+    let blockers = 260u64;
+    let mut items = Vec::new();
+    // Each blocker is over half the bin in every dimension, so no two
+    // share: open-bin count climbs 1, 2, ..., 260 and holds.
+    for i in 0..blockers {
+        items.push(Item::new(DimVec::splat(d, 6), i, blockers + 40));
+    }
+    // Light items arriving above the crossover: the fit index (latched
+    // live mid-run) and the residual mirror must agree on the earliest
+    // feasible bin.
+    for i in 0..12u64 {
+        items.push(Item::new(
+            DimVec::splat(d, 2),
+            blockers + 1 + i,
+            blockers + 30,
+        ));
+    }
+    Instance::new(DimVec::splat(d, 10), items).expect("crossover instance valid")
+}
+
 /// Every committed seed entry as `(file_stem, instance)`, with exact
 /// duration announcements so the clairvoyant policies join the replay.
 #[must_use]
@@ -256,6 +294,8 @@ pub fn seed_corpus() -> Vec<(&'static str, Instance)> {
         ("fitindex-growth-close-2d", fitindex_growth_close_2d()),
         ("reopen-gap-d9", reopen_gap_d9()),
         ("highchurn-blockers-d8", high_churn_with_dim(8)),
+        ("widedim-remainder-d16", widedim_remainder_d16()),
+        ("widedim-crossover-d12", widedim_crossover_d12()),
         ("crash-wal-lone-depart", crash_wal_lone_depart()),
         ("crash-wal-openclose-churn", crash_wal_openclose_churn()),
         ("crash-wal-equal-tick-resume", crash_wal_equal_tick_resume()),
@@ -321,5 +361,26 @@ mod tests {
     #[test]
     fn committed_high_churn_draw_is_really_d8() {
         assert_eq!(high_churn_with_dim(8).dim(), 8);
+    }
+
+    #[test]
+    fn committed_widedim_draw_is_really_d16() {
+        assert_eq!(widedim_remainder_d16().dim(), 16);
+    }
+
+    #[test]
+    fn widedim_crossover_really_crosses_the_hybrid_latch() {
+        let inst = widedim_crossover_d12();
+        assert_eq!(inst.dim(), 12);
+        let p = PackRequest::new(dvbp_core::PolicyKind::FirstFit)
+            .run(&inst)
+            .unwrap();
+        // 260 mutually exclusive blockers: the open-bin count must pass
+        // the d ≥ 10 scan-vs-index crossover (256) while they overlap.
+        assert!(
+            p.max_concurrent_bins() >= 260,
+            "{}",
+            p.max_concurrent_bins()
+        );
     }
 }

@@ -21,7 +21,13 @@
 //!   landing exactly on the previous wave's departure tick. Almost every
 //!   placement is decided by the equal-tick rules (departures first,
 //!   then item order), the edge where the live clamp semantics and the
-//!   batch simulator must agree.
+//!   batch simulator must agree;
+//! * **wide-dim** — `d ∈ {3, 7, 8, 12, 16}` blocker waves whose
+//!   steady-state open-bin count straddles a lane boundary of the
+//!   vectorized block scan (`LANES ± 1`, `2·LANES − 1`), so the mask
+//!   kernel's remainder lanes and padding sentinels decide placements;
+//!   light items then have to land in whatever residual the masks
+//!   report feasible.
 //!
 //! Every instance is derived deterministically from its `(family, seed)`
 //! pair, so a reported failure is reproducible from its seed alone even
@@ -31,7 +37,7 @@
 
 use crate::diff::{self, Divergence};
 use crate::shrink;
-use dvbp_core::{Instance, Item};
+use dvbp_core::{Instance, Item, LANES};
 use dvbp_dimvec::DimVec;
 use dvbp_workloads::adversarial::{AnyFitLb, MtfLb, NextFitLb};
 use dvbp_workloads::extended::{ArrivalDist, DurationDist, ExtendedParams, SizeDist};
@@ -53,6 +59,9 @@ pub enum Family {
     HighChurn,
     /// One-tick stays colliding with departures at every tick.
     EqualTick,
+    /// High-dimensional blocker waves straddling block-scan lane
+    /// boundaries, `d ∈ {3, 7, 8, 12, 16}`.
+    WideDim,
 }
 
 impl Family {
@@ -65,17 +74,19 @@ impl Family {
             Family::Extended => "extended",
             Family::HighChurn => "highchurn",
             Family::EqualTick => "equaltick",
+            Family::WideDim => "widedim",
         }
     }
 }
 
 /// All families, in fuzzing order.
-pub const FAMILIES: [Family; 5] = [
+pub const FAMILIES: [Family; 6] = [
     Family::Uniform,
     Family::Adversarial,
     Family::Extended,
     Family::HighChurn,
     Family::EqualTick,
+    Family::WideDim,
 ];
 
 /// Small randomized base parameters shared by the uniform and extended
@@ -203,6 +214,40 @@ pub fn generate(family: Family, seed: u64) -> Instance {
                 }
             }
             Instance::new(DimVec::splat(dims, cap), items).expect("equal-tick instance valid")
+        }
+        Family::WideDim => {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x94d0_49bb_1331_11eb));
+            let dims = [3usize, 7, 8, 12, 16][rng.random_range(0..5usize)];
+            let cap = 10u64;
+            // Steady-state open-bin targets straddling the kernel's lane
+            // boundaries: remainder lanes (below), exact blocks, and the
+            // first lane of a second block.
+            let target = [LANES - 1, LANES, LANES + 1, 2 * LANES - 1][rng.random_range(0..4usize)];
+            let mut items = Vec::new();
+            let mut t = 0u64;
+            for _ in 0..2 {
+                // One blocker per bin (over half the bin in every
+                // dimension), arrivals staggered so the open count walks
+                // through the lane boundary one bin at a time.
+                for b in 0..target {
+                    let a = t + (b as u64 % 3);
+                    let dur = rng.random_range(4..=8u64);
+                    let size = DimVec::from_fn(dims, |_| rng.random_range(6..=cap));
+                    items.push(Item::new(size, a, a + dur));
+                }
+                // Light items that must land in whatever remainder the
+                // mask kernel reports feasible (if any).
+                for _ in 0..rng.random_range(2..=5usize) {
+                    let a = t + rng.random_range(0..=4u64);
+                    let dur = rng.random_range(1..=4u64);
+                    let size = DimVec::from_fn(dims, |_| rng.random_range(1..=4u64));
+                    items.push(Item::new(size, a, a + dur));
+                }
+                // Last arrival t+4, last departure t+12; the gap closes
+                // every bin before the next wave.
+                t += 14;
+            }
+            Instance::new(DimVec::splat(dims, cap), items).expect("wide-dim instance valid")
         }
     };
     announce_exact(&inst)

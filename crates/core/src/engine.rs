@@ -28,7 +28,9 @@
 //! read [`Packing::cost`].
 
 use crate::bin::{BinId, BinUsage};
+use crate::block_scan::ResidualBlocks;
 use crate::fit_index::FitIndex;
+use crate::hybrid;
 use crate::item::{Instance, Item};
 use crate::policy::{Decision, LoadKey, Policy};
 use crate::request::PackError;
@@ -103,6 +105,10 @@ pub struct EngineView<'a> {
     /// `None` when the policy declined index maintenance for this arrival
     /// (see [`Policy::wants_index`](crate::Policy::wants_index)).
     index: Option<&'a FitIndex>,
+    /// Dimension-major residual mirror, maintained unconditionally —
+    /// the vectorized backend of the [`EngineView::scan_first_fit`]
+    /// family of scan helpers.
+    blocks: &'a ResidualBlocks,
     /// Candidate bins the policy reported examining (see
     /// [`EngineView::note_scanned`]).
     scanned: Cell<u64>,
@@ -271,6 +277,115 @@ impl EngineView<'_> {
     /// [`on_decision`](dvbp_obs::Observer::on_decision) hook.
     pub fn note_score(&self, key: LoadKey) {
         self.score.set(Some(key));
+    }
+
+    /// `true` when a scan over the open bins must take the scalar
+    /// per-bin probe loop instead of the block kernel:
+    ///
+    /// * the caller forced it (`scalar` bench ablation variant);
+    /// * the `scalar-scan` cargo feature is on (CI fallback leg);
+    /// * a probe sink is attached (`Observer::WANTS_PROBES`) — the
+    ///   provenance stream records one `ProbeRec` per candidate with
+    ///   its first violated dimension, which only the scalar loop
+    ///   produces, keeping layer-7's `Σ scanned == #Probe` and the
+    ///   byte-compared provenance corpus exact;
+    /// * the open-bin id span is too sparse for block scanning to pay
+    ///   ([`hybrid::block_scan_pays`]).
+    fn use_scalar_scan(&self, force_scalar: bool) -> bool {
+        if force_scalar || cfg!(feature = "scalar-scan") || self.probes.is_some() {
+            return true;
+        }
+        match self.open {
+            [] => true,
+            [first, .., last] => !hybrid::block_scan_pays(last.0 - first.0 + 1, self.open.len()),
+            [_] => false,
+        }
+    }
+
+    /// Number of open bins with id ≤ `hit` — what a scalar First-Fit
+    /// scan would have probed before stopping at `hit`.
+    fn open_upto(&self, hit: usize) -> u64 {
+        self.open.partition_point(|b| b.0 <= hit) as u64
+    }
+
+    /// First (earliest-opened) open bin that fits `size`, via the block
+    /// kernel when profitable; result and observable scan count are
+    /// identical to probing each open bin in order. `force_scalar`
+    /// pins the scalar loop (the bench ablation's `scalar` variant).
+    #[must_use]
+    pub fn scan_first_fit(&self, size: &DimVec, force_scalar: bool) -> Option<BinId> {
+        if self.use_scalar_scan(force_scalar) {
+            return self.open.iter().copied().find(|&b| self.probe(b, size));
+        }
+        let (lo, hi) = (self.open[0].0, self.open[self.open.len() - 1].0);
+        match self.blocks.first_feasible_in(size.as_slice(), lo, hi) {
+            Some(b) => {
+                let bin = BinId(b);
+                // Exact per-bin confirm against the load arena: a
+                // desynchronized mirror must never change a packing.
+                assert!(self.fits(bin, size), "residual mirror out of sync at {bin}");
+                self.note_scanned(self.open_upto(b));
+                Some(bin)
+            }
+            None => {
+                self.note_scanned(self.open.len() as u64);
+                None
+            }
+        }
+    }
+
+    /// Last (latest-opened) open bin that fits `size`; the block-kernel
+    /// twin of the reverse scalar scan, with identical scan counts.
+    #[must_use]
+    pub fn scan_last_fit(&self, size: &DimVec, force_scalar: bool) -> Option<BinId> {
+        if self.use_scalar_scan(force_scalar) {
+            return self
+                .open
+                .iter()
+                .rev()
+                .copied()
+                .find(|&b| self.probe(b, size));
+        }
+        let (lo, hi) = (self.open[0].0, self.open[self.open.len() - 1].0);
+        match self.blocks.last_feasible_in(size.as_slice(), lo, hi) {
+            Some(b) => {
+                let bin = BinId(b);
+                assert!(self.fits(bin, size), "residual mirror out of sync at {bin}");
+                // A reverse scalar scan probes every open bin with
+                // id ≥ the hit.
+                self.note_scanned(
+                    self.open.len() as u64 - self.open.partition_point(|x| x.0 < b) as u64,
+                );
+                Some(bin)
+            }
+            None => {
+                self.note_scanned(self.open.len() as u64);
+                None
+            }
+        }
+    }
+
+    /// Calls `f` for every open bin that fits `size`, in ascending bin
+    /// id (the order the scalar scan visits open bins — Best/Worst Fit
+    /// tie-breaking and Random Fit's RNG stream depend on it). Both
+    /// paths count every open bin as scanned.
+    pub fn scan_feasible(&self, size: &DimVec, force_scalar: bool, mut f: impl FnMut(BinId)) {
+        if self.use_scalar_scan(force_scalar) {
+            for &b in self.open {
+                if self.probe(b, size) {
+                    f(b);
+                }
+            }
+            return;
+        }
+        let (lo, hi) = (self.open[0].0, self.open[self.open.len() - 1].0);
+        self.blocks
+            .for_each_feasible_in(size.as_slice(), lo, hi, |b| {
+                let bin = BinId(b);
+                debug_assert!(self.fits(bin, size), "residual mirror out of sync at {bin}");
+                f(bin);
+            });
+        self.note_scanned(self.open.len() as u64);
     }
 }
 
@@ -483,6 +598,12 @@ pub struct Engine {
     open: Vec<BinId>,
     /// Max-residual segment trees over all bins.
     index: FitIndex,
+    /// Dimension-major residual mirror for vectorized scans. Unlike the
+    /// latched `index`, it is maintained unconditionally: updates are a
+    /// handful of plain stores per event, and keeping it always current
+    /// means every scan path (and every replay — batch, live, stream,
+    /// WAL recovery) sees the same state.
+    blocks: ResidualBlocks,
     /// Whether `index` is current. Maintenance is skipped (and this stays
     /// `false`) until the first arrival whose policy
     /// [`wants_index`](Policy::wants_index); the index is then rebuilt
@@ -524,6 +645,7 @@ impl Engine {
         self.open.clear();
         self.index.reset(self.dims);
         self.index_live = false;
+        self.blocks.reset(self.dims);
         self.scratch.clear();
         self.scratch.resize(self.dims, 0);
         self.next_item.clear();
@@ -678,10 +800,13 @@ impl Engine {
         }
         self.active[bin.0] -= 1;
         let closing = self.active[bin.0] == 0;
-        if self.index_live && !closing {
+        if !closing {
             // A closing bin skips this: `close` below pins the
-            // residual to zero anyway, so one climb suffices.
-            self.index.unpack(bin.0, size.as_slice());
+            // residual to zero anyway, so one update suffices.
+            if self.index_live {
+                self.index.unpack(bin.0, size.as_slice());
+            }
+            self.blocks.unpack(bin.0, size.as_slice());
         }
         policy.on_departure(item_ref, item, bin);
         observer.on_depart(dvbp_obs::Depart {
@@ -699,6 +824,7 @@ impl Engine {
             if self.index_live {
                 self.index.close(bin.0);
             }
+            self.blocks.close(bin.0);
             policy.on_close(bin);
             observer.on_bin_close(time, bin.0);
             if let Some(trace) = trace {
@@ -749,7 +875,7 @@ impl Engine {
             item,
             size: item_ref.size.as_slice(),
         });
-        if !self.index_live && policy.wants_index(self.open.len()) {
+        if !self.index_live && policy.wants_index(self.open.len(), d) {
             // First arrival that queries the index: build it
             // from the load arena, then keep it current.
             let loads = &self.loads;
@@ -777,6 +903,7 @@ impl Engine {
                 opened: &self.opened,
                 open: &self.open,
                 index: self.index_live.then_some(&self.index),
+                blocks: &self.blocks,
                 scanned: Cell::new(0),
                 probes: if O::WANTS_PROBES {
                     Some(&self.probe_log)
@@ -825,17 +952,17 @@ impl Engine {
                 self.head.push(NO_ITEM);
                 self.tail.push(NO_ITEM);
                 self.open.push(bin);
+                // Register the bin already net of the arriving item
+                // (one update, not an open + a pack).
+                for j in 0..d {
+                    debug_assert!(
+                        item_ref.size[j] <= capacity[j],
+                        "validated item exceeds capacity"
+                    );
+                    self.scratch[j] = capacity[j] - item_ref.size[j];
+                }
+                self.blocks.open(bin.0, &self.scratch);
                 if self.index_live {
-                    // Register the bin already net of the
-                    // arriving item (one climb, not an open +
-                    // a pack).
-                    for j in 0..d {
-                        debug_assert!(
-                            item_ref.size[j] <= capacity[j],
-                            "validated item exceeds capacity"
-                        );
-                        self.scratch[j] = capacity[j] - item_ref.size[j];
-                    }
                     self.index.open(bin.0, &self.scratch);
                 }
                 observer.on_bin_open(time, bin.0);
@@ -846,8 +973,11 @@ impl Engine {
         for j in 0..d {
             self.loads[base + j] += item_ref.size[j];
         }
-        if self.index_live && !opened_new {
-            self.index.pack(bin.0, item_ref.size.as_slice());
+        if !opened_new {
+            if self.index_live {
+                self.index.pack(bin.0, item_ref.size.as_slice());
+            }
+            self.blocks.pack(bin.0, item_ref.size.as_slice());
         }
         self.active[bin.0] += 1;
         self.item_count[bin.0] += 1;

@@ -45,8 +45,10 @@
 
 pub mod billing;
 mod bin;
+mod block_scan;
 mod engine;
 mod fit_index;
+mod hybrid;
 mod item;
 mod live;
 pub mod policy;
@@ -55,6 +57,7 @@ mod source;
 
 pub use billing::BillingModel;
 pub use bin::{BinId, BinUsage};
+pub use block_scan::{ResidualBlocks, LANES};
 pub use dvbp_obs::{NoopObserver, Observer};
 pub use engine::{Engine, EngineView, Packing, TraceEvent, TraceMode};
 pub use fit_index::FitIndex;

@@ -80,7 +80,7 @@ impl Policy for AlignedFit {
         best.map_or(Decision::OpenNew, |(b, _)| Decision::Existing(b))
     }
 
-    fn wants_index(&self, _open_bins: usize) -> bool {
+    fn wants_index(&self, _open_bins: usize, _dims: usize) -> bool {
         false
     }
 

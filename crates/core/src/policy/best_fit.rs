@@ -6,57 +6,86 @@
 //! average-case performance in §7 is nearly as good as First Fit's —
 //! the paper's "theory vs practice" discussion.
 //!
-//! Candidates are enumerated through the engine's [`FitIndex`]: the
-//! pruned in-order traversal visits only the *feasible* open bins
-//! (ascending id, so ties still resolve to the earliest bin) in
-//! O(log m + feasible·d) instead of scanning all m open bins.
-//! [`BestFit::scanning`] keeps the original full scan for differential
-//! tests and benchmarks.
+//! Candidate enumeration is a hybrid: below the measured per-`(m, d)`
+//! crossover the open bins are block-scanned through the engine's
+//! vectorized residual mirror; above it, the [`FitIndex`]'s pruned
+//! in-order traversal visits only the *feasible* open bins (ascending
+//! id, so ties still resolve to the earliest bin) in
+//! O(log m + feasible·d). [`BestFit::scanning`] pins the block scan and
+//! [`BestFit::scanning_scalar`] the per-bin scalar loop for
+//! differential tests and the throughput ablation.
 //!
 //! [`FitIndex`]: crate::FitIndex
 
 use super::{Decision, LoadKey, LoadMeasure, Policy};
 use crate::bin::BinId;
 use crate::engine::EngineView;
+use crate::hybrid;
 use crate::item::Item;
 use std::borrow::Cow;
 use std::cmp::Ordering;
-
-/// Open-bin count below which the indexed variants use the linear scan:
-/// with few bins a flat pass over the load arena beats walking the tree
-/// (both enumerate candidates in ascending id, so placements are
-/// identical either way).
-pub(crate) const SCAN_THRESHOLD: usize = 64;
 
 /// The Best Fit policy with a configurable load measure.
 #[derive(Clone, Copy, Debug)]
 pub struct BestFit {
     measure: LoadMeasure,
     scan: bool,
-    threshold: usize,
+    scalar: bool,
+    /// Explicit scan-vs-index crossover; `None` uses the measured
+    /// per-`(m, d)` table of the `hybrid` module.
+    threshold: Option<usize>,
 }
 
 impl BestFit {
-    /// Creates a Best Fit policy using `measure` to rank bins, with the
-    /// indexed candidate enumeration (hybrid: scans below
-    /// `SCAN_THRESHOLD` open bins).
+    /// Creates a Best Fit policy using `measure` to rank bins, on the
+    /// hybrid path: block-scans below the measured per-`(m, d)`
+    /// crossover, indexed candidate enumeration above it.
     #[must_use]
     pub fn new(measure: LoadMeasure) -> Self {
         BestFit {
             measure,
             scan: false,
-            threshold: SCAN_THRESHOLD,
+            scalar: false,
+            threshold: None,
         }
     }
 
-    /// Creates the linear-scan variant — placement-identical to
-    /// [`BestFit::new`], O(m·d) per arrival.
+    /// Creates the always-scanning variant (vectorized block kernel) —
+    /// placement-identical to [`BestFit::new`].
     #[must_use]
     pub fn scanning(measure: LoadMeasure) -> Self {
         BestFit {
             measure,
             scan: true,
-            threshold: SCAN_THRESHOLD,
+            scalar: false,
+            threshold: None,
+        }
+    }
+
+    /// Creates the scalar per-bin scan variant — placement-identical to
+    /// [`BestFit::scanning`], O(m·d) per arrival. The before-side of
+    /// the `simd`-vs-`scalar` throughput ablation.
+    #[must_use]
+    pub fn scanning_scalar(measure: LoadMeasure) -> Self {
+        BestFit {
+            measure,
+            scan: true,
+            scalar: true,
+            threshold: None,
+        }
+    }
+
+    /// Creates the always-indexed variant (pruned tree enumeration
+    /// regardless of `m`) — placement-identical to [`BestFit::new`].
+    /// Used by the crossover calibration bench to time the pure index
+    /// path.
+    #[must_use]
+    pub fn indexed(measure: LoadMeasure) -> Self {
+        BestFit {
+            measure,
+            scan: false,
+            scalar: false,
+            threshold: Some(0),
         }
     }
 
@@ -68,8 +97,17 @@ impl BestFit {
         BestFit {
             measure,
             scan: false,
-            threshold,
+            scalar: false,
+            threshold: Some(threshold),
         }
+    }
+
+    fn use_index(&self, open_bins: usize, dims: usize) -> bool {
+        !self.scan
+            && match self.threshold {
+                Some(t) => open_bins >= t,
+                None => hybrid::use_index(open_bins, dims),
+            }
     }
 
     /// The configured load measure.
@@ -101,12 +139,13 @@ impl Policy for BestFit {
                 },
             });
         };
-        if self.scan || view.open_bins().len() < self.threshold {
-            for &b in view.open_bins() {
-                if view.probe(b, &item.size) {
-                    consider(b, measure.key(view.load(b), cap));
-                }
-            }
+        if !self.use_index(view.open_bins().len(), view.dim()) {
+            // Block-path candidates rank by `measure.key` over the
+            // bin-major load arena — the same `LoadKey` the index arm
+            // derives from residuals, so placements are identical.
+            view.scan_feasible(&item.size, self.scalar, |b| {
+                consider(b, measure.key(view.load(b), cap));
+            });
         } else {
             view.index()
                 .for_each_feasible(item.size.as_slice(), |b, res| {
@@ -122,8 +161,8 @@ impl Policy for BestFit {
 
     fn after_pack(&mut self, _item: &Item, _item_idx: usize, _bin: BinId, _newly_opened: bool) {}
 
-    fn wants_index(&self, open_bins: usize) -> bool {
-        !self.scan && open_bins >= self.threshold
+    fn wants_index(&self, open_bins: usize, dims: usize) -> bool {
+        self.use_index(open_bins, dims)
     }
 }
 

@@ -74,7 +74,7 @@ impl Policy for DurationClassFirstFit {
         Decision::OpenNew
     }
 
-    fn wants_index(&self, _open_bins: usize) -> bool {
+    fn wants_index(&self, _open_bins: usize, _dims: usize) -> bool {
         false
     }
 

@@ -3,18 +3,22 @@
 //! CR bounds from the paper: at most `(μ+2)d + 1` (Thm 3), at least
 //! `(μ+1)d` (Thm 5).
 //!
-//! Selection uses the engine's [`FitIndex`] — the leftmost feasible leaf
-//! of the per-dimension max-residual segment trees — in O(log m)
-//! expected time. [`FirstFit::scanning`] builds the original linear-scan
-//! variant, kept for differential property tests and as the before-side
-//! of the throughput benchmarks; both produce identical placements.
+//! Selection is a hybrid: below the measured per-`(m, d)` crossover the
+//! open bins are block-scanned through the engine's vectorized residual
+//! mirror ([`ResidualBlocks`](crate::ResidualBlocks)); above it, the
+//! [`FitIndex`] — the leftmost feasible leaf of the per-dimension
+//! max-residual segment trees — answers in O(log m) expected time.
+//! [`FirstFit::scanning`] pins the block scan and
+//! [`FirstFit::scanning_scalar`] the per-bin scalar loop (the
+//! throughput ablation's before-side); all three produce identical
+//! placements.
 //!
 //! [`FitIndex`]: crate::FitIndex
 
-use super::best_fit::SCAN_THRESHOLD;
 use super::{Decision, Policy};
 use crate::bin::BinId;
 use crate::engine::EngineView;
+use crate::hybrid;
 use crate::item::Item;
 use std::borrow::Cow;
 
@@ -23,7 +27,10 @@ use std::borrow::Cow;
 #[derive(Clone, Copy, Debug)]
 pub struct FirstFit {
     scan: bool,
-    threshold: usize,
+    scalar: bool,
+    /// Explicit scan-vs-index crossover; `None` uses the measured
+    /// per-`(m, d)` table of the `hybrid` module.
+    threshold: Option<usize>,
 }
 
 impl Default for FirstFit {
@@ -33,23 +40,51 @@ impl Default for FirstFit {
 }
 
 impl FirstFit {
-    /// Creates a First Fit policy using the indexed O(log m) query path
-    /// (hybrid: scans below `SCAN_THRESHOLD` open bins).
+    /// Creates a First Fit policy on the hybrid path: block-scans the
+    /// open bins below the measured per-`(m, d)` crossover, and uses
+    /// the indexed O(log m) query above it.
     #[must_use]
     pub fn new() -> Self {
         FirstFit {
             scan: false,
-            threshold: SCAN_THRESHOLD,
+            scalar: false,
+            threshold: None,
         }
     }
 
-    /// Creates a First Fit policy that linearly scans the open bins —
-    /// placement-identical to [`FirstFit::new`], O(m·d) per arrival.
+    /// Creates a First Fit policy that always scans the open bins (via
+    /// the vectorized block kernel) — placement-identical to
+    /// [`FirstFit::new`], O(m·d / LANES) per arrival.
     #[must_use]
     pub fn scanning() -> Self {
         FirstFit {
             scan: true,
-            threshold: SCAN_THRESHOLD,
+            scalar: false,
+            threshold: None,
+        }
+    }
+
+    /// Creates the scalar per-bin scan variant — placement-identical to
+    /// [`FirstFit::scanning`], O(m·d) per arrival. The before-side of
+    /// the `simd`-vs-`scalar` throughput ablation.
+    #[must_use]
+    pub fn scanning_scalar() -> Self {
+        FirstFit {
+            scan: true,
+            scalar: true,
+            threshold: None,
+        }
+    }
+
+    /// Creates the always-indexed variant (fit-index descent regardless
+    /// of `m`) — placement-identical to [`FirstFit::new`]. Used by the
+    /// crossover calibration bench to time the pure index path.
+    #[must_use]
+    pub fn indexed() -> Self {
+        FirstFit {
+            scan: false,
+            scalar: false,
+            threshold: Some(0),
         }
     }
 
@@ -60,8 +95,17 @@ impl FirstFit {
     pub(crate) fn with_scan_threshold(threshold: usize) -> Self {
         FirstFit {
             scan: false,
-            threshold,
+            scalar: false,
+            threshold: Some(threshold),
         }
+    }
+
+    fn use_index(&self, open_bins: usize, dims: usize) -> bool {
+        !self.scan
+            && match self.threshold {
+                Some(t) => open_bins >= t,
+                None => hybrid::use_index(open_bins, dims),
+            }
     }
 }
 
@@ -71,13 +115,9 @@ impl Policy for FirstFit {
     }
 
     fn choose(&mut self, view: &EngineView<'_>, item: &Item, _item_idx: usize) -> Decision {
-        if self.scan || view.open_bins().len() < self.threshold {
-            return match view
-                .open_bins()
-                .iter()
-                .position(|&b| view.probe(b, &item.size))
-            {
-                Some(pos) => Decision::Existing(view.open_bins()[pos]),
+        if !self.use_index(view.open_bins().len(), view.dim()) {
+            return match view.scan_first_fit(&item.size, self.scalar) {
+                Some(bin) => Decision::Existing(bin),
                 None => Decision::OpenNew,
             };
         }
@@ -94,8 +134,8 @@ impl Policy for FirstFit {
 
     fn after_pack(&mut self, _item: &Item, _item_idx: usize, _bin: BinId, _newly_opened: bool) {}
 
-    fn wants_index(&self, open_bins: usize) -> bool {
-        !self.scan && open_bins >= self.threshold
+    fn wants_index(&self, open_bins: usize, dims: usize) -> bool {
+        self.use_index(open_bins, dims)
     }
 }
 

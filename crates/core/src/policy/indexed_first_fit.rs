@@ -48,8 +48,8 @@ impl Policy for IndexedFirstFit {
         self.inner.after_pack(item, item_idx, bin, newly_opened);
     }
 
-    fn wants_index(&self, open_bins: usize) -> bool {
-        self.inner.wants_index(open_bins)
+    fn wants_index(&self, open_bins: usize, dims: usize) -> bool {
+        self.inner.wants_index(open_bins, dims)
     }
 
     fn reset(&mut self) {

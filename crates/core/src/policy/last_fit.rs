@@ -3,16 +3,19 @@
 //! The mirror image of First Fit, included in the paper's experimental
 //! study. No competitive-ratio bound is claimed for it.
 //!
-//! Selection uses the engine's [`FitIndex`] right-first descent
-//! (rightmost feasible leaf) in O(log m) expected time;
-//! [`LastFit::scanning`] keeps the original reverse linear scan.
+//! Selection is a hybrid: below the measured per-`(m, d)` crossover the
+//! open bins are block-scanned (highest feasible id) through the
+//! engine's vectorized residual mirror; above it, the [`FitIndex`]
+//! right-first descent (rightmost feasible leaf) answers in O(log m)
+//! expected time. [`LastFit::scanning`] pins the block scan,
+//! [`LastFit::scanning_scalar`] the reverse per-bin scalar loop.
 //!
 //! [`FitIndex`]: crate::FitIndex
 
-use super::best_fit::SCAN_THRESHOLD;
 use super::{Decision, Policy};
 use crate::bin::BinId;
 use crate::engine::EngineView;
+use crate::hybrid;
 use crate::item::Item;
 use std::borrow::Cow;
 
@@ -20,7 +23,10 @@ use std::borrow::Cow;
 #[derive(Clone, Copy, Debug)]
 pub struct LastFit {
     scan: bool,
-    threshold: usize,
+    scalar: bool,
+    /// Explicit scan-vs-index crossover; `None` uses the measured
+    /// per-`(m, d)` table of the `hybrid` module.
+    threshold: Option<usize>,
 }
 
 impl Default for LastFit {
@@ -30,23 +36,50 @@ impl Default for LastFit {
 }
 
 impl LastFit {
-    /// Creates a Last Fit policy using the indexed O(log m) query path
-    /// (hybrid: scans below `SCAN_THRESHOLD` open bins).
+    /// Creates a Last Fit policy on the hybrid path: block-scans below
+    /// the measured per-`(m, d)` crossover, indexed O(log m) query
+    /// above it.
     #[must_use]
     pub fn new() -> Self {
         LastFit {
             scan: false,
-            threshold: SCAN_THRESHOLD,
+            scalar: false,
+            threshold: None,
         }
     }
 
-    /// Creates the reverse-scan variant — placement-identical to
-    /// [`LastFit::new`], O(m·d) per arrival.
+    /// Creates the always-scanning variant (vectorized block kernel,
+    /// highest feasible id) — placement-identical to [`LastFit::new`].
     #[must_use]
     pub fn scanning() -> Self {
         LastFit {
             scan: true,
-            threshold: SCAN_THRESHOLD,
+            scalar: false,
+            threshold: None,
+        }
+    }
+
+    /// Creates the scalar reverse-scan variant — placement-identical to
+    /// [`LastFit::scanning`], O(m·d) per arrival. The before-side of
+    /// the `simd`-vs-`scalar` throughput ablation.
+    #[must_use]
+    pub fn scanning_scalar() -> Self {
+        LastFit {
+            scan: true,
+            scalar: true,
+            threshold: None,
+        }
+    }
+
+    /// Creates the always-indexed variant (fit-index descent regardless
+    /// of `m`) — placement-identical to [`LastFit::new`]. Used by the
+    /// crossover calibration bench to time the pure index path.
+    #[must_use]
+    pub fn indexed() -> Self {
+        LastFit {
+            scan: false,
+            scalar: false,
+            threshold: Some(0),
         }
     }
 
@@ -57,8 +90,17 @@ impl LastFit {
     pub(crate) fn with_scan_threshold(threshold: usize) -> Self {
         LastFit {
             scan: false,
-            threshold,
+            scalar: false,
+            threshold: Some(threshold),
         }
+    }
+
+    fn use_index(&self, open_bins: usize, dims: usize) -> bool {
+        !self.scan
+            && match self.threshold {
+                Some(t) => open_bins >= t,
+                None => hybrid::use_index(open_bins, dims),
+            }
     }
 }
 
@@ -68,17 +110,9 @@ impl Policy for LastFit {
     }
 
     fn choose(&mut self, view: &EngineView<'_>, item: &Item, _item_idx: usize) -> Decision {
-        if self.scan || view.open_bins().len() < self.threshold {
-            return match view
-                .open_bins()
-                .iter()
-                .rev()
-                .position(|&b| view.probe(b, &item.size))
-            {
-                Some(pos) => {
-                    let idx = view.open_bins().len() - 1 - pos;
-                    Decision::Existing(view.open_bins()[idx])
-                }
+        if !self.use_index(view.open_bins().len(), view.dim()) {
+            return match view.scan_last_fit(&item.size, self.scalar) {
+                Some(bin) => Decision::Existing(bin),
                 None => Decision::OpenNew,
             };
         }
@@ -95,8 +129,8 @@ impl Policy for LastFit {
 
     fn after_pack(&mut self, _item: &Item, _item_idx: usize, _bin: BinId, _newly_opened: bool) {}
 
-    fn wants_index(&self, open_bins: usize) -> bool {
-        !self.scan && open_bins >= self.threshold
+    fn wants_index(&self, open_bins: usize, dims: usize) -> bool {
+        self.use_index(open_bins, dims)
     }
 }
 

@@ -71,7 +71,7 @@ pub trait Policy: Send {
 
     /// Whether [`choose`](Policy::choose) will query
     /// [`EngineView::index`](crate::EngineView::index) on an arrival with
-    /// `open_bins` bins currently open.
+    /// `open_bins` bins currently open in a `dims`-dimensional run.
     ///
     /// The engine performs **no** fit-index maintenance until the first
     /// arrival for which this returns `true`; it then rebuilds the index
@@ -80,9 +80,13 @@ pub trait Policy: Send {
     /// Move To Front) return `false` and make every run index-free.
     /// Querying the index after returning `false` panics.
     ///
+    /// The Any-Fit hybrids answer with the centralized per-`(m, d)`
+    /// crossover of the `hybrid` module — the same predicate `choose`
+    /// uses to pick its path, so the index is live exactly when queried.
+    ///
     /// Defaults to `true` (always maintained) — the safe choice for
     /// custom policies.
-    fn wants_index(&self, _open_bins: usize) -> bool {
+    fn wants_index(&self, _open_bins: usize, _dims: usize) -> bool {
         true
     }
 

@@ -56,7 +56,7 @@ impl Policy for MoveToFront {
         }
     }
 
-    fn wants_index(&self, _open_bins: usize) -> bool {
+    fn wants_index(&self, _open_bins: usize, _dims: usize) -> bool {
         false
     }
 

@@ -55,7 +55,7 @@ impl Policy for NextFit {
         }
     }
 
-    fn wants_index(&self, _open_bins: usize) -> bool {
+    fn wants_index(&self, _open_bins: usize, _dims: usize) -> bool {
         false
     }
 

@@ -5,10 +5,10 @@
 //! among the feasible open bins. It carries its own seeded RNG, so runs
 //! are reproducible and independent of the workload generator's stream.
 
-use super::best_fit::SCAN_THRESHOLD;
 use super::{Decision, Policy};
 use crate::bin::BinId;
 use crate::engine::EngineView;
+use crate::hybrid;
 use crate::item::Item;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -19,28 +19,44 @@ use std::borrow::Cow;
 pub struct RandomFit {
     seed: u64,
     rng: StdRng,
-    threshold: usize,
+    /// Explicit scan-vs-index crossover; `None` uses the measured
+    /// per-`(m, d)` table of the `hybrid` module.
+    threshold: Option<usize>,
     /// Scratch buffer of feasible candidates, reused across arrivals.
     candidates: Vec<BinId>,
 }
 
 impl RandomFit {
-    /// Creates a Random Fit policy with a private RNG seeded by `seed`
-    /// (hybrid: scans below `SCAN_THRESHOLD` open bins).
+    /// Creates a Random Fit policy with a private RNG seeded by `seed`,
+    /// on the hybrid path: block-scans below the measured per-`(m, d)`
+    /// crossover, indexed candidate enumeration above it.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        Self::with_scan_threshold(seed, SCAN_THRESHOLD)
+        RandomFit {
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            threshold: None,
+            candidates: Vec::new(),
+        }
     }
 
     /// Variant with an explicit scan-fallback threshold; tests use 0 to
     /// force the tree enumeration even on tiny instances.
+    #[cfg(test)]
     #[must_use]
     pub(crate) fn with_scan_threshold(seed: u64, threshold: usize) -> Self {
         RandomFit {
             seed,
             rng: StdRng::seed_from_u64(seed),
-            threshold,
+            threshold: Some(threshold),
             candidates: Vec::new(),
+        }
+    }
+
+    fn use_index(&self, open_bins: usize, dims: usize) -> bool {
+        match self.threshold {
+            Some(t) => open_bins >= t,
+            None => hybrid::use_index(open_bins, dims),
         }
     }
 }
@@ -56,13 +72,10 @@ impl Policy for RandomFit {
         // scan trivially, the pruned traversal by construction — so RNG
         // draws land on the same bins and the placement stream is
         // independent of which path ran.
+        let use_index = self.use_index(view.open_bins().len(), view.dim());
         let candidates = &mut self.candidates;
-        if view.open_bins().len() < self.threshold {
-            for &b in view.open_bins() {
-                if view.probe(b, &item.size) {
-                    candidates.push(b);
-                }
-            }
+        if !use_index {
+            view.scan_feasible(&item.size, false, |b| candidates.push(b));
         } else {
             view.index()
                 .for_each_feasible(item.size.as_slice(), |b, _res| {
@@ -79,8 +92,8 @@ impl Policy for RandomFit {
 
     fn after_pack(&mut self, _item: &Item, _item_idx: usize, _bin: BinId, _newly_opened: bool) {}
 
-    fn wants_index(&self, open_bins: usize) -> bool {
-        open_bins >= self.threshold
+    fn wants_index(&self, open_bins: usize, dims: usize) -> bool {
+        self.use_index(open_bins, dims)
     }
 
     fn reset(&mut self) {

@@ -5,14 +5,17 @@
 //! performance of the seven algorithms.
 //!
 //! Like [`BestFit`](super::best_fit::BestFit), candidates come from the
-//! engine's [`FitIndex`] pruned enumeration (ascending bin id, earliest
-//! bin on ties); [`WorstFit::scanning`] keeps the original full scan.
+//! vectorized block scan below the per-`(m, d)` crossover and from the
+//! engine's [`FitIndex`] pruned enumeration above it (ascending bin id,
+//! earliest bin on ties); [`WorstFit::scanning`] pins the block scan,
+//! [`WorstFit::scanning_scalar`] the per-bin scalar loop.
 //!
 //! [`FitIndex`]: crate::FitIndex
 
 use super::{Decision, LoadKey, LoadMeasure, Policy};
 use crate::bin::BinId;
 use crate::engine::EngineView;
+use crate::hybrid;
 use crate::item::Item;
 use std::borrow::Cow;
 use std::cmp::Ordering;
@@ -22,30 +25,62 @@ use std::cmp::Ordering;
 pub struct WorstFit {
     measure: LoadMeasure,
     scan: bool,
-    threshold: usize,
+    scalar: bool,
+    /// Explicit scan-vs-index crossover; `None` uses the measured
+    /// per-`(m, d)` table of the `hybrid` module.
+    threshold: Option<usize>,
 }
 
 impl WorstFit {
-    /// Creates a Worst Fit policy using `measure` to rank bins, with the
-    /// indexed candidate enumeration (hybrid: scans below
-    /// `SCAN_THRESHOLD` open bins).
+    /// Creates a Worst Fit policy using `measure` to rank bins, on the
+    /// hybrid path: block-scans below the measured per-`(m, d)`
+    /// crossover, indexed candidate enumeration above it.
     #[must_use]
     pub fn new(measure: LoadMeasure) -> Self {
         WorstFit {
             measure,
             scan: false,
-            threshold: super::best_fit::SCAN_THRESHOLD,
+            scalar: false,
+            threshold: None,
         }
     }
 
-    /// Creates the linear-scan variant — placement-identical to
-    /// [`WorstFit::new`], O(m·d) per arrival.
+    /// Creates the always-scanning variant (vectorized block kernel) —
+    /// placement-identical to [`WorstFit::new`].
     #[must_use]
     pub fn scanning(measure: LoadMeasure) -> Self {
         WorstFit {
             measure,
             scan: true,
-            threshold: super::best_fit::SCAN_THRESHOLD,
+            scalar: false,
+            threshold: None,
+        }
+    }
+
+    /// Creates the scalar per-bin scan variant — placement-identical to
+    /// [`WorstFit::scanning`], O(m·d) per arrival. The before-side of
+    /// the `simd`-vs-`scalar` throughput ablation.
+    #[must_use]
+    pub fn scanning_scalar(measure: LoadMeasure) -> Self {
+        WorstFit {
+            measure,
+            scan: true,
+            scalar: true,
+            threshold: None,
+        }
+    }
+
+    /// Creates the always-indexed variant (pruned tree enumeration
+    /// regardless of `m`) — placement-identical to [`WorstFit::new`].
+    /// Used by the crossover calibration bench to time the pure index
+    /// path.
+    #[must_use]
+    pub fn indexed(measure: LoadMeasure) -> Self {
+        WorstFit {
+            measure,
+            scan: false,
+            scalar: false,
+            threshold: Some(0),
         }
     }
 
@@ -57,8 +92,17 @@ impl WorstFit {
         WorstFit {
             measure,
             scan: false,
-            threshold,
+            scalar: false,
+            threshold: Some(threshold),
         }
+    }
+
+    fn use_index(&self, open_bins: usize, dims: usize) -> bool {
+        !self.scan
+            && match self.threshold {
+                Some(t) => open_bins >= t,
+                None => hybrid::use_index(open_bins, dims),
+            }
     }
 }
 
@@ -83,12 +127,10 @@ impl Policy for WorstFit {
                 },
             });
         };
-        if self.scan || view.open_bins().len() < self.threshold {
-            for &b in view.open_bins() {
-                if view.probe(b, &item.size) {
-                    consider(b, measure.key(view.load(b), cap));
-                }
-            }
+        if !self.use_index(view.open_bins().len(), view.dim()) {
+            view.scan_feasible(&item.size, self.scalar, |b| {
+                consider(b, measure.key(view.load(b), cap));
+            });
         } else {
             view.index()
                 .for_each_feasible(item.size.as_slice(), |b, res| {
@@ -104,8 +146,8 @@ impl Policy for WorstFit {
 
     fn after_pack(&mut self, _item: &Item, _item_idx: usize, _bin: BinId, _newly_opened: bool) {}
 
-    fn wants_index(&self, open_bins: usize) -> bool {
-        !self.scan && open_bins >= self.threshold
+    fn wants_index(&self, open_bins: usize, dims: usize) -> bool {
+        self.use_index(open_bins, dims)
     }
 }
 

@@ -93,6 +93,41 @@ fn assert_indexed_matches_scan(inst: &Instance) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Records the full observer event stream of one run (no probe sink, so
+/// the block-scan kernel stays active).
+fn record_events(inst: &Instance, policy: &mut dyn crate::Policy) -> Vec<dvbp_obs::ObsEvent> {
+    let mut rec = dvbp_obs::Recorder::new();
+    crate::Engine::new()
+        .run(inst, policy, TraceMode::CostOnly, &mut rec)
+        .expect("generated instance valid");
+    rec.events
+}
+
+/// The vectorized block scan must be *observer*-identical to the scalar
+/// loop, not just placement-identical: `Place.scanned` counts (the
+/// provenance layer's `Σ scanned == #Probe` currency) are reproduced
+/// from the hit position, so the whole event streams must match.
+fn assert_block_scan_events_match_scalar(inst: &Instance) -> Result<(), TestCaseError> {
+    let block = record_events(inst, &mut FirstFit::scanning());
+    let scalar = record_events(inst, &mut FirstFit::scanning_scalar());
+    prop_assert_eq!(block, scalar, "FirstFit");
+
+    let block = record_events(inst, &mut LastFit::scanning());
+    let scalar = record_events(inst, &mut LastFit::scanning_scalar());
+    prop_assert_eq!(block, scalar, "LastFit");
+
+    for m in [LoadMeasure::Linf, LoadMeasure::L1] {
+        let block = record_events(inst, &mut BestFit::scanning(m));
+        let scalar = record_events(inst, &mut BestFit::scanning_scalar(m));
+        prop_assert_eq!(block, scalar, "BestFit[{}]", m);
+
+        let block = record_events(inst, &mut WorstFit::scanning(m));
+        let scalar = record_events(inst, &mut WorstFit::scanning_scalar(m));
+        prop_assert_eq!(block, scalar, "WorstFit[{}]", m);
+    }
+    Ok(())
+}
+
 fn all_kinds() -> Vec<PolicyKind> {
     let mut kinds = PolicyKind::paper_suite(99);
     kinds.push(PolicyKind::BestFit(crate::LoadMeasure::L1));
@@ -205,6 +240,20 @@ proptest! {
     #[test]
     fn indexed_matches_scan_high_dim(inst in instances_hd()) {
         assert_indexed_matches_scan(&inst)?;
+    }
+
+    /// Block-scan runs emit byte-identical observer streams to scalar
+    /// runs, `Place.scanned` included.
+    #[test]
+    fn block_scan_events_match_scalar(inst in instances()) {
+        assert_block_scan_events_match_scalar(&inst)?;
+    }
+
+    /// Same stream identity at `d ∈ {8, 9}` (remainder rows of the SoA
+    /// mirror's lane-padded layout).
+    #[test]
+    fn block_scan_events_match_scalar_high_dim(inst in instances_hd()) {
+        assert_block_scan_events_match_scalar(&inst)?;
     }
 
     /// `TraceMode::CostOnly` skips bookkeeping, not decisions: assignment,

@@ -56,11 +56,18 @@ fn count_warm_run(engine: &mut Engine, policy: &mut FirstFit, inst: &Instance) -
     let warm = engine.pack(inst, policy, TraceMode::CostOnly);
     assert!(warm.num_bins() > 0 && warm.cost() >= inst.span());
 
-    let before = ALLOCS.load(Ordering::Relaxed);
-    let packing = engine.pack(inst, policy, TraceMode::CostOnly);
-    let after = ALLOCS.load(Ordering::Relaxed);
-    assert_eq!(packing.assignment, warm.assignment);
-    after - before
+    // The global counter also sees allocations from the test harness's
+    // housekeeping threads; those can only inflate a sample, never deflate
+    // it, so the minimum over a few repetitions is the engine's true count.
+    let mut min_allocs = usize::MAX;
+    for _ in 0..5 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let packing = engine.pack(inst, policy, TraceMode::CostOnly);
+        let after = ALLOCS.load(Ordering::Relaxed);
+        assert_eq!(packing.assignment, warm.assignment);
+        min_allocs = min_allocs.min(after - before);
+    }
+    min_allocs
 }
 
 #[test]
