@@ -100,6 +100,9 @@ impl MtfDecomposition {
                     mru.retain(|&b| b != bin);
                     set_leader(&mru, &mut leader_since, &mut per_bin, time);
                 }
+                // Batch MTF runs never migrate; the decomposition is only
+                // defined for them, so a migrating trace is out of scope.
+                TraceEvent::Migrated { .. } => {}
             }
         }
         debug_assert!(mru.is_empty(), "all bins close by the end of the run");

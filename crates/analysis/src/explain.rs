@@ -104,6 +104,82 @@ pub fn explain_item(events: &[ObsEvent], item: usize) -> Option<Explanation> {
     explain_stream(events).into_iter().find(|e| e.item == item)
 }
 
+/// One repacking move, as reconstructed from an [`ObsEvent::Migrate`].
+///
+/// `closed_from` is `true` when the stream shows the source bin closing
+/// at the same tick, i.e. this move completed a drain — the
+/// justification a repacking policy has for paying the migration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MigrationInfo {
+    /// Tick of the move.
+    pub time: Time,
+    /// Moved item.
+    pub item: usize,
+    /// Source bin.
+    pub from: usize,
+    /// Destination bin.
+    pub to: usize,
+    /// Whether the source bin closed as a result of the drain this move
+    /// belongs to.
+    pub closed_from: bool,
+}
+
+/// Folds a stream's [`ObsEvent::Migrate`] events into per-move
+/// [`MigrationInfo`]s, in execution order. Empty for runs without a
+/// repacking policy.
+#[must_use]
+pub fn explain_migrations(events: &[ObsEvent]) -> Vec<MigrationInfo> {
+    let mut out: Vec<MigrationInfo> = Vec::new();
+    for ev in events {
+        match ev {
+            ObsEvent::Migrate {
+                time,
+                item,
+                from,
+                to,
+            } => out.push(MigrationInfo {
+                time: *time,
+                item: *item,
+                from: *from,
+                to: *to,
+                closed_from: false,
+            }),
+            ObsEvent::BinClose { time, bin } => {
+                // A close right after migrations out of the same bin at
+                // the same tick marks the drain as successful.
+                for m in out.iter_mut().rev() {
+                    if m.time != *time {
+                        break;
+                    }
+                    if m.from == *bin {
+                        m.closed_from = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Renders one migration as a single justified line:
+///
+/// ```text
+/// item 4 @ t=9: migrated bin 2 -> bin 0 (drained bin 2, now closed)
+/// ```
+#[must_use]
+pub fn render_migration(m: &MigrationInfo) -> String {
+    let why = if m.closed_from {
+        format!(" (drained bin {}, now closed)", m.from)
+    } else {
+        String::new()
+    };
+    format!(
+        "item {} @ t={}: migrated bin {} -> bin {}{why}\n",
+        m.item, m.time, m.from, m.to
+    )
+}
+
 /// Renders one explanation as an indented causal chain:
 ///
 /// ```text

@@ -52,6 +52,11 @@ pub enum ReplayError {
         /// Offending item index.
         item: usize,
     },
+    /// A `Migrate` moved an item that was not resident in its `from` bin.
+    MigrateMismatch {
+        /// Offending item index.
+        item: usize,
+    },
 }
 
 impl std::fmt::Display for ReplayError {
@@ -69,6 +74,9 @@ impl std::fmt::Display for ReplayError {
             }
             ReplayError::MissingPlacement { item } => {
                 write!(f, "item {item} never placed (truncated stream?)")
+            }
+            ReplayError::MigrateMismatch { item } => {
+                write!(f, "item {item} migrated out of a bin it was not in")
             }
         }
     }
@@ -144,6 +152,31 @@ pub fn replay_packing(events: &[ObsEvent]) -> Result<Packing, ReplayError> {
                 trace.push(TraceEvent::Closed {
                     time: *time,
                     bin: BinId(*bin),
+                });
+            }
+            ObsEvent::Migrate {
+                time,
+                item,
+                from,
+                to,
+            } => {
+                // Repacking moves a live item; the final Packing records
+                // it in the destination bin only (mirroring the engine's
+                // item chains after a migration).
+                if *to >= bins.len() {
+                    return Err(ReplayError::PlaceBeforeOpen { bin: *to });
+                }
+                if assignment.get(*item).copied().flatten() != Some(BinId(*from)) {
+                    return Err(ReplayError::MigrateMismatch { item: *item });
+                }
+                assignment[*item] = Some(BinId(*to));
+                bins[*from].items.retain(|&i| i != *item);
+                bins[*to].items.push(*item);
+                trace.push(TraceEvent::Migrated {
+                    time: *time,
+                    item: *item,
+                    from: BinId(*from),
+                    to: BinId(*to),
                 });
             }
             ObsEvent::Meta { .. }

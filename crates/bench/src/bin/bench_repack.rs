@@ -1,0 +1,262 @@
+//! CR-vs-migration-cost frontier emitter: every repack policy in a
+//! budget ladder (none → drain:k → budgeted defrag) driven live over
+//! two trace families, written as `BENCH_repack.json`.
+//!
+//! Each row is one deterministic live run — no wall-clock timing — so
+//! the artifact is exactly reproducible: `cost` (the MinUsageTime
+//! objective of the final packing, migrations included), the offline
+//! load lower bound `lb_load`, their ratio `cr`, and the migration
+//! counters the policy spent to get there. Reading a family's rows
+//! top-to-bottom is the frontier: how much competitive ratio each
+//! marginal unit of migration budget buys.
+//!
+//! `--baseline <file>` fails the process when any shared key's `cr`
+//! regresses (grows) by more than `--max-regression` percent — the same
+//! gate shape as `bench_throughput`, but on a deterministic metric, so
+//! CI's smoke scale catches real packing regressions rather than
+//! scheduler noise.
+//!
+//! Usage:
+//!   bench_repack [--out FILE] [--baseline FILE]
+//!                [--max-regression PCT] [--scale full|smoke]
+
+use dvbp_bench::bench_instance;
+use dvbp_core::{Instance, InstanceSource, LiveRequest, PolicyKind, RepackPolicy, TraceMode};
+use dvbp_offline::lower_bounds::lb_load;
+use dvbp_workloads::extended::{ArrivalDist, DurationDist, ExtendedParams, SizeDist};
+use dvbp_workloads::uniform::UniformParams;
+use serde::{Deserialize, Serialize};
+use std::process::ExitCode;
+
+/// One live run's outcome on the frontier.
+#[derive(Debug, Serialize, Deserialize)]
+struct Entry {
+    /// Stable identity: `family/kind/repack/d<D>/n<N>`.
+    key: String,
+    family: String,
+    policy: String,
+    repack: String,
+    d: usize,
+    n: usize,
+    seed: u64,
+    /// MinUsageTime cost of the final packing (migrations included).
+    cost: u64,
+    /// Offline load lower bound of the instance (eq. 2).
+    lb_load: u64,
+    /// `cost / lb_load` — the row's empirical competitive ratio.
+    cr: f64,
+    /// Items moved by the repack policy over the run.
+    migrations: u64,
+    /// Total migration cost charged (unit per drain move, L1 size per
+    /// defrag move).
+    migration_cost: u64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Report {
+    schema: String,
+    scale: String,
+    entries: Vec<Entry>,
+}
+
+/// The migration-budget ladder, cheapest first. `none` anchors the
+/// irrevocable baseline every other row is read against.
+const REPACKS: [RepackPolicy; 6] = [
+    RepackPolicy::NoRepack,
+    RepackPolicy::DrainOnDepart { k: 1 },
+    RepackPolicy::DrainOnDepart { k: 2 },
+    RepackPolicy::DrainOnDepart { k: 4 },
+    RepackPolicy::BudgetedDefrag {
+        budget: 32,
+        period: 4,
+    },
+    RepackPolicy::BudgetedDefrag {
+        budget: 128,
+        period: 2,
+    },
+];
+
+/// Placement kinds on the frontier (non-clairvoyant — the live engine
+/// rejects duration-announced kinds).
+fn kinds() -> [PolicyKind; 2] {
+    [
+        PolicyKind::FirstFit,
+        PolicyKind::BestFit(dvbp_core::LoadMeasure::Linf),
+    ]
+}
+
+const SEED: u64 = 7;
+
+/// `(family, n)` grid per scale; the smoke grid is a subset of the full
+/// grid so baseline keys always match.
+fn grid(scale: &str) -> Vec<(&'static str, usize)> {
+    match scale {
+        "smoke" => vec![("uniform", 600), ("zipf-bursty", 600)],
+        _ => vec![
+            ("uniform", 600),
+            ("uniform", 2400),
+            ("zipf-bursty", 600),
+            ("zipf-bursty", 2400),
+        ],
+    }
+}
+
+/// Generates one family instance at size `n`.
+///
+/// * `uniform` — the Table 2 shape (`bench_instance`), few large items
+///   per bin: departures routinely strand 1–2 stragglers, the
+///   `DrainOnDepart` regime.
+/// * `zipf-bursty` — heavy-tailed sizes in bursty waves over small
+///   bins: many small residents, where only the close-paced defrag
+///   sweeps find whole bins to drain.
+fn family_instance(family: &str, n: usize) -> Instance {
+    match family {
+        "uniform" => bench_instance(2, n, (n as u64) / 10, SEED),
+        "zipf-bursty" => ExtendedParams {
+            base: UniformParams {
+                dims: 2,
+                items: n,
+                mu: 20,
+                span: (n as u64) / 2,
+                bin_size: 10,
+            },
+            sizes: SizeDist::Zipf { exponent: 1.2 },
+            durations: DurationDist::Geometric { p: 0.3 },
+            arrivals: ArrivalDist::Bursty { waves: 6, width: 3 },
+        }
+        .generate(SEED),
+        other => panic!("unknown trace family {other}"),
+    }
+}
+
+/// Drives one `(kind, repack)` cell live over `inst` and returns
+/// `(cost, migrations, migration_cost)`.
+fn run_cell(inst: &Instance, kind: &PolicyKind, repack: RepackPolicy) -> (u64, u64, u64) {
+    let mut live = LiveRequest::new(kind.clone())
+        .capacity(inst.capacity.clone())
+        .trace_mode(TraceMode::CostOnly)
+        .repack(repack)
+        .build()
+        .expect("frontier kinds are non-clairvoyant");
+    let mut source = InstanceSource::new(inst).expect("bench instance valid");
+    live.drive_source(&mut source).expect("live drive succeeds");
+    let migrations = live.migrations();
+    let migration_cost = live.migration_cost();
+    let packing = live.into_packing().expect("all items departed");
+    let cost = u64::try_from(packing.cost()).expect("bench costs fit in u64");
+    (cost, migrations, migration_cost)
+}
+
+fn run_grid(scale: &str) -> Report {
+    let mut entries = Vec::new();
+    for (family, n) in grid(scale) {
+        let inst = family_instance(family, n);
+        let d = inst.dim();
+        let lb = u64::try_from(lb_load(&inst)).expect("bench bounds fit in u64");
+        for kind in kinds() {
+            for repack in REPACKS {
+                let (cost, migrations, migration_cost) = run_cell(&inst, &kind, repack);
+                if repack == RepackPolicy::NoRepack {
+                    assert_eq!(migrations, 0, "NoRepack migrated");
+                }
+                let cr = cost as f64 / lb as f64;
+                eprintln!(
+                    "{family}/{}/{} n={n}: cr {cr:.4} ({migrations} moves, cost {migration_cost})",
+                    kind.name(),
+                    repack.name()
+                );
+                entries.push(Entry {
+                    key: format!("{family}/{}/{}/d{d}/n{n}", kind.name(), repack.name()),
+                    family: family.to_string(),
+                    policy: kind.name(),
+                    repack: repack.name(),
+                    d,
+                    n,
+                    seed: SEED,
+                    cost,
+                    lb_load: lb,
+                    cr,
+                    migrations,
+                    migration_cost,
+                });
+            }
+        }
+    }
+    Report {
+        schema: "dvbp-bench-repack/1".to_string(),
+        scale: scale.to_string(),
+        entries,
+    }
+}
+
+/// Keys whose `cr` grew by more than `max_regression_pct` over the
+/// baseline. The metric is deterministic, so any drift at all is a real
+/// behavior change; the tolerance only keeps intentional retunings from
+/// needing lockstep artifact updates.
+fn regressions(report: &Report, baseline: &Report, max_regression_pct: f64) -> Vec<String> {
+    let ceiling = 1.0 + max_regression_pct / 100.0;
+    let mut bad = Vec::new();
+    for e in &report.entries {
+        if let Some(b) = baseline.entries.iter().find(|b| b.key == e.key) {
+            if e.cr > b.cr * ceiling {
+                bad.push(format!(
+                    "{}: cr {:.4} vs baseline {:.4} (ceiling {:.4})",
+                    e.key,
+                    e.cr,
+                    b.cr,
+                    b.cr * ceiling
+                ));
+            }
+        }
+    }
+    bad
+}
+
+fn main() -> ExitCode {
+    let mut out = String::from("BENCH_repack.json");
+    let mut baseline: Option<String> = None;
+    let mut max_regression = 30.0f64;
+    let mut scale = String::from("full");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => out = value("--out"),
+            "--baseline" => baseline = Some(value("--baseline")),
+            "--max-regression" => {
+                max_regression = value("--max-regression")
+                    .parse()
+                    .expect("--max-regression takes a percentage")
+            }
+            "--scale" => scale = value("--scale"),
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = run_grid(&scale);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write report");
+    eprintln!("wrote {out} ({} entries)", report.entries.len());
+
+    if let Some(path) = baseline {
+        let data = std::fs::read_to_string(&path).expect("read baseline");
+        let base: Report = serde_json::from_str(&data).expect("parse baseline");
+        let bad = regressions(&report, &base, max_regression);
+        if !bad.is_empty() {
+            eprintln!("repack CR regressions over {max_regression}% vs {path}:");
+            for line in &bad {
+                eprintln!("  {line}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!("no CR regression over {max_regression}% vs {path}");
+    }
+    ExitCode::SUCCESS
+}

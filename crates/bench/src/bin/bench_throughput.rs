@@ -269,6 +269,7 @@ fn serve_state(inst: &Instance, shards: usize) -> ServeState<Vec<u8>> {
     ServeState::in_memory(
         &inst.capacity,
         &PolicyKind::FirstFit,
+        dvbp_core::RepackPolicy::NoRepack,
         shards,
         RouterKind::Hash,
         TraceMode::CostOnly,

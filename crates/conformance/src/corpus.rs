@@ -138,6 +138,38 @@ fn reopen_gap_d9() -> Instance {
     Instance::new(DimVec::splat(d, 10), items).expect("hand-built instance is valid")
 }
 
+/// An anchor departure that strands two small stragglers in a
+/// two-dimensional bin while a long-lived neighbor has room for both:
+/// `DrainOnDepart{k: 2}` must migrate the pair (all-or-nothing, in
+/// index order) and close the drained bin, so the committed replay
+/// pins layer 10's audit on a real multi-item vector-capacity plan —
+/// and pins `NoRepack` to the batch packing on the same trace.
+fn repack_drain_stragglers() -> Instance {
+    let items = vec![
+        item(&[7, 5], 0, 4),  // bin 0 anchor; its departure triggers the drain
+        item(&[2, 2], 1, 9),  // bin 0 straggler (migrates first)
+        item(&[1, 2], 2, 8),  // bin 0 straggler (fits only after the first move)
+        item(&[6, 6], 1, 10), // bin 1: the destination, (6,6)+(2,2)+(1,2) = (9,10)
+    ];
+    Instance::new(DimVec::from_slice(&[10, 10]), items).expect("hand-built instance is valid")
+}
+
+/// Natural closes pace a `BudgetedDefrag{period: 2}` sweep: the second
+/// close (at t = 5) finds a one-item bin whose resident fits a later
+/// bin, so the sweep drains it at L1 cost — while `DrainOnDepart`
+/// migrates the same item one tick earlier from the departure boundary.
+/// One committed trace exercises both trigger paths of layer 10.
+fn repack_defrag_sweep() -> Instance {
+    let items = vec![
+        item(&[9], 0, 2),  // bin 0, sole item; closes at 2 (first natural close)
+        item(&[8], 0, 4),  // bin 1 anchor
+        item(&[2], 1, 9),  // bin 1 straggler (8 + 2 = 10)
+        item(&[9], 1, 5),  // bin 2, sole item; closing at 5 fires the sweep
+        item(&[3], 3, 10), // bin 3: the only destination with room
+    ];
+    Instance::new(DimVec::scalar(10), items).expect("hand-built instance is valid")
+}
+
 /// Staggered lone departures from a shared bin: most depart groups in
 /// the serve WAL are single `Depart` lines whose bin stays open, so
 /// crash cuts land on the trailing-lone-`Depart` ambiguity the recovery
@@ -296,6 +328,8 @@ pub fn seed_corpus() -> Vec<(&'static str, Instance)> {
         ("highchurn-blockers-d8", high_churn_with_dim(8)),
         ("widedim-remainder-d16", widedim_remainder_d16()),
         ("widedim-crossover-d12", widedim_crossover_d12()),
+        ("repack-drain-stragglers", repack_drain_stragglers()),
+        ("repack-defrag-sweep", repack_defrag_sweep()),
         ("crash-wal-lone-depart", crash_wal_lone_depart()),
         ("crash-wal-openclose-churn", crash_wal_openclose_churn()),
         ("crash-wal-equal-tick-resume", crash_wal_equal_tick_resume()),
@@ -356,6 +390,41 @@ mod tests {
         // Each of the three cycles needs at least two bins, and bins are
         // never reused across the idle gaps.
         assert!(p.num_bins() >= 6, "{}", p.num_bins());
+    }
+
+    /// Drives `inst` under FirstFit with `repack` attached and returns
+    /// `(migrations, migration_cost)`.
+    fn drive_repack(inst: &Instance, repack: dvbp_core::RepackPolicy) -> (u64, u64) {
+        let mut live = dvbp_core::LiveRequest::new(dvbp_core::PolicyKind::FirstFit)
+            .capacity(inst.capacity.clone())
+            .repack(repack)
+            .build()
+            .unwrap();
+        let mut source = dvbp_core::InstanceSource::new(inst).unwrap();
+        live.drive_source(&mut source).unwrap();
+        (live.migrations(), live.migration_cost())
+    }
+
+    #[test]
+    fn drain_stragglers_really_migrates_the_pair() {
+        let inst = repack_drain_stragglers();
+        let (moves, cost) = drive_repack(&inst, dvbp_core::RepackPolicy::DrainOnDepart { k: 2 });
+        assert_eq!((moves, cost), (2, 2), "unit-cost pair drain");
+    }
+
+    #[test]
+    fn defrag_sweep_entry_migrates_under_both_trigger_paths() {
+        let inst = repack_defrag_sweep();
+        let (moves, cost) = drive_repack(&inst, dvbp_core::RepackPolicy::DrainOnDepart { k: 2 });
+        assert_eq!((moves, cost), (1, 1), "departure-boundary drain");
+        let (moves, cost) = drive_repack(
+            &inst,
+            dvbp_core::RepackPolicy::BudgetedDefrag {
+                budget: 8,
+                period: 2,
+            },
+        );
+        assert_eq!((moves, cost), (1, 2), "close-boundary sweep at L1 cost");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! For one `(instance, policy)` pair the check layers are:
 //!
-//! 1. **differential** — [`dvbp_core::pack_with`] and
+//! 1. **differential** — [`dvbp_core::PackRequest`] and
 //!    [`crate::reference::simulate`] must return *equal* packings:
 //!    assignment, per-bin usage records, decision trace, and cost;
 //! 2. **feasibility** — [`Packing::verify`]: per-slice capacity in every
@@ -41,7 +41,13 @@
 //!    for bit, under both `Full` and `CostOnly` trace modes (the
 //!    constant-memory streaming path changes delivery, never
 //!    decisions). Clairvoyant kinds are exempt: streamed items carry no
-//!    announced durations and the stream entry points reject them.
+//!    announced durations and the stream entry points reject them;
+//! 10. **repacking** — see [`crate::repack`]: live runs under the
+//!     standard [`RepackPolicy`](dvbp_core::RepackPolicy) suite are
+//!     audited by an independent event-stream checker (capacity,
+//!     liveness, closure, Migrate provenance, cost accounting), with
+//!     `NoRepack` pinned bit-identical to the batch engine. Clairvoyant
+//!     kinds are exempt for the same reason as layer 9.
 
 use crate::reference;
 use dvbp_core::{Instance, PackRequest, Packing, PolicyKind, TraceMode};
@@ -372,8 +378,10 @@ pub fn kinds_for(instance: &Instance, random_fit_seed: u64) -> Vec<PolicyKind> {
 
 /// Checks the full applicable suite over one instance, including the
 /// layer-8 serving checks ([`crate::serve`]) with deterministically
-/// sampled crash cuts. The corpus replay runs the exhaustive crash plan
-/// separately (`tests/serve_recovery_corpus.rs`).
+/// sampled crash cuts and the layer-10 repacking audit
+/// ([`crate::repack`]) for every non-clairvoyant kind. The corpus
+/// replay runs the exhaustive crash plan separately
+/// (`tests/serve_recovery_corpus.rs`).
 ///
 /// # Errors
 ///
@@ -388,6 +396,14 @@ pub fn check_instance(instance: &Instance, random_fit_seed: u64) -> Result<(), D
                 seed: random_fit_seed,
             },
         )?;
+        if !matches!(
+            kind,
+            PolicyKind::DurationClassFirstFit | PolicyKind::AlignedFit
+        ) {
+            for repack in crate::repack::SUITE {
+                crate::repack::check_policy(instance, &kind, repack)?;
+            }
+        }
     }
     Ok(())
 }

@@ -27,7 +27,12 @@
 //!   vectorized block scan (`LANES ± 1`, `2·LANES − 1`), so the mask
 //!   kernel's remainder lanes and padding sentinels decide placements;
 //!   light items then have to land in whatever residual the masks
-//!   report feasible.
+//!   report feasible;
+//! * **repack-churn** — big anchors paired with small stragglers, the
+//!   anchors departing first: bins go nearly empty while neighbours
+//!   hold residual room, so the layer-10 repack audit sees real
+//!   migrations (drain and defrag both fire) instead of vacuously
+//!   passing on migration-free runs.
 //!
 //! Every instance is derived deterministically from its `(family, seed)`
 //! pair, so a reported failure is reproducible from its seed alone even
@@ -62,6 +67,10 @@ pub enum Family {
     /// High-dimensional blocker waves straddling block-scan lane
     /// boundaries, `d ∈ {3, 7, 8, 12, 16}`.
     WideDim,
+    /// Big-anchor/small-straggler pairs whose anchors depart early,
+    /// leaving nearly-empty bins next to bins with residual room — the
+    /// shape that makes every repack policy actually migrate.
+    RepackChurn,
 }
 
 impl Family {
@@ -75,18 +84,20 @@ impl Family {
             Family::HighChurn => "highchurn",
             Family::EqualTick => "equaltick",
             Family::WideDim => "widedim",
+            Family::RepackChurn => "repackchurn",
         }
     }
 }
 
 /// All families, in fuzzing order.
-pub const FAMILIES: [Family; 6] = [
+pub const FAMILIES: [Family; 7] = [
     Family::Uniform,
     Family::Adversarial,
     Family::Extended,
     Family::HighChurn,
     Family::EqualTick,
     Family::WideDim,
+    Family::RepackChurn,
 ];
 
 /// Small randomized base parameters shared by the uniform and extended
@@ -249,6 +260,36 @@ pub fn generate(family: Family, seed: u64) -> Instance {
             }
             Instance::new(DimVec::splat(dims, cap), items).expect("wide-dim instance valid")
         }
+        Family::RepackChurn => {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9fb2_1c65_1e98_df25));
+            let dims = rng.random_range(1..=2usize);
+            let cap = 10u64;
+            let mut items = Vec::new();
+            let mut t = 0u64;
+            // Waves of anchor+straggler bins: the anchor (over half the
+            // bin) departs well before its stragglers, so a drain or
+            // defrag sweep finds a nearly-empty bin right next to bins
+            // with residual room. A few long-lived light items keep
+            // destination bins open across the migration window.
+            for _ in 0..rng.random_range(2..=4u32) {
+                for _ in 0..rng.random_range(2..=4usize) {
+                    let anchor_dur = rng.random_range(2..=4u64);
+                    let size = DimVec::from_fn(dims, |_| rng.random_range(6..=8u64));
+                    items.push(Item::new(size, t, t + anchor_dur));
+                    for _ in 0..rng.random_range(1..=2usize) {
+                        let size = DimVec::from_fn(dims, |_| rng.random_range(1..=2u64));
+                        let dur = anchor_dur + rng.random_range(2..=5u64);
+                        items.push(Item::new(size, t + 1, t + 1 + dur));
+                    }
+                }
+                for _ in 0..rng.random_range(1..=3usize) {
+                    let size = DimVec::from_fn(dims, |_| rng.random_range(1..=3u64));
+                    items.push(Item::new(size, t, t + rng.random_range(8..=12u64)));
+                }
+                t += rng.random_range(6..=10u64);
+            }
+            Instance::new(DimVec::splat(dims, cap), items).expect("repack-churn instance valid")
+        }
     };
     announce_exact(&inst)
 }
@@ -362,6 +403,30 @@ mod tests {
                 "seed {seed}: no departure lands on an arrival tick"
             );
         }
+    }
+
+    #[test]
+    fn repack_churn_family_actually_migrates() {
+        // The family exists to exercise the layer-10 audit on real
+        // migration plans; if no seed ever migrates, it is vacuous.
+        let mut migrating_seeds = 0u32;
+        for seed in 0..12 {
+            let inst = generate(Family::RepackChurn, seed);
+            let mut live = dvbp_core::LiveRequest::new(dvbp_core::PolicyKind::FirstFit)
+                .capacity(inst.capacity.clone())
+                .repack(dvbp_core::RepackPolicy::DrainOnDepart { k: 2 })
+                .build()
+                .unwrap();
+            let mut source = dvbp_core::InstanceSource::new(&inst).unwrap();
+            live.drive_source(&mut source).unwrap();
+            if live.migrations() > 0 {
+                migrating_seeds += 1;
+            }
+        }
+        assert!(
+            migrating_seeds >= 6,
+            "only {migrating_seeds}/12 repack-churn seeds migrate"
+        );
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //!   from any WAL cut (event boundary or torn line) must land in the
 //!   same final state, and multi-shard runs must verify per shard with
 //!   additive cost;
+//! * [`mod@repack`] — layer 10, repacking: live runs under every
+//!   [`RepackPolicy`](dvbp_core::RepackPolicy) in the standard suite are
+//!   audited by an independent event-stream checker (slice-wise
+//!   capacity, no resurrected items, empty-close discipline, Migrate
+//!   provenance ≡ reported moves, cost-model accounting), and
+//!   `NoRepack` must stay bit-identical to the batch engine;
 //! * [`fuzz`] — a deterministic fuzzer feeding uniform, adversarial, and
 //!   extended workloads into the differential check;
 //! * [`shrink`] — a delta-debugging shrinker that minimizes any failure
@@ -32,5 +38,6 @@ pub mod corpus;
 pub mod diff;
 pub mod fuzz;
 pub mod reference;
+pub mod repack;
 pub mod serve;
 pub mod shrink;

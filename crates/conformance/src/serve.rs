@@ -28,8 +28,8 @@
 
 use crate::diff::{first_difference, kinds_for, Divergence};
 use dvbp_core::{
-    live_ops, BinId, BinUsage, Instance, LiveOp, PackRequest, Packing, PolicyKind, TimeMode,
-    TraceEvent, TraceMode,
+    live_ops, BinId, BinUsage, Instance, LiveOp, PackRequest, Packing, PolicyKind, RepackPolicy,
+    TimeMode, TraceEvent, TraceMode,
 };
 use dvbp_obs::{scan_wal, JsonlEmitter, SyncPolicy};
 use dvbp_serve::client::item_id;
@@ -83,6 +83,7 @@ fn drive(
     let state = ServeState::in_memory(
         &instance.capacity,
         kind,
+        RepackPolicy::NoRepack,
         shards,
         RouterKind::Hash,
         TraceMode::Full,
@@ -136,8 +137,10 @@ fn back_map(kind: &PolicyKind, names: &[String]) -> Result<Vec<usize>, Divergenc
 }
 
 /// Re-indexes a shard-local packing by instance item (`back[local] =
-/// instance index`), against an instance of `n` items.
-fn remap(packing: &Packing, back: &[usize], n: usize) -> Packing {
+/// instance index`), against an instance of `n` items. Also used by the
+/// layer-10 repack audit, whose live engines index items in arrival
+/// order.
+pub(crate) fn remap(packing: &Packing, back: &[usize], n: usize) -> Packing {
     let mut assignment = vec![BinId(usize::MAX); n];
     for (local, &bin) in packing.assignment.iter().enumerate() {
         assignment[back[local]] = bin;
@@ -244,6 +247,7 @@ fn check_crash_cut(
         &wal[..cut],
         &instance.capacity,
         kind,
+        RepackPolicy::NoRepack,
         TraceMode::Full,
         TimeMode::Strict,
     )

@@ -66,6 +66,20 @@ pub enum TraceEvent {
         /// Closing bin.
         bin: BinId,
     },
+    /// A live repacking policy moved still-active `item` from `from` to
+    /// `to` at `time`. Batch runs never emit this — only a
+    /// [`LiveEngine`](crate::LiveEngine) with a
+    /// [`RepackPolicy`](crate::RepackPolicy) does.
+    Migrated {
+        /// Tick of the migration.
+        time: Time,
+        /// The migrated item.
+        item: usize,
+        /// Source bin (may close right after; a `Closed` event follows).
+        from: BinId,
+        /// Destination bin.
+        to: BinId,
+    },
 }
 
 /// How much per-run bookkeeping the engine records.
@@ -837,6 +851,149 @@ impl Engine {
         })
     }
 
+    /// Moves still-active `item` from its current bin into open bin
+    /// `to`: the execution half of a repacking move. The caller (the
+    /// live engine's repack planner) chooses item and destination; the
+    /// engine asserts feasibility and keeps every derived structure —
+    /// loads, fit index, residual mirror, item chains, policy state —
+    /// coherent, closing the source bin if the move emptied it.
+    ///
+    /// Policy hooks fire as a departure-from-`from` followed by a
+    /// pack-into-`to` (`newly_opened = false`), so policies with derived
+    /// state (Move To Front's MRU order, Next Fit's current bin) track
+    /// migrations deterministically and recovery re-drives to identical
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is not placed, `to` equals its current bin, or
+    /// `to` is closed or cannot hold the item — planner bugs, not input
+    /// errors.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step_migrate<O: Observer>(
+        &mut self,
+        capacity: &DimVec,
+        time: Time,
+        item: usize,
+        item_ref: &Item,
+        to: BinId,
+        policy: &mut dyn Policy,
+        observer: &mut O,
+        mut trace: Option<&mut Vec<TraceEvent>>,
+    ) -> MigrateStep {
+        let from = match self.assignment.get(item) {
+            Some(&bin) if bin.0 != usize::MAX => bin,
+            _ => panic!("migrating item {item} that was never placed"),
+        };
+        assert_ne!(from, to, "migrating item {item} onto its own bin");
+        assert!(
+            self.open.binary_search(&to).is_ok(),
+            "migration target {to} is closed or unknown"
+        );
+        let d = self.dims;
+        let size = &item_ref.size;
+        let to_base = to.0 * d;
+        assert!(
+            (0..d).all(|j| size[j] <= capacity[j] - self.loads[to_base + j]),
+            "migration target {to} cannot hold item {item}"
+        );
+
+        // Departure half: lift the item out of its source bin.
+        let from_base = from.0 * d;
+        for j in 0..d {
+            self.loads[from_base + j] -= size[j];
+        }
+        self.active[from.0] -= 1;
+        let closing = self.active[from.0] == 0;
+        if !closing {
+            if self.index_live {
+                self.index.unpack(from.0, size.as_slice());
+            }
+            self.blocks.unpack(from.0, size.as_slice());
+        }
+        policy.on_departure(item_ref, item, from);
+
+        // Pack half: land it in the destination.
+        for j in 0..d {
+            self.loads[to_base + j] += size[j];
+        }
+        if self.index_live {
+            self.index.pack(to.0, size.as_slice());
+        }
+        self.blocks.pack(to.0, size.as_slice());
+        self.active[to.0] += 1;
+        self.item_count[from.0] -= 1;
+        self.item_count[to.0] += 1;
+        if trace.is_some() {
+            self.unlink_from_chain(from.0, item);
+            if self.head[to.0] == NO_ITEM {
+                self.head[to.0] = item;
+            } else {
+                self.next_item[self.tail[to.0]] = item;
+            }
+            self.tail[to.0] = item;
+        }
+        self.assignment[item] = to;
+        policy.after_pack(item_ref, item, to, false);
+        observer.on_migrate(dvbp_obs::Migrate {
+            time,
+            item,
+            from: from.0,
+            to: to.0,
+        });
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.push(TraceEvent::Migrated {
+                time,
+                item,
+                from,
+                to,
+            });
+        }
+        if closing {
+            self.closed[from.0] = time;
+            let idx = self
+                .open
+                .binary_search(&from)
+                .expect("closing a non-open bin");
+            self.open.remove(idx);
+            if self.index_live {
+                self.index.close(from.0);
+            }
+            self.blocks.close(from.0);
+            policy.on_close(from);
+            observer.on_bin_close(time, from.0);
+            if let Some(trace) = trace {
+                trace.push(TraceEvent::Closed { time, bin: from });
+            }
+        }
+        MigrateStep {
+            from,
+            closed_from: closing,
+        }
+    }
+
+    /// Removes `item` from bin `bin`'s intrusive item chain (Full-mode
+    /// bookkeeping for migrations; O(chain length)).
+    fn unlink_from_chain(&mut self, bin: usize, item: usize) {
+        let mut prev = NO_ITEM;
+        let mut cur = self.head[bin];
+        while cur != item {
+            debug_assert!(cur != NO_ITEM, "item {item} not in bin {bin}'s chain");
+            prev = cur;
+            cur = self.next_item[cur];
+        }
+        let next = self.next_item[item];
+        if prev == NO_ITEM {
+            self.head[bin] = next;
+        } else {
+            self.next_item[prev] = next;
+        }
+        if self.tail[bin] == item {
+            self.tail[bin] = prev;
+        }
+        self.next_item[item] = NO_ITEM;
+    }
+
     /// Applies one arrival: runs the policy over an [`EngineView`],
     /// asserts its decision, commits the placement, and fires the
     /// observer hooks. The single-event body of the batch loop's
@@ -1095,6 +1252,15 @@ pub(crate) struct DepartStep {
     pub(crate) closed: bool,
 }
 
+/// Outcome of one [`Engine::step_migrate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct MigrateStep {
+    /// The bin the item was moved out of.
+    pub(crate) from: BinId,
+    /// Whether the move emptied (and permanently closed) the source.
+    pub(crate) closed_from: bool,
+}
+
 /// Runs `policy` over `instance` with a fresh [`Engine`] in
 /// [`TraceMode::Full`] and returns the resulting packing.
 ///
@@ -1106,9 +1272,9 @@ pub(crate) struct DepartStep {
 /// Panics if the policy names a bin that is closed or cannot hold the item
 /// (a policy implementation bug), or if the instance fails validation.
 ///
-/// Exposed at the crate root as the `#[deprecated]` shim
-/// [`pack`](crate::pack); new code goes through
+/// Test convenience; public callers go through
 /// [`PackRequest`](crate::PackRequest).
+#[cfg(test)]
 pub fn pack(instance: &Instance, policy: &mut dyn Policy) -> Packing {
     Engine::new().pack(instance, policy, TraceMode::Full)
 }

@@ -52,6 +52,7 @@ mod hybrid;
 mod item;
 mod live;
 pub mod policy;
+pub mod repack;
 mod request;
 mod source;
 
@@ -63,58 +64,13 @@ pub use engine::{Engine, EngineView, Packing, TraceEvent, TraceMode};
 pub use fit_index::FitIndex;
 pub use item::{Instance, InstanceError, Item};
 pub use live::{
-    live_ops, LiveDeparture, LiveDriveStats, LiveEngine, LiveError, LiveOp, LivePlacement, TimeMode,
+    live_ops, LiveDeparture, LiveDriveStats, LiveEngine, LiveError, LiveMigration, LiveOp,
+    LivePlacement, LiveRequest, TimeMode,
 };
 pub use policy::{Decision, LoadMeasure, Policy, PolicyKind};
+pub use repack::{ParseRepackError, RepackPolicy};
 pub use request::{PackError, PackRequest};
 pub use source::{EventSource, InstanceSource, SourceError, StreamError, StreamingLowerBound, Tap};
-
-/// Packs `instance` with the given policy on a fresh engine.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `PackRequest::with_policy(policy).run(..)`"
-)]
-#[must_use]
-pub fn pack(instance: &Instance, policy: &mut dyn Policy) -> Packing {
-    engine::pack(instance, policy)
-}
-
-/// Packs `instance` with a fresh policy built from `kind`.
-#[deprecated(since = "0.2.0", note = "use `PackRequest::new(kind).run(..)`")]
-#[must_use]
-pub fn pack_with(instance: &Instance, kind: &PolicyKind) -> Packing {
-    PackRequest::new(kind.clone())
-        .run(instance)
-        .unwrap_or_else(|e| panic!("invalid instance: {e}"))
-}
-
-/// Packs `instance` with a fresh policy built from `kind` under the given
-/// [`TraceMode`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `PackRequest::new(kind).trace_mode(mode).run(..)`"
-)]
-#[must_use]
-pub fn pack_with_mode(instance: &Instance, kind: &PolicyKind, mode: TraceMode) -> Packing {
-    PackRequest::new(kind.clone())
-        .trace_mode(mode)
-        .run(instance)
-        .unwrap_or_else(|e| panic!("invalid instance: {e}"))
-}
-
-/// Computes only the usage-time cost of packing `instance` with `kind`.
-///
-/// Runs the engine in [`TraceMode::CostOnly`]: no trace and no per-bin
-/// item lists are recorded, so the hot loop stays allocation-free.
-/// Placement decisions — and therefore the cost — are identical to a
-/// [`TraceMode::Full`] run.
-#[deprecated(since = "0.2.0", note = "use `PackRequest::new(kind).cost(..)`")]
-#[must_use]
-pub fn pack_cost(instance: &Instance, kind: &PolicyKind) -> dvbp_sim::Cost {
-    PackRequest::new(kind.clone())
-        .cost(instance)
-        .unwrap_or_else(|e| panic!("invalid instance: {e}"))
-}
 
 #[cfg(test)]
 mod proptests;
@@ -124,7 +80,6 @@ mod cross_policy_tests {
     use super::*;
     use dvbp_dimvec::DimVec;
 
-    // Shadows the deprecated crate-root shim for these tests.
     fn pack_with(instance: &Instance, kind: &PolicyKind) -> Packing {
         PackRequest::new(kind.clone()).run(instance).unwrap()
     }

@@ -34,14 +34,27 @@
 //! policies honor the documented contract of never reading
 //! `Item::departure`; internally a live item carries `Time::MAX` as a
 //! placeholder until its departure is announced.
+//!
+//! # Construction and repacking
+//!
+//! [`LiveRequest`] is the construction path — capacity, trace and time
+//! modes, an owned [`Observer`], and a [`RepackPolicy`]. With repacking
+//! attached, a departure may additionally *migrate* bounded numbers of
+//! still-active items to drain nearly-empty bins (see
+//! [`crate::repack`]); the executed moves come back in
+//! [`LiveDeparture::migrations`] and as
+//! [`Migrate`](dvbp_obs::ObsEvent) observer events.
+//! [`RepackPolicy::NoRepack`] (the default) keeps the engine exactly on
+//! the paper's irrevocable model.
 
 use crate::bin::BinId;
 use crate::engine::{Engine, Packing, TraceEvent, TraceMode};
 use crate::item::{Instance, Item};
 use crate::policy::{Policy, PolicyKind};
+use crate::repack::RepackPolicy;
 use crate::request::PackError;
 use dvbp_dimvec::DimVec;
-use dvbp_obs::NoopObserver;
+use dvbp_obs::{NoopObserver, Observer};
 use dvbp_sim::timeline::{Event, OnlineTimeline};
 use dvbp_sim::{Cost, Time};
 
@@ -135,6 +148,8 @@ pub enum LiveError {
         /// Number of items not yet departed.
         active: usize,
     },
+    /// [`LiveRequest::build`] without a [`capacity`](LiveRequest::capacity).
+    NoCapacity,
 }
 
 impl std::fmt::Display for LiveError {
@@ -163,6 +178,12 @@ impl std::fmt::Display for LiveError {
             LiveError::StillActive { active } => {
                 write!(f, "{active} item(s) still active")
             }
+            LiveError::NoCapacity => {
+                write!(
+                    f,
+                    "live engine needs a bin capacity (LiveRequest::capacity)"
+                )
+            }
         }
     }
 }
@@ -190,7 +211,7 @@ pub struct LivePlacement {
 }
 
 /// Outcome of an accepted [`LiveEngine::depart`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LiveDeparture {
     /// The departing item's run-local index.
     pub item: usize,
@@ -200,18 +221,186 @@ pub struct LiveDeparture {
     pub closed: bool,
     /// The effective tick.
     pub time: Time,
+    /// Migrations the attached [`RepackPolicy`] executed in response, in
+    /// execution order. Always empty under [`RepackPolicy::NoRepack`].
+    pub migrations: Vec<LiveMigration>,
+}
+
+/// One executed repacking move (see [`RepackPolicy`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LiveMigration {
+    /// The moved item's run-local index.
+    pub item: usize,
+    /// The bin it was drained out of.
+    pub from: BinId,
+    /// The bin it landed in.
+    pub to: BinId,
+    /// Whether this move emptied (and permanently closed) `from`.
+    pub closed_from: bool,
+    /// The move's charge under the policy's cost model: `1` for
+    /// [`RepackPolicy::DrainOnDepart`], the item's L1 size for
+    /// [`RepackPolicy::BudgetedDefrag`].
+    pub cost: u64,
+}
+
+/// Builder for a [`LiveEngine`] — the single construction path,
+/// mirroring [`PackRequest`](crate::PackRequest) for batch runs.
+///
+/// ```
+/// use dvbp_core::{LiveRequest, PolicyKind, RepackPolicy, TimeMode};
+/// use dvbp_dimvec::DimVec;
+///
+/// let mut live = LiveRequest::new(PolicyKind::FirstFit)
+///     .capacity(DimVec::from_slice(&[100, 100]))
+///     .time_mode(TimeMode::Strict)
+///     .repack(RepackPolicy::DrainOnDepart { k: 2 })
+///     .build()
+///     .unwrap();
+/// let placed = live.arrive(DimVec::from_slice(&[60, 20]), 0).unwrap();
+/// let gone = live.depart(placed.item, 5).unwrap();
+/// assert!(gone.closed);
+/// ```
+///
+/// Unlike `PackRequest`, the observer is **owned** (a live run has no
+/// enclosing scope to borrow from); get it back with
+/// [`LiveEngine::observer`] / [`LiveEngine::into_parts`].
+pub struct LiveRequest<O: Observer = NoopObserver> {
+    kind: PolicyKind,
+    capacity: Option<DimVec>,
+    trace: TraceMode,
+    time_mode: TimeMode,
+    repack: RepackPolicy,
+    observer: O,
+}
+
+impl LiveRequest<NoopObserver> {
+    /// Starts a request for a live engine driven by policy `kind`.
+    #[must_use]
+    pub fn new(kind: PolicyKind) -> Self {
+        LiveRequest {
+            kind,
+            capacity: None,
+            trace: TraceMode::Full,
+            time_mode: TimeMode::Strict,
+            repack: RepackPolicy::NoRepack,
+            observer: NoopObserver,
+        }
+    }
+}
+
+impl<O: Observer> LiveRequest<O> {
+    /// Sets the bin capacity vector (required).
+    #[must_use]
+    pub fn capacity(mut self, capacity: DimVec) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Selects trace recording (default [`TraceMode::Full`]).
+    #[must_use]
+    pub fn trace_mode(mut self, trace: TraceMode) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Selects the timestamp discipline (default [`TimeMode::Strict`]).
+    #[must_use]
+    pub fn time_mode(mut self, time_mode: TimeMode) -> Self {
+        self.time_mode = time_mode;
+        self
+    }
+
+    /// Attaches a repacking policy (default [`RepackPolicy::NoRepack`],
+    /// which reproduces the irrevocable engine bit for bit).
+    #[must_use]
+    pub fn repack(mut self, repack: RepackPolicy) -> Self {
+        self.repack = repack;
+        self
+    }
+
+    /// Attaches an observer, replacing the previous one. The engine
+    /// owns it; every arrival, departure, migration, and bin event is
+    /// forwarded to it.
+    #[must_use]
+    pub fn observer<P: Observer>(self, observer: P) -> LiveRequest<P> {
+        LiveRequest {
+            kind: self.kind,
+            capacity: self.capacity,
+            trace: self.trace,
+            time_mode: self.time_mode,
+            repack: self.repack,
+            observer,
+        }
+    }
+
+    /// Builds the live engine and fires the observer's run-start hook
+    /// (`items: 0` — a live run's length is unknown).
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::NoCapacity`] without a capacity;
+    /// [`LiveError::Clairvoyant`] for policy kinds that read announced
+    /// durations.
+    pub fn build(self) -> Result<LiveEngine<O>, LiveError> {
+        let Some(capacity) = self.capacity else {
+            return Err(LiveError::NoCapacity);
+        };
+        if matches!(
+            self.kind,
+            PolicyKind::DurationClassFirstFit | PolicyKind::AlignedFit
+        ) {
+            return Err(LiveError::Clairvoyant {
+                policy: self.kind.name(),
+            });
+        }
+        let mut policy = self.kind.build();
+        policy.reset();
+        let mut engine = Engine::new();
+        engine.reset_for(capacity.dim(), 0);
+        let mut observer = self.observer;
+        observer.on_run_start(dvbp_obs::RunStart {
+            capacity: capacity.as_slice(),
+            items: 0,
+        });
+        Ok(LiveEngine {
+            engine,
+            policy,
+            kind: self.kind,
+            capacity,
+            time_mode: self.time_mode,
+            repack: self.repack,
+            observer,
+            full: self.trace == TraceMode::Full,
+            items: Vec::new(),
+            departed: Vec::new(),
+            active_items: 0,
+            trace: Vec::new(),
+            now: 0,
+            arrived_this_tick: false,
+            active_by_bin: Vec::new(),
+            migrations: 0,
+            migration_cost: 0,
+            closes_since_sweep: 0,
+        })
+    }
 }
 
 /// An incremental driver over the packing engine: accepts arrivals and
 /// departures one at a time, maintains the exact state a batch run over
 /// the same event sequence would hold, and can snapshot that state as a
 /// [`Packing`] once drained.
-pub struct LiveEngine {
+///
+/// Construct one with [`LiveRequest`]; with a [`RepackPolicy`] attached,
+/// departures may additionally migrate items (see
+/// [`LiveDeparture::migrations`]).
+pub struct LiveEngine<O: Observer = NoopObserver> {
     engine: Engine,
     policy: Box<dyn Policy>,
     kind: PolicyKind,
     capacity: DimVec,
     time_mode: TimeMode,
+    repack: RepackPolicy,
+    observer: O,
     /// Whether the per-bin item chains / trace are recorded
     /// ([`TraceMode::Full`]).
     full: bool,
@@ -226,10 +415,19 @@ pub struct LiveEngine {
     /// Whether an arrival has been processed at tick `now` (strict
     /// equal-tick ordering).
     arrived_this_tick: bool,
+    /// Active item indices per bin — the repack planner's drain lists.
+    /// Maintained only when `repack.is_enabled()` (empty otherwise).
+    active_by_bin: Vec<Vec<usize>>,
+    migrations: u64,
+    migration_cost: u64,
+    /// Natural bin closes since the last defrag sweep.
+    closes_since_sweep: u32,
 }
 
 impl LiveEngine {
-    /// Creates a live engine for `capacity` under `kind`.
+    /// Creates a live engine for `capacity` under `kind` — a shim over
+    /// [`LiveRequest`], which is the construction path with the full
+    /// option surface ([`RepackPolicy`], owned observers).
     ///
     /// # Errors
     ///
@@ -241,34 +439,15 @@ impl LiveEngine {
         trace: TraceMode,
         time_mode: TimeMode,
     ) -> Result<Self, LiveError> {
-        if matches!(
-            kind,
-            PolicyKind::DurationClassFirstFit | PolicyKind::AlignedFit
-        ) {
-            return Err(LiveError::Clairvoyant {
-                policy: kind.name(),
-            });
-        }
-        let mut policy = kind.build();
-        policy.reset();
-        let mut engine = Engine::new();
-        engine.reset_for(capacity.dim(), 0);
-        Ok(LiveEngine {
-            engine,
-            policy,
-            kind: kind.clone(),
-            capacity,
-            time_mode,
-            full: trace == TraceMode::Full,
-            items: Vec::new(),
-            departed: Vec::new(),
-            active_items: 0,
-            trace: Vec::new(),
-            now: 0,
-            arrived_this_tick: false,
-        })
+        LiveRequest::new(kind.clone())
+            .capacity(capacity)
+            .trace_mode(trace)
+            .time_mode(time_mode)
+            .build()
     }
+}
 
+impl<O: Observer> LiveEngine<O> {
     fn effective_time(&self, time: Time) -> Result<Time, LiveError> {
         match self.time_mode {
             TimeMode::Strict if time < self.now => Err(LiveError::OutOfOrder {
@@ -328,10 +507,16 @@ impl LiveEngine {
             item,
             &self.items[item],
             self.policy.as_mut(),
-            &mut NoopObserver,
+            &mut self.observer,
             self.full.then_some(&mut self.trace),
         );
         self.active_items += 1;
+        if self.repack.is_enabled() {
+            if bin.0 >= self.active_by_bin.len() {
+                self.active_by_bin.resize_with(bin.0 + 1, Vec::new);
+            }
+            self.active_by_bin[bin.0].push(item);
+        }
         self.advance_tick(time);
         self.arrived_this_tick = true;
         Ok(LivePlacement {
@@ -391,19 +576,175 @@ impl LiveEngine {
                 item,
                 &self.items[item],
                 self.policy.as_mut(),
-                &mut NoopObserver,
+                &mut self.observer,
                 self.full.then_some(&mut self.trace),
             )
             .expect("checked assignment above");
         self.departed[item] = true;
         self.active_items -= 1;
+        if self.repack.is_enabled() {
+            self.active_by_bin[step.bin.0].retain(|&i| i != item);
+        }
         self.advance_tick(time);
+        let migrations = self.run_repack(step.bin, step.closed, time);
         Ok(LiveDeparture {
             item,
             bin: step.bin,
             closed: step.closed,
             time,
+            migrations,
         })
+    }
+
+    /// Runs the attached [`RepackPolicy`] after the departure of an item
+    /// from `dep_bin` (which `closed` it or not) at tick `time`, and
+    /// returns the executed moves in order.
+    fn run_repack(&mut self, dep_bin: BinId, closed: bool, time: Time) -> Vec<LiveMigration> {
+        let mut migrations = Vec::new();
+        match self.repack {
+            RepackPolicy::NoRepack => {}
+            RepackPolicy::DrainOnDepart { k } => {
+                if !closed && k > 0 {
+                    let remaining = self.engine.bin_active(dep_bin.0);
+                    if remaining > 0 && remaining <= k {
+                        if let Some(plan) = self.plan_drain(dep_bin) {
+                            self.execute_drain(time, &plan, true, &mut migrations);
+                        }
+                    }
+                }
+            }
+            RepackPolicy::BudgetedDefrag { budget, period } => {
+                if closed && budget > 0 {
+                    self.closes_since_sweep += 1;
+                    if self.closes_since_sweep >= period.max(1) {
+                        self.closes_since_sweep = 0;
+                        self.defrag_sweep(time, budget, &mut migrations);
+                    }
+                }
+            }
+        }
+        self.migrations += migrations.len() as u64;
+        self.migration_cost += migrations.iter().map(|m| m.cost).sum::<u64>();
+        migrations
+    }
+
+    /// Plans a full drain of `src`: each resident item, in ascending
+    /// index order, goes to the first other open bin (ascending id) that
+    /// fits it given the residuals left by the earlier planned moves.
+    /// All-or-nothing: `None` if any resident has no feasible
+    /// destination.
+    fn plan_drain(&self, src: BinId) -> Option<Vec<(usize, BinId)>> {
+        let d = self.capacity.dim();
+        let mut residents: Vec<usize> = self.active_by_bin[src.0].clone();
+        residents.sort_unstable();
+        // Planned additional load per destination, keyed by bin id.
+        let mut extra: Vec<(usize, Vec<u64>)> = Vec::new();
+        let mut plan = Vec::with_capacity(residents.len());
+        for &it in &residents {
+            let size = &self.items[it].size;
+            let mut dest = None;
+            for &b in self.engine.open_bins() {
+                if b == src {
+                    continue;
+                }
+                let load = self.engine.bin_load(b.0);
+                let planned = extra.iter().find(|(id, _)| *id == b.0).map(|(_, e)| e);
+                let fits = (0..d).all(|j| {
+                    let used = load[j] + planned.map_or(0, |e| e[j]);
+                    size[j] <= self.capacity[j] - used
+                });
+                if fits {
+                    dest = Some(b);
+                    break;
+                }
+            }
+            let b = dest?;
+            match extra.iter_mut().find(|(id, _)| *id == b.0) {
+                Some((_, e)) => {
+                    for j in 0..d {
+                        e[j] += size[j];
+                    }
+                }
+                None => extra.push((b.0, size.as_slice().to_vec())),
+            }
+            plan.push((it, b));
+        }
+        Some(plan)
+    }
+
+    /// Executes a drain plan through [`Engine::step_migrate`], charging
+    /// each move `1` (`unit_cost`) or its item's L1 size.
+    fn execute_drain(
+        &mut self,
+        time: Time,
+        plan: &[(usize, BinId)],
+        unit_cost: bool,
+        out: &mut Vec<LiveMigration>,
+    ) {
+        for &(item, to) in plan {
+            let step = self.engine.step_migrate(
+                &self.capacity,
+                time,
+                item,
+                &self.items[item],
+                to,
+                self.policy.as_mut(),
+                &mut self.observer,
+                self.full.then_some(&mut self.trace),
+            );
+            self.active_by_bin[step.from.0].retain(|&i| i != item);
+            if to.0 >= self.active_by_bin.len() {
+                self.active_by_bin.resize_with(to.0 + 1, Vec::new);
+            }
+            self.active_by_bin[to.0].push(item);
+            let cost = if unit_cost {
+                1
+            } else {
+                self.items[item].size.as_slice().iter().sum()
+            };
+            out.push(LiveMigration {
+                item,
+                from: step.from,
+                to,
+                closed_from: step.closed_from,
+                cost,
+            });
+        }
+    }
+
+    /// One defragmentation sweep: repeatedly drain the open bin with the
+    /// fewest active items (ties to the lowest id) whose full drain is
+    /// feasible and affordable within the remaining per-sweep L1-size
+    /// `budget`.
+    fn defrag_sweep(&mut self, time: Time, budget: u64, out: &mut Vec<LiveMigration>) {
+        let mut remaining = budget;
+        loop {
+            let mut candidates: Vec<BinId> = self.engine.open_bins().to_vec();
+            candidates.sort_by_key(|b| (self.engine.bin_active(b.0), b.0));
+            let mut executed = false;
+            for src in candidates {
+                let drain_cost: u64 = self.active_by_bin[src.0]
+                    .iter()
+                    .map(|&i| self.items[i].size.as_slice().iter().sum::<u64>())
+                    .sum();
+                if drain_cost > remaining {
+                    continue;
+                }
+                let Some(plan) = self.plan_drain(src) else {
+                    continue;
+                };
+                if plan.is_empty() {
+                    continue;
+                }
+                self.execute_drain(time, &plan, false, out);
+                remaining -= drain_cost;
+                executed = true;
+                break;
+            }
+            if !executed {
+                break;
+            }
+        }
     }
 
     /// Bin capacity vector.
@@ -416,6 +757,37 @@ impl LiveEngine {
     #[must_use]
     pub fn kind(&self) -> &PolicyKind {
         &self.kind
+    }
+
+    /// The attached repacking policy.
+    #[must_use]
+    pub fn repack_policy(&self) -> RepackPolicy {
+        self.repack
+    }
+
+    /// Items migrated by the repacking policy over the run so far.
+    #[must_use]
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Total migration cost charged over the run so far (unit per move
+    /// for [`RepackPolicy::DrainOnDepart`], L1 item size for
+    /// [`RepackPolicy::BudgetedDefrag`]).
+    #[must_use]
+    pub fn migration_cost(&self) -> u64 {
+        self.migration_cost
+    }
+
+    /// The owned observer.
+    #[must_use]
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// The owned observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
     }
 
     /// The engine's current tick (the latest effective timestamp).
@@ -551,12 +923,31 @@ impl LiveEngine {
     ///
     /// [`LiveError::StillActive`] if items remain.
     pub fn into_packing(self) -> Result<Packing, LiveError> {
+        self.into_parts().map(|(packing, _)| packing)
+    }
+
+    /// Like [`into_packing`](Self::into_packing), but also returns the
+    /// owned observer after firing its run-end hook — the way to get a
+    /// [`Recorder`](dvbp_obs::Recorder)'s complete event stream back.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::StillActive`] if items remain.
+    pub fn into_parts(mut self) -> Result<(Packing, O), LiveError> {
         if self.active_items > 0 {
             return Err(LiveError::StillActive {
                 active: self.active_items,
             });
         }
-        Ok(self.engine.snapshot_packing(self.full, self.trace))
+        self.observer.on_run_end(dvbp_obs::RunEnd {
+            time: self.now,
+            items: self.items.len(),
+            bins: self.engine.bins_opened(),
+        });
+        Ok((
+            self.engine.snapshot_packing(self.full, self.trace),
+            self.observer,
+        ))
     }
 }
 
@@ -951,6 +1342,214 @@ mod tests {
         assert!(matches!(
             live.into_packing(),
             Err(LiveError::StillActive { active: 1 })
+        ));
+    }
+
+    #[test]
+    fn live_request_requires_capacity() {
+        assert!(matches!(
+            LiveRequest::new(PolicyKind::FirstFit).build(),
+            Err(LiveError::NoCapacity)
+        ));
+    }
+
+    #[test]
+    fn live_request_builds_the_same_engine_as_the_shim() {
+        let instance = sample();
+        let mut a = LiveEngine::new(
+            instance.capacity.clone(),
+            &PolicyKind::FirstFit,
+            TraceMode::Full,
+            TimeMode::Strict,
+        )
+        .unwrap();
+        let mut b = LiveRequest::new(PolicyKind::FirstFit)
+            .capacity(instance.capacity.clone())
+            .build()
+            .unwrap();
+        for op in live_ops(&instance) {
+            match op {
+                LiveOp::Arrive { size, time, .. } => {
+                    assert_eq!(
+                        a.arrive(size.clone(), time).unwrap(),
+                        b.arrive(size, time).unwrap()
+                    );
+                }
+                LiveOp::Depart { item, time } => {
+                    // `sample()` is arrival-sorted, so indices coincide.
+                    assert_eq!(a.depart(item, time).unwrap(), b.depart(item, time).unwrap());
+                }
+            }
+        }
+        assert_eq!(a.into_packing().unwrap(), b.into_packing().unwrap());
+    }
+
+    #[test]
+    fn drain_on_depart_drains_a_small_bin_and_closes_it() {
+        let mut live = LiveRequest::new(PolicyKind::FirstFit)
+            .capacity(DimVec::from_slice(&[10]))
+            .repack(RepackPolicy::DrainOnDepart { k: 1 })
+            .build()
+            .unwrap();
+        live.arrive(DimVec::from_slice(&[7]), 0).unwrap(); // b0
+        live.arrive(DimVec::from_slice(&[7]), 1).unwrap(); // b1
+        live.arrive(DimVec::from_slice(&[2]), 2).unwrap(); // b0 (7+2)
+        let dep = live.depart(0, 3).unwrap();
+        assert!(!dep.closed, "item 2 still occupied b0 at the departure");
+        assert_eq!(
+            dep.migrations,
+            vec![LiveMigration {
+                item: 2,
+                from: BinId(0),
+                to: BinId(1),
+                closed_from: true,
+                cost: 1,
+            }]
+        );
+        assert_eq!(live.open_bins(), 1);
+        assert_eq!(live.item_bin(2), Some(BinId(1)));
+        assert_eq!(live.migrations(), 1);
+        assert_eq!(live.migration_cost(), 1);
+        live.depart(1, 5).unwrap();
+        let dep = live.depart(2, 6).unwrap();
+        assert!(dep.closed);
+        let packing = live.into_packing().unwrap();
+        // b0 closed at the drain tick 3, not at item 2's departure.
+        assert_eq!(packing.bins[0].closed, 3);
+        assert_eq!(packing.cost(), 3 + 5);
+    }
+
+    #[test]
+    fn drain_is_all_or_nothing() {
+        let mut live = LiveRequest::new(PolicyKind::FirstFit)
+            .capacity(DimVec::from_slice(&[10]))
+            .repack(RepackPolicy::DrainOnDepart { k: 2 })
+            .build()
+            .unwrap();
+        live.arrive(DimVec::from_slice(&[5]), 0).unwrap(); // b0
+        live.arrive(DimVec::from_slice(&[8]), 1).unwrap(); // b1
+        live.arrive(DimVec::from_slice(&[4]), 2).unwrap(); // b0 (5+4)
+                                                           // Departing item 0 leaves item 2 (size 4); b1 has residual 2, so
+                                                           // the drain is infeasible and nothing moves.
+        let dep = live.depart(0, 3).unwrap();
+        assert!(dep.migrations.is_empty());
+        assert_eq!(live.open_bins(), 2);
+        assert_eq!(live.migrations(), 0);
+    }
+
+    #[test]
+    fn no_repack_never_migrates() {
+        let instance = sample();
+        let mut live = LiveRequest::new(PolicyKind::FirstFit)
+            .capacity(instance.capacity.clone())
+            .build()
+            .unwrap();
+        let mut local = HashMap::new();
+        for op in live_ops(&instance) {
+            match op {
+                LiveOp::Arrive { item, size, time } => {
+                    local.insert(item, live.arrive(size, time).unwrap().item);
+                }
+                LiveOp::Depart { item, time } => {
+                    assert!(live
+                        .depart(local[&item], time)
+                        .unwrap()
+                        .migrations
+                        .is_empty());
+                }
+            }
+        }
+        assert_eq!(live.migrations(), 0);
+    }
+
+    /// Builds the defrag scenario: b0 = {big [0,3), small [1,·)},
+    /// b1 = {filler 10 [1,5)}, b2 = {small [2,·)}. Departing the big
+    /// item leaves two half-empty bins; departing the filler closes b1
+    /// naturally, triggering the sweep.
+    fn defrag_engine(budget: u64) -> LiveEngine {
+        let mut live = LiveRequest::new(PolicyKind::FirstFit)
+            .capacity(DimVec::from_slice(&[10]))
+            .repack(RepackPolicy::BudgetedDefrag { budget, period: 1 })
+            .build()
+            .unwrap();
+        live.arrive(DimVec::from_slice(&[8]), 0).unwrap(); // 0 -> b0
+        live.arrive(DimVec::from_slice(&[2]), 1).unwrap(); // 1 -> b0
+        live.arrive(DimVec::from_slice(&[10]), 1).unwrap(); // 2 -> b1
+        live.arrive(DimVec::from_slice(&[2]), 2).unwrap(); // 3 -> b2
+        live.depart(0, 3).unwrap(); // b0 = {1}, no close
+        live
+    }
+
+    #[test]
+    fn budgeted_defrag_sweeps_on_a_natural_close() {
+        let mut live = defrag_engine(16);
+        let dep = live.depart(2, 5).unwrap(); // closes b1 -> sweep
+        assert!(dep.closed);
+        assert_eq!(
+            dep.migrations,
+            vec![LiveMigration {
+                item: 1,
+                from: BinId(0),
+                to: BinId(2),
+                closed_from: true,
+                cost: 2,
+            }]
+        );
+        assert_eq!(live.open_bins(), 1);
+        assert_eq!(live.migration_cost(), 2);
+        live.depart(1, 9).unwrap();
+        live.depart(3, 9).unwrap();
+        let packing = live.into_packing().unwrap();
+        assert_eq!(packing.bins[0].closed, 5, "b0 drained at the sweep tick");
+    }
+
+    #[test]
+    fn budgeted_defrag_respects_the_budget() {
+        let mut live = defrag_engine(1); // item 1's L1 size is 2 > 1
+        let dep = live.depart(2, 5).unwrap();
+        assert!(dep.migrations.is_empty());
+        assert_eq!(live.open_bins(), 2);
+        assert_eq!(live.migrations(), 0);
+    }
+
+    #[test]
+    fn migrations_reach_the_observer_and_trace() {
+        let mut live = LiveRequest::new(PolicyKind::FirstFit)
+            .capacity(DimVec::from_slice(&[10]))
+            .repack(RepackPolicy::DrainOnDepart { k: 1 })
+            .observer(dvbp_obs::Recorder::new())
+            .build()
+            .unwrap();
+        live.arrive(DimVec::from_slice(&[7]), 0).unwrap();
+        live.arrive(DimVec::from_slice(&[7]), 1).unwrap();
+        live.arrive(DimVec::from_slice(&[2]), 2).unwrap();
+        live.depart(0, 3).unwrap();
+        live.depart(1, 5).unwrap();
+        live.depart(2, 6).unwrap();
+        let (packing, recorder) = live.into_parts().unwrap();
+        let migrate_events: Vec<_> = recorder
+            .events
+            .iter()
+            .filter(|ev| matches!(ev, dvbp_obs::ObsEvent::Migrate { .. }))
+            .collect();
+        assert_eq!(
+            migrate_events,
+            vec![&dvbp_obs::ObsEvent::Migrate {
+                time: 3,
+                item: 2,
+                from: 0,
+                to: 1,
+            }]
+        );
+        assert!(packing
+            .trace
+            .iter()
+            .any(|ev| matches!(ev, TraceEvent::Migrated { item: 2, .. })));
+        // The observer stream replays to the live packing even across
+        // the migration.
+        assert!(matches!(
+            recorder.events.last(),
+            Some(dvbp_obs::ObsEvent::RunEnd { .. })
         ));
     }
 

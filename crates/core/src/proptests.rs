@@ -128,6 +128,116 @@ fn assert_block_scan_events_match_scalar(inst: &Instance) -> Result<(), TestCase
     Ok(())
 }
 
+/// The migrating repack policies exercised by the live-run properties.
+/// `period: 1` sweeps at every natural close and `budget: 12` covers a
+/// whole small bin, so the defrag arm migrates often on these strategies.
+fn repack_policies() -> [crate::RepackPolicy; 2] {
+    [
+        crate::RepackPolicy::DrainOnDepart { k: 2 },
+        crate::RepackPolicy::BudgetedDefrag {
+            budget: 12,
+            period: 1,
+        },
+    ]
+}
+
+/// Drives `inst` live under `repack` recording the full observer stream,
+/// then replays that stream with independent accounting. Properties
+/// enforced at every event: per-dimension capacity holds after each
+/// `Place` and `Migrate`; a `Migrate` only moves a currently active item
+/// between two distinct open bins; bins close empty and never take load
+/// (or reopen) afterwards.
+fn audit_live_repack(inst: &Instance, repack: crate::RepackPolicy) -> Result<(), TestCaseError> {
+    use dvbp_obs::ObsEvent;
+
+    let mut live = crate::LiveRequest::new(PolicyKind::FirstFit)
+        .capacity(inst.capacity.clone())
+        .repack(repack)
+        .observer(dvbp_obs::Recorder::new())
+        .build()
+        .expect("FirstFit live engine builds");
+    let mut source = crate::InstanceSource::new(inst).expect("generated instance valid");
+    live.drive_source(&mut source).expect("live drive succeeds");
+    let (_, rec) = live.into_parts().expect("all items departed");
+
+    let d = inst.dim();
+    let cap = inst.capacity.as_slice();
+    let mut sizes: Vec<Vec<u64>> = Vec::new(); // by live (arrival-order) item index
+    let mut active: Vec<bool> = Vec::new();
+    let mut loads: Vec<Vec<u64>> = Vec::new(); // by bin index
+    let mut open: Vec<bool> = Vec::new();
+    let mut ever_closed: Vec<bool> = Vec::new();
+
+    for ev in &rec.events {
+        match ev {
+            ObsEvent::Arrival { item, size, .. } => {
+                prop_assert_eq!(*item, sizes.len(), "live indices are dense");
+                sizes.push(size.clone());
+                active.push(true);
+            }
+            ObsEvent::BinOpen { bin, .. } => {
+                if *bin >= loads.len() {
+                    loads.resize(*bin + 1, vec![0; d]);
+                    open.resize(*bin + 1, false);
+                    ever_closed.resize(*bin + 1, false);
+                }
+                prop_assert!(!ever_closed[*bin], "bin {} reopened after closing", bin);
+                open[*bin] = true;
+            }
+            ObsEvent::Place { item, bin, .. } => {
+                prop_assert!(open[*bin], "placed into unopened bin {}", bin);
+                for j in 0..d {
+                    loads[*bin][j] += sizes[*item][j];
+                    prop_assert!(
+                        loads[*bin][j] <= cap[j],
+                        "place of {} overflows bin {} dim {}",
+                        item,
+                        bin,
+                        j
+                    );
+                }
+            }
+            ObsEvent::Depart { item, bin, .. } => {
+                prop_assert!(active[*item], "item {} departed twice", item);
+                active[*item] = false;
+                for j in 0..d {
+                    prop_assert!(loads[*bin][j] >= sizes[*item][j], "bin {} underflow", bin);
+                    loads[*bin][j] -= sizes[*item][j];
+                }
+            }
+            ObsEvent::Migrate { item, from, to, .. } => {
+                prop_assert!(active[*item], "migrated departed item {}", item);
+                prop_assert_ne!(*from, *to, "self-migration");
+                prop_assert!(open[*to], "migrated into closed bin {}", to);
+                for j in 0..d {
+                    prop_assert!(loads[*from][j] >= sizes[*item][j], "bin {} underflow", from);
+                    loads[*from][j] -= sizes[*item][j];
+                    loads[*to][j] += sizes[*item][j];
+                    prop_assert!(
+                        loads[*to][j] <= cap[j],
+                        "migration of {} overflows bin {} dim {}",
+                        item,
+                        to,
+                        j
+                    );
+                }
+            }
+            ObsEvent::BinClose { bin, .. } => {
+                prop_assert!(
+                    loads[*bin].iter().all(|&l| l == 0),
+                    "bin {} closed while loaded",
+                    bin
+                );
+                open[*bin] = false;
+                ever_closed[*bin] = true;
+            }
+            _ => {}
+        }
+    }
+    prop_assert!(active.iter().all(|a| !a), "items still active at run end");
+    Ok(())
+}
+
 fn all_kinds() -> Vec<PolicyKind> {
     let mut kinds = PolicyKind::paper_suite(99);
     kinds.push(PolicyKind::BestFit(crate::LoadMeasure::L1));
@@ -288,10 +398,30 @@ proptest! {
                         high_water = high_water.max(open);
                     }
                     crate::TraceEvent::Closed { .. } => open -= 1,
-                    crate::TraceEvent::Packed { .. } => {}
+                    crate::TraceEvent::Packed { .. } | crate::TraceEvent::Migrated { .. } => {}
                 }
             }
             prop_assert_eq!(p.max_concurrent_bins(), high_water, "{}", kind.name());
+        }
+    }
+
+    /// High-churn 1-d live runs under every migrating repack policy:
+    /// migrations never violate capacity, never move a departed item,
+    /// and never touch a closed bin (the small capacity keeps bins
+    /// filling, draining, and closing, so plans actually execute).
+    #[test]
+    fn repack_respects_capacity_and_liveness_1d(inst in instances_1d()) {
+        for repack in repack_policies() {
+            audit_live_repack(&inst, repack)?;
+        }
+    }
+
+    /// The same live-run invariants on multi-dimensional instances,
+    /// where a migration destination must fit in *every* dimension.
+    #[test]
+    fn repack_respects_capacity_and_liveness(inst in instances()) {
+        for repack in repack_policies() {
+            audit_live_repack(&inst, repack)?;
         }
     }
 

@@ -1,0 +1,179 @@
+//! Repacking policies: bounded migration on top of the live engine.
+//!
+//! The paper's model places items irrevocably, but its related work
+//! (Berndt–Jansen–Klein, *Fully Dynamic Bin Packing Revisited*;
+//! Kamali–López-Ortiz, *Renting Servers in the Cloud*) studies *limited
+//! repacking*: a bounded number of migrations per operation — or a
+//! migration-cost budget — buys strictly better competitive ratios.
+//! That is the knob real cloud operators tune: live-migrating a handful
+//! of VMs off a nearly-empty server lets it be released, and the rent
+//! saved can dwarf the migration cost.
+//!
+//! A [`RepackPolicy`] is attached to a
+//! [`LiveEngine`](crate::LiveEngine) at construction (via
+//! [`LiveRequest::repack`](crate::LiveRequest::repack)) and is consulted
+//! only at **departure** and **bin-close** boundaries — arrivals stay
+//! byte-identical to the irrevocable engine, so
+//! [`RepackPolicy::NoRepack`] reproduces the paper's model bit for bit
+//! (conformance layer 10 pins that).
+//!
+//! Policies shipped here:
+//!
+//! * [`RepackPolicy::NoRepack`] — the identity: never migrates.
+//! * [`RepackPolicy::DrainOnDepart`] — when a departure leaves its bin
+//!   with at most `k` active items, try to migrate **all** of them into
+//!   other open bins (all-or-nothing), closing the drained bin. The
+//!   migration cost model is a unit count: at most `k` moves per
+//!   departure.
+//! * [`RepackPolicy::BudgetedDefrag`] — every `period` natural bin
+//!   closes, run a defragmentation sweep: repeatedly pick the open bin
+//!   with the fewest active items and try to drain it entirely into the
+//!   other open bins, charging each move the item's **L1 size** (its
+//!   total resource demand — the non-clairvoyant proxy for the
+//!   remaining size·duration cost, whose duration factor a live run
+//!   cannot know). The sweep stops when the per-sweep `budget` cannot
+//!   pay for the next full drain or no candidate drains.
+//!
+//! Migration planning is deterministic (ascending item index, first
+//! feasible destination bin by ascending id), so WAL recovery re-drives
+//! a repacking run to bit-identical state, and every executed move is
+//! emitted as [`ObsEvent::Migrate`](dvbp_obs::ObsEvent) provenance that
+//! `dvbp explain` can justify.
+
+use serde::{Deserialize, Serialize};
+
+/// A bounded-migration policy run by the live engine at departure and
+/// bin-close boundaries. See the [module docs](self) for semantics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RepackPolicy {
+    /// Never migrate: placements stay irrevocable (the paper's model).
+    #[default]
+    NoRepack,
+    /// Drain a departure's bin when at most `k` active items remain in
+    /// it, moving each to the first open bin that fits
+    /// (all-or-nothing). Unit cost per move.
+    DrainOnDepart {
+        /// Maximum items migrated per departure (0 disables draining).
+        k: u32,
+    },
+    /// Every `period` natural closes, drain fewest-occupied bins first
+    /// while the per-sweep L1-size budget lasts.
+    BudgetedDefrag {
+        /// Per-sweep migration budget in summed L1 item size.
+        budget: u64,
+        /// Natural bin closes between sweeps (0 is rounded up to 1).
+        period: u32,
+    },
+}
+
+impl RepackPolicy {
+    /// `true` iff this policy can ever migrate an item.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        match *self {
+            RepackPolicy::NoRepack => false,
+            RepackPolicy::DrainOnDepart { k } => k > 0,
+            RepackPolicy::BudgetedDefrag { budget, .. } => budget > 0,
+        }
+    }
+
+    /// Stable display name, e.g. for bench rows and metric labels.
+    /// Round-trips through [`FromStr`](std::str::FromStr).
+    #[must_use]
+    pub fn name(&self) -> String {
+        match *self {
+            RepackPolicy::NoRepack => "none".into(),
+            RepackPolicy::DrainOnDepart { k } => format!("drain:{k}"),
+            RepackPolicy::BudgetedDefrag { budget, period } => {
+                format!("defrag:{budget}:{period}")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for RepackPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Error parsing a [`RepackPolicy`] from its CLI spelling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseRepackError(String);
+
+impl std::fmt::Display for ParseRepackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown repack policy '{}'; expected none, drain:<k>, or \
+             defrag:<budget>:<period>",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseRepackError {}
+
+impl std::str::FromStr for RepackPolicy {
+    type Err = ParseRepackError;
+
+    /// Parses the CLI spelling: `none`, `drain:<k>`, or
+    /// `defrag:<budget>:<period>`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "none" {
+            return Ok(RepackPolicy::NoRepack);
+        }
+        if let Some(k) = s.strip_prefix("drain:").and_then(|v| v.parse().ok()) {
+            return Ok(RepackPolicy::DrainOnDepart { k });
+        }
+        if let Some(rest) = s.strip_prefix("defrag:") {
+            if let Some((budget, period)) = rest.split_once(':') {
+                if let (Ok(budget), Ok(period)) = (budget.parse(), period.parse()) {
+                    return Ok(RepackPolicy::BudgetedDefrag { budget, period });
+                }
+            }
+        }
+        Err(ParseRepackError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    #[test]
+    fn parse_round_trips_names() {
+        for policy in [
+            RepackPolicy::NoRepack,
+            RepackPolicy::DrainOnDepart { k: 3 },
+            RepackPolicy::BudgetedDefrag {
+                budget: 40,
+                period: 2,
+            },
+        ] {
+            assert_eq!(RepackPolicy::from_str(&policy.name()), Ok(policy));
+        }
+        assert!(RepackPolicy::from_str("drain").is_err());
+        assert!(RepackPolicy::from_str("defrag:5").is_err());
+        let err = RepackPolicy::from_str("zzz").unwrap_err().to_string();
+        assert!(err.contains("zzz"));
+    }
+
+    #[test]
+    fn enablement_reflects_parameters() {
+        assert!(!RepackPolicy::NoRepack.is_enabled());
+        assert!(!RepackPolicy::DrainOnDepart { k: 0 }.is_enabled());
+        assert!(RepackPolicy::DrainOnDepart { k: 1 }.is_enabled());
+        assert!(!RepackPolicy::BudgetedDefrag {
+            budget: 0,
+            period: 1
+        }
+        .is_enabled());
+        assert!(RepackPolicy::BudgetedDefrag {
+            budget: 9,
+            period: 4
+        }
+        .is_enabled());
+    }
+}

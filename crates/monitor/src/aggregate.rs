@@ -96,6 +96,56 @@ impl Aggregate {
     }
 }
 
+/// Totals over every repack observation run under one
+/// [`RepackPolicy`](dvbp_core::RepackPolicy).
+///
+/// The repack suite drives the same workload through live engines with
+/// different migration budgets; each policy keeps its own monotone
+/// totals so the per-policy running competitive ratio and migration
+/// counters can sit side by side on one scrape.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RepackStats {
+    /// Completed live runs under this policy.
+    pub runs: u64,
+    /// Items migrated between bins over all runs.
+    pub migrations: u64,
+    /// Accumulated migration cost (policy-defined units).
+    pub migration_cost: u64,
+    /// Total usage-time cost (objective of eq. 1) over all runs.
+    pub usage_time: Cost,
+    /// Total Lemma 1 load-integral lower bound over the same runs.
+    pub lb_load: Cost,
+}
+
+impl RepackStats {
+    /// Creates empty totals.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one finished live run into the totals.
+    pub fn absorb(&mut self, migrations: u64, migration_cost: u64, cost: Cost, lb: Cost) {
+        self.runs += 1;
+        self.migrations += migrations;
+        self.migration_cost += migration_cost;
+        self.usage_time += cost;
+        self.lb_load += lb;
+    }
+
+    /// Running competitive ratio under this repack policy, with the
+    /// same neutral-`1.0` cold-start convention as
+    /// [`Aggregate::running_cr`].
+    #[must_use]
+    pub fn running_cr(&self) -> f64 {
+        if self.lb_load == 0 {
+            1.0
+        } else {
+            self.usage_time as f64 / self.lb_load as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +196,20 @@ mod tests {
         let agg = Aggregate::new();
         assert_eq!(agg.running_cr(), 1.0);
         assert_eq!(agg.cr_drift(), 0.0);
+    }
+
+    #[test]
+    fn repack_stats_accumulate_and_cold_start_is_finite() {
+        let mut stats = RepackStats::new();
+        assert_eq!(stats.running_cr(), 1.0);
+        stats.absorb(2, 3, 40, 25);
+        stats.absorb(1, 1, 10, 5);
+        assert_eq!(stats.runs, 2);
+        assert_eq!(stats.migrations, 3);
+        assert_eq!(stats.migration_cost, 4);
+        assert_eq!(stats.usage_time, 50);
+        assert_eq!(stats.lb_load, 30);
+        assert!((stats.running_cr() - 50.0 / 30.0).abs() < 1e-12);
     }
 
     #[test]

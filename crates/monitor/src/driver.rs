@@ -12,11 +12,11 @@
 //!   (time) events pin down the original instance exactly. The driver
 //!   cycles through the reconstructed instances forever.
 
-use crate::aggregate::Aggregate;
+use crate::aggregate::{Aggregate, RepackStats};
 use dvbp_analysis::obs_ingest::RunLog;
 use dvbp_core::{
-    EventSource, Instance, InstanceSource, Item, PackRequest, PolicyKind, StreamError,
-    StreamingLowerBound, Tap, TraceMode,
+    EventSource, Instance, InstanceSource, Item, LiveRequest, PackRequest, PolicyKind,
+    RepackPolicy, StreamError, StreamingLowerBound, Tap, TraceMode,
 };
 use dvbp_dimvec::DimVec;
 use dvbp_obs::{MetricsObserver, ObsEvent, TimingObserver};
@@ -192,6 +192,72 @@ pub fn observe_run(kind: &PolicyKind, instance: &Instance, aggregate: &Mutex<Agg
         .expect("instance-backed streams replay without feed errors");
 }
 
+/// Drives one streamed event feed through a *live* engine under the
+/// given [`RepackPolicy`] and folds migration counters plus the
+/// usage-time-vs-Lemma-1 totals into `stats`. This is the monitor's
+/// repack observation path: the same workload the batch aggregate sees
+/// is replayed once per suite policy, so `/metrics` can expose the
+/// CR-vs-migration-cost frontier live.
+///
+/// # Errors
+///
+/// The [`StreamError`] of the failing source read, rejected feed
+/// operation, or engine construction (clairvoyant kinds cannot run
+/// live). `stats` is left untouched on error.
+///
+/// # Panics
+///
+/// Panics if the stats mutex is poisoned.
+pub fn observe_repack_source_run<S: EventSource + ?Sized>(
+    kind: &PolicyKind,
+    repack: RepackPolicy,
+    source: &mut S,
+    stats: &Mutex<RepackStats>,
+) -> Result<(), StreamError> {
+    let mut live = LiveRequest::new(kind.clone())
+        .capacity(source.capacity().clone())
+        .trace_mode(TraceMode::CostOnly)
+        .repack(repack)
+        .build()
+        .map_err(StreamError::Feed)?;
+    let mut lb = StreamingLowerBound::new(source.capacity());
+    let mut tapped = Tap::new(source, |op| lb.observe(op));
+    live.drive_source(&mut tapped)?;
+    let migrations = live.migrations();
+    let migration_cost = live.migration_cost();
+    let packing = live.into_packing().map_err(StreamError::Feed)?;
+    stats.lock().expect("repack stats mutex poisoned").absorb(
+        migrations,
+        migration_cost,
+        packing.cost(),
+        lb.value(),
+    );
+    Ok(())
+}
+
+/// Drives one instance through a live engine under `repack` and folds
+/// the run into `stats` — [`observe_repack_source_run`] over the
+/// instance's canonical event stream.
+///
+/// # Errors
+///
+/// Propagated from [`observe_repack_source_run`] (the policy kind may
+/// be clairvoyant, which live engines reject).
+///
+/// # Panics
+///
+/// Panics if the instance is rejected by the source layer or the stats
+/// mutex is poisoned.
+pub fn observe_repack_run(
+    kind: &PolicyKind,
+    repack: RepackPolicy,
+    instance: &Instance,
+    stats: &Mutex<RepackStats>,
+) -> Result<(), StreamError> {
+    let mut source = InstanceSource::new(instance).expect("workload sources yield valid instances");
+    observe_repack_source_run(kind, repack, &mut source, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +377,75 @@ mod tests {
         assert!(agg.lb_load > 0);
         assert!(agg.running_cr().is_finite());
         assert!(agg.running_cr() >= 1.0);
+    }
+
+    #[test]
+    fn no_repack_observation_matches_the_batch_cost() {
+        // The live NoRepack path must fold exactly the batch cost and
+        // lower bound — it is the bit-identical baseline of the suite.
+        let inst = sample_instance();
+        let batch = Mutex::new(Aggregate::new());
+        observe_run(&PolicyKind::FirstFit, &inst, &batch);
+        let live = Mutex::new(RepackStats::new());
+        observe_repack_run(&PolicyKind::FirstFit, RepackPolicy::NoRepack, &inst, &live).unwrap();
+        let batch = batch.into_inner().unwrap();
+        let live = live.into_inner().unwrap();
+        assert_eq!(live.usage_time, batch.usage_time);
+        assert_eq!(live.lb_load, batch.lb_load);
+        assert_eq!(live.migrations, 0);
+        assert_eq!(live.migration_cost, 0);
+        assert_eq!(live.runs, 1);
+    }
+
+    #[test]
+    fn drain_policy_records_migrations_and_saves_usage_time() {
+        // cap [10]: items 7 (t0..3), 7 (t1..5), 2 (t2..5). When item 0
+        // departs at t3, bin 0 holds only the 2-item and bin 1 has
+        // residual 3 — DrainOnDepart{1} migrates it and closes bin 0
+        // two ticks early.
+        let item = |size: u64, a: u64, e: u64| Item::new(DimVec::scalar(size), a, e);
+        let inst = Instance::new(
+            DimVec::scalar(10),
+            vec![item(7, 0, 3), item(7, 1, 5), item(2, 2, 5)],
+        )
+        .unwrap();
+        let none = Mutex::new(RepackStats::new());
+        observe_repack_run(&PolicyKind::FirstFit, RepackPolicy::NoRepack, &inst, &none).unwrap();
+        let drain = Mutex::new(RepackStats::new());
+        observe_repack_run(
+            &PolicyKind::FirstFit,
+            RepackPolicy::DrainOnDepart { k: 1 },
+            &inst,
+            &drain,
+        )
+        .unwrap();
+        let none = none.into_inner().unwrap();
+        let drain = drain.into_inner().unwrap();
+        assert_eq!(drain.migrations, 1);
+        assert_eq!(drain.migration_cost, 1);
+        assert!(
+            drain.usage_time < none.usage_time,
+            "drain must save bin-ticks"
+        );
+        assert_eq!(drain.lb_load, none.lb_load, "the bound is policy-free");
+    }
+
+    #[test]
+    fn clairvoyant_kinds_are_rejected_by_the_repack_path() {
+        let inst = sample_instance();
+        let stats = Mutex::new(RepackStats::new());
+        let err = observe_repack_run(
+            &PolicyKind::DurationClassFirstFit,
+            RepackPolicy::NoRepack,
+            &inst,
+            &stats,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::Feed(dvbp_core::LiveError::Clairvoyant { .. })
+        ));
+        assert_eq!(stats.into_inner().unwrap().runs, 0);
     }
 
     #[test]

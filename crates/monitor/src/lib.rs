@@ -13,7 +13,11 @@
 //! * [`aggregate`] — folds each finished run into cross-run totals:
 //!   usage-time cost against the Lemma 1 `lb_load` lower bound (the
 //!   running competitive-ratio drift), open-bin peaks, probe counts, and
-//!   merged wall-clock latency histograms;
+//!   merged wall-clock latency histograms; plus per-repack-policy
+//!   totals ([`RepackStats`]) when a repack suite is active — each run
+//!   is additionally replayed through live engines under every
+//!   configured [`RepackPolicy`](dvbp_core::RepackPolicy), so
+//!   `/metrics` exposes the CR-vs-migration-cost frontier live;
 //! * [`prometheus`] — renders the aggregate in Prometheus text
 //!   exposition format (version 0.0.4);
 //! * [`server`] — serves `/metrics`, `/status` (JSON), `/healthz`, and
@@ -34,7 +38,10 @@ pub mod prometheus;
 pub mod scrape;
 pub mod server;
 
-pub use aggregate::Aggregate;
-pub use driver::{observe_run, observe_source_run, reconstruct_instance, Workload};
+pub use aggregate::{Aggregate, RepackStats};
+pub use driver::{
+    observe_repack_run, observe_repack_source_run, observe_run, observe_source_run,
+    reconstruct_instance, Workload,
+};
 pub use scrape::{http_get, scrape_serve_status};
-pub use server::{Monitor, MonitorServer, Status};
+pub use server::{Monitor, MonitorServer, RepackSlot, RepackStatus, Status};

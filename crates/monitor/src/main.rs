@@ -7,6 +7,7 @@
 //!                 [--cap SPEC] [--dirty reject|clamp] [--ticks-per-day N]
 //!               | --d 2 --n 200 --mu 10 --span 100 --bin 100]
 //!              [--seed 0] [--runs N] [--interval-ms 100]
+//!              [--repack-suite none,drain:2,defrag:64:8 | --repack-suite off]
 //! dvbp-monitor --scrape HOST:PORT [--shards N] [--raw-metrics]
 //! ```
 //!
@@ -21,14 +22,24 @@
 //! ratio comes from the streamed Lemma 1 tap. Otherwise uniform
 //! instances are generated with incrementing seeds.
 //!
+//! Non-clairvoyant policies additionally replay each run through live
+//! engines under a repack suite (`--repack-suite`, default
+//! `none,drain:2,defrag:64:8`) so `/metrics` carries per-policy
+//! migration counters and running competitive ratios — the
+//! CR-vs-migration-cost frontier, live. `--repack-suite off` disables
+//! the extra replays.
+//!
 //! With `--scrape`, the roles flip: instead of serving its own run, the
 //! monitor pulls `/status` from a running `dvbp-serve` dispatch service
 //! and prints a per-shard summary (`--shards N` additionally asserts
 //! the service topology; `--raw-metrics` dumps the Prometheus text
 //! instead).
 
-use dvbp_core::PolicyKind;
-use dvbp_monitor::{observe_run, observe_source_run, Monitor, MonitorServer, Workload};
+use dvbp_core::{PolicyKind, RepackPolicy};
+use dvbp_monitor::{
+    observe_repack_run, observe_repack_source_run, observe_run, observe_source_run, Monitor,
+    MonitorServer, Workload,
+};
 use dvbp_traces::{DirtyPolicy, OpenOptions, TraceFormat};
 use dvbp_workloads::UniformParams;
 use std::path::PathBuf;
@@ -48,6 +59,7 @@ USAGE:
                   [--cap SPEC] [--dirty reject|clamp] [--ticks-per-day N]
                 | --d D --n N --mu MU --span T --bin B]
                [--seed S] [--runs N] [--interval-ms MS]
+               [--repack-suite LIST|off]
 
   dvbp-monitor --scrape HOST:PORT [--shards N] [--raw-metrics]
 
@@ -62,6 +74,9 @@ USAGE:
   --ticks-per-day  with --stream --format azure: ticks per day (default 288)
   --runs         stop driving after N runs, keep serving (0 = unbounded)
   --interval-ms  pause between runs (default 100)
+  --repack-suite comma-separated repack policies replayed live per run
+                 (none | drain:K | defrag:BUDGET:PERIOD; default
+                 none,drain:2,defrag:64:8; 'off' disables the suite)
   --scrape       pull /status from a running dvbp-serve and print a summary
   --shards       with --scrape: fail unless the service runs exactly N shards
   --raw-metrics  with --scrape: print the service's Prometheus text verbatim
@@ -104,6 +119,23 @@ fn run_scrape(args: &[String], target: &str) -> Result<(), String> {
     }
     print!("{}", dvbp_monitor::scrape::render(target, &status));
     Ok(())
+}
+
+/// Parses `--repack-suite` (default `none,drain:2,defrag:64:8`;
+/// `off` yields the empty suite).
+fn repack_suite(args: &[String]) -> Result<Vec<RepackPolicy>, String> {
+    let spec =
+        flag(args, "--repack-suite").unwrap_or_else(|| "none,drain:2,defrag:64:8".to_string());
+    if spec == "off" {
+        return Ok(Vec::new());
+    }
+    spec.split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<RepackPolicy>()
+                .map_err(|e| format!("--repack-suite '{p}': {e}"))
+        })
+        .collect()
 }
 
 /// What the driver thread replays each iteration: materialized
@@ -191,7 +223,22 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     };
 
-    let monitor = Arc::new(Monitor::new(policy.name()));
+    let mut suite = repack_suite(args)?;
+    // Clairvoyant kinds cannot run live; drop the suite rather than
+    // logging a rejection every interval.
+    let live_capable = dvbp_core::LiveRequest::new(policy.clone())
+        .capacity(dvbp_dimvec::DimVec::scalar(1))
+        .build()
+        .is_ok();
+    if !live_capable && !suite.is_empty() {
+        eprintln!(
+            "dvbp-monitor: {} is clairvoyant; repack suite disabled",
+            policy.name()
+        );
+        suite.clear();
+    }
+
+    let monitor = Arc::new(Monitor::with_repack_suite(policy.name(), &suite));
     let server =
         MonitorServer::bind(addr.as_str(), &monitor).map_err(|e| format!("binding {addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
@@ -213,6 +260,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 Drive::Instances(workload) => {
                     let instance = workload.next_instance();
                     observe_run(&policy, &instance, &driver_monitor.aggregate);
+                    for slot in &driver_monitor.repack {
+                        if let Err(e) =
+                            observe_repack_run(&policy, slot.policy, &instance, &slot.stats)
+                        {
+                            eprintln!("dvbp-monitor: repack {}: {e}", slot.policy.name());
+                        }
+                    }
                 }
                 Drive::Stream {
                     path,
@@ -232,6 +286,30 @@ fn run(args: &[String]) -> Result<(), String> {
                         eprintln!("dvbp-monitor: stream {}: {e}", path.display());
                         // The file is broken; keep serving what we have.
                         break;
+                    }
+                    // One extra streamed replay per suite policy: the
+                    // file is re-opened each time, so memory stays
+                    // constant no matter how long the trace is.
+                    for slot in &driver_monitor.repack {
+                        let replayed = format
+                            .open_path(path, options)
+                            .map_err(|e| e.to_string())
+                            .and_then(|mut source| {
+                                observe_repack_source_run(
+                                    &policy,
+                                    slot.policy,
+                                    &mut *source,
+                                    &slot.stats,
+                                )
+                                .map_err(|e| e.to_string())
+                            });
+                        if let Err(e) = replayed {
+                            eprintln!(
+                                "dvbp-monitor: repack {} stream {}: {e}",
+                                slot.policy.name(),
+                                path.display()
+                            );
+                        }
                     }
                 }
             }

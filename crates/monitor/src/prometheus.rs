@@ -19,7 +19,7 @@
 //! `2^i − 1` (bucket 0 is the singleton `{0}`); buckets are emitted up
 //! to the highest non-empty one, then `+Inf`.
 
-use crate::aggregate::Aggregate;
+use crate::aggregate::{Aggregate, RepackStats};
 use dvbp_obs::histogram::LogHistogram;
 use std::fmt::Write as _;
 
@@ -167,6 +167,102 @@ pub fn render(agg: &Aggregate, policy: &str) -> String {
     out
 }
 
+/// One metric family spanning every repack-suite policy: HELP/TYPE
+/// once, then one `{policy=…,repack=…}` sample per suite entry.
+fn repack_family(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    kind: &str,
+    policy: &str,
+    entries: &[(String, RepackStats)],
+    value: impl Fn(&RepackStats) -> String,
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    for (repack, stats) in entries {
+        let _ = writeln!(
+            out,
+            "{name}{{policy=\"{policy}\",repack=\"{repack}\"}} {}",
+            value(stats)
+        );
+    }
+}
+
+/// Renders the repack-suite section of the exposition: per-policy
+/// migration counters and the running competitive ratio, one `repack`
+/// label value per suite entry. Appended to [`render`]'s document by
+/// the monitor when a repack suite is active.
+#[must_use]
+pub fn render_repack(policy: &str, entries: &[(String, RepackStats)]) -> String {
+    let mut out = String::new();
+    if entries.is_empty() {
+        return out;
+    }
+    repack_family(
+        &mut out,
+        "dvbp_repack_runs_total",
+        "Completed live runs per repack policy.",
+        "counter",
+        policy,
+        entries,
+        |s| s.runs.to_string(),
+    );
+    repack_family(
+        &mut out,
+        "dvbp_repack_migrations_total",
+        "Items migrated between bins per repack policy.",
+        "counter",
+        policy,
+        entries,
+        |s| s.migrations.to_string(),
+    );
+    repack_family(
+        &mut out,
+        "dvbp_repack_migration_cost_total",
+        "Accumulated migration cost per repack policy.",
+        "counter",
+        policy,
+        entries,
+        |s| s.migration_cost.to_string(),
+    );
+    repack_family(
+        &mut out,
+        "dvbp_repack_usage_time_total",
+        "Accumulated MinUsageTime cost per repack policy (bin-ticks).",
+        "counter",
+        policy,
+        entries,
+        |s| s.usage_time.to_string(),
+    );
+    repack_family(
+        &mut out,
+        "dvbp_repack_lb_load_total",
+        "Accumulated Lemma 1 lower bound per repack policy (bin-ticks).",
+        "counter",
+        policy,
+        entries,
+        |s| s.lb_load.to_string(),
+    );
+    repack_family(
+        &mut out,
+        "dvbp_repack_cr_running",
+        "Running competitive ratio per repack policy.",
+        "gauge",
+        policy,
+        entries,
+        |s| {
+            let cr = s.running_cr();
+            if cr.is_finite() {
+                cr.to_string()
+            } else {
+                "+Inf".to_string()
+            }
+        },
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +330,45 @@ mod tests {
         // 1000 lands in bucket 10 ([512, 1024)), le = 1023.
         assert!(text.contains("le=\"1023\""), "{text}");
         assert!(text.contains("le=\"0\""), "{text}");
+    }
+
+    #[test]
+    fn repack_section_emits_one_labeled_sample_per_policy() {
+        let mut drain = RepackStats::new();
+        drain.absorb(3, 3, 40, 25);
+        let entries = vec![
+            ("none".to_string(), RepackStats::new()),
+            ("drain:2".to_string(), drain),
+        ];
+        let text = render_repack("FirstFit", &entries);
+        assert!(
+            text.contains("dvbp_repack_migrations_total{policy=\"FirstFit\",repack=\"drain:2\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dvbp_repack_migrations_total{policy=\"FirstFit\",repack=\"none\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dvbp_repack_cr_running{policy=\"FirstFit\",repack=\"drain:2\"} 1.6"),
+            "{text}"
+        );
+        // Cold-start entry renders the neutral 1 — no non-finite samples.
+        assert!(
+            text.contains("dvbp_repack_cr_running{policy=\"FirstFit\",repack=\"none\"} 1"),
+            "{text}"
+        );
+        assert!(!text.contains("Inf"), "{text}");
+        // HELP/TYPE once per family, not per label value.
+        assert_eq!(
+            text.matches("# TYPE dvbp_repack_migrations_total").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn empty_repack_suite_renders_nothing() {
+        assert!(render_repack("p", &[]).is_empty());
     }
 
     #[test]

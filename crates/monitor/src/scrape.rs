@@ -119,6 +119,7 @@ mod tests {
             ServeState::in_memory(
                 &DimVec::from_slice(&[10, 10]),
                 &PolicyKind::FirstFit,
+                dvbp_core::RepackPolicy::NoRepack,
                 2,
                 RouterKind::RoundRobin,
                 TraceMode::CostOnly,

@@ -17,8 +17,9 @@
 //! flag between runs) and the server stop together; the in-flight
 //! response is fully written first.
 
-use crate::aggregate::Aggregate;
+use crate::aggregate::{Aggregate, RepackStats};
 use crate::prometheus;
+use dvbp_core::RepackPolicy;
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -55,8 +56,35 @@ pub struct Status {
     pub cr_drift: f64,
     /// Mean arrival-to-placement latency (ns).
     pub mean_dispatch_ns: f64,
+    /// Per-repack-policy totals (empty when no suite is active).
+    pub repack: Vec<RepackStatus>,
     /// Whether shutdown was requested.
     pub shutting_down: bool,
+}
+
+/// One repack-suite entry in the `/status` document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RepackStatus {
+    /// Repack policy name (`none`, `drain:K`, `defrag:B:P`).
+    pub repack: String,
+    /// Completed live runs under this policy.
+    pub runs: u64,
+    /// Items migrated between bins.
+    pub migrations: u64,
+    /// Accumulated migration cost.
+    pub migration_cost: u64,
+    /// Running competitive ratio under this policy.
+    pub cr_running: f64,
+}
+
+/// One repack-suite policy with its totals, shared between the driver
+/// thread and the HTTP handlers.
+#[derive(Debug)]
+pub struct RepackSlot {
+    /// The migration budget being observed.
+    pub policy: RepackPolicy,
+    /// Totals over every live run under `policy`.
+    pub stats: Mutex<RepackStats>,
 }
 
 /// State shared between the driver thread and the HTTP handlers.
@@ -68,17 +96,52 @@ pub struct Monitor {
     pub shutdown: AtomicBool,
     /// Display name of the policy being driven (metric label).
     pub policy: String,
+    /// Repack suite observed alongside the batch runs (may be empty).
+    pub repack: Vec<RepackSlot>,
 }
 
 impl Monitor {
-    /// Creates an empty monitor for the given policy label.
+    /// Creates an empty monitor for the given policy label, with no
+    /// repack suite.
     #[must_use]
     pub fn new(policy: impl Into<String>) -> Self {
+        Self::with_repack_suite(policy, &[])
+    }
+
+    /// Creates an empty monitor that also observes each run under every
+    /// policy in `suite` (live engines with migration budgets), exposing
+    /// per-policy `dvbp_repack_*` series on `/metrics`.
+    #[must_use]
+    pub fn with_repack_suite(policy: impl Into<String>, suite: &[RepackPolicy]) -> Self {
         Monitor {
             aggregate: Mutex::new(Aggregate::new()),
             shutdown: AtomicBool::new(false),
             policy: policy.into(),
+            repack: suite
+                .iter()
+                .map(|&policy| RepackSlot {
+                    policy,
+                    stats: Mutex::new(RepackStats::new()),
+                })
+                .collect(),
         }
+    }
+
+    /// Point-in-time snapshot of the repack suite: `(name, totals)` per
+    /// policy, in suite order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stats mutex is poisoned.
+    #[must_use]
+    pub fn repack_snapshot(&self) -> Vec<(String, RepackStats)> {
+        self.repack
+            .iter()
+            .map(|slot| {
+                let stats = *slot.stats.lock().expect("repack stats mutex poisoned");
+                (slot.policy.name(), stats)
+            })
+            .collect()
     }
 
     /// Whether shutdown was requested.
@@ -108,6 +171,17 @@ impl Monitor {
             cr_running: agg.running_cr(),
             cr_drift: agg.cr_drift(),
             mean_dispatch_ns: agg.dispatch_ns.mean(),
+            repack: self
+                .repack_snapshot()
+                .into_iter()
+                .map(|(repack, stats)| RepackStatus {
+                    repack,
+                    runs: stats.runs,
+                    migrations: stats.migrations,
+                    migration_cost: stats.migration_cost,
+                    cr_running: stats.running_cr(),
+                })
+                .collect(),
             shutting_down: self.shutting_down(),
         }
     }
@@ -130,8 +204,15 @@ impl Monitor {
     /// Panics if the aggregate mutex is poisoned.
     #[must_use]
     pub fn metrics_text(&self) -> String {
-        let agg = self.aggregate.lock().expect("aggregate mutex poisoned");
-        prometheus::render(&agg, &self.policy)
+        let mut text = {
+            let agg = self.aggregate.lock().expect("aggregate mutex poisoned");
+            prometheus::render(&agg, &self.policy)
+        };
+        text.push_str(&prometheus::render_repack(
+            &self.policy,
+            &self.repack_snapshot(),
+        ));
+        text
     }
 }
 
@@ -249,6 +330,35 @@ mod tests {
         let text = monitor.metrics_text();
         assert!(text.contains("dvbp_runs_total"));
         assert!(text.contains("dvbp_cr_running"));
+    }
+
+    #[test]
+    fn repack_suite_shows_up_in_status_and_metrics() {
+        let monitor = Monitor::with_repack_suite(
+            "FirstFit",
+            &[RepackPolicy::NoRepack, RepackPolicy::DrainOnDepart { k: 2 }],
+        );
+        monitor.repack[1].stats.lock().unwrap().absorb(4, 4, 30, 20);
+        let status: Status = serde_json::from_str(&monitor.status_json()).unwrap();
+        assert_eq!(status.repack.len(), 2);
+        assert_eq!(status.repack[0].repack, "none");
+        assert_eq!(status.repack[1].repack, "drain:2");
+        assert_eq!(status.repack[1].migrations, 4);
+        assert!((status.repack[1].cr_running - 1.5).abs() < 1e-12);
+        let text = monitor.metrics_text();
+        assert!(
+            text.contains("dvbp_repack_migrations_total{policy=\"FirstFit\",repack=\"drain:2\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dvbp_repack_cr_running{policy=\"FirstFit\",repack=\"none\"} 1"),
+            "{text}"
+        );
+        // A suite-less monitor keeps the old document shape: no repack
+        // series at all.
+        assert!(!Monitor::new("FirstFit")
+            .metrics_text()
+            .contains("dvbp_repack_"));
     }
 
     #[test]

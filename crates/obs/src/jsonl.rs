@@ -25,7 +25,8 @@
 //! so recovery can truncate to the last durable boundary and resume.
 
 use crate::{
-    Arrival, Decision, Depart, ObsError, ObsEvent, Observer, Place, Probe, RunEnd, RunStart,
+    Arrival, Decision, Depart, Migrate, ObsError, ObsEvent, Observer, Place, Probe, RunEnd,
+    RunStart,
 };
 use dvbp_sim::Time;
 use std::fs::File;
@@ -322,6 +323,15 @@ impl<W: Write> Observer for JsonlEmitter<W> {
             time: ev.time,
             item: ev.item,
             bin: ev.bin,
+        });
+    }
+
+    fn on_migrate(&mut self, ev: Migrate) {
+        self.emit(&ObsEvent::Migrate {
+            time: ev.time,
+            item: ev.item,
+            from: ev.from,
+            to: ev.to,
         });
     }
 

@@ -188,6 +188,24 @@ pub struct Depart {
     pub bin: usize,
 }
 
+/// A still-active item moved between open bins by a repacking policy
+/// (`RepackPolicy` in `dvbp-core`), observed after loads are updated.
+///
+/// Only live runs with repacking enabled emit this; the batch engine's
+/// placements stay irrevocable. If the move emptied `from`, the usual
+/// [`on_bin_close`](Observer::on_bin_close) fires right after.
+#[derive(Clone, Copy, Debug)]
+pub struct Migrate {
+    /// Tick of the migration (the departure that triggered it).
+    pub time: Time,
+    /// The migrated item's index.
+    pub item: usize,
+    /// The bin the item was moved out of.
+    pub from: usize,
+    /// The bin the item was moved into.
+    pub to: usize,
+}
+
 /// Summary of a finished run.
 #[derive(Clone, Copy, Debug)]
 pub struct RunEnd {
@@ -250,8 +268,15 @@ pub trait Observer {
     #[inline]
     fn on_depart(&mut self, _ev: Depart) {}
 
+    /// A repacking policy moved a still-active item between open bins
+    /// (fires after the triggering [`on_depart`](Observer::on_depart),
+    /// once per migration, in execution order; live runs only).
+    #[inline]
+    fn on_migrate(&mut self, _ev: Migrate) {}
+
     /// A bin became empty and closed permanently (fires after the
-    /// corresponding [`on_depart`](Observer::on_depart)).
+    /// corresponding [`on_depart`](Observer::on_depart) or
+    /// [`on_migrate`](Observer::on_migrate)).
     #[inline]
     fn on_bin_close(&mut self, _time: Time, _bin: usize) {}
 
@@ -304,6 +329,10 @@ impl<O: Observer + ?Sized> Observer for &mut O {
         (**self).on_depart(ev);
     }
     #[inline]
+    fn on_migrate(&mut self, ev: Migrate) {
+        (**self).on_migrate(ev);
+    }
+    #[inline]
     fn on_bin_close(&mut self, time: Time, bin: usize) {
         (**self).on_bin_close(time, bin);
     }
@@ -344,6 +373,10 @@ macro_rules! tuple_observer {
             #[inline]
             fn on_depart(&mut self, ev: Depart) {
                 $(self.$idx.on_depart(ev);)+
+            }
+            #[inline]
+            fn on_migrate(&mut self, ev: Migrate) {
+                $(self.$idx.on_migrate(ev);)+
             }
             #[inline]
             fn on_bin_close(&mut self, time: Time, bin: usize) {
@@ -479,6 +512,18 @@ pub enum ObsEvent {
         /// The bin departed from.
         bin: usize,
     },
+    /// A repacking policy moved a still-active item between open bins
+    /// (live runs with a `RepackPolicy` only).
+    Migrate {
+        /// Tick of the migration.
+        time: Time,
+        /// The migrated item.
+        item: usize,
+        /// Source bin.
+        from: usize,
+        /// Destination bin.
+        to: usize,
+    },
     /// Bin closed.
     BinClose {
         /// Closing tick.
@@ -574,6 +619,15 @@ impl Observer for Recorder {
             time: ev.time,
             item: ev.item,
             bin: ev.bin,
+        });
+    }
+
+    fn on_migrate(&mut self, ev: Migrate) {
+        self.events.push(ObsEvent::Migrate {
+            time: ev.time,
+            item: ev.item,
+            from: ev.from,
+            to: ev.to,
         });
     }
 

@@ -8,7 +8,7 @@
 //! independent of the run length, so it can ride along production-scale
 //! traces.
 
-use crate::{Arrival, Depart, Observer, Place, RunStart};
+use crate::{Arrival, Depart, Migrate, Observer, Place, RunStart};
 use dvbp_sim::Time;
 use serde::{Deserialize, Serialize};
 
@@ -106,6 +106,9 @@ pub struct MetricsObserver {
     pub arrivals: u64,
     /// Items departed.
     pub departures: u64,
+    /// Items migrated between bins by a repacking policy (live runs
+    /// with repacking only; 0 for batch runs).
+    pub migrations: u64,
     /// Bins ever opened.
     pub bins_opened: u64,
     /// Bins closed.
@@ -150,6 +153,7 @@ impl MetricsObserver {
         MetricsObserver {
             arrivals: 0,
             departures: 0,
+            migrations: 0,
             bins_opened: 0,
             bins_closed: 0,
             total_scanned: 0,
@@ -232,6 +236,13 @@ impl Observer for MetricsObserver {
     fn on_depart(&mut self, ev: Depart) {
         self.departures += 1;
         self.load_sum -= self.item_load.get(ev.item).copied().unwrap_or(0);
+        self.sample(ev.time);
+    }
+
+    fn on_migrate(&mut self, ev: Migrate) {
+        // Load stays rented (the item is still active), only its bin
+        // changed; the counter is the only state that moves.
+        self.migrations += 1;
         self.sample(ev.time);
     }
 

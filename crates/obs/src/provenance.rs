@@ -16,7 +16,9 @@
 //!
 //! [`EngineView`]: https://docs.rs/dvbp-core
 
-use crate::{Arrival, Decision, Depart, ObsEvent, Observer, Place, Probe, RunEnd, RunStart, Time};
+use crate::{
+    Arrival, Decision, Depart, Migrate, ObsEvent, Observer, Place, Probe, RunEnd, RunStart, Time,
+};
 
 /// Buffers every event — including probes and decisions — in memory.
 ///
@@ -113,6 +115,15 @@ impl Observer for ProvenanceObserver {
         });
     }
 
+    fn on_migrate(&mut self, ev: Migrate) {
+        self.events.push(ObsEvent::Migrate {
+            time: ev.time,
+            item: ev.item,
+            from: ev.from,
+            to: ev.to,
+        });
+    }
+
     fn on_bin_close(&mut self, time: Time, bin: usize) {
         self.events.push(ObsEvent::BinClose { time, bin });
     }
@@ -171,6 +182,11 @@ impl<O: Observer> Observer for WithProvenance<O> {
     #[inline]
     fn on_depart(&mut self, ev: Depart) {
         self.0.on_depart(ev);
+    }
+
+    #[inline]
+    fn on_migrate(&mut self, ev: Migrate) {
+        self.0.on_migrate(ev);
     }
 
     #[inline]

@@ -212,6 +212,7 @@ mod tests {
             ServeState::in_memory(
                 &DimVec::from_slice(&[10, 10]),
                 &PolicyKind::FirstFit,
+                dvbp_core::RepackPolicy::NoRepack,
                 shards,
                 RouterKind::Hash,
                 TraceMode::Full,

@@ -12,7 +12,7 @@
 //! running service in canonical timeline order; re-driving after a
 //! crash resumes idempotently. `query` prints the `/status` JSON.
 
-use dvbp_core::{PolicyKind, TimeMode, TraceMode};
+use dvbp_core::{PolicyKind, RepackPolicy, TimeMode, TraceMode};
 use dvbp_dimvec::DimVec;
 use dvbp_obs::SyncPolicy;
 use dvbp_serve::router::RouterKind;
@@ -31,6 +31,7 @@ dvbp-serve — sharded online DVBP dispatch service with WAL durability
 USAGE:
   dvbp-serve serve [--addr HOST:PORT] [--policy NAME] [--shards N]
                    [--router hash|round-robin|least-loaded]
+                   [--repack none|drain:K|defrag:BUDGET:PERIOD]
                    [--wal DIR] [--sync per-event|batch:N|on-close]
                    [--time-mode strict|clamp] [--cap C1,C2,...]
   dvbp-serve drive [--addr HOST:PORT]
@@ -45,6 +46,9 @@ USAGE:
   --policy      packing policy (default FirstFit); clairvoyant kinds rejected
   --shards      independent engine shards (default 1)
   --router      id -> shard strategy (default hash)
+  --repack      per-shard repacking: none (default), drain:K migrates up to K
+                items off a departure's bin, defrag:B:P spends migration
+                budget B every P bin closes; all moves are journaled
   --wal         write-ahead-log directory; omit for a non-durable in-memory run
   --sync        WAL durability per accepted operation (default per-event)
   --time-mode   strict rejects out-of-order timestamps; clamp pulls them forward
@@ -105,6 +109,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         return Err("--shards must be at least 1".into());
     }
     let router: RouterKind = parse(args, "--router", RouterKind::Hash)?;
+    let repack: RepackPolicy = parse(args, "--repack", RepackPolicy::NoRepack)?;
     let sync: SyncPolicy = parse(args, "--sync", SyncPolicy::PerEvent)?;
     let time_mode: TimeMode = parse(args, "--time-mode", TimeMode::Strict)?;
     let capacity = parse_capacity(&parse(args, "--cap", "100,100".to_string())?)?;
@@ -116,9 +121,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // Full run, without unbounded trace growth in a long-lived process.
     let banner = |recovered: u64| {
         println!(
-            "dvbp-serve: {} x{shards} ({} router) on {bound}, {recovered} recovered event(s)",
+            "dvbp-serve: {} x{shards} ({} router, repack {}) on {bound}, \
+             {recovered} recovered event(s)",
             policy.name(),
             router.name(),
+            repack.name(),
         );
     };
     match flag(args, "--wal") {
@@ -127,6 +134,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 &PathBuf::from(&dir),
                 &capacity,
                 &policy,
+                repack,
                 shards,
                 router,
                 TraceMode::CostOnly,
@@ -144,6 +152,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             let state = ServeState::in_memory(
                 &capacity,
                 &policy,
+                repack,
                 shards,
                 router,
                 TraceMode::CostOnly,

@@ -97,6 +97,9 @@ pub enum Response {
         bin: usize,
         /// Whether the departure closed the bin.
         closed: bool,
+        /// Repack migrations this departure triggered (see
+        /// `--repack`); 0 unless a repacking policy is active.
+        migrations: u64,
         /// Effective tick.
         time: u64,
     },
@@ -122,6 +125,8 @@ pub enum Response {
 pub struct ServeStatus {
     /// Policy display name.
     pub policy: String,
+    /// Repack policy display name (`none`, `drain:K`, `defrag:B:P`).
+    pub repack: String,
     /// Router display name (`hash`, `round-robin`, `least-loaded`).
     pub router: String,
     /// Number of shards.
@@ -136,6 +141,11 @@ pub struct ServeStatus {
     pub open_bins: u64,
     /// Bins ever opened.
     pub bins_opened: u64,
+    /// Repack migrations executed over all shards.
+    pub migrations: u64,
+    /// Total migration cost (L1 item size per defrag move, 1 per drain
+    /// move) over all shards.
+    pub migration_cost: u64,
     /// Total usage time at each shard's current tick, as a decimal
     /// string (the MinUsageTime objective; `Σ` over shards).
     pub usage_time: String,
@@ -166,6 +176,10 @@ pub struct ShardStatus {
     pub open_bins: u64,
     /// Bins ever opened.
     pub bins_opened: u64,
+    /// Repack migrations executed.
+    pub migrations: u64,
+    /// Total migration cost.
+    pub migration_cost: u64,
     /// Usage time at the shard's current tick, as a decimal string.
     pub usage_time: String,
     /// WAL lines written since boot.
@@ -218,6 +232,7 @@ mod tests {
     fn responses_round_trip() {
         let status = ServeStatus {
             policy: "FirstFit".into(),
+            repack: "drain:2".into(),
             router: "hash".into(),
             shards: 2,
             arrivals: 3,
@@ -225,6 +240,8 @@ mod tests {
             active_items: 2,
             open_bins: 1,
             bins_opened: 2,
+            migrations: 1,
+            migration_cost: 1,
             usage_time: "12".into(),
             wal_lines: 9,
             recovered_events: 0,
@@ -237,6 +254,8 @@ mod tests {
                 active_items: 1,
                 open_bins: 1,
                 bins_opened: 1,
+                migrations: 1,
+                migration_cost: 1,
                 usage_time: "8".into(),
                 wal_lines: 5,
                 last_time: 7,

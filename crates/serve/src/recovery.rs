@@ -19,10 +19,13 @@
 //! * A trailing **incomplete group** (e.g. `Ident`+`Arrival` without
 //!   the committing `Place`): the crash hit between the group's lines,
 //!   so the operation was never acknowledged.
-//! * A trailing lone `Depart` whose replay says the bin **closed**: the
-//!   commit line of a closing depart group is its `BinClose`, so its
-//!   absence proves the crash hit mid-group. The whole group is rolled
-//!   back (by re-driving without it). A mid-log `Depart` with the same
+//! * A trailing depart group whose journaled lines are a **strict
+//!   prefix** of what the replay produces — a lone `Depart` whose
+//!   replay says the bin closed, or a depart whose repack migrations
+//!   (and their `BinClose` lines) were cut before the group's commit
+//!   line. The whole group is rolled back (by re-driving without it):
+//!   repacking is deterministic, so an unacknowledged departure takes
+//!   its migrations with it. A mid-log group with the same
 //!   disagreement is *not* ambiguous — its group is complete because
 //!   later groups follow — so there it is `Diverged`.
 //!
@@ -31,7 +34,9 @@
 //! log file to `valid_bytes` before appending new groups, restoring the
 //! acknowledged-prefix invariant.
 
-use dvbp_core::{LiveEngine, LiveError, PolicyKind, TimeMode, TraceMode};
+use dvbp_core::{
+    LiveEngine, LiveError, LiveRequest, PolicyKind, RepackPolicy, TimeMode, TraceMode,
+};
 use dvbp_dimvec::DimVec;
 use dvbp_obs::{scan_wal, ObsError, ObsEvent};
 use dvbp_sim::Time;
@@ -144,8 +149,36 @@ enum Group {
         item: usize,
         time: Time,
         bin: usize,
-        closed: bool,
+        /// The journaled post-`Depart` lines (`BinClose`, `Migrate`)
+        /// in order, for comparison against the replay's outcome.
+        tail: Vec<TailLine>,
     },
+}
+
+/// One post-`Depart` line of a depart group, in a shape shared by the
+/// journal parser and the replay so prefix comparison is literal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TailLine {
+    /// `BinClose{bin}` — the departed bin, or a drained migration
+    /// source.
+    Close(usize),
+    /// `Migrate{item, from, to}`.
+    Migrate(usize, usize, usize),
+}
+
+/// The depart group's tail a replayed departure would journal.
+fn replay_tail(dep: &dvbp_core::LiveDeparture) -> Vec<TailLine> {
+    let mut tail = Vec::new();
+    if dep.closed {
+        tail.push(TailLine::Close(dep.bin.0));
+    }
+    for m in &dep.migrations {
+        tail.push(TailLine::Migrate(m.item, m.from.0, m.to.0));
+        if m.closed_from {
+            tail.push(TailLine::Close(m.from.0));
+        }
+    }
+    tail
 }
 
 /// Parses the scanned event list into groups. `complete[i]` is the
@@ -220,16 +253,34 @@ fn parse_groups(events: &[ObsEvent]) -> Result<(Vec<Group>, u64), RecoveryError>
                 i = j + 1;
             }
             ObsEvent::Depart { time, item, bin } => {
-                // Depart group: Depart, BinClose?.
-                let closed = matches!(events.get(i + 1), Some(ObsEvent::BinClose { .. }));
+                // Depart group: Depart, BinClose?, (Migrate BinClose?)*.
+                // Greedy consumption is unambiguous: BinClose and
+                // Migrate cannot start a group.
+                let mut tail = Vec::new();
+                let mut j = i + 1;
+                if let Some(ObsEvent::BinClose { bin: b, .. }) = events.get(j) {
+                    tail.push(TailLine::Close(*b));
+                    j += 1;
+                }
+                while let Some(ObsEvent::Migrate {
+                    item: mi, from, to, ..
+                }) = events.get(j)
+                {
+                    tail.push(TailLine::Migrate(*mi, *from, *to));
+                    j += 1;
+                    if let Some(ObsEvent::BinClose { bin: b, .. }) = events.get(j) {
+                        tail.push(TailLine::Close(*b));
+                        j += 1;
+                    }
+                }
                 groups.push(Group::Depart {
                     at,
                     item: *item,
                     time: *time,
                     bin: *bin,
-                    closed,
+                    tail,
                 });
-                i += if closed { 2 } else { 1 };
+                i = j;
             }
             other => {
                 return Err(RecoveryError::Malformed {
@@ -276,16 +327,21 @@ fn trailing_or_malformed(
 type DrivenState = (LiveEngine, HashMap<String, usize>, Vec<String>);
 
 /// Re-drives `groups` on a fresh engine, checking every outcome against
-/// the journal. `check_last_closing_depart` is false on the rollback
-/// pass (the ambiguous trailing group has already been removed).
+/// the journal.
 fn drive(
     groups: &[Group],
     capacity: &DimVec,
     kind: &PolicyKind,
+    repack: RepackPolicy,
     trace: TraceMode,
     time_mode: TimeMode,
 ) -> Result<DrivenState, RecoveryError> {
-    let mut live = LiveEngine::new(capacity.clone(), kind, trace, time_mode)?;
+    let mut live = LiveRequest::new(kind.clone())
+        .capacity(capacity.clone())
+        .trace_mode(trace)
+        .time_mode(time_mode)
+        .repack(repack)
+        .build()?;
     let mut ids = HashMap::new();
     let mut names = Vec::new();
     for group in groups {
@@ -328,7 +384,7 @@ fn drive(
                 item,
                 time,
                 bin,
-                closed,
+                tail,
             } => {
                 let dep = match live.depart(*item, *time) {
                     Ok(dep) => dep,
@@ -353,15 +409,26 @@ fn drive(
                         ),
                     });
                 }
-                if dep.closed != *closed {
-                    // Exact marker matched by `is_ambiguous_trailing_depart`.
-                    return Err(RecoveryError::Diverged {
-                        event: *at,
-                        msg: format!(
-                            "journal says closed={closed}, replay says closed={}",
-                            dep.closed
-                        ),
-                    });
+                let replay = replay_tail(&dep);
+                if *tail != replay {
+                    // A journaled tail that is a *strict prefix* of the
+                    // replay's is the crash-explicable shape (the
+                    // group's remaining lines were cut before its
+                    // commit); `is_ambiguous_trailing_depart` matches
+                    // this marker for the final group.
+                    let msg = if replay.len() > tail.len() && replay[..tail.len()] == tail[..] {
+                        format!(
+                            "{AMBIGUOUS_PREFIX_MARKER}: journal has {} tail line(s), \
+                             replay produced {}",
+                            tail.len(),
+                            replay.len()
+                        )
+                    } else {
+                        format!(
+                            "journal depart group tail {tail:?} does not match replay {replay:?}"
+                        )
+                    };
+                    return Err(RecoveryError::Diverged { event: *at, msg });
                 }
             }
         }
@@ -373,7 +440,7 @@ fn drive(
 fn group_lines(g: &Group) -> u64 {
     match g {
         Group::Arrive { opened_new, .. } => 3 + u64::from(*opened_new),
-        Group::Depart { closed, .. } => 1 + u64::from(*closed),
+        Group::Depart { tail, .. } => 1 + tail.len() as u64,
     }
 }
 
@@ -388,6 +455,7 @@ pub fn recover(
     bytes: &[u8],
     capacity: &DimVec,
     kind: &PolicyKind,
+    repack: RepackPolicy,
     trace: TraceMode,
     time_mode: TimeMode,
 ) -> Result<Recovered, RecoveryError> {
@@ -395,7 +463,12 @@ pub fn recover(
     if scan.events.is_empty() {
         // Empty or fully-torn log: boot fresh; the caller truncates the
         // torn fragment (valid_bytes = 0) and writes a new header.
-        let live = LiveEngine::new(capacity.clone(), kind, trace, time_mode)?;
+        let live = LiveRequest::new(kind.clone())
+            .capacity(capacity.clone())
+            .trace_mode(trace)
+            .time_mode(time_mode)
+            .repack(repack)
+            .build()?;
         return Ok(Recovered {
             live,
             ids: HashMap::new(),
@@ -420,17 +493,18 @@ pub fn recover(
     }
 
     let (mut groups, mut dropped_events) = parse_groups(&scan.events)?;
-    let (live, ids, names) = match drive(&groups, capacity, kind, trace, time_mode) {
+    let (live, ids, names) = match drive(&groups, capacity, kind, repack, trace, time_mode) {
         Ok(state) => state,
         Err(RecoveryError::Diverged { event, msg })
             if is_ambiguous_trailing_depart(&groups, event, &msg) =>
         {
-            // The log's last group is a lone Depart that the replay
-            // says closed its bin: the crash cut the group before its
-            // BinClose commit line. Roll the group back.
+            // The log's last group is a depart whose journaled lines
+            // are a strict prefix of what the replay produces: the
+            // crash cut the group before its commit line (BinClose or
+            // trailing Migrate lines). Roll the whole group back.
             let rolled = groups.pop().expect("non-empty by construction");
             dropped_events += group_lines(&rolled);
-            drive(&groups, capacity, kind, trace, time_mode)?
+            drive(&groups, capacity, kind, repack, trace, time_mode)?
         }
         Err(e) => return Err(e),
     };
@@ -450,15 +524,17 @@ pub fn recover(
     })
 }
 
-/// Whether a replay divergence is the one crash-explicable case: the
-/// *final* group is a `Depart` journaled as non-closing, and the replay
-/// disagreement is on the `closed` flag (the journal's `BinClose` line
-/// was cut).
+/// Marker prefix of the one crash-explicable replay divergence: the
+/// journaled depart-group tail is a strict prefix of the replay's.
+const AMBIGUOUS_PREFIX_MARKER: &str = "journal depart group is a prefix of replay";
+
+/// Whether a replay divergence is the crash-explicable case: the
+/// *final* group is a `Depart` whose journaled tail is a strict prefix
+/// of the replay's (its `BinClose` / `Migrate` lines were cut before
+/// the commit line).
 fn is_ambiguous_trailing_depart(groups: &[Group], event: usize, msg: &str) -> bool {
     match groups.last() {
-        Some(Group::Depart { at, closed, .. }) => {
-            *at == event && !*closed && msg == "journal says closed=false, replay says closed=true"
-        }
+        Some(Group::Depart { at, .. }) => *at == event && msg.starts_with(AMBIGUOUS_PREFIX_MARKER),
         _ => false,
     }
 }
@@ -473,17 +549,22 @@ mod tests {
         DimVec::from_slice(&[10, 10])
     }
 
-    /// A shard driven through a fixed script, returning its WAL bytes.
-    fn scripted_wal() -> Vec<u8> {
-        let mut s = Shard::create(
+    fn shard_with(repack: RepackPolicy) -> Shard<Vec<u8>> {
+        Shard::create(
             capacity(),
             &PolicyKind::FirstFit,
+            repack,
             TraceMode::Full,
             TimeMode::Strict,
             Vec::new(),
             SyncPolicy::OnClose,
         )
-        .unwrap();
+        .unwrap()
+    }
+
+    /// A shard driven through a fixed script, returning its WAL bytes.
+    fn scripted_wal() -> Vec<u8> {
+        let mut s = shard_with(RepackPolicy::NoRepack);
         s.arrive("a", DimVec::from_slice(&[6, 6]), 0).unwrap();
         s.arrive("b", DimVec::from_slice(&[2, 2]), 1).unwrap();
         s.arrive("c", DimVec::from_slice(&[6, 6]), 2).unwrap();
@@ -493,14 +574,31 @@ mod tests {
         s.into_wal_bytes()
     }
 
-    fn recover_ff(bytes: &[u8]) -> Result<Recovered, RecoveryError> {
+    /// A drain-on-depart shard whose last group is a depart with a
+    /// journaled migration (plus the drained bin's close).
+    fn migrating_wal() -> Vec<u8> {
+        let mut s = shard_with(RepackPolicy::DrainOnDepart { k: 1 });
+        s.arrive("a", DimVec::from_slice(&[7, 7]), 0).unwrap(); // bin 0
+        s.arrive("b", DimVec::from_slice(&[7, 7]), 1).unwrap(); // bin 1
+        s.arrive("c", DimVec::from_slice(&[2, 2]), 2).unwrap(); // bin 0
+        let dep = s.depart("a", 3).unwrap(); // drains c into bin 1
+        assert_eq!(dep.migrations.len(), 1);
+        s.into_wal_bytes()
+    }
+
+    fn recover_with(bytes: &[u8], repack: RepackPolicy) -> Result<Recovered, RecoveryError> {
         recover(
             bytes,
             &capacity(),
             &PolicyKind::FirstFit,
+            repack,
             TraceMode::Full,
             TimeMode::Strict,
         )
+    }
+
+    fn recover_ff(bytes: &[u8]) -> Result<Recovered, RecoveryError> {
+        recover_with(bytes, RepackPolicy::NoRepack)
     }
 
     #[test]
@@ -590,15 +688,7 @@ mod tests {
     fn trailing_closing_depart_without_binclose_is_rolled_back() {
         // Build a log whose last group is a depart that closes its bin,
         // then strip the BinClose commit line.
-        let mut s = Shard::create(
-            capacity(),
-            &PolicyKind::FirstFit,
-            TraceMode::Full,
-            TimeMode::Strict,
-            Vec::new(),
-            SyncPolicy::OnClose,
-        )
-        .unwrap();
+        let mut s = shard_with(RepackPolicy::NoRepack);
         s.arrive("only", DimVec::from_slice(&[5, 5]), 0).unwrap();
         s.depart("only", 9).unwrap(); // Depart + BinClose
         let bytes = s.into_wal_bytes();
@@ -624,15 +714,7 @@ mod tests {
         // Same closing-depart-without-BinClose shape, but with a later
         // group following — the group is complete, so the missing
         // BinClose is corruption.
-        let mut s = Shard::create(
-            capacity(),
-            &PolicyKind::FirstFit,
-            TraceMode::Full,
-            TimeMode::Strict,
-            Vec::new(),
-            SyncPolicy::OnClose,
-        )
-        .unwrap();
+        let mut s = shard_with(RepackPolicy::NoRepack);
         s.arrive("x", DimVec::from_slice(&[5, 5]), 0).unwrap();
         s.depart("x", 3).unwrap();
         s.arrive("y", DimVec::from_slice(&[5, 5]), 4).unwrap();
@@ -660,6 +742,7 @@ mod tests {
             &bytes,
             &DimVec::from_slice(&[10, 11]),
             &PolicyKind::FirstFit,
+            RepackPolicy::NoRepack,
             TraceMode::Full,
             TimeMode::Strict,
         )
@@ -668,15 +751,7 @@ mod tests {
         assert!(matches!(err, RecoveryError::HeaderMismatch { .. }), "{err}");
         // A different policy replays to different bin choices: FirstFit
         // sends d back to bin 0, NextFit (never looks back) to bin 1.
-        let mut s = Shard::create(
-            capacity(),
-            &PolicyKind::FirstFit,
-            TraceMode::Full,
-            TimeMode::Strict,
-            Vec::new(),
-            SyncPolicy::OnClose,
-        )
-        .unwrap();
+        let mut s = shard_with(RepackPolicy::NoRepack);
         s.arrive("a", DimVec::from_slice(&[6, 6]), 0).unwrap(); // bin 0
         s.arrive("c", DimVec::from_slice(&[6, 6]), 2).unwrap(); // bin 1
         s.arrive("d", DimVec::from_slice(&[3, 3]), 5).unwrap(); // FF: bin 0
@@ -685,11 +760,81 @@ mod tests {
             &bytes,
             &capacity(),
             &PolicyKind::NextFit,
+            RepackPolicy::NoRepack,
             TraceMode::Full,
             TimeMode::Strict,
         )
         .err()
         .expect("recovery must fail");
+        assert!(matches!(err, RecoveryError::Diverged { .. }), "{err}");
+    }
+
+    #[test]
+    fn migration_groups_replay_to_identical_state() {
+        let bytes = migrating_wal();
+        let rec = recover_with(&bytes, RepackPolicy::DrainOnDepart { k: 1 }).unwrap();
+        assert_eq!(rec.valid_bytes as usize, bytes.len());
+        assert_eq!(rec.dropped_events, 0);
+        assert_eq!(rec.live.migrations(), 1);
+        // c ended up in bin 1, and the drained bin 0 is closed.
+        assert_eq!(rec.live.item_bin(2), Some(dvbp_core::BinId(1)));
+        assert_eq!(rec.live.open_bins(), 1);
+    }
+
+    #[test]
+    fn trailing_migration_lines_cut_before_commit_roll_back_the_depart() {
+        let bytes = migrating_wal();
+        let scan = scan_wal(&bytes).unwrap();
+        // The last group is Depart, Migrate, BinClose (a's departure
+        // does not close bin 0 — c is still there — so the drain's
+        // close is the only BinClose). Cut at every boundary inside
+        // the group: all three cuts must roll back the whole depart.
+        let depart_at = scan
+            .events
+            .iter()
+            .position(|e| matches!(e, ObsEvent::Depart { .. }))
+            .unwrap();
+        for keep in depart_at..scan.events.len() - 1 {
+            let cut = scan.offsets[keep] as usize;
+            let rec = recover_with(&bytes[..cut], RepackPolicy::DrainOnDepart { k: 1 }).unwrap();
+            assert_eq!(rec.live.active_items(), 3, "cut after event {keep}");
+            assert!(!rec.live.has_departed(0));
+            assert_eq!(rec.live.migrations(), 0);
+            assert_eq!(
+                rec.dropped_events,
+                keep as u64 - depart_at as u64 + 1,
+                "the partial group is dropped whole"
+            );
+            // Truncation is a fixpoint.
+            let again = recover_with(
+                &bytes[..rec.valid_bytes as usize],
+                RepackPolicy::DrainOnDepart { k: 1 },
+            )
+            .unwrap();
+            assert_eq!(again.dropped_events, 0);
+        }
+    }
+
+    #[test]
+    fn repack_policy_mismatch_is_diverged() {
+        // A WAL written with migrations cannot replay under NoRepack
+        // (mid-log Migrate lines never match), and a NoRepack WAL whose
+        // non-trailing departs should have migrated diverges under
+        // DrainOnDepart.
+        let bytes = migrating_wal();
+        let err = recover_ff(&bytes).err().expect("recovery must fail");
+        assert!(matches!(err, RecoveryError::Diverged { .. }), "{err}");
+
+        let mut s = shard_with(RepackPolicy::NoRepack);
+        s.arrive("a", DimVec::from_slice(&[7, 7]), 0).unwrap();
+        s.arrive("b", DimVec::from_slice(&[7, 7]), 1).unwrap();
+        s.arrive("c", DimVec::from_slice(&[2, 2]), 2).unwrap();
+        s.depart("a", 3).unwrap(); // no migration journaled
+        s.arrive("d", DimVec::from_slice(&[1, 1]), 4).unwrap(); // completes the group
+        let bytes = s.into_wal_bytes();
+        let err = recover_with(&bytes, RepackPolicy::DrainOnDepart { k: 1 })
+            .err()
+            .expect("recovery must fail");
         assert!(matches!(err, RecoveryError::Diverged { .. }), "{err}");
     }
 

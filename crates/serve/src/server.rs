@@ -21,7 +21,7 @@ use crate::protocol::{error_code, Request, Response, ServeStatus};
 use crate::router::{Router, RouterKind};
 use crate::shard::{Shard, ShardError};
 use crate::wal::{open_shard, RecoveryReport, WalOpenError};
-use dvbp_core::{LiveError, PolicyKind, TimeMode, TraceMode};
+use dvbp_core::{LiveError, PolicyKind, RepackPolicy, TimeMode, TraceMode};
 use dvbp_dimvec::DimVec;
 use dvbp_obs::{StableWrite, SyncPolicy};
 use dvbp_sim::Time;
@@ -37,6 +37,7 @@ pub struct ServeState<W: StableWrite> {
     shards: Vec<Mutex<Shard<W>>>,
     router: Router,
     policy: PolicyKind,
+    repack: RepackPolicy,
     shutting_down: AtomicBool,
 }
 
@@ -46,9 +47,11 @@ impl ServeState<Vec<u8>> {
     /// # Errors
     ///
     /// [`ShardError`] for clairvoyant policy kinds.
+    #[allow(clippy::too_many_arguments)] // the shard's full configuration surface
     pub fn in_memory(
         capacity: &DimVec,
         kind: &PolicyKind,
+        repack: RepackPolicy,
         shards: usize,
         router: RouterKind,
         trace: TraceMode,
@@ -57,14 +60,23 @@ impl ServeState<Vec<u8>> {
     ) -> Result<Self, ShardError> {
         let shard_states = (0..shards)
             .map(|_| {
-                Shard::create(capacity.clone(), kind, trace, time_mode, Vec::new(), sync)
-                    .map(Mutex::new)
+                Shard::create(
+                    capacity.clone(),
+                    kind,
+                    repack,
+                    trace,
+                    time_mode,
+                    Vec::new(),
+                    sync,
+                )
+                .map(Mutex::new)
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(ServeState {
             shards: shard_states,
             router: Router::new(router, shards),
             policy: kind.clone(),
+            repack,
             shutting_down: AtomicBool::new(false),
         })
     }
@@ -92,6 +104,7 @@ impl ServeState<BufWriter<File>> {
         wal_dir: &Path,
         capacity: &DimVec,
         kind: &PolicyKind,
+        repack: RepackPolicy,
         shards: usize,
         router: RouterKind,
         trace: TraceMode,
@@ -101,13 +114,15 @@ impl ServeState<BufWriter<File>> {
         let mut shard_states = Vec::with_capacity(shards);
         let mut reports = Vec::with_capacity(shards);
         for s in 0..shards {
-            let (shard, report) = open_shard(wal_dir, s, capacity, kind, trace, time_mode, sync)?;
+            let (shard, report) =
+                open_shard(wal_dir, s, capacity, kind, repack, trace, time_mode, sync)?;
             shard_states.push(shard);
             reports.push(report);
         }
         let state = ServeState {
             router: Router::new(router, shards),
             policy: kind.clone(),
+            repack,
             shutting_down: AtomicBool::new(false),
             shards: Vec::new(),
         };
@@ -184,6 +199,7 @@ impl<W: StableWrite> ServeState<W> {
                 item: dep.item,
                 bin: dep.bin.0,
                 closed: dep.closed,
+                migrations: dep.migrations.len() as u64,
                 time: dep.time,
             },
             Err(e) => error_response(&e),
@@ -205,6 +221,7 @@ impl<W: StableWrite> ServeState<W> {
         let mut usage: u128 = 0;
         let mut status = ServeStatus {
             policy: self.policy.name(),
+            repack: self.repack.name(),
             router: self.router.kind().name().to_string(),
             shards: self.shards.len(),
             arrivals: 0,
@@ -212,6 +229,8 @@ impl<W: StableWrite> ServeState<W> {
             active_items: 0,
             open_bins: 0,
             bins_opened: 0,
+            migrations: 0,
+            migration_cost: 0,
             usage_time: String::new(),
             wal_lines: 0,
             recovered_events: 0,
@@ -225,6 +244,8 @@ impl<W: StableWrite> ServeState<W> {
             status.active_items += s.active_items;
             status.open_bins += s.open_bins;
             status.bins_opened += s.bins_opened;
+            status.migrations += s.migrations;
+            status.migration_cost += s.migration_cost;
             status.wal_lines += s.wal_lines;
             status.recovered_events += recovered;
             status.last_time = status.last_time.max(s.last_time);
@@ -240,7 +261,7 @@ impl<W: StableWrite> ServeState<W> {
     pub fn metrics_text(&self) -> String {
         let status = self.status();
         let mut out = String::new();
-        let totals: [(&str, &str, String); 6] = [
+        let totals: [(&str, &str, String); 8] = [
             ("arrivals_total", "counter", status.arrivals.to_string()),
             ("departures_total", "counter", status.departures.to_string()),
             ("active_items", "gauge", status.active_items.to_string()),
@@ -250,6 +271,12 @@ impl<W: StableWrite> ServeState<W> {
                 "counter",
                 status.bins_opened.to_string(),
             ),
+            ("migrations_total", "counter", status.migrations.to_string()),
+            (
+                "migration_cost_total",
+                "counter",
+                status.migration_cost.to_string(),
+            ),
             ("usage_time_total", "counter", status.usage_time.clone()),
         ];
         for (name, kind, value) in &totals {
@@ -257,12 +284,17 @@ impl<W: StableWrite> ServeState<W> {
                 "# TYPE dvbp_serve_{name} {kind}\ndvbp_serve_{name} {value}\n"
             ));
         }
+        out.push_str(&format!(
+            "# TYPE dvbp_serve_repack_info gauge\ndvbp_serve_repack_info{{repack=\"{}\"}} 1\n",
+            status.repack
+        ));
         for s in &status.per_shard {
             for (name, value) in [
                 ("arrivals_total", s.arrivals.to_string()),
                 ("departures_total", s.departures.to_string()),
                 ("active_items", s.active_items.to_string()),
                 ("open_bins", s.open_bins.to_string()),
+                ("migrations_total", s.migrations.to_string()),
                 ("usage_time_total", s.usage_time.clone()),
             ] {
                 out.push_str(&format!(
@@ -465,9 +497,14 @@ mod tests {
     use super::*;
 
     fn state(shards: usize, router: RouterKind) -> ServeState<Vec<u8>> {
+        state_with(shards, router, RepackPolicy::NoRepack)
+    }
+
+    fn state_with(shards: usize, router: RouterKind, repack: RepackPolicy) -> ServeState<Vec<u8>> {
         ServeState::in_memory(
             &DimVec::from_slice(&[10, 10]),
             &PolicyKind::FirstFit,
+            repack,
             shards,
             router,
             TraceMode::Full,
@@ -619,6 +656,35 @@ mod tests {
         assert!(text.contains("dvbp_serve_arrivals_total 2"));
         assert!(text.contains("dvbp_serve_shard_arrivals_total{shard=\"0\"} 1"));
         assert!(text.contains("dvbp_serve_shard_arrivals_total{shard=\"1\"} 1"));
+    }
+
+    #[test]
+    fn repacking_service_reports_migrations() {
+        let s = state_with(1, RouterKind::Hash, RepackPolicy::DrainOnDepart { k: 1 });
+        s.handle(&arrive("a", &[7, 7], 0));
+        s.handle(&arrive("b", &[7, 7], 1));
+        s.handle(&arrive("c", &[2, 2], 2));
+        match s.handle(&Request::Depart {
+            id: "a".into(),
+            time: 3,
+        }) {
+            Response::Departed {
+                closed, migrations, ..
+            } => {
+                assert!(!closed, "c still occupied a's bin at the tick");
+                assert_eq!(migrations, 1, "c drained into b's bin");
+            }
+            other => panic!("expected Departed, got {other:?}"),
+        }
+        let st = s.status();
+        assert_eq!(st.repack, "drain:1");
+        assert_eq!(st.migrations, 1);
+        assert_eq!(st.migration_cost, 1);
+        assert_eq!(st.open_bins, 1);
+        let text = s.metrics_text();
+        assert!(text.contains("dvbp_serve_migrations_total 1"));
+        assert!(text.contains("dvbp_serve_repack_info{repack=\"drain:1\"} 1"));
+        assert!(text.contains("dvbp_serve_shard_migrations_total{shard=\"0\"} 1"));
     }
 
     #[test]

@@ -19,13 +19,19 @@
 //!                  Place{time, item, bin, opened_new, scanned: 0}
 //! depart group  := Depart{time, item, bin}
 //!                  BinClose{time, bin}?           // iff the bin closed
+//!                  ( Migrate{time, item, from, to}
+//!                    BinClose{time, bin: from}? )*  // repack moves
 //! ```
 //!
 //! The configured [`SyncPolicy`] is applied at each group's commit line
 //! (so `batch:N` counts *operations*, not lines). A depart group whose
-//! bin stays open commits on the `Depart` line itself; the resulting
-//! trailing-`Depart` ambiguity after a crash is resolved by replay
-//! (see `recovery`).
+//! bin stays open and that triggers no repacking commits on the
+//! `Depart` line itself; the resulting trailing-group ambiguity after a
+//! crash — the journaled group is a strict prefix of what a replay
+//! produces — is resolved by re-driving without it (see `recovery`).
+//! Migration lines are part of the *same* group as the departure that
+//! triggered them: repacking is deterministic given the engine state,
+//! so an unacknowledged departure must roll back its migrations too.
 //!
 //! # Ordering
 //!
@@ -40,7 +46,8 @@
 
 use crate::protocol::ShardStatus;
 use dvbp_core::{
-    LiveDeparture, LiveEngine, LiveError, LivePlacement, PolicyKind, TimeMode, TraceMode,
+    LiveDeparture, LiveEngine, LiveError, LivePlacement, LiveRequest, PolicyKind, RepackPolicy,
+    TimeMode, TraceMode,
 };
 use dvbp_dimvec::DimVec;
 use dvbp_obs::{JsonlEmitter, ObsEvent, StableWrite, SyncPolicy};
@@ -125,12 +132,18 @@ impl<W: StableWrite> Shard<W> {
     pub fn create(
         capacity: DimVec,
         kind: &PolicyKind,
+        repack: RepackPolicy,
         trace: TraceMode,
         time_mode: TimeMode,
         sink: W,
         sync: SyncPolicy,
     ) -> Result<Self, ShardError> {
-        let live = LiveEngine::new(capacity, kind, trace, time_mode)?;
+        let live = LiveRequest::new(kind.clone())
+            .capacity(capacity)
+            .trace_mode(trace)
+            .time_mode(time_mode)
+            .repack(repack)
+            .build()?;
         let mut wal = JsonlEmitter::new(sink).with_sync(sync);
         let header = ObsEvent::RunStart {
             capacity: live.capacity().as_slice().to_vec(),
@@ -257,20 +270,38 @@ impl<W: StableWrite> Shard<W> {
             return Err(ShardError::AlreadyDeparted { id: id.to_string() });
         }
         let dep = self.live.depart(item, time)?;
-        let depart_line = ObsEvent::Depart {
+        // Assemble the whole group, then journal all lines but the
+        // last with `emit` and the last — the commit line — durably.
+        let mut lines = vec![ObsEvent::Depart {
             time: dep.time,
             item: dep.item,
             bin: dep.bin.0,
-        };
-        let committed = if dep.closed {
-            self.wal.emit(&depart_line);
-            self.wal.emit_durable(&ObsEvent::BinClose {
+        }];
+        if dep.closed {
+            lines.push(ObsEvent::BinClose {
                 time: dep.time,
                 bin: dep.bin.0,
-            })
-        } else {
-            self.wal.emit_durable(&depart_line)
-        };
+            });
+        }
+        for m in &dep.migrations {
+            lines.push(ObsEvent::Migrate {
+                time: dep.time,
+                item: m.item,
+                from: m.from.0,
+                to: m.to.0,
+            });
+            if m.closed_from {
+                lines.push(ObsEvent::BinClose {
+                    time: dep.time,
+                    bin: m.from.0,
+                });
+            }
+        }
+        let commit_line = lines.pop().expect("group has at least the Depart line");
+        for line in &lines {
+            self.wal.emit(line);
+        }
+        let committed = self.wal.emit_durable(&commit_line);
         if !committed {
             self.poisoned = true;
             return Err(wal_error(&self.wal));
@@ -346,6 +377,8 @@ impl<W: StableWrite> Shard<W> {
             active_items: self.live.active_items() as u64,
             open_bins: self.live.open_bins() as u64,
             bins_opened: self.live.bins_opened() as u64,
+            migrations: self.live.migrations(),
+            migration_cost: self.live.migration_cost(),
             usage_time: self.live.usage_time_at(self.live.now()).to_string(),
             wal_lines: self.wal.lines(),
             last_time: self.live.now(),
@@ -391,6 +424,7 @@ mod tests {
         Shard::create(
             DimVec::from_slice(&[10, 10]),
             &PolicyKind::FirstFit,
+            RepackPolicy::NoRepack,
             TraceMode::Full,
             TimeMode::Strict,
             Vec::new(),
@@ -436,6 +470,42 @@ mod tests {
                 "Depart", // b leaves, bin 0 stays open
                 "Depart", "BinClose", // a leaves, bin 0 closes
             ]
+        );
+    }
+
+    #[test]
+    fn migration_lines_extend_the_depart_group() {
+        let mut s = Shard::create(
+            DimVec::from_slice(&[10, 10]),
+            &PolicyKind::FirstFit,
+            RepackPolicy::DrainOnDepart { k: 1 },
+            TraceMode::Full,
+            TimeMode::Strict,
+            Vec::new(),
+            SyncPolicy::PerEvent,
+        )
+        .unwrap();
+        s.arrive("a", DimVec::from_slice(&[7, 7]), 0).unwrap(); // bin 0
+        s.arrive("b", DimVec::from_slice(&[7, 7]), 1).unwrap(); // bin 1
+        s.arrive("c", DimVec::from_slice(&[2, 2]), 2).unwrap(); // bin 0
+        let dep = s.depart("a", 3).unwrap(); // drains c into bin 1
+        assert_eq!(dep.migrations.len(), 1);
+        let sink = s.wal.finish().unwrap();
+        let scan = scan_wal(&sink).unwrap();
+        let tail: Vec<&ObsEvent> = scan.events.iter().rev().take(3).collect();
+        assert!(matches!(tail[2], ObsEvent::Depart { item: 0, .. }));
+        assert!(matches!(
+            tail[1],
+            ObsEvent::Migrate {
+                item: 2,
+                from: 0,
+                to: 1,
+                ..
+            }
+        ));
+        assert!(
+            matches!(tail[0], ObsEvent::BinClose { bin: 0, .. }),
+            "the drained source bin's close commits the group"
         );
     }
 
@@ -502,6 +572,7 @@ mod tests {
         let mut s = Shard::create(
             DimVec::from_slice(&[10]),
             &PolicyKind::FirstFit,
+            RepackPolicy::NoRepack,
             TraceMode::CostOnly,
             TimeMode::Strict,
             // One writeln! is one write call; allow the header + one

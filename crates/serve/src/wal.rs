@@ -10,7 +10,7 @@
 
 use crate::recovery::{recover, RecoveryError};
 use crate::shard::{Shard, ShardError};
-use dvbp_core::{PolicyKind, TimeMode, TraceMode};
+use dvbp_core::{PolicyKind, RepackPolicy, TimeMode, TraceMode};
 use dvbp_dimvec::DimVec;
 use dvbp_obs::{JsonlEmitter, SyncPolicy};
 use std::fs::{File, OpenOptions};
@@ -93,11 +93,13 @@ impl From<io::Error> for WalOpenError {
 ///
 /// See [`WalOpenError`]; the service must not boot a shard it cannot
 /// open.
+#[allow(clippy::too_many_arguments)] // the shard's full configuration surface
 pub fn open_shard(
     dir: &Path,
     shard: usize,
     capacity: &DimVec,
     kind: &PolicyKind,
+    repack: RepackPolicy,
     trace: TraceMode,
     time_mode: TimeMode,
     sync: SyncPolicy,
@@ -109,7 +111,8 @@ pub fn open_shard(
         Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(e.into()),
     };
-    let rec = recover(&bytes, capacity, kind, trace, time_mode).map_err(WalOpenError::Recovery)?;
+    let rec = recover(&bytes, capacity, kind, repack, trace, time_mode)
+        .map_err(WalOpenError::Recovery)?;
 
     let truncated = rec.valid_bytes < bytes.len() as u64;
     if truncated {
@@ -143,6 +146,7 @@ pub fn open_shard(
         Shard::create(
             capacity.clone(),
             kind,
+            repack,
             trace,
             time_mode,
             BufWriter::new(file),
@@ -169,11 +173,16 @@ mod tests {
     }
 
     fn open(dir: &Path) -> (Shard<BufWriter<File>>, RecoveryReport) {
+        open_with(dir, RepackPolicy::NoRepack)
+    }
+
+    fn open_with(dir: &Path, repack: RepackPolicy) -> (Shard<BufWriter<File>>, RecoveryReport) {
         open_shard(
             dir,
             0,
             &DimVec::from_slice(&[10, 10]),
             &PolicyKind::FirstFit,
+            repack,
             TraceMode::Full,
             TimeMode::Strict,
             SyncPolicy::PerEvent,
@@ -231,6 +240,27 @@ mod tests {
         let (s, report) = open(&dir);
         assert!(!report.truncated);
         assert_eq!(s.live().items_seen(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn migrating_shard_round_trips_through_its_wal() {
+        let dir = temp_dir("repack");
+        let drain = RepackPolicy::DrainOnDepart { k: 1 };
+        {
+            let (mut s, _) = open_with(&dir, drain);
+            s.arrive("a", DimVec::from_slice(&[7, 7]), 0).unwrap();
+            s.arrive("b", DimVec::from_slice(&[7, 7]), 1).unwrap();
+            s.arrive("c", DimVec::from_slice(&[2, 2]), 2).unwrap();
+            let dep = s.depart("a", 3).unwrap();
+            assert_eq!(dep.migrations.len(), 1, "c drained into b's bin");
+            assert!(s.persist());
+        }
+        let (s, report) = open_with(&dir, drain);
+        assert!(!report.truncated);
+        assert_eq!(s.live().migrations(), 1);
+        assert_eq!(s.live().open_bins(), 1);
+        assert_eq!(s.live().item_bin(2), Some(dvbp_core::BinId(1)));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

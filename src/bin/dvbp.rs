@@ -355,7 +355,8 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         .get(run_idx)
         .ok_or_else(|| format!("--run {run_idx}: file has {} run(s)", runs.len()))?;
     let explanations = dvbp::analysis::explain::explain_stream(&run.events);
-    if explanations.is_empty() {
+    let migrations = dvbp::analysis::explain::explain_migrations(&run.events);
+    if explanations.is_empty() && migrations.is_empty() {
         return Err("no Probe/Decision events in this stream — record it with \
              `dvbp run --events` (plain metrics streams carry no provenance)"
             .into());
@@ -376,10 +377,19 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
             let e = dvbp::analysis::explain::explain_item(&run.events, item)
                 .ok_or_else(|| format!("item {item} has no decision in this run"))?;
             print!("{}", dvbp::analysis::explain::render(&e));
+            for m in migrations.iter().filter(|m| m.item == item) {
+                print!("{}", dvbp::analysis::explain::render_migration(m));
+            }
         }
         None => {
             for e in &explanations {
                 print!("{}", dvbp::analysis::explain::render(e));
+            }
+            if !migrations.is_empty() {
+                println!("\n{} migration(s):", migrations.len());
+                for m in &migrations {
+                    print!("{}", dvbp::analysis::explain::render_migration(m));
+                }
             }
         }
     }

@@ -52,8 +52,10 @@
 
 pub mod tracefile;
 
-#[allow(deprecated)]
-pub use dvbp_core::{pack, pack_cost, pack_with, pack_with_mode};
+pub use dvbp_core::{
+    live_ops, LiveDeparture, LiveDriveStats, LiveEngine, LiveError, LiveMigration, LivePlacement,
+    LiveRequest, ParseRepackError, RepackPolicy, TimeMode,
+};
 pub use dvbp_core::{
     BillingModel, BinId, BinUsage, Decision, Engine, EngineView, FitIndex, Instance, InstanceError,
     Item, LoadMeasure, NoopObserver, Observer, PackError, PackRequest, Packing, Policy, PolicyKind,
@@ -68,7 +70,8 @@ pub use dvbp_dimvec::DimVec;
 /// `use dvbp::prelude::*;`.
 pub mod prelude {
     pub use dvbp_core::{
-        Instance, Item, Observer, PackError, PackRequest, Packing, Policy, PolicyKind, TraceMode,
+        Instance, Item, LiveEngine, LiveRequest, Observer, PackError, PackRequest, Packing, Policy,
+        PolicyKind, RepackPolicy, TimeMode, TraceMode,
     };
     pub use dvbp_dimvec::DimVec;
 }
