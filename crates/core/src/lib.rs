@@ -72,6 +72,17 @@ pub use repack::{ParseRepackError, RepackPolicy};
 pub use request::{PackError, PackRequest};
 pub use source::{EventSource, InstanceSource, SourceError, StreamError, StreamingLowerBound, Tap};
 
+/// Compile-time feature summary for build-info exposition
+/// (`dvbp_build_info{features=…}` in the serving and monitor crates).
+#[must_use]
+pub fn enabled_features() -> &'static str {
+    if cfg!(feature = "scalar-scan") {
+        "scalar-scan"
+    } else {
+        "default"
+    }
+}
+
 #[cfg(test)]
 mod proptests;
 

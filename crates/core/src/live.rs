@@ -546,6 +546,25 @@ impl<O: Observer> LiveEngine<O> {
     /// the clamp, keeping recovery replays deterministic). The engine
     /// state is unchanged on error.
     pub fn depart(&mut self, item: usize, time: Time) -> Result<LiveDeparture, LiveError> {
+        self.depart_with_mark(item, time, || {})
+    }
+
+    /// [`depart`](LiveEngine::depart) with an observation seam: `mark`
+    /// runs after the engine's departure step (and its bookkeeping) and
+    /// immediately before the repack policy, letting a latency tracer
+    /// charge engine dispatch and repack migrations to separate stages.
+    /// `mark` must not touch the engine; it sees no state and runs
+    /// exactly once iff the departure succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`depart`](LiveEngine::depart).
+    pub fn depart_with_mark(
+        &mut self,
+        item: usize,
+        time: Time,
+        mark: impl FnOnce(),
+    ) -> Result<LiveDeparture, LiveError> {
         let time = self.effective_time(time)?;
         if item >= self.items.len() {
             return Err(LiveError::UnknownItem { item });
@@ -586,6 +605,7 @@ impl<O: Observer> LiveEngine<O> {
             self.active_by_bin[step.bin.0].retain(|&i| i != item);
         }
         self.advance_tick(time);
+        mark();
         let migrations = self.run_repack(step.bin, step.closed, time);
         Ok(LiveDeparture {
             item,

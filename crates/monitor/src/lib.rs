@@ -43,5 +43,5 @@ pub use driver::{
     observe_repack_run, observe_repack_source_run, observe_run, observe_source_run,
     reconstruct_instance, Workload,
 };
-pub use scrape::{http_get, scrape_serve_status};
+pub use scrape::{http_get, render_stage_latencies, scrape_serve_status};
 pub use server::{Monitor, MonitorServer, RepackSlot, RepackStatus, Status};

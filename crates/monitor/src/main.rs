@@ -118,6 +118,10 @@ fn run_scrape(args: &[String], target: &str) -> Result<(), String> {
         }
     }
     print!("{}", dvbp_monitor::scrape::render(target, &status));
+    // Per-stage latency quantiles, when the service has span data.
+    if let Ok(metrics) = dvbp_monitor::http_get(target, "/metrics") {
+        print!("{}", dvbp_monitor::scrape::render_stage_latencies(&metrics));
+    }
     Ok(())
 }
 

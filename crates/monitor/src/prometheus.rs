@@ -164,6 +164,11 @@ pub fn render(agg: &Aggregate, policy: &str) -> String {
         policy,
         &agg.departure_ns,
     );
+    dvbp_serve::spans::write_build_info(
+        &mut out,
+        env!("CARGO_PKG_VERSION"),
+        dvbp_core::enabled_features(),
+    );
     out
 }
 
@@ -301,7 +306,10 @@ mod tests {
                 continue;
             }
             let (series, value) = line.rsplit_once(' ').expect(line);
-            assert!(series.contains("{policy=\"FirstFit\""), "{line}");
+            assert!(
+                series.contains("{policy=\"FirstFit\"") || series.starts_with("dvbp_build_info"),
+                "{line}"
+            );
             assert!(
                 value == "+Inf" || value.parse::<f64>().is_ok(),
                 "unparseable sample value in {line}"

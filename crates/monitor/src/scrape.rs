@@ -9,7 +9,10 @@
 //! CI serve-smoke job uses it to compare a recovered service against
 //! the uninterrupted reference.
 
+use dvbp_obs::histogram::LogHistogram;
+use dvbp_obs::Stage;
 use dvbp_serve::protocol::ServeStatus;
+use dvbp_serve::spans::parse_histograms;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 
@@ -96,6 +99,66 @@ pub fn render(addr: &str, status: &ServeStatus) -> String {
     out
 }
 
+/// Renders per-stage request-latency quantiles from a `dvbp-serve`
+/// `/metrics` document: one line per span stage (merged over every op
+/// and shard) plus the end-to-end distribution, each with count, mean,
+/// and p50/p99/p999 bucket upper bounds in microseconds. Returns `""`
+/// when the scrape carries no span histograms (an idle service).
+#[must_use]
+pub fn render_stage_latencies(metrics: &str) -> String {
+    let merge_by = |family: &str, label: &str| {
+        let mut merged: Vec<(String, LogHistogram)> = Vec::new();
+        for sh in parse_histograms(metrics, family) {
+            let key = sh.label(label).to_string();
+            match merged.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, h)) => h.merge(&sh.hist),
+                None => merged.push((key, sh.hist)),
+            }
+        }
+        merged
+    };
+    let e2e = merge_by("dvbp_serve_request_latency_ns", "");
+    let stages = merge_by("dvbp_serve_stage_latency_ns", "stage");
+    if e2e.iter().all(|(_, h)| h.total() == 0) {
+        return String::new();
+    }
+
+    let mut out = String::new();
+    out.push_str("  request latency by stage (us; quantiles are bucket upper bounds):\n");
+    out.push_str(&format!(
+        "  {:<11} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+        "stage", "count", "mean", "p50<=", "p99<=", "p999<="
+    ));
+    let line = |out: &mut String, name: &str, h: &LogHistogram| {
+        out.push_str(&format!(
+            "  {:<11} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}\n",
+            name,
+            h.total(),
+            h.mean() / 1000.0,
+            h.quantile(0.5) as f64 / 1000.0,
+            h.quantile(0.99) as f64 / 1000.0,
+            h.quantile(0.999) as f64 / 1000.0,
+        ));
+    };
+    // Stages in serving-path order, then anything unexpected, then e2e.
+    for stage in Stage::ALL {
+        if let Some((_, h)) = stages.iter().find(|(k, _)| k == stage.name()) {
+            line(&mut out, stage.name(), h);
+        }
+    }
+    for (k, h) in &stages {
+        if !Stage::ALL.iter().any(|s| s.name() == k) {
+            line(&mut out, k, h);
+        }
+    }
+    let mut total = LogHistogram::new();
+    for (_, h) in &e2e {
+        total.merge(h);
+    }
+    line(&mut out, "end-to-end", &total);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,13 +200,21 @@ mod tests {
 
     #[test]
     fn scrapes_a_live_service_and_renders_per_shard_lines() {
+        use std::io::BufRead as _;
         let (addr, state, srv) = boot();
+        // Drive over real TCP so the connection loop records spans.
+        let mut conn = TcpStream::connect(&addr).unwrap();
+        let mut reader = std::io::BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
         for i in 0..4u64 {
-            state.handle(&Request::Arrive {
-                id: format!("vm-{i}"),
-                size: vec![1, 1],
-                time: i,
-            });
+            writeln!(
+                conn,
+                r#"{{"Arrive":{{"id":"vm-{i}","size":[1,1],"time":{i}}}}}"#
+            )
+            .unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("Placed"), "{line}");
         }
         let status = scrape_serve_status(&addr).unwrap();
         assert_eq!(status.arrivals, 4);
@@ -153,9 +224,19 @@ mod tests {
         assert!(text.contains("shard   0"), "{text}");
         assert!(text.contains("shard   1"), "{text}");
 
-        // The Prometheus surface scrapes through the same helper.
+        // The Prometheus surface scrapes through the same helper, and
+        // now carries span histograms plus build provenance.
         let metrics = http_get(&addr, "/metrics").unwrap();
         assert!(metrics.contains("dvbp_serve_arrivals_total 4"), "{metrics}");
+        assert!(metrics.contains("dvbp_build_info{version="), "{metrics}");
+        assert!(
+            metrics.contains("dvbp_serve_request_latency_ns_count{op=\"arrive\""),
+            "{metrics}"
+        );
+        let stages = render_stage_latencies(&metrics);
+        for label in ["dispatch", "wal_sync", "reply", "end-to-end", "p999<="] {
+            assert!(stages.contains(label), "missing {label} in:\n{stages}");
+        }
 
         assert!(http_get(&addr, "/nope").unwrap_err().contains("404"));
         state.handle(&Request::Shutdown);

@@ -81,12 +81,27 @@ fn scrape_metrics_status_and_shutdown() {
                 continue;
             }
             let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("{line}"));
-            assert!(series.contains("policy=\"FirstFit\""), "{line}");
+            assert!(
+                series.contains("policy=\"FirstFit\"") || series.starts_with("dvbp_build_info"),
+                "{line}"
+            );
             assert!(
                 value == "+Inf" || value.parse::<f64>().is_ok(),
                 "unparseable value in {line}"
             );
         }
+        // Build provenance rides along on every exposition.
+        assert!(
+            metrics.contains("# TYPE dvbp_build_info gauge"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains(&format!(
+                "dvbp_build_info{{version=\"{}\",",
+                env!("CARGO_PKG_VERSION")
+            )),
+            "{metrics}"
+        );
         assert!(
             metrics.contains("dvbp_runs_total{policy=\"FirstFit\"} 2"),
             "{metrics}"

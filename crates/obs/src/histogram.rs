@@ -127,6 +127,72 @@ impl LogHistogram {
         self.counts.iter().rposition(|&c| c > 0)
     }
 
+    /// Rebuilds a histogram from raw per-bucket counts plus the tracked
+    /// `sum` and `max` (the total is recomputed from the counts, so a
+    /// snapshot assembled from concurrently-updated buckets is always
+    /// internally consistent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` does not have exactly 65 buckets.
+    #[must_use]
+    pub fn from_counts(counts: &[u64], sum: u64, max: u64) -> Self {
+        assert_eq!(counts.len(), BUCKETS, "expected {BUCKETS} buckets");
+        LogHistogram {
+            counts: counts.to_vec(),
+            total: counts.iter().sum(),
+            sum,
+            max,
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` — the largest `u64` the
+    /// bucket can hold (bucket 0 → 0, bucket `i ≥ 1` → `2^i − 1`,
+    /// bucket 64 → `u64::MAX`). This is also the Prometheus `le` bound
+    /// of the bucket under integer-valued observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ 65`.
+    #[must_use]
+    pub fn bucket_upper(i: usize) -> u64 {
+        assert!(i < BUCKETS, "bucket {i} out of range");
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// The `q`-quantile with upper-bound-of-bucket semantics: the
+    /// inclusive upper bound ([`LogHistogram::bucket_upper`]) of the
+    /// smallest bucket whose cumulative count reaches rank
+    /// `max(1, ceil(q·total))`. Returns 0 for an empty histogram.
+    ///
+    /// The result is a guaranteed *over*-estimate of the exact quantile
+    /// (by less than 2× for non-zero values, the bucket resolution),
+    /// monotone in `q`, and exact whenever the selected bucket holds a
+    /// single distinct value. `q` is clamped to `[0, 1]`; `q = 0` maps
+    /// to rank 1 (the minimum's bucket).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LogHistogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {

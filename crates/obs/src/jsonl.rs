@@ -237,6 +237,17 @@ impl<W: StableWrite> JsonlEmitter<W> {
     /// or the sink accepts zero bytes.
     pub fn emit_durable(&mut self, event: &ObsEvent) -> bool {
         self.emit(event);
+        self.commit()
+    }
+
+    /// Marks the durability point of an already-emitted line: counts it
+    /// against the [`SyncPolicy`] and persists if the policy says the
+    /// batch is due. Callers that need the *write* and the *sync*
+    /// separately observable (latency tracing splits `wal_append` from
+    /// `wal_sync`) pair [`emit`](JsonlEmitter::emit) with this instead
+    /// of calling [`emit_durable`](JsonlEmitter::emit_durable). Returns
+    /// `true` iff no error is latched.
+    pub fn commit(&mut self) -> bool {
         if self.error.is_none() {
             self.unsynced += 1;
             let due = match self.sync {

@@ -42,6 +42,7 @@ pub mod histogram;
 pub mod jsonl;
 pub mod metrics;
 pub mod provenance;
+pub mod span;
 pub mod timing;
 
 pub use error::ObsError;
@@ -49,6 +50,7 @@ pub use histogram::{HistogramObserver, LogHistogram};
 pub use jsonl::{scan_wal, JsonlEmitter, StableWrite, SyncPolicy, WalScan};
 pub use metrics::{Gauge, MetricsObserver};
 pub use provenance::{ProvenanceObserver, WithProvenance};
+pub use span::{AtomicHistogram, FlightRecorder, OpKind, Span, SpanRecord, SpanRing, Stage};
 pub use timing::{TimingObserver, TimingSnapshot};
 
 use dvbp_sim::Time;

@@ -48,6 +48,20 @@ fn ns_since(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
+impl TimingSnapshot {
+    /// Per-phase `q`-quantiles (ns), in `[dispatch, index_update,
+    /// departure]` order — upper-bound-of-bucket semantics via
+    /// [`LogHistogram::quantile`].
+    #[must_use]
+    pub fn quantiles(&self, q: f64) -> [u64; 3] {
+        [
+            self.dispatch.quantile(q),
+            self.index_update.quantile(q),
+            self.departure.quantile(q),
+        ]
+    }
+}
+
 impl TimingObserver {
     /// Creates an empty timing observer.
     #[must_use]

@@ -1,0 +1,128 @@
+//! Property tests for `LogHistogram::quantile`'s upper-bound-of-bucket
+//! semantics: `q = 0` lands at (or below the upper bound of) the minimum's
+//! bucket, the function is monotone in `q`, and it agrees with exact
+//! quantiles whenever a bucket holds a single distinct value.
+
+use dvbp_obs::LogHistogram;
+use proptest::prelude::*;
+
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    // Right-shifting a uniform word by a uniform shift spreads samples
+    // across every magnitude (0 and small values included).
+    prop::collection::vec((0u32..64, 0u64..u64::MAX).prop_map(|(s, r)| r >> s), 1..200)
+}
+
+fn histogram_of(vals: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in vals {
+        h.record(v);
+    }
+    h
+}
+
+/// Exact `q`-quantile of a raw sample under the same rank convention the
+/// histogram uses: element at rank `max(1, ceil(q·n))` of the sorted
+/// sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #[test]
+    fn quantile_upper_bounds_the_exact_quantile(vals in values(), q in 0.0f64..=1.0) {
+        let h = histogram_of(&vals);
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let est = h.quantile(q);
+        prop_assert!(est >= exact, "estimate {est} < exact {exact} at q={q}");
+        // And it is tight to within the bucket resolution (< 2x for
+        // non-zero exact values, capped at the recorded max).
+        if exact > 0 {
+            let bound = (2 * u128::from(exact) - 1).min(u128::from(h.max()));
+            prop_assert!(u128::from(est) <= bound,
+                "estimate {est} not within bucket resolution of {exact}");
+        }
+    }
+
+    #[test]
+    fn q_zero_is_bounded_by_the_min_bucket(vals in values()) {
+        let h = histogram_of(&vals);
+        let min = *vals.iter().min().unwrap();
+        let min_bucket_upper =
+            LogHistogram::bucket_upper(LogHistogram::bucket_of(min));
+        prop_assert!(h.quantile(0.0) <= min_bucket_upper);
+        prop_assert!(h.quantile(0.0) >= min);
+    }
+
+    #[test]
+    fn monotone_in_q(vals in values(), a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let h = histogram_of(&vals);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi));
+    }
+
+    #[test]
+    fn q_one_equals_max(vals in values()) {
+        let h = histogram_of(&vals);
+        prop_assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn exact_on_single_bucket_data(exp in 0u32..63, count in 1usize..50, q in 0.0f64..=1.0) {
+        // Every recorded value identical: the quantile must be exact
+        // (upper bound capped at max == the value).
+        let v = 1u64 << exp;
+        let mut h = LogHistogram::new();
+        for _ in 0..count {
+            h.record(v);
+        }
+        prop_assert_eq!(h.quantile(q), v);
+    }
+
+    #[test]
+    fn merge_preserves_quantile_semantics(a in values(), b in values(), q in 0.0f64..=1.0) {
+        let mut merged = histogram_of(&a);
+        merged.merge(&histogram_of(&b));
+        let mut all = a;
+        all.extend(b);
+        prop_assert_eq!(merged.quantile(q), histogram_of(&all).quantile(q));
+    }
+}
+
+#[test]
+fn empty_histogram_quantile_is_zero() {
+    let h = LogHistogram::new();
+    assert_eq!(h.quantile(0.0), 0);
+    assert_eq!(h.quantile(0.5), 0);
+    assert_eq!(h.quantile(1.0), 0);
+}
+
+#[test]
+fn from_counts_round_trips() {
+    let mut h = LogHistogram::new();
+    for v in [0u64, 3, 3, 900, u64::MAX] {
+        h.record(v);
+    }
+    let rebuilt = LogHistogram::from_counts(h.counts(), h.sum(), h.max());
+    assert_eq!(rebuilt, h);
+    assert_eq!(rebuilt.total(), 5);
+}
+
+#[test]
+fn bucket_upper_edges() {
+    assert_eq!(LogHistogram::bucket_upper(0), 0);
+    assert_eq!(LogHistogram::bucket_upper(1), 1);
+    assert_eq!(LogHistogram::bucket_upper(3), 7);
+    assert_eq!(LogHistogram::bucket_upper(64), u64::MAX);
+    for i in 1..64 {
+        // The upper bound is the largest value mapping into bucket i.
+        assert_eq!(LogHistogram::bucket_of(LogHistogram::bucket_upper(i)), i);
+        assert_eq!(
+            LogHistogram::bucket_of(LogHistogram::bucket_upper(i) + 1),
+            i + 1
+        );
+    }
+}

@@ -33,12 +33,16 @@ pub mod recovery;
 pub mod router;
 pub mod server;
 pub mod shard;
+pub mod spans;
 pub mod wal;
 
 pub use client::{load_instance, Client, DriveReport};
 pub use protocol::{Request, Response, ServeStatus, ShardStatus};
 pub use recovery::{recover, Recovered, RecoveryError};
 pub use router::{fnv1a, Router, RouterKind};
-pub use server::{serve, ServeState};
+pub use server::{serve, ServeState, DEFAULT_READ_TIMEOUT_MS};
 pub use shard::{Shard, ShardError};
+pub use spans::{
+    http_get, parse_histograms, render_spans_table, write_build_info, ScrapedHistogram, SpanHub,
+};
 pub use wal::{open_shard, shard_wal_path, RecoveryReport, WalOpenError};

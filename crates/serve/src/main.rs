@@ -16,7 +16,7 @@ use dvbp_core::{PolicyKind, RepackPolicy, TimeMode, TraceMode};
 use dvbp_dimvec::DimVec;
 use dvbp_obs::SyncPolicy;
 use dvbp_serve::router::RouterKind;
-use dvbp_serve::server::{serve, ServeState};
+use dvbp_serve::server::{serve, ServeState, DEFAULT_READ_TIMEOUT_MS};
 use dvbp_serve::{client, Client};
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -41,6 +41,7 @@ USAGE:
                       [--ticks-per-day N])
                    [--throttle-ms MS] [--shutdown]
   dvbp-serve query [--addr HOST:PORT]
+  dvbp-serve spans [--addr HOST:PORT] [--recent N]
 
   --addr        bind/connect address (default 127.0.0.1:7411; port 0 = ephemeral)
   --policy      packing policy (default FirstFit); clairvoyant kinds rejected
@@ -53,6 +54,11 @@ USAGE:
   --sync        WAL durability per accepted operation (default per-event)
   --time-mode   strict rejects out-of-order timestamps; clamp pulls them forward
   --cap         per-dimension bin capacity (default 100,100)
+  --slow-us     slow-request threshold in microseconds for the flight
+                recorder's keep-ring (default 1000; 0 disables)
+  --read-timeout-ms  disconnect a connection stalled mid-request after
+                this many ms (default 10000; 0 disables)
+  --recent      with spans: recent rows to print (default 20)
   --trace       instance trace file (dvbp JSON format) to replay
   --stream      cluster trace file streamed in constant memory
   --format      with --stream: azure | google | csv (native)
@@ -65,7 +71,7 @@ PROTOCOL (one JSON value per line over TCP):
   {\"Arrive\":{\"id\":\"vm-1\",\"size\":[2,3],\"time\":0}}
   {\"Depart\":{\"id\":\"vm-1\",\"time\":5}}
   \"Query\"  |  \"Shutdown\"
-HTTP on the same port: /healthz, /status, /metrics, POST /shutdown";
+HTTP on the same port: /healthz, /status, /metrics, /spans, POST /shutdown";
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7411";
 
@@ -113,6 +119,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let sync: SyncPolicy = parse(args, "--sync", SyncPolicy::PerEvent)?;
     let time_mode: TimeMode = parse(args, "--time-mode", TimeMode::Strict)?;
     let capacity = parse_capacity(&parse(args, "--cap", "100,100".to_string())?)?;
+    let slow_us: u64 = parse(args, "--slow-us", 1_000u64)?;
+    let read_timeout_ms: u64 = parse(args, "--read-timeout-ms", DEFAULT_READ_TIMEOUT_MS)?;
 
     let listener = TcpListener::bind(addr.as_str()).map_err(|e| format!("binding {addr}: {e}"))?;
     let bound = listener.local_addr().map_err(|e| e.to_string())?;
@@ -146,6 +154,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 println!("dvbp-serve: {report}");
             }
             banner(reports.iter().map(|r| r.events_applied).sum());
+            state.span_hub().set_slow_threshold_ns(slow_us * 1_000);
+            state.set_read_timeout_ms(read_timeout_ms);
             serve(&Arc::new(state), &listener).map_err(|e| e.to_string())?;
         }
         None => {
@@ -162,6 +172,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
             println!("dvbp-serve: no --wal given; journaling to memory (no durability)");
             banner(0);
+            state.span_hub().set_slow_threshold_ns(slow_us * 1_000);
+            state.set_read_timeout_ms(read_timeout_ms);
             serve(&Arc::new(state), &listener).map_err(|e| e.to_string())?;
         }
     }
@@ -235,6 +247,15 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_spans(args: &[String]) -> Result<(), String> {
+    let addr = parse(args, "--addr", DEFAULT_ADDR.to_string())?;
+    let recent: usize = parse(args, "--recent", 20usize)?;
+    let jsonl =
+        dvbp_serve::http_get(&addr, "/spans").map_err(|e| format!("fetching {addr}/spans: {e}"))?;
+    print!("{}", dvbp_serve::render_spans_table(&jsonl, recent));
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
@@ -245,6 +266,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args[1..]),
         "drive" => cmd_drive(&args[1..]),
         "query" => cmd_query(&args[1..]),
+        "spans" => cmd_spans(&args[1..]),
         other => Err(format!("unknown subcommand {other:?}")),
     };
     match result {

@@ -64,6 +64,8 @@ pub mod error_code {
     pub const BAD_REQUEST: &str = "bad-request";
     /// The service is shutting down.
     pub const SHUTTING_DOWN: &str = "shutting-down";
+    /// The connection stalled mid-request past the read timeout.
+    pub const TIMEOUT: &str = "timeout";
 }
 
 /// One service response (one JSON value per line, matching the request

@@ -20,24 +20,35 @@
 use crate::protocol::{error_code, Request, Response, ServeStatus};
 use crate::router::{Router, RouterKind};
 use crate::shard::{Shard, ShardError};
+use crate::spans::{write_build_info, SpanHub};
 use crate::wal::{open_shard, RecoveryReport, WalOpenError};
 use dvbp_core::{LiveError, PolicyKind, RepackPolicy, TimeMode, TraceMode};
 use dvbp_dimvec::DimVec;
-use dvbp_obs::{StableWrite, SyncPolicy};
+use dvbp_obs::{OpKind, Span, SpanRecord, StableWrite, Stage, SyncPolicy};
 use dvbp_sim::Time;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-/// The full service state: shards, router, and shutdown latch.
+/// Default per-connection read timeout: long enough for any interactive
+/// client, short enough that a stalled partial line cannot pin a
+/// handler thread indefinitely.
+pub const DEFAULT_READ_TIMEOUT_MS: u64 = 10_000;
+
+/// The full service state: shards, router, span sink, and shutdown
+/// latch.
 pub struct ServeState<W: StableWrite> {
     shards: Vec<Mutex<Shard<W>>>,
     router: Router,
     policy: PolicyKind,
     repack: RepackPolicy,
+    spans: SpanHub,
+    /// Per-connection socket read timeout (ms; 0 disables).
+    read_timeout_ms: AtomicU64,
     shutting_down: AtomicBool,
 }
 
@@ -77,6 +88,8 @@ impl ServeState<Vec<u8>> {
             router: Router::new(router, shards),
             policy: kind.clone(),
             repack,
+            spans: SpanHub::new(shards),
+            read_timeout_ms: AtomicU64::new(DEFAULT_READ_TIMEOUT_MS),
             shutting_down: AtomicBool::new(false),
         })
     }
@@ -123,6 +136,8 @@ impl ServeState<BufWriter<File>> {
             router: Router::new(router, shards),
             policy: kind.clone(),
             repack,
+            spans: SpanHub::new(shards),
+            read_timeout_ms: AtomicU64::new(DEFAULT_READ_TIMEOUT_MS),
             shutting_down: AtomicBool::new(false),
             shards: Vec::new(),
         };
@@ -162,6 +177,49 @@ impl<W: StableWrite> ServeState<W> {
         }
     }
 
+    /// [`handle`](ServeState::handle) with request-lifecycle tracing:
+    /// the caller owns a started [`Span`] (with `recv`/`parse` already
+    /// marked), this method charges `route`, `lock_wait`, `dispatch`,
+    /// `repack`, `wal_append`, and `wal_sync`, and returns the response
+    /// plus the owning shard ([`SpanRecord::SERVICE`] for requests no
+    /// shard handled). The caller marks `reply` after writing and
+    /// records the finished span into [`ServeState::span_hub`].
+    /// Decisions, WAL bytes, and errors are identical to the untraced
+    /// path.
+    pub fn handle_spanned(&self, req: &Request, span: &mut Span) -> (Response, u32) {
+        if self.is_shutting_down() && !matches!(req, Request::Query) {
+            return (
+                Response::Error {
+                    code: error_code::SHUTTING_DOWN.into(),
+                    message: "service is shutting down".into(),
+                },
+                SpanRecord::SERVICE,
+            );
+        }
+        match req {
+            Request::Arrive { id, size, time } => {
+                span.set_op(OpKind::Arrive, *time);
+                self.arrive_spanned(id, size, *time, span)
+            }
+            Request::Depart { id, time } => {
+                span.set_op(OpKind::Depart, *time);
+                self.depart_spanned(id, *time, span)
+            }
+            Request::Query => {
+                span.set_op(OpKind::Query, 0);
+                let status = self.status();
+                span.mark(Stage::Dispatch);
+                (Response::Status(status), SpanRecord::SERVICE)
+            }
+            Request::Shutdown => {
+                span.set_op(OpKind::Query, 0);
+                self.begin_shutdown();
+                span.mark(Stage::Dispatch);
+                (Response::ShuttingDown, SpanRecord::SERVICE)
+            }
+        }
+    }
+
     fn arrive(&self, id: &str, size: &[u64], time: Time) -> Response {
         let shard_idx = self
             .router
@@ -184,6 +242,37 @@ impl<W: StableWrite> ServeState<W> {
         }
     }
 
+    fn arrive_spanned(
+        &self,
+        id: &str,
+        size: &[u64],
+        time: Time,
+        span: &mut Span,
+    ) -> (Response, u32) {
+        let shard_idx = self
+            .router
+            .route_arrival(id, |s| self.shards[s].lock().unwrap().live().load_l1());
+        span.mark(Stage::Route);
+        let mut shard = self.shards[shard_idx].lock().unwrap();
+        span.mark(Stage::LockWait);
+        let response = match shard.arrive_traced(id, DimVec::from_slice(size), time, span) {
+            Ok(placed) => {
+                drop(shard);
+                self.router.record(id, shard_idx);
+                Response::Placed {
+                    id: id.to_string(),
+                    shard: shard_idx,
+                    item: placed.item,
+                    bin: placed.bin.0,
+                    opened_new: placed.opened_new,
+                    time: placed.time,
+                }
+            }
+            Err(e) => error_response(&e),
+        };
+        (response, shard_idx as u32)
+    }
+
     fn depart(&self, id: &str, time: Time) -> Response {
         let Some(shard_idx) = self.router.route_departure(id) else {
             return Response::Error {
@@ -204,6 +293,35 @@ impl<W: StableWrite> ServeState<W> {
             },
             Err(e) => error_response(&e),
         }
+    }
+
+    fn depart_spanned(&self, id: &str, time: Time, span: &mut Span) -> (Response, u32) {
+        let Some(shard_idx) = self.router.route_departure(id) else {
+            span.mark(Stage::Route);
+            return (
+                Response::Error {
+                    code: error_code::UNKNOWN_ID.into(),
+                    message: format!("unknown id {id:?}"),
+                },
+                SpanRecord::SERVICE,
+            );
+        };
+        span.mark(Stage::Route);
+        let mut shard = self.shards[shard_idx].lock().unwrap();
+        span.mark(Stage::LockWait);
+        let response = match shard.depart_traced(id, time, span) {
+            Ok(dep) => Response::Departed {
+                id: id.to_string(),
+                shard: shard_idx,
+                item: dep.item,
+                bin: dep.bin.0,
+                closed: dep.closed,
+                migrations: dep.migrations.len() as u64,
+                time: dep.time,
+            },
+            Err(e) => error_response(&e),
+        };
+        (response, shard_idx as u32)
     }
 
     /// The service-wide snapshot.
@@ -303,7 +421,32 @@ impl<W: StableWrite> ServeState<W> {
                 ));
             }
         }
+        write_build_info(
+            &mut out,
+            env!("CARGO_PKG_VERSION"),
+            dvbp_core::enabled_features(),
+        );
+        self.spans.render_metrics(&mut out);
         out
+    }
+
+    /// The span sink: per-stage latency histograms plus the flight
+    /// recorder behind `GET /spans`.
+    #[must_use]
+    pub fn span_hub(&self) -> &SpanHub {
+        &self.spans
+    }
+
+    /// Sets the per-connection socket read timeout (0 disables). Applies
+    /// to connections accepted after the call.
+    pub fn set_read_timeout_ms(&self, ms: u64) {
+        self.read_timeout_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// The current per-connection read timeout in milliseconds.
+    #[must_use]
+    pub fn read_timeout_ms(&self) -> u64 {
+        self.read_timeout_ms.load(Ordering::Relaxed)
     }
 
     /// Latches shutdown and persists every shard's WAL tail.
@@ -378,16 +521,80 @@ pub fn serve<W: StableWrite + Send + 'static>(
     Ok(())
 }
 
+/// Outcome of one guarded line read.
+enum LineRead {
+    /// A complete line landed in the buffer.
+    Line,
+    /// Clean EOF (or a hard I/O error) — end the connection silently.
+    Closed,
+    /// The socket timed out with a *partial* line buffered: the peer
+    /// started a request and stalled mid-line.
+    Stalled,
+}
+
+/// Reads one line under the socket's read timeout. A timeout with
+/// nothing buffered is a benign idle keep-alive connection and the read
+/// resumes; a timeout after partial bytes is a stall
+/// ([`LineRead::Stalled`]) — `BufRead::read_line` appends whatever was
+/// read before the error, so `line` being non-empty distinguishes the
+/// two.
+fn read_line_guarded(reader: &mut impl BufRead, line: &mut String) -> LineRead {
+    let start_len = line.len();
+    loop {
+        match reader.read_line(line) {
+            Ok(0) => return LineRead::Closed,
+            Ok(_) => return LineRead::Line,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if line.len() == start_len {
+                    continue; // idle between requests: keep waiting
+                }
+                return LineRead::Stalled;
+            }
+            Err(_) => return LineRead::Closed,
+        }
+    }
+}
+
+/// Tells a stalled client why it is being disconnected (best-effort —
+/// a peer that stopped mid-line may not read it either).
+fn write_timeout_error(writer: &mut impl Write) {
+    let response = Response::Error {
+        code: error_code::TIMEOUT.into(),
+        message: "read timed out mid-request; disconnecting".into(),
+    };
+    if let Ok(mut out) = serde_json::to_string(&response) {
+        out.push('\n');
+        let _ = writer.write_all(out.as_bytes());
+        let _ = writer.flush();
+    }
+}
+
 /// Handles one connection; returns `true` if it requested shutdown.
 fn handle_connection<W: StableWrite>(state: &ServeState<W>, stream: TcpStream) -> bool {
+    let timeout_ms = state.read_timeout_ms();
+    if timeout_ms > 0 {
+        // A stalled partial line must not pin this thread forever; the
+        // guarded read loop keeps genuinely idle connections alive.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(timeout_ms)));
+    }
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return false,
     });
     let mut writer = stream;
     let mut first = String::new();
-    if reader.read_line(&mut first).is_err() || first.is_empty() {
-        return false;
+    match read_line_guarded(&mut reader, &mut first) {
+        LineRead::Line => {}
+        LineRead::Closed => return false,
+        LineRead::Stalled => {
+            write_timeout_error(&mut writer);
+            return false;
+        }
     }
     let verb = first.split_whitespace().next().unwrap_or("");
     if matches!(verb, "GET" | "POST" | "HEAD") {
@@ -397,6 +604,11 @@ fn handle_connection<W: StableWrite>(state: &ServeState<W>, stream: TcpStream) -
 }
 
 /// NDJSON session: `first` is the already-read first request line.
+/// Every iteration runs under a [`Span`]: `recv` covers the socket
+/// read, `parse` the JSON decode, the shard stages are charged inside
+/// [`ServeState::handle_spanned`], and `reply` covers the response
+/// write; the finished record lands in the hub's histograms and flight
+/// recorder.
 fn handle_ndjson<W: StableWrite>(
     state: &ServeState<W>,
     reader: &mut impl BufRead,
@@ -404,37 +616,56 @@ fn handle_ndjson<W: StableWrite>(
     first: &str,
 ) -> bool {
     let mut line = first.to_string();
+    let mut pending = true;
     loop {
+        let mut span = Span::begin();
+        if !pending {
+            line.clear();
+            match read_line_guarded(reader, &mut line) {
+                LineRead::Line => {}
+                LineRead::Closed => return false,
+                LineRead::Stalled => {
+                    write_timeout_error(writer);
+                    return false;
+                }
+            }
+        }
+        pending = false;
+        span.mark(Stage::Recv);
         let trimmed = line.trim();
-        if !trimmed.is_empty() {
-            let response = match serde_json::from_str::<Request>(trimmed) {
-                Ok(req) => state.handle(&req),
-                Err(e) => Response::Error {
+        if trimmed.is_empty() {
+            continue;
+        }
+        let parsed = serde_json::from_str::<Request>(trimmed);
+        span.mark(Stage::Parse);
+        let (response, shard) = match parsed {
+            Ok(req) => state.handle_spanned(&req, &mut span),
+            Err(e) => (
+                Response::Error {
                     code: error_code::BAD_REQUEST.into(),
                     message: format!("unparseable request: {e}"),
                 },
-            };
-            let Ok(mut out) = serde_json::to_string(&response) else {
-                return false;
-            };
-            // One write call per line so the payload and its newline
-            // never straddle two TCP segments.
-            out.push('\n');
-            if writer
-                .write_all(out.as_bytes())
-                .and_then(|()| writer.flush())
-                .is_err()
-            {
-                return false;
-            }
-            if matches!(response, Response::ShuttingDown) {
-                return true;
-            }
+                SpanRecord::SERVICE,
+            ),
+        };
+        let Ok(mut out) = serde_json::to_string(&response) else {
+            return false;
+        };
+        // One write call per line so the payload and its newline
+        // never straddle two TCP segments.
+        out.push('\n');
+        if writer
+            .write_all(out.as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return false;
         }
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return false,
-            Ok(_) => {}
+        span.mark(Stage::Reply);
+        let ok = !matches!(response, Response::Error { .. });
+        state.spans.record(&span.finish(shard, ok));
+        if matches!(response, Response::ShuttingDown) {
+            return true;
         }
     }
 }
@@ -470,6 +701,7 @@ fn handle_http<W: StableWrite>(
         ("GET" | "HEAD", "/metrics") => {
             ("200 OK", "text/plain; version=0.0.4", state.metrics_text())
         }
+        ("GET" | "HEAD", "/spans") => ("200 OK", "application/x-ndjson", state.spans.dump_jsonl()),
         ("POST", "/shutdown") => {
             shutdown = true;
             ("200 OK", "text/plain", "shutting down\n".to_string())

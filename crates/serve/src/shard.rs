@@ -50,9 +50,18 @@ use dvbp_core::{
     TimeMode, TraceMode,
 };
 use dvbp_dimvec::DimVec;
-use dvbp_obs::{JsonlEmitter, ObsEvent, StableWrite, SyncPolicy};
+use dvbp_obs::{JsonlEmitter, ObsEvent, Span, StableWrite, Stage, SyncPolicy};
 use dvbp_sim::Time;
 use std::collections::HashMap;
+
+/// Ends the current stage on a span that may not be there. The traced
+/// and untraced entry points share one implementation; `None`
+/// monomorphizes every mark to a no-op branch.
+fn mark(span: &mut Option<&mut Span>, stage: Stage) {
+    if let Some(s) = span {
+        s.mark(stage);
+    }
+}
 
 /// A rejected shard operation. The shard state is unchanged except for
 /// [`ShardError::Wal`], which poisons the shard (see module docs).
@@ -214,12 +223,42 @@ impl<W: StableWrite> Shard<W> {
         size: DimVec,
         time: Time,
     ) -> Result<LivePlacement, ShardError> {
+        self.arrive_impl(id, size, time, None)
+    }
+
+    /// [`arrive`](Shard::arrive) with per-stage latency attribution:
+    /// charges the engine's placement to `dispatch`, the group's journal
+    /// writes to `wal_append`, and the commit-line durability point to
+    /// `wal_sync`. Identical decisions, WAL bytes, and errors — timing
+    /// is observational only.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`arrive`](Shard::arrive).
+    pub fn arrive_traced(
+        &mut self,
+        id: &str,
+        size: DimVec,
+        time: Time,
+        span: &mut Span,
+    ) -> Result<LivePlacement, ShardError> {
+        self.arrive_impl(id, size, time, Some(span))
+    }
+
+    fn arrive_impl(
+        &mut self,
+        id: &str,
+        size: DimVec,
+        time: Time,
+        mut span: Option<&mut Span>,
+    ) -> Result<LivePlacement, ShardError> {
         self.check_writable()?;
         if self.ids.contains_key(id) {
             return Err(ShardError::DuplicateId { id: id.to_string() });
         }
         let size_units = size.as_slice().to_vec();
         let placed = self.live.arrive(size, time)?;
+        mark(&mut span, Stage::Dispatch);
         self.wal.emit(&ObsEvent::Ident {
             item: placed.item,
             id: id.to_string(),
@@ -235,13 +274,16 @@ impl<W: StableWrite> Shard<W> {
                 bin: placed.bin.0,
             });
         }
-        let committed = self.wal.emit_durable(&ObsEvent::Place {
+        self.wal.emit(&ObsEvent::Place {
             time: placed.time,
             item: placed.item,
             bin: placed.bin.0,
             opened_new: placed.opened_new,
             scanned: 0,
         });
+        mark(&mut span, Stage::WalAppend);
+        let committed = self.wal.commit();
+        mark(&mut span, Stage::WalSync);
         if !committed {
             self.poisoned = true;
             return Err(wal_error(&self.wal));
@@ -262,6 +304,34 @@ impl<W: StableWrite> Shard<W> {
     /// unchanged); [`ShardError::Wal`] if journaling fails (shard
     /// poisons).
     pub fn depart(&mut self, id: &str, time: Time) -> Result<LiveDeparture, ShardError> {
+        self.depart_impl(id, time, None)
+    }
+
+    /// [`depart`](Shard::depart) with per-stage latency attribution:
+    /// the engine's departure step lands in `dispatch`, repack-policy
+    /// migrations in `repack` (split via the engine's
+    /// `depart_with_mark` seam), journal writes in `wal_append`, and
+    /// the commit-line durability point in `wal_sync`. Identical
+    /// decisions, WAL bytes, and errors.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`depart`](Shard::depart).
+    pub fn depart_traced(
+        &mut self,
+        id: &str,
+        time: Time,
+        span: &mut Span,
+    ) -> Result<LiveDeparture, ShardError> {
+        self.depart_impl(id, time, Some(span))
+    }
+
+    fn depart_impl(
+        &mut self,
+        id: &str,
+        time: Time,
+        mut span: Option<&mut Span>,
+    ) -> Result<LiveDeparture, ShardError> {
         self.check_writable()?;
         let Some(&item) = self.ids.get(id) else {
             return Err(ShardError::UnknownId { id: id.to_string() });
@@ -269,7 +339,10 @@ impl<W: StableWrite> Shard<W> {
         if self.live.has_departed(item) {
             return Err(ShardError::AlreadyDeparted { id: id.to_string() });
         }
-        let dep = self.live.depart(item, time)?;
+        let dep = self
+            .live
+            .depart_with_mark(item, time, || mark(&mut span, Stage::Dispatch))?;
+        mark(&mut span, Stage::Repack);
         // Assemble the whole group, then journal all lines but the
         // last with `emit` and the last — the commit line — durably.
         let mut lines = vec![ObsEvent::Depart {
@@ -301,7 +374,10 @@ impl<W: StableWrite> Shard<W> {
         for line in &lines {
             self.wal.emit(line);
         }
-        let committed = self.wal.emit_durable(&commit_line);
+        self.wal.emit(&commit_line);
+        mark(&mut span, Stage::WalAppend);
+        let committed = self.wal.commit();
+        mark(&mut span, Stage::WalSync);
         if !committed {
             self.poisoned = true;
             return Err(wal_error(&self.wal));

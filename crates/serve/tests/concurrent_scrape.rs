@@ -1,0 +1,175 @@
+//! Concurrent-scrape race test: `/metrics`, `/status`, and `/spans`
+//! hammered from multiple threads while a driver mutates the service
+//! over NDJSON, and again around `/shutdown` — every response that
+//! comes back must be well-formed (200, parseable body). The span
+//! sinks are lock-free seqlocks and relaxed atomics; this is the test
+//! that races them for real.
+
+use dvbp_core::{PolicyKind, RepackPolicy, TimeMode, TraceMode};
+use dvbp_dimvec::DimVec;
+use dvbp_obs::SyncPolicy;
+use dvbp_serve::protocol::ServeStatus;
+use dvbp_serve::router::RouterKind;
+use dvbp_serve::server::{serve, ServeState};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn get(addr: &str, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| e.to_string())?;
+    let mut text = String::new();
+    BufReader::new(stream)
+        .read_to_string(&mut text)
+        .map_err(|e| e.to_string())?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed response for {path}: {text:?}"))?;
+    if !head.starts_with("HTTP/1.1 200") {
+        return Err(format!("{path}: {}", head.lines().next().unwrap_or("")));
+    }
+    Ok(body.to_string())
+}
+
+/// Asserts one scraped body is well-formed for its route.
+fn validate(path: &str, body: &str) {
+    match path {
+        "/status" => {
+            serde_json::from_str::<ServeStatus>(body)
+                .unwrap_or_else(|e| panic!("/status unparseable: {e}\n{body}"));
+        }
+        "/metrics" => {
+            assert!(body.contains("# TYPE dvbp_serve_arrivals_total"), "{body}");
+            assert!(body.contains("dvbp_build_info"), "{body}");
+            for line in body.lines() {
+                if line.starts_with('#') {
+                    assert!(line.starts_with("# TYPE "), "{line}");
+                    continue;
+                }
+                let (_, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("{line}"));
+                assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+            }
+        }
+        "/spans" => {
+            // Torn ring slots are skipped by the seqlock reader, so
+            // every emitted line must be complete JSON.
+            for line in body.lines() {
+                serde_json::from_str::<serde_json::Value>(line)
+                    .unwrap_or_else(|e| panic!("/spans line unparseable: {e}\n{line}"));
+            }
+        }
+        other => panic!("unexpected path {other}"),
+    }
+}
+
+#[test]
+fn concurrent_scrapes_stay_well_formed_through_drive_and_shutdown() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let state = Arc::new(
+        ServeState::in_memory(
+            &DimVec::from_slice(&[100, 100]),
+            &PolicyKind::FirstFit,
+            RepackPolicy::DrainOnDepart { k: 2 },
+            2,
+            RouterKind::Hash,
+            TraceMode::CostOnly,
+            TimeMode::Clamp,
+            SyncPolicy::PerEvent,
+        )
+        .unwrap(),
+    );
+    let server = {
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || serve(&state, &listener).unwrap())
+    };
+
+    let driving = Arc::new(AtomicBool::new(true));
+    let driver = {
+        let addr = addr.clone();
+        let driving = Arc::clone(&driving);
+        std::thread::spawn(move || {
+            let mut conn = TcpStream::connect(&addr).unwrap();
+            conn.set_nodelay(true).unwrap();
+            let mut reader = BufReader::new(conn.try_clone().unwrap());
+            let mut line = String::new();
+            let mut i = 0u64;
+            while driving.load(Ordering::Relaxed) {
+                writeln!(
+                    conn,
+                    r#"{{"Arrive":{{"id":"vm-{i}","size":[2,3],"time":{}}}}}"#,
+                    2 * i
+                )
+                .unwrap();
+                line.clear();
+                reader.read_line(&mut line).unwrap();
+                writeln!(
+                    conn,
+                    r#"{{"Depart":{{"id":"vm-{i}","time":{}}}}}"#,
+                    2 * i + 1
+                )
+                .unwrap();
+                line.clear();
+                reader.read_line(&mut line).unwrap();
+                i += 1;
+            }
+            i
+        })
+    };
+
+    // Three scraper threads per route, racing the driver.
+    std::thread::scope(|scope| {
+        for path in ["/metrics", "/status", "/spans"] {
+            for _ in 0..3 {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        let body = get(&addr, path).unwrap_or_else(|e| panic!("{e}"));
+                        validate(path, &body);
+                    }
+                });
+            }
+        }
+    });
+
+    driving.store(false, Ordering::Relaxed);
+    let ops = driver.join().unwrap();
+    assert!(ops > 0, "driver made no progress under scrape load");
+
+    // Race the shutdown itself: scrapers run while /shutdown lands.
+    // Responses that arrive must still be well-formed; connections the
+    // dying accept loop never picks up may error, and that's fine.
+    std::thread::scope(|scope| {
+        for path in ["/metrics", "/status", "/spans"] {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    if let Ok(body) = get(&addr, path) {
+                        validate(path, &body);
+                    }
+                }
+            });
+        }
+        let addr = addr.clone();
+        scope.spawn(move || {
+            let mut stream = TcpStream::connect(&addr).unwrap();
+            write!(stream, "POST /shutdown HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut text = String::new();
+            let _ = BufReader::new(stream).read_to_string(&mut text);
+            assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        });
+    });
+
+    assert!(state.is_shutting_down());
+    let _ = TcpStream::connect(&addr); // nudge the accept loop
+    server.join().unwrap();
+}

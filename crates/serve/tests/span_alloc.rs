@@ -1,0 +1,125 @@
+//! Counting-allocator bound on span overhead in the serve loop: the
+//! traced path ([`ServeState::handle_spanned`] plus recording into the
+//! [`SpanHub`]) performs **no more heap allocations** than the untraced
+//! [`ServeState::handle`] on the identical request sequence — i.e. span
+//! instrumentation adds zero allocations per request in steady state.
+//!
+//! This file holds exactly one `#[test]` so the global allocation
+//! counter is not polluted by concurrent tests in the same binary.
+
+use dvbp_core::{PolicyKind, RepackPolicy, TimeMode, TraceMode};
+use dvbp_dimvec::DimVec;
+use dvbp_obs::{Span, SyncPolicy};
+use dvbp_serve::protocol::{Request, Response};
+use dvbp_serve::router::RouterKind;
+use dvbp_serve::server::ServeState;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System`; only adds a counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn fresh_state() -> ServeState<Vec<u8>> {
+    ServeState::in_memory(
+        &DimVec::from_slice(&[100, 100]),
+        &PolicyKind::FirstFit,
+        RepackPolicy::DrainOnDepart { k: 2 },
+        2,
+        RouterKind::Hash,
+        TraceMode::CostOnly,
+        TimeMode::Clamp,
+        SyncPolicy::PerEvent,
+    )
+    .unwrap()
+}
+
+/// One round of requests: `n` arrivals then `n` departures, ids unique
+/// per `(round, i)` so repeated rounds keep mutating fresh state.
+fn round_requests(round: u64, n: u64) -> Vec<Request> {
+    let mut reqs = Vec::new();
+    for i in 0..n {
+        reqs.push(Request::Arrive {
+            id: format!("r{round}-{i}"),
+            size: vec![2, 3],
+            time: round * 2 * n + i,
+        });
+    }
+    for i in 0..n {
+        reqs.push(Request::Depart {
+            id: format!("r{round}-{i}"),
+            time: round * 2 * n + n + i,
+        });
+    }
+    reqs
+}
+
+#[test]
+fn span_instrumentation_adds_no_per_request_allocations() {
+    const N: u64 = 64;
+    const ROUNDS: u64 = 5;
+    let plain = fresh_state();
+    let traced = fresh_state();
+
+    // Warm both states (arena growth, WAL vector growth, router
+    // directory) before counting.
+    for req in round_requests(1_000, N) {
+        assert!(!matches!(plain.handle(&req), Response::Error { .. }));
+        let mut span = Span::begin();
+        let (resp, shard) = traced.handle_spanned(&req, &mut span);
+        assert!(!matches!(resp, Response::Error { .. }));
+        traced.span_hub().record(&span.finish(shard, true));
+    }
+
+    // Identical request sequences; the minimum over rounds discounts
+    // harness housekeeping noise and amortized container growth.
+    let mut plain_min = usize::MAX;
+    let mut traced_min = usize::MAX;
+    for round in 0..ROUNDS {
+        let reqs = round_requests(round, N);
+
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for req in &reqs {
+            assert!(!matches!(plain.handle(req), Response::Error { .. }));
+        }
+        plain_min = plain_min.min(ALLOCS.load(Ordering::Relaxed) - before);
+
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for req in &reqs {
+            let mut span = Span::begin();
+            let (resp, shard) = traced.handle_spanned(req, &mut span);
+            assert!(!matches!(resp, Response::Error { .. }));
+            traced.span_hub().record(&span.finish(shard, true));
+        }
+        traced_min = traced_min.min(ALLOCS.load(Ordering::Relaxed) - before);
+    }
+
+    // Tracing 128 requests may not cost even one extra allocation: any
+    // per-request span allocation would show up as >= 2 * N here.
+    assert!(
+        traced_min <= plain_min,
+        "traced path allocated more than untraced: {traced_min} vs {plain_min} \
+         over {} requests",
+        2 * N
+    );
+}
