@@ -8,6 +8,12 @@
 //! [`ObsEvent::Decision`] per placement. This module folds those back
 //! into per-item [`Explanation`]s and renders them as the `dvbp explain`
 //! CLI output — the "why did FirstFit skip bin 7" answer.
+//!
+//! Streams from portfolio runs carry [`ObsEvent::PolicySwitch`] markers;
+//! every placement and migration is labeled with the policy live at its
+//! tick (events before the first switch inherit that switch's `from`
+//! side). Single-policy streams have no markers and no labels — the
+//! output is unchanged for them.
 
 use dvbp_obs::{ObsEvent, ScoreBreakdown};
 use dvbp_sim::Time;
@@ -48,6 +54,9 @@ pub struct Explanation {
     pub reported_probes: u64,
     /// Winning bin's ranking score (Best/Worst Fit only).
     pub score: Option<ScoreBreakdown>,
+    /// Policy live at this placement (round-trippable spelling), when
+    /// the stream carries [`ObsEvent::PolicySwitch`] markers.
+    pub policy: Option<String>,
 }
 
 /// Folds a provenance event stream into per-placement [`Explanation`]s,
@@ -57,8 +66,9 @@ pub struct Explanation {
 /// yield an empty vector; events outside arrivals are ignored.
 #[must_use]
 pub fn explain_stream(events: &[ObsEvent]) -> Vec<Explanation> {
-    let mut out = Vec::new();
+    let mut out: Vec<Explanation> = Vec::new();
     let mut probes: Vec<ProbeInfo> = Vec::new();
+    let mut policy: Option<String> = None;
     for ev in events {
         match ev {
             ObsEvent::Arrival { .. } => probes.clear(),
@@ -91,7 +101,16 @@ pub fn explain_stream(events: &[ObsEvent]) -> Vec<Explanation> {
                 probes: std::mem::take(&mut probes),
                 reported_probes: *reported,
                 score: *score,
+                policy: policy.clone(),
             }),
+            ObsEvent::PolicySwitch { from, to, .. } => {
+                // Placements before the first switch ran under its
+                // outgoing policy; later ones always have a label.
+                for e in out.iter_mut().filter(|e| e.policy.is_none()) {
+                    e.policy = Some(from.clone());
+                }
+                policy = Some(to.clone());
+            }
             _ => {}
         }
     }
@@ -109,7 +128,7 @@ pub fn explain_item(events: &[ObsEvent], item: usize) -> Option<Explanation> {
 /// `closed_from` is `true` when the stream shows the source bin closing
 /// at the same tick, i.e. this move completed a drain — the
 /// justification a repacking policy has for paying the migration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MigrationInfo {
     /// Tick of the move.
     pub time: Time,
@@ -122,6 +141,9 @@ pub struct MigrationInfo {
     /// Whether the source bin closed as a result of the drain this move
     /// belongs to.
     pub closed_from: bool,
+    /// Policy live at this move, when the stream carries
+    /// [`ObsEvent::PolicySwitch`] markers.
+    pub policy: Option<String>,
 }
 
 /// Folds a stream's [`ObsEvent::Migrate`] events into per-move
@@ -130,6 +152,7 @@ pub struct MigrationInfo {
 #[must_use]
 pub fn explain_migrations(events: &[ObsEvent]) -> Vec<MigrationInfo> {
     let mut out: Vec<MigrationInfo> = Vec::new();
+    let mut policy: Option<String> = None;
     for ev in events {
         match ev {
             ObsEvent::Migrate {
@@ -143,7 +166,14 @@ pub fn explain_migrations(events: &[ObsEvent]) -> Vec<MigrationInfo> {
                 from: *from,
                 to: *to,
                 closed_from: false,
+                policy: policy.clone(),
             }),
+            ObsEvent::PolicySwitch { from, to, .. } => {
+                for m in out.iter_mut().filter(|m| m.policy.is_none()) {
+                    m.policy = Some(from.clone());
+                }
+                policy = Some(to.clone());
+            }
             ObsEvent::BinClose { time, bin } => {
                 // A close right after migrations out of the same bin at
                 // the same tick marks the drain as successful.
@@ -165,17 +195,23 @@ pub fn explain_migrations(events: &[ObsEvent]) -> Vec<MigrationInfo> {
 /// Renders one migration as a single justified line:
 ///
 /// ```text
-/// item 4 @ t=9: migrated bin 2 -> bin 0 (drained bin 2, now closed)
+/// item 4 @ t=9: migrated bin 2 -> bin 0 [FirstFit] (drained bin 2, now closed)
 /// ```
+///
+/// (the `[policy]` label appears only on portfolio streams.)
 #[must_use]
 pub fn render_migration(m: &MigrationInfo) -> String {
+    let label = m
+        .policy
+        .as_ref()
+        .map_or_else(String::new, |p| format!(" [{p}]"));
     let why = if m.closed_from {
         format!(" (drained bin {}, now closed)", m.from)
     } else {
         String::new()
     };
     format!(
-        "item {} @ t={}: migrated bin {} -> bin {}{why}\n",
+        "item {} @ t={}: migrated bin {} -> bin {}{label}{why}\n",
         m.item, m.time, m.from, m.to
     )
 }
@@ -183,10 +219,12 @@ pub fn render_migration(m: &MigrationInfo) -> String {
 /// Renders one explanation as an indented causal chain:
 ///
 /// ```text
-/// item 3 @ t=6: opened bin 2 after 2 probes
+/// item 3 @ t=6: opened bin 2 after 2 probes [FirstFit]
 ///   bin 0: rejected at dim 0 (need 9, free 1)
 ///   bin 1: rejected at dim 1 (need 9, free 3)
 /// ```
+///
+/// (the `[policy]` label appears only on portfolio streams.)
 #[must_use]
 pub fn render(e: &Explanation) -> String {
     let mut s = String::new();
@@ -195,9 +233,13 @@ pub fn render(e: &Explanation) -> String {
     } else {
         format!("placed in bin {}", e.bin)
     };
+    let label = e
+        .policy
+        .as_ref()
+        .map_or_else(String::new, |p| format!(" [{p}]"));
     let _ = writeln!(
         s,
-        "item {} @ t={}: {} after {} probe{}",
+        "item {} @ t={}: {} after {} probe{}{label}",
         e.item,
         e.time,
         verdict,
@@ -315,6 +357,74 @@ mod tests {
             let score = e.score.expect("BestFit reports a winner score");
             assert!((0.0..=1.0).contains(&score.value()));
             assert!(render(e).contains("winner load score"), "{}", render(e));
+        }
+    }
+
+    #[test]
+    fn policy_switch_markers_label_placements_and_migrations() {
+        // Two placements under the initial policy, a switch, then one
+        // placement and one migration under the incoming policy.
+        let events = vec![
+            ObsEvent::Decision {
+                time: 0,
+                item: 0,
+                bin: 0,
+                opened_new: true,
+                probes: 0,
+                score: None,
+            },
+            ObsEvent::Decision {
+                time: 1,
+                item: 1,
+                bin: 1,
+                opened_new: true,
+                probes: 1,
+                score: None,
+            },
+            ObsEvent::PolicySwitch {
+                time: 2,
+                from: "NextFit".into(),
+                to: "FirstFit".into(),
+            },
+            ObsEvent::Decision {
+                time: 3,
+                item: 2,
+                bin: 0,
+                opened_new: false,
+                probes: 1,
+                score: None,
+            },
+            ObsEvent::Migrate {
+                time: 4,
+                item: 1,
+                from: 1,
+                to: 0,
+            },
+        ];
+        let explanations = explain_stream(&events);
+        let labels: Vec<_> = explanations.iter().map(|e| e.policy.as_deref()).collect();
+        assert_eq!(
+            labels,
+            [Some("NextFit"), Some("NextFit"), Some("FirstFit")],
+            "pre-switch placements inherit the outgoing policy"
+        );
+        assert!(render(&explanations[2]).contains("[FirstFit]"));
+        let migrations = explain_migrations(&events);
+        assert_eq!(migrations[0].policy.as_deref(), Some("FirstFit"));
+        assert!(render_migration(&migrations[0]).contains("[FirstFit]"));
+    }
+
+    #[test]
+    fn single_policy_streams_stay_unlabeled() {
+        let inst = sample_instance();
+        let mut obs = ProvenanceObserver::new();
+        PackRequest::new(PolicyKind::FirstFit)
+            .observer(&mut obs)
+            .run(&inst)
+            .unwrap();
+        for e in explain_stream(&obs.events) {
+            assert_eq!(e.policy, None);
+            assert!(!render(&e).contains(['[', ']']), "{}", render(&e));
         }
     }
 

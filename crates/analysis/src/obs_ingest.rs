@@ -185,6 +185,7 @@ pub fn replay_packing(events: &[ObsEvent]) -> Result<Packing, ReplayError> {
             | ObsEvent::Probe { .. }
             | ObsEvent::Decision { .. }
             | ObsEvent::Depart { .. }
+            | ObsEvent::PolicySwitch { .. }
             | ObsEvent::RunEnd { .. } => {}
         }
     }

@@ -220,6 +220,7 @@ fn run_config(
         // keeps every shard's clock monotone without rejections.
         TimeMode::Clamp,
         sync,
+        None,
     )
     .expect("boot WAL-backed service");
     state.span_hub().set_slow_threshold_ns(slow_us * 1_000);

@@ -275,6 +275,7 @@ fn serve_state(inst: &Instance, shards: usize) -> ServeState<Vec<u8>> {
         TraceMode::CostOnly,
         TimeMode::Clamp,
         SyncPolicy::OnClose,
+        None,
     )
     .expect("FirstFit serves")
 }

@@ -170,6 +170,41 @@ fn repack_defrag_sweep() -> Instance {
     Instance::new(DimVec::scalar(10), items).expect("hand-built instance is valid")
 }
 
+/// The minimal switch-on-close shape: a full-bin blocker forces NextFit
+/// to strand a tail item in a fresh bin while FirstFit would reuse the
+/// earliest bin, so the blocker's close (the first close of the run)
+/// hands a `best-of:1` portfolio a strictly better FirstFit shadow and
+/// the live policy flips exactly there — never between placements. The
+/// post-switch arrival then lands where only FirstFit would put it.
+fn portfolio_switch_on_close() -> Instance {
+    let items = vec![
+        item(&[3], 0, 8),  // bin 0 resident
+        item(&[10], 1, 3), // bin 1 blocker; its close at 3 is the switch point
+        item(&[3], 2, 8),  // NextFit: bin 1 full -> bin 2; FirstFit: bin 0
+        item(&[4], 4, 8),  // post-switch probe: FirstFit packs bin 0 (3+3+4)
+    ];
+    Instance::new(DimVec::scalar(10), items).expect("hand-built instance is valid")
+}
+
+/// The hysteresis guard earning its keep: NextFit falls more than 10%
+/// behind FirstFit at the second bin close — inside the
+/// `SWITCH_COOLDOWN_CLOSES` guard, so `switch:10` must hold — and by the
+/// time the cooldown expires the long-lived base bins have diluted the
+/// constant absolute gap below the threshold, so the run ends with the
+/// transient regret recorded on the scoreboard and zero switches.
+fn portfolio_no_switch_hysteresis() -> Instance {
+    let items = vec![
+        item(&[9], 0, 40),   // base bins: three long residents whose
+        item(&[9], 0, 40),   // growing cost dilutes the NextFit gap
+        item(&[4], 0, 40),   // NextFit's current bin (residual 6)
+        item(&[10], 1, 3),   // bin 3 blocker; close #1
+        item(&[5], 2, 6),    // NextFit: bin 3 full -> bin 4; FirstFit: bin 2
+        item(&[10], 8, 10),  // close #3 (bin 4 closed at 6: close #2)
+        item(&[10], 12, 14), // close #4: cooldown over, gap already < 10%
+    ];
+    Instance::new(DimVec::scalar(10), items).expect("hand-built instance is valid")
+}
+
 /// Staggered lone departures from a shared bin: most depart groups in
 /// the serve WAL are single `Depart` lines whose bin stays open, so
 /// crash cuts land on the trailing-lone-`Depart` ambiguity the recovery
@@ -333,6 +368,11 @@ pub fn seed_corpus() -> Vec<(&'static str, Instance)> {
         ("crash-wal-lone-depart", crash_wal_lone_depart()),
         ("crash-wal-openclose-churn", crash_wal_openclose_churn()),
         ("crash-wal-equal-tick-resume", crash_wal_equal_tick_resume()),
+        ("portfolio-switch-on-close", portfolio_switch_on_close()),
+        (
+            "portfolio-no-switch-hysteresis",
+            portfolio_no_switch_hysteresis(),
+        ),
     ];
     entries
         .into_iter()
@@ -425,6 +465,81 @@ mod tests {
             },
         );
         assert_eq!((moves, cost), (1, 2), "close-boundary sweep at L1 cost");
+    }
+
+    /// Drives `inst` through a portfolio (NextFit live, FirstFit and
+    /// NextFit shadows) under `meta`; returns the engine and the shadow
+    /// costs captured right after the last operation at tick `snap_at`
+    /// (candidate order), for asserting on mid-run scoreboards that the
+    /// finished run's closed bins would otherwise absorb.
+    fn drive_portfolio(
+        inst: &Instance,
+        meta: dvbp_portfolio::MetaPolicy,
+        snap_at: u64,
+    ) -> (dvbp_portfolio::PortfolioEngine, Vec<dvbp_sim::Cost>) {
+        let live = dvbp_core::LiveRequest::new(dvbp_core::PolicyKind::NextFit)
+            .capacity(inst.capacity.clone())
+            .trace_mode(dvbp_core::TraceMode::CostOnly)
+            .shadow_policies([
+                dvbp_core::PolicyKind::FirstFit,
+                dvbp_core::PolicyKind::NextFit,
+            ])
+            .items_hint(inst.items.len())
+            .build()
+            .unwrap();
+        let mut pf = dvbp_portfolio::PortfolioEngine::new(live, meta, inst.items.len()).unwrap();
+        let mut ids = vec![usize::MAX; inst.items.len()];
+        let mut snap = Vec::new();
+        for op in dvbp_core::live_ops(inst) {
+            let time = match op {
+                dvbp_core::LiveOp::Arrive { item, size, time } => {
+                    ids[item] = pf.arrive(size, time).unwrap().item;
+                    time
+                }
+                dvbp_core::LiveOp::Depart { item, time } => {
+                    pf.depart(ids[item], time).unwrap();
+                    time
+                }
+            };
+            if time == snap_at {
+                snap = pf.scoreboard(time).iter().map(|row| row.cost).collect();
+            }
+        }
+        (pf, snap)
+    }
+
+    #[test]
+    fn switch_on_close_entry_really_switches_at_the_close() {
+        let inst = portfolio_switch_on_close();
+        let (pf, _) = drive_portfolio(&inst, dvbp_portfolio::MetaPolicy::BestOf { window: 1 }, 3);
+        let switches = pf.switches();
+        assert_eq!(switches.len(), 1, "{switches:?}");
+        assert_eq!(switches[0].time, 3, "switch rides the blocker's close");
+        assert_eq!(switches[0].from, "NextFit");
+        assert_eq!(switches[0].to, "FirstFit");
+        assert_eq!(pf.live().kind(), &dvbp_core::PolicyKind::FirstFit);
+    }
+
+    #[test]
+    fn hysteresis_entry_suppresses_a_transiently_winning_shadow() {
+        let inst = portfolio_no_switch_hysteresis();
+        let (pf, costs_at_6) = drive_portfolio(
+            &inst,
+            dvbp_portfolio::MetaPolicy::SwitchThreshold { threshold_pct: 10 },
+            6,
+        );
+        assert!(pf.switches().is_empty(), "{:?}", pf.switches());
+        assert_eq!(pf.live().kind(), &dvbp_core::PolicyKind::NextFit);
+        // The guard did real work: at the second close (t = 6) the
+        // FirstFit shadow led by more than the threshold — only the
+        // cooldown kept the live policy in place.
+        let unguarded = dvbp_portfolio::MetaPolicy::SwitchThreshold { threshold_pct: 10 }.decide(
+            1,
+            &costs_at_6,
+            2,
+            dvbp_portfolio::SWITCH_COOLDOWN_CLOSES,
+        );
+        assert_eq!(unguarded, Some(0), "shadow costs at t = 6: {costs_at_6:?}");
     }
 
     #[test]

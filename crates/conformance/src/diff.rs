@@ -47,7 +47,14 @@
 //!     audited by an independent event-stream checker (capacity,
 //!     liveness, closure, Migrate provenance, cost accounting), with
 //!     `NoRepack` pinned bit-identical to the batch engine. Clairvoyant
-//!     kinds are exempt for the same reason as layer 9.
+//!     kinds are exempt for the same reason as layer 9;
+//! 11. **portfolio** — see [`crate::portfolio`]: shadow simulation must
+//!     be pure observation. Every candidate's shadow cost must equal a
+//!     standalone `CostOnly` run of that candidate bit for bit against
+//!     the shared lower-bound anchor, and a `static`-meta
+//!     [`PortfolioEngine`](dvbp_portfolio::PortfolioEngine) must be
+//!     indistinguishable from the plain single-policy live path.
+//!     Clairvoyant kinds are exempt (live candidates must be servable).
 
 use crate::reference;
 use dvbp_core::{Instance, PackRequest, Packing, PolicyKind, TraceMode};
@@ -404,6 +411,7 @@ pub fn check_instance(instance: &Instance, random_fit_seed: u64) -> Result<(), D
                 crate::repack::check_policy(instance, &kind, repack)?;
             }
         }
+        crate::portfolio::check_policy(instance, &kind)?;
     }
     Ok(())
 }

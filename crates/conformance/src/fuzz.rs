@@ -32,7 +32,14 @@
 //!   anchors departing first: bins go nearly empty while neighbours
 //!   hold residual room, so the layer-10 repack audit sees real
 //!   migrations (drain and defrag both fire) instead of vacuously
-//!   passing on migration-free runs.
+//!   passing on migration-free runs;
+//! * **regime-shift** — the workload distribution flips mid-stream:
+//!   phases of heavy blockers (over half the bin) alternate with phases
+//!   of light uniform items, separated by full-drain gaps. Each regime
+//!   boundary is a burst of bin closes — exactly the decision points
+//!   where a portfolio meta-policy may switch the live policy — and no
+//!   single Any-Fit policy is best across both regimes, so the layer-11
+//!   shadow-fidelity checks run against genuinely diverging scoreboards.
 //!
 //! Every instance is derived deterministically from its `(family, seed)`
 //! pair, so a reported failure is reproducible from its seed alone even
@@ -71,6 +78,10 @@ pub enum Family {
     /// leaving nearly-empty bins next to bins with residual room — the
     /// shape that makes every repack policy actually migrate.
     RepackChurn,
+    /// Alternating heavy-blocker / light-uniform phases with full-drain
+    /// gaps: every regime boundary is a burst of bin closes, the
+    /// switch points of the portfolio meta-policies.
+    RegimeShift,
 }
 
 impl Family {
@@ -85,12 +96,13 @@ impl Family {
             Family::EqualTick => "equaltick",
             Family::WideDim => "widedim",
             Family::RepackChurn => "repackchurn",
+            Family::RegimeShift => "regimeshift",
         }
     }
 }
 
 /// All families, in fuzzing order.
-pub const FAMILIES: [Family; 7] = [
+pub const FAMILIES: [Family; 8] = [
     Family::Uniform,
     Family::Adversarial,
     Family::Extended,
@@ -98,6 +110,7 @@ pub const FAMILIES: [Family; 7] = [
     Family::EqualTick,
     Family::WideDim,
     Family::RepackChurn,
+    Family::RegimeShift,
 ];
 
 /// Small randomized base parameters shared by the uniform and extended
@@ -290,6 +303,34 @@ pub fn generate(family: Family, seed: u64) -> Instance {
             }
             Instance::new(DimVec::splat(dims, cap), items).expect("repack-churn instance valid")
         }
+        Family::RegimeShift => {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+            let dims = rng.random_range(1..=2usize);
+            let cap = 10u64;
+            let mut items = Vec::new();
+            let mut t = 0u64;
+            let regimes = rng.random_range(2..=3u32);
+            for r in 0..regimes {
+                // Alternate which distribution leads so both orders
+                // (heavy→light, light→heavy) are drawn across seeds.
+                let heavy = (u64::from(r) + seed).is_multiple_of(2);
+                for _ in 0..rng.random_range(8..=16usize) {
+                    let a = t + rng.random_range(0..=3u64);
+                    let dur = rng.random_range(1..=5u64);
+                    let size = if heavy {
+                        DimVec::from_fn(dims, |_| rng.random_range(6..=cap))
+                    } else {
+                        DimVec::from_fn(dims, |_| rng.random_range(1..=3u64))
+                    };
+                    items.push(Item::new(size, a, a + dur));
+                }
+                // Last arrival t+3, last departure t+8; the gap drains
+                // every bin, so each regime boundary is a burst of
+                // close events — the meta-policy's switch points.
+                t += 10;
+            }
+            Instance::new(DimVec::splat(dims, cap), items).expect("regime-shift instance valid")
+        }
     };
     announce_exact(&inst)
 }
@@ -426,6 +467,51 @@ mod tests {
         assert!(
             migrating_seeds >= 6,
             "only {migrating_seeds}/12 repack-churn seeds migrate"
+        );
+    }
+
+    #[test]
+    fn regime_shift_family_actually_flips_the_meta_policy() {
+        // The family exists to hand the meta-policies genuinely
+        // diverging scoreboards; if no seed ever makes a best-of
+        // portfolio switch its live policy, it is vacuous.
+        let mut switching_seeds = 0u32;
+        for seed in 0..12 {
+            let inst = generate(Family::RegimeShift, seed);
+            let live = dvbp_core::LiveRequest::new(dvbp_core::PolicyKind::NextFit)
+                .capacity(inst.capacity.clone())
+                .trace_mode(dvbp_core::TraceMode::CostOnly)
+                .shadow_policies([
+                    dvbp_core::PolicyKind::FirstFit,
+                    dvbp_core::PolicyKind::NextFit,
+                ])
+                .items_hint(inst.items.len())
+                .build()
+                .unwrap();
+            let mut pf = dvbp_portfolio::PortfolioEngine::new(
+                live,
+                dvbp_portfolio::MetaPolicy::BestOf { window: 1 },
+                inst.items.len(),
+            )
+            .unwrap();
+            let mut ids = vec![usize::MAX; inst.items.len()];
+            for op in dvbp_core::live_ops(&inst) {
+                match op {
+                    dvbp_core::LiveOp::Arrive { item, size, time } => {
+                        ids[item] = pf.arrive(size, time).unwrap().item;
+                    }
+                    dvbp_core::LiveOp::Depart { item, time } => {
+                        pf.depart(ids[item], time).unwrap();
+                    }
+                }
+            }
+            if !pf.switches().is_empty() {
+                switching_seeds += 1;
+            }
+        }
+        assert!(
+            switching_seeds >= 6,
+            "only {switching_seeds}/12 regime-shift seeds switch"
         );
     }
 

@@ -24,6 +24,12 @@
 //!   capacity, no resurrected items, empty-close discipline, Migrate
 //!   provenance ≡ reported moves, cost-model accounting), and
 //!   `NoRepack` must stay bit-identical to the batch engine;
+//! * [`mod@portfolio`] — layer 11, shadow-policy portfolio dispatch:
+//!   every candidate's shadow cost must equal a standalone
+//!   `CostOnly` run of that candidate bit for bit, and a
+//!   `static`-meta portfolio engine must be indistinguishable from the
+//!   plain single-policy path (placements, departures, drained
+//!   packing);
 //! * [`fuzz`] — a deterministic fuzzer feeding uniform, adversarial, and
 //!   extended workloads into the differential check;
 //! * [`shrink`] — a delta-debugging shrinker that minimizes any failure
@@ -37,6 +43,7 @@
 pub mod corpus;
 pub mod diff;
 pub mod fuzz;
+pub mod portfolio;
 pub mod reference;
 pub mod repack;
 pub mod serve;

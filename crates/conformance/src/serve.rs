@@ -89,6 +89,7 @@ fn drive(
         TraceMode::Full,
         TimeMode::Strict,
         SyncPolicy::PerEvent,
+        None,
     )
     .map_err(|e| Divergence::new(kind, format!("serve[shards={shards}]: boot: {e}")))?;
     for op in ops {
@@ -250,6 +251,7 @@ fn check_crash_cut(
         RepackPolicy::NoRepack,
         TraceMode::Full,
         TimeMode::Strict,
+        None,
     )
     .map_err(|e| Divergence::new(kind, format!("serve[crash@{cut}]: recovery: {e}")))?;
     let mut shard = Shard::resume(
@@ -258,6 +260,7 @@ fn check_crash_cut(
         rec.names,
         rec.events_applied,
         JsonlEmitter::new(Vec::new()).with_sync(SyncPolicy::PerEvent),
+        rec.portfolio,
     );
     for op in ops {
         let outcome = match op {

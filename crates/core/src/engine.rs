@@ -668,6 +668,16 @@ impl Engine {
         self.assignment.resize(n, BinId(usize::MAX));
     }
 
+    /// Reserves per-item array capacity for `n` expected items without
+    /// changing their lengths — the live engine's
+    /// [`items_hint`](crate::LiveRequest::items_hint) path, which must
+    /// not pre-populate placeholder entries the way batch pre-sizing
+    /// does (a live run may see fewer items than hinted).
+    pub(crate) fn reserve_items(&mut self, n: usize) {
+        self.next_item.reserve(n);
+        self.assignment.reserve(n);
+    }
+
     /// Runs `policy` over `instance` and returns the resulting packing.
     ///
     /// The policy is `reset()` first, so a policy value can be reused

@@ -271,6 +271,8 @@ pub struct LiveRequest<O: Observer = NoopObserver> {
     time_mode: TimeMode,
     repack: RepackPolicy,
     observer: O,
+    shadow_kinds: Vec<PolicyKind>,
+    items_hint: usize,
 }
 
 impl LiveRequest<NoopObserver> {
@@ -284,6 +286,8 @@ impl LiveRequest<NoopObserver> {
             time_mode: TimeMode::Strict,
             repack: RepackPolicy::NoRepack,
             observer: NoopObserver,
+            shadow_kinds: Vec::new(),
+            items_hint: 0,
         }
     }
 }
@@ -318,6 +322,29 @@ impl<O: Observer> LiveRequest<O> {
         self
     }
 
+    /// Declares the shadow-policy candidate set for portfolio dispatch
+    /// (see the `dvbp-portfolio` crate). The core engine only records
+    /// and validates the kinds — clairvoyant candidates are rejected at
+    /// [`build`](LiveRequest::build), and duplicates of the live kind
+    /// are kept (every candidate gets its own shadow). The portfolio
+    /// layer reads them back via [`LiveEngine::shadow_kinds`].
+    #[must_use]
+    pub fn shadow_policies<I: IntoIterator<Item = PolicyKind>>(mut self, kinds: I) -> Self {
+        self.shadow_kinds = kinds.into_iter().collect();
+        self
+    }
+
+    /// Pre-reserves per-item bookkeeping for an expected stream length.
+    /// Purely an optimization: with a hint covering the run, the item
+    /// ledger never reallocates in steady state — the portfolio crate's
+    /// counting-allocator test drives engines sized this way to prove
+    /// shadows add zero steady-state allocations.
+    #[must_use]
+    pub fn items_hint(mut self, items: usize) -> Self {
+        self.items_hint = items;
+        self
+    }
+
     /// Attaches an observer, replacing the previous one. The engine
     /// owns it; every arrival, departure, migration, and bin event is
     /// forwarded to it.
@@ -330,6 +357,8 @@ impl<O: Observer> LiveRequest<O> {
             time_mode: self.time_mode,
             repack: self.repack,
             observer,
+            shadow_kinds: self.shadow_kinds,
+            items_hint: self.items_hint,
         }
     }
 
@@ -345,18 +374,21 @@ impl<O: Observer> LiveRequest<O> {
         let Some(capacity) = self.capacity else {
             return Err(LiveError::NoCapacity);
         };
-        if matches!(
-            self.kind,
-            PolicyKind::DurationClassFirstFit | PolicyKind::AlignedFit
-        ) {
-            return Err(LiveError::Clairvoyant {
-                policy: self.kind.name(),
-            });
+        for kind in std::iter::once(&self.kind).chain(&self.shadow_kinds) {
+            if matches!(
+                kind,
+                PolicyKind::DurationClassFirstFit | PolicyKind::AlignedFit
+            ) {
+                return Err(LiveError::Clairvoyant {
+                    policy: kind.name(),
+                });
+            }
         }
         let mut policy = self.kind.build();
         policy.reset();
         let mut engine = Engine::new();
         engine.reset_for(capacity.dim(), 0);
+        engine.reserve_items(self.items_hint);
         let mut observer = self.observer;
         observer.on_run_start(dvbp_obs::RunStart {
             capacity: capacity.as_slice(),
@@ -371,8 +403,8 @@ impl<O: Observer> LiveRequest<O> {
             repack: self.repack,
             observer,
             full: self.trace == TraceMode::Full,
-            items: Vec::new(),
-            departed: Vec::new(),
+            items: Vec::with_capacity(self.items_hint),
+            departed: Vec::with_capacity(self.items_hint),
             active_items: 0,
             trace: Vec::new(),
             now: 0,
@@ -381,6 +413,8 @@ impl<O: Observer> LiveRequest<O> {
             migrations: 0,
             migration_cost: 0,
             closes_since_sweep: 0,
+            shadow_kinds: self.shadow_kinds,
+            policy_switches: 0,
         })
     }
 }
@@ -422,6 +456,11 @@ pub struct LiveEngine<O: Observer = NoopObserver> {
     migration_cost: u64,
     /// Natural bin closes since the last defrag sweep.
     closes_since_sweep: u32,
+    /// Shadow-policy candidates declared at construction (portfolio
+    /// dispatch); the core engine only carries them.
+    shadow_kinds: Vec<PolicyKind>,
+    /// Accepted [`switch_policy`](LiveEngine::switch_policy) calls.
+    policy_switches: u64,
 }
 
 impl LiveEngine {
@@ -767,6 +806,51 @@ impl<O: Observer> LiveEngine<O> {
         }
     }
 
+    /// Swaps the live policy for a fresh instance of `kind` mid-run.
+    ///
+    /// The incoming policy adopts the current open-bin set through
+    /// [`Policy::on_adopt`] — a deterministic function of the open bins,
+    /// so replaying the same event/switch sequence (e.g. from a WAL)
+    /// reproduces every subsequent decision bit-for-bit. No placed item
+    /// moves: only future arrivals see the new policy.
+    ///
+    /// Callers decide *when*; the portfolio meta-policy layer only
+    /// switches at bin-close boundaries so the open set handed to
+    /// `on_adopt` is exactly what a fresh run of the incoming policy
+    /// could itself be facing. The switch is forwarded to the observer
+    /// ([`Observer::on_policy_switch`]) with round-trippable
+    /// [`PolicyKind::spec`] spellings.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::Clairvoyant`] for policy kinds that read announced
+    /// durations; the engine state is unchanged.
+    pub fn switch_policy(&mut self, kind: PolicyKind) -> Result<(), LiveError> {
+        if matches!(
+            kind,
+            PolicyKind::DurationClassFirstFit | PolicyKind::AlignedFit
+        ) {
+            return Err(LiveError::Clairvoyant {
+                policy: kind.name(),
+            });
+        }
+        let mut policy = kind.build();
+        policy.on_adopt(self.engine.open_bins());
+        let from = self.kind.spec();
+        self.observer
+            .on_policy_switch(self.now, &from, &kind.spec());
+        self.policy = policy;
+        self.kind = kind;
+        self.policy_switches += 1;
+        Ok(())
+    }
+
+    /// Accepted [`switch_policy`](LiveEngine::switch_policy) calls so far.
+    #[must_use]
+    pub fn policy_switches(&self) -> u64 {
+        self.policy_switches
+    }
+
     /// Bin capacity vector.
     #[must_use]
     pub fn capacity(&self) -> &DimVec {
@@ -777,6 +861,21 @@ impl<O: Observer> LiveEngine<O> {
     #[must_use]
     pub fn kind(&self) -> &PolicyKind {
         &self.kind
+    }
+
+    /// The timestamp discipline this engine was built with.
+    #[must_use]
+    pub fn time_mode(&self) -> TimeMode {
+        self.time_mode
+    }
+
+    /// Shadow-policy candidates declared via
+    /// [`LiveRequest::shadow_policies`] (empty when portfolio dispatch
+    /// is not in use). The portfolio layer builds one cost-only shadow
+    /// engine per entry.
+    #[must_use]
+    pub fn shadow_kinds(&self) -> &[PolicyKind] {
+        &self.shadow_kinds
     }
 
     /// The attached repacking policy.
@@ -1571,6 +1670,120 @@ mod tests {
             recorder.events.last(),
             Some(dvbp_obs::ObsEvent::RunEnd { .. })
         ));
+    }
+
+    #[test]
+    fn switch_policy_rejects_clairvoyant_and_counts_switches() {
+        let mut live = LiveEngine::new(
+            DimVec::from_slice(&[10]),
+            &PolicyKind::FirstFit,
+            TraceMode::Full,
+            TimeMode::Strict,
+        )
+        .unwrap();
+        assert!(matches!(
+            live.switch_policy(PolicyKind::AlignedFit),
+            Err(LiveError::Clairvoyant { .. })
+        ));
+        assert_eq!(live.policy_switches(), 0);
+        live.switch_policy(PolicyKind::MoveToFront).unwrap();
+        assert_eq!(live.kind(), &PolicyKind::MoveToFront);
+        assert_eq!(live.policy_switches(), 1);
+    }
+
+    #[test]
+    fn switch_policy_changes_future_placements_only() {
+        // Two bins open, both with room. FirstFit would pick b0 for the
+        // next small item; after switching to MoveToFront (which adopts
+        // latest-opened-first order) the same item goes to b1.
+        let mut live = LiveEngine::new(
+            DimVec::from_slice(&[10]),
+            &PolicyKind::FirstFit,
+            TraceMode::Full,
+            TimeMode::Strict,
+        )
+        .unwrap();
+        live.arrive(DimVec::from_slice(&[6]), 0).unwrap(); // b0
+        live.arrive(DimVec::from_slice(&[6]), 1).unwrap(); // b1
+        live.switch_policy(PolicyKind::MoveToFront).unwrap();
+        let placed = live.arrive(DimVec::from_slice(&[2]), 2).unwrap();
+        assert_eq!(placed.bin, BinId(1), "MTF adoption puts b1 in front");
+        assert_eq!(live.item_bin(0), Some(BinId(0)), "no placed item moved");
+    }
+
+    #[test]
+    fn switch_policy_reaches_the_observer_with_spec_spellings() {
+        let mut live = LiveRequest::new(PolicyKind::FirstFit)
+            .capacity(DimVec::from_slice(&[10]))
+            .observer(dvbp_obs::Recorder::new())
+            .build()
+            .unwrap();
+        live.arrive(DimVec::from_slice(&[5]), 3).unwrap();
+        live.switch_policy(PolicyKind::RandomFit { seed: 9 })
+            .unwrap();
+        live.depart(0, 7).unwrap();
+        let (_, recorder) = live.into_parts().unwrap();
+        assert!(recorder.events.contains(&dvbp_obs::ObsEvent::PolicySwitch {
+            time: 3,
+            from: "FirstFit".into(),
+            to: "RandomFit:9".into(),
+        }));
+    }
+
+    #[test]
+    fn shadow_policies_are_carried_and_validated() {
+        let err = LiveRequest::new(PolicyKind::FirstFit)
+            .capacity(DimVec::from_slice(&[10]))
+            .shadow_policies([PolicyKind::AlignedFit])
+            .build()
+            .err()
+            .expect("clairvoyant shadow candidates must be rejected");
+        assert!(matches!(err, LiveError::Clairvoyant { .. }));
+        let live = LiveRequest::new(PolicyKind::FirstFit)
+            .capacity(DimVec::from_slice(&[10]))
+            .shadow_policies([PolicyKind::FirstFit, PolicyKind::MoveToFront])
+            .items_hint(64)
+            .build()
+            .unwrap();
+        assert_eq!(
+            live.shadow_kinds(),
+            &[PolicyKind::FirstFit, PolicyKind::MoveToFront]
+        );
+        assert_eq!(live.time_mode(), TimeMode::Strict);
+    }
+
+    #[test]
+    fn items_hint_does_not_change_the_run() {
+        let instance = sample();
+        let mut hinted = LiveRequest::new(PolicyKind::FirstFit)
+            .capacity(instance.capacity.clone())
+            .items_hint(1000)
+            .build()
+            .unwrap();
+        let mut plain = LiveRequest::new(PolicyKind::FirstFit)
+            .capacity(instance.capacity.clone())
+            .build()
+            .unwrap();
+        for op in live_ops(&instance) {
+            match op {
+                LiveOp::Arrive { size, time, .. } => {
+                    assert_eq!(
+                        hinted.arrive(size.clone(), time).unwrap(),
+                        plain.arrive(size, time).unwrap()
+                    );
+                }
+                LiveOp::Depart { item, time } => {
+                    assert_eq!(
+                        hinted.depart(item, time).unwrap(),
+                        plain.depart(item, time).unwrap()
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            hinted.into_packing().unwrap(),
+            plain.into_packing().unwrap()
+        );
     }
 
     #[test]

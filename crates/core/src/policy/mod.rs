@@ -103,6 +103,20 @@ pub trait Policy: Send {
 
     /// Clears all run state; called by the engine before each run.
     fn reset(&mut self) {}
+
+    /// Adoption mid-run: the policy takes over an engine whose open bins
+    /// are `open_bins` (ascending id = opening order). Called instead of
+    /// [`reset`](Policy::reset) when a live engine switches policies at a
+    /// bin-close boundary ([`crate::LiveEngine::switch_policy`]).
+    ///
+    /// The default clears run state via `reset` — correct for stateless
+    /// scans (First Fit, Best/Worst/Last Fit) whose decisions derive
+    /// only from the view. Stateful policies override it to seed their
+    /// internal order from the open set **deterministically**, so WAL
+    /// replay of a switch reproduces the same subsequent decisions.
+    fn on_adopt(&mut self, _open_bins: &[BinId]) {
+        self.reset();
+    }
 }
 
 /// Value-level policy descriptor: buildable, serializable, hashable.
@@ -173,6 +187,18 @@ impl PolicyKind {
             PolicyKind::DurationClassFirstFit => "DurationClassFF".into(),
             PolicyKind::AlignedFit => "AlignedFit".into(),
             PolicyKind::IndexedFirstFit => "IndexedFirstFit".into(),
+        }
+    }
+
+    /// Round-trippable spelling: like [`name`](PolicyKind::name), but
+    /// `RandomFit` carries its seed (`RandomFit:7`), so
+    /// `spec().parse::<PolicyKind>()` reproduces the kind exactly —
+    /// the spelling journaled in `PolicySwitch` WAL events.
+    #[must_use]
+    pub fn spec(&self) -> String {
+        match self {
+            PolicyKind::RandomFit { seed } => format!("RandomFit:{seed}"),
+            other => other.name(),
         }
     }
 
@@ -320,6 +346,22 @@ mod tests {
         assert!(PolicyKind::from_str("BestFit[Lx]").is_err());
         let err = PolicyKind::from_str("zzz").unwrap_err().to_string();
         assert!(err.contains("zzz"));
+    }
+
+    #[test]
+    fn spec_round_trips_every_kind_exactly() {
+        use std::str::FromStr;
+        let mut kinds = PolicyKind::paper_suite(99);
+        kinds.extend([
+            PolicyKind::IndexedFirstFit,
+            PolicyKind::DurationClassFirstFit,
+            PolicyKind::AlignedFit,
+            PolicyKind::BestFit(LoadMeasure::Lp(4)),
+        ]);
+        for kind in kinds {
+            let parsed = PolicyKind::from_str(&kind.spec()).unwrap();
+            assert_eq!(parsed, kind, "spec {} must round-trip", kind.spec());
+        }
     }
 
     #[test]

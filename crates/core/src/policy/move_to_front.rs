@@ -71,6 +71,15 @@ impl Policy for MoveToFront {
     fn reset(&mut self) {
         self.order.clear();
     }
+
+    /// Adopting an engine mid-run seeds the MRU order with the open bins
+    /// in descending id order (latest-opened in front) — the order a
+    /// fresh MTF run would hold after opening those bins with no
+    /// intervening reuse. Deterministic, so WAL replay reproduces it.
+    fn on_adopt(&mut self, open_bins: &[BinId]) {
+        self.order.clear();
+        self.order.extend(open_bins.iter().rev());
+    }
 }
 
 #[cfg(test)]

@@ -72,6 +72,13 @@ impl Policy for NextFit {
     fn reset(&mut self) {
         self.current = None;
     }
+
+    /// Adopting an engine mid-run designates the latest-opened open bin
+    /// (highest id) as current; earlier bins count as released. With no
+    /// open bins the next arrival opens one, as after `reset`.
+    fn on_adopt(&mut self, open_bins: &[BinId]) {
+        self.current = open_bins.last().copied();
+    }
 }
 
 #[cfg(test)]

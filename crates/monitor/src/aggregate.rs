@@ -7,8 +7,9 @@
 //! Prometheus rate queries over scrapes are meaningful.
 
 use dvbp_obs::histogram::LogHistogram;
-use dvbp_obs::{MetricsObserver, TimingSnapshot};
-use dvbp_sim::Cost;
+use dvbp_obs::{MetricsObserver, ObsEvent, TimingSnapshot};
+use dvbp_sim::{Cost, Time};
+use std::collections::HashMap;
 
 /// Totals over every run the driver has completed.
 #[derive(Clone, Debug, Default)]
@@ -146,6 +147,116 @@ impl RepackStats {
     }
 }
 
+/// Usage-time totals attributed to one live policy across the segments
+/// (spans between [`ObsEvent::PolicySwitch`] markers) it drove.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Segments this policy was live for.
+    pub segments: u64,
+    /// Usage-time cost accrued while this policy was live (bin-ticks:
+    /// each open bin charges the overlap of its open interval with the
+    /// segment).
+    pub usage_time: Cost,
+}
+
+impl SegmentStats {
+    /// This policy's share of the run's total cost, as a fraction in
+    /// `[0, 1]`. With no cost evidence yet (`total == 0` — a cold-start
+    /// scrape) the share is undefined; this reports `0.0` rather than
+    /// `NaN`, so dashboards never see a non-finite sample.
+    #[must_use]
+    pub fn cost_share(&self, total: Cost) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.usage_time as f64 / total as f64
+        }
+    }
+}
+
+/// Attributes a recorded stream's usage-time cost to the policy live
+/// during each segment, keyed by the round-trippable policy spelling in
+/// first-seen order.
+///
+/// A segment is the span between two [`ObsEvent::PolicySwitch`] markers
+/// (the stretch before the first switch belongs to that switch's `from`
+/// side; the stretch after the last to its `to` side). Each open bin
+/// charges every segment the overlap of its open interval, so summing
+/// the attribution over policies reproduces the run's total usage time
+/// exactly. Streams without switch markers (single-policy runs) yield
+/// an empty vector; streams holding several runs attribute each run's
+/// segments independently into the same totals.
+#[must_use]
+pub fn attribute_policy_segments(events: &[ObsEvent]) -> Vec<(String, SegmentStats)> {
+    let mut totals: Vec<(String, SegmentStats)> = Vec::new();
+    let credit = |policy: &str, cost: Cost, totals: &mut Vec<(String, SegmentStats)>| {
+        let stats = match totals.iter_mut().find(|(p, _)| p == policy) {
+            Some((_, stats)) => stats,
+            None => {
+                totals.push((policy.to_string(), SegmentStats::default()));
+                &mut totals.last_mut().expect("just pushed").1
+            }
+        };
+        stats.segments += 1;
+        stats.usage_time += cost;
+    };
+    // Bin -> start of its unattributed open span (clamped forward at
+    // each segment boundary); `pending` accrues the current segment.
+    let mut open: HashMap<usize, Time> = HashMap::new();
+    let mut pending: Cost = 0;
+    let mut current: Option<String> = None;
+    let mut last_time: Time = 0;
+    let flush = |at: Time, open: &mut HashMap<usize, Time>, pending: &mut Cost| {
+        for since in open.values_mut() {
+            *pending += Cost::from(at.max(*since) - *since);
+            *since = at.max(*since);
+        }
+    };
+    for ev in events {
+        match ev {
+            ObsEvent::RunStart { .. } => {
+                // A fresh run: its initial policy is unknown until its
+                // first switch, exactly like the stream head.
+                open.clear();
+                pending = 0;
+                current = None;
+            }
+            ObsEvent::BinOpen { time, bin } => {
+                open.insert(*bin, *time);
+                last_time = last_time.max(*time);
+            }
+            ObsEvent::BinClose { time, bin } => {
+                if let Some(since) = open.remove(bin) {
+                    pending += Cost::from((*time).max(since) - since);
+                }
+                last_time = last_time.max(*time);
+            }
+            ObsEvent::PolicySwitch { time, from, to } => {
+                flush(*time, &mut open, &mut pending);
+                credit(from, pending, &mut totals);
+                pending = 0;
+                current = Some(to.clone());
+                last_time = last_time.max(*time);
+            }
+            ObsEvent::RunEnd { time, .. } => {
+                flush(*time, &mut open, &mut pending);
+                if let Some(policy) = current.take() {
+                    credit(&policy, pending, &mut totals);
+                }
+                open.clear();
+                pending = 0;
+            }
+            _ => {}
+        }
+    }
+    // A truncated stream (no RunEnd): settle up to the last tick seen.
+    if let Some(policy) = current {
+        flush(last_time, &mut open, &mut pending);
+        credit(&policy, pending, &mut totals);
+    }
+    totals
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +321,69 @@ mod tests {
         assert_eq!(stats.usage_time, 50);
         assert_eq!(stats.lb_load, 30);
         assert!((stats.running_cr() - 50.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_attribution_splits_bins_at_the_switch_and_sums_to_total() {
+        // Bin 0 spans the switch at t=4 (2 ticks NextFit, 6 FirstFit);
+        // bin 1 lives entirely inside the first segment.
+        let events = vec![
+            dvbp_obs::ObsEvent::BinOpen { time: 2, bin: 0 },
+            dvbp_obs::ObsEvent::BinOpen { time: 2, bin: 1 },
+            dvbp_obs::ObsEvent::BinClose { time: 3, bin: 1 },
+            dvbp_obs::ObsEvent::PolicySwitch {
+                time: 4,
+                from: "NextFit".into(),
+                to: "FirstFit".into(),
+            },
+            dvbp_obs::ObsEvent::BinClose { time: 10, bin: 0 },
+            dvbp_obs::ObsEvent::RunEnd {
+                time: 10,
+                items: 3,
+                bins: 2,
+            },
+        ];
+        let totals = attribute_policy_segments(&events);
+        assert_eq!(
+            totals,
+            vec![
+                (
+                    "NextFit".to_string(),
+                    SegmentStats {
+                        segments: 1,
+                        usage_time: 3
+                    }
+                ),
+                (
+                    "FirstFit".to_string(),
+                    SegmentStats {
+                        segments: 1,
+                        usage_time: 6
+                    }
+                ),
+            ]
+        );
+        let total: Cost = totals.iter().map(|(_, s)| s.usage_time).sum();
+        assert_eq!(total, 9, "attribution must reproduce the run's cost");
+        assert!((totals[0].1.cost_share(total) - 3.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_policy_streams_attribute_nothing() {
+        let inst = sample_instance();
+        let mut rec = dvbp_obs::Recorder::new();
+        PackRequest::new(PolicyKind::FirstFit)
+            .observer(&mut rec)
+            .run(&inst)
+            .unwrap();
+        assert!(attribute_policy_segments(&rec.events).is_empty());
+    }
+
+    #[test]
+    fn segment_cost_share_is_finite_on_cold_start() {
+        let stats = SegmentStats::default();
+        assert_eq!(stats.cost_share(0), 0.0);
+        assert!(stats.cost_share(0).is_finite());
     }
 
     #[test]

@@ -204,11 +204,30 @@ fn run(args: &[String]) -> Result<(), String> {
     let runs_budget: u64 = parse(args, "--runs", 0u64)?;
     let interval = Duration::from_millis(parse(args, "--interval-ms", 100u64)?);
 
+    let mut segments = Vec::new();
     let mut drive = match (flag(args, "--trace"), flag(args, "--stream")) {
         (Some(_), Some(_)) => return Err("--trace and --stream are mutually exclusive".into()),
         (Some(path), None) => {
             let text =
                 std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+            // A portfolio trace carries PolicySwitch markers: attribute
+            // its cost to the policies that were live, per segment.
+            for run in dvbp_analysis::obs_ingest::ingest_jsonl(&text).map_err(|e| e.to_string())? {
+                for (live, stats) in dvbp_monitor::aggregate::attribute_policy_segments(&run.events)
+                {
+                    match segments
+                        .iter_mut()
+                        .find(|(p, _): &&mut (String, _)| *p == live)
+                    {
+                        Some((_, merged)) => {
+                            let merged: &mut dvbp_monitor::aggregate::SegmentStats = merged;
+                            merged.segments += stats.segments;
+                            merged.usage_time += stats.usage_time;
+                        }
+                        None => segments.push((live, stats)),
+                    }
+                }
+            }
             Drive::Instances(Workload::from_trace_jsonl(&text).map_err(|e| format!("{path}: {e}"))?)
         }
         (None, Some(path)) => stream_drive(args, path)?,
@@ -242,7 +261,8 @@ fn run(args: &[String]) -> Result<(), String> {
         suite.clear();
     }
 
-    let monitor = Arc::new(Monitor::with_repack_suite(policy.name(), &suite));
+    let monitor =
+        Arc::new(Monitor::with_repack_suite(policy.name(), &suite).with_trace_segments(segments));
     let server =
         MonitorServer::bind(addr.as_str(), &monitor).map_err(|e| format!("binding {addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;

@@ -19,8 +19,9 @@
 //! `2^i − 1` (bucket 0 is the singleton `{0}`); buckets are emitted up
 //! to the highest non-empty one, then `+Inf`.
 
-use crate::aggregate::{Aggregate, RepackStats};
+use crate::aggregate::{Aggregate, RepackStats, SegmentStats};
 use dvbp_obs::histogram::LogHistogram;
+use dvbp_sim::Cost;
 use std::fmt::Write as _;
 
 fn counter(out: &mut String, name: &str, help: &str, policy: &str, value: u128) {
@@ -268,6 +269,71 @@ pub fn render_repack(policy: &str, entries: &[(String, RepackStats)]) -> String 
     out
 }
 
+/// One metric family spanning every live-policy segment entry:
+/// HELP/TYPE once, then one `{policy=…,live=…}` sample per policy that
+/// ever drove the portfolio.
+fn segment_family(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    kind: &str,
+    policy: &str,
+    entries: &[(String, SegmentStats)],
+    value: impl Fn(&SegmentStats) -> String,
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    for (live, stats) in entries {
+        let _ = writeln!(
+            out,
+            "{name}{{policy=\"{policy}\",live=\"{live}\"}} {}",
+            value(stats)
+        );
+    }
+}
+
+/// Renders the per-policy-segment attribution of a replayed portfolio
+/// trace: segment counts, attributed usage-time cost, and each policy's
+/// share of the total — one `live` label value per policy that ever
+/// drove the run. Appended to [`render`]'s document when the monitor
+/// replays a trace carrying `PolicySwitch` markers; empty otherwise.
+#[must_use]
+pub fn render_segments(policy: &str, entries: &[(String, SegmentStats)]) -> String {
+    let mut out = String::new();
+    if entries.is_empty() {
+        return out;
+    }
+    let total: Cost = entries.iter().map(|(_, s)| s.usage_time).sum();
+    segment_family(
+        &mut out,
+        "dvbp_segments_total",
+        "Live-policy segments attributed to each portfolio candidate.",
+        "counter",
+        policy,
+        entries,
+        |s| s.segments.to_string(),
+    );
+    segment_family(
+        &mut out,
+        "dvbp_segment_usage_time_total",
+        "Usage-time cost accrued while each policy was live (bin-ticks).",
+        "counter",
+        policy,
+        entries,
+        |s| s.usage_time.to_string(),
+    );
+    segment_family(
+        &mut out,
+        "dvbp_segment_cost_share",
+        "Each live policy's fraction of the replayed trace's total cost.",
+        "gauge",
+        policy,
+        entries,
+        |s| s.cost_share(total).to_string(),
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,6 +443,49 @@ mod tests {
     #[test]
     fn empty_repack_suite_renders_nothing() {
         assert!(render_repack("p", &[]).is_empty());
+    }
+
+    #[test]
+    fn segment_section_attributes_cost_per_live_policy() {
+        let entries = vec![
+            (
+                "NextFit".to_string(),
+                SegmentStats {
+                    segments: 1,
+                    usage_time: 3,
+                },
+            ),
+            (
+                "FirstFit".to_string(),
+                SegmentStats {
+                    segments: 2,
+                    usage_time: 9,
+                },
+            ),
+        ];
+        let text = render_segments("portfolio", &entries);
+        assert!(
+            text.contains("dvbp_segment_usage_time_total{policy=\"portfolio\",live=\"NextFit\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dvbp_segments_total{policy=\"portfolio\",live=\"FirstFit\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dvbp_segment_cost_share{policy=\"portfolio\",live=\"FirstFit\"} 0.75"),
+            "{text}"
+        );
+        assert_eq!(text.matches("# TYPE dvbp_segments_total").count(), 1);
+        assert!(!text.contains("NaN") && !text.contains(" inf"), "{text}");
+        // Cold-start shape: entries with no cost at all stay finite.
+        let cold = vec![("NextFit".to_string(), SegmentStats::default())];
+        let text = render_segments("portfolio", &cold);
+        assert!(
+            text.contains("dvbp_segment_cost_share{policy=\"portfolio\",live=\"NextFit\"} 0"),
+            "{text}"
+        );
+        assert!(render_segments("p", &[]).is_empty());
     }
 
     #[test]

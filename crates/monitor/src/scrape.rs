@@ -83,6 +83,13 @@ pub fn render(addr: &str, status: &ServeStatus) -> String {
         status.recovered_events,
         status.last_time,
     ));
+    let portfolio = status.meta != "off";
+    if portfolio {
+        out.push_str(&format!(
+            "  portfolio: meta {}, {} switch(es)\n",
+            status.meta, status.policy_switches,
+        ));
+    }
     for s in &status.per_shard {
         out.push_str(&format!(
             "  shard {:>3}: {:>6} arrived {:>6} departed {:>5} active \
@@ -95,6 +102,18 @@ pub fn render(addr: &str, status: &ServeStatus) -> String {
             s.usage_time,
             s.last_time,
         ));
+        if portfolio {
+            let shadows = s
+                .shadows
+                .iter()
+                .map(|sh| format!("{} cr={:.3}", sh.policy, sh.running_cr()))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "    live {} ({} switch(es)) shadows: {}\n",
+                s.policy, s.policy_switches, shadows,
+            ));
+        }
     }
     out
 }
@@ -171,7 +190,11 @@ mod tests {
     use std::net::TcpListener;
     use std::sync::Arc;
 
-    fn boot() -> (
+    fn boot_with(
+        capacity: &[u64],
+        kind: PolicyKind,
+        portfolio: Option<&dvbp_serve::shard::PortfolioConfig>,
+    ) -> (
         String,
         Arc<ServeState<Vec<u8>>>,
         std::thread::JoinHandle<()>,
@@ -180,14 +203,15 @@ mod tests {
         let addr = listener.local_addr().unwrap().to_string();
         let state = Arc::new(
             ServeState::in_memory(
-                &DimVec::from_slice(&[10, 10]),
-                &PolicyKind::FirstFit,
+                &DimVec::from_slice(capacity),
+                &kind,
                 dvbp_core::RepackPolicy::NoRepack,
                 2,
                 RouterKind::RoundRobin,
                 TraceMode::CostOnly,
                 TimeMode::Strict,
                 SyncPolicy::PerEvent,
+                portfolio,
             )
             .unwrap(),
         );
@@ -196,6 +220,14 @@ mod tests {
             std::thread::spawn(move || serve(&state, &listener).unwrap())
         };
         (addr, state, srv)
+    }
+
+    fn boot() -> (
+        String,
+        Arc<ServeState<Vec<u8>>>,
+        std::thread::JoinHandle<()>,
+    ) {
+        boot_with(&[10, 10], PolicyKind::FirstFit, None)
     }
 
     #[test]
@@ -223,6 +255,9 @@ mod tests {
         assert!(text.contains("FirstFit x2"), "{text}");
         assert!(text.contains("shard   0"), "{text}");
         assert!(text.contains("shard   1"), "{text}");
+        // Single-policy services keep the pre-portfolio rendering.
+        assert!(!text.contains("portfolio:"), "{text}");
+        assert!(!text.contains("shadows:"), "{text}");
 
         // The Prometheus surface scrapes through the same helper, and
         // now carries span histograms plus build provenance.
@@ -239,6 +274,70 @@ mod tests {
         }
 
         assert!(http_get(&addr, "/nope").unwrap_err().contains("404"));
+        state.handle(&Request::Shutdown);
+        let _ = TcpStream::connect(&addr);
+        srv.join().unwrap();
+    }
+
+    #[test]
+    fn scrape_renders_the_portfolio_surface() {
+        use dvbp_portfolio::MetaPolicy;
+        let cfg = dvbp_serve::shard::PortfolioConfig {
+            candidates: vec![PolicyKind::FirstFit, PolicyKind::NextFit],
+            meta: MetaPolicy::BestOf { window: 1 },
+        };
+        let (addr, state, srv) = boot_with(&[10], PolicyKind::NextFit, Some(&cfg));
+        // The blocker pattern from the serve-side portfolio test, doubled
+        // so round-robin lands one copy on each shard: the blocker's bin
+        // closes at t=3, best-of:1 flips NextFit -> FirstFit per shard.
+        let arrive = |id: &str, size: u64, time: u64| Request::Arrive {
+            id: id.into(),
+            size: vec![size],
+            time,
+        };
+        for shard in 0..2u32 {
+            state.handle(&arrive(&format!("small-{shard}"), 3, 0));
+        }
+        for shard in 0..2u32 {
+            state.handle(&arrive(&format!("blocker-{shard}"), 10, 1));
+        }
+        for shard in 0..2u32 {
+            state.handle(&arrive(&format!("tail-{shard}"), 3, 2));
+        }
+        for shard in 0..2u32 {
+            state.handle(&Request::Depart {
+                id: format!("blocker-{shard}"),
+                time: 3,
+            });
+        }
+        let status = scrape_serve_status(&addr).unwrap();
+        assert_eq!(status.meta, "best-of:1");
+        assert_eq!(status.policy_switches, 2);
+        let text = render(&addr, &status);
+        assert!(
+            text.contains("portfolio: meta best-of:1, 2 switch(es)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("live FirstFit (1 switch(es)) shadows:"),
+            "{text}"
+        );
+        assert!(text.contains("FirstFit cr="), "{text}");
+        assert!(text.contains("NextFit cr="), "{text}");
+        assert!(
+            !text.contains("NaN") && !text.contains("inf"),
+            "shadow CRs must render finite:\n{text}"
+        );
+        // The serve /metrics families survive the scrape path verbatim.
+        let metrics = http_get(&addr, "/metrics").unwrap();
+        assert!(
+            metrics.contains("dvbp_shadow_cr{policy=\"FirstFit\"}"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("dvbp_serve_policy_switches_total 2"),
+            "{metrics}"
+        );
         state.handle(&Request::Shutdown);
         let _ = TcpStream::connect(&addr);
         srv.join().unwrap();

@@ -17,9 +17,10 @@
 //! flag between runs) and the server stop together; the in-flight
 //! response is fully written first.
 
-use crate::aggregate::{Aggregate, RepackStats};
+use crate::aggregate::{Aggregate, RepackStats, SegmentStats};
 use crate::prometheus;
 use dvbp_core::RepackPolicy;
+use dvbp_sim::Cost;
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -58,8 +59,24 @@ pub struct Status {
     pub mean_dispatch_ns: f64,
     /// Per-repack-policy totals (empty when no suite is active).
     pub repack: Vec<RepackStatus>,
+    /// Per-live-policy segment attribution of the replayed trace (empty
+    /// unless the trace carried `PolicySwitch` markers).
+    pub segments: Vec<SegmentStatus>,
     /// Whether shutdown was requested.
     pub shutting_down: bool,
+}
+
+/// One live-policy segment entry in the `/status` document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SegmentStatus {
+    /// Round-trippable spelling of the policy that was live.
+    pub live: String,
+    /// Segments this policy drove.
+    pub segments: u64,
+    /// Usage-time cost attributed to it, as a decimal string.
+    pub usage_time: String,
+    /// Its fraction of the trace's total cost (finite; 0 on cold start).
+    pub cost_share: f64,
 }
 
 /// One repack-suite entry in the `/status` document.
@@ -98,6 +115,11 @@ pub struct Monitor {
     pub policy: String,
     /// Repack suite observed alongside the batch runs (may be empty).
     pub repack: Vec<RepackSlot>,
+    /// Per-live-policy segment attribution of the replayed trace
+    /// ([`crate::aggregate::attribute_policy_segments`]); empty unless
+    /// the trace carried `PolicySwitch` markers. Fixed at construction —
+    /// the trace is, too.
+    pub segments: Vec<(String, SegmentStats)>,
 }
 
 impl Monitor {
@@ -124,7 +146,17 @@ impl Monitor {
                     stats: Mutex::new(RepackStats::new()),
                 })
                 .collect(),
+            segments: Vec::new(),
         }
+    }
+
+    /// Attaches the per-live-policy segment attribution of a replayed
+    /// portfolio trace, exposing `dvbp_segment_*` series on `/metrics`
+    /// and a `segments` array on `/status`.
+    #[must_use]
+    pub fn with_trace_segments(mut self, segments: Vec<(String, SegmentStats)>) -> Self {
+        self.segments = segments;
+        self
     }
 
     /// Point-in-time snapshot of the repack suite: `(name, totals)` per
@@ -182,6 +214,18 @@ impl Monitor {
                     cr_running: stats.running_cr(),
                 })
                 .collect(),
+            segments: {
+                let total: Cost = self.segments.iter().map(|(_, s)| s.usage_time).sum();
+                self.segments
+                    .iter()
+                    .map(|(live, stats)| SegmentStatus {
+                        live: live.clone(),
+                        segments: stats.segments,
+                        usage_time: stats.usage_time.to_string(),
+                        cost_share: stats.cost_share(total),
+                    })
+                    .collect()
+            },
             shutting_down: self.shutting_down(),
         }
     }
@@ -212,6 +256,7 @@ impl Monitor {
             &self.policy,
             &self.repack_snapshot(),
         ));
+        text.push_str(&prometheus::render_segments(&self.policy, &self.segments));
         text
     }
 }

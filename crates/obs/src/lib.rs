@@ -282,6 +282,12 @@ pub trait Observer {
     #[inline]
     fn on_bin_close(&mut self, _time: Time, _bin: usize) {}
 
+    /// The live policy was swapped mid-run at a bin-close boundary
+    /// (portfolio dispatch; the engine itself never switches). `from`
+    /// and `to` are round-trippable policy spellings.
+    #[inline]
+    fn on_policy_switch(&mut self, _time: Time, _from: &str, _to: &str) {}
+
     /// The run finished.
     #[inline]
     fn on_run_end(&mut self, _end: RunEnd) {}
@@ -339,6 +345,10 @@ impl<O: Observer + ?Sized> Observer for &mut O {
         (**self).on_bin_close(time, bin);
     }
     #[inline]
+    fn on_policy_switch(&mut self, time: Time, from: &str, to: &str) {
+        (**self).on_policy_switch(time, from, to);
+    }
+    #[inline]
     fn on_run_end(&mut self, end: RunEnd) {
         (**self).on_run_end(end);
     }
@@ -383,6 +393,10 @@ macro_rules! tuple_observer {
             #[inline]
             fn on_bin_close(&mut self, time: Time, bin: usize) {
                 $(self.$idx.on_bin_close(time, bin);)+
+            }
+            #[inline]
+            fn on_policy_switch(&mut self, time: Time, from: &str, to: &str) {
+                $(self.$idx.on_policy_switch(time, from, to);)+
             }
             #[inline]
             fn on_run_end(&mut self, end: RunEnd) {
@@ -533,6 +547,18 @@ pub enum ObsEvent {
         /// Bin index.
         bin: usize,
     },
+    /// The live policy was swapped at a bin-close boundary (portfolio
+    /// dispatch only; the engine itself never emits it). Journaled as
+    /// its own single-line WAL group so recovery re-applies every
+    /// switch verbatim instead of re-running the meta-policy.
+    PolicySwitch {
+        /// Tick of the switch (the triggering bin-close's tick).
+        time: Time,
+        /// Round-trippable spelling of the outgoing policy.
+        from: String,
+        /// Round-trippable spelling of the incoming policy.
+        to: String,
+    },
     /// Run finished.
     RunEnd {
         /// Tick of the last event.
@@ -635,6 +661,14 @@ impl Observer for Recorder {
 
     fn on_bin_close(&mut self, time: Time, bin: usize) {
         self.events.push(ObsEvent::BinClose { time, bin });
+    }
+
+    fn on_policy_switch(&mut self, time: Time, from: &str, to: &str) {
+        self.events.push(ObsEvent::PolicySwitch {
+            time,
+            from: from.to_string(),
+            to: to.to_string(),
+        });
     }
 
     fn on_run_end(&mut self, end: RunEnd) {

@@ -218,6 +218,7 @@ mod tests {
                 TraceMode::Full,
                 TimeMode::Strict,
                 SyncPolicy::PerEvent,
+                None,
             )
             .unwrap(),
         );

@@ -37,11 +37,11 @@ pub mod spans;
 pub mod wal;
 
 pub use client::{load_instance, Client, DriveReport};
-pub use protocol::{Request, Response, ServeStatus, ShardStatus};
+pub use protocol::{Request, Response, ServeStatus, ShadowStatus, ShardStatus, SwitchEntry};
 pub use recovery::{recover, Recovered, RecoveryError};
 pub use router::{fnv1a, Router, RouterKind};
 pub use server::{serve, ServeState, DEFAULT_READ_TIMEOUT_MS};
-pub use shard::{Shard, ShardError};
+pub use shard::{PortfolioConfig, Shard, ShardError};
 pub use spans::{
     http_get, parse_histograms, render_spans_table, write_build_info, ScrapedHistogram, SpanHub,
 };

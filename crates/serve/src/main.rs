@@ -17,7 +17,7 @@ use dvbp_dimvec::DimVec;
 use dvbp_obs::SyncPolicy;
 use dvbp_serve::router::RouterKind;
 use dvbp_serve::server::{serve, ServeState, DEFAULT_READ_TIMEOUT_MS};
-use dvbp_serve::{client, Client};
+use dvbp_serve::{client, Client, PortfolioConfig};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -32,6 +32,8 @@ USAGE:
   dvbp-serve serve [--addr HOST:PORT] [--policy NAME] [--shards N]
                    [--router hash|round-robin|least-loaded]
                    [--repack none|drain:K|defrag:BUDGET:PERIOD]
+                   [--portfolio paper|K1,K2,...]
+                   [--meta static|best-of[:WINDOW]|switch[:THRESHOLD_PCT]]
                    [--wal DIR] [--sync per-event|batch:N|on-close]
                    [--time-mode strict|clamp] [--cap C1,C2,...]
   dvbp-serve drive [--addr HOST:PORT]
@@ -50,6 +52,16 @@ USAGE:
   --repack      per-shard repacking: none (default), drain:K migrates up to K
                 items off a departure's bin, defrag:B:P spends migration
                 budget B every P bin closes; all moves are journaled
+  --portfolio   shadow-simulate candidate policies next to each shard:
+                'paper' (the seven-algorithm suite) or a comma-separated
+                list of policy spellings; scoreboard at /metrics
+                (dvbp_shadow_cr) and /status
+  --meta        with --portfolio: live-policy switching at bin-close
+                boundaries — static (default; never switch), best-of:W
+                adopts the cheapest shadow every W closes, switch:T
+                switches when the live policy trails the best shadow by
+                more than T percent (hysteresis-guarded); every switch is
+                journaled and replays verbatim on recovery
   --wal         write-ahead-log directory; omit for a non-durable in-memory run
   --sync        WAL durability per accepted operation (default per-event)
   --time-mode   strict rejects out-of-order timestamps; clamp pulls them forward
@@ -121,6 +133,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let capacity = parse_capacity(&parse(args, "--cap", "100,100".to_string())?)?;
     let slow_us: u64 = parse(args, "--slow-us", 1_000u64)?;
     let read_timeout_ms: u64 = parse(args, "--read-timeout-ms", DEFAULT_READ_TIMEOUT_MS)?;
+    let portfolio = match flag(args, "--portfolio") {
+        Some(spec) => {
+            let candidates =
+                dvbp_portfolio::parse_candidates(&spec).map_err(|e| format!("--portfolio: {e}"))?;
+            let meta: dvbp_portfolio::MetaPolicy =
+                parse(args, "--meta", dvbp_portfolio::MetaPolicy::Static)?;
+            Some(PortfolioConfig { candidates, meta })
+        }
+        None => {
+            if flag(args, "--meta").is_some() {
+                return Err("--meta requires --portfolio".into());
+            }
+            None
+        }
+    };
 
     let listener = TcpListener::bind(addr.as_str()).map_err(|e| format!("binding {addr}: {e}"))?;
     let bound = listener.local_addr().map_err(|e| e.to_string())?;
@@ -128,8 +155,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // The service journals in CostOnly: bit-identical placement to a
     // Full run, without unbounded trace growth in a long-lived process.
     let banner = |recovered: u64| {
+        let meta = portfolio.as_ref().map_or_else(
+            || "off".to_string(),
+            |cfg| {
+                format!(
+                    "{} over {} shadow(s)",
+                    cfg.meta.name(),
+                    cfg.candidates.len()
+                )
+            },
+        );
         println!(
-            "dvbp-serve: {} x{shards} ({} router, repack {}) on {bound}, \
+            "dvbp-serve: {} x{shards} ({} router, repack {}, portfolio {meta}) on {bound}, \
              {recovered} recovered event(s)",
             policy.name(),
             router.name(),
@@ -148,6 +185,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 TraceMode::CostOnly,
                 time_mode,
                 sync,
+                portfolio.as_ref(),
             )
             .map_err(|e| format!("opening WAL under {dir}: {e}"))?;
             for report in &reports {
@@ -168,6 +206,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 TraceMode::CostOnly,
                 time_mode,
                 sync,
+                portfolio.as_ref(),
             )
             .map_err(|e| e.to_string())?;
             println!("dvbp-serve: no --wal given; journaling to memory (no durability)");

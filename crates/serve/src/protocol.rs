@@ -60,6 +60,8 @@ pub mod error_code {
     pub const OUT_OF_ORDER: &str = "out-of-order";
     /// The write-ahead log failed; the shard no longer accepts writes.
     pub const WAL: &str = "wal";
+    /// The portfolio layer rejected the configuration or operation.
+    pub const PORTFOLIO: &str = "portfolio";
     /// The request line did not parse.
     pub const BAD_REQUEST: &str = "bad-request";
     /// The service is shutting down.
@@ -118,6 +120,49 @@ pub enum Response {
     ShuttingDown,
 }
 
+/// One applied policy switch, as journaled in the WAL (`PolicySwitch`
+/// group) and replayed verbatim on recovery.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchEntry {
+    /// Tick of the triggering bin close.
+    pub time: u64,
+    /// Outgoing policy (round-trippable spelling).
+    pub from: String,
+    /// Incoming policy (round-trippable spelling).
+    pub to: String,
+}
+
+/// One shadow engine's scoreboard row: the cost its candidate policy
+/// would have accumulated over the shard's accepted stream, plus the
+/// stream's shared Lemma-1 lower bound.
+///
+/// Both values are decimal strings for the same reason `usage_time` is
+/// (`u128` totals exceed exact JSON numbers).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShadowStatus {
+    /// Candidate policy (round-trippable spelling).
+    pub policy: String,
+    /// The shadow's accumulated usage time at the shard's current tick.
+    pub cost: String,
+    /// The stream's Lemma-1 lower bound (shared by all shadows).
+    pub lb: String,
+}
+
+impl ShadowStatus {
+    /// Running competitive ratio, cold-start neutral: `1.0` until the
+    /// lower bound is positive (never NaN or infinite).
+    #[must_use]
+    pub fn running_cr(&self) -> f64 {
+        let cost = self.cost.parse::<u128>().unwrap_or(0);
+        let lb = self.lb.parse::<u128>().unwrap_or(0);
+        if lb == 0 {
+            1.0
+        } else {
+            cost as f64 / lb as f64
+        }
+    }
+}
+
 /// Service-wide snapshot: totals plus one [`ShardStatus`] per shard.
 ///
 /// `usage_time` values are decimal strings — they are `u128` bin-tick
@@ -125,8 +170,14 @@ pub enum Response {
 /// convention as `dvbp-monitor`'s `/status`).
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServeStatus {
-    /// Policy display name.
+    /// Policy display name (the *configured* policy; under a portfolio,
+    /// shards report their current policy in their own slice).
     pub policy: String,
+    /// Meta-policy display name (`off` when no portfolio is running).
+    pub meta: String,
+    /// Policy switches applied over all shards since boot (including
+    /// replayed ones).
+    pub policy_switches: u64,
     /// Repack policy display name (`none`, `drain:K`, `defrag:B:P`).
     pub repack: String,
     /// Router display name (`hash`, `round-robin`, `least-loaded`).
@@ -168,6 +219,17 @@ pub struct ServeStatus {
 pub struct ShardStatus {
     /// Shard index.
     pub shard: usize,
+    /// The policy currently driving this shard's live engine
+    /// (round-trippable spelling; equals the configured policy unless a
+    /// meta-policy switched it).
+    pub policy: String,
+    /// Policy switches applied on this shard (including replayed ones).
+    pub policy_switches: u64,
+    /// Applied switches in order, replay-identical after recovery.
+    pub switch_history: Vec<SwitchEntry>,
+    /// Shadow scoreboard rows, in candidate order (empty without a
+    /// portfolio).
+    pub shadows: Vec<ShadowStatus>,
     /// Items admitted.
     pub arrivals: u64,
     /// Items departed.
@@ -234,6 +296,8 @@ mod tests {
     fn responses_round_trip() {
         let status = ServeStatus {
             policy: "FirstFit".into(),
+            meta: "off".into(),
+            policy_switches: 0,
             repack: "drain:2".into(),
             router: "hash".into(),
             shards: 2,
@@ -251,6 +315,10 @@ mod tests {
             shutting_down: false,
             per_shard: vec![ShardStatus {
                 shard: 0,
+                policy: "FirstFit".into(),
+                policy_switches: 0,
+                switch_history: Vec::new(),
+                shadows: Vec::new(),
                 arrivals: 2,
                 departures: 1,
                 active_items: 1,
@@ -284,5 +352,30 @@ mod tests {
             let back: Response = serde_json::from_str(&line).unwrap();
             assert_eq!(back, resp);
         }
+    }
+
+    #[test]
+    fn shadow_status_cr_is_cold_start_finite() {
+        let cold = ShadowStatus {
+            policy: "FirstFit".into(),
+            cost: "0".into(),
+            lb: "0".into(),
+        };
+        assert_eq!(cold.running_cr(), 1.0);
+        let warm = ShadowStatus {
+            policy: "NextFit".into(),
+            cost: "30".into(),
+            lb: "20".into(),
+        };
+        assert!((warm.running_cr() - 1.5).abs() < 1e-12);
+        let line = serde_json::to_string(&warm).unwrap();
+        assert_eq!(serde_json::from_str::<ShadowStatus>(&line).unwrap(), warm);
+        let switch = SwitchEntry {
+            time: 7,
+            from: "NextFit".into(),
+            to: "RandomFit:3".into(),
+        };
+        let line = serde_json::to_string(&switch).unwrap();
+        assert_eq!(serde_json::from_str::<SwitchEntry>(&line).unwrap(), switch);
     }
 }

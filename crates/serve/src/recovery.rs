@@ -34,11 +34,13 @@
 //! log file to `valid_bytes` before appending new groups, restoring the
 //! acknowledged-prefix invariant.
 
+use crate::shard::PortfolioConfig;
 use dvbp_core::{
     LiveEngine, LiveError, LiveRequest, PolicyKind, RepackPolicy, TimeMode, TraceMode,
 };
 use dvbp_dimvec::DimVec;
 use dvbp_obs::{scan_wal, ObsError, ObsEvent};
+use dvbp_portfolio::{PortfolioError, PortfolioState};
 use dvbp_sim::Time;
 use std::collections::HashMap;
 
@@ -77,6 +79,12 @@ pub enum RecoveryError {
     /// Replay rejected a journaled operation outright (corrupt size or
     /// timestamp), or the policy kind is not liveable.
     Live(LiveError),
+    /// The portfolio configuration itself was rejected (empty candidate
+    /// list) — a boot-configuration problem, not a log problem.
+    Portfolio {
+        /// The rendered [`PortfolioError`].
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for RecoveryError {
@@ -95,6 +103,7 @@ impl std::fmt::Display for RecoveryError {
                 write!(f, "WAL diverged from replay at event {event}: {msg}")
             }
             RecoveryError::Live(e) => write!(f, "replay rejected a journaled operation: {e}"),
+            RecoveryError::Portfolio { msg } => write!(f, "portfolio rejected: {msg}"),
         }
     }
 }
@@ -104,6 +113,17 @@ impl std::error::Error for RecoveryError {}
 impl From<LiveError> for RecoveryError {
     fn from(e: LiveError) -> Self {
         RecoveryError::Live(e)
+    }
+}
+
+impl From<PortfolioError> for RecoveryError {
+    fn from(e: PortfolioError) -> Self {
+        match e {
+            PortfolioError::Live(e) => RecoveryError::Live(e),
+            other => RecoveryError::Portfolio {
+                msg: other.to_string(),
+            },
+        }
     }
 }
 
@@ -129,6 +149,11 @@ pub struct Recovered {
     /// Whether the log contained the `RunStart` header (false only for
     /// an empty/fully-torn log).
     pub has_header: bool,
+    /// The replayed portfolio state when a [`PortfolioConfig`] was
+    /// given: shadows re-driven over the acknowledged stream, journaled
+    /// switches re-applied verbatim (the meta-policy is **not**
+    /// re-run).
+    pub portfolio: Option<PortfolioState>,
 }
 
 /// One parsed WAL group, with the journal's recorded outcome.
@@ -152,6 +177,14 @@ enum Group {
         /// The journaled post-`Depart` lines (`BinClose`, `Migrate`)
         /// in order, for comparison against the replay's outcome.
         tail: Vec<TailLine>,
+    },
+    /// A `PolicySwitch` line — a complete single-line group, re-applied
+    /// verbatim (recovery never re-runs the meta-policy).
+    Switch {
+        at: usize,
+        time: Time,
+        from: String,
+        to: String,
     },
 }
 
@@ -282,6 +315,16 @@ fn parse_groups(events: &[ObsEvent]) -> Result<(Vec<Group>, u64), RecoveryError>
                 });
                 i = j;
             }
+            ObsEvent::PolicySwitch { time, from, to } => {
+                // A switch group is one line, so it is always complete.
+                groups.push(Group::Switch {
+                    at,
+                    time: *time,
+                    from: from.clone(),
+                    to: to.clone(),
+                });
+                i += 1;
+            }
             other => {
                 return Err(RecoveryError::Malformed {
                     event: i,
@@ -308,10 +351,12 @@ fn trailing_or_malformed(
     // reaching here means `events.get(..)` ran off the end unless the
     // next events are group-starters, which would have parsed.
     let rest = &events[at..];
-    let interrupted = rest
-        .iter()
-        .skip(1)
-        .any(|e| matches!(e, ObsEvent::Ident { .. } | ObsEvent::Depart { .. }));
+    let interrupted = rest.iter().skip(1).any(|e| {
+        matches!(
+            e,
+            ObsEvent::Ident { .. } | ObsEvent::Depart { .. } | ObsEvent::PolicySwitch { .. }
+        )
+    });
     if interrupted {
         Err(RecoveryError::Malformed {
             event: at,
@@ -322,12 +367,35 @@ fn trailing_or_malformed(
     }
 }
 
-/// The replayed engine plus its id tables (`id -> local index`, and the
-/// reverse `local index -> id`).
-type DrivenState = (LiveEngine, HashMap<String, usize>, Vec<String>);
+/// The replayed engine plus its id tables (`id -> local index`, the
+/// reverse `local index -> id`) and the replayed portfolio state.
+type DrivenState = (
+    LiveEngine,
+    HashMap<String, usize>,
+    Vec<String>,
+    Option<PortfolioState>,
+);
+
+/// Builds the fresh portfolio state a replay (or a fresh boot) starts
+/// from.
+fn fresh_portfolio(
+    portfolio: Option<&PortfolioConfig>,
+    capacity: &DimVec,
+    kind: &PolicyKind,
+    time_mode: TimeMode,
+) -> Result<Option<PortfolioState>, RecoveryError> {
+    portfolio
+        .map(|cfg| PortfolioState::new(capacity, time_mode, &cfg.candidates, kind, cfg.meta, 0))
+        .transpose()
+        .map_err(Into::into)
+}
 
 /// Re-drives `groups` on a fresh engine, checking every outcome against
-/// the journal.
+/// the journal. With a [`PortfolioConfig`], every accepted operation is
+/// also mirrored into a fresh [`PortfolioState`] and journaled switch
+/// groups are re-applied verbatim — the meta-policy's *proposals* are
+/// ignored, so the replay lands on exactly the journaled switch
+/// history.
 fn drive(
     groups: &[Group],
     capacity: &DimVec,
@@ -335,6 +403,7 @@ fn drive(
     repack: RepackPolicy,
     trace: TraceMode,
     time_mode: TimeMode,
+    portfolio: Option<&PortfolioConfig>,
 ) -> Result<DrivenState, RecoveryError> {
     let mut live = LiveRequest::new(kind.clone())
         .capacity(capacity.clone())
@@ -342,6 +411,7 @@ fn drive(
         .time_mode(time_mode)
         .repack(repack)
         .build()?;
+    let mut pf = fresh_portfolio(portfolio, capacity, kind, time_mode)?;
     let mut ids = HashMap::new();
     let mut names = Vec::new();
     for group in groups {
@@ -378,6 +448,9 @@ fn drive(
                 }
                 ids.insert(id.clone(), *item);
                 names.push(id.clone());
+                if let Some(pf) = pf.as_mut() {
+                    pf.on_arrive(&DimVec::from_slice(size), *time);
+                }
             }
             Group::Depart {
                 at,
@@ -430,10 +503,46 @@ fn drive(
                     };
                     return Err(RecoveryError::Diverged { event: *at, msg });
                 }
+                if let Some(pf) = pf.as_mut() {
+                    // Mirror the departure; the close counters advance
+                    // exactly as they did live. The returned proposal
+                    // is discarded — only journaled Switch groups move
+                    // the policy during replay.
+                    let closes = tail
+                        .iter()
+                        .filter(|l| matches!(l, TailLine::Close(_)))
+                        .count() as u64;
+                    let _ = pf.on_depart(*item, *time, closes);
+                }
+            }
+            Group::Switch { at, time, from, to } => {
+                if live.kind().spec() != *from {
+                    return Err(RecoveryError::Diverged {
+                        event: *at,
+                        msg: format!(
+                            "journal switches from {from}, replay is on {}",
+                            live.kind().spec()
+                        ),
+                    });
+                }
+                let to_kind = to
+                    .parse::<PolicyKind>()
+                    .map_err(|e| RecoveryError::Malformed {
+                        event: *at,
+                        msg: format!("unparseable switch target {to:?}: {e}"),
+                    })?;
+                live.switch_policy(to_kind.clone())?;
+                if let Some(pf) = pf.as_mut() {
+                    pf.record_switch(&to_kind, *time)
+                        .map_err(|e| RecoveryError::Diverged {
+                            event: *at,
+                            msg: e.to_string(),
+                        })?;
+                }
             }
         }
     }
-    Ok((live, ids, names))
+    Ok((live, ids, names, pf))
 }
 
 /// Number of journal lines group `i` occupies.
@@ -441,16 +550,22 @@ fn group_lines(g: &Group) -> u64 {
     match g {
         Group::Arrive { opened_new, .. } => 3 + u64::from(*opened_new),
         Group::Depart { tail, .. } => 1 + tail.len() as u64,
+        Group::Switch { .. } => 1,
     }
 }
 
 /// Replays raw WAL bytes into a [`Recovered`] shard state for the given
-/// service configuration.
+/// service configuration. Pass the service's [`PortfolioConfig`] to
+/// also rebuild the shard's [`PortfolioState`] (shadows re-driven over
+/// the acknowledged stream, journaled switches re-applied verbatim); a
+/// log containing switch groups replays its live engine correctly even
+/// without one.
 ///
 /// # Errors
 ///
 /// See [`RecoveryError`]; every variant means the service must not
 /// boot on this log.
+#[allow(clippy::too_many_arguments)] // the shard's full configuration surface
 pub fn recover(
     bytes: &[u8],
     capacity: &DimVec,
@@ -458,6 +573,7 @@ pub fn recover(
     repack: RepackPolicy,
     trace: TraceMode,
     time_mode: TimeMode,
+    portfolio: Option<&PortfolioConfig>,
 ) -> Result<Recovered, RecoveryError> {
     let scan = scan_wal(bytes).map_err(RecoveryError::Scan)?;
     if scan.events.is_empty() {
@@ -469,6 +585,7 @@ pub fn recover(
             .time_mode(time_mode)
             .repack(repack)
             .build()?;
+        let pf = fresh_portfolio(portfolio, capacity, kind, time_mode)?;
         return Ok(Recovered {
             live,
             ids: HashMap::new(),
@@ -478,6 +595,7 @@ pub fn recover(
             dropped_events: 0,
             torn_bytes: scan.torn_bytes,
             has_header: false,
+            portfolio: pf,
         });
     }
     match &scan.events[0] {
@@ -493,21 +611,22 @@ pub fn recover(
     }
 
     let (mut groups, mut dropped_events) = parse_groups(&scan.events)?;
-    let (live, ids, names) = match drive(&groups, capacity, kind, repack, trace, time_mode) {
-        Ok(state) => state,
-        Err(RecoveryError::Diverged { event, msg })
-            if is_ambiguous_trailing_depart(&groups, event, &msg) =>
-        {
-            // The log's last group is a depart whose journaled lines
-            // are a strict prefix of what the replay produces: the
-            // crash cut the group before its commit line (BinClose or
-            // trailing Migrate lines). Roll the whole group back.
-            let rolled = groups.pop().expect("non-empty by construction");
-            dropped_events += group_lines(&rolled);
-            drive(&groups, capacity, kind, repack, trace, time_mode)?
-        }
-        Err(e) => return Err(e),
-    };
+    let (live, ids, names, pf) =
+        match drive(&groups, capacity, kind, repack, trace, time_mode, portfolio) {
+            Ok(state) => state,
+            Err(RecoveryError::Diverged { event, msg })
+                if is_ambiguous_trailing_depart(&groups, event, &msg) =>
+            {
+                // The log's last group is a depart whose journaled lines
+                // are a strict prefix of what the replay produces: the
+                // crash cut the group before its commit line (BinClose or
+                // trailing Migrate lines). Roll the whole group back.
+                let rolled = groups.pop().expect("non-empty by construction");
+                dropped_events += group_lines(&rolled);
+                drive(&groups, capacity, kind, repack, trace, time_mode, portfolio)?
+            }
+            Err(e) => return Err(e),
+        };
 
     // The acknowledged prefix ends at the last kept group's commit line.
     let events_kept = 1 + groups.iter().map(group_lines).sum::<u64>();
@@ -521,6 +640,7 @@ pub fn recover(
         dropped_events,
         torn_bytes: scan.torn_bytes,
         has_header: true,
+        portfolio: pf,
     })
 }
 
@@ -558,6 +678,7 @@ mod tests {
             TimeMode::Strict,
             Vec::new(),
             SyncPolicy::OnClose,
+            None,
         )
         .unwrap()
     }
@@ -594,6 +715,7 @@ mod tests {
             repack,
             TraceMode::Full,
             TimeMode::Strict,
+            None,
         )
     }
 
@@ -745,6 +867,7 @@ mod tests {
             RepackPolicy::NoRepack,
             TraceMode::Full,
             TimeMode::Strict,
+            None,
         )
         .err()
         .expect("recovery must fail");
@@ -763,6 +886,7 @@ mod tests {
             RepackPolicy::NoRepack,
             TraceMode::Full,
             TimeMode::Strict,
+            None,
         )
         .err()
         .expect("recovery must fail");
@@ -846,5 +970,132 @@ mod tests {
             recover_ff(&bytes),
             Err(RecoveryError::Scan(ObsError::Parse { .. }))
         ));
+    }
+
+    use dvbp_portfolio::MetaPolicy;
+
+    fn pf_config() -> PortfolioConfig {
+        PortfolioConfig {
+            candidates: vec![PolicyKind::FirstFit, PolicyKind::NextFit],
+            meta: MetaPolicy::BestOf { window: 1 },
+        }
+    }
+
+    /// A NextFit portfolio shard whose blocker departure journals a
+    /// switch to FirstFit, followed by a post-switch arrival that only
+    /// replays cleanly if the switch was re-applied.
+    fn switching_wal() -> Vec<u8> {
+        let cfg = pf_config();
+        let mut s = Shard::create(
+            DimVec::from_slice(&[10]),
+            &PolicyKind::NextFit,
+            RepackPolicy::NoRepack,
+            TraceMode::CostOnly,
+            TimeMode::Strict,
+            Vec::new(),
+            SyncPolicy::PerEvent,
+            Some(&cfg),
+        )
+        .unwrap();
+        s.arrive("small", DimVec::from_slice(&[3]), 0).unwrap(); // b0
+        s.arrive("blocker", DimVec::from_slice(&[10]), 1).unwrap(); // b1
+        s.arrive("tail", DimVec::from_slice(&[3]), 2).unwrap(); // NF: b2
+        s.depart("blocker", 3).unwrap(); // closes b1 -> switch group
+                                         // FirstFit sends this to b0 (3+4 fits); NextFit would pick its
+                                         // current bin b2 — the replay must honor the journaled switch.
+        s.arrive("post", DimVec::from_slice(&[4]), 4).unwrap();
+        assert_eq!(s.live().kind(), &PolicyKind::FirstFit);
+        s.into_wal_bytes()
+    }
+
+    fn recover_pf(
+        bytes: &[u8],
+        portfolio: Option<&PortfolioConfig>,
+    ) -> Result<Recovered, RecoveryError> {
+        recover(
+            bytes,
+            &DimVec::from_slice(&[10]),
+            &PolicyKind::NextFit,
+            RepackPolicy::NoRepack,
+            TraceMode::CostOnly,
+            TimeMode::Strict,
+            portfolio,
+        )
+    }
+
+    #[test]
+    fn journaled_switches_replay_verbatim() {
+        let bytes = switching_wal();
+        let cfg = pf_config();
+        let rec = recover_pf(&bytes, Some(&cfg)).unwrap();
+        assert_eq!(rec.valid_bytes as usize, bytes.len());
+        assert_eq!(rec.dropped_events, 0);
+        assert_eq!(rec.live.kind(), &PolicyKind::FirstFit);
+        assert_eq!(rec.live.policy_switches(), 1);
+        assert_eq!(rec.live.item_bin(3), Some(dvbp_core::BinId(0)));
+        let pf = rec.portfolio.expect("config given, state rebuilt");
+        assert_eq!(pf.switches().len(), 1);
+        assert_eq!(pf.switches()[0].from, "NextFit");
+        assert_eq!(pf.switches()[0].to, "FirstFit");
+        assert_eq!(pf.switches()[0].time, 3);
+        assert_eq!(pf.shadows().items_seen(), 4, "shadows saw the stream");
+    }
+
+    #[test]
+    fn switch_groups_replay_the_engine_even_without_a_portfolio_config() {
+        let bytes = switching_wal();
+        let rec = recover_pf(&bytes, None).unwrap();
+        assert_eq!(rec.live.kind(), &PolicyKind::FirstFit);
+        assert!(rec.portfolio.is_none());
+        assert_eq!(rec.valid_bytes as usize, bytes.len());
+    }
+
+    #[test]
+    fn a_cut_switch_line_leaves_the_replay_on_the_outgoing_policy() {
+        let bytes = switching_wal();
+        let scan = scan_wal(&bytes).unwrap();
+        let switch_at = scan
+            .events
+            .iter()
+            .position(|e| matches!(e, ObsEvent::PolicySwitch { .. }))
+            .unwrap();
+        // End the log right after the depart group's commit line: the
+        // switch was never acknowledged.
+        let cut = scan.offsets[switch_at - 1] as usize;
+        let cfg = pf_config();
+        let rec = recover_pf(&bytes[..cut], Some(&cfg)).unwrap();
+        assert_eq!(rec.dropped_events, 0);
+        assert_eq!(rec.live.kind(), &PolicyKind::NextFit);
+        assert!(rec.portfolio.unwrap().switches().is_empty());
+    }
+
+    #[test]
+    fn switch_to_a_foreign_candidate_is_diverged() {
+        let bytes = switching_wal();
+        let cfg = PortfolioConfig {
+            candidates: vec![PolicyKind::NextFit, PolicyKind::MoveToFront],
+            meta: MetaPolicy::BestOf { window: 1 },
+        };
+        let err = recover_pf(&bytes, Some(&cfg)).err().expect("must fail");
+        assert!(matches!(err, RecoveryError::Diverged { .. }), "{err}");
+    }
+
+    #[test]
+    fn every_switching_wal_boundary_is_a_consistent_recovery_point() {
+        let bytes = switching_wal();
+        let scan = scan_wal(&bytes).unwrap();
+        let cfg = pf_config();
+        for &off in &scan.offsets {
+            let rec = recover_pf(&bytes[..off as usize], Some(&cfg)).unwrap();
+            let again = recover_pf(&bytes[..rec.valid_bytes as usize], Some(&cfg)).unwrap();
+            assert_eq!(again.valid_bytes, rec.valid_bytes);
+            assert_eq!(again.dropped_events, 0, "truncation must be a fixpoint");
+            assert_eq!(again.live.kind(), rec.live.kind());
+            assert_eq!(again.live.policy_switches(), rec.live.policy_switches());
+            assert_eq!(
+                again.portfolio.unwrap().switches(),
+                rec.portfolio.unwrap().switches()
+            );
+        }
     }
 }

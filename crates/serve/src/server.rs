@@ -19,7 +19,7 @@
 
 use crate::protocol::{error_code, Request, Response, ServeStatus};
 use crate::router::{Router, RouterKind};
-use crate::shard::{Shard, ShardError};
+use crate::shard::{PortfolioConfig, Shard, ShardError};
 use crate::spans::{write_build_info, SpanHub};
 use crate::wal::{open_shard, RecoveryReport, WalOpenError};
 use dvbp_core::{LiveError, PolicyKind, RepackPolicy, TimeMode, TraceMode};
@@ -46,6 +46,7 @@ pub struct ServeState<W: StableWrite> {
     router: Router,
     policy: PolicyKind,
     repack: RepackPolicy,
+    portfolio: Option<PortfolioConfig>,
     spans: SpanHub,
     /// Per-connection socket read timeout (ms; 0 disables).
     read_timeout_ms: AtomicU64,
@@ -68,6 +69,7 @@ impl ServeState<Vec<u8>> {
         trace: TraceMode,
         time_mode: TimeMode,
         sync: SyncPolicy,
+        portfolio: Option<&PortfolioConfig>,
     ) -> Result<Self, ShardError> {
         let shard_states = (0..shards)
             .map(|_| {
@@ -79,6 +81,7 @@ impl ServeState<Vec<u8>> {
                     time_mode,
                     Vec::new(),
                     sync,
+                    portfolio,
                 )
                 .map(Mutex::new)
             })
@@ -88,6 +91,7 @@ impl ServeState<Vec<u8>> {
             router: Router::new(router, shards),
             policy: kind.clone(),
             repack,
+            portfolio: portfolio.cloned(),
             spans: SpanHub::new(shards),
             read_timeout_ms: AtomicU64::new(DEFAULT_READ_TIMEOUT_MS),
             shutting_down: AtomicBool::new(false),
@@ -123,12 +127,14 @@ impl ServeState<BufWriter<File>> {
         trace: TraceMode,
         time_mode: TimeMode,
         sync: SyncPolicy,
+        portfolio: Option<&PortfolioConfig>,
     ) -> Result<(Self, Vec<RecoveryReport>), WalOpenError> {
         let mut shard_states = Vec::with_capacity(shards);
         let mut reports = Vec::with_capacity(shards);
         for s in 0..shards {
-            let (shard, report) =
-                open_shard(wal_dir, s, capacity, kind, repack, trace, time_mode, sync)?;
+            let (shard, report) = open_shard(
+                wal_dir, s, capacity, kind, repack, trace, time_mode, sync, portfolio,
+            )?;
             shard_states.push(shard);
             reports.push(report);
         }
@@ -136,6 +142,7 @@ impl ServeState<BufWriter<File>> {
             router: Router::new(router, shards),
             policy: kind.clone(),
             repack,
+            portfolio: portfolio.cloned(),
             spans: SpanHub::new(shards),
             read_timeout_ms: AtomicU64::new(DEFAULT_READ_TIMEOUT_MS),
             shutting_down: AtomicBool::new(false),
@@ -339,6 +346,11 @@ impl<W: StableWrite> ServeState<W> {
         let mut usage: u128 = 0;
         let mut status = ServeStatus {
             policy: self.policy.name(),
+            meta: self
+                .portfolio
+                .as_ref()
+                .map_or_else(|| "off".to_string(), |cfg| cfg.meta.name()),
+            policy_switches: 0,
             repack: self.repack.name(),
             router: self.router.kind().name().to_string(),
             shards: self.shards.len(),
@@ -358,6 +370,7 @@ impl<W: StableWrite> ServeState<W> {
         };
         for (s, recovered) in per_shard {
             status.arrivals += s.arrivals;
+            status.policy_switches += s.policy_switches;
             status.departures += s.departures;
             status.active_items += s.active_items;
             status.open_bins += s.open_bins;
@@ -379,7 +392,7 @@ impl<W: StableWrite> ServeState<W> {
     pub fn metrics_text(&self) -> String {
         let status = self.status();
         let mut out = String::new();
-        let totals: [(&str, &str, String); 8] = [
+        let totals: [(&str, &str, String); 9] = [
             ("arrivals_total", "counter", status.arrivals.to_string()),
             ("departures_total", "counter", status.departures.to_string()),
             ("active_items", "gauge", status.active_items.to_string()),
@@ -396,6 +409,11 @@ impl<W: StableWrite> ServeState<W> {
                 status.migration_cost.to_string(),
             ),
             ("usage_time_total", "counter", status.usage_time.clone()),
+            (
+                "policy_switches_total",
+                "counter",
+                status.policy_switches.to_string(),
+            ),
         ];
         for (name, kind, value) in &totals {
             out.push_str(&format!(
@@ -406,6 +424,50 @@ impl<W: StableWrite> ServeState<W> {
             "# TYPE dvbp_serve_repack_info gauge\ndvbp_serve_repack_info{{repack=\"{}\"}} 1\n",
             status.repack
         ));
+        if self.portfolio.is_some() {
+            out.push_str(&format!(
+                "# TYPE dvbp_serve_meta_info gauge\ndvbp_serve_meta_info{{meta=\"{}\"}} 1\n",
+                status.meta
+            ));
+            // Shadow scoreboard. The aggregate series divides summed
+            // shadow costs by the summed lower-bound anchor across
+            // shards; both start at zero, so cold start reads 1.0 (never
+            // NaN or +Inf — Prometheus would accept them, dashboards
+            // would not forgive them).
+            out.push_str("# TYPE dvbp_shadow_cr gauge\n");
+            let mut agg: Vec<(&str, u128, u128)> = Vec::new();
+            for s in &status.per_shard {
+                for sh in &s.shadows {
+                    let cost = sh.cost.parse::<u128>().unwrap_or(0);
+                    let lb = sh.lb.parse::<u128>().unwrap_or(0);
+                    match agg.iter_mut().find(|(p, _, _)| *p == sh.policy) {
+                        Some(e) => {
+                            e.1 += cost;
+                            e.2 += lb;
+                        }
+                        None => agg.push((&sh.policy, cost, lb)),
+                    }
+                }
+            }
+            for (policy, cost, lb) in &agg {
+                let cr = if *lb == 0 {
+                    1.0
+                } else {
+                    *cost as f64 / *lb as f64
+                };
+                out.push_str(&format!("dvbp_shadow_cr{{policy=\"{policy}\"}} {cr:.6}\n"));
+            }
+            for s in &status.per_shard {
+                for sh in &s.shadows {
+                    out.push_str(&format!(
+                        "dvbp_shadow_cr{{shard=\"{}\",policy=\"{}\"}} {:.6}\n",
+                        s.shard,
+                        sh.policy,
+                        sh.running_cr()
+                    ));
+                }
+            }
+        }
         for s in &status.per_shard {
             for (name, value) in [
                 ("arrivals_total", s.arrivals.to_string()),
@@ -414,6 +476,7 @@ impl<W: StableWrite> ServeState<W> {
                 ("open_bins", s.open_bins.to_string()),
                 ("migrations_total", s.migrations.to_string()),
                 ("usage_time_total", s.usage_time.clone()),
+                ("policy_switches_total", s.policy_switches.to_string()),
             ] {
                 out.push_str(&format!(
                     "dvbp_serve_shard_{name}{{shard=\"{}\"}} {value}\n",
@@ -480,6 +543,7 @@ fn error_response(e: &ShardError) -> Response {
         }
         ShardError::Live(_) => error_code::INVALID_ITEM,
         ShardError::Wal { .. } => error_code::WAL,
+        ShardError::Portfolio { .. } => error_code::PORTFOLIO,
     };
     Response::Error {
         code: code.into(),
@@ -742,6 +806,7 @@ mod tests {
             TraceMode::Full,
             TimeMode::Strict,
             SyncPolicy::PerEvent,
+            None,
         )
         .unwrap()
     }
@@ -888,6 +953,58 @@ mod tests {
         assert!(text.contains("dvbp_serve_arrivals_total 2"));
         assert!(text.contains("dvbp_serve_shard_arrivals_total{shard=\"0\"} 1"));
         assert!(text.contains("dvbp_serve_shard_arrivals_total{shard=\"1\"} 1"));
+    }
+
+    #[test]
+    fn portfolio_service_reports_shadows_and_switches() {
+        use dvbp_portfolio::MetaPolicy;
+        let cfg = PortfolioConfig {
+            candidates: vec![PolicyKind::FirstFit, PolicyKind::NextFit],
+            meta: MetaPolicy::BestOf { window: 1 },
+        };
+        let s = ServeState::in_memory(
+            &DimVec::from_slice(&[10]),
+            &PolicyKind::NextFit,
+            RepackPolicy::NoRepack,
+            1,
+            RouterKind::Hash,
+            TraceMode::CostOnly,
+            TimeMode::Strict,
+            SyncPolicy::PerEvent,
+            Some(&cfg),
+        )
+        .unwrap();
+        s.handle(&arrive("small", &[3], 0));
+        s.handle(&arrive("blocker", &[10], 1));
+        s.handle(&arrive("tail", &[3], 2));
+        s.handle(&Request::Depart {
+            id: "blocker".into(),
+            time: 3,
+        });
+        let st = s.status();
+        assert_eq!(st.meta, "best-of:1");
+        assert_eq!(st.policy_switches, 1);
+        assert_eq!(st.per_shard[0].policy, "FirstFit");
+        assert_eq!(st.per_shard[0].switch_history.len(), 1);
+        assert_eq!(st.per_shard[0].shadows.len(), 2);
+        let text = s.metrics_text();
+        assert!(text.contains("dvbp_serve_policy_switches_total 1"));
+        assert!(text.contains("dvbp_serve_shard_policy_switches_total{shard=\"0\"} 1"));
+        assert!(text.contains("dvbp_serve_meta_info{meta=\"best-of:1\"} 1"));
+        assert!(text.contains("dvbp_shadow_cr{policy=\"FirstFit\"}"));
+        assert!(text.contains("dvbp_shadow_cr{shard=\"0\",policy=\"NextFit\"}"));
+        assert!(
+            !text.contains("NaN") && !text.contains(" inf"),
+            "shadow CRs must stay finite"
+        );
+
+        // Without a portfolio, the families are absent and meta is off.
+        let plain = state(1, RouterKind::Hash);
+        assert_eq!(plain.status().meta, "off");
+        let text = plain.metrics_text();
+        assert!(!text.contains("dvbp_shadow_cr"));
+        assert!(!text.contains("dvbp_serve_meta_info"));
+        assert!(text.contains("dvbp_serve_policy_switches_total 0"));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! file gets the `RunStart` header instead.
 
 use crate::recovery::{recover, RecoveryError};
-use crate::shard::{Shard, ShardError};
+use crate::shard::{PortfolioConfig, Shard, ShardError};
 use dvbp_core::{PolicyKind, RepackPolicy, TimeMode, TraceMode};
 use dvbp_dimvec::DimVec;
 use dvbp_obs::{JsonlEmitter, SyncPolicy};
@@ -103,6 +103,7 @@ pub fn open_shard(
     trace: TraceMode,
     time_mode: TimeMode,
     sync: SyncPolicy,
+    portfolio: Option<&PortfolioConfig>,
 ) -> Result<(Shard<BufWriter<File>>, RecoveryReport), WalOpenError> {
     std::fs::create_dir_all(dir)?;
     let path = shard_wal_path(dir, shard);
@@ -111,7 +112,7 @@ pub fn open_shard(
         Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(e.into()),
     };
-    let rec = recover(&bytes, capacity, kind, repack, trace, time_mode)
+    let rec = recover(&bytes, capacity, kind, repack, trace, time_mode, portfolio)
         .map_err(WalOpenError::Recovery)?;
 
     let truncated = rec.valid_bytes < bytes.len() as u64;
@@ -135,7 +136,14 @@ pub fn open_shard(
 
     let shard_state = if rec.has_header {
         let emitter = JsonlEmitter::open_append(&path)?.with_sync(sync);
-        Shard::resume(rec.live, rec.ids, rec.names, rec.events_applied, emitter)
+        Shard::resume(
+            rec.live,
+            rec.ids,
+            rec.names,
+            rec.events_applied,
+            emitter,
+            rec.portfolio,
+        )
     } else {
         // Fresh (or fully-torn) log: start over with a new header.
         let file = OpenOptions::new()
@@ -151,6 +159,7 @@ pub fn open_shard(
             time_mode,
             BufWriter::new(file),
             sync,
+            portfolio,
         )
         .map_err(WalOpenError::Shard)?
     };
@@ -186,6 +195,7 @@ mod tests {
             TraceMode::Full,
             TimeMode::Strict,
             SyncPolicy::PerEvent,
+            None,
         )
         .unwrap()
     }
@@ -261,6 +271,48 @@ mod tests {
         assert_eq!(s.live().migrations(), 1);
         assert_eq!(s.live().open_bins(), 1);
         assert_eq!(s.live().item_bin(2), Some(dvbp_core::BinId(1)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn portfolio_shard_round_trips_switch_history_through_its_wal() {
+        use dvbp_portfolio::MetaPolicy;
+        let dir = temp_dir("portfolio");
+        let cfg = PortfolioConfig {
+            candidates: vec![PolicyKind::FirstFit, PolicyKind::NextFit],
+            meta: MetaPolicy::BestOf { window: 1 },
+        };
+        let open_pf = |dir: &Path| {
+            open_shard(
+                dir,
+                0,
+                &DimVec::from_slice(&[10]),
+                &PolicyKind::NextFit,
+                RepackPolicy::NoRepack,
+                TraceMode::CostOnly,
+                TimeMode::Strict,
+                SyncPolicy::PerEvent,
+                Some(&cfg),
+            )
+            .unwrap()
+        };
+        {
+            let (mut s, _) = open_pf(&dir);
+            s.arrive("small", DimVec::from_slice(&[3]), 0).unwrap();
+            s.arrive("blocker", DimVec::from_slice(&[10]), 1).unwrap();
+            s.arrive("tail", DimVec::from_slice(&[3]), 2).unwrap();
+            s.depart("blocker", 3).unwrap(); // closes a bin -> switch
+            assert_eq!(s.live().kind(), &PolicyKind::FirstFit);
+            assert!(s.persist());
+        }
+        let (s, report) = open_pf(&dir);
+        assert!(!report.truncated);
+        assert_eq!(report.dropped_events, 0);
+        assert_eq!(s.live().kind(), &PolicyKind::FirstFit);
+        assert_eq!(s.live().policy_switches(), 1);
+        let pf = s.portfolio().expect("state rebuilt on resume");
+        assert_eq!(pf.switches().len(), 1);
+        assert_eq!(pf.switches()[0].to, "FirstFit");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

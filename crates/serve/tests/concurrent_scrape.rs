@@ -85,6 +85,7 @@ fn concurrent_scrapes_stay_well_formed_through_drive_and_shutdown() {
             TraceMode::CostOnly,
             TimeMode::Clamp,
             SyncPolicy::PerEvent,
+            None,
         )
         .unwrap(),
     );

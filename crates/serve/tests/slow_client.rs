@@ -29,6 +29,7 @@ fn boot(read_timeout_ms: u64) -> (String, Arc<ServeState<Vec<u8>>>) {
             TraceMode::CostOnly,
             TimeMode::Clamp,
             SyncPolicy::PerEvent,
+            None,
         )
         .unwrap(),
     );

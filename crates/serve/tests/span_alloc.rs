@@ -50,6 +50,7 @@ fn fresh_state() -> ServeState<Vec<u8>> {
         TraceMode::CostOnly,
         TimeMode::Clamp,
         SyncPolicy::PerEvent,
+        None,
     )
     .unwrap()
 }

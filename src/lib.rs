@@ -105,6 +105,13 @@ pub mod workloads {
     pub use dvbp_workloads::*;
 }
 
+/// Shadow-policy portfolio dispatch: cost-only candidate engines
+/// mirroring the live stream, plus a meta-policy that may switch the
+/// live policy at bin-close boundaries.
+pub mod portfolio {
+    pub use dvbp_portfolio::*;
+}
+
 /// Packing analyses: proof decompositions, statistics, report tables.
 pub mod analysis {
     pub use dvbp_analysis::*;
